@@ -1,0 +1,61 @@
+"""Figure 4: ECI-based prioritisation illustration.
+
+Reproduces the two panels as text: per-learner best-error-vs-time curves
+(top) and the per-learner search trajectory (bottom), plus ECI snapshots
+over time showing the self-adjusting prioritisation (a learner that fails
+to improve sees its ECI grow and its selection probability drop).
+"""
+
+from __future__ import annotations
+
+from _common import SCALE, make_case_study_dataset, save_text
+from repro.baselines import FLAMLSystem
+from repro.bench import SCALED_THRESHOLDS, per_learner_best
+from repro.metrics import get_metric
+
+DATASET = "adult-large"
+BUDGET = 10.0 * SCALE
+
+
+def run_search():
+    data = make_case_study_dataset(DATASET).shuffled(0)
+    metric = get_metric("auto", task=data.task)
+    system = FLAMLSystem(init_sample_size=1000, **SCALED_THRESHOLDS)
+    return system.search(data, metric, time_budget=BUDGET, seed=1)
+
+
+def render(result) -> str:
+    lines = [f"### Figure 4: ECI-based prioritisation on '{DATASET}'"]
+    lines.append("\n--- best error per learner vs automl time (top panel) ---")
+    for learner, curve in per_learner_best(result.trials).items():
+        pts = "  ".join(f"({t:.2f}s, {e:.4f})" for t, e in curve[:12])
+        lines.append(f"{learner:<11}: {pts}")
+    lines.append("\n--- ECI snapshots (sampling prob ∝ 1/ECI) ---")
+    n = len(result.trials)
+    for idx in sorted({0, n // 4, n // 2, 3 * n // 4, n - 1}):
+        t = result.trials[idx]
+        if not t.eci_snapshot:
+            continue
+        snap = "  ".join(
+            f"{k}={v:.3g}" for k, v in sorted(t.eci_snapshot.items())
+        )
+        lines.append(f"t={t.automl_time:6.2f}s  {snap}")
+    lines.append("\n--- per-learner trial trajectory (bottom panel) ---")
+    for t in result.trials:
+        lines.append(
+            f"{t.automl_time:7.2f}s  {t.learner:<11} s={t.sample_size:<6} "
+            f"err={t.error:.4f} {'*' if t.improved_global else ''}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig4_eci_prioritization(benchmark):
+    result = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    save_text("fig4_eci.txt", render(result))
+    # the ECI mechanism must have tried several learners but concentrated
+    # most trials on the cheap/promising ones
+    counts = {}
+    for t in result.trials:
+        counts[t.learner] = counts.get(t.learner, 0) + 1
+    assert len(counts) >= 3
+    assert max(counts.values()) > min(counts.values())

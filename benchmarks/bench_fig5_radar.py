@@ -1,0 +1,57 @@
+"""Figure 5: scaled scores of all AutoML systems on the benchmark suite,
+per task type and per budget (the paper's radar charts, rendered as
+tables).
+
+Quick mode runs 9 representative datasets x 2 budgets x 6 systems; set
+REPRO_BENCH_FULL=1 for all 53 datasets x 3 budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import get_comparison_records, save_text
+from repro.bench import format_radar_table, score_table
+
+
+def test_fig5_comparative_study(benchmark):
+    records = benchmark.pedantic(get_comparison_records, rounds=1, iterations=1)
+    text = []
+    for task in ("binary", "multiclass", "regression"):
+        text.append(format_radar_table(records, task=task))
+    save_text("fig5_radar.txt", "\n\n".join(text))
+
+    # Reproduction shape at the largest equal budget.  The paper's "clear
+    # majority with large margins" needs the full-scale regime (LightGBM-
+    # speed trials, 1m-1h budgets); at quick scale we assert the robust
+    # core of the claim: FLAML is never far behind the per-dataset best,
+    # wins some datasets outright, and never collapses.
+    table = score_table(records)
+    top_budget = max(table)
+    wins = 0
+    gaps = []
+    flaml_scores, best_scores = [], []
+    for dataset, scores in table[top_budget].items():
+        if "FLAML" not in scores:
+            continue
+        best_other = max(v for k, v in scores.items() if k != "FLAML")
+        gaps.append(best_other - scores["FLAML"])
+        flaml_scores.append(scores["FLAML"])
+        best_scores.append(max(best_other, scores["FLAML"]))
+        # 0.02 tolerance: single-fold scaled scores carry that much noise
+        # (the paper averages 10 OpenML folds; quick mode runs 1)
+        if scores["FLAML"] >= best_other - 0.02:
+            wins += 1
+    assert flaml_scores, "no FLAML records"
+    assert wins >= 2, f"FLAML won/tied only {wins} datasets at {top_budget}s"
+    # median gap to the per-dataset best is small
+    assert float(np.median(gaps)) < 0.15, f"median gap {np.median(gaps):.3f}"
+    # FLAML never collapses (a scaled score near 0 = constant predictor)
+    assert min(flaml_scores) > 0.2, f"collapse: {min(flaml_scores):.3f}"
+    # every system produced finite scores
+    assert all(
+        np.isfinite(v)
+        for ds in table.values()
+        for scores in ds.values()
+        for v in scores.values()
+    )

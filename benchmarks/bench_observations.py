@@ -1,0 +1,173 @@
+"""Empirical validation of the paper's §3.2 Observations 1-3.
+
+FLAML's whole design is derived from three claimed relations among
+sample size, resampling strategy, hyperparameters, error and cost.  The
+paper cites prior work for them; this bench *measures* them on our
+substrate, because every shape claim in EXPERIMENTS.md silently assumes
+they transfer to the reimplemented learners:
+
+* **Observation 1** — test error (and the validation-test gap) shrinks
+  as sample size grows; the gap is smaller for cross-validation than
+  holdout.
+* **Observation 2** — the error-minimising model complexity grows with
+  sample size (small samples want more regularisation).
+* **Observation 3** — trial cost is ~proportional to sample size and to
+  cost-related hyperparameters (tree_num); 5-fold CV costs roughly
+  (k-1)/(1-rho) ~ 4.4x holdout.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _common import save_text
+from repro.core.evaluate import evaluate_config
+from repro.data import make_classification
+from repro.learners import LGBMLikeClassifier
+from repro.metrics import get_metric
+
+CONFIG = dict(tree_num=20, leaf_num=12, learning_rate=0.2, min_child_weight=1.0)
+SIZES = (500, 1000, 2000, 4000, 8000)
+
+
+def _data(n=80_000, seed=0):
+    return make_classification(
+        n, 12, structure="nonlinear", class_sep=0.9, seed=seed, name="obs"
+    ).shuffled(seed)
+
+
+def _test_error(model, data, metric, n_test=4000):
+    test = data.subset(np.arange(data.n - n_test, data.n))
+    return metric.error(test.y, model.predict_proba(test.X))
+
+
+def run_observations():
+    data = _data()
+    metric = get_metric("roc_auc")
+    out = {"obs1": [], "obs2": {}, "obs3": {}}
+
+    # --- Observation 1: error & val-test gap vs sample size, CV vs holdout.
+    # The paper's setting treats the sample as the whole training dataset,
+    # so resampling is applied to data.head(s) (a 10% holdout of s rows vs
+    # 5-fold CV over s rows); gaps are averaged over seeds because the
+    # claim is about estimator reliability, not one draw.
+    for s in SIZES:
+        row = {"s": s}
+        sub = data.head(s)
+        for resampling in ("cv", "holdout"):
+            vals, gaps = [], []
+            for seed in range(3):
+                o = evaluate_config(
+                    sub, LGBMLikeClassifier, CONFIG, sample_size=s,
+                    resampling=resampling, metric=metric, seed=seed,
+                )
+                model = LGBMLikeClassifier(**CONFIG, seed=seed).fit(
+                    sub.X, sub.y
+                )
+                test_err = _test_error(model, data, metric)
+                vals.append(o.error)
+                gaps.append(abs(o.error - test_err))
+            row[resampling] = {
+                "val": float(np.mean(vals)),
+                "test": test_err,
+                "gap": float(np.mean(gaps)),
+            }
+        out["obs1"].append(row)
+
+    # --- Observation 2: best complexity per sample size
+    complexities = (4, 16, 64, 256)
+    for s in (600, 8000):
+        errs = []
+        for leaves in complexities:
+            cfg = dict(CONFIG, leaf_num=leaves, tree_num=40,
+                       min_child_weight=0.5)
+            model = LGBMLikeClassifier(**cfg, seed=0).fit(data.X[:s], data.y[:s])
+            errs.append(_test_error(model, data, metric))
+        out["obs2"][s] = dict(zip(complexities, errs))
+
+    # --- Observation 3: cost vs sample size / tree_num / resampling.
+    # Substrate caveat: the pure-Python tree grower has a per-node
+    # constant the C++ libraries lack, so the row-proportional term only
+    # dominates at larger s — the sweep spans 4K-64K rows for that reason
+    # (documented in EXPERIMENTS.md).
+    heavy = dict(CONFIG, tree_num=60, leaf_num=32)
+    costs_s = {}
+    for s in (4000, 8000, 16000, 32000, 64000):
+        t0 = time.perf_counter()
+        LGBMLikeClassifier(**heavy, seed=0).fit(data.X[:s], data.y[:s])
+        costs_s[s] = time.perf_counter() - t0
+    out["obs3"]["cost_vs_s"] = costs_s
+    costs_t = {}
+    for trees in (10, 20, 40, 80):
+        cfg = dict(CONFIG, tree_num=trees)
+        t0 = time.perf_counter()
+        LGBMLikeClassifier(**cfg, seed=0).fit(data.X[:4000], data.y[:4000])
+        costs_t[trees] = time.perf_counter() - t0
+    out["obs3"]["cost_vs_trees"] = costs_t
+    cv = evaluate_config(data, LGBMLikeClassifier, CONFIG, sample_size=4000,
+                         resampling="cv", metric=metric, seed=0)
+    ho = evaluate_config(data, LGBMLikeClassifier, CONFIG, sample_size=4000,
+                         resampling="holdout", metric=metric, seed=0)
+    out["obs3"]["cv_over_holdout"] = cv.cost / max(ho.cost, 1e-9)
+    return out
+
+
+def test_observations(benchmark):
+    out = benchmark.pedantic(run_observations, rounds=1, iterations=1)
+    lines = ["=== Observation 1: sample size + resampling -> error ===",
+             f"{'s':>6}  {'cv val':>8} {'cv test':>8} {'cv gap':>8}  "
+             f"{'ho val':>8} {'ho test':>8} {'ho gap':>8}"]
+    for row in out["obs1"]:
+        c, h = row["cv"], row["holdout"]
+        lines.append(
+            f"{row['s']:>6}  {c['val']:8.4f} {c['test']:8.4f} {c['gap']:8.4f}  "
+            f"{h['val']:8.4f} {h['test']:8.4f} {h['gap']:8.4f}"
+        )
+    lines.append("\n=== Observation 2: best complexity per sample size ===")
+    for s, errs in out["obs2"].items():
+        best = min(errs, key=errs.get)
+        lines.append(f"  s={s:<6} " + "  ".join(
+            f"leaves={k}:{v:.4f}" for k, v in errs.items()
+        ) + f"  -> best leaves={best}")
+    lines.append("\n=== Observation 3: quantifiable impact on cost ===")
+    lines.append("  cost vs s      : " + "  ".join(
+        f"{s}:{c:.3f}s" for s, c in out["obs3"]["cost_vs_s"].items()))
+    lines.append("  cost vs trees  : " + "  ".join(
+        f"{t}:{c:.3f}s" for t, c in out["obs3"]["cost_vs_trees"].items()))
+    lines.append(f"  cv/holdout cost: {out['obs3']['cv_over_holdout']:.2f}x "
+                 "(paper predicts (k-1)/(1-rho) = 4.4x)")
+    save_text("observations.txt", "\n".join(lines))
+
+    # Observation 1 shape: test error shrinks with s (first vs last size);
+    # mean CV gap <= mean holdout gap
+    first, last = out["obs1"][0], out["obs1"][-1]
+    assert last["cv"]["test"] <= first["cv"]["test"] + 0.005
+    gaps_cv = np.mean([r["cv"]["gap"] for r in out["obs1"]])
+    gaps_ho = np.mean([r["holdout"]["gap"] for r in out["obs1"]])
+    assert gaps_cv <= gaps_ho * 1.25
+    # Observation 2 shape: the small sample's best complexity is <= the
+    # large sample's
+    small = min(out["obs2"][600], key=out["obs2"][600].get)
+    large = min(out["obs2"][8000], key=out["obs2"][8000].get)
+    assert small <= large
+    # Observation 3 shape: cost grows with s — x16 data costs at least
+    # x2.5 once the per-node Python constant is amortised — and ~linearly
+    # with trees
+    cs = out["obs3"]["cost_vs_s"]
+    assert cs[64000] >= cs[4000] * 2.5
+    sizes = sorted(cs)
+    assert all(cs[a] <= cs[b] * 1.15 for a, b in zip(sizes, sizes[1:]))
+    ct = out["obs3"]["cost_vs_trees"]
+    assert ct[80] >= ct[10] * 2.5
+    # CV costs several times holdout (paper: ~4.4x)
+    assert out["obs3"]["cv_over_holdout"] >= 2.0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    class _Noop:
+        def pedantic(self, fn, rounds=1, iterations=1):
+            return fn()
+
+    test_observations(_Noop())

@@ -1,0 +1,89 @@
+"""Table 4: selectivity estimation (paper §5.3).
+
+For each of the ten workloads: train a regression model mapping range
+queries to log-selectivity with a one-minute-analog budget, and report the
+95th-percentile q-error on held-out queries for FLAML, Auto-sklearn-like,
+TPOT-like, and the Manual configuration (XGBoost, 16 trees / 16 leaves)
+recommended by Dutt et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import FULL, SCALE, save_text
+from repro.baselines import AutoSklearnLike, FLAMLSystem, TPOTLike
+from repro.bench import SCALED_THRESHOLDS, fit_final_model
+from repro.data import (
+    MANUAL_CONFIG,
+    SELECTIVITY_DATASETS,
+    load_selectivity,
+    selectivity_to_dataset,
+)
+from repro.learners import XGBLikeRegressor
+from repro.metrics import get_metric, q_error_percentile
+
+BUDGET = 3.0 * SCALE
+N_ROWS = 8_000 if not FULL else 20_000
+N_QUERIES = 1_200 if not FULL else 2_000
+
+
+def _qerr(model, test_X, true_sel):
+    pred = np.exp(model.predict(test_X))
+    return q_error_percentile(true_sel, pred, 95.0)
+
+
+def run_table4():
+    metric = get_metric("mse")
+    systems = {
+        "FLAML": FLAMLSystem(init_sample_size=250, **SCALED_THRESHOLDS),
+        "Auto-sk.": AutoSklearnLike(**SCALED_THRESHOLDS),
+        "TPOT": TPOTLike(**SCALED_THRESHOLDS),
+    }
+    results: dict[str, dict[str, float]] = {}
+    for name in SELECTIVITY_DATASETS:
+        wl = load_selectivity(name, n_rows=N_ROWS, n_queries=N_QUERIES)
+        ds = selectivity_to_dataset(wl)
+        # 80/20 query train/test split
+        n_tr = int(0.8 * ds.n)
+        train, test = ds.head(n_tr), ds.subset(np.arange(n_tr, ds.n))
+        true_sel = np.exp(test.y)
+        row: dict[str, float] = {}
+        train_sh = train.shuffled(0)
+        for sys_name, system in systems.items():
+            res = system.search(train_sh, metric, time_budget=BUDGET, seed=0)
+            model = fit_final_model(train_sh, res, seed=0, time_limit=BUDGET)
+            row[sys_name] = (
+                _qerr(model, test.X, true_sel) if model is not None else float("inf")
+            )
+        manual = XGBLikeRegressor(**MANUAL_CONFIG, seed=0).fit(train.X, train.y)
+        row["Manual"] = _qerr(manual, test.X, true_sel)
+        results[name] = row
+    return results
+
+
+def test_table4_selectivity(benchmark):
+    from repro.bench import format_qerror_table
+
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_text("table4_selectivity.txt", format_qerror_table(results))
+    # Reproduction shape: FLAML beats the Manual configuration on a
+    # majority of workloads (the paper's headline for §5.3), and across
+    # the ten workloads its geometric-mean q-error is within a small
+    # factor of every AutoML baseline's (the paper's clean sweep needs
+    # the 1-minute/LightGBM-speed regime).
+    names = list(results)
+    flaml_vs_manual = sum(
+        results[n]["FLAML"] <= results[n]["Manual"] * 1.05 for n in names
+    )
+    assert flaml_vs_manual >= len(names) / 2, f"vs Manual: {flaml_vs_manual}/10"
+
+    def geo_mean(method):
+        vals = [results[n][method] for n in names]
+        return float(np.exp(np.mean(np.log(np.maximum(vals, 1.0)))))
+
+    g_flaml = geo_mean("FLAML")
+    for baseline in ("Auto-sk.", "TPOT", "Manual"):
+        assert g_flaml <= geo_mean(baseline) * 1.25, (
+            f"FLAML geo-mean {g_flaml:.2f} vs {baseline} {geo_mean(baseline):.2f}"
+        )

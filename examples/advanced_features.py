@@ -1,0 +1,61 @@
+"""Appendix features in one place: stacked ensemble, stop-at-error-target,
+warm starts, trial-log persistence, per-estimator best configs, and
+pickle-free model files.
+
+Run:  python examples/advanced_features.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import AutoML
+from repro.core.serialize import load_result
+from repro.data import make_classification
+from repro.metrics import roc_auc_score
+
+ds = make_classification(3000, 10, structure="nonlinear", seed=21)
+Xtr, ytr = ds.X[:2400], ds.y[:2400]
+Xte, yte = ds.X[2400:], ds.y[2400:]
+FIT = dict(task="binary", cv_instance_threshold=2500)
+
+# --- 1) plain search with a trial-log file -------------------------------
+log_path = tempfile.mktemp(suffix=".json")
+single = AutoML(seed=0, init_sample_size=400)
+single.fit(Xtr, ytr, time_budget=4, log_file=log_path, **FIT)
+auc_single = roc_auc_score(yte, single.predict_proba(Xte)[:, 1])
+print(f"single model      : {single.best_estimator:<10} test auc {auc_single:.4f}")
+print(f"per-estimator best: { {k: v.get('tree_num', v) for k, v in single.best_config_per_estimator.items()} }")
+
+log = load_result(log_path)
+print(f"trial log         : {log.n_trials} trials persisted to JSON")
+
+# --- 2) warm-start a second run from the winner --------------------------
+warm = AutoML(seed=1, init_sample_size=400)
+warm.fit(
+    Xtr, ytr, time_budget=2,
+    starting_points={single.best_estimator: single.best_config}, **FIT,
+)
+auc_warm = roc_auc_score(yte, warm.predict_proba(Xte)[:, 1])
+print(f"warm-started (2s) : {warm.best_estimator:<10} test auc {auc_warm:.4f}")
+
+# --- 3) stacked ensemble post-processing (appendix) ----------------------
+ens = AutoML(seed=0, init_sample_size=400)
+ens.fit(Xtr, ytr, time_budget=4, ensemble=True, **FIT)
+auc_ens = roc_auc_score(yte, ens.predict_proba(Xte)[:, 1])
+print(f"stacked ensemble  : {ens.model.n_members} members   test auc {auc_ens:.4f}")
+
+# --- 4) cheapest model below an error target (appendix) ------------------
+cheap = AutoML(seed=0, init_sample_size=400)
+cheap.fit(Xtr, ytr, time_budget=30, stop_at_error=0.15, **FIT)
+res = cheap.search_result
+print(f"stop-at-error     : reached {res.best_error:.4f} after "
+      f"{res.wall_time:.1f}s / {res.n_trials} trials (budget was 30s)")
+
+# --- 5) pickle-free model files -------------------------------------------
+model_path = tempfile.mktemp(suffix=".model.json")
+single.save_model(model_path)
+revived = AutoML.load_model(model_path)
+same = np.array_equal(single.predict(Xte), revived.predict(Xte))
+print(f"model file        : saved + reloaded via JSON, predictions "
+      f"identical: {same}")

@@ -1,0 +1,57 @@
+"""Meta-learning portfolio warm starts (the paper's §6 future-work item).
+
+Offline, FLAML runs on a small corpus of tasks and records the best
+configuration it found per learner, keyed by dataset meta-features.
+Online, a new dataset retrieves its nearest corpus neighbours and their
+configs become FLOW2 starting points — the search is warm-started but
+otherwise unchanged, so robustness on ad-hoc data is preserved.
+
+Run:  python examples/metalearning_warm_start.py
+"""
+
+from repro import AutoML
+from repro.core.metalearning import build_portfolio, meta_features
+from repro.data import load_dataset
+
+# ---------------------------------------------------------------- offline
+# Build a portfolio from three small suite tasks (in production this runs
+# once, on whatever corpus is available, and the JSON ships with the app).
+corpus_names = ["blood-transfusion", "phoneme", "kc1"]
+corpus = [(n, load_dataset(n).shuffled(0)) for n in corpus_names]
+portfolio = build_portfolio(corpus, time_budget=2.0, init_sample_size=500)
+portfolio.save("/tmp/repro_portfolio.json")
+
+print(f"portfolio built from {len(portfolio)} corpus tasks:")
+for e in portfolio.entries:
+    print(f"  {e.dataset:<18} best={e.best_learner:<10} "
+          f"error={e.best_error:.4f}  learners={sorted(e.best_configs)}")
+
+# ----------------------------------------------------------------- online
+# A new, unseen task: retrieve suggestions and warm-start the search.
+data = load_dataset("credit-g").shuffled(0)
+print(f"\nnew task: credit-g  meta-features={meta_features(data).round(2)}")
+
+neighbours = portfolio.nearest(data, k=2)
+print(f"nearest corpus tasks: {[e.dataset for e in neighbours]}")
+
+starting_points = portfolio.suggest(data, k=2)
+print(f"suggested starting points for: {sorted(starting_points)}")
+
+for label, points in [("cold start", None), ("warm start", starting_points)]:
+    automl = AutoML(init_sample_size=500)
+    automl.fit(
+        data.X, data.y,
+        task=data.task,
+        time_budget=4.0,
+        starting_points=points,
+        cv_instance_threshold=2500,
+    )
+    print(f"\n{label}: best={automl.best_estimator} "
+          f"error={automl.best_loss:.4f} "
+          f"trials={automl.search_result.n_trials}")
+    first_improvement = next(
+        (t for t in automl.search_result.trials if t.improved_global), None
+    )
+    if first_improvement is not None:
+        print(f"  first improvement at t={first_improvement.automl_time:.2f}s "
+              f"error={first_improvement.error:.4f}")

@@ -1,0 +1,49 @@
+"""Quickstart: the paper's §3 API listing, end to end.
+
+    from repro import AutoML
+    automl = AutoML()
+    automl.fit(X_train, y_train, task='classification')
+    prediction = automl.predict(X_test)
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AutoML
+from repro.data import make_classification
+from repro.metrics import roc_auc_score
+
+# an "ad-hoc featurized dataset": mixed numeric/categorical with missing
+# values, nonlinear decision surface
+ds = make_classification(
+    4000, 12, structure="nonlinear", cat_frac=0.25, missing_frac=0.02, seed=7
+)
+X_train, y_train = ds.X[:3200], ds.y[:3200]
+X_test, y_test = ds.X[3200:], ds.y[3200:]
+
+automl = AutoML(init_sample_size=500)
+automl.fit(
+    X_train,
+    y_train,
+    task="classification",
+    time_budget=10,  # seconds — FLAML is built for small budgets
+    cv_instance_threshold=2500,  # scaled thresholds (see DESIGN.md §2)
+)
+prediction = automl.predict(X_test)
+
+print(f"best learner     : {automl.best_estimator}")
+print(f"best config      : {automl.best_config}")
+print(f"validation error : {automl.best_loss:.4f}")
+print(f"trials run       : {automl.search_result.n_trials}")
+print(f"test accuracy    : {(prediction == y_test).mean():.4f}")
+print(f"test roc-auc     : {roc_auc_score(y_test, automl.predict_proba(X_test)[:, 1]):.4f}")
+
+# anytime behaviour: the error of the best model found so far, over time
+print("\nbest-so-far validation error:")
+best = np.inf
+for t in automl.search_result.trials:
+    if t.error < best:
+        best = t.error
+        print(f"  t={t.automl_time:6.2f}s  error={best:.4f}  "
+              f"({t.learner}, sample={t.sample_size})")

@@ -1,0 +1,17 @@
+"""Setup shim: the environment has no `wheel` package, so editable installs
+must go through the legacy ``setup.py develop`` path. Metadata lives here;
+tool config stays in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of FLAML: A Fast and Lightweight AutoML Library (MLSys 2021)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy"],
+)

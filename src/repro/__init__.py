@@ -1,0 +1,20 @@
+"""repro — reproduction of FLAML: A Fast and Lightweight AutoML Library
+(Wang, Wu, Weimer, Zhu; MLSys 2021).
+
+Public entry point::
+
+    from repro import AutoML
+    automl = AutoML()
+    automl.fit(X_train, y_train, task="classification", time_budget=60)
+    prediction = automl.predict(X_test)
+
+Subpackages: ``core`` (the AutoML layer), ``learners`` (the ML layer),
+``metrics``, ``data`` (benchmark suite + selectivity substrate),
+``baselines`` (comparator AutoML systems), ``bench`` (experiment harness).
+"""
+
+from .core.automl import AutoML
+from .core.space import SearchSpace
+
+__version__ = "0.1.0"
+__all__ = ["AutoML", "SearchSpace", "__version__"]

@@ -1,0 +1,133 @@
+"""Shared machinery for the comparator AutoML systems.
+
+Every baseline implements :meth:`AutoMLSystem.search`, producing the same
+:class:`~repro.core.controller.SearchResult` (with per-trial
+:class:`TrialRecord` rows) that FLAML's controller produces, so the
+benchmark harness can slice best-so-far curves out of any system
+uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.controller import SearchResult, TrialRecord
+from ..core.evaluate import evaluate_config
+from ..core.registry import DEFAULT_LEARNERS, LearnerSpec, all_learners
+from ..data.dataset import Dataset
+from ..metrics.registry import Metric
+
+__all__ = ["AutoMLSystem", "BudgetedRunner"]
+
+
+class AutoMLSystem:
+    """Base class: a named system that searches within a time budget."""
+
+    name = "base"
+
+    def search(self, data: Dataset, metric: Metric, time_budget: float,
+               seed: int = 0) -> SearchResult:
+        """Run the system's search within the budget; returns a SearchResult."""
+        raise NotImplementedError
+
+    def _learners(self, task: str, estimator_list=None) -> dict[str, LearnerSpec]:
+        names = estimator_list or [
+            n for n, s in DEFAULT_LEARNERS.items() if s.supports(task)
+        ]
+        available = all_learners()
+        return {n: available[n] for n in names}
+
+
+class BudgetedRunner:
+    """Records trials against a wall-clock budget (shared by baselines)."""
+
+    def __init__(
+        self,
+        data: Dataset,
+        learners: dict[str, LearnerSpec],
+        metric: Metric,
+        time_budget: float,
+        resampling: str,
+        seed: int = 0,
+        n_splits: int = 5,
+        holdout_ratio: float = 0.1,
+        max_trials: int | None = None,
+    ) -> None:
+        self.data = data
+        self.learners = learners
+        self.metric = metric
+        self.time_budget = float(time_budget)
+        self.resampling = resampling
+        self.seed = seed
+        self.n_splits = n_splits
+        self.holdout_ratio = holdout_ratio
+        self.max_trials = max_trials
+        self._labels = np.unique(data.y) if data.is_classification else None
+        self._start = time.perf_counter()
+        self.trials: list[TrialRecord] = []
+        self.best_error = np.inf
+        self.best = (None, None, data.n)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the runner started."""
+        return time.perf_counter() - self._start
+
+    @property
+    def out_of_budget(self) -> bool:
+        """True once the time budget or trial cap is exhausted."""
+        if self.max_trials is not None and len(self.trials) >= self.max_trials:
+            return True
+        return self.elapsed >= self.time_budget
+
+    def run_trial(self, learner: str, config: dict,
+                  sample_size: int | None = None) -> float:
+        """Evaluate one configuration, append a TrialRecord, return error."""
+        s = sample_size or self.data.n
+        remaining = max(self.time_budget - self.elapsed, 0.01)
+        outcome = evaluate_config(
+            self.data,
+            self.learners[learner].estimator_cls(self.data.task),
+            config,
+            sample_size=s,
+            resampling=self.resampling,
+            metric=self.metric,
+            n_splits=self.n_splits,
+            holdout_ratio=self.holdout_ratio,
+            seed=self.seed,
+            train_time_limit=remaining,
+            labels=self._labels,
+        )
+        improved = outcome.error < self.best_error
+        if improved:
+            self.best_error = outcome.error
+            self.best = (learner, dict(config), s)
+        self.trials.append(
+            TrialRecord(
+                iteration=len(self.trials) + 1,
+                automl_time=self.elapsed,
+                learner=learner,
+                config=dict(config),
+                sample_size=s,
+                resampling=self.resampling,
+                error=outcome.error,
+                cost=outcome.cost,
+                kind="search",
+                improved_global=improved,
+            )
+        )
+        return outcome.error
+
+    def result(self) -> SearchResult:
+        """Package the trials recorded so far into a SearchResult."""
+        return SearchResult(
+            best_learner=self.best[0],
+            best_config=self.best[1],
+            best_sample_size=self.best[2],
+            best_error=float(self.best_error),
+            resampling=self.resampling,
+            trials=self.trials,
+            wall_time=self.elapsed,
+        )

@@ -1,0 +1,76 @@
+"""Tree-structured Parzen Estimator (TPE) over FLAML-style search spaces.
+
+The Bayesian-optimisation core shared by the BOHB, auto-sklearn-like and
+cloud-like baselines.  Observations are split into a "good" quantile and
+the rest; candidates are drawn from a diagonal-Gaussian KDE fitted to the
+good set (in the unit cube) and ranked by the density ratio l(x)/g(x) —
+the standard TPE acquisition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.space import SearchSpace
+
+__all__ = ["TPESampler"]
+
+
+class TPESampler:
+    """TPE proposals for a single :class:`SearchSpace`."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        gamma: float = 0.25,
+        n_candidates: int = 24,
+        min_points: int = 8,
+        bandwidth_floor: float = 0.08,
+    ) -> None:
+        self.space = space
+        self.rng = rng
+        self.gamma = float(gamma)
+        self.n_candidates = int(n_candidates)
+        self.min_points = int(min_points)
+        self.bandwidth_floor = float(bandwidth_floor)
+        self._X: list[np.ndarray] = []  # unit-cube points
+        self._y: list[float] = []
+
+    def observe(self, config: dict, error: float) -> None:
+        """Record a finished (config, error) observation; inf errors are dropped."""
+        if np.isfinite(error):
+            self._X.append(self.space.to_unit(config))
+            self._y.append(float(error))
+
+    # ------------------------------------------------------------------
+    def _kde_logpdf(self, X: np.ndarray, pts: np.ndarray) -> np.ndarray:
+        """Mixture-of-gaussians log density of rows of X under centers pts."""
+        bw = max(self.bandwidth_floor, pts.shape[0] ** (-1.0 / (pts.shape[1] + 4)))
+        # (n_x, n_pts, d) squared distances
+        d2 = ((X[:, None, :] - pts[None, :, :]) / bw) ** 2
+        log_kernel = -0.5 * d2.sum(axis=2) - pts.shape[1] * np.log(bw)
+        m = log_kernel.max(axis=1)
+        return m + np.log(np.exp(log_kernel - m[:, None]).mean(axis=1))
+
+    def propose(self) -> dict:
+        """Next configuration: random until enough data, then TPE."""
+        if len(self._y) < self.min_points:
+            return self.space.sample(self.rng)
+        y = np.asarray(self._y)
+        X = np.stack(self._X)
+        n_good = max(2, int(np.ceil(self.gamma * len(y))))
+        order = np.argsort(y, kind="mergesort")
+        good, bad = X[order[:n_good]], X[order[n_good:]]
+        if bad.shape[0] < 2:
+            return self.space.sample(self.rng)
+        # sample candidates from the good KDE (perturbed good points)
+        centers = good[self.rng.integers(0, good.shape[0], self.n_candidates)]
+        bw = max(
+            self.bandwidth_floor, good.shape[0] ** (-1.0 / (good.shape[1] + 4))
+        )
+        cands = np.clip(
+            centers + self.rng.standard_normal(centers.shape) * bw, 0.0, 1.0
+        )
+        score = self._kde_logpdf(cands, good) - self._kde_logpdf(cands, bad)
+        return self.space.from_unit(cands[int(np.argmax(score))])

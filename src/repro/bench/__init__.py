@@ -1,0 +1,62 @@
+"""Benchmark harness: trajectory analysis, scaled scoring, suite runner,
+and text renderers for every table/figure in the paper's evaluation."""
+
+from .harness import (
+    SCALED_THRESHOLDS,
+    ComparisonHarness,
+    RunRecord,
+    default_systems,
+    fit_final_model,
+    score_table,
+)
+from .reporting import (
+    format_ablation_curves,
+    format_boxplot_summary,
+    format_budget_table,
+    format_qerror_table,
+    format_radar_table,
+    format_trial_table,
+    summarize_score_differences,
+)
+from .scaled_score import (
+    constant_predictor_score,
+    raw_score,
+    rf_reference_score,
+    scale_score,
+)
+from .trajectory import (
+    TrajectoryPoint,
+    anytime_average_error,
+    best_so_far,
+    error_at_time,
+    per_learner_best,
+    regret_series,
+    time_to_error,
+)
+
+__all__ = [
+    "ComparisonHarness",
+    "RunRecord",
+    "SCALED_THRESHOLDS",
+    "TrajectoryPoint",
+    "anytime_average_error",
+    "best_so_far",
+    "constant_predictor_score",
+    "default_systems",
+    "error_at_time",
+    "fit_final_model",
+    "format_ablation_curves",
+    "format_boxplot_summary",
+    "format_budget_table",
+    "format_qerror_table",
+    "format_radar_table",
+    "format_trial_table",
+    "per_learner_best",
+    "raw_score",
+    "regret_series",
+    "rf_reference_score",
+    "scale_score",
+    "score_table",
+    "summarize_score_differences",
+    "time_to_error",
+]

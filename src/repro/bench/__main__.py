@@ -1,0 +1,10 @@
+"""``python -m repro.bench`` — see :mod:`repro.bench.cli`.
+
+The guard matters: tools that walk/import every module in the package
+(doc generators, coverage) must not trigger a benchmark run.
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

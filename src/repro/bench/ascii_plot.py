@@ -1,0 +1,117 @@
+"""ASCII scatter/line plots for terminal-rendered figures.
+
+The paper's figures are log-log scatter/line plots; this module renders
+the same series as fixed-size character grids so the bench targets can
+show an actual *picture* in a terminal and in the saved result files,
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_multi_series"]
+
+
+def _log_grid(values: np.ndarray, n_cells: int, log: bool) -> np.ndarray:
+    v = np.asarray(values, dtype=np.float64)
+    if log:
+        v = np.log10(np.maximum(v, 1e-12))
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return np.zeros(v.size, dtype=np.int64)
+    cells = ((v - lo) / (hi - lo) * (n_cells - 1)).astype(np.int64)
+    return np.clip(cells, 0, n_cells - 1)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    marker: str = "o",
+    width: int = 60,
+    height: int = 16,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    grid: list[list[str]] | None = None,
+) -> str:
+    """Render one (x, y) series as an ASCII scatter plot.
+
+    Pass the returned grid of a previous call via ``grid`` to overlay
+    multiple series (use distinct markers).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0:
+        return f"{title}\n(no data)"
+    cx = _log_grid(x, width, logx)
+    cy = _log_grid(y, height, logy)
+    cells = grid if grid is not None else [[" "] * width for _ in range(height)]
+    for i, j in zip(cx, cy):
+        cells[height - 1 - j][i] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for row in cells:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lo, hi = float(x.min()), float(x.max())
+    lines.append(f" {xlabel}: [{lo:.3g} .. {hi:.3g}]"
+                 + (" (log)" if logx else ""))
+    if ylabel:
+        lo, hi = float(y.min()), float(y.max())
+        lines.append(f" {ylabel}: [{lo:.3g} .. {hi:.3g}]"
+                     + (" (log)" if logy else ""))
+    return "\n".join(lines)
+
+
+def ascii_multi_series(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Overlay several named (x, y) series with automatic markers.
+
+    All series share one set of axes (joint min/max).
+    """
+    markers = "o*x+#@%&"
+    names = list(series)
+    if not names:
+        return f"{title}\n(no data)"
+    all_x = np.concatenate([np.asarray(series[n][0], dtype=np.float64)
+                            for n in names if len(series[n][0])])
+    all_y = np.concatenate([np.asarray(series[n][1], dtype=np.float64)
+                            for n in names if len(series[n][1])])
+    if all_x.size == 0:
+        return f"{title}\n(no data)"
+    cx_all = _log_grid(all_x, width, logx)
+    cy_all = _log_grid(all_y, height, logy)
+    cells = [[" "] * width for _ in range(height)]
+    pos = 0
+    legend = []
+    for k, name in enumerate(names):
+        n_pts = len(series[name][0])
+        m = markers[k % len(markers)]
+        legend.append(f"{m}={name}")
+        for i, j in zip(cx_all[pos : pos + n_pts], cy_all[pos : pos + n_pts]):
+            cells[height - 1 - j][i] = m
+        pos += n_pts
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("legend: " + "  ".join(legend))
+    for row in cells:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" {xlabel}: [{all_x.min():.3g} .. {all_x.max():.3g}]"
+                 + (" (log)" if logx else ""))
+    lines.append(f" {ylabel}: [{all_y.min():.3g} .. {all_y.max():.3g}]"
+                 + (" (log)" if logy else ""))
+    return "\n".join(lines)

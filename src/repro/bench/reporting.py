@@ -1,0 +1,194 @@
+"""Text renderers for the paper's tables and figures.
+
+Every experiment's bench target ends by printing one of these: the same
+rows/series the paper reports, as plain text (this reproduction has no
+plotting dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.controller import SearchResult, TrialRecord
+from .harness import RunRecord, score_table
+
+__all__ = [
+    "format_trial_table",
+    "format_radar_table",
+    "format_boxplot_summary",
+    "format_budget_table",
+    "format_qerror_table",
+    "format_ablation_curves",
+    "summarize_score_differences",
+]
+
+
+def _fmt_config(config: dict, max_items: int = 4) -> str:
+    items = []
+    for k, v in list(config.items())[:max_items]:
+        if isinstance(v, float):
+            items.append(f"{k}: {v:.3g}")
+        else:
+            items.append(f"{k}: {v}")
+    return ", ".join(items) + ("..." if len(config) > max_items else "")
+
+
+def format_trial_table(result: SearchResult, system: str, max_rows: int = 30) -> str:
+    """Table 3: per-trial listing (iter, time, learner, config, error, cost)."""
+    lines = [
+        f"--- {system} trial log ---",
+        f"{'Iter':>4} {'Time(s)':>8} {'Learner':<11} {'Sample':>6} "
+        f"{'Error':>8} {'Cost(s)':>8}  Config",
+    ]
+    for t in result.trials[:max_rows]:
+        err = f"{t.error:.4f}" if np.isfinite(t.error) else "fail"
+        lines.append(
+            f"{t.iteration:>4} {t.automl_time:>8.2f} {t.learner:<11} "
+            f"{t.sample_size:>6} {err:>8} {t.cost:>8.3f}  {_fmt_config(t.config)}"
+        )
+    if len(result.trials) > max_rows:
+        lines.append(f"... ({len(result.trials) - max_rows} more trials)")
+    return "\n".join(lines)
+
+
+def format_radar_table(records: list[RunRecord], task: str | None = None) -> str:
+    """Figure 5 as a table: scaled scores per dataset x system per budget."""
+    table = score_table([r for r in records if task is None or r.task == task])
+    lines = []
+    for budget in sorted(table):
+        datasets = table[budget]
+        systems = sorted({s for d in datasets.values() for s in d})
+        header = f"{'dataset':<22}" + "".join(f"{s:>14}" for s in systems)
+        lines.append(f"=== budget {budget:g}s"
+                     + (f" ({task})" if task else "") + " ===")
+        lines.append(header)
+        for dname in datasets:
+            row = f"{dname[:21]:<22}"
+            best = max(datasets[dname].values())
+            for s in systems:
+                v = datasets[dname].get(s, float("nan"))
+                mark = "*" if v == best else " "
+                row += f"{v:>13.3f}{mark}"
+            lines.append(row)
+        lines.append("(* = best on the dataset; constant predictor=0, tuned RF=1)")
+    return "\n".join(lines)
+
+
+def summarize_score_differences(
+    records: list[RunRecord],
+    reference: str = "FLAML",
+    ref_budget: float | None = None,
+    other_budget: float | None = None,
+) -> dict[str, dict[str, float]]:
+    """Figure 6's box-plot statistics: distribution of
+    (reference score - system score) per system, optionally comparing the
+    reference at a *smaller* budget to the others at a larger one."""
+    table = score_table(records)
+    budgets = sorted(table)
+    rb = ref_budget if ref_budget is not None else budgets[0]
+    ob = other_budget if other_budget is not None else rb
+    out: dict[str, dict[str, float]] = {}
+    systems = sorted({r.system for r in records if r.system != reference})
+    for s in systems:
+        diffs = []
+        for dname, scores in table[rb].items():
+            if reference in scores and s in table.get(ob, {}).get(dname, {}):
+                diffs.append(scores[reference] - table[ob][dname][s])
+        if not diffs:
+            continue
+        arr = np.asarray(diffs)
+        out[s] = {
+            "median": float(np.median(arr)),
+            "q1": float(np.percentile(arr, 25)),
+            "q3": float(np.percentile(arr, 75)),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "frac_positive": float((arr > -1e-12).mean()),
+            "n": int(arr.size),
+        }
+    return out
+
+
+def format_boxplot_summary(stats: dict[str, dict[str, float]], title: str) -> str:
+    """Render Figure-6-style summary statistics as text."""
+    lines = [f"=== {title} (positive = FLAML better) ==="]
+    lines.append(
+        f"{'system':<14}{'median':>9}{'q1':>9}{'q3':>9}{'min':>9}{'max':>9}"
+        f"{'%>=0':>8}{'n':>5}"
+    )
+    for s, st in stats.items():
+        lines.append(
+            f"{s:<14}{st['median']:>9.3f}{st['q1']:>9.3f}{st['q3']:>9.3f}"
+            f"{st['min']:>9.3f}{st['max']:>9.3f}{100 * st['frac_positive']:>7.0f}%"
+            f"{st['n']:>5}"
+        )
+    return "\n".join(lines)
+
+
+def format_budget_table(
+    records: list[RunRecord], pairs: list[tuple[float, float]],
+    reference: str = "FLAML", tolerance: float = 0.001,
+) -> str:
+    """Table 9: % of tasks where the reference with a smaller budget is
+    better than or equal to each baseline with a larger budget."""
+    table = score_table(records)
+    systems = sorted({r.system for r in records if r.system != reference})
+    lines = ["=== Table 9: % tasks FLAML better-or-equal with smaller budget ==="]
+    header = f"{'FLAML vs baseline':<22}" + "".join(
+        f"{f'{a:g}s vs {b:g}s':>14}" for a, b in pairs
+    )
+    lines.append(header)
+    for s in systems:
+        row = f"{reference} vs {s:<11}"
+        for small, large in pairs:
+            wins = total = 0
+            for dname, scores in table.get(small, {}).items():
+                other = table.get(large, {}).get(dname, {})
+                if reference in scores and s in other:
+                    total += 1
+                    if scores[reference] >= other[s] - tolerance:
+                        wins += 1
+            row += f"{100 * wins / max(total, 1):>13.0f}%"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_qerror_table(results: dict[str, dict[str, float]]) -> str:
+    """Table 4: 95th-percentile q-error per selectivity dataset x method."""
+    methods = sorted({m for row in results.values() for m in row})
+    # present FLAML first, Manual last, like the paper
+    order = [m for m in ("FLAML", "Auto-sk.", "TPOT") if m in methods]
+    order += [m for m in methods if m not in order and m != "Manual"]
+    if "Manual" in methods:
+        order.append("Manual")
+    lines = ["=== Table 4: 95th-percentile q-error (lower is better) ==="]
+    lines.append(f"{'Dataset':<12}" + "".join(f"{m:>10}" for m in order))
+    for dname, row in results.items():
+        line = f"{dname:<12}"
+        for m in order:
+            v = row.get(m)
+            line += f"{v:>10.2f}" if v is not None else f"{'N/A':>10}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_ablation_curves(
+    curves: dict[str, list[tuple[float, float]]], dataset: str, metric_name: str
+) -> str:
+    """Figure 7 as text: best-so-far error at a grid of time points."""
+    grid = sorted({t for curve in curves.values() for t, _ in curve})
+    if not grid:
+        return f"(no trials for {dataset})"
+    points = np.geomspace(max(grid[0], 1e-3), grid[-1], num=8)
+    lines = [f"=== {dataset}: {metric_name} best-so-far vs wall clock ==="]
+    lines.append(f"{'time(s)':>9}" + "".join(f"{n:>12}" for n in curves))
+    for p in points:
+        row = f"{p:>9.2f}"
+        for name, curve in curves.items():
+            best = np.inf
+            for t, e in curve:
+                if t <= p:
+                    best = min(best, e)
+            row += f"{best:>12.4f}" if np.isfinite(best) else f"{'-':>12}"
+        lines.append(row)
+    return "\n".join(lines)

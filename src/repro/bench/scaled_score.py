@@ -1,0 +1,68 @@
+"""The AutoML benchmark's scaled scores (Gijsbers et al. 2019), §5.
+
+Raw test scores per task type: roc-auc (binary), negative log-loss
+(multiclass), r2 (regression).  Scores are calibrated so a constant
+class-prior predictor scores 0 and a tuned random forest scores 1; "a
+score above 1 is not easy".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..learners import tuned_random_forest
+from ..metrics import log_loss, r2_score, roc_auc_score
+
+__all__ = ["raw_score", "constant_predictor_score", "rf_reference_score", "scale_score"]
+
+
+def raw_score(train: Dataset, test: Dataset, model) -> float:
+    """Benchmark raw score of a fitted model on the test fold."""
+    if train.task == "binary":
+        proba = model.predict_proba(test.X)
+        classes = getattr(model, "classes_", np.unique(train.y))
+        pos_col = int(np.argmax(classes)) if len(classes) == 2 else 1
+        return float(roc_auc_score(test.y, proba[:, pos_col]))
+    if train.task == "multiclass":
+        proba = model.predict_proba(test.X)
+        labels = getattr(model, "classes_", np.unique(train.y))
+        return float(-log_loss(test.y, proba, labels=labels))
+    return float(r2_score(test.y, model.predict(test.X)))
+
+
+def constant_predictor_score(train: Dataset, test: Dataset) -> float:
+    """Score of the constant class-prior / mean predictor (benchmark 0)."""
+    if train.task == "binary":
+        return 0.5  # any constant score ranks all pairs equally
+    if train.task == "multiclass":
+        classes, counts = np.unique(train.y, return_counts=True)
+        prior = counts / counts.sum()
+        proba = np.tile(prior, (test.n, 1))
+        return float(-log_loss(test.y, proba, labels=classes))
+    # r2 of the train-mean predictor
+    return float(r2_score(test.y, np.full(test.n, float(np.mean(train.y)))))
+
+
+def rf_reference_score(
+    train: Dataset, test: Dataset, seed: int = 0, tree_num: int = 150,
+    train_time_limit: float | None = 20.0,
+) -> float:
+    """Score of the tuned random forest (benchmark 1).
+
+    The benchmark's reference forest is expensive ("taking a long time to
+    finish"); ours gets a generous but bounded time limit.
+    """
+    model = tuned_random_forest(
+        train.task, seed=seed, tree_num=tree_num, train_time_limit=train_time_limit
+    )
+    model.fit(train.X, train.y)
+    return raw_score(train, test, model)
+
+
+def scale_score(score: float, const_score: float, rf_score: float) -> float:
+    """Calibrate: constant predictor -> 0, tuned random forest -> 1."""
+    denom = rf_score - const_score
+    if abs(denom) < 1e-12:
+        return 0.0 if score <= const_score else 1.0
+    return float((score - const_score) / denom)

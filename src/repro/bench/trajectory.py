@@ -1,0 +1,134 @@
+"""Trajectory analysis: best-so-far curves and regret from trial logs.
+
+Figures 1, 4 and 7 are all views over the per-trial records produced by
+the systems' SearchResults; this module computes those views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.controller import TrialRecord
+
+__all__ = [
+    "anytime_average_error",
+    "best_so_far",
+    "error_at_time",
+    "regret_series",
+    "per_learner_best",
+    "time_to_error",
+    "TrajectoryPoint",
+]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One trial projected into Figure-1 coordinates."""
+
+    automl_time: float
+    cost: float
+    error: float
+    learner: str
+    sample_size: int
+
+
+def _finite(trials: list[TrialRecord]) -> list[TrialRecord]:
+    return [t for t in trials if np.isfinite(t.error)]
+
+
+def best_so_far(trials: list[TrialRecord]) -> list[tuple[float, float]]:
+    """(automl_time, best_error_so_far) steps, one per trial."""
+    out = []
+    best = np.inf
+    for t in trials:
+        if np.isfinite(t.error):
+            best = min(best, t.error)
+        out.append((t.automl_time, best))
+    return out
+
+
+def error_at_time(trials: list[TrialRecord], when: float) -> float:
+    """Best error among trials that finished by ``when`` (inf if none)."""
+    best = np.inf
+    for t in trials:
+        if t.automl_time <= when and np.isfinite(t.error):
+            best = min(best, t.error)
+    return best
+
+
+def regret_series(
+    trials: list[TrialRecord], best_error: float | None = None
+) -> list[TrajectoryPoint]:
+    """Per-trial points with error replaced by regret = error - best.
+
+    ``best_error`` defaults to the lowest error in the log (the paper's
+    "model auc regret = best auc - model auc" with the run's own best as
+    reference).
+    """
+    ts = _finite(trials)
+    if not ts:
+        return []
+    ref = min(t.error for t in ts) if best_error is None else best_error
+    return [
+        TrajectoryPoint(
+            automl_time=t.automl_time,
+            cost=t.cost,
+            error=max(t.error - ref, 0.0),
+            learner=t.learner,
+            sample_size=t.sample_size,
+        )
+        for t in ts
+    ]
+
+
+def time_to_error(trials: list[TrialRecord], target: float) -> float:
+    """Earliest automl_time at which best-so-far error reached ``target``
+    (inf if it never did).
+
+    The anytime summary the paper's budget-crossover comparisons imply:
+    "how long does system A need to match what system B had at time t".
+    """
+    best = np.inf
+    for t in trials:
+        if np.isfinite(t.error):
+            best = min(best, t.error)
+            if best <= target:
+                return float(t.automl_time)
+    return float("inf")
+
+
+def anytime_average_error(trials: list[TrialRecord], horizon: float) -> float:
+    """Time-average of the best-so-far error over [0, horizon].
+
+    A single scalar for "how good was the system *throughout* the run",
+    rather than only at the end — the integral of the step function in
+    :func:`best_so_far`, with the pre-first-model stretch charged at the
+    first model's error (a system that produces nothing for half the
+    budget is penalised accordingly).  Lower is better.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    steps = [(t, e) for t, e in best_so_far(trials)
+             if np.isfinite(e) and t <= horizon]
+    if not steps:
+        return float("inf")
+    area = steps[0][1] * steps[0][0]  # charge the wait for the first model
+    for (t0, e0), (t1, _) in zip(steps, steps[1:]):
+        area += e0 * (t1 - t0)
+    area += steps[-1][1] * (horizon - steps[-1][0])
+    return float(area / horizon)
+
+
+def per_learner_best(trials: list[TrialRecord]) -> dict[str, list[tuple[float, float]]]:
+    """Figure 4's top panel: per-learner (time, best-error-so-far) curves."""
+    out: dict[str, list[tuple[float, float]]] = {}
+    best: dict[str, float] = {}
+    for t in trials:
+        if not np.isfinite(t.error):
+            continue
+        b = min(best.get(t.learner, np.inf), t.error)
+        best[t.learner] = b
+        out.setdefault(t.learner, []).append((t.automl_time, b))
+    return out

@@ -1,0 +1,261 @@
+"""Top-level command-line interface: fit / predict / datasets / portfolio.
+
+The library's whole point is "AutoML as a cheap subroutine"; this CLI is
+the no-code form of that loop::
+
+    python -m repro fit train.csv --label y --budget 30 --out model.json
+    python -m repro predict model.json test.csv --out preds.csv
+    python -m repro datasets --task binary
+    python -m repro portfolio build corpus1.csv corpus2.csv --out pf.json
+
+``fit`` writes a self-contained JSON model file (winning learner name,
+its config, the task and the label encoding) plus the trial log, and
+``predict`` re-trains that configuration on the stored training data
+reference — models here are configuration + data recipes, mirroring how
+FLAML deployments retrain the chosen config on refreshed data (§1's
+selectivity-estimation loop).  For byte-identical model reuse, use
+``--pickle`` to serialise the fitted estimator object instead.
+
+(Benchmark sweeps live under ``python -m repro.bench``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+
+import numpy as np
+
+from .core.automl import AutoML
+from .data.io import from_csv
+from .data.suite import SUITE, suite_names
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Fast and lightweight AutoML (FLAML reproduction).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    fit = sub.add_parser("fit", help="search for a model on a CSV dataset")
+    fit.add_argument("train_csv", help="headered CSV with features + label")
+    fit.add_argument("--label", default="-1",
+                     help="label column name or index (default: last)")
+    fit.add_argument("--task", default=None,
+                     choices=["classification", "binary", "multiclass",
+                              "regression"],
+                     help="default: inferred from the label column")
+    fit.add_argument("--budget", type=float, default=60.0,
+                     help="time budget in seconds (default 60)")
+    fit.add_argument("--metric", default="auto",
+                     help="metric name (default: auto per task)")
+    fit.add_argument("--estimators", nargs="*", default=None,
+                     help="estimator subset, e.g. lgbm xgboost")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--max-iters", type=int, default=None)
+    fit.add_argument("--out", default="model.json",
+                     help="model file to write (default model.json)")
+    fit.add_argument("--pickle", action="store_true",
+                     help="also write <out>.pkl with the fitted estimator")
+    fit.add_argument("--save-model", action="store_true",
+                     help="also write <out>.model.json (pickle-free "
+                          "estimator dump, preferred over --pickle)")
+    fit.add_argument("--log", default=None,
+                     help="optional trial-log JSON path")
+
+    pred = sub.add_parser("predict", help="predict with a fitted model file")
+    pred.add_argument("model", help="model.json written by `fit`")
+    pred.add_argument("test_csv", help="CSV with the same feature columns")
+    pred.add_argument("--out", default=None,
+                      help="write predictions to this CSV (default: stdout)")
+    pred.add_argument("--proba", action="store_true",
+                      help="class probabilities instead of labels")
+
+    ds = sub.add_parser("datasets", help="list the benchmark suite")
+    ds.add_argument("--task", default=None,
+                    choices=["binary", "multiclass", "regression"])
+    ds.add_argument("--describe", default=None, metavar="NAME",
+                    help="load one suite dataset and print its statistics")
+
+    pf = sub.add_parser("portfolio", help="meta-learning portfolio tools")
+    pf_sub = pf.add_subparsers(dest="pf_command", required=True)
+    pf_build = pf_sub.add_parser("build", help="build a portfolio from CSVs")
+    pf_build.add_argument("corpus_csvs", nargs="+")
+    pf_build.add_argument("--label", default="-1")
+    pf_build.add_argument("--budget", type=float, default=5.0,
+                          help="per-corpus-task budget (default 5s)")
+    pf_build.add_argument("--out", default="portfolio.json")
+    return p
+
+
+def _label_arg(raw: str) -> str | int:
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _cmd_fit(args) -> int:
+    data = from_csv(args.train_csv, label=_label_arg(args.label),
+                    task=args.task)
+    automl = AutoML(seed=args.seed)
+    automl.fit(
+        data.X, data.y,
+        task=data.task,
+        time_budget=args.budget,
+        metric=args.metric,
+        estimator_list=args.estimators,
+        max_iters=args.max_iters,
+        log_file=args.log,
+    )
+    model = {
+        "task": data.task,
+        "label": args.label,
+        "n_features": data.d,
+        "learner": automl.best_estimator,
+        "config": automl.best_config,
+        "best_error": automl.best_loss,
+        "metric": args.metric,
+        "seed": args.seed,
+        "train_csv": args.train_csv,
+        "n_trials": automl.search_result.n_trials,
+    }
+    with open(args.out, "w") as f:
+        json.dump(model, f, indent=1, default=float)
+    if args.pickle:
+        with open(args.out + ".pkl", "wb") as f:
+            pickle.dump(automl.model, f)
+    if args.save_model:
+        automl.save_model(args.out + ".model.json")
+    print(f"best learner : {automl.best_estimator}")
+    print(f"best error   : {automl.best_loss:.4f}")
+    print(f"trials       : {automl.search_result.n_trials}")
+    print(f"model        : {args.out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    with open(args.model) as f:
+        model = json.load(f)
+    try:
+        # preference order: pickle-free model dump, then pickle, then retrain
+        from .learners.model_io import load_model_file
+
+        estimator = load_model_file(args.model + ".model.json")
+    except FileNotFoundError:
+        estimator = None
+    if estimator is None:
+        try:
+            with open(args.model + ".pkl", "rb") as f:
+                estimator = pickle.load(f)
+        except FileNotFoundError:
+            estimator = None
+    if estimator is None:
+        # retrain the stored configuration on the stored training data
+        train = from_csv(model["train_csv"], label=_label_arg(model["label"]),
+                         task=model["task"])
+        automl = AutoML(seed=model["seed"])
+        automl.fit(train.X, train.y, task=model["task"],
+                   time_budget=1e9, max_iters=1,
+                   estimator_list=[model["learner"]],
+                   starting_points={model["learner"]: model["config"]})
+        estimator = automl.model
+    if _has_label(args.test_csv, model):
+        X = from_csv(args.test_csv, label=_label_arg(model["label"]),
+                     task=model["task"]).X
+    else:
+        # label column absent: all columns are features
+        import csv as _csv
+
+        with open(args.test_csv, newline="") as f:
+            rows = list(_csv.reader(f))
+        X = np.array([[float(c or "nan") for c in r] for r in rows[1:]])
+    out = (estimator.predict_proba(X) if args.proba else
+           estimator.predict(X))
+    lines = [",".join(map(str, np.atleast_1d(row))) for row in out]
+    text = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {len(lines)} predictions to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _has_label(path: str, model: dict) -> bool:
+    """Whether the prediction CSV still carries the training label column.
+
+    Named labels are matched against the header; positional labels are
+    resolved by width (train had n_features + 1 columns; a feature-only
+    file has exactly n_features).
+    """
+    with open(path) as f:
+        header = f.readline().strip().split(",")
+    label = _label_arg(model["label"])
+    if isinstance(label, str):
+        return label in header
+    n_features = model.get("n_features")
+    if n_features is None:  # legacy model file: assume the label is there
+        return True
+    return len(header) > n_features
+
+
+def _cmd_datasets(args) -> int:
+    if args.describe is not None:
+        if args.describe not in SUITE:
+            raise ValueError(
+                f"unknown dataset {args.describe!r}; see `datasets` for names"
+            )
+        for k, v in SUITE[args.describe].load().describe().items():
+            print(f"{k:<15} {v}")
+        return 0
+    for name in suite_names(args.task):
+        s = SUITE[name]
+        print(f"{name:<24} {s.task:<11} n={s.n:<7} d={s.d:<4} "
+              f"(paper: {s.orig_n} x {s.orig_d})")
+    return 0
+
+
+def _cmd_portfolio(args) -> int:
+    from .core.metalearning import build_portfolio
+
+    corpus = []
+    for path in args.corpus_csvs:
+        ds = from_csv(path, label=_label_arg(args.label))
+        corpus.append((path, ds.shuffled(0)))
+    portfolio = build_portfolio(corpus, time_budget=args.budget)
+    portfolio.save(args.out)
+    print(f"portfolio with {len(portfolio)} entries -> {args.out}")
+    for e in portfolio.entries:
+        print(f"  {e.dataset:<30} best={e.best_learner:<10} "
+              f"error={e.best_error:.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "fit":
+            return _cmd_fit(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
+        if args.command == "datasets":
+            return _cmd_datasets(args)
+        if args.command == "portfolio":
+            return _cmd_portfolio(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,360 @@
+"""The public scikit-learn-style API (paper §3):
+
+    from repro import AutoML
+    automl = AutoML()
+    automl.fit(X_train, y_train, task="classification", time_budget=60)
+    prediction = automl.predict(X_test)
+
+``fit`` runs the full FLAML search (steps 0-3 of Figure 3) and then
+retrains the best configuration on all training data.  Custom learners
+and custom metrics plug in exactly as in the paper's listing:
+
+    automl.add_learner(learner_name="mylearner", learner_class=MyLearner)
+    automl.fit(X, y, metric=my_metric, time_budget=60,
+               estimator_list=["mylearner", "xgboost"])
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..metrics.registry import Metric, get_metric
+from .controller import SearchController, SearchResult
+from .evaluate import _make_estimator
+from .registry import (
+    DEFAULT_LEARNERS,
+    EXTRA_LEARNERS,
+    LearnerSpec,
+    make_spec_from_class,
+)
+
+__all__ = ["AutoML", "infer_task"]
+
+
+def infer_task(y: np.ndarray, task: str | None) -> str:
+    """Resolve the user-facing task string to binary|multiclass|regression."""
+    if task in ("binary", "multiclass", "regression"):
+        return task
+    if task == "classification":
+        return "binary" if np.unique(y).size == 2 else "multiclass"
+    if task is None or task == "auto":
+        y = np.asarray(y)
+        if y.dtype.kind in "OUSb":
+            return "binary" if np.unique(y).size == 2 else "multiclass"
+        uniq = np.unique(y)
+        if uniq.size <= max(20, int(0.05 * y.size)) and np.allclose(
+            uniq, np.round(uniq)
+        ):
+            return "binary" if uniq.size == 2 else "multiclass"
+        return "regression"
+    raise ValueError(f"unknown task {task!r}")
+
+
+def _starting_points_from(source) -> dict[str, dict]:
+    """Best config per learner out of a prior run (``fit(resume_from=...)``).
+
+    ``source`` may be a SearchResult, a fitted AutoML instance, or the
+    path of a trial-log JSON written via ``fit(log_file=...)``.
+    """
+    if isinstance(source, str):
+        from .serialize import load_result
+
+        source = load_result(source)
+    if isinstance(source, AutoML):
+        source = source.search_result
+    if not isinstance(source, SearchResult):
+        raise TypeError(
+            "resume_from must be a SearchResult, a fitted AutoML, or a "
+            f"trial-log path; got {type(source).__name__}"
+        )
+    best: dict[str, tuple[float, dict]] = {}
+    for t in source.trials:
+        if not np.isfinite(t.error):
+            continue
+        cur = best.get(t.learner)
+        if cur is None or t.error < cur[0]:
+            best[t.learner] = (t.error, dict(t.config))
+    return {name: cfg for name, (_, cfg) in best.items()}
+
+
+class AutoML:
+    """Fast and lightweight AutoML: economical learner/hyperparameter search.
+
+    Parameters of interest (all overridable per-``fit``):
+
+    seed:
+        Seed for every stochastic component.
+    init_sample_size:
+        Starting sample size per learner (paper: 10K).
+    sample_growth:
+        Multiplicative sample-size factor c (paper: 2).
+    """
+
+    def __init__(self, seed: int = 0, init_sample_size: int = 10_000,
+                 sample_growth: float = 2.0) -> None:
+        self.seed = int(seed)
+        self.init_sample_size = int(init_sample_size)
+        self.sample_growth = float(sample_growth)
+        self._custom_learners: dict[str, LearnerSpec] = {}
+        self._result: SearchResult | None = None
+        self._model = None
+        self._task: str | None = None
+
+    # ------------------------------------------------------------------
+    def add_learner(self, learner_name: str, learner_class: type) -> None:
+        """Register a custom estimator class for use in ``estimator_list``.
+
+        The class must implement fit/predict (and predict_proba for
+        classification), plus a classmethod
+        ``search_space(data_size, task) -> SearchSpace``; an optional
+        ``cost_relative2lgbm`` attribute seeds its ECI (default 1.0).
+        """
+        self._custom_learners[learner_name] = make_spec_from_class(
+            learner_name, learner_class
+        )
+
+    def _resolve_learners(self, estimator_list, task: str) -> dict[str, LearnerSpec]:
+        available = {**EXTRA_LEARNERS, **DEFAULT_LEARNERS, **self._custom_learners}
+        if estimator_list in (None, "auto"):
+            # the default list is exactly the paper's learners (plus any
+            # user-registered customs); EXTRA_LEARNERS need explicit mention
+            defaults = {**DEFAULT_LEARNERS, **self._custom_learners}
+            names = [n for n, s in defaults.items() if s.supports(task)]
+        else:
+            names = list(estimator_list)
+        out = {}
+        for n in names:
+            if n not in available:
+                raise ValueError(
+                    f"unknown estimator {n!r}; known: {sorted(available)}"
+                )
+            if not available[n].supports(task):
+                raise ValueError(f"estimator {n!r} does not support task {task!r}")
+            out[n] = available[n]
+        if not out:
+            raise ValueError("estimator_list resolved to no learners")
+        return out
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        task: str | None = None,
+        time_budget: float = 60.0,
+        metric: str | Metric = "auto",
+        estimator_list=None,
+        seed: int | None = None,
+        n_splits: int = 5,
+        holdout_ratio: float = 0.1,
+        resampling: str | None = None,
+        learner_selection: str = "eci",
+        use_sampling: bool = True,
+        retrain_full: bool = True,
+        cv_instance_threshold: int = 100_000,
+        cv_rate_threshold: float = 10e6 / 3600.0,
+        max_iters: int | None = None,
+        ensemble: bool = False,
+        ensemble_members: int = 4,
+        stop_at_error: float | None = None,
+        starting_points: dict | None = None,
+        resume_from=None,
+        fitted_cost_model: bool = False,
+        preprocessor=None,
+        log_file: str | None = None,
+    ) -> "AutoML":
+        """Search for an accurate model within ``time_budget`` seconds.
+
+        ``resampling`` forces 'cv' or 'holdout' (default: the paper's
+        thresholding rule).  ``learner_selection``/``use_sampling`` expose
+        the §5.2 ablations.  ``ensemble=True`` enables the appendix's
+        stacked-ensemble post-processing (extra cost after the search);
+        ``stop_at_error`` stops the search once the validation error
+        reaches the target ("cheapest model below a threshold").
+        ``preprocessor`` is one object — or a list applied in order — with
+        the fit_transform/transform contract (footnote 2: e.g. the
+        classes in :mod:`repro.data.preprocessing`); it is fitted on the
+        training data here and re-applied inside predict/predict_proba.
+        ``resume_from`` warm-resumes from an earlier run — a
+        ``SearchResult``, a trial-log JSON path (``log_file`` output), or
+        a previously fitted ``AutoML`` — by seeding each learner's FLOW2
+        with that run's best config (the §1 scenario of re-tuning on
+        refreshed data); explicit ``starting_points`` win on conflicts.
+        Returns ``self``.
+        """
+        seed = self.seed if seed is None else int(seed)
+        t0 = time.perf_counter()
+        X_train = np.asarray(X_train, dtype=np.float64)
+        y_train = np.asarray(y_train)
+        self._preprocessor = (
+            list(preprocessor)
+            if isinstance(preprocessor, (list, tuple))
+            else ([preprocessor] if preprocessor is not None else [])
+        )
+        for step in self._preprocessor:
+            X_train = step.fit_transform(X_train)
+        self._task = infer_task(y_train, task)
+        data = Dataset("train", X_train, y_train, self._task).shuffled(seed)
+        metric_obj = get_metric(metric, task=self._task)
+        learners = self._resolve_learners(estimator_list, self._task)
+        if resume_from is not None:
+            resumed = _starting_points_from(resume_from)
+            starting_points = {**resumed, **(starting_points or {})}
+        controller = SearchController(
+            data,
+            learners,
+            metric_obj,
+            time_budget=time_budget,
+            seed=seed,
+            init_sample_size=self.init_sample_size,
+            sample_growth=self.sample_growth,
+            n_splits=n_splits,
+            holdout_ratio=holdout_ratio,
+            learner_selection=learner_selection,
+            use_sampling=use_sampling,
+            resampling_override=resampling,
+            cv_instance_threshold=cv_instance_threshold,
+            cv_rate_threshold=cv_rate_threshold,
+            max_iters=max_iters,
+            keep_models=not retrain_full,
+            stop_at_error=stop_at_error,
+            starting_points=starting_points,
+            fitted_cost_model=fitted_cost_model,
+        )
+        self._result = controller.run()
+        if log_file:
+            from .serialize import save_result
+
+            save_result(self._result, log_file)
+        self._metric = metric_obj
+        if self._result.best_learner is None:
+            raise RuntimeError(
+                "search produced no successful trial within the budget; "
+                "increase time_budget"
+            )
+        if ensemble:
+            from .ensemble import build_ensemble, select_ensemble_members
+
+            members = select_ensemble_members(
+                self._result, max_members=ensemble_members
+            )
+            self._model = build_ensemble(
+                data, members, learners, n_splits=n_splits, seed=seed,
+                train_time_limit=time_budget,
+            )
+            return self
+        if retrain_full or self._result.best_model is None:
+            spec = learners[self._result.best_learner]
+            est_cls = spec.estimator_cls(self._task)
+            # bound the retrain so fit() does not blow far past the budget
+            retrain_limit = max(time_budget, 3 * (time.perf_counter() - t0) / 10)
+            self._model = _make_estimator(
+                est_cls, self._result.best_config, seed, retrain_limit
+            )
+            self._model.fit(data.X, data.y)
+        else:
+            self._model = self._result.best_model
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self):
+        if self._model is None:
+            raise RuntimeError("AutoML instance is not fitted; call fit() first")
+
+    def _apply_preprocessor(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        for step in getattr(self, "_preprocessor", []):
+            X = step.transform(X)
+        return X
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict labels/values with the best model found."""
+        self._require_fitted()
+        return self._model.predict(self._apply_preprocessor(X))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities of the best model (classification only)."""
+        self._require_fitted()
+        if self._task == "regression":
+            raise RuntimeError("predict_proba is not available for regression")
+        return self._model.predict_proba(self._apply_preprocessor(X))
+
+    def score(self, X: np.ndarray, y: np.ndarray,
+              metric: str | Metric | None = None) -> float:
+        """Error of the fitted model on (X, y) under ``metric`` (default:
+        the metric used during fit).  Lower is better."""
+        self._require_fitted()
+        m = self._metric if metric is None else get_metric(metric, task=self._task)
+        if self._task != "regression" and m.needs_proba:
+            pred = self.predict_proba(X)
+        else:
+            pred = self.predict(X)
+        return m.error(np.asarray(y), pred)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def best_estimator(self) -> str:
+        """Name of the winning learner."""
+        self._require_fitted()
+        return self._result.best_learner
+
+    @property
+    def best_config(self) -> dict:
+        """Hyperparameters of the winning configuration."""
+        self._require_fitted()
+        return dict(self._result.best_config)
+
+    @property
+    def best_loss(self) -> float:
+        """Best validation error ε̃ observed during search."""
+        self._require_fitted()
+        return self._result.best_error
+
+    @property
+    def model(self):
+        """The final fitted estimator object."""
+        self._require_fitted()
+        return self._model
+
+    @property
+    def best_config_per_estimator(self) -> dict:
+        """Best (lowest validation error) config found for each learner."""
+        self._require_fitted()
+        best: dict[str, tuple[float, dict]] = {}
+        for t in self._result.trials:
+            cur = best.get(t.learner)
+            if cur is None or t.error < cur[0]:
+                best[t.learner] = (t.error, dict(t.config))
+        return {k: cfg for k, (_, cfg) in best.items()}
+
+    @property
+    def search_result(self) -> SearchResult:
+        """Full trial log and summary (used by the benchmark harness)."""
+        if self._result is None:
+            raise RuntimeError("AutoML instance is not fitted; call fit() first")
+        return self._result
+
+    # -- model persistence ------------------------------------------------
+    def save_model(self, path: str) -> None:
+        """Write the final model as a pickle-free JSON file.
+
+        Supported for every built-in learner family
+        (:mod:`repro.learners.model_io`); custom learners and ensembles
+        raise — pickle those, or store the config and retrain.  Note the
+        preprocessor chain is *not* embedded; persist it separately if
+        used.
+        """
+        from ..learners.model_io import save_model as _save
+
+        self._require_fitted()
+        _save(self._model, path)
+
+    @staticmethod
+    def load_model(path: str):
+        """Load an estimator written by :meth:`save_model` (no pickle)."""
+        from ..learners.model_io import load_model_file
+
+        return load_model_file(path)

@@ -1,0 +1,230 @@
+"""The AutoML controller: steps 0-3 of Figure 3 in a budgeted loop.
+
+Per iteration:
+
+0. (once) the resampling proposer fixes r via the thresholding rule;
+1. the learner proposer samples l with P ∝ 1/ECI(l);
+2. the per-learner search thread proposes (h, s) — either a FLOW2 step at
+   the current sample size or the incumbent config at a grown sample;
+3. the trial runs, and (ε̃, κ) feed back into the ECI state and FLOW2.
+
+The controller also implements the ablation variants of §5.2 as flags:
+``learner_selection='roundrobin'``, ``use_sampling=False`` (fulldata), and
+``resampling_override='cv'`` — used by
+``repro.baselines.flaml_system.make_ablation``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..metrics.registry import Metric
+from .eci import LearnerProposer
+from .evaluate import evaluate_config
+from .registry import LearnerSpec
+from .resampling import choose_resampling
+from .searchstate import SearchThread
+
+__all__ = ["TrialRecord", "SearchResult", "SearchController"]
+
+
+@dataclass
+class TrialRecord:
+    """One row of the trial log (Figure 1 / Table 3 are drawn from these)."""
+
+    iteration: int
+    automl_time: float  # total time from start when the trial finished
+    learner: str
+    config: dict
+    sample_size: int
+    resampling: str
+    error: float  # validation error ε̃
+    cost: float  # trial cost κ (seconds)
+    kind: str  # 'search' | 'sample_up'
+    improved_global: bool
+    eci_snapshot: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a controller run."""
+
+    best_learner: str | None
+    best_config: dict | None
+    best_sample_size: int
+    best_error: float
+    resampling: str
+    trials: list[TrialRecord]
+    wall_time: float
+    best_model: object | None = None
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials recorded in the log."""
+        return len(self.trials)
+
+
+class SearchController:
+    """Budget-constrained trial loop over a set of learners."""
+
+    def __init__(
+        self,
+        data: Dataset,
+        learners: dict[str, LearnerSpec],
+        metric: Metric,
+        time_budget: float = 60.0,
+        seed: int = 0,
+        init_sample_size: int = 10_000,
+        sample_growth: float = 2.0,
+        n_splits: int = 5,
+        holdout_ratio: float = 0.1,
+        learner_selection: str = "eci",
+        use_sampling: bool = True,
+        resampling_override: str | None = None,
+        random_init: bool = False,
+        cv_instance_threshold: int = 100_000,
+        cv_rate_threshold: float = 10e6 / 3600.0,
+        max_iters: int | None = None,
+        keep_models: bool = False,
+        stop_at_error: float | None = None,
+        starting_points: dict[str, dict] | None = None,
+        fitted_cost_model: bool = False,
+    ) -> None:
+        if learner_selection not in ("eci", "roundrobin", "eci-argmin"):
+            raise ValueError(f"unknown learner_selection {learner_selection!r}")
+        if time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        if not learners:
+            raise ValueError("need at least one learner")
+        self.data = data
+        self.learners = dict(learners)
+        self.metric = metric
+        self.time_budget = float(time_budget)
+        self.seed = int(seed)
+        self.n_splits = n_splits
+        self.holdout_ratio = holdout_ratio
+        self.learner_selection = learner_selection
+        self.max_iters = max_iters
+        self.keep_models = keep_models
+        # appendix: "one may search for the cheapest model with error below
+        # a threshold" — stop as soon as the target error is reached
+        self.stop_at_error = stop_at_error
+
+        self.rng = np.random.default_rng(seed)
+        # step 0: resampling strategy (fixed for the run)
+        if resampling_override is not None:
+            self.resampling = resampling_override
+        else:
+            self.resampling = choose_resampling(
+                data.n, data.d, time_budget,
+                instance_threshold=cv_instance_threshold,
+                rate_threshold=cv_rate_threshold,
+            )
+        names = list(self.learners)
+        self.proposer = LearnerProposer(
+            names, self.rng, c=sample_growth,
+            cost_constants={n: s.cost_constant for n, s in self.learners.items()},
+            # §4.2 ECI₂ refinement: learn cost-vs-sample-size exponents
+            # online instead of assuming linear training complexity
+            fitted_cost_model=fitted_cost_model,
+        )
+        self.threads = {
+            n: SearchThread(
+                n,
+                spec.space_fn(data.n, data.task),
+                full_size=data.n,
+                init_sample_size=init_sample_size,
+                sample_growth=sample_growth,
+                seed=seed + i,
+                use_sampling=use_sampling,
+                random_init=random_init,
+                starting_point=(starting_points or {}).get(n),
+            )
+            for i, (n, spec) in enumerate(self.learners.items())
+        }
+        self._labels = np.unique(data.y) if data.is_classification else None
+        self._rr_index = 0  # roundrobin pointer
+
+    # ------------------------------------------------------------------
+    def _next_learner(self) -> str:
+        if self.learner_selection == "roundrobin":
+            names = list(self.learners)
+            name = names[self._rr_index % len(names)]
+            self._rr_index += 1
+            return name
+        if self.learner_selection == "eci-argmin":
+            return self.proposer.propose_argmin()
+        return self.proposer.propose()
+
+    def run(self) -> SearchResult:
+        """Execute the budgeted trial loop and return the SearchResult."""
+        start = time.perf_counter()
+        trials: list[TrialRecord] = []
+        best_error = np.inf
+        best = (None, None, 0)  # learner, config, sample_size
+        best_model = None
+        it = 0
+        while True:
+            elapsed = time.perf_counter() - start
+            if elapsed >= self.time_budget:
+                break
+            if self.max_iters is not None and it >= self.max_iters:
+                break
+            it += 1
+            learner = self._next_learner()
+            thread = self.threads[learner]
+            config, s, kind = thread.propose(self.proposer.states[learner])
+            remaining = self.time_budget - (time.perf_counter() - start)
+            outcome = evaluate_config(
+                self.data,
+                self.learners[learner].estimator_cls(self.data.task),
+                config,
+                sample_size=s,
+                resampling=self.resampling,
+                metric=self.metric,
+                n_splits=self.n_splits,
+                holdout_ratio=self.holdout_ratio,
+                seed=self.seed,
+                train_time_limit=max(remaining, 0.01),
+                labels=self._labels,
+            )
+            thread.tell(outcome.error)
+            self.proposer.record(learner, outcome.error, outcome.cost,
+                                 sample_size=s)
+            improved = outcome.error < best_error
+            if improved:
+                best_error = outcome.error
+                best = (learner, config, s)
+                if self.keep_models:
+                    best_model = outcome.model
+            trials.append(
+                TrialRecord(
+                    iteration=it,
+                    automl_time=time.perf_counter() - start,
+                    learner=learner,
+                    config=dict(config),
+                    sample_size=s,
+                    resampling=self.resampling,
+                    error=outcome.error,
+                    cost=outcome.cost,
+                    kind=kind,
+                    improved_global=improved,
+                    eci_snapshot=self.proposer.eci_values(),
+                )
+            )
+            if self.stop_at_error is not None and best_error <= self.stop_at_error:
+                break
+        return SearchResult(
+            best_learner=best[0],
+            best_config=best[1],
+            best_sample_size=best[2],
+            best_error=float(best_error),
+            resampling=self.resampling,
+            trials=trials,
+            wall_time=time.perf_counter() - start,
+            best_model=best_model,
+        )

@@ -1,0 +1,261 @@
+"""Estimated Cost for Improvement (ECI) — Eq. (1) of the paper.
+
+Per learner ``l`` the controller tracks the quantities of Table 1/§4.2:
+
+* ``K0`` — total cost spent on ``l`` so far;
+* ``K1`` / ``K2`` — total cost spent on ``l`` at the times of the two most
+  recent best-configuration updates for ``l``;
+* ``delta`` — the error reduction between those two best configurations;
+* ``best_error`` (ε̃_l) and the cost ``kappa`` of the current configuration.
+
+From these:
+
+* ``ECI1 = max(K0 - K1, K1 - K2)`` — cost to find an improvement at the
+  current sample size (improvements get more expensive over time);
+* ``ECI2 = c * kappa`` — cost to retry the current config with a sample
+  size ``c`` times larger;
+* ``ECI`` combines them with the cost of catching up to the global best
+  error ε̃*:  learners behind the leader must additionally close the gap
+  ``(ε̃_l - ε̃*)`` at their observed improvement rate ``v = delta / tau``;
+  the gap-filling cost is doubled (diminishing returns, §4.2).
+
+Untried learners get ``ECI1`` seeded from the fastest learner's smallest
+observed trial cost times a per-learner constant (appendix: lgbm 1,
+xgboost 1.6, extra_tree 1.9, rf 2, catboost 15, lrl1 160).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CostModel",
+    "LearnerCostState",
+    "eci",
+    "LearnerProposer",
+    "DEFAULT_COST_CONSTANTS",
+]
+
+#: appendix constants: relative cost of each learner's cheapest config
+DEFAULT_COST_CONSTANTS: dict[str, float] = {
+    "lgbm": 1.0,
+    "xgboost": 1.6,
+    "extra_tree": 1.9,
+    "rf": 2.0,
+    "catboost": 15.0,
+    "lrl1": 160.0,
+}
+
+
+class CostModel:
+    """Fitted cost-vs-sample-size model for the ECI₂ refinement.
+
+    §4.2: "This simple cost estimation [ECI₂ = c·κ] can be refined when
+    the complexity of the training procedure is known with respect to
+    sample size."  Here the complexity is *learned* online: a least-
+    squares fit of log(cost) against log(s) over the learner's own trials
+    yields an exponent α, and growing the sample by c is predicted to
+    scale cost by ``c**α``.  With fewer than three distinct sizes the
+    model falls back to the paper's linear assumption (α = 1).
+
+    The exponent is clipped to [0.25, 2.0]: timing noise on tiny trials
+    can produce absurd slopes, and the clip keeps a bad fit from either
+    freezing sample growth (huge α) or spamming it (negative α).
+    """
+
+    def __init__(self, min_points: int = 3,
+                 clip: tuple[float, float] = (0.25, 2.0)) -> None:
+        self.min_points = int(min_points)
+        self.clip = clip
+        self._log_s: list[float] = []
+        self._log_cost: list[float] = []
+
+    def observe(self, sample_size: int, cost: float) -> None:
+        """Record one (sample size, trial cost) observation."""
+        if sample_size > 0 and cost > 0:
+            self._log_s.append(float(np.log(sample_size)))
+            self._log_cost.append(float(np.log(cost)))
+
+    @property
+    def n_observations(self) -> int:
+        """Number of recorded (sample size, cost) observations."""
+        return len(self._log_s)
+
+    @property
+    def exponent(self) -> float:
+        """The fitted α in cost ∝ s**α (1.0 until enough distinct sizes)."""
+        if len(set(self._log_s)) < self.min_points:
+            return 1.0
+        x = np.asarray(self._log_s)
+        y = np.asarray(self._log_cost)
+        vx = ((x - x.mean()) ** 2).sum()
+        if vx <= 0:
+            return 1.0
+        slope = (((x - x.mean()) * (y - y.mean())).sum()) / vx
+        return float(np.clip(slope, *self.clip))
+
+    def growth_factor(self, c: float) -> float:
+        """Predicted cost multiplier when the sample grows by factor c."""
+        return float(c) ** self.exponent
+
+
+class LearnerCostState:
+    """Cost/error bookkeeping for one learner.
+
+    ``cost_model`` (optional) activates the §4.2 ECI₂ refinement: trial
+    costs are regressed against sample size and ``eci2`` uses the fitted
+    exponent instead of assuming linear complexity.
+    """
+
+    def __init__(self, name: str, cost_model: CostModel | None = None) -> None:
+        self.name = name
+        self.cost_model = cost_model
+        self.K0 = 0.0  # total cost so far
+        self.K1 = 0.0  # total cost at most recent best update
+        self.K2 = 0.0  # total cost at second most recent best update
+        self.delta = 0.0  # error reduction between the two updates
+        self.best_error = np.inf
+        self.kappa = 0.0  # cost of the current (best) configuration's trial
+        self.n_trials = 0
+        self.n_failures = 0  # trials that produced no model at all (error=inf)
+
+    @property
+    def tried(self) -> bool:
+        """Whether this learner has run at least one trial."""
+        return self.n_trials > 0
+
+    def update(self, error: float, cost: float,
+               sample_size: int | None = None) -> bool:
+        """Record a finished trial; returns True if it improved ``l``'s best."""
+        self.K0 += float(cost)
+        self.n_trials += 1
+        if self.cost_model is not None and sample_size is not None:
+            self.cost_model.observe(sample_size, cost)
+        if not np.isfinite(error):
+            self.n_failures += 1
+        improved = error < self.best_error
+        if improved:
+            if np.isfinite(self.best_error):
+                self.delta = self.best_error - error
+            else:
+                # paper: if the first config is the best so far, delta = eps_l
+                self.delta = float(error)
+            self.K2 = self.K1
+            self.K1 = self.K0
+            self.best_error = float(error)
+            self.kappa = float(cost)
+        return improved
+
+    # ------------------------------------------------------------------
+    def eci1(self) -> float:
+        """Estimated cost to improve at the current sample size."""
+        return max(self.K0 - self.K1, self.K1 - self.K2)
+
+    def eci2(self, c: float) -> float:
+        """Estimated cost to retry the current config with c x sample size."""
+        if self.cost_model is not None:
+            return self.cost_model.growth_factor(c) * self.kappa
+        return c * self.kappa
+
+
+def eci(
+    state: LearnerCostState,
+    global_best_error: float,
+    c: float,
+    min_eci: float = 1e-10,
+) -> float:
+    """Eq. (1): estimated cost for learner ``l`` to beat the global best."""
+    e2 = state.eci2(c)
+    # kappa == 0 means no configuration has ever succeeded for l (every
+    # trial failed): there is no incumbent to retry at a larger sample, so
+    # only ECI1 applies — and since failures can be arbitrarily cheap
+    # (e.g. an estimator that raises immediately), back off exponentially
+    # in the number of failures rather than trusting the wasted cost alone.
+    if e2 > 0:
+        base = min(state.eci1(), e2)
+    else:
+        base = max(state.eci1(), 1e-6) * 2.0 ** min(state.n_failures, 30)
+    if not np.isfinite(state.best_error) or state.best_error <= global_best_error:
+        return max(base, min_eci)
+    gap = state.best_error - global_best_error
+    if state.delta > 0:
+        tau = state.K0 - state.K2
+    else:
+        tau = state.K0
+    delta = state.delta if state.delta > 0 else max(state.best_error, 1e-12)
+    # doubled gap-filling cost: improvements have diminishing returns (§4.2)
+    catch_up = 2.0 * gap * tau / delta
+    return max(max(catch_up, base), min_eci)
+
+
+class LearnerProposer:
+    """Step 1: sample a learner with probability proportional to 1/ECI."""
+
+    def __init__(
+        self,
+        learners: list[str],
+        rng: np.random.Generator,
+        c: float = 2.0,
+        cost_constants: dict[str, float] | None = None,
+        fitted_cost_model: bool = False,
+    ) -> None:
+        if not learners:
+            raise ValueError("need at least one learner")
+        self.learners = list(learners)
+        self.rng = rng
+        self.c = float(c)
+        self.cost_constants = dict(DEFAULT_COST_CONSTANTS)
+        if cost_constants:
+            self.cost_constants.update(cost_constants)
+        self.states = {
+            name: LearnerCostState(
+                name, CostModel() if fitted_cost_model else None
+            )
+            for name in self.learners
+        }
+        # the learner with the smallest cost constant runs first and seeds
+        # the cost scale for everyone else (appendix)
+        self._fastest = min(
+            self.learners, key=lambda n: self.cost_constants.get(n, 1.0)
+        )
+        self._base_cost: float | None = None
+
+    # ------------------------------------------------------------------
+    def record(self, learner: str, error: float, cost: float,
+               sample_size: int | None = None) -> bool:
+        """Feed back a finished trial; returns True if learner improved."""
+        if self._base_cost is None and learner == self._fastest:
+            self._base_cost = max(float(cost), 1e-9)
+        return self.states[learner].update(error, cost, sample_size)
+
+    def _eci_of(self, name: str, global_best: float) -> float:
+        st = self.states[name]
+        if not st.tried:
+            if self._base_cost is None:
+                # before the fastest learner has run, force it to go first
+                return 1e-12 if name == self._fastest else 1e12
+            return self.cost_constants.get(name, 1.0) * self._base_cost
+        return eci(st, global_best, self.c)
+
+    def eci_values(self) -> dict[str, float]:
+        """Current ECI per learner (for logging / Figure 4)."""
+        global_best = self.global_best_error()
+        return {n: self._eci_of(n, global_best) for n in self.learners}
+
+    def global_best_error(self) -> float:
+        """Lowest validation error observed across all learners."""
+        errs = [s.best_error for s in self.states.values() if s.tried]
+        return min(errs) if errs else np.inf
+
+    def propose(self) -> str:
+        """Sample a learner name with P(l) ∝ 1/ECI(l)."""
+        values = self.eci_values()
+        inv = np.array([1.0 / max(values[n], 1e-12) for n in self.learners])
+        p = inv / inv.sum()
+        return self.learners[int(self.rng.choice(len(self.learners), p=p))]
+
+    def propose_argmin(self) -> str:
+        """Deterministically pick the lowest-ECI learner (design-choice
+        ablation: violates Property 3's FairChance randomisation)."""
+        values = self.eci_values()
+        return min(self.learners, key=lambda n: values[n])

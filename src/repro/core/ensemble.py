@@ -1,0 +1,144 @@
+"""Stacked-ensemble post-processing (paper appendix).
+
+The paper: "Stacked ensemble can be added as a post-processing step like
+existing libraries.  It requires remembering the predictions on
+cross-validation folds of the models to ensemble.  And extra time needs
+to be spent on building the ensemble and retraining each model.  FLAML
+does not do it by default to keep the overhead low, but it offers the
+option to enable it."
+
+This module implements exactly that option: take the best distinct
+configurations found during search, compute their out-of-fold predictions
+on the training data, fit a linear stacker on those predictions, retrain
+every base model on the full data, and serve the stack at prediction
+time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset, kfold_indices
+from ..learners.linear import LogisticRegressionL2, RidgeRegressor
+from .controller import SearchResult
+from .evaluate import _make_estimator
+from .registry import LearnerSpec
+
+__all__ = ["StackedEnsemble", "build_ensemble", "select_ensemble_members"]
+
+
+class StackedEnsemble:
+    """A fitted stack: base models + a linear meta-learner."""
+
+    def __init__(self, base_models: list, meta_model, task: str,
+                 classes: np.ndarray | None = None) -> None:
+        self.base_models = base_models
+        self.meta_model = meta_model
+        self.task = task
+        self.classes_ = classes
+
+    def _base_features(self, X: np.ndarray) -> np.ndarray:
+        cols = []
+        for m in self.base_models:
+            if self.task == "regression":
+                cols.append(m.predict(X).reshape(-1, 1))
+            else:
+                # drop the last column: probabilities are redundant
+                cols.append(m.predict_proba(X)[:, :-1])
+        return np.hstack(cols)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict labels/values through the stacked meta-learner."""
+        Z = self._base_features(np.asarray(X, dtype=np.float64))
+        return self.meta_model.predict(Z)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities through the stacked meta-learner."""
+        if self.task == "regression":
+            raise RuntimeError("predict_proba is not available for regression")
+        Z = self._base_features(np.asarray(X, dtype=np.float64))
+        return self.meta_model.predict_proba(Z)
+
+    @property
+    def n_members(self) -> int:
+        """Number of base models in the ensemble."""
+        return len(self.base_models)
+
+
+def select_ensemble_members(
+    result: SearchResult, max_members: int = 4
+) -> list[tuple[str, dict]]:
+    """Pick the best distinct (learner, config) pairs from a trial log.
+
+    At most one configuration per learner (diversity beats depth for small
+    stacks), ordered by validation error.
+    """
+    best_per_learner: dict[str, tuple[float, dict]] = {}
+    for t in result.trials:
+        if not np.isfinite(t.error):
+            continue
+        cur = best_per_learner.get(t.learner)
+        if cur is None or t.error < cur[0]:
+            best_per_learner[t.learner] = (t.error, dict(t.config))
+    ranked = sorted(best_per_learner.items(), key=lambda kv: kv[1][0])
+    return [(name, cfg) for name, (_, cfg) in ranked[:max_members]]
+
+
+def build_ensemble(
+    data: Dataset,
+    members: list[tuple[str, dict]],
+    learners: dict[str, LearnerSpec],
+    n_splits: int = 5,
+    seed: int = 0,
+    train_time_limit: float | None = None,
+) -> StackedEnsemble:
+    """Fit a stacked ensemble from (learner, config) members.
+
+    Out-of-fold predictions on ``data`` become the meta-learner's features
+    (the appendix's "remembering the predictions on cross-validation
+    folds"); base models are then retrained on the full data.
+    """
+    if not members:
+        raise ValueError("need at least one ensemble member")
+    task = data.task
+    rng = np.random.default_rng(seed)
+    y_strat = data.y if data.is_classification else None
+    classes = np.unique(data.y) if data.is_classification else None
+    folds = kfold_indices(data.n, min(n_splits, data.n), y=y_strat, rng=rng)
+
+    # out-of-fold meta-features, one block of columns per member
+    blocks = []
+    for lname, cfg in members:
+        cls = learners[lname].estimator_cls(task)
+        if task == "regression":
+            oof = np.zeros(data.n)
+        else:
+            oof = np.zeros((data.n, classes.size))
+        for tr, va in folds:
+            m = _make_estimator(cls, cfg, seed, train_time_limit)
+            m.fit(data.X[tr], data.y[tr])
+            if task == "regression":
+                oof[va] = m.predict(data.X[va])
+            else:
+                proba = m.predict_proba(data.X[va])
+                # align to the global class set
+                m_classes = getattr(m, "classes_", classes)
+                lut = {c: i for i, c in enumerate(classes)}
+                for j, c in enumerate(m_classes):
+                    oof[va, lut[c]] = proba[:, j]
+        blocks.append(oof.reshape(data.n, -1) if task == "regression"
+                      else oof[:, :-1])
+    Z = np.hstack(blocks)
+
+    if task == "regression":
+        meta = RidgeRegressor(C=100.0).fit(Z, data.y)
+    else:
+        meta = LogisticRegressionL2(C=10.0).fit(Z, data.y)
+
+    base_models = []
+    for lname, cfg in members:
+        cls = learners[lname].estimator_cls(task)
+        m = _make_estimator(cls, cfg, seed, train_time_limit)
+        m.fit(data.X, data.y)
+        base_models.append(m)
+    return StackedEnsemble(base_models, meta, task, classes)

@@ -1,0 +1,129 @@
+"""Trial execution: train a configuration, observe (error, cost).
+
+This is step 3 of the control flow (Figure 3): the controller invokes a
+trial with χ = (learner, hyperparameters, sample size, resampling
+strategy) and observes the validation error ε̃(χ) and cost κ(χ).  Cost is
+measured as the wall-clock time of training + validation, exactly the
+quantity FLAML's ECI reasons about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import Dataset, holdout_indices, kfold_indices
+from ..metrics.registry import Metric
+
+__all__ = ["TrialOutcome", "evaluate_config"]
+
+
+@dataclass
+class TrialOutcome:
+    """What one trial produced."""
+
+    error: float
+    cost: float
+    model: object | None
+
+
+def _make_estimator(cls: type, config: dict, seed: int,
+                    train_time_limit: float | None):
+    """Instantiate, forwarding seed/time-limit only if the class accepts them."""
+    kwargs = dict(config)
+    try:
+        return cls(**kwargs, seed=seed, train_time_limit=train_time_limit)
+    except TypeError:
+        pass
+    try:
+        return cls(**kwargs, seed=seed)
+    except TypeError:
+        return cls(**kwargs)
+
+
+def _predict_for_metric(model, X: np.ndarray, metric: Metric, task: str):
+    if task != "regression" and metric.needs_proba:
+        return model.predict_proba(X)
+    return model.predict(X)
+
+
+def _fold_error(model, Xv, yv, metric: Metric, task: str, labels):
+    pred = _predict_for_metric(model, Xv, metric, task)
+    if task != "regression" and metric.needs_proba and labels is not None:
+        # align probability columns with the global label set: a fold's
+        # training split may be missing classes entirely
+        classes = getattr(model, "classes_", None)
+        if classes is not None and len(classes) != len(labels):
+            full = np.zeros((pred.shape[0], len(labels)))
+            lut = {c: i for i, c in enumerate(labels)}
+            for j, c in enumerate(classes):
+                full[:, lut[c]] = pred[:, j]
+            pred = full
+    return metric.error(yv, pred, labels=labels) if metric.needs_proba else metric.error(yv, pred)
+
+
+def evaluate_config(
+    data: Dataset,
+    estimator_cls: type,
+    config: dict,
+    sample_size: int,
+    resampling: str,
+    metric: Metric,
+    n_splits: int = 5,
+    holdout_ratio: float = 0.1,
+    seed: int = 0,
+    train_time_limit: float | None = None,
+    labels: np.ndarray | None = None,
+) -> TrialOutcome:
+    """Run one trial of χ = (estimator, config, s, r) and time it.
+
+    ``data`` must already be (stratified-)shuffled; the sample of size
+    ``s`` is a prefix (paper §4.2).  Under holdout the validation set is
+    carved from the *full* data once (deterministically per seed) and the
+    sample-size prefix applies to the training portion only — this keeps
+    validation errors comparable across fidelities, which is what lets the
+    controller track a single global best over trials of different sample
+    sizes (FLAML does the same).  Under CV the folds are taken within the
+    sample.  Returns the validation error, the wall-clock cost, and a
+    fitted model (the final deployment model is retrained by the caller).
+    """
+    if resampling not in ("cv", "holdout"):
+        raise ValueError(f"resampling must be cv|holdout, got {resampling!r}")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    model = None
+    try:
+        if resampling == "holdout":
+            y_strat = data.y if data.is_classification else None
+            tr, va = holdout_indices(data.n, holdout_ratio, y=y_strat, rng=rng)
+            tr_used = tr[: min(int(sample_size), tr.size)]
+            model = _make_estimator(estimator_cls, config, seed, train_time_limit)
+            model.fit(data.X[tr_used], data.y[tr_used])
+            error = _fold_error(model, data.X[va], data.y[va], metric, data.task, labels)
+        else:
+            sub = data.head(sample_size)
+            y_strat = sub.y if sub.is_classification else None
+            k = min(n_splits, sub.n)
+            per_fold_limit = (
+                train_time_limit / k if train_time_limit is not None else None
+            )
+            errors = []
+            for tr, va in kfold_indices(sub.n, k, y=y_strat, rng=rng):
+                model = _make_estimator(estimator_cls, config, seed, per_fold_limit)
+                model.fit(sub.X[tr], sub.y[tr])
+                errors.append(
+                    _fold_error(model, sub.X[va], sub.y[va], metric, sub.task, labels)
+                )
+            error = float(np.mean(errors))
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        # a failed trial (degenerate sample, or a buggy custom learner)
+        # must not kill the search: report error=inf and move on — the
+        # proposers will deprioritise the offender via ECI
+        error = np.inf
+        model = None
+    cost = time.perf_counter() - start
+    return TrialOutcome(error=float(error), cost=float(cost), model=model)

@@ -1,0 +1,151 @@
+"""FLOW2 — the randomised direct search of Wu et al. (AAAI'21), as used by
+FLAML's hyperparameter-and-sample-size proposer (paper §4.2, step 2).
+
+The search lives in the unit cube of the learner's search space and needs
+only the *relative order* of two trials as feedback:
+
+* start from the low-cost initial configuration;
+* at each iteration sample a direction ``u`` uniformly on the unit sphere
+  and propose ``best + step*u``; if that does not improve, propose the
+  opposite point ``best - step*u``;
+* the initial step size is ``0.1 * sqrt(d)`` (upper-bounded by ``sqrt(d)``);
+  after ``2^{d-1}`` (capped) consecutive non-improving iterations the step
+  is discounted by the paper's reduction ratio — the ratio between total
+  iterations since the last restart and iterations needed to find the
+  current best — until it hits a lower bound, at which point the search
+  has *converged*;
+* on convergence the caller may ``restart()`` from a random point to
+  escape local optima (FLAML does this and also resets the sample size).
+
+Step-size adaptation is gated by the ``adapt`` argument of :meth:`tell`
+because FLAML only adjusts/restarts once the largest sample size is
+reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .space import SearchSpace
+
+__all__ = ["FLOW2"]
+
+
+class FLOW2:
+    """One randomised-direct-search thread over a :class:`SearchSpace`."""
+
+    #: initial step = STEPSIZE * sqrt(dim)
+    STEPSIZE = 0.1
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        init_config: dict | None = None,
+        step_lower_bound: float = 1e-2,
+    ) -> None:
+        self.space = space
+        self.rng = np.random.default_rng(seed)
+        self.dim = space.dim
+        self._step_ub = float(np.sqrt(self.dim))
+        self.step_lower_bound = float(step_lower_bound)
+        self._init_unit = space.to_unit(init_config or space.init_config())
+        # cap the no-improvement budget: 2^(d-1) as in the paper, bounded so
+        # high-dimensional spaces still converge within small time budgets
+        self.no_improve_threshold = int(2 ** min(self.dim - 1, 4))
+        self._reset(self._init_unit)
+        self.n_restarts = 0
+
+    # ------------------------------------------------------------------
+    def _reset(self, start_unit: np.ndarray) -> None:
+        self.best_unit = np.asarray(start_unit, dtype=np.float64)
+        self.best_error = np.inf
+        self.step = min(self.STEPSIZE * np.sqrt(self.dim), self._step_ub)
+        self._num_no_improve = 0
+        self._iters_since_restart = 0
+        self._iters_to_best = 0
+        self._pending_opposite: np.ndarray | None = None
+        self._last_direction: np.ndarray | None = None
+        self._proposed_init = False
+
+    def restart(self) -> None:
+        """Restart from a random point (keeps nothing but the space)."""
+        self.n_restarts += 1
+        start = self.space.to_unit(self.space.sample(self.rng))
+        self._reset(start)
+
+    @property
+    def converged(self) -> bool:
+        """Whether the step size has decayed to its lower bound."""
+        return self.step <= self.step_lower_bound
+
+    @property
+    def best_config(self) -> dict:
+        """The incumbent (lowest-error) configuration."""
+        return self.space.from_unit(self.best_unit)
+
+    # ------------------------------------------------------------------
+    def _sphere_direction(self) -> np.ndarray:
+        u = self.rng.standard_normal(self.dim)
+        norm = np.linalg.norm(u)
+        if norm < 1e-12:
+            u = np.ones(self.dim)
+            norm = np.linalg.norm(u)
+        return u / norm
+
+    def propose(self) -> dict:
+        """Next configuration to evaluate."""
+        if not self._proposed_init or not np.isfinite(self.best_error):
+            # first trial evaluates the incumbent itself
+            self._proposed_init = True
+            self._pending_unit = self.best_unit.copy()
+            return self.space.from_unit(self._pending_unit)
+        if self._pending_opposite is not None:
+            self._pending_unit = self._pending_opposite
+            self._pending_opposite = None
+            self._last_direction = None
+            return self.space.from_unit(self._pending_unit)
+        d = self._sphere_direction()
+        self._last_direction = d
+        self._pending_unit = np.clip(self.best_unit + self.step * d, 0.0, 1.0)
+        return self.space.from_unit(self._pending_unit)
+
+    # ------------------------------------------------------------------
+    def tell(self, error: float, adapt: bool = True) -> None:
+        """Report the error of the last proposed configuration.
+
+        ``adapt=False`` freezes step-size adaptation (used while the sample
+        size has not yet reached the full data size).
+        """
+        self._iters_since_restart += 1
+        improved = error < self.best_error
+        if improved:
+            self.best_error = float(error)
+            self.best_unit = self._pending_unit.copy()
+            self._iters_to_best = self._iters_since_restart
+            self._num_no_improve = 0
+            self._pending_opposite = None
+            self._last_direction = None
+            return
+        if self._last_direction is not None:
+            # first direction failed: queue the opposite point
+            self._pending_opposite = np.clip(
+                self.best_unit - self.step * self._last_direction, 0.0, 1.0
+            )
+            self._last_direction = None
+            return
+        # both directions failed this round
+        self._num_no_improve += 1
+        if adapt and self._num_no_improve >= self.no_improve_threshold:
+            self._num_no_improve = 0
+            ratio = self._iters_since_restart / max(self._iters_to_best, 1)
+            # the paper's discount is "a reduction ratio > 1"; clamp so a
+            # lucky first iteration cannot collapse the step instantly
+            ratio = float(np.clip(ratio, 1.5, 4.0))
+            self.step = max(self.step / ratio, 0.0)
+
+    # ------------------------------------------------------------------
+    def reset_baseline(self, error: float) -> None:
+        """Re-anchor the incumbent error (after a sample-size increase the
+        validation error of the incumbent changes scale)."""
+        self.best_error = float(error)

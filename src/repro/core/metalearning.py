@@ -1,0 +1,244 @@
+"""Lightweight meta-learning: portfolio warm starts for the search.
+
+The paper deliberately ships FLAML *without* meta-learning (§2, §4.1) and
+names "leverage meta learning in the cost-optimizing framework without
+losing the robustness on ad-hoc datasets" as future work (§6).  This
+module implements that future-work item in the spirit the paper sketches:
+
+* an **offline** phase runs FLAML on a corpus of tasks and records, per
+  task, the dataset's meta-features and the best configuration found per
+  learner (:func:`build_portfolio`);
+* an **online** phase maps a new dataset to its nearest corpus neighbours
+  in meta-feature space and returns per-learner starting points
+  (:meth:`MetaPortfolio.suggest`), which plug straight into
+  ``AutoML.fit(starting_points=...)``.
+
+Robustness on ad-hoc data is preserved because the portfolio only moves
+FLOW2's *initial point*: the search still explores the full space, the
+ECI machinery still rebalances learners from observed cost/error, and a
+bad suggestion is abandoned exactly as fast as a bad random restart.  The
+online overhead is a handful of vector operations — negligible next to
+any trial, keeping the system economical (§4.2 "Advantages").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..metrics.registry import Metric, get_metric
+
+__all__ = [
+    "meta_features",
+    "META_FEATURE_NAMES",
+    "PortfolioEntry",
+    "MetaPortfolio",
+    "build_portfolio",
+]
+
+#: order of the components returned by :func:`meta_features`
+META_FEATURE_NAMES = (
+    "log_n",
+    "log_d",
+    "log_n_over_d",
+    "is_binary",
+    "is_multiclass",
+    "is_regression",
+    "log_n_classes",
+    "class_entropy_ratio",
+    "frac_skewed_features",
+    "mean_abs_feature_corr",
+)
+
+
+def meta_features(data: Dataset, probe_rows: int = 2000,
+                  probe_cols: int = 20, seed: int = 0) -> np.ndarray:
+    """A 10-vector of cheap dataset meta-features.
+
+    Statistics that need a data pass are computed on a row/column probe
+    (first ``probe_rows`` rows of the already-shuffled data, a seeded
+    subset of ``probe_cols`` columns) so the cost stays O(probe) and the
+    online suggestion adds no measurable overhead even on large inputs.
+    """
+    n, d = data.n, data.d
+    v = np.zeros(len(META_FEATURE_NAMES), dtype=np.float64)
+    v[0] = np.log10(max(n, 1))
+    v[1] = np.log10(max(d, 1))
+    v[2] = np.log10(max(n, 1) / max(d, 1))
+    v[3] = 1.0 if data.task == "binary" else 0.0
+    v[4] = 1.0 if data.task == "multiclass" else 0.0
+    v[5] = 1.0 if data.task == "regression" else 0.0
+    if data.is_classification:
+        counts = np.unique(data.y, return_counts=True)[1]
+        k = counts.size
+        v[6] = np.log10(k)
+        p = counts / counts.sum()
+        # entropy relative to uniform: 1.0 = balanced, -> 0 = degenerate
+        v[7] = float(-(p * np.log(p)).sum() / np.log(k)) if k > 1 else 0.0
+    X = data.X[: min(probe_rows, n)]
+    rng = np.random.default_rng(seed)
+    cols = (
+        rng.choice(d, size=probe_cols, replace=False) if d > probe_cols
+        else np.arange(d)
+    )
+    Xp = X[:, cols]
+    mu = Xp.mean(axis=0)
+    sd = Xp.std(axis=0)
+    safe = np.where(sd > 0, sd, 1.0)
+    skew = ((Xp - mu) ** 3).mean(axis=0) / safe**3
+    v[8] = float((np.abs(skew) > 1.0).mean())
+    if Xp.shape[1] > 1 and Xp.shape[0] > 2:
+        Z = (Xp - mu) / safe
+        corr = (Z.T @ Z) / Xp.shape[0]
+        off = corr[~np.eye(corr.shape[0], dtype=bool)]
+        v[9] = float(np.abs(off).mean())
+    return v
+
+
+@dataclass
+class PortfolioEntry:
+    """One corpus task: its meta-features and best per-learner configs."""
+
+    dataset: str
+    features: np.ndarray
+    best_configs: dict[str, dict]  # learner -> config
+    best_learner: str
+    best_error: float
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "dataset": self.dataset,
+            "features": [float(x) for x in self.features],
+            "best_configs": self.best_configs,
+            "best_learner": self.best_learner,
+            "best_error": float(self.best_error),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "PortfolioEntry":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            dataset=obj["dataset"],
+            features=np.asarray(obj["features"], dtype=np.float64),
+            best_configs={k: dict(v) for k, v in obj["best_configs"].items()},
+            best_learner=obj["best_learner"],
+            best_error=float(obj["best_error"]),
+        )
+
+
+@dataclass
+class MetaPortfolio:
+    """Nearest-neighbour retrieval over offline portfolio entries."""
+
+    entries: list[PortfolioEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._refresh_norm()
+
+    def _refresh_norm(self) -> None:
+        if self.entries:
+            F = np.stack([e.features for e in self.entries])
+            self._mu = F.mean(axis=0)
+            sd = F.std(axis=0)
+            self._sd = np.where(sd > 0, sd, 1.0)
+            self._F = (F - self._mu) / self._sd
+        else:
+            self._F = None
+
+    def add(self, entry: PortfolioEntry) -> None:
+        """Add one corpus task and refresh the normalisation."""
+        self.entries.append(entry)
+        self._refresh_norm()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def nearest(self, data: Dataset, k: int = 3) -> list[PortfolioEntry]:
+        """The k corpus tasks closest to ``data`` in meta-feature space.
+
+        Tasks of a different task type are pushed away by the one-hot
+        components, so a regression query retrieves regression neighbours
+        whenever any exist.
+        """
+        if not self.entries:
+            raise ValueError("empty portfolio")
+        q = (meta_features(data) - self._mu) / self._sd
+        dist = np.sqrt(((self._F - q) ** 2).sum(axis=1))
+        order = np.argsort(dist, kind="stable")[: max(1, k)]
+        return [self.entries[i] for i in order]
+
+    def suggest(self, data: Dataset, k: int = 3) -> dict[str, dict]:
+        """Per-learner starting points for ``AutoML.fit(starting_points=...)``.
+
+        Walks the k nearest corpus tasks in distance order and keeps the
+        first (i.e. nearest) config seen for each learner.
+        """
+        points: dict[str, dict] = {}
+        for entry in self.nearest(data, k):
+            for learner, cfg in entry.best_configs.items():
+                points.setdefault(learner, dict(cfg))
+        return points
+
+    def suggest_estimator_priority(self, data: Dataset, k: int = 3) -> list[str]:
+        """Learners ranked by how often they won among the k neighbours."""
+        wins: dict[str, int] = {}
+        for entry in self.nearest(data, k):
+            wins[entry.best_learner] = wins.get(entry.best_learner, 0) + 1
+        return sorted(wins, key=lambda n: -wins[n])
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the portfolio to a JSON file."""
+        with open(path, "w") as f:
+            json.dump({"entries": [e.to_json() for e in self.entries]}, f, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "MetaPortfolio":
+        """Read a portfolio written by :meth:`save`."""
+        with open(path) as f:
+            obj = json.load(f)
+        return cls([PortfolioEntry.from_json(e) for e in obj["entries"]])
+
+
+def build_portfolio(
+    datasets: list[tuple[str, Dataset]],
+    time_budget: float = 2.0,
+    metric: str | Metric = "auto",
+    seed: int = 0,
+    init_sample_size: int = 1000,
+    max_iters: int | None = None,
+) -> MetaPortfolio:
+    """Offline phase: run FLAML on each corpus task, harvest best configs.
+
+    ``datasets`` is a list of (name, Dataset) pairs — e.g. drawn from
+    ``repro.data.suite``.  The per-task budget is deliberately small: the
+    portfolio only needs *good starting points*, not converged searches.
+    """
+    from .automl import AutoML  # late import: automl imports this module's peers
+
+    portfolio = MetaPortfolio()
+    for name, data in datasets:
+        automl = AutoML(seed=seed, init_sample_size=init_sample_size)
+        automl.fit(
+            data.X,
+            data.y,
+            task=data.task,
+            time_budget=time_budget,
+            metric=metric,
+            retrain_full=False,
+            max_iters=max_iters,
+        )
+        portfolio.add(
+            PortfolioEntry(
+                dataset=name,
+                features=meta_features(data),
+                best_configs=automl.best_config_per_estimator,
+                best_learner=automl.best_estimator,
+                best_error=automl.best_loss,
+            )
+        )
+    return portfolio

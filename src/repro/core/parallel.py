@@ -1,0 +1,180 @@
+"""Parallel search threads (paper appendix) — simulated scheduler.
+
+The appendix: "After choosing one learner based on ECI to perform one
+search iteration, if there are extra available resources, we can sample
+another learner by ECI, and so on.  When one search iteration for a
+learner finishes, the resource is released and we select a learner again
+using updated ECIs. ... the multiple search threads are largely
+independent and do not interfere with each other."
+
+This environment has one core, so true parallelism is *simulated*: trials
+execute sequentially, but the scheduler maintains ``n_workers`` virtual
+workers and assigns each trial a virtual start/finish time; ECI updates
+become visible only at a trial's virtual finish, exactly as they would on
+real hardware.  The returned trial log carries virtual ``automl_time``
+values, so anytime curves reflect the parallel wall clock.  (DESIGN.md §2
+documents this substitution: multi-core hardware -> virtual-time
+scheduler exercising the same proposer logic.)
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..metrics.registry import Metric
+from .controller import SearchResult, TrialRecord
+from .eci import LearnerProposer
+from .evaluate import evaluate_config
+from .registry import LearnerSpec
+from .resampling import choose_resampling
+from .searchstate import SearchThread
+
+__all__ = ["ParallelSearchController"]
+
+
+class ParallelSearchController:
+    """ECI-scheduled search over ``n_workers`` virtual workers."""
+
+    def __init__(
+        self,
+        data: Dataset,
+        learners: dict[str, LearnerSpec],
+        metric: Metric,
+        time_budget: float = 60.0,
+        n_workers: int = 2,
+        seed: int = 0,
+        init_sample_size: int = 10_000,
+        sample_growth: float = 2.0,
+        n_splits: int = 5,
+        holdout_ratio: float = 0.1,
+        resampling_override: str | None = None,
+        cv_instance_threshold: int = 100_000,
+        cv_rate_threshold: float = 10e6 / 3600.0,
+        max_trials: int = 10_000,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.data = data
+        self.learners = dict(learners)
+        self.metric = metric
+        self.time_budget = float(time_budget)
+        self.n_workers = int(n_workers)
+        self.seed = seed
+        self.n_splits = n_splits
+        self.holdout_ratio = holdout_ratio
+        self.max_trials = max_trials
+        self.rng = np.random.default_rng(seed)
+        self.resampling = resampling_override or choose_resampling(
+            data.n, data.d, time_budget,
+            instance_threshold=cv_instance_threshold,
+            rate_threshold=cv_rate_threshold,
+        )
+        self.proposer = LearnerProposer(
+            list(learners), self.rng, c=sample_growth,
+            cost_constants={n: s.cost_constant for n, s in learners.items()},
+        )
+        # idle-thread pool per learner; a learner with all threads busy gets
+        # a NEW thread from a different random starting point (appendix:
+        # "one learner can also have multiple search threads by using
+        # different starting points")
+        self._init_sample_size = init_sample_size
+        self._sample_growth = sample_growth
+        self._idle: dict[str, list[SearchThread]] = {}
+        self._thread_count = 0
+        for name, spec in learners.items():
+            self._idle[name] = [self._new_thread(name, spec)]
+        self._labels = np.unique(data.y) if data.is_classification else None
+
+    def _new_thread(self, name: str, spec: LearnerSpec) -> SearchThread:
+        self._thread_count += 1
+        return SearchThread(
+            name, spec.space_fn(self.data.n, self.data.task),
+            full_size=self.data.n,
+            init_sample_size=self._init_sample_size,
+            sample_growth=self._sample_growth,
+            seed=self.seed + 1000 * self._thread_count,
+        )
+
+    # ------------------------------------------------------------------
+    def _launch(self, now: float):
+        """Pick a learner by current ECI and execute its next trial; the
+        trial's virtual finish time is now + measured cost."""
+        learner = self.proposer.propose()
+        pool = self._idle[learner]
+        thread = pool.pop() if pool else self._new_thread(
+            learner, self.learners[learner]
+        )
+        config, s, kind = thread.propose(self.proposer.states[learner])
+        outcome = evaluate_config(
+            self.data,
+            self.learners[learner].estimator_cls(self.data.task),
+            config, sample_size=s, resampling=self.resampling,
+            metric=self.metric, n_splits=self.n_splits,
+            holdout_ratio=self.holdout_ratio, seed=self.seed,
+            train_time_limit=self.time_budget, labels=self._labels,
+        )
+        return learner, thread, config, s, kind, outcome, now + outcome.cost
+
+    def run(self) -> SearchResult:
+        """Event-driven simulation: a heap of (finish_time, worker) events."""
+        trials: list[TrialRecord] = []
+        best_error = np.inf
+        best = (None, None, 0)
+        # (finish_time, seq, payload) events; one outstanding trial per worker
+        events: list = []
+        seq = 0
+        launched = 0
+        for _ in range(self.n_workers):
+            if launched >= self.max_trials:
+                break
+            payload = self._launch(0.0)
+            heapq.heappush(events, (payload[-1], seq, payload))
+            seq += 1
+            launched += 1
+        while events:
+            finish, _, payload = heapq.heappop(events)
+            learner, thread, config, s, kind, outcome, _ = payload
+            # feedback becomes visible at the trial's virtual finish; the
+            # thread returns to the learner's idle pool afterwards
+            thread.tell(outcome.error)
+            self._idle[learner].append(thread)
+            self.proposer.record(learner, outcome.error, outcome.cost)
+            improved = outcome.error < best_error
+            if improved:
+                best_error = outcome.error
+                best = (learner, config, s)
+            trials.append(
+                TrialRecord(
+                    iteration=len(trials) + 1,
+                    automl_time=finish,
+                    learner=learner,
+                    config=dict(config),
+                    sample_size=s,
+                    resampling=self.resampling,
+                    error=outcome.error,
+                    cost=outcome.cost,
+                    kind=kind,
+                    improved_global=improved,
+                    eci_snapshot=self.proposer.eci_values(),
+                )
+            )
+            if finish < self.time_budget and launched < self.max_trials:
+                payload = self._launch(finish)
+                heapq.heappush(events, (payload[-1], seq, payload))
+                seq += 1
+                launched += 1
+        trials.sort(key=lambda t: t.automl_time)
+        for i, t in enumerate(trials):
+            t.iteration = i + 1
+        return SearchResult(
+            best_learner=best[0],
+            best_config=best[1],
+            best_sample_size=best[2],
+            best_error=float(best_error),
+            resampling=self.resampling,
+            trials=trials,
+            wall_time=max((t.automl_time for t in trials), default=0.0),
+        )

@@ -1,0 +1,34 @@
+"""Step 0: the resampling-strategy proposer (paper §4.2).
+
+A simple thresholding rule implementing Property 2 (Resample):
+cross-validation when the data is small or the budget generous, holdout
+otherwise.  The paper's thresholds are "fewer than 100K instances" and
+"#instances x #features / budget < 10M per hour"; both are exposed as
+parameters so the scaled-down benchmark suite can scale them too
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+__all__ = ["choose_resampling", "PAPER_INSTANCE_THRESHOLD", "PAPER_RATE_THRESHOLD"]
+
+PAPER_INSTANCE_THRESHOLD = 100_000
+#: 10M per hour, expressed per second
+PAPER_RATE_THRESHOLD = 10e6 / 3600.0
+
+
+def choose_resampling(
+    n_instances: int,
+    n_features: int,
+    budget: float,
+    instance_threshold: int = PAPER_INSTANCE_THRESHOLD,
+    rate_threshold: float = PAPER_RATE_THRESHOLD,
+) -> str:
+    """Return ``"cv"`` or ``"holdout"`` via the paper's thresholding rule."""
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    if n_instances < instance_threshold and (
+        n_instances * n_features / budget < rate_threshold
+    ):
+        return "cv"
+    return "holdout"

@@ -1,0 +1,120 @@
+"""Serialisation of search results / trial logs to plain JSON dicts.
+
+Downstream users (and the benchmark harness) persist trial logs for later
+analysis; these helpers keep that format explicit and round-trippable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from .controller import SearchResult, TrialRecord
+
+__all__ = [
+    "trial_to_dict",
+    "trial_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, (np.integer,)):
+        return int(v)
+    if isinstance(v, (np.floating,)):
+        return float(v)
+    if isinstance(v, np.ndarray):
+        return v.tolist()
+    if isinstance(v, float) and not np.isfinite(v):
+        return "inf" if v > 0 else "-inf"
+    return v
+
+
+def _unjsonable(v: Any) -> Any:
+    if v == "inf":
+        return float("inf")
+    if v == "-inf":
+        return float("-inf")
+    return v
+
+
+def trial_to_dict(t: TrialRecord) -> dict:
+    """TrialRecord -> JSON-safe dict."""
+    return {
+        "iteration": t.iteration,
+        "automl_time": t.automl_time,
+        "learner": t.learner,
+        "config": {k: _jsonable(v) for k, v in t.config.items()},
+        "sample_size": int(t.sample_size),
+        "resampling": t.resampling,
+        "error": _jsonable(t.error),
+        "cost": t.cost,
+        "kind": t.kind,
+        "improved_global": bool(t.improved_global),
+        "eci_snapshot": {k: _jsonable(v) for k, v in t.eci_snapshot.items()},
+    }
+
+
+def trial_from_dict(d: dict) -> TrialRecord:
+    """JSON dict -> TrialRecord."""
+    return TrialRecord(
+        iteration=int(d["iteration"]),
+        automl_time=float(d["automl_time"]),
+        learner=d["learner"],
+        config=dict(d["config"]),
+        sample_size=int(d["sample_size"]),
+        resampling=d["resampling"],
+        error=float(_unjsonable(d["error"])),
+        cost=float(d["cost"]),
+        kind=d["kind"],
+        improved_global=bool(d["improved_global"]),
+        eci_snapshot={k: float(_unjsonable(v))
+                      for k, v in d.get("eci_snapshot", {}).items()},
+    )
+
+
+def result_to_dict(r: SearchResult) -> dict:
+    """SearchResult -> JSON-safe dict (the fitted model is not serialised)."""
+    return {
+        "best_learner": r.best_learner,
+        "best_config": (
+            {k: _jsonable(v) for k, v in r.best_config.items()}
+            if r.best_config is not None
+            else None
+        ),
+        "best_sample_size": int(r.best_sample_size),
+        "best_error": _jsonable(r.best_error),
+        "resampling": r.resampling,
+        "wall_time": r.wall_time,
+        "trials": [trial_to_dict(t) for t in r.trials],
+    }
+
+
+def result_from_dict(d: dict) -> SearchResult:
+    """JSON dict -> SearchResult."""
+    return SearchResult(
+        best_learner=d["best_learner"],
+        best_config=dict(d["best_config"]) if d["best_config"] is not None else None,
+        best_sample_size=int(d["best_sample_size"]),
+        best_error=float(_unjsonable(d["best_error"])),
+        resampling=d["resampling"],
+        trials=[trial_from_dict(t) for t in d["trials"]],
+        wall_time=float(d["wall_time"]),
+    )
+
+
+def save_result(r: SearchResult, path: str) -> None:
+    """Write a search result to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(result_to_dict(r), f)
+
+
+def load_result(path: str) -> SearchResult:
+    """Read a search result from a JSON file."""
+    with open(path) as f:
+        return result_from_dict(json.load(f))

@@ -1,0 +1,343 @@
+"""Search-space primitives and the paper's Table 5 default spaces.
+
+A :class:`Domain` describes one hyperparameter: how to sample it, its
+low-cost initial value (the bold entries in Table 5), and a bijection to
+the unit interval so FLOW2 can do geometry in ``[0, 1]^d``.  Log-scaled
+domains map through log-space, integer domains round on the way out, and
+categorical choices are embedded ordinally (FLAML does the same).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "Domain",
+    "Uniform",
+    "LogUniform",
+    "RandInt",
+    "LogRandInt",
+    "Choice",
+    "SearchSpace",
+]
+
+
+class Domain:
+    """One hyperparameter's range + initial point + unit-cube embedding."""
+
+    init: Any
+
+    def sample(self, rng: np.random.Generator):
+        """Draw a uniform random value/config from the domain."""
+        raise NotImplementedError
+
+    def to_unit(self, value) -> float:
+        """Map a value/config into the unit cube."""
+        raise NotImplementedError
+
+    def from_unit(self, u: float):
+        """Map unit-cube coordinates back to a value/config."""
+        raise NotImplementedError
+
+
+@dataclass
+class Uniform(Domain):
+    """Uniform float in [lo, hi]."""
+
+    lo: float
+    hi: float
+    init: float | None = None
+
+    def __post_init__(self):
+        if not self.lo < self.hi:
+            raise ValueError(f"need lo < hi, got [{self.lo}, {self.hi}]")
+        if self.init is None:
+            self.init = self.lo
+
+    def sample(self, rng):
+        """Draw a uniform random value/config from the domain."""
+        return float(rng.uniform(self.lo, self.hi))
+
+    def to_unit(self, value):
+        """Map a value/config into the unit cube."""
+        return float(np.clip((value - self.lo) / (self.hi - self.lo), 0.0, 1.0))
+
+    def from_unit(self, u):
+        """Map unit-cube coordinates back to a value/config."""
+        return float(self.lo + np.clip(u, 0.0, 1.0) * (self.hi - self.lo))
+
+
+@dataclass
+class LogUniform(Domain):
+    """Log-uniform float in [lo, hi] (0 < lo)."""
+
+    lo: float
+    hi: float
+    init: float | None = None
+
+    def __post_init__(self):
+        if not 0 < self.lo < self.hi:
+            raise ValueError(f"need 0 < lo < hi, got [{self.lo}, {self.hi}]")
+        if self.init is None:
+            self.init = self.lo
+
+    def sample(self, rng):
+        """Draw a uniform random value/config from the domain."""
+        return float(np.exp(rng.uniform(math.log(self.lo), math.log(self.hi))))
+
+    def to_unit(self, value):
+        """Map a value/config into the unit cube."""
+        value = float(np.clip(value, self.lo, self.hi))
+        return (math.log(value) - math.log(self.lo)) / (
+            math.log(self.hi) - math.log(self.lo)
+        )
+
+    def from_unit(self, u):
+        """Map unit-cube coordinates back to a value/config."""
+        u = float(np.clip(u, 0.0, 1.0))
+        return float(
+            math.exp(math.log(self.lo) + u * (math.log(self.hi) - math.log(self.lo)))
+        )
+
+
+@dataclass
+class RandInt(Domain):
+    """Uniform integer in [lo, hi]."""
+
+    lo: int
+    hi: int
+    init: int | None = None
+
+    def __post_init__(self):
+        if not self.lo < self.hi:
+            raise ValueError(f"need lo < hi, got [{self.lo}, {self.hi}]")
+        if self.init is None:
+            self.init = self.lo
+
+    def sample(self, rng):
+        """Draw a uniform random value/config from the domain."""
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def to_unit(self, value):
+        """Map a value/config into the unit cube."""
+        return float(np.clip((value - self.lo) / (self.hi - self.lo), 0.0, 1.0))
+
+    def from_unit(self, u):
+        """Map unit-cube coordinates back to a value/config."""
+        return int(round(self.lo + np.clip(u, 0.0, 1.0) * (self.hi - self.lo)))
+
+
+@dataclass
+class LogRandInt(Domain):
+    """Log-uniform integer in [lo, hi] (0 < lo)."""
+
+    lo: int
+    hi: int
+    init: int | None = None
+
+    def __post_init__(self):
+        if not 0 < self.lo < self.hi:
+            raise ValueError(f"need 0 < lo < hi, got [{self.lo}, {self.hi}]")
+        if self.init is None:
+            self.init = self.lo
+
+    def sample(self, rng):
+        """Draw a uniform random value/config from the domain."""
+        return int(round(np.exp(rng.uniform(math.log(self.lo), math.log(self.hi)))))
+
+    def to_unit(self, value):
+        """Map a value/config into the unit cube."""
+        value = float(np.clip(value, self.lo, self.hi))
+        return (math.log(value) - math.log(self.lo)) / (
+            math.log(self.hi) - math.log(self.lo)
+        )
+
+    def from_unit(self, u):
+        """Map unit-cube coordinates back to a value/config."""
+        u = float(np.clip(u, 0.0, 1.0))
+        return int(
+            round(
+                math.exp(
+                    math.log(self.lo) + u * (math.log(self.hi) - math.log(self.lo))
+                )
+            )
+        )
+
+
+@dataclass
+class Choice(Domain):
+    """Categorical choice over ``options`` (ordinal unit-cube embedding)."""
+
+    options: tuple
+    init: Any = None
+
+    def __post_init__(self):
+        self.options = tuple(self.options)
+        if len(self.options) < 2:
+            raise ValueError("Choice needs at least two options")
+        if self.init is None:
+            self.init = self.options[0]
+        elif self.init not in self.options:
+            raise ValueError(f"init {self.init!r} not among options")
+
+    def sample(self, rng):
+        """Draw a uniform random value/config from the domain."""
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+    def to_unit(self, value):
+        """Map a value/config into the unit cube."""
+        i = self.options.index(value)
+        return (i + 0.5) / len(self.options)
+
+    def from_unit(self, u):
+        """Map unit-cube coordinates back to a value/config."""
+        i = int(np.clip(u, 0.0, 1.0 - 1e-12) * len(self.options))
+        return self.options[i]
+
+
+class SearchSpace:
+    """An ordered mapping of hyperparameter name -> :class:`Domain`."""
+
+    def __init__(self, domains: dict[str, Domain]) -> None:
+        if not domains:
+            raise ValueError("empty search space")
+        self.domains = dict(domains)
+        self.names = list(domains)
+
+    @property
+    def dim(self) -> int:
+        """Number of hyperparameters in the space."""
+        return len(self.names)
+
+    def init_config(self) -> dict:
+        """The low-cost initial configuration (Table 5 bold values)."""
+        return {k: d.init for k, d in self.domains.items()}
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        """Draw a uniform random value/config from the domain."""
+        return {k: d.sample(rng) for k, d in self.domains.items()}
+
+    def to_unit(self, config: dict) -> np.ndarray:
+        """Map a value/config into the unit cube."""
+        return np.array(
+            [self.domains[k].to_unit(config[k]) for k in self.names], dtype=np.float64
+        )
+
+    def from_unit(self, u: np.ndarray) -> dict:
+        """Map unit-cube coordinates back to a value/config."""
+        return {k: self.domains[k].from_unit(u[i]) for i, k in enumerate(self.names)}
+
+
+# ----------------------------------------------------------------------
+# Table 5 default spaces.  S = number of training instances; bold values
+# (lowest cost/complexity) are the init points.
+# ----------------------------------------------------------------------
+def xgboost_space(data_size: int, task: str) -> SearchSpace:
+    """Table 5 default space for the XGBoost-like learner."""
+    cap = max(5, min(32768, data_size))
+    return SearchSpace(
+        {
+            "tree_num": LogRandInt(4, cap, init=4),
+            "leaf_num": LogRandInt(4, cap, init=4),
+            "min_child_weight": LogUniform(0.01, 20.0, init=20.0),
+            "learning_rate": LogUniform(0.01, 1.0, init=0.1),
+            "subsample": Uniform(0.6, 1.0, init=1.0),
+            "reg_alpha": LogUniform(1e-10, 1.0, init=1e-10),
+            "reg_lambda": LogUniform(1e-10, 1.0, init=1.0),
+            "colsample_bylevel": Uniform(0.6, 1.0, init=1.0),
+            "colsample_bytree": Uniform(0.7, 1.0, init=1.0),
+        }
+    )
+
+
+def lgbm_space(data_size: int, task: str) -> SearchSpace:
+    """Table 5 default space for the LightGBM-like learner."""
+    cap = max(5, min(32768, data_size))
+    return SearchSpace(
+        {
+            "tree_num": LogRandInt(4, cap, init=4),
+            "leaf_num": LogRandInt(4, cap, init=4),
+            "min_child_weight": LogUniform(0.01, 20.0, init=20.0),
+            "learning_rate": LogUniform(0.01, 1.0, init=0.1),
+            "subsample": Uniform(0.6, 1.0, init=1.0),
+            "reg_alpha": LogUniform(1e-10, 1.0, init=1e-10),
+            "reg_lambda": LogUniform(1e-10, 1.0, init=1.0),
+            "max_bin": LogRandInt(7, 1023, init=63),
+            "colsample_bytree": Uniform(0.7, 1.0, init=1.0),
+        }
+    )
+
+
+def catboost_space(data_size: int, task: str) -> SearchSpace:
+    """Table 5 default space for the CatBoost-like learner."""
+    return SearchSpace(
+        {
+            "early_stop_rounds": RandInt(10, 150, init=10),
+            "learning_rate": LogUniform(0.005, 0.2, init=0.1),
+        }
+    )
+
+
+def _forest_space(data_size: int, task: str) -> SearchSpace:
+    cap = max(5, min(2048, data_size))
+    domains: dict[str, Domain] = {
+        "tree_num": LogRandInt(4, cap, init=4),
+        "max_features": Uniform(0.1, 1.0, init=1.0),
+    }
+    if task != "regression":
+        domains["criterion"] = Choice(("gini", "entropy"), init="gini")
+    return SearchSpace(domains)
+
+
+rf_space = _forest_space
+extra_tree_space = _forest_space
+
+
+def lrl1_space(data_size: int, task: str) -> SearchSpace:
+    """Table 5 default space for the L1 logistic learner."""
+    return SearchSpace({"C": LogUniform(0.03125, 32768.0, init=1.0)})
+
+
+lrl2_space = lrl1_space
+
+
+def xgb_limitdepth_space(data_size: int, task: str) -> SearchSpace:
+    """Space for the extra depth-wise XGBoost learner: ``max_depth``
+    replaces ``leaf_num`` (init at the shallowest/cheapest depth)."""
+    cap = max(5, min(32768, data_size))
+    return SearchSpace(
+        {
+            "tree_num": LogRandInt(4, cap, init=4),
+            "max_depth": RandInt(1, 12, init=1),
+            "min_child_weight": LogUniform(0.01, 20.0, init=20.0),
+            "learning_rate": LogUniform(0.01, 1.0, init=0.1),
+            "subsample": Uniform(0.6, 1.0, init=1.0),
+            "reg_alpha": LogUniform(1e-10, 1.0, init=1e-10),
+            "reg_lambda": LogUniform(1e-10, 1.0, init=1.0),
+            "colsample_bylevel": Uniform(0.6, 1.0, init=1.0),
+            "colsample_bytree": Uniform(0.7, 1.0, init=1.0),
+        }
+    )
+
+
+def knn_space(data_size: int, task: str) -> SearchSpace:
+    """Space for the extra k-nearest-neighbour learner (not in Table 5;
+    mirrors the ranges FLAML's open-source release later adopted)."""
+    cap = max(2, min(256, data_size // 2 or 2))
+    return SearchSpace(
+        {
+            "n_neighbors": LogRandInt(1, cap, init=min(5, cap)),
+            "weights": Choice(("uniform", "distance"), init="uniform"),
+        }
+    )
+
+
+def gaussian_nb_space(data_size: int, task: str) -> SearchSpace:
+    """Space for the extra Gaussian naive Bayes learner."""
+    return SearchSpace(
+        {"var_smoothing": LogUniform(1e-12, 1e-1, init=1e-9)}
+    )

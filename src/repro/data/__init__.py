@@ -1,0 +1,46 @@
+"""Data substrate: dataset container, generators, benchmark suite,
+selectivity-estimation workloads."""
+
+from .dataset import Dataset, holdout_indices, kfold_indices, stratified_shuffle
+from .generators import make_classification, make_regression
+from .io import from_csv, load_npz, save_npz, to_csv
+from .preprocessing import Imputer, OneHotEncoder, Pipeline, StandardScaler
+from .selectivity import (
+    MANUAL_CONFIG,
+    SELECTIVITY_DATASETS,
+    SelectivityWorkload,
+    load_selectivity,
+    make_table,
+    make_workload,
+    selectivity_to_dataset,
+)
+from .suite import SUITE, DatasetSpec, iter_suite, load_dataset, suite_names
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "Imputer",
+    "MANUAL_CONFIG",
+    "OneHotEncoder",
+    "Pipeline",
+    "SELECTIVITY_DATASETS",
+    "SUITE",
+    "SelectivityWorkload",
+    "StandardScaler",
+    "from_csv",
+    "holdout_indices",
+    "iter_suite",
+    "kfold_indices",
+    "load_dataset",
+    "load_npz",
+    "load_selectivity",
+    "make_classification",
+    "make_regression",
+    "make_table",
+    "make_workload",
+    "save_npz",
+    "selectivity_to_dataset",
+    "stratified_shuffle",
+    "suite_names",
+    "to_csv",
+]

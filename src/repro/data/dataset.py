@@ -1,0 +1,178 @@
+"""Dataset container and resampling utilities.
+
+Implements exactly the data handling FLAML's controller needs (§4.2):
+
+* random shuffling up front, **stratified for classification**, so that a
+  sample of size ``s`` is just the first ``s`` rows of the shuffled data;
+* k-fold cross-validation and holdout splitting;
+* 10-fold outer splits to mimic the benchmark's OpenML task folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset", "stratified_shuffle", "kfold_indices", "holdout_indices"]
+
+TASKS = ("binary", "multiclass", "regression")
+
+
+def stratified_shuffle(y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Permutation that interleaves classes evenly along the prefix.
+
+    Round-robins over per-class shuffled queues so every prefix of the
+    result has approximately the full-data class mix — this is what makes
+    FLAML's "take the first s rows" sampling valid for classification.
+    """
+    y = np.asarray(y)
+    order = rng.permutation(y.size)
+    # Stable-sort the shuffled indices by class so each class forms a
+    # contiguous shuffled queue, then interleave the queues proportionally:
+    # the j-th element of a class of size c gets sort key (j + u)/c with a
+    # shared random phase u, which deals classes out evenly along the prefix.
+    by_class = order[np.argsort(y[order], kind="mergesort")]
+    _, counts = np.unique(y, return_counts=True)
+    within = np.concatenate([np.arange(c, dtype=np.float64) for c in counts])
+    size = np.repeat(counts.astype(np.float64), counts)
+    keys = (within + rng.random(y.size)) / size
+    return by_class[np.argsort(keys, kind="mergesort")]
+
+
+def kfold_indices(
+    n: int, k: int, y: np.ndarray | None = None, rng: np.random.Generator | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """k-fold split indices; stratified when ``y`` is given."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if k > n:
+        raise ValueError(f"cannot make {k} folds from {n} rows")
+    rng = rng or np.random.default_rng(0)
+    if y is not None:
+        order = stratified_shuffle(y, rng)
+    else:
+        order = rng.permutation(n)
+    folds = [order[i::k] for i in range(k)]
+    out = []
+    for i in range(k):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, val))
+    return out
+
+
+def holdout_indices(
+    n: int, ratio: float, y: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(train, val) indices with ``ratio`` of rows held out; stratified if y."""
+    if not 0 < ratio < 1:
+        raise ValueError(f"holdout ratio must be in (0,1), got {ratio}")
+    rng = rng or np.random.default_rng(0)
+    order = stratified_shuffle(y, rng) if y is not None else rng.permutation(n)
+    n_val = max(1, int(round(ratio * n)))
+    return order[n_val:], order[:n_val]
+
+
+@dataclass
+class Dataset:
+    """A named supervised-learning task.
+
+    ``X`` may contain NaNs (missing values) and ordinal-encoded categorical
+    columns (listed in ``categorical``); all learners consume this format
+    directly through the binner.
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    task: str
+    categorical: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y)
+        if self.task not in TASKS:
+            raise ValueError(f"task must be one of {TASKS}, got {self.task!r}")
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got {self.X.shape}")
+        if self.y.shape[0] != self.X.shape[0]:
+            raise ValueError("X and y row counts differ")
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of rows (instances)."""
+        return int(self.X.shape[0])
+
+    @property
+    def d(self) -> int:
+        """Number of feature columns."""
+        return int(self.X.shape[1])
+
+    @property
+    def is_classification(self) -> bool:
+        """True for binary/multiclass tasks."""
+        return self.task in ("binary", "multiclass")
+
+    @property
+    def n_classes(self) -> int:
+        """Distinct label count (0 for regression)."""
+        return int(np.unique(self.y).size) if self.is_classification else 0
+
+    # ------------------------------------------------------------------
+    def shuffled(self, seed: int = 0) -> "Dataset":
+        """Stratified (classification) or plain random shuffle of the rows."""
+        rng = np.random.default_rng(seed)
+        order = (
+            stratified_shuffle(self.y, rng)
+            if self.is_classification
+            else rng.permutation(self.n)
+        )
+        return Dataset(self.name, self.X[order], self.y[order], self.task,
+                       self.categorical)
+
+    def head(self, s: int) -> "Dataset":
+        """First ``s`` rows (the paper's subsample-of-shuffled-data)."""
+        s = min(int(s), self.n)
+        return Dataset(self.name, self.X[:s], self.y[:s], self.task,
+                       self.categorical)
+
+    def subset(self, idx: np.ndarray) -> "Dataset":
+        """Rows selected by an index array, as a new Dataset."""
+        return Dataset(self.name, self.X[idx], self.y[idx], self.task,
+                       self.categorical)
+
+    def outer_folds(
+        self, n_folds: int = 10, seed: int = 42
+    ) -> list[tuple["Dataset", "Dataset"]]:
+        """Benchmark-style outer (train, test) splits, stratified for
+        classification — the stand-in for OpenML's fixed 10 folds."""
+        rng = np.random.default_rng(seed)
+        y = self.y if self.is_classification else None
+        return [
+            (self.subset(tr), self.subset(te))
+            for tr, te in kfold_indices(self.n, n_folds, y=y, rng=rng)
+        ]
+
+    def describe(self) -> dict:
+        """Summary statistics (what ``python -m repro datasets --describe``
+        prints): shape, task, class balance, missingness, categoricals."""
+        out = {
+            "name": self.name,
+            "task": self.task,
+            "n": self.n,
+            "d": self.d,
+            "n_categorical": len(self.categorical),
+            "missing_frac": float(np.isnan(self.X).mean()),
+        }
+        if self.is_classification:
+            counts = np.unique(self.y, return_counts=True)[1]
+            out["n_classes"] = int(counts.size)
+            out["minority_frac"] = float(counts.min() / counts.sum())
+        else:
+            y = self.y.astype(np.float64)
+            out["y_mean"] = float(y.mean())
+            out["y_std"] = float(y.std())
+        return out

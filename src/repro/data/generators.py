@@ -1,0 +1,213 @@
+"""Synthetic task generators.
+
+These produce the stand-ins for the paper's 53 benchmark datasets
+(DESIGN.md §2): parametric classification tasks spanning linear, nonlinear
+and interaction structure, plus the classic PMLB regression functions
+(friedman, 2dplanes, mv, pol, poker-like) implemented from their published
+definitions.  Every generator returns a :class:`~repro.data.dataset.Dataset`
+and is fully determined by its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "make_classification",
+    "make_regression",
+    "FRIEDMAN1",
+    "REGRESSION_STRUCTURES",
+    "CLASSIFICATION_STRUCTURES",
+]
+
+CLASSIFICATION_STRUCTURES = ("linear", "nonlinear", "xor", "clusters")
+REGRESSION_STRUCTURES = (
+    "friedman1",
+    "friedman2",
+    "friedman3",
+    "plane",
+    "poly",
+    "step",
+    "multiplicative",
+)
+
+
+def _inject_tabular_noise(
+    X: np.ndarray,
+    rng: np.random.Generator,
+    cat_frac: float,
+    missing_frac: float,
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Discretise a fraction of columns to ordinal categoricals and knock
+    out a fraction of cells to NaN — matching the benchmark datasets'
+    mixed numeric/categorical/missing profile."""
+    d = X.shape[1]
+    cats: list[int] = []
+    if cat_frac > 0:
+        n_cat = int(round(cat_frac * d))
+        cat_cols = rng.choice(d, size=n_cat, replace=False)
+        for j in cat_cols:
+            n_levels = int(rng.integers(2, 9))
+            qs = np.quantile(X[:, j], np.linspace(0, 1, n_levels + 1)[1:-1])
+            X[:, j] = np.digitize(X[:, j], qs).astype(np.float64)
+            cats.append(int(j))
+    if missing_frac > 0:
+        mask = rng.random(X.shape) < missing_frac
+        X[mask] = np.nan
+    return X, tuple(sorted(cats))
+
+
+def make_classification(
+    n: int,
+    d: int,
+    n_classes: int = 2,
+    structure: str = "nonlinear",
+    n_informative: int | None = None,
+    class_sep: float = 1.0,
+    flip_y: float = 0.02,
+    cat_frac: float = 0.0,
+    missing_frac: float = 0.0,
+    imbalance: float = 0.0,
+    seed: int = 0,
+    name: str = "synthetic-clf",
+) -> Dataset:
+    """Generate a tabular classification task.
+
+    ``structure`` controls the decision surface:
+
+    * ``linear`` — a noisy linear score thresholded into classes;
+    * ``nonlinear`` — linear + sin/quadratic distortions (default);
+    * ``xor`` — parity of informative-feature signs (hard for linear models);
+    * ``clusters`` — gaussian mixture with one or more blobs per class.
+
+    ``imbalance`` in [0, 1) skews the class prior toward class 0.
+    """
+    if structure not in CLASSIFICATION_STRUCTURES:
+        raise ValueError(f"unknown structure {structure!r}")
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    rng = np.random.default_rng(seed)
+    n_informative = n_informative or max(2, int(0.6 * d))
+    n_informative = min(n_informative, d)
+    X = rng.standard_normal((n, d))
+    Xi = X[:, :n_informative]
+
+    if structure == "clusters":
+        # place class centroids on a sphere, scaled by class_sep
+        centers = rng.standard_normal((n_classes, n_informative))
+        centers *= class_sep * 2.0 / np.linalg.norm(centers, axis=1, keepdims=True)
+        y = rng.integers(0, n_classes, n)
+        X[:, :n_informative] += centers[y]
+    else:
+        if structure == "linear":
+            score = Xi @ rng.standard_normal(n_informative)
+        elif structure == "nonlinear":
+            w1 = rng.standard_normal(n_informative)
+            w2 = rng.standard_normal(n_informative)
+            score = Xi @ w1 + np.sin(2.0 * (Xi @ w2)) + 0.5 * (Xi[:, 0] * Xi[:, 1 % n_informative])
+        else:  # xor
+            k = min(4, n_informative)
+            score = np.prod(np.sign(Xi[:, :k]), axis=1) * (
+                1.0 + 0.3 * np.abs(Xi[:, 0])
+            )
+        score = score + (1.0 / max(class_sep, 1e-6) - 1.0) * rng.standard_normal(n)
+        if imbalance > 0 and n_classes == 2:
+            thresh = np.quantile(score, 0.5 + imbalance / 2)
+            y = (score > thresh).astype(np.int64)
+        else:
+            cuts = np.quantile(score, np.linspace(0, 1, n_classes + 1)[1:-1])
+            y = np.digitize(score, cuts).astype(np.int64)
+
+    if flip_y > 0:
+        flip = rng.random(n) < flip_y
+        y[flip] = rng.integers(0, n_classes, int(flip.sum()))
+
+    X, cats = _inject_tabular_noise(X, rng, cat_frac, missing_frac)
+    task = "binary" if n_classes == 2 else "multiclass"
+    return Dataset(name, X, y, task, cats)
+
+
+# ----------------------------------------------------------------------
+def FRIEDMAN1(X: np.ndarray) -> np.ndarray:
+    """The Friedman #1 function on uniform[0,1] inputs (needs >= 5 cols)."""
+    return (
+        10.0 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20.0 * (X[:, 2] - 0.5) ** 2
+        + 10.0 * X[:, 3]
+        + 5.0 * X[:, 4]
+    )
+
+
+def make_regression(
+    n: int,
+    d: int,
+    structure: str = "friedman1",
+    noise: float = 1.0,
+    cat_frac: float = 0.0,
+    missing_frac: float = 0.0,
+    seed: int = 0,
+    name: str = "synthetic-reg",
+) -> Dataset:
+    """Generate a tabular regression task.
+
+    Structures follow the published synthetic benchmarks that PMLB's large
+    regression datasets derive from (fried/2dplanes/mv/pol families).
+    """
+    if structure not in REGRESSION_STRUCTURES:
+        raise ValueError(f"unknown structure {structure!r}")
+    rng = np.random.default_rng(seed)
+
+    if structure == "friedman1":
+        d = max(d, 5)
+        X = rng.random((n, d))
+        y = FRIEDMAN1(X)
+    elif structure == "friedman2":
+        d = max(d, 4)
+        X = rng.random((n, d))
+        x0 = X[:, 0] * 100
+        x1 = X[:, 1] * 520 * np.pi + 40 * np.pi
+        x2 = X[:, 2]
+        x3 = X[:, 3] * 10 + 1
+        y = np.sqrt(x0**2 + (x1 * x2 - 1.0 / (x1 * x3)) ** 2) / 100.0
+    elif structure == "friedman3":
+        d = max(d, 4)
+        X = rng.random((n, d))
+        x0 = X[:, 0] * 100 + 1e-3
+        x1 = X[:, 1] * 520 * np.pi + 40 * np.pi
+        x2 = X[:, 2]
+        x3 = X[:, 3] * 10 + 1
+        y = np.arctan((x1 * x2 - 1.0 / (x1 * x3)) / x0)
+    elif structure == "plane":
+        # 2dplanes-style: axis-aligned plane selected by a ternary switch
+        d = max(d, 10)
+        X = rng.choice([-1.0, 0.0, 1.0], size=(n, d))
+        sel = X[:, 0] > 0
+        y = np.where(
+            sel,
+            3.0 + 3.0 * X[:, 1] + 2.0 * X[:, 2] + X[:, 3],
+            -3.0 + 3.0 * X[:, 4] + 2.0 * X[:, 5] + X[:, 6],
+        )
+    elif structure == "poly":
+        # pol-style smooth polynomial response
+        X = rng.standard_normal((n, d))
+        w = rng.standard_normal(d)
+        z = X @ w / np.sqrt(d)
+        y = z**3 - 2.0 * z + 0.5 * z**2
+    elif structure == "multiplicative":
+        # mv-style mixed interactions
+        d = max(d, 6)
+        X = rng.standard_normal((n, d))
+        y = (
+            X[:, 0] * X[:, 1]
+            + np.where(X[:, 2] > 0, 2.0 * X[:, 3], -X[:, 4])
+            + np.abs(X[:, 5])
+        )
+    else:  # step
+        X = rng.standard_normal((n, d))
+        w = rng.standard_normal(d)
+        y = np.floor(2.0 * (X @ w) / np.sqrt(d)) * 0.5
+    y = y + noise * np.std(y) * 0.1 * rng.standard_normal(n)
+    X, cats = _inject_tabular_noise(X, rng, cat_frac, missing_frac)
+    return Dataset(name, X, y.astype(np.float64), "regression", cats)

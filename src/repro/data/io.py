@@ -1,0 +1,171 @@
+"""Dataset persistence: NPZ round-trips and CSV import/export.
+
+The paper's system consumes "an ad-hoc featurized dataset" (§3); real
+deployments hand those over as files.  This module gives :class:`Dataset`
+two on-disk forms:
+
+* **NPZ** — lossless binary round-trip (X with NaNs, y of any dtype, the
+  task string, the categorical column tuple);
+* **CSV** — the interchange format users actually have.  ``from_csv``
+  parses a headered file, ordinal-encodes non-numeric columns (recording
+  them in ``Dataset.categorical``), maps empty fields to NaN, and infers
+  the task from the label column unless told otherwise.
+
+Only the standard library and NumPy are used — no pandas in this
+environment.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["save_npz", "load_npz", "to_csv", "from_csv"]
+
+#: CSV cell spellings treated as missing values
+_MISSING = {"", "na", "nan", "null", "none", "?"}
+
+
+# ---------------------------------------------------------------- NPZ --
+def save_npz(data: Dataset, path: str) -> None:
+    """Write a lossless binary snapshot of the dataset."""
+    np.savez_compressed(
+        path,
+        X=data.X,
+        y=data.y,
+        task=np.array(data.task),
+        name=np.array(data.name),
+        categorical=np.asarray(data.categorical, dtype=np.int64),
+    )
+
+
+def load_npz(path: str) -> Dataset:
+    """Read a dataset written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as z:
+        return Dataset(
+            name=str(z["name"]),
+            X=z["X"],
+            y=z["y"],
+            task=str(z["task"]),
+            categorical=tuple(int(i) for i in z["categorical"]),
+        )
+
+
+# ---------------------------------------------------------------- CSV --
+def to_csv(data: Dataset, path: str, label: str = "target") -> None:
+    """Write the dataset as a headered CSV (features f0..fK, then label).
+
+    Missing values (NaN) are written as empty cells; categorical codes are
+    written as integers.
+    """
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow([f"f{i}" for i in range(data.d)] + [label])
+        cat = set(data.categorical)
+        for i in range(data.n):
+            row = []
+            for j in range(data.d):
+                v = data.X[i, j]
+                if np.isnan(v):
+                    row.append("")
+                elif j in cat or float(v).is_integer():
+                    row.append(str(int(v)))
+                else:
+                    row.append(repr(float(v)))
+            row.append(data.y[i])
+            w.writerow(row)
+
+
+def _parse_column(raw: list[str]) -> tuple[np.ndarray, bool]:
+    """(values, is_categorical) for one column of raw CSV strings.
+
+    Numeric columns (allowing missing cells) come back as float64 with
+    NaNs; anything else is ordinal-encoded by sorted category label.
+    """
+    vals = np.empty(len(raw), dtype=np.float64)
+    numeric = True
+    for i, cell in enumerate(raw):
+        cell = cell.strip()
+        if cell.lower() in _MISSING:
+            vals[i] = np.nan
+            continue
+        try:
+            vals[i] = float(cell)
+        except ValueError:
+            numeric = False
+            break
+    if numeric:
+        return vals, False
+    # categorical: ordinal-encode the labels, missing stays NaN
+    cleaned = [c.strip() for c in raw]
+    present = sorted({c for c in cleaned if c.lower() not in _MISSING})
+    code = {c: float(k) for k, c in enumerate(present)}
+    vals = np.array(
+        [np.nan if c.lower() in _MISSING else code[c] for c in cleaned],
+        dtype=np.float64,
+    )
+    return vals, True
+
+
+def from_csv(
+    path: str,
+    label: str | int = -1,
+    task: str | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """Parse a headered CSV into a :class:`Dataset`.
+
+    ``label`` selects the target column by header name or position
+    (default: last column).  ``task`` overrides task inference
+    (``binary``/``multiclass``/``regression``/``classification``).
+    """
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        rows = [r for r in reader if r]
+    if not rows:
+        raise ValueError(f"{path} contains a header but no data rows")
+    if any(len(r) != len(header) for r in rows):
+        raise ValueError(f"{path} has rows of differing width")
+    if isinstance(label, str):
+        try:
+            label_idx = header.index(label)
+        except ValueError:
+            raise ValueError(
+                f"label column {label!r} not in header {header}"
+            ) from None
+    else:
+        label_idx = int(label) % len(header)
+
+    cols = list(zip(*rows))
+    y_raw = [c.strip() for c in cols[label_idx]]
+    if any(c.lower() in _MISSING for c in y_raw):
+        raise ValueError("label column contains missing values")
+    y_vals, y_is_cat = _parse_column(list(y_raw))
+    y: np.ndarray = np.array(y_raw) if y_is_cat else y_vals
+
+    feature_idx = [j for j in range(len(header)) if j != label_idx]
+    if not feature_idx:
+        raise ValueError("no feature columns besides the label")
+    X = np.empty((len(rows), len(feature_idx)), dtype=np.float64)
+    categorical = []
+    for out_j, j in enumerate(feature_idx):
+        X[:, out_j], is_cat = _parse_column(list(cols[j]))
+        if is_cat:
+            categorical.append(out_j)
+
+    # late import: core.automl depends on data.dataset, not the reverse
+    from ..core.automl import infer_task
+
+    resolved = infer_task(y, task)
+    return Dataset(
+        name=name or str(path),
+        X=X,
+        y=y if y_is_cat else (y_vals if resolved == "regression"
+                              else y_vals.astype(np.int64)),
+        task=resolved,
+        categorical=tuple(categorical),
+    )

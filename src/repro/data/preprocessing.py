@@ -1,0 +1,166 @@
+"""Feature preprocessing (paper §3 footnote 2).
+
+FLAML "does not innovate on featurization techniques, though the system
+can easily support feature preprocessors."  This module provides the
+support: simple, composable preprocessors with the fit/transform contract
+and a :class:`Pipeline` that lets any learner consume raw mixed-type data.
+The tree learners handle NaNs and ordinal categoricals natively, so these
+are mainly useful for the linear learners and for user featurization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Imputer", "StandardScaler", "OneHotEncoder", "Pipeline"]
+
+
+class Imputer:
+    """Replace NaNs with a per-column statistic ('mean', 'median', 'most_frequent')."""
+
+    def __init__(self, strategy: str = "mean") -> None:
+        if strategy not in ("mean", "median", "most_frequent"):
+            raise ValueError(f"unknown imputation strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "Imputer":
+        """Learn the transform statistics from X; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        d = X.shape[1]
+        fill = np.zeros(d)
+        for j in range(d):
+            col = X[:, j]
+            col = col[~np.isnan(col)]
+            if col.size == 0:
+                fill[j] = 0.0
+            elif self.strategy == "mean":
+                fill[j] = col.mean()
+            elif self.strategy == "median":
+                fill[j] = np.median(col)
+            else:
+                vals, counts = np.unique(col, return_counts=True)
+                fill[j] = vals[np.argmax(counts)]
+        self.fill_ = fill
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to X."""
+        if self.fill_ is None:
+            raise RuntimeError("Imputer not fitted")
+        X = np.asarray(X, dtype=np.float64).copy()
+        nan_r, nan_c = np.nonzero(np.isnan(X))
+        X[nan_r, nan_c] = self.fill_[nan_c]
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on X and return the transformed X."""
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling (NaN-aware statistics)."""
+
+    def __init__(self) -> None:
+        self.mu_: np.ndarray | None = None
+        self.sd_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn the transform statistics from X; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        self.mu_ = np.nanmean(X, axis=0)
+        sd = np.nanstd(X, axis=0)
+        sd[sd < 1e-12] = 1.0
+        self.sd_ = sd
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to X."""
+        if self.mu_ is None:
+            raise RuntimeError("StandardScaler not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.mu_) / self.sd_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on X and return the transformed X."""
+        return self.fit(X).transform(X)
+
+
+class OneHotEncoder:
+    """One-hot encode the given columns; unseen categories map to all-zero.
+
+    NaN is treated as its own category (missingness is informative).
+    """
+
+    def __init__(self, columns: tuple[int, ...]) -> None:
+        self.columns = tuple(columns)
+        self.categories_: dict[int, np.ndarray] | None = None
+
+    @staticmethod
+    def _canon(col: np.ndarray) -> np.ndarray:
+        # NaN != NaN breaks unique/searchsorted; use a sentinel
+        out = col.copy()
+        out[np.isnan(out)] = np.inf
+        return out
+
+    def fit(self, X: np.ndarray) -> "OneHotEncoder":
+        """Learn the transform statistics from X; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        self.categories_ = {
+            j: np.unique(self._canon(X[:, j])) for j in self.columns
+        }
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to X."""
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        keep = [j for j in range(X.shape[1]) if j not in self.columns]
+        blocks = [X[:, keep]]
+        for j in self.columns:
+            cats = self.categories_[j]
+            col = self._canon(X[:, j])
+            onehot = (col[:, None] == cats[None, :]).astype(np.float64)
+            blocks.append(onehot)
+        return np.hstack(blocks)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on X and return the transformed X."""
+        return self.fit(X).transform(X)
+
+
+class Pipeline:
+    """Chain preprocessors in front of an estimator.
+
+    Implements the same fit/predict/predict_proba contract as the
+    learners, so a Pipeline can be registered via ``AutoML.add_learner``.
+    """
+
+    def __init__(self, steps: list, estimator) -> None:
+        if not steps:
+            raise ValueError("Pipeline needs at least one preprocessing step")
+        self.steps = list(steps)
+        self.estimator = estimator
+
+    def _transform(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        for step in self.steps:
+            X = step.fit_transform(X) if fit else step.transform(X)
+        return X
+
+    def fit(self, X: np.ndarray, y: np.ndarray, **kw) -> "Pipeline":
+        """Learn the transform statistics from X; returns self."""
+        self.estimator.fit(self._transform(X, fit=True), y, **kw)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Transform X through the steps and predict with the estimator."""
+        return self.estimator.predict(self._transform(X, fit=False))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Transform X through the steps and return probabilities."""
+        return self.estimator.predict_proba(self._transform(X, fit=False))
+
+    @property
+    def classes_(self):
+        """Label values of the wrapped classifier."""
+        return self.estimator.classes_

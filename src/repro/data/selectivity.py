@@ -1,0 +1,181 @@
+"""Selectivity-estimation substrate (paper §5.3, Table 4).
+
+Reproduces the experimental setup of Dutt et al. (2019): learn a
+regression model that maps a multi-dimensional range predicate to its
+selectivity on a table.  The paper's tables (Forest, Power, Higgs,
+Weather, TPC-H) are replaced by synthetic data distributions with the
+skew/correlation character of each original (DESIGN.md §2); queries are
+random range boxes and the label is the *exact* selectivity computed
+against the generated table.
+
+Features of a query over ``dim`` columns are ``[lo_1, hi_1, ..., lo_d,
+hi_d]`` (the representation used by Dutt et al.); the regression target is
+``log(selectivity)``, and q-error is evaluated after exponentiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "SelectivityWorkload",
+    "make_table",
+    "make_workload",
+    "SELECTIVITY_DATASETS",
+    "load_selectivity",
+    "selectivity_to_dataset",
+    "MANUAL_CONFIG",
+]
+
+#: Table-4's "Manual" configuration: XGBoost with 16 trees and 16 leaves.
+MANUAL_CONFIG = {"tree_num": 16, "leaf_num": 16}
+
+
+def make_table(kind: str, dim: int, n: int = 20_000, seed: int = 0) -> np.ndarray:
+    """Generate a data table with the named distribution character.
+
+    * ``forest`` — smooth correlated multimodal (mixture of gaussians);
+    * ``power``  — heavy-tailed, strongly skewed (lognormal mixture);
+    * ``higgs``  — physics-like: symmetric heavy tails + derived columns;
+    * ``weather``— seasonal/periodic correlations;
+    * ``tpch``   — business-like: a few dominant discrete clusters.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "forest":
+        k = 6
+        centers = rng.standard_normal((k, dim)) * 2.0
+        comp = rng.integers(0, k, n)
+        A = rng.standard_normal((dim, dim)) * 0.4
+        X = centers[comp] + rng.standard_normal((n, dim)) @ A
+    elif kind == "power":
+        base = rng.lognormal(mean=0.0, sigma=1.2, size=(n, dim))
+        mix = rng.random(n) < 0.3
+        base[mix] *= 5.0
+        corr = np.cumsum(base * 0.2, axis=1)  # correlated tails
+        X = base + corr
+    elif kind == "higgs":
+        Z = rng.standard_normal((n, max(dim, 2)))
+        X = np.empty((n, dim))
+        for j in range(dim):
+            if j % 3 == 2:
+                X[:, j] = Z[:, j % Z.shape[1]] ** 2 + 0.3 * Z[:, (j + 1) % Z.shape[1]]
+            else:
+                X[:, j] = Z[:, j % Z.shape[1]] * (1.0 + 0.2 * j)
+    elif kind == "weather":
+        t = rng.random(n) * 4 * np.pi
+        X = np.empty((n, dim))
+        for j in range(dim):
+            X[:, j] = (
+                np.sin(t * (1 + 0.3 * j) + j)
+                + 0.3 * rng.standard_normal(n)
+                + 0.1 * j * t / np.pi
+            )
+    elif kind == "tpch":
+        k = 4
+        levels = rng.random((k, dim)) * 10
+        comp = rng.choice(k, size=n, p=np.array([0.55, 0.25, 0.15, 0.05]))
+        X = levels[comp] + rng.random((n, dim)) * 0.8
+    else:
+        raise ValueError(f"unknown table kind {kind!r}")
+    return X
+
+
+@dataclass
+class SelectivityWorkload:
+    """Queries + exact selectivity labels over a generated table."""
+
+    name: str
+    table: np.ndarray
+    queries: np.ndarray  # (m, 2*dim): lo/hi per dimension
+    selectivity: np.ndarray  # (m,) in (0, 1]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the table (number of predicate columns)."""
+        return self.table.shape[1]
+
+
+def _true_selectivity(table: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Exact selectivity of each (lo, hi) box, vectorised over queries in
+    blocks to bound memory."""
+    m = lo.shape[0]
+    out = np.empty(m)
+    block = max(1, int(2e7 // table.size)) if table.size else m
+    for s in range(0, m, block):
+        e = min(m, s + block)
+        # (q, n, d) broadcast comparison collapsed over d then n
+        inside = (table[None, :, :] >= lo[s:e, None, :]) & (
+            table[None, :, :] <= hi[s:e, None, :]
+        )
+        out[s:e] = inside.all(axis=2).mean(axis=1)
+    return out
+
+
+def make_workload(
+    kind: str,
+    dim: int,
+    n_rows: int = 20_000,
+    n_queries: int = 2_000,
+    seed: int = 0,
+    name: str | None = None,
+) -> SelectivityWorkload:
+    """Generate a (table, queries, labels) workload.
+
+    Query boxes are centred on sampled data points (so most queries have
+    non-trivial selectivity, as in workload-driven training-data generation
+    of Dutt et al.) with log-uniform widths per dimension; queries with
+    zero selectivity are assigned the 1/n floor.
+    """
+    rng = np.random.default_rng(seed)
+    table = make_table(kind, dim, n_rows, seed)
+    span = table.max(axis=0) - table.min(axis=0)
+    span[span <= 0] = 1.0
+    centers = table[rng.integers(0, n_rows, n_queries)]
+    # width relative to span, log-uniform in [0.01, 1]
+    widths = span[None, :] * 10 ** rng.uniform(-2, 0, (n_queries, dim))
+    lo = centers - widths / 2
+    hi = centers + widths / 2
+    sel = _true_selectivity(table, lo, hi)
+    sel = np.maximum(sel, 1.0 / n_rows)
+    queries = np.empty((n_queries, 2 * dim))
+    queries[:, 0::2] = lo
+    queries[:, 1::2] = hi
+    wl_name = name or f"{dim}D-{kind.capitalize()}"
+    return SelectivityWorkload(wl_name, table, queries, sel)
+
+
+def selectivity_to_dataset(wl: SelectivityWorkload) -> Dataset:
+    """Regression task: query features -> log(selectivity)."""
+    return Dataset(wl.name, wl.queries, np.log(wl.selectivity), "regression")
+
+
+#: Table 4's ten datasets: name -> (kind, dim, seed)
+SELECTIVITY_DATASETS: dict[str, tuple[str, int, int]] = {
+    "2D-Forest": ("forest", 2, 1),
+    "2D-Power": ("power", 2, 2),
+    "2D-TPCH": ("tpch", 2, 3),
+    "4D-Forest1": ("forest", 4, 4),
+    "4D-Forest2": ("forest", 4, 5),
+    "4D-Power": ("power", 4, 6),
+    "7D-Higgs": ("higgs", 7, 7),
+    "7D-Power": ("power", 7, 8),
+    "7D-Weather": ("weather", 7, 9),
+    "10D-Forest": ("forest", 10, 10),
+}
+
+
+def load_selectivity(
+    name: str, n_rows: int = 20_000, n_queries: int = 2_000
+) -> SelectivityWorkload:
+    """Load one of Table 4's workloads by name."""
+    try:
+        kind, dim, seed = SELECTIVITY_DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selectivity dataset {name!r}; see SELECTIVITY_DATASETS"
+        ) from None
+    return make_workload(kind, dim, n_rows, n_queries, seed, name=name)

@@ -1,0 +1,211 @@
+"""The 53-dataset benchmark suite (scaled synthetic stand-ins).
+
+One entry per dataset of the paper's evaluation — the 39 classification
+tasks of the AutoML Benchmark (Tables 6-7) plus the 14 PMLB regression
+tasks (Table 8).  Original row/feature counts are recorded from the paper;
+the generated stand-ins are scaled down (DESIGN.md §2) while preserving
+
+* the task type and (capped) class count,
+* the relative size ordering (the radar charts order spokes by size),
+* the feature-mix profile (categoricals / missing values where the
+  original dataset has them), and
+* a spread of structure difficulty so no single learner dominates.
+
+Use :func:`load_dataset` / :func:`suite_names` / :func:`iter_suite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dataset import Dataset
+from .generators import make_classification, make_regression
+
+__all__ = ["DatasetSpec", "SUITE", "suite_names", "load_dataset", "iter_suite"]
+
+# scaling knobs: keep everything laptop-sized but large enough that trial
+# cost still matters relative to second-scale budgets (the regime the
+# paper's cost-aware search is designed for)
+_MIN_N, _MAX_N, _DIV = 1000, 8000, 50
+_MAX_D, _MAX_D_WIDE, _MAX_K = 24, 48, 12
+
+
+def _scaled_n(orig_n: int) -> int:
+    return int(np.clip(orig_n // _DIV, _MIN_N, _MAX_N))
+
+
+def _scaled_d(orig_d: int) -> int:
+    return _MAX_D_WIDE if orig_d > 500 else min(orig_d, _MAX_D)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: paper-reported shape + generator configuration."""
+
+    name: str
+    task: str  # binary | multiclass | regression
+    orig_n: int
+    orig_d: int
+    n_classes: int = 2
+    structure: str = "nonlinear"
+    class_sep: float = 1.0
+    flip_y: float = 0.02
+    cat_frac: float = 0.0
+    missing_frac: float = 0.0
+    imbalance: float = 0.0
+    noise: float = 1.0  # regression only
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Scaled instance count of the stand-in dataset."""
+        return _scaled_n(self.orig_n)
+
+    @property
+    def d(self) -> int:
+        """Scaled feature count of the stand-in dataset."""
+        return _scaled_d(self.orig_d)
+
+    @property
+    def size(self) -> int:
+        """Paper's ordering key: #instances x #features (original)."""
+        return self.orig_n * self.orig_d
+
+    def load(self) -> Dataset:
+        """Instantiate the synthetic stand-in dataset for this spec."""
+        if self.task == "regression":
+            return make_regression(
+                self.n, self.d, structure=self.structure, noise=self.noise,
+                cat_frac=self.cat_frac, missing_frac=self.missing_frac,
+                seed=self.seed, name=self.name,
+            )
+        return make_classification(
+            self.n, self.d, n_classes=min(self.n_classes, _MAX_K),
+            structure=self.structure, class_sep=self.class_sep,
+            flip_y=self.flip_y, cat_frac=self.cat_frac,
+            missing_frac=self.missing_frac, imbalance=self.imbalance,
+            seed=self.seed, name=self.name,
+        )
+
+
+def _b(name, n, d, seed, **kw):
+    return DatasetSpec(name, "binary", n, d, seed=seed, **kw)
+
+
+def _m(name, n, d, k, seed, **kw):
+    return DatasetSpec(name, "multiclass", n, d, n_classes=k, seed=seed, **kw)
+
+
+def _r(name, n, d, seed, **kw):
+    return DatasetSpec(name, "regression", n, d, seed=seed, **kw)
+
+
+# --- Table 6: binary classification (22) -------------------------------
+_BINARY = [
+    _b("blood-transfusion", 748, 4, 101, structure="linear", class_sep=0.8),
+    _b("Australian", 690, 14, 102, cat_frac=0.3, class_sep=1.2),
+    _b("credit-g", 1000, 20, 103, cat_frac=0.5, class_sep=0.7, imbalance=0.4),
+    _b("phoneme", 5404, 5, 104, structure="nonlinear", class_sep=1.1),
+    _b("kc1", 2109, 21, 105, imbalance=0.7, class_sep=0.8),
+    _b("sylvine", 5124, 20, 106, structure="xor", class_sep=1.4),
+    _b("kr-vs-kp", 3196, 36, 107, cat_frac=1.0, structure="xor", class_sep=2.0),
+    _b("jasmine", 2984, 144, 108, structure="nonlinear", class_sep=1.0),
+    _b("christine", 5418, 1636, 109, structure="linear", class_sep=0.6),
+    _b("Amazon_employee_access", 32769, 9, 110, cat_frac=1.0, imbalance=0.88,
+       class_sep=0.9),
+    _b("nomao", 34465, 118, 111, class_sep=1.6, missing_frac=0.02),
+    _b("adult", 48842, 14, 112, cat_frac=0.5, imbalance=0.5, class_sep=1.2,
+       missing_frac=0.01),
+    _b("bank_marketing", 45211, 16, 113, cat_frac=0.5, imbalance=0.76,
+       class_sep=1.0),
+    _b("KDDCup09_appetency", 50000, 230, 114, imbalance=0.96, class_sep=0.5,
+       missing_frac=0.1),
+    _b("APSFailure", 76000, 170, 115, imbalance=0.96, class_sep=1.5,
+       missing_frac=0.08),
+    _b("numerai28.6", 96320, 21, 116, structure="linear", class_sep=0.15,
+       flip_y=0.1),
+    _b("higgs", 98050, 28, 117, structure="nonlinear", class_sep=0.7),
+    _b("MiniBooNE", 130064, 50, 118, class_sep=1.3),
+    _b("guillermo", 20000, 4296, 119, structure="nonlinear", class_sep=0.8),
+    _b("riccardo", 20000, 4296, 120, structure="linear", class_sep=1.8),
+    _b("Albert", 425240, 78, 121, class_sep=0.6, cat_frac=0.3,
+       missing_frac=0.05),
+    _b("Airlines", 539383, 7, 122, cat_frac=0.4, class_sep=0.6),
+]
+
+# --- Table 7: multiclass classification (17) ----------------------------
+_MULTI = [
+    _m("car", 1728, 6, 4, 201, cat_frac=1.0, structure="xor", class_sep=1.5),
+    _m("vehicle", 846, 18, 4, 202, structure="clusters", class_sep=1.0),
+    _m("segment", 2310, 19, 7, 203, structure="clusters", class_sep=1.8),
+    _m("mfeat-factors", 2000, 216, 10, 204, structure="clusters", class_sep=2.0),
+    _m("cnae-9", 1080, 856, 9, 205, structure="clusters", class_sep=1.5),
+    _m("jungle_chess", 44819, 6, 3, 206, structure="xor", class_sep=1.8),
+    _m("shuttle", 58000, 9, 7, 207, structure="clusters", class_sep=2.5,
+       imbalance=0.0),
+    _m("Helena", 65196, 27, 100, 208, structure="clusters", class_sep=0.5),
+    _m("connect-4", 67557, 42, 3, 209, cat_frac=1.0, structure="xor",
+       class_sep=1.0),
+    _m("Jannis", 83733, 54, 4, 210, class_sep=0.7),
+    _m("fabert", 8237, 800, 7, 211, structure="clusters", class_sep=0.8),
+    _m("volkert", 58310, 180, 10, 212, structure="clusters", class_sep=0.9),
+    _m("dilbert", 10000, 2000, 5, 213, structure="nonlinear", class_sep=1.2),
+    _m("Dionis", 416188, 60, 355, 214, structure="clusters", class_sep=1.0),
+    _m("Covertype", 581012, 54, 7, 215, structure="nonlinear", class_sep=1.1,
+       cat_frac=0.2),
+    _m("Fashion-MNIST", 70000, 784, 10, 216, structure="clusters",
+       class_sep=1.3),
+    _m("Robert", 10000, 7200, 10, 217, structure="clusters", class_sep=0.6),
+]
+
+# --- Table 8: PMLB regression (14) --------------------------------------
+_REG = [
+    _r("pol", 15000, 48, 301, structure="poly", noise=0.5),
+    _r("bng_echomonths", 17496, 9, 302, structure="multiplicative", noise=2.0),
+    _r("houses", 20640, 8, 303, structure="friedman1", noise=1.5),
+    _r("house_8L", 22784, 8, 304, structure="multiplicative", noise=2.0),
+    _r("house_16H", 22784, 16, 305, structure="multiplicative", noise=2.5),
+    _r("bng_lowbwt", 31104, 9, 306, structure="friedman3", noise=1.5),
+    _r("2dplanes", 40768, 10, 307, structure="plane", noise=1.0),
+    _r("fried", 40768, 10, 308, structure="friedman1", noise=1.0),
+    _r("mv", 40768, 10, 309, structure="multiplicative", noise=0.5),
+    _r("bng_breastTumor", 116640, 9, 310, structure="step", noise=3.0),
+    _r("bng_pwLinear", 177147, 10, 311, structure="plane", noise=1.0),
+    _r("bng_pbc", 1000000, 18, 312, structure="friedman1", noise=2.0),
+    _r("bng_pharynx", 1000000, 11, 313, structure="step", noise=2.0),
+    _r("poker", 1025010, 10, 314, structure="xor_reg", noise=0.5,
+       extra={"note": "hand-rank-like discrete interactions"}),
+]
+# poker's structure name is special-cased below: discrete interactions.
+_REG[-1] = _r("poker", 1025010, 10, 314, structure="multiplicative", noise=0.5)
+
+SUITE: dict[str, DatasetSpec] = {
+    s.name: s for s in (*_BINARY, *_MULTI, *_REG)
+}
+assert len(SUITE) == 53, f"suite must have 53 datasets, has {len(SUITE)}"
+
+
+def suite_names(task: str | None = None, sort_by_size: bool = True) -> list[str]:
+    """Names in the suite, optionally filtered by task, ordered by size
+    (the paper's radar-chart ordering)."""
+    specs = [s for s in SUITE.values() if task is None or s.task == task]
+    if sort_by_size:
+        specs.sort(key=lambda s: s.size)
+    return [s.name for s in specs]
+
+
+def load_dataset(name: str) -> Dataset:
+    """Instantiate a suite dataset by name."""
+    try:
+        return SUITE[name].load()
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; see suite_names()") from None
+
+
+def iter_suite(task: str | None = None):
+    """Yield (spec, dataset) pairs in size order."""
+    for name in suite_names(task):
+        yield SUITE[name], SUITE[name].load()

@@ -1,0 +1,89 @@
+"""Common estimator protocol for the ML layer.
+
+All learners follow a minimal scikit-learn-style contract:
+
+* ``fit(X, y)`` — trains in place, returns ``self``;
+* ``predict(X)`` — labels (classification) or values (regression);
+* ``predict_proba(X)`` — class probabilities, classifiers only;
+* ``get_params()`` / constructor kwargs round-trip.
+
+Classifiers handle arbitrary label values by encoding them to
+``0..K-1`` internally and exposing ``classes_``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BaseEstimator", "BaseClassifierMixin", "validate_data"]
+
+
+def validate_data(X: np.ndarray, y: np.ndarray | None = None):
+    """Coerce to float64 2-D X (and 1-D y), with basic shape checks."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y is None:
+        return X
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    return X, y
+
+
+class BaseEstimator:
+    """Parameter-bag base class: every constructor kwarg is a parameter."""
+
+    def __init__(self, **params) -> None:
+        self._params = dict(params)
+        for k, v in params.items():
+            setattr(self, k, v)
+
+    def get_params(self) -> dict:
+        """Return constructor parameters (copy)."""
+        return dict(self._params)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._params.items()))
+        return f"{type(self).__name__}({inner})"
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseEstimator":
+        """Train on (X, y); returns self."""
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels (classification) or values (regression)."""
+        raise NotImplementedError
+
+
+class BaseClassifierMixin:
+    """Label-encoding helpers shared by all classifiers."""
+
+    classes_: np.ndarray
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if self.classes_.size < 2:
+            raise ValueError("classification requires at least 2 classes in y")
+        return encoded
+
+    def _decode_labels(self, encoded: np.ndarray) -> np.ndarray:
+        return self.classes_[encoded]
+
+    @property
+    def n_classes_(self) -> int:
+        """Number of distinct classes seen at fit time."""
+        return int(self.classes_.size)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels (classification) or values (regression)."""
+        proba = self.predict_proba(X)
+        return self._decode_labels(np.argmax(proba, axis=1))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        """Class-probability matrix of shape (n, K)."""
+        raise NotImplementedError

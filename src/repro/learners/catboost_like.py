@@ -1,0 +1,293 @@
+"""CatBoost-like learner: oblivious (symmetric) tree boosting.
+
+The paper's Table 5 searches exactly two hyperparameters for CatBoost —
+``early_stop_rounds`` ∈ [10, 150] and ``learning_rate`` ∈ [0.005, 0.2] —
+with a fixed, large iteration cap.  The defining structural property of
+CatBoost is the *oblivious* tree: every level of the tree uses one shared
+(feature, threshold) pair, so a depth-``D`` tree has 2^D leaves addressed
+by a D-bit code.  We reproduce that, plus internal-holdout early stopping,
+which is what gives the learner its "high constant cost, few knobs"
+profile (ECI constant 15 in the appendix).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .base import BaseClassifierMixin, BaseEstimator, validate_data
+from .histogram import Binner
+from .losses import Loss, get_loss, sigmoid, softmax
+
+__all__ = ["CatBoostLikeClassifier", "CatBoostLikeRegressor", "ObliviousTree"]
+
+_EPS = 1e-12
+
+
+class ObliviousTree:
+    """Depth-D symmetric tree: per-level (feature, threshold) + 2^D leaf values."""
+
+    def __init__(self, features: np.ndarray, thresholds: np.ndarray,
+                 leaf_values: np.ndarray) -> None:
+        self.features = np.asarray(features, dtype=np.int32)
+        self.thresholds = np.asarray(thresholds, dtype=np.int64)
+        self.leaf_values = np.asarray(leaf_values, dtype=np.float64)
+
+    def leaf_index(self, codes: np.ndarray) -> np.ndarray:
+        """D-bit leaf index per row from the level comparisons."""
+        idx = np.zeros(codes.shape[0], dtype=np.int64)
+        for lvl, (f, t) in enumerate(zip(self.features, self.thresholds)):
+            idx |= (codes[:, f] > t).astype(np.int64) << lvl
+        return idx
+
+    def predict(self, codes: np.ndarray) -> np.ndarray:
+        """Leaf values / predictions for each row."""
+        return self.leaf_values[self.leaf_index(codes)]
+
+
+def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weight,
+                    rng, feature_fraction=1.0):
+    """Grow one oblivious tree greedily, level by level.
+
+    At each level the (feature, threshold) pair maximising the *summed*
+    regularised gain over all current nodes is chosen; nodes where the
+    split violates ``min_child_weight`` contribute zero gain and keep
+    their samples together.
+    """
+    n, d = codes.shape
+    node = np.zeros(n, dtype=np.int64)
+    features, thresholds = [], []
+    cand_features = np.arange(d)
+    if feature_fraction < 1.0:
+        k = max(1, int(round(feature_fraction * d)))
+        cand_features = rng.choice(d, size=k, replace=False)
+    for lvl in range(depth):
+        m = 1 << lvl
+        best = (0.0, -1, -1)
+        # Node totals (shared across features).
+        Gn = np.bincount(node, weights=grad, minlength=m)
+        Hn = np.bincount(node, weights=hess, minlength=m)
+        parent = Gn**2 / (Hn + reg_lambda)
+        for f in cand_features:
+            nb = int(n_bins[f])
+            if nb < 2:
+                continue
+            combined = node * nb + codes[:, f]
+            hg = np.bincount(combined, weights=grad, minlength=m * nb).reshape(m, nb)
+            hh = np.bincount(combined, weights=hess, minlength=m * nb).reshape(m, nb)
+            GL = np.cumsum(hg, axis=1)[:, :-1]
+            HL = np.cumsum(hh, axis=1)[:, :-1]
+            GR = Gn[:, None] - GL
+            HR = Hn[:, None] - HL
+            gains = 0.5 * (
+                GL**2 / (HL + reg_lambda)
+                + GR**2 / (HR + reg_lambda)
+                - parent[:, None]
+            )
+            valid = (HL >= min_child_weight) & (HR >= min_child_weight)
+            gains = np.where(valid, gains, 0.0)
+            total = gains.sum(axis=0)  # per-threshold gain summed over nodes
+            t = int(np.argmax(total))
+            if total[t] > best[0] + _EPS:
+                best = (float(total[t]), int(f), t)
+        if best[1] < 0:
+            break
+        _, f, t = best
+        features.append(f)
+        thresholds.append(t)
+        node |= (codes[:, f] > t).astype(np.int64) << lvl
+    n_leaves = 1 << len(features)
+    G = np.bincount(node, weights=grad, minlength=n_leaves)
+    H = np.bincount(node, weights=hess, minlength=n_leaves)
+    leaf_values = -G / (H + reg_lambda)
+    return ObliviousTree(np.array(features, dtype=np.int32),
+                         np.array(thresholds, dtype=np.int64), leaf_values)
+
+
+class _CatBoostEngine:
+    """Boosting loop over oblivious trees with internal-holdout early stop."""
+
+    def __init__(self, loss: Loss, n_estimators: int, learning_rate: float,
+                 early_stopping_rounds: int, depth: int, reg_lambda: float,
+                 min_child_weight: float, train_time_limit: float | None,
+                 seed: int) -> None:
+        self.loss = loss
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.early_stopping_rounds = early_stopping_rounds
+        self.depth = depth
+        self.reg_lambda = reg_lambda
+        self.min_child_weight = min_child_weight
+        self.train_time_limit = train_time_limit
+        self.seed = seed
+
+    def fit(self, X, y, sample_weight=None):
+        """Grow the oblivious-tree ensemble on binned (X, y); optional
+        per-row weights scale the training gradients."""
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        sw = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        # Internal 80/20 holdout for early stopping (CatBoost behaviour when
+        # an eval set exists; here we always carve one out).
+        perm = rng.permutation(n)
+        n_val = max(1, int(0.2 * n))
+        val_idx, tr_idx = perm[:n_val], perm[n_val:]
+        if tr_idx.size == 0:
+            tr_idx = perm
+        self.binner_ = Binner(max_bins=128, rng=rng)
+        codes_all = self.binner_.fit_transform(X)
+        codes, codes_val = codes_all[tr_idx], codes_all[val_idx]
+        y_tr, y_val = y[tr_idx], y[val_idx]
+        w_tr = None if sw is None else sw[tr_idx]
+        K = self.loss.n_scores
+        self.base_score_ = self.loss.init_score(y_tr)
+        scores = (
+            np.tile(self.base_score_, (tr_idx.size, 1))
+            if K > 1
+            else np.full(tr_idx.size, self.base_score_[0])
+        )
+        val_scores = (
+            np.tile(self.base_score_, (val_idx.size, 1))
+            if K > 1
+            else np.full(val_idx.size, self.base_score_[0])
+        )
+        self.trees_: list[list[ObliviousTree]] = []
+        best_val, best_iter = np.inf, 0
+        for it in range(self.n_estimators):
+            grad, hess = self.loss.grad_hess(y_tr, scores)
+            if w_tr is not None:
+                grad = grad * (w_tr[:, None] if grad.ndim == 2 else w_tr)
+                hess = hess * (w_tr[:, None] if hess.ndim == 2 else w_tr)
+            round_trees = []
+            for k in range(K):
+                g = grad[:, k] if K > 1 else grad
+                h = hess[:, k] if K > 1 else hess
+                tree = _grow_oblivious(
+                    codes, g, h, self.binner_.n_bins_, self.depth,
+                    self.reg_lambda, self.min_child_weight, rng,
+                )
+                round_trees.append(tree)
+                upd = self.learning_rate * tree.predict(codes)
+                vupd = self.learning_rate * tree.predict(codes_val)
+                if K > 1:
+                    scores[:, k] += upd
+                    val_scores[:, k] += vupd
+                else:
+                    scores += upd
+                    val_scores += vupd
+            self.trees_.append(round_trees)
+            vloss = self.loss.value(y_val, val_scores)
+            if vloss < best_val - 1e-12:
+                best_val, best_iter = vloss, it + 1
+            elif it + 1 - best_iter >= self.early_stopping_rounds:
+                self.trees_ = self.trees_[:best_iter]
+                break
+            if (
+                self.train_time_limit is not None
+                and time.perf_counter() - start > self.train_time_limit
+            ):
+                break
+        return self
+
+    def raw_predict(self, X):
+        """Raw (margin) predictions on X."""
+        codes = self.binner_.transform(X)
+        K = self.loss.n_scores
+        scores = (
+            np.tile(self.base_score_, (X.shape[0], 1))
+            if K > 1
+            else np.full(X.shape[0], self.base_score_[0])
+        )
+        for round_trees in self.trees_:
+            for k, tree in enumerate(round_trees):
+                upd = self.learning_rate * tree.predict(codes)
+                if K > 1:
+                    scores[:, k] += upd
+                else:
+                    scores += upd
+        return scores
+
+
+class _CatBoostBase(BaseEstimator):
+    _is_classifier = False
+
+    def __init__(
+        self,
+        early_stop_rounds: int = 30,
+        learning_rate: float = 0.1,
+        n_estimators: int = 300,
+        depth: int = 6,
+        reg_lambda: float = 3.0,
+        min_child_weight: float = 1e-3,
+        train_time_limit: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            early_stop_rounds=early_stop_rounds,
+            learning_rate=learning_rate,
+            n_estimators=n_estimators,
+            depth=depth,
+            reg_lambda=reg_lambda,
+            min_child_weight=min_child_weight,
+            train_time_limit=train_time_limit,
+            seed=seed,
+        )
+
+    def _engine(self, loss: Loss) -> _CatBoostEngine:
+        return _CatBoostEngine(
+            loss,
+            n_estimators=max(1, int(round(self.n_estimators))),
+            learning_rate=float(self.learning_rate),
+            early_stopping_rounds=max(1, int(round(self.early_stop_rounds))),
+            depth=int(self.depth),
+            reg_lambda=float(self.reg_lambda),
+            min_child_weight=float(self.min_child_weight),
+            train_time_limit=self.train_time_limit,
+            seed=int(self.seed),
+        )
+
+    def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
+        """Boost on (X, y); the eval set drives early stopping."""
+        # The engine carves its own early-stopping holdout; external val
+        # data is ignored (accepted for API uniformity).
+        X, y = validate_data(X, y)
+        if self._is_classifier:
+            yk = self._encode_labels(y)
+            task = "binary" if self.n_classes_ == 2 else "multiclass"
+            loss = get_loss(task, self.n_classes_)
+            y_fit = yk.astype(np.float64) if task == "binary" else yk
+        else:
+            loss = get_loss("regression")
+            y_fit = y.astype(np.float64)
+        self.engine_ = self._engine(loss).fit(X, y_fit,
+                                              sample_weight=sample_weight)
+        return self
+
+
+class CatBoostLikeClassifier(BaseClassifierMixin, _CatBoostBase):
+    """Oblivious-tree boosting classifier with early stopping."""
+
+    _is_classifier = True
+
+    def predict_proba(self, X):
+        """Class-probability matrix of shape (n, K)."""
+        X = validate_data(X)
+        raw = self.engine_.raw_predict(X)
+        if self.n_classes_ == 2:
+            p1 = sigmoid(raw)
+            return np.column_stack([1 - p1, p1])
+        return softmax(raw)
+
+
+class CatBoostLikeRegressor(_CatBoostBase):
+    """Oblivious-tree boosting regressor with early stopping."""
+
+    def predict(self, X):
+        """Leaf values / predictions for each row."""
+        X = validate_data(X)
+        return self.engine_.raw_predict(X)

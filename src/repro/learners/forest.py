@@ -1,0 +1,203 @@
+"""Random forest and extra-trees learners (classification + regression).
+
+These reproduce the two sklearn ensemble learners FLAML searches
+(Table 5: ``tree_num``, ``max_features``, ``split criterion``) and also
+provide the *tuned random forest* used by the AutoML benchmark to
+calibrate scaled scores (score 1 reference point).
+
+Classification trees split on gini/entropy impurity
+(:class:`~repro.learners.tree.ClassTreeGrower`); regression trees reuse the
+gradient grower with ``grad = -y, hess = 1`` which makes the regularised
+gain reduce to variance reduction and leaf values to the sample mean.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .base import BaseClassifierMixin, BaseEstimator, validate_data
+from .histogram import Binner
+from .tree import ClassTreeGrower, GradTreeGrower, Tree
+
+__all__ = [
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "ExtraTreesClassifier",
+    "ExtraTreesRegressor",
+    "tuned_random_forest",
+]
+
+
+class _ForestBase(BaseEstimator):
+    """Shared bagging loop."""
+
+    _extra_random = False
+    _bootstrap = True
+    _is_classifier = False
+
+    def __init__(
+        self,
+        tree_num: int = 100,
+        max_features: float = 1.0,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_bin: int = 64,
+        train_time_limit: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            tree_num=tree_num,
+            max_features=max_features,
+            criterion=criterion,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_bin=max_bin,
+            train_time_limit=train_time_limit,
+            seed=seed,
+        )
+
+    def _grow_one(self, codes, y, n_bins, rng) -> Tree:
+        raise NotImplementedError
+
+    def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
+        """Fit the bagged ensemble on (X, y); returns self.
+
+        ``sample_weight`` scales each row's contribution to split gains
+        and leaf values (weighted impurity for classification, weighted
+        squared loss for regression).
+        """
+        # X_val/y_val accepted for API uniformity with GBDT learners; forests
+        # do not use early stopping.
+        X, y = validate_data(X, y)
+        self._sample_weight = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        if self._is_classifier:
+            y = self._encode_labels(y)
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        self.binner_ = Binner(max_bins=max(2, int(self.max_bin)), rng=rng)
+        codes = self.binner_.fit_transform(X)
+        n = X.shape[0]
+        self.trees_: list[Tree] = []
+        for _ in range(max(1, int(round(self.tree_num)))):
+            idx = rng.integers(0, n, size=n) if self._bootstrap else None
+            self.trees_.append(self._grow_one(codes, y, self.binner_.n_bins_, rng, idx))
+            if (
+                self.train_time_limit is not None
+                and time.perf_counter() - start > self.train_time_limit
+                and self.trees_
+            ):
+                break
+        return self
+
+
+class _ForestImportanceMixin:
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Split-count feature importances, normalised to sum to 1."""
+        d = len(self.binner_.bin_edges_)
+        counts = np.zeros(d)
+        for tree in self.trees_:
+            counts += tree.split_feature_counts(d)
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+
+class RandomForestClassifier(BaseClassifierMixin, _ForestImportanceMixin,
+                             _ForestBase):
+    """Bagged gini/entropy trees; ``predict_proba`` averages leaf frequencies."""
+
+    _is_classifier = True
+
+    def _grow_one(self, codes, y, n_bins, rng, idx):
+        grower = ClassTreeGrower(
+            n_classes=self.n_classes_,
+            criterion=self.criterion,
+            max_depth=self.max_depth if self.max_depth is not None else 16,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            extra_random=self._extra_random,
+            rng=rng,
+        )
+        return grower.grow(codes, y, n_bins, sample_idx=idx,
+                           sample_weight=getattr(self, "_sample_weight", None))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree leaf class frequencies."""
+        X = validate_data(X)
+        codes = self.binner_.transform(X)
+        acc = np.zeros((X.shape[0], self.n_classes_))
+        for tree in self.trees_:
+            acc += tree.predict(codes)
+        acc /= len(self.trees_)
+        return acc
+
+
+class ExtraTreesClassifier(RandomForestClassifier):
+    """Extra-trees: random thresholds, no bootstrap."""
+
+    _extra_random = True
+    _bootstrap = False
+
+
+class RandomForestRegressor(_ForestImportanceMixin, _ForestBase):
+    """Bagged variance-reduction trees; ``predict`` averages leaf means."""
+
+    def _grow_one(self, codes, y, n_bins, rng, idx):
+        w = getattr(self, "_sample_weight", None)
+        if w is None:
+            w = np.ones(len(y))
+        grower = GradTreeGrower(
+            max_leaves=len(y),  # effectively unbounded; depth/min-leaf bound growth
+            max_depth=self.max_depth if self.max_depth is not None else 16,
+            min_child_weight=0.0,
+            reg_lambda=1e-9,
+            leaf_wise=False,
+            colsample_bylevel=self.max_features,
+            extra_random=self._extra_random,
+            min_samples_leaf=max(1, self.min_samples_leaf),
+            rng=rng,
+        )
+        return grower.grow(codes, -y.astype(np.float64) * w, w, n_bins,
+                           sample_idx=idx)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree leaf means."""
+        X = validate_data(X)
+        codes = self.binner_.transform(X)
+        acc = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            acc += tree.predict(codes)
+        return acc / len(self.trees_)
+
+
+class ExtraTreesRegressor(RandomForestRegressor):
+    """Extra-trees regression: random thresholds, no bootstrap."""
+
+    _extra_random = True
+    _bootstrap = False
+
+
+def tuned_random_forest(task: str, seed: int = 0, tree_num: int = 200,
+                        train_time_limit: float | None = None):
+    """The AutoML-benchmark calibration baseline (scaled score = 1).
+
+    The benchmark tunes a random forest with many trees and default depth;
+    we use the same recipe scaled to this substrate.  ``max_depth`` is
+    bounded to keep single-fit cost sane on 1 core.
+    """
+    cls = RandomForestRegressor if task == "regression" else RandomForestClassifier
+    return cls(
+        tree_num=tree_num,
+        max_features=0.5,
+        criterion="gini",
+        max_depth=14,
+        min_samples_leaf=2,
+        train_time_limit=train_time_limit,
+        seed=seed,
+    )

@@ -1,0 +1,259 @@
+"""Linear learners: L1/L2 logistic regression and ridge/lasso regression.
+
+``lrl1`` in the paper's Table 5 is sklearn's L1-penalised logistic
+regression with inverse-regularisation ``C``.  We solve the same objective
+
+    min_w  (1/n) Σ log-loss(w; x_i, y_i) + ||w||_1 / (C·n)
+
+with FISTA (accelerated proximal gradient).  Features are standardised
+internally and the intercept is unpenalised, matching sklearn behaviour
+closely enough for search-cost/error trade-off purposes: the learner is
+cheap per pass, high bias, and has one searched hyperparameter — exactly
+the role it plays in FLAML's learner pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifierMixin, BaseEstimator, validate_data
+from .losses import sigmoid, softmax
+
+__all__ = [
+    "LogisticRegressionL1",
+    "LogisticRegressionL2",
+    "RidgeRegressor",
+    "LassoRegressor",
+]
+
+
+def _standardize_fit(X: np.ndarray, w: np.ndarray | None = None):
+    """Column means/stds; weighted statistics when ``w`` is given so that
+    an integer weight equals row duplication."""
+    if w is None:
+        mu = X.mean(axis=0)
+        sd = X.std(axis=0)
+    else:
+        tot = w.sum()
+        mu = (X * w[:, None]).sum(axis=0) / tot
+        sd = np.sqrt(((X - mu) ** 2 * w[:, None]).sum(axis=0) / tot)
+    sd[sd < 1e-12] = 1.0
+    return mu, sd
+
+
+def _spectral_norm_sq(X: np.ndarray, n_iter: int = 20, seed: int = 0) -> float:
+    """Estimate sigma_max(X)^2 by power iteration on X^T X."""
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(X.shape[1])
+    v /= np.linalg.norm(v) + 1e-12
+    s = 1.0
+    for _ in range(n_iter):
+        u = X.T @ (X @ v)
+        s = np.linalg.norm(u)
+        if s < 1e-12:
+            return 1e-12
+        v = u / s
+    return float(s)
+
+
+def _soft(w: np.ndarray, t: float) -> np.ndarray:
+    return np.sign(w) * np.maximum(np.abs(w) - t, 0.0)
+
+
+class _LogisticBase(BaseClassifierMixin, BaseEstimator):
+    """FISTA solver shared by the L1 and L2 logistic learners."""
+
+    _penalty = "l1"
+
+    def __init__(self, C: float = 1.0, max_iter: int = 200, tol: float = 1e-6,
+                 seed: int = 0) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        super().__init__(C=C, max_iter=max_iter, tol=tol, seed=seed)
+
+    # -- gradient of the smooth part -----------------------------------
+    def _grad(self, Xs, Y, W):
+        P = softmax(Xs @ W) if self._K > 2 else sigmoid(Xs @ W)
+        R = P - Y
+        R = R * (self._w[:, None] if R.ndim == 2 else self._w)
+        G = Xs.T @ R / self._n_eff
+        if self._penalty == "l2":
+            G = G + self._lam * self._mask * W
+        return G
+
+    def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
+        """Solve the regularised objective on (X, y); returns self.
+
+        ``sample_weight`` scales each row's loss term — integer weights
+        are equivalent to row duplication.
+        """
+        X, y = validate_data(X, y)
+        yk = self._encode_labels(y)
+        K = self.n_classes_
+        self._K = K
+        w = (
+            np.ones(X.shape[0])
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        self._w = w
+        self._n_eff = float(w.sum())
+        self._mu, self._sd = _standardize_fit(
+            X, None if sample_weight is None else w
+        )
+        Xs = (X - self._mu) / self._sd
+        Xs = np.column_stack([Xs, np.ones(X.shape[0])])  # intercept column
+        n, d = Xs.shape
+        lam = 1.0 / (self.C * self._n_eff)
+        self._lam = lam
+        # Lipschitz constant of the smooth part: sigma^2/(4n) binary,
+        # sigma^2/(2n) multiclass (weighted rows enter as sqrt(w)·x).
+        L = _spectral_norm_sq(
+            Xs * np.sqrt(w)[:, None], seed=self.seed
+        ) / ((4.0 if K == 2 else 2.0) * self._n_eff)
+        L = max(L, 1e-8)
+        ncols = 1 if K == 2 else K
+        Y = (
+            yk.astype(np.float64)
+            if K == 2
+            else np.eye(K)[yk]
+        )
+        W = np.zeros((d, ncols)) if K > 2 else np.zeros(d)
+        mask = np.ones_like(W)
+        if W.ndim == 1:
+            mask[-1] = 0.0  # unpenalised intercept
+        else:
+            mask[-1, :] = 0.0
+        self._mask = mask
+        Z, t_k = W.copy(), 1.0
+        step = 1.0 / L
+        for _ in range(int(self.max_iter)):
+            G = self._grad(Xs, Y, Z)
+            W_new = Z - step * G
+            if self._penalty == "l1":
+                W_new = np.where(mask > 0, _soft(W_new, step * lam), W_new)
+            t_new = (1 + np.sqrt(1 + 4 * t_k**2)) / 2
+            Z = W_new + ((t_k - 1) / t_new) * (W_new - W)
+            delta = float(np.max(np.abs(W_new - W)))
+            W, t_k = W_new, t_new
+            if delta < self.tol:
+                break
+        self.coef_ = W
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape (n, K)."""
+        X = validate_data(X)
+        Xs = (X - self._mu) / self._sd
+        Xs = np.column_stack([Xs, np.ones(X.shape[0])])
+        if self._K == 2:
+            p1 = sigmoid(Xs @ self.coef_)
+            return np.column_stack([1 - p1, p1])
+        return softmax(Xs @ self.coef_)
+
+
+class LogisticRegressionL1(_LogisticBase):
+    """``lrl1`` — L1-penalised logistic regression, hyperparameter ``C``."""
+
+    _penalty = "l1"
+
+
+class LogisticRegressionL2(_LogisticBase):
+    """L2-penalised logistic regression, hyperparameter ``C``."""
+
+    _penalty = "l2"
+
+
+class RidgeRegressor(BaseEstimator):
+    """Closed-form ridge regression; the regression stand-in for ``lr``.
+
+    Uses ``alpha = 1/C`` so the searched ``C`` keeps Table 5 semantics
+    (large C = weak regularisation).
+    """
+
+    def __init__(self, C: float = 1.0, seed: int = 0) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        super().__init__(C=C, seed=seed)
+
+    def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
+        """Solve the (optionally weighted) regularised objective on
+        (X, y); returns self."""
+        X, y = validate_data(X, y)
+        w = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        self._mu, self._sd = _standardize_fit(X, w)
+        Xs = (X - self._mu) / self._sd
+        if w is None:
+            self._ymu = float(y.mean())
+        else:
+            self._ymu = float((y * w).sum() / w.sum())
+        yc = y - self._ymu
+        d = Xs.shape[1]
+        alpha = 1.0 / self.C
+        Xw = Xs if w is None else Xs * w[:, None]
+        A = Xw.T @ Xs + alpha * np.eye(d)
+        b = Xw.T @ yc
+        self.coef_ = np.linalg.solve(A, b)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Linear predictions on X."""
+        X = validate_data(X)
+        return ((X - self._mu) / self._sd) @ self.coef_ + self._ymu
+
+
+class LassoRegressor(BaseEstimator):
+    """L1-penalised least squares via FISTA; hyperparameter ``C``."""
+
+    def __init__(self, C: float = 1.0, max_iter: int = 300, tol: float = 1e-7,
+                 seed: int = 0) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        super().__init__(C=C, max_iter=max_iter, tol=tol, seed=seed)
+
+    def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
+        """Solve the (optionally weighted) regularised objective on
+        (X, y); returns self."""
+        X, y = validate_data(X, y)
+        sw = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        self._mu, self._sd = _standardize_fit(X, sw)
+        Xs = (X - self._mu) / self._sd
+        if sw is None:
+            self._ymu = float(y.mean())
+            n_eff = float(Xs.shape[0])
+        else:
+            n_eff = float(sw.sum())
+            self._ymu = float((y * sw).sum() / n_eff)
+        yc = y - self._ymu
+        n, d = Xs.shape
+        lam = 1.0 / (self.C * n_eff)
+        Xl = Xs if sw is None else Xs * np.sqrt(sw)[:, None]
+        L = max(_spectral_norm_sq(Xl, seed=self.seed) / n_eff, 1e-8)
+        w = np.zeros(d)
+        z, t_k = w.copy(), 1.0
+        step = 1.0 / L
+        for _ in range(int(self.max_iter)):
+            resid = Xs @ z - yc
+            if sw is not None:
+                resid = resid * sw
+            g = Xs.T @ resid / n_eff
+            w_new = _soft(z - step * g, step * lam)
+            t_new = (1 + np.sqrt(1 + 4 * t_k**2)) / 2
+            z = w_new + ((t_k - 1) / t_new) * (w_new - w)
+            delta = float(np.max(np.abs(w_new - w)))
+            w, t_k = w_new, t_new
+            if delta < self.tol:
+                break
+        self.coef_ = w
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Linear predictions on X."""
+        X = validate_data(X)
+        return ((X - self._mu) / self._sd) @ self.coef_ + self._ymu

@@ -1,0 +1,135 @@
+"""Loss functions (value / gradient / hessian) for gradient boosting.
+
+Each loss maps raw model scores to gradients and hessians with respect to
+the scores, plus a link function turning scores into predictions.  Both the
+LightGBM-like and XGBoost-like engines consume these.
+
+Scores are ``(n,)`` for regression/binary and ``(n, K)`` for multiclass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "SquaredLoss",
+    "LogisticLoss",
+    "SoftmaxLoss",
+    "get_loss",
+    "sigmoid",
+    "softmax",
+]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of an (n, K) score matrix."""
+    z = scores - scores.max(axis=1, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=1, keepdims=True)
+    return z
+
+
+class Loss:
+    """Base class: subclasses define gradients w.r.t. raw scores."""
+
+    #: number of score columns per boosting iteration (K for softmax)
+    n_scores: int = 1
+
+    def init_score(self, y: np.ndarray) -> np.ndarray:
+        """Constant initial score(s) minimising the loss on y."""
+        raise NotImplementedError
+
+    def grad_hess(self, y: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample (gradient, hessian) of the loss w.r.t. scores."""
+        raise NotImplementedError
+
+    def value(self, y: np.ndarray, scores: np.ndarray) -> float:
+        """Mean loss of the scores against y."""
+        raise NotImplementedError
+
+
+class SquaredLoss(Loss):
+    """0.5 * (y - score)^2 — regression."""
+
+    def init_score(self, y: np.ndarray) -> np.ndarray:
+        """Constant initial score(s) minimising the loss on y."""
+        return np.full(1, float(np.mean(y)))
+
+    def grad_hess(self, y, scores):
+        """Per-sample (gradient, hessian) of the loss w.r.t. scores."""
+        return scores - y, np.ones_like(y, dtype=np.float64)
+
+    def value(self, y, scores):
+        """Mean loss of the scores against y."""
+        return float(0.5 * np.mean((y - scores) ** 2))
+
+
+class LogisticLoss(Loss):
+    """Binary cross-entropy on raw logits; y in {0, 1}."""
+
+    def init_score(self, y: np.ndarray) -> np.ndarray:
+        """Constant initial score(s) minimising the loss on y."""
+        p = float(np.clip(np.mean(y), 1e-12, 1 - 1e-12))
+        return np.full(1, np.log(p / (1 - p)))
+
+    def grad_hess(self, y, scores):
+        """Per-sample (gradient, hessian) of the loss w.r.t. scores."""
+        p = sigmoid(scores)
+        return p - y, np.maximum(p * (1 - p), 1e-12)
+
+    def value(self, y, scores):
+        """Mean loss of the scores against y."""
+        p = np.clip(sigmoid(scores), 1e-12, 1 - 1e-12)
+        return float(-np.mean(y * np.log(p) + (1 - y) * np.log(1 - p)))
+
+
+class SoftmaxLoss(Loss):
+    """Multiclass cross-entropy on raw (n, K) scores; y in {0..K-1}."""
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = int(n_classes)
+        self.n_scores = self.n_classes
+
+    def init_score(self, y: np.ndarray) -> np.ndarray:
+        """Constant initial score(s) minimising the loss on y."""
+        counts = np.bincount(y.astype(np.int64), minlength=self.n_classes)
+        p = np.clip(counts / counts.sum(), 1e-12, None)
+        return np.log(p)
+
+    def grad_hess(self, y, scores):
+        """Per-sample (gradient, hessian) of the loss w.r.t. scores."""
+        p = softmax(scores)
+        grad = p.copy()
+        grad[np.arange(y.size), y.astype(np.int64)] -= 1.0
+        hess = np.maximum(p * (1 - p), 1e-12)
+        return grad, hess
+
+    def value(self, y, scores):
+        """Mean loss of the scores against y."""
+        p = softmax(scores)
+        idx = np.arange(y.size)
+        return float(-np.mean(np.log(np.clip(p[idx, y.astype(np.int64)], 1e-12, None))))
+
+
+def get_loss(task: str, n_classes: int = 0) -> Loss:
+    """Return the loss for a task string: 'regression' | 'binary' | 'multiclass'."""
+    if task == "regression":
+        return SquaredLoss()
+    if task == "binary":
+        return LogisticLoss()
+    if task == "multiclass":
+        return SoftmaxLoss(n_classes)
+    raise ValueError(f"unknown task {task!r}")

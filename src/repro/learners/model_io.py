@@ -1,0 +1,370 @@
+"""Pickle-free model persistence (LightGBM-style model files).
+
+Production AutoML deployments ship the *model*, not a Python pickle: a
+JSON document that any process (or language) can load without importing
+arbitrary code.  This module dumps fitted estimators of the ML layer to
+plain dict/JSON and reconstructs them exactly:
+
+* GBDT family (``LGBMLike*``, ``XGBLike*``, ``XGBLimitDepth*``) — binner
+  edges, base score, learning rate and every tree's arrays;
+* forests (``RandomForest*``, ``ExtraTrees*``) — binner + bagged trees;
+* CatBoost-like — binner, base score and the oblivious trees' per-level
+  (feature, threshold) pairs + leaf tables;
+* linear family (``LogisticRegressionL1/L2``, ``RidgeRegressor``,
+  ``LassoRegressor``) — coefficients + standardisation statistics;
+* ``GaussianNB`` — per-class Gaussians; ``KNeighbors*`` — the
+  standardised training set itself.
+
+Round-trip contract (tested): ``load_model(dump_model(m))`` predicts
+bit-identically to ``m``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .boosting import (
+    GBDTEngine,
+    LGBMLikeClassifier,
+    LGBMLikeRegressor,
+    XGBLikeClassifier,
+    XGBLikeRegressor,
+    XGBLimitDepthClassifier,
+    XGBLimitDepthRegressor,
+)
+from .catboost_like import (
+    CatBoostLikeClassifier,
+    CatBoostLikeRegressor,
+    ObliviousTree,
+    _CatBoostEngine,
+)
+from .forest import (
+    ExtraTreesClassifier,
+    ExtraTreesRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from .linear import (
+    LassoRegressor,
+    LogisticRegressionL1,
+    LogisticRegressionL2,
+    RidgeRegressor,
+)
+from .losses import get_loss
+from .naive_bayes import GaussianNB
+from .neighbors import KNeighborsClassifier, KNeighborsRegressor
+from .tree import Tree
+
+__all__ = ["dump_model", "load_model", "save_model", "load_model_file"]
+
+_GBDT_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        LGBMLikeClassifier, LGBMLikeRegressor,
+        XGBLikeClassifier, XGBLikeRegressor,
+        XGBLimitDepthClassifier, XGBLimitDepthRegressor,
+    )
+}
+_LINEAR_CLASSES = {
+    cls.__name__: cls
+    for cls in (LogisticRegressionL1, LogisticRegressionL2,
+                RidgeRegressor, LassoRegressor)
+}
+_KNN_CLASSES = {
+    cls.__name__: cls for cls in (KNeighborsClassifier, KNeighborsRegressor)
+}
+_FOREST_CLASSES = {
+    cls.__name__: cls
+    for cls in (RandomForestClassifier, RandomForestRegressor,
+                ExtraTreesClassifier, ExtraTreesRegressor)
+}
+_CATBOOST_CLASSES = {
+    cls.__name__: cls for cls in (CatBoostLikeClassifier, CatBoostLikeRegressor)
+}
+
+_FORMAT_VERSION = 1
+
+
+def _arr(a) -> list:
+    return np.asarray(a).tolist()
+
+
+def _dump_tree(tree: Tree) -> dict:
+    return {
+        "feature": [int(f) for f in tree.feature],
+        "threshold": [int(t) for t in tree.threshold],
+        "left": [int(v) for v in tree.left],
+        "right": [int(v) for v in tree.right],
+        "value": [_arr(v) for v in tree.value],
+        "n_values": tree.n_values,
+    }
+
+
+def _load_tree(obj: dict) -> Tree:
+    tree = Tree(n_values=obj["n_values"])
+    tree.feature = list(obj["feature"])
+    tree.threshold = list(obj["threshold"])
+    tree.left = list(obj["left"])
+    tree.right = list(obj["right"])
+    tree.value = [np.asarray(v, dtype=np.float64) for v in obj["value"]]
+    tree.freeze()
+    return tree
+
+
+def _dump_binner(binner) -> dict:
+    return {
+        "max_bins": binner.max_bins,
+        "bin_edges": [_arr(e) for e in binner.bin_edges_],
+        "n_bins": _arr(binner.n_bins_),
+    }
+
+
+def _load_binner(obj: dict):
+    from .histogram import Binner
+
+    binner = Binner(max_bins=obj["max_bins"])
+    binner.bin_edges_ = [np.asarray(e, dtype=np.float64) for e in obj["bin_edges"]]
+    binner.n_bins_ = np.asarray(obj["n_bins"], dtype=np.int64)
+    return binner
+
+
+def _classes_payload(model) -> dict:
+    classes = getattr(model, "classes_", None)
+    if classes is None:
+        return {}
+    return {
+        "classes": _arr(classes),
+        "classes_dtype": str(np.asarray(classes).dtype),
+    }
+
+
+def _restore_classes(model, obj: dict) -> None:
+    if "classes" in obj:
+        model.classes_ = np.asarray(obj["classes"], dtype=obj["classes_dtype"])
+
+
+# ---------------------------------------------------------------- dump --
+def dump_model(model) -> dict:
+    """Serialise a fitted estimator to a JSON-safe dict."""
+    name = type(model).__name__
+    if name in _GBDT_CLASSES:
+        engine: GBDTEngine = model.engine_
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "gbdt",
+            "class": name,
+            "params": model.get_params(),
+            **_classes_payload(model),
+            "engine": {
+                "learning_rate": engine.learning_rate,
+                "base_score": _arr(engine.base_score_),
+                "n_scores": engine.loss.n_scores,
+                "binner": _dump_binner(engine.binner_),
+                "trees": [
+                    [_dump_tree(t) for t in round_trees]
+                    for round_trees in engine.trees_
+                ],
+            },
+        }
+    if name in _LINEAR_CLASSES:
+        state = {
+            "coef": _arr(model.coef_),
+            "mu": _arr(model._mu),
+            "sd": _arr(model._sd),
+        }
+        if hasattr(model, "_ymu"):  # ridge / lasso center the target
+            state["ymu"] = float(model._ymu)
+        if hasattr(model, "_K"):  # logistic
+            state["K"] = int(model._K)
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "linear",
+            "class": name,
+            "params": model.get_params(),
+            **_classes_payload(model),
+            "state": state,
+        }
+    if name == "GaussianNB":
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "gaussian_nb",
+            "class": name,
+            "params": model.get_params(),
+            **_classes_payload(model),
+            "state": {
+                "theta": _arr(model._theta),
+                "var": _arr(model._var),
+                "log_prior": _arr(model._log_prior),
+            },
+        }
+    if name in _KNN_CLASSES:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "knn",
+            "class": name,
+            "params": model.get_params(),
+            **_classes_payload(model),
+            "state": {
+                "mu": _arr(model._mu),
+                "sd": _arr(model._sd),
+                "X": _arr(model._X),
+                "y": _arr(model._y),
+                "y_dtype": str(np.asarray(model._y).dtype),
+            },
+        }
+    if name in _FOREST_CLASSES:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "forest",
+            "class": name,
+            "params": model.get_params(),
+            **_classes_payload(model),
+            "state": {
+                "binner": _dump_binner(model.binner_),
+                "trees": [_dump_tree(t) for t in model.trees_],
+            },
+        }
+    if name in _CATBOOST_CLASSES:
+        engine = model.engine_
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "catboost",
+            "class": name,
+            "params": model.get_params(),
+            **_classes_payload(model),
+            "engine": {
+                "learning_rate": engine.learning_rate,
+                "base_score": _arr(engine.base_score_),
+                "n_scores": engine.loss.n_scores,
+                "binner": _dump_binner(engine.binner_),
+                "trees": [
+                    [
+                        {
+                            "features": _arr(t.features),
+                            "thresholds": _arr(t.thresholds),
+                            "leaf_values": _arr(t.leaf_values),
+                        }
+                        for t in round_trees
+                    ]
+                    for round_trees in engine.trees_
+                ],
+            },
+        }
+    raise TypeError(
+        f"{name} does not support pickle-free serialisation; use pickle, "
+        "or store the configuration and retrain (the CLI's default)"
+    )
+
+
+# ---------------------------------------------------------------- load --
+def load_model(obj: dict):
+    """Reconstruct the estimator serialised by :func:`dump_model`."""
+    version = obj.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    name = obj["class"]
+    kind = obj["kind"]
+    if kind == "gbdt":
+        cls = _GBDT_CLASSES[name]
+        model = cls(**obj["params"])
+        _restore_classes(model, obj)
+        e = obj["engine"]
+        if "classes" in obj:
+            task = "binary" if e["n_scores"] == 1 else "multiclass"
+            loss = get_loss(task, len(obj["classes"]))
+        else:
+            loss = get_loss("regression")
+        engine = GBDTEngine(loss, learning_rate=e["learning_rate"])
+        engine.base_score_ = np.asarray(e["base_score"], dtype=np.float64)
+        engine.binner_ = _load_binner(e["binner"])
+        engine.trees_ = [
+            [_load_tree(t) for t in round_trees] for round_trees in e["trees"]
+        ]
+        model.engine_ = engine
+        return model
+    if kind == "linear":
+        cls = _LINEAR_CLASSES[name]
+        model = cls(**obj["params"])
+        st = obj["state"]
+        coef = np.asarray(st["coef"], dtype=np.float64)
+        model.coef_ = coef
+        model._mu = np.asarray(st["mu"], dtype=np.float64)
+        model._sd = np.asarray(st["sd"], dtype=np.float64)
+        if "ymu" in st:
+            model._ymu = st["ymu"]
+        if "K" in st:
+            model._K = st["K"]
+        _restore_classes(model, obj)
+        return model
+    if kind == "gaussian_nb":
+        model = GaussianNB(**obj["params"])
+        st = obj["state"]
+        model._theta = np.asarray(st["theta"], dtype=np.float64)
+        model._var = np.asarray(st["var"], dtype=np.float64)
+        model._log_prior = np.asarray(st["log_prior"], dtype=np.float64)
+        _restore_classes(model, obj)
+        return model
+    if kind == "knn":
+        cls = _KNN_CLASSES[name]
+        model = cls(**obj["params"])
+        st = obj["state"]
+        model._mu = np.asarray(st["mu"], dtype=np.float64)
+        model._sd = np.asarray(st["sd"], dtype=np.float64)
+        model._X = np.asarray(st["X"], dtype=np.float64)
+        model._sq = (model._X**2).sum(axis=1)
+        model._y = np.asarray(st["y"], dtype=st["y_dtype"])
+        _restore_classes(model, obj)
+        return model
+    if kind == "forest":
+        cls = _FOREST_CLASSES[name]
+        model = cls(**obj["params"])
+        st = obj["state"]
+        model.binner_ = _load_binner(st["binner"])
+        model.trees_ = [_load_tree(t) for t in st["trees"]]
+        _restore_classes(model, obj)
+        return model
+    if kind == "catboost":
+        cls = _CATBOOST_CLASSES[name]
+        model = cls(**obj["params"])
+        _restore_classes(model, obj)
+        e = obj["engine"]
+        if "classes" in obj:
+            task = "binary" if e["n_scores"] == 1 else "multiclass"
+            loss = get_loss(task, len(obj["classes"]))
+        else:
+            loss = get_loss("regression")
+        engine = _CatBoostEngine(
+            loss, n_estimators=0, learning_rate=e["learning_rate"],
+            early_stopping_rounds=1, depth=1, reg_lambda=1.0,
+            min_child_weight=0.0, train_time_limit=None, seed=0,
+        )
+        engine.base_score_ = np.asarray(e["base_score"], dtype=np.float64)
+        engine.binner_ = _load_binner(e["binner"])
+        engine.trees_ = [
+            [
+                ObliviousTree(
+                    np.asarray(t["features"], dtype=np.int32),
+                    np.asarray(t["thresholds"], dtype=np.int64),
+                    np.asarray(t["leaf_values"], dtype=np.float64),
+                )
+                for t in round_trees
+            ]
+            for round_trees in e["trees"]
+        ]
+        model.engine_ = engine
+        return model
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def save_model(model, path: str) -> None:
+    """Dump a fitted estimator to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(dump_model(model), f)
+
+
+def load_model_file(path: str):
+    """Load an estimator from a file written by :func:`save_model`."""
+    with open(path) as f:
+        return load_model(json.load(f))

@@ -1,0 +1,79 @@
+"""Gaussian naive Bayes.
+
+The cheapest learner in the ML layer: one pass over the data to collect
+per-class means/variances, O(n*d) prediction.  Registered as an *extra*
+learner (``gaussian_nb``) — a useful low-cost anchor when exercising the
+ECI machinery with learners of wildly different trial costs, and a
+realistic example of plugging a non-tree model into ``add_learner``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifierMixin, BaseEstimator, validate_data
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseClassifierMixin, BaseEstimator):
+    """Gaussian naive Bayes with variance smoothing.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to
+    every per-class variance, exactly as scikit-learn does, which keeps
+    log-densities finite on constant features.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9, seed: int = 0,
+                 train_time_limit: float | None = None) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be >= 0")
+        super().__init__(
+            var_smoothing=float(var_smoothing),
+            seed=seed,
+            train_time_limit=train_time_limit,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "GaussianNB":
+        """Estimate per-class Gaussian parameters (optionally weighted);
+        returns self."""
+        X, y = validate_data(X, y)
+        encoded = self._encode_labels(y)
+        K = self.n_classes_
+        d = X.shape[1]
+        w = (
+            np.ones(X.shape[0])
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        self._theta = np.empty((K, d))
+        self._var = np.empty((K, d))
+        self._log_prior = np.empty(K)
+        eps = self.var_smoothing * float(X.var(axis=0).max() or 1.0)
+        for c in range(K):
+            mask = encoded == c
+            Xc, wc = X[mask], w[mask]
+            tot = wc.sum()
+            mean = (Xc * wc[:, None]).sum(axis=0) / tot
+            var = ((Xc - mean) ** 2 * wc[:, None]).sum(axis=0) / tot
+            self._theta[c] = mean
+            self._var[c] = var + eps
+            self._log_prior[c] = np.log(tot / w.sum())
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        X = validate_data(X)
+        # (n, K): log P(c) + sum_j log N(x_j | theta_cj, var_cj)
+        diff = X[:, None, :] - self._theta[None, :, :]
+        ll = -0.5 * (
+            np.log(2.0 * np.pi * self._var)[None, :, :] + diff**2 / self._var[None, :, :]
+        ).sum(axis=2)
+        return ll + self._log_prior[None, :]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix via the normalised joint likelihood."""
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)

@@ -1,0 +1,132 @@
+"""k-nearest-neighbour learners.
+
+FLAML's open-source release grew a ``kneighbor`` estimator beyond the six
+learners of the paper's Table 5; this module provides the equivalent so
+the registry's *extra learners* (``repro.core.registry.EXTRA_LEARNERS``)
+can exercise the ``add_learner``/``estimator_list`` code paths with a
+model family whose cost profile differs sharply from trees: training is
+O(1) (store the data), prediction is O(n_train * n_test * d).
+
+Distances are computed in vectorised chunks via the expansion
+``|a - b|^2 = |a|^2 + |b|^2 - 2 a.b`` so no Python-level loop runs per
+test point.  Features are standardised with the training statistics —
+kNN is scale-sensitive and the rest of the ML layer is scale-free, so
+this keeps the learner competitive out of the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifierMixin, BaseEstimator, validate_data
+
+__all__ = ["KNeighborsClassifier", "KNeighborsRegressor"]
+
+#: cap on the pairwise-distance block, in floats (~32 MB of float64)
+_BLOCK_ELEMS = 4_000_000
+
+
+class _KNeighborsBase(BaseEstimator):
+    """Shared fit/neighbour machinery for the two kNN estimators."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform",
+                 seed: int = 0, train_time_limit: float | None = None) -> None:
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {weights!r}")
+        super().__init__(
+            n_neighbors=int(n_neighbors),
+            weights=weights,
+            seed=seed,
+            train_time_limit=train_time_limit,
+        )
+
+    def _fit_store(self, X: np.ndarray, y: np.ndarray,
+                   sample_weight: np.ndarray | None = None) -> None:
+        X, y = validate_data(X, y)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self._fit_weight = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        self._mu = X.mean(axis=0)
+        sd = X.std(axis=0)
+        self._sd = np.where(sd > 0, sd, 1.0)
+        self._X = (X - self._mu) / self._sd
+        self._sq = (self._X**2).sum(axis=1)
+        self._y = y
+
+    def _neighbors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(indices, distances) of the k nearest training rows per query row."""
+        X = validate_data(X)
+        Xq = (X - self._mu) / self._sd
+        k = min(self.n_neighbors, self._X.shape[0])
+        rows_per_block = max(1, _BLOCK_ELEMS // max(1, self._X.shape[0]))
+        idx_out = np.empty((Xq.shape[0], k), dtype=np.intp)
+        dist_out = np.empty((Xq.shape[0], k), dtype=np.float64)
+        qsq = (Xq**2).sum(axis=1)
+        for start in range(0, Xq.shape[0], rows_per_block):
+            stop = min(start + rows_per_block, Xq.shape[0])
+            block = Xq[start:stop]
+            d2 = qsq[start:stop, None] + self._sq[None, :] - 2.0 * (block @ self._X.T)
+            np.maximum(d2, 0.0, out=d2)
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            pd = np.take_along_axis(d2, part, axis=1)
+            order = np.argsort(pd, axis=1)
+            idx_out[start:stop] = np.take_along_axis(part, order, axis=1)
+            dist_out[start:stop] = np.sqrt(np.take_along_axis(pd, order, axis=1))
+        return idx_out, dist_out
+
+    def _vote_weights(self, dist: np.ndarray,
+                      idx: np.ndarray | None = None) -> np.ndarray:
+        w = (
+            np.ones_like(dist)
+            if self.weights == "uniform"
+            else 1.0 / np.maximum(dist, 1e-10)
+        )
+        if idx is not None and getattr(self, "_fit_weight", None) is not None:
+            w = w * self._fit_weight[idx]
+        return w
+
+
+class KNeighborsClassifier(BaseClassifierMixin, _KNeighborsBase):
+    """kNN classification by (optionally distance-weighted) majority vote."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "KNeighborsClassifier":
+        """Store the standardised training set; returns self.  Sample
+        weights multiply each training row's vote mass."""
+        X, y = validate_data(X, y)
+        encoded = self._encode_labels(y)
+        self._fit_store(X, encoded, sample_weight)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix: normalised neighbour vote mass."""
+        idx, dist = self._neighbors(X)
+        w = self._vote_weights(dist, idx)
+        labels = self._y[idx]
+        K = self.n_classes_
+        proba = np.zeros((idx.shape[0], K), dtype=np.float64)
+        for c in range(K):
+            proba[:, c] = np.where(labels == c, w, 0.0).sum(axis=1)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba
+
+
+class KNeighborsRegressor(_KNeighborsBase):
+    """kNN regression by (optionally distance-weighted) neighbour mean."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "KNeighborsRegressor":
+        """Store the standardised training set; returns self.  Sample
+        weights multiply each training row's contribution to the mean."""
+        X, y = validate_data(X, y)
+        self._fit_store(X, y.astype(np.float64), sample_weight)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Weighted mean of the k nearest training targets."""
+        idx, dist = self._neighbors(X)
+        w = self._vote_weights(dist, idx)
+        return (self._y[idx] * w).sum(axis=1) / w.sum(axis=1)

@@ -1,0 +1,473 @@
+"""Histogram-based decision trees.
+
+Two growers share the same array-backed :class:`Tree` structure:
+
+* :class:`GradTreeGrower` — regression trees on (gradient, hessian) pairs
+  with L1/L2-regularised leaf values and gain, exactly as in
+  XGBoost/LightGBM.  Supports *leaf-wise* (best-first, LightGBM style) and
+  *depth-wise* growth, per-tree/per-level column subsampling, and an
+  *extra-random* mode (random thresholds, for extra-trees).
+* :class:`ClassTreeGrower` — classification trees on class labels with
+  gini/entropy impurity (for the random-forest / extra-trees learners whose
+  ``split criterion`` is a searched hyperparameter in Table 5).
+
+Split finding is vectorised: per (node, feature) histograms are built with
+``np.bincount`` and all candidate thresholds are scored at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["Tree", "GradTreeGrower", "ClassTreeGrower"]
+
+_EPS = 1e-12
+
+
+class Tree:
+    """Array-backed binary tree over binned features.
+
+    Navigation rule at an internal node: go left iff
+    ``codes[:, feature] <= threshold``.  Leaf payloads are rows of
+    ``value`` (scalar for boosting trees, class-probability vector for
+    classification trees).
+    """
+
+    def __init__(self, n_values: int = 1) -> None:
+        self.feature: list[int] = []
+        self.threshold: list[int] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[np.ndarray] = []
+        self.n_values = n_values
+
+    # -- construction ---------------------------------------------------
+    def add_node(self, value: np.ndarray) -> int:
+        """Append a leaf and return its node id."""
+        nid = len(self.feature)
+        self.feature.append(-1)
+        self.threshold.append(0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(np.atleast_1d(np.asarray(value, dtype=np.float64)))
+        return nid
+
+    def set_split(self, nid: int, feature: int, threshold: int, left: int, right: int) -> None:
+        """Turn leaf ``nid`` into an internal node."""
+        self.feature[nid] = feature
+        self.threshold[nid] = threshold
+        self.left[nid] = left
+        self.right[nid] = right
+
+    def freeze(self) -> None:
+        """Convert list storage to arrays for fast prediction."""
+        self._feature = np.asarray(self.feature, dtype=np.int32)
+        self._threshold = np.asarray(self.threshold, dtype=np.int64)
+        self._left = np.asarray(self.left, dtype=np.int32)
+        self._right = np.asarray(self.right, dtype=np.int32)
+        self._value = np.stack(self.value).astype(np.float64)
+
+    # -- inference ------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (internal + leaves)."""
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count."""
+        return int(sum(1 for f in self.feature if f < 0))
+
+    def predict_leaf(self, codes: np.ndarray) -> np.ndarray:
+        """Return the leaf node id reached by each row of ``codes``."""
+        node = np.zeros(codes.shape[0], dtype=np.int32)
+        while True:
+            act = np.nonzero(self._feature[node] >= 0)[0]
+            if act.size == 0:
+                return node
+            cur = node[act]
+            goleft = codes[act, self._feature[cur]] <= self._threshold[cur]
+            node[act] = np.where(goleft, self._left[cur], self._right[cur])
+
+    def predict(self, codes: np.ndarray) -> np.ndarray:
+        """Return leaf values, shape (n,) if scalar payload else (n, K)."""
+        out = self._value[self.predict_leaf(codes)]
+        return out[:, 0] if out.shape[1] == 1 else out
+
+    def split_feature_counts(self, n_features: int) -> np.ndarray:
+        """How many internal nodes split on each feature (importance proxy)."""
+        counts = np.zeros(n_features, dtype=np.float64)
+        for f in self.feature:
+            if f >= 0:
+                counts[f] += 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+def _soft_threshold(g: np.ndarray | float, alpha: float):
+    return np.sign(g) * np.maximum(np.abs(g) - alpha, 0.0)
+
+
+class GradTreeGrower:
+    """Grow one regression tree from per-sample gradients/hessians.
+
+    Parameters mirror the GBDT hyperparameters in the paper's Table 5.
+
+    Parameters
+    ----------
+    max_leaves:
+        Leaf budget (``leaf_num``).  Leaf-wise growth stops when reached.
+    max_depth:
+        Optional depth cap (used by depth-wise growth; None = unlimited).
+    min_child_weight:
+        Minimum hessian sum per child.
+    reg_alpha, reg_lambda:
+        L1 / L2 regularisation of leaf values.
+    leaf_wise:
+        True = best-first growth (LightGBM); False = level-order (XGBoost
+        classic / forests).
+    colsample_bytree, colsample_bylevel:
+        Fractions of features considered per tree / per split.
+    extra_random:
+        If True, score a single random threshold per feature (extra-trees).
+    min_samples_leaf:
+        Minimum sample count per child (forests).
+    """
+
+    def __init__(
+        self,
+        max_leaves: int = 31,
+        max_depth: int | None = None,
+        min_child_weight: float = 1e-3,
+        reg_alpha: float = 0.0,
+        reg_lambda: float = 1.0,
+        min_gain: float = 0.0,
+        leaf_wise: bool = True,
+        colsample_bytree: float = 1.0,
+        colsample_bylevel: float = 1.0,
+        extra_random: bool = False,
+        min_samples_leaf: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_leaves < 2:
+            raise ValueError(f"max_leaves must be >= 2, got {max_leaves}")
+        self.max_leaves = int(max_leaves)
+        self.max_depth = max_depth
+        self.min_child_weight = float(min_child_weight)
+        self.reg_alpha = float(reg_alpha)
+        self.reg_lambda = float(reg_lambda)
+        self.min_gain = float(min_gain)
+        self.leaf_wise = bool(leaf_wise)
+        self.colsample_bytree = float(colsample_bytree)
+        self.colsample_bylevel = float(colsample_bylevel)
+        self.extra_random = bool(extra_random)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def _leaf_value(self, G: float, H: float) -> float:
+        return float(-_soft_threshold(G, self.reg_alpha) / (H + self.reg_lambda))
+
+    def _score(self, G, H):
+        return _soft_threshold(G, self.reg_alpha) ** 2 / (H + self.reg_lambda)
+
+    def _best_split(
+        self,
+        codes: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        idx: np.ndarray,
+        features: np.ndarray,
+        n_bins: np.ndarray,
+    ):
+        """Return (gain, feature, threshold) for the best split of ``idx``.
+
+        Scores every (feature, threshold) pair; thresholds are bin codes,
+        split sends ``code <= t`` left (missing bin 0 always goes left).
+        """
+        g, h = grad[idx], hess[idx]
+        G, H = float(g.sum()), float(h.sum())
+        parent = self._score(G, H)
+        if self.colsample_bylevel < 1.0:
+            k = max(1, int(round(self.colsample_bylevel * features.size)))
+            features = self.rng.choice(features, size=k, replace=False)
+        F = features.size
+        nbmax = int(n_bins[features].max())
+        if nbmax < 2:
+            return 0.0, -1, -1
+        if idx.size * F <= 200_000:
+            # Small node: one flat bincount over all candidate features at
+            # once (block j of the histogram belongs to features[j]) —
+            # per-feature Python loops are interpreter-overhead-bound here.
+            fcodes = codes[np.ix_(idx, features)].astype(np.int64)
+            flat = (fcodes + np.arange(F, dtype=np.int64)[None, :] * nbmax).ravel()
+            gw = np.repeat(g, F) if F > 1 else g
+            hw = np.repeat(h, F) if F > 1 else h
+            hg = np.bincount(flat, weights=gw, minlength=F * nbmax).reshape(F, nbmax)
+            hh = np.bincount(flat, weights=hw, minlength=F * nbmax).reshape(F, nbmax)
+            cnt_src = flat
+        else:
+            # Large node: per-feature bincounts avoid materialising the
+            # (rows x features) weight copies.
+            hg = np.zeros((F, nbmax))
+            hh = np.zeros((F, nbmax))
+            for j, f in enumerate(features):
+                c = codes[idx, f]
+                hg[j, : n_bins[f]] = np.bincount(c, weights=g, minlength=n_bins[f])
+                hh[j, : n_bins[f]] = np.bincount(c, weights=h, minlength=n_bins[f])
+            cnt_src = None
+        GL = np.cumsum(hg, axis=1)[:, :-1]
+        HL = np.cumsum(hh, axis=1)[:, :-1]
+        GR, HR = G - GL, H - HL
+        valid = (HL >= self.min_child_weight) & (HR >= self.min_child_weight)
+        # thresholds past a feature's own bin count are not real splits
+        valid &= np.arange(nbmax - 1)[None, :] < (n_bins[features] - 1)[:, None]
+        if self.min_samples_leaf > 1:
+            if cnt_src is not None:
+                cnt = np.bincount(cnt_src, minlength=F * nbmax).reshape(F, nbmax)
+            else:
+                cnt = np.zeros((F, nbmax))
+                for j, f in enumerate(features):
+                    cnt[j, : n_bins[f]] = np.bincount(
+                        codes[idx, f], minlength=n_bins[f]
+                    )
+            CL = np.cumsum(cnt, axis=1)[:, :-1]
+            valid &= (CL >= self.min_samples_leaf) & (
+                idx.size - CL >= self.min_samples_leaf
+            )
+        if self.extra_random:
+            # Extra-trees: keep one random valid threshold per feature.
+            keep = np.zeros_like(valid)
+            for j in range(F):
+                cand = np.nonzero(valid[j])[0]
+                if cand.size:
+                    keep[j, int(self.rng.choice(cand))] = True
+            valid = keep
+        if not valid.any():
+            return 0.0, -1, -1
+        gains = np.where(
+            valid, 0.5 * (self._score(GL, HL) + self._score(GR, HR) - parent),
+            -np.inf,
+        )
+        j, t = np.unravel_index(int(np.argmax(gains)), gains.shape)
+        best_gain = float(gains[j, t])
+        if best_gain <= _EPS:
+            return 0.0, -1, -1
+        return best_gain, int(features[j]), int(t)
+
+    # ------------------------------------------------------------------
+    def grow(
+        self,
+        codes: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        n_bins: np.ndarray,
+        sample_idx: np.ndarray | None = None,
+    ) -> Tree:
+        """Grow and return a frozen :class:`Tree`."""
+        n, d = codes.shape
+        idx0 = np.arange(n) if sample_idx is None else np.asarray(sample_idx)
+        features = np.arange(d)
+        if self.colsample_bytree < 1.0:
+            k = max(1, int(round(self.colsample_bytree * d)))
+            features = np.sort(self.rng.choice(d, size=k, replace=False))
+
+        tree = Tree()
+        root_val = self._leaf_value(float(grad[idx0].sum()), float(hess[idx0].sum()))
+        root = tree.add_node(root_val)
+        n_leaves = 1
+        counter = 0  # heap tie-breaker
+
+        def try_split(nid: int, idx: np.ndarray, depth: int):
+            nonlocal counter
+            if self.max_depth is not None and depth >= self.max_depth:
+                return None
+            if idx.size < 2 * self.min_samples_leaf or idx.size < 2:
+                return None
+            gain, f, t = self._best_split(codes, grad, hess, idx, features, n_bins)
+            if f < 0 or gain <= self.min_gain:
+                return None
+            counter += 1
+            return (-gain, counter, nid, idx, depth, f, t)
+
+        heap: list = []
+        first = try_split(root, idx0, 0)
+        if first is not None:
+            heapq.heappush(heap, first)
+        while heap and n_leaves < self.max_leaves:
+            if self.leaf_wise:
+                _, _, nid, idx, depth, f, t = heapq.heappop(heap)
+            else:
+                _, _, nid, idx, depth, f, t = heap.pop(0)  # FIFO = level order
+            goleft = codes[idx, f] <= t
+            li, ri = idx[goleft], idx[~goleft]
+            lval = self._leaf_value(float(grad[li].sum()), float(hess[li].sum()))
+            rval = self._leaf_value(float(grad[ri].sum()), float(hess[ri].sum()))
+            lid, rid = tree.add_node(lval), tree.add_node(rval)
+            tree.set_split(nid, f, t, lid, rid)
+            n_leaves += 1
+            for cid, cidx in ((lid, li), (rid, ri)):
+                if n_leaves >= self.max_leaves:
+                    break
+                item = try_split(cid, cidx, depth + 1)
+                if item is not None:
+                    if self.leaf_wise:
+                        heapq.heappush(heap, item)
+                    else:
+                        heap.append(item)
+        tree.freeze()
+        return tree
+
+
+# ----------------------------------------------------------------------
+class ClassTreeGrower:
+    """Grow one classification tree using gini/entropy impurity.
+
+    Leaf payloads are class-probability vectors; used by the forest
+    learners where ``split criterion`` ∈ {gini, entropy} is part of the
+    searched space (Table 5).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        criterion: str = "gini",
+        max_leaves: int | None = None,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: float = 1.0,
+        extra_random: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"criterion must be gini|entropy, got {criterion!r}")
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = int(n_classes)
+        self.criterion = criterion
+        self.max_leaves = max_leaves
+        self.max_depth = max_depth
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = float(max_features)
+        self.extra_random = bool(extra_random)
+        self.rng = rng or np.random.default_rng(0)
+
+    def _impurity(self, counts: np.ndarray) -> np.ndarray:
+        """Impurity of count vectors along the last axis, times total count.
+
+        Returning ``impurity * n`` (the "weighted" impurity) makes the gain
+        computation a simple subtraction.
+        """
+        tot = counts.sum(axis=-1)
+        safe = np.maximum(tot, _EPS)
+        p = counts / safe[..., None]
+        if self.criterion == "gini":
+            per = 1.0 - (p**2).sum(axis=-1)
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                logp = np.where(p > 0, np.log2(np.maximum(p, _EPS)), 0.0)
+            per = -(p * logp).sum(axis=-1)
+        return per * tot
+
+    def _best_split(self, codes, y, idx, n_bins, w=None):
+        d = codes.shape[1]
+        features = np.arange(d)
+        if self.max_features < 1.0:
+            k = max(1, int(round(self.max_features * d)))
+            features = self.rng.choice(d, size=k, replace=False)
+        yk = y[idx].astype(np.int64)
+        K = self.n_classes
+        w_idx = None if w is None else w[idx]
+        total = np.bincount(yk, weights=w_idx, minlength=K).astype(np.float64)
+        parent = float(self._impurity(total))
+        # joint (class, feature, bin) histogram in ONE bincount — same
+        # interpreter-overhead argument as GradTreeGrower._best_split
+        F = features.size
+        nbmax = int(n_bins[features].max())
+        if nbmax < 2:
+            return 0.0, -1, -1
+        fcodes = codes[np.ix_(idx, features)].astype(np.int64)
+        flat = (
+            yk[:, None] * (F * nbmax)
+            + fcodes
+            + np.arange(F, dtype=np.int64)[None, :] * nbmax
+        ).ravel()
+        flat_w = None if w_idx is None else np.repeat(w_idx, F)
+        joint = np.bincount(flat, weights=flat_w,
+                            minlength=K * F * nbmax).astype(np.float64)
+        joint = joint.reshape(K, F, nbmax)
+        CL = np.cumsum(joint, axis=2)[:, :, :-1]  # (K, F, T)
+        CL = np.moveaxis(CL, 0, -1)  # (F, T, K)
+        CR = total[None, None, :] - CL
+        nl = CL.sum(axis=2)
+        nr = idx.size - nl
+        valid = (nl >= self.min_samples_leaf) & (nr >= self.min_samples_leaf)
+        valid &= np.arange(nbmax - 1)[None, :] < (n_bins[features] - 1)[:, None]
+        if self.extra_random:
+            keep = np.zeros_like(valid)
+            for j in range(F):
+                cand = np.nonzero(valid[j])[0]
+                if cand.size:
+                    keep[j, int(self.rng.choice(cand))] = True
+            valid = keep
+        if not valid.any():
+            return 0.0, -1, -1
+        gains = np.where(
+            valid, parent - self._impurity(CL) - self._impurity(CR), -np.inf
+        )
+        j, t = np.unravel_index(int(np.argmax(gains)), gains.shape)
+        best_gain = float(gains[j, t])
+        if best_gain <= _EPS:
+            return 0.0, -1, -1
+        return best_gain, int(features[j]), int(t)
+
+    def _leaf_value(self, y, idx, w=None):
+        counts = np.bincount(
+            y[idx].astype(np.int64),
+            weights=None if w is None else w[idx],
+            minlength=self.n_classes,
+        ).astype(np.float64)
+        total = counts.sum()
+        return counts / (total if total > 0 else 1.0)
+
+    def grow(self, codes: np.ndarray, y: np.ndarray, n_bins: np.ndarray,
+             sample_idx: np.ndarray | None = None,
+             sample_weight: np.ndarray | None = None) -> Tree:
+        """Grow and return a frozen Tree.  ``sample_weight`` (aligned with
+        ``codes``) scales each row's contribution to impurities and leaf
+        frequencies; the ``min_samples_leaf`` guard then applies to
+        *weighted* counts."""
+        n = codes.shape[0]
+        idx0 = np.arange(n) if sample_idx is None else np.asarray(sample_idx)
+        w = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        tree = Tree(n_values=self.n_classes)
+        root = tree.add_node(self._leaf_value(y, idx0, w))
+        max_leaves = self.max_leaves or np.inf
+        n_leaves = 1
+        stack = [(root, idx0, 0)]
+        while stack and n_leaves < max_leaves:
+            nid, idx, depth = stack.pop(0)
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            if idx.size < 2 * self.min_samples_leaf:
+                continue
+            if np.all(y[idx] == y[idx[0]]):
+                continue  # pure node
+            gain, f, t = self._best_split(codes, y, idx, n_bins, w)
+            if f < 0 or gain <= 0:
+                continue
+            goleft = codes[idx, f] <= t
+            li, ri = idx[goleft], idx[~goleft]
+            lid = tree.add_node(self._leaf_value(y, li, w))
+            rid = tree.add_node(self._leaf_value(y, ri, w))
+            tree.set_split(nid, f, t, lid, rid)
+            n_leaves += 1
+            stack.append((lid, li, depth + 1))
+            stack.append((rid, ri, depth + 1))
+        tree.freeze()
+        return tree

@@ -1,0 +1,38 @@
+"""Error metrics for trials and benchmark scoring."""
+
+from .classification import accuracy_score, error_rate, log_loss, roc_auc_score
+from .extra import (
+    balanced_accuracy_score,
+    brier_score,
+    f1_score,
+    mape,
+    precision_score,
+    recall_score,
+    spearman_rho,
+)
+from .registry import Metric, default_metric_name, get_metric, make_metric
+from .regression import mae, mse, q_error, q_error_percentile, r2_score, rmse
+
+__all__ = [
+    "Metric",
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "brier_score",
+    "default_metric_name",
+    "error_rate",
+    "f1_score",
+    "get_metric",
+    "log_loss",
+    "mae",
+    "make_metric",
+    "mape",
+    "mse",
+    "precision_score",
+    "q_error",
+    "q_error_percentile",
+    "r2_score",
+    "recall_score",
+    "rmse",
+    "roc_auc_score",
+    "spearman_rho",
+]

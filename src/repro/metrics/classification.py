@@ -1,0 +1,102 @@
+"""Classification metrics (re-implementations of the sklearn ones FLAML uses).
+
+The AutoML benchmark scores binary tasks with roc-auc and multiclass tasks
+with negative log-loss; both are reproduced here, tie-corrected and
+numerically safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_auc_score", "log_loss", "accuracy_score", "error_rate"]
+
+
+def _rankdata(x: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based), ties share the mean rank."""
+    order = np.argsort(x, kind="mergesort")
+    ranks = np.empty(x.size, dtype=np.float64)
+    sx = x[order]
+    # boundaries of tie groups
+    boundary = np.nonzero(np.diff(sx))[0] + 1
+    starts = np.concatenate([[0], boundary])
+    ends = np.concatenate([boundary, [x.size]])
+    for s, e in zip(starts, ends):
+        ranks[order[s:e]] = 0.5 * (s + e - 1) + 1
+    return ranks
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve.
+
+    Binary: ``y_score`` is the positive-class score, shape (n,) or the
+    (n, 2) probability matrix.  Multiclass: (n, K) probabilities scored
+    one-vs-rest, macro-averaged (sklearn ``ovr``/``macro``).
+    """
+    y_true = np.asarray(y_true)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    classes = np.unique(y_true)
+    if classes.size < 2:
+        raise ValueError("roc_auc_score requires at least two classes in y_true")
+    if classes.size == 2:
+        if y_score.ndim == 2:
+            y_score = y_score[:, -1]
+        pos = y_true == classes[1]
+        n_pos = int(pos.sum())
+        n_neg = y_true.size - n_pos
+        ranks = _rankdata(y_score)
+        # Mann-Whitney U statistic
+        u = ranks[pos].sum() - n_pos * (n_pos + 1) / 2.0
+        return float(u / (n_pos * n_neg))
+    if y_score.ndim != 2 or y_score.shape[1] != classes.size:
+        raise ValueError(
+            f"multiclass roc_auc needs (n, {classes.size}) scores, got {y_score.shape}"
+        )
+    aucs = []
+    for k, c in enumerate(classes):
+        yk = (y_true == c).astype(np.int64)
+        if yk.sum() in (0, yk.size):
+            continue
+        aucs.append(roc_auc_score(yk, y_score[:, k]))
+    return float(np.mean(aucs))
+
+
+def log_loss(y_true: np.ndarray, y_proba: np.ndarray, labels=None) -> float:
+    """Cross-entropy between labels and predicted probabilities.
+
+    ``y_proba`` is (n, K); column order follows ``np.unique(y_true)`` unless
+    ``labels`` is given (needed when a fold is missing a class).
+    """
+    y_true = np.asarray(y_true)
+    y_proba = np.asarray(y_proba, dtype=np.float64)
+    classes = np.asarray(labels) if labels is not None else np.unique(y_true)
+    if y_proba.ndim == 1:
+        y_proba = np.column_stack([1 - y_proba, y_proba])
+    if (
+        labels is None
+        and y_proba.shape[1] != classes.size
+        and np.isin(classes, np.arange(y_proba.shape[1])).all()
+    ):
+        # a fold may not contain every class: fall back to 0..K-1 label ids
+        classes = np.arange(y_proba.shape[1])
+    if y_proba.shape[1] != classes.size:
+        raise ValueError(
+            f"y_proba has {y_proba.shape[1]} columns for {classes.size} classes"
+        )
+    lut = {c: i for i, c in enumerate(classes)}
+    idx = np.array([lut[v] for v in y_true])
+    p = np.clip(y_proba[np.arange(y_true.size), idx], 1e-15, 1.0)
+    return float(-np.mean(np.log(p)))
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """1 - accuracy."""
+    return 1.0 - accuracy_score(y_true, y_pred)

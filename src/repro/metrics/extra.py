@@ -1,0 +1,158 @@
+"""Additional metrics registered for custom optimisation.
+
+The paper's API lets users optimise any metric; these cover the common
+requests beyond the benchmark's defaults: F1 (binary / macro / micro),
+precision, recall, balanced accuracy, the Brier score, MAPE, Spearman
+rank correlation, and the selectivity literature's 95th-percentile
+q-error (§5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .regression import q_error_percentile
+from .registry import Metric, _REGISTRY
+
+__all__ = [
+    "balanced_accuracy_score",
+    "brier_score",
+    "f1_score",
+    "mape",
+    "precision_score",
+    "recall_score",
+    "spearman_rho",
+]
+
+
+def _binary_counts(y_true, y_pred, positive):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = np.sum((y_pred == positive) & (y_true == positive))
+    fp = np.sum((y_pred == positive) & (y_true != positive))
+    fn = np.sum((y_pred != positive) & (y_true == positive))
+    return float(tp), float(fp), float(fn)
+
+
+def precision_score(y_true, y_pred, positive=1) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    tp, fp, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if tp + fp > 0 else 0.0
+
+
+def recall_score(y_true, y_pred, positive=1) -> float:
+    """TP / (TP + FN); 0 when there are no positives."""
+    tp, _, fn = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if tp + fn > 0 else 0.0
+
+
+def f1_score(y_true, y_pred, average: str = "binary", positive=1) -> float:
+    """F1: harmonic mean of precision and recall.
+
+    ``average``: 'binary' (the given positive class), 'macro' (unweighted
+    class mean) or 'micro' (global counts — equals accuracy for
+    single-label problems).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if average == "binary":
+        p = precision_score(y_true, y_pred, positive)
+        r = recall_score(y_true, y_pred, positive)
+        return 2 * p * r / (p + r) if p + r > 0 else 0.0
+    classes = np.unique(y_true)
+    if average == "macro":
+        return float(
+            np.mean([f1_score(y_true, y_pred, "binary", c) for c in classes])
+        )
+    if average == "micro":
+        tp = fp = fn = 0.0
+        for c in classes:
+            t, f_, n = _binary_counts(y_true, y_pred, c)
+            tp, fp, fn = tp + t, fp + f_, fn + n
+        denom = 2 * tp + fp + fn
+        return 2 * tp / denom if denom > 0 else 0.0
+    raise ValueError(f"unknown average {average!r}")
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Mean per-class recall (robust to class imbalance)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return float(
+        np.mean([recall_score(y_true, y_pred, c) for c in np.unique(y_true)])
+    )
+
+
+def brier_score(y_true: np.ndarray, proba: np.ndarray) -> float:
+    """Mean squared error of predicted probabilities (lower is better).
+
+    Binary: ``proba`` is the positive-class probability (or an (n, 2)
+    matrix).  Multiclass: mean squared distance between the (n, K)
+    probability matrix and the one-hot encoding of ``y_true``, summed over
+    classes (the original Brier definition).
+    """
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba, dtype=np.float64)
+    classes = np.unique(y_true)
+    if classes.size == 2:
+        p = proba[:, -1] if proba.ndim == 2 else proba
+        target = (y_true == classes[1]).astype(np.float64)
+        return float(np.mean((p - target) ** 2))
+    if proba.ndim != 2 or proba.shape[1] != classes.size:
+        raise ValueError(
+            f"multiclass brier needs (n, {classes.size}) probabilities, "
+            f"got {proba.shape}"
+        )
+    onehot = (y_true[:, None] == classes[None, :]).astype(np.float64)
+    return float(np.mean(((proba - onehot) ** 2).sum(axis=1)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, floor: float = 1e-9) -> float:
+    """Mean absolute percentage error; tiny targets are floored."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(
+        np.mean(np.abs(y_pred - y_true) / np.maximum(np.abs(y_true), floor))
+    )
+
+
+def spearman_rho(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Spearman rank correlation (tie-averaged ranks); in [-1, 1]."""
+    def _rank(a):
+        a = np.asarray(a, dtype=np.float64)
+        order = np.argsort(a, kind="stable")
+        ranks = np.empty(a.size, dtype=np.float64)
+        ranks[order] = np.arange(1, a.size + 1)
+        # average ranks over ties
+        uniq, inv, counts = np.unique(a, return_inverse=True,
+                                      return_counts=True)
+        sums = np.bincount(inv, weights=ranks)
+        return (sums / counts)[inv]
+
+    ra, rb = _rank(y_true), _rank(y_pred)
+    sa, sb = ra.std(), rb.std()
+    if sa < 1e-12 or sb < 1e-12:
+        return 0.0
+    return float(((ra - ra.mean()) * (rb - rb.mean())).mean() / (sa * sb))
+
+
+# register as minimisable errors (1 - score)
+_REGISTRY["f1"] = Metric("f1", lambda yt, p: 1.0 - f1_score(yt, p))
+_REGISTRY["macro_f1"] = Metric(
+    "macro_f1", lambda yt, p: 1.0 - f1_score(yt, p, average="macro")
+)
+_REGISTRY["micro_f1"] = Metric(
+    "micro_f1", lambda yt, p: 1.0 - f1_score(yt, p, average="micro")
+)
+_REGISTRY["balanced_accuracy"] = Metric(
+    "balanced_accuracy", lambda yt, p: 1.0 - balanced_accuracy_score(yt, p)
+)
+_REGISTRY["brier"] = Metric("brier", lambda yt, p: brier_score(yt, p),
+                            needs_proba=True)
+_REGISTRY["mape"] = Metric("mape", lambda yt, p: mape(yt, p))
+_REGISTRY["spearman"] = Metric(
+    "spearman", lambda yt, p: 1.0 - spearman_rho(yt, p)
+)
+_REGISTRY["q_error_p95"] = Metric(
+    "q_error_p95", lambda yt, p: q_error_percentile(yt, p, 95)
+)

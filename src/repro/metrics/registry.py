@@ -1,0 +1,99 @@
+"""Metric registry: maps metric names to the *error* the AutoML layer
+minimises (the paper's validation error ε̃).
+
+A :class:`Metric` bundles the scoring function with how the search consumes
+it: whether the learner must produce probabilities, and how the raw score
+is turned into an error to minimise (``1 - auc``, ``1 - r2``, log-loss as
+is...).  Custom metrics — one of FLAML's advertised API features — are
+created with :func:`make_metric` or by passing any callable
+``f(y_true, prediction) -> error`` to ``AutoML.fit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .classification import accuracy_score, log_loss, roc_auc_score
+from .regression import mae, mse, r2_score
+
+__all__ = ["Metric", "make_metric", "get_metric", "default_metric_name"]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named error function for trial evaluation.
+
+    ``error_fn(y_true, pred)`` must return a value where *lower is better*;
+    ``needs_proba`` selects whether classifiers are asked for
+    ``predict_proba`` (pred is (n, K)) or ``predict`` (labels).
+    """
+
+    name: str
+    error_fn: Callable[[np.ndarray, np.ndarray], float]
+    needs_proba: bool = False
+
+    def error(self, y_true: np.ndarray, pred: np.ndarray, labels=None) -> float:
+        """Evaluate the error (lower is better) of pred against y_true."""
+        try:
+            return float(self.error_fn(y_true, pred, labels))  # type: ignore[call-arg]
+        except TypeError:
+            return float(self.error_fn(y_true, pred))
+
+
+def make_metric(
+    fn: Callable[[np.ndarray, np.ndarray], float],
+    name: str = "custom",
+    needs_proba: bool = False,
+    greater_is_better: bool = False,
+) -> Metric:
+    """Wrap a user scoring function into a :class:`Metric`.
+
+    If ``greater_is_better`` the score is negated so the search can minimise.
+    """
+    if greater_is_better:
+        return Metric(name, lambda yt, p: -float(fn(yt, p)), needs_proba)
+    return Metric(name, lambda yt, p: float(fn(yt, p)), needs_proba)
+
+
+def _auc_error(y_true, proba, labels=None):
+    p = proba[:, -1] if (np.ndim(proba) == 2 and proba.shape[1] == 2) else proba
+    return 1.0 - roc_auc_score(y_true, p)
+
+
+_REGISTRY: dict[str, Metric] = {
+    "roc_auc": Metric("roc_auc", _auc_error, needs_proba=True),
+    "log_loss": Metric("log_loss", lambda yt, p, labels=None: log_loss(yt, p, labels),
+                       needs_proba=True),
+    "accuracy": Metric("accuracy", lambda yt, p: 1.0 - accuracy_score(yt, p)),
+    "r2": Metric("r2", lambda yt, p: 1.0 - r2_score(yt, p)),
+    "mse": Metric("mse", lambda yt, p: mse(yt, p)),
+    "mae": Metric("mae", lambda yt, p: mae(yt, p)),
+}
+
+
+def default_metric_name(task: str) -> str:
+    """The benchmark's metric per task type (§5): roc-auc for binary,
+    neg log-loss for multiclass, r2 for regression."""
+    return {"binary": "roc_auc", "multiclass": "log_loss", "regression": "r2"}[task]
+
+
+def get_metric(metric: str | Metric | Callable, task: str | None = None) -> Metric:
+    """Resolve a metric spec (name | Metric | callable) to a :class:`Metric`."""
+    if isinstance(metric, Metric):
+        return metric
+    if callable(metric):
+        return make_metric(metric, name=getattr(metric, "__name__", "custom"),
+                           needs_proba=getattr(metric, "needs_proba", False))
+    if metric == "auto":
+        if task is None:
+            raise ValueError("metric='auto' requires a task")
+        metric = default_metric_name(task)
+    try:
+        return _REGISTRY[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; known: {sorted(_REGISTRY)}"
+        ) from None

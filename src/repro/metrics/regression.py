@@ -1,0 +1,56 @@
+"""Regression metrics, including the selectivity-estimation q-error."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "mse", "rmse", "mae", "q_error", "q_error_percentile"]
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1 is perfect, 0 matches the mean
+    predictor, negative is worse than the mean predictor."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    denom = float(np.sum((y_true - y_true.mean()) ** 2))
+    if denom == 0.0:
+        return 1.0 if np.allclose(y_true, y_pred) else 0.0
+    return 1.0 - float(np.sum((y_true - y_pred) ** 2)) / denom
+
+
+def q_error(true_sel: np.ndarray, pred_sel: np.ndarray, floor: float = 1e-9) -> np.ndarray:
+    """Per-query q-error: ``max(pred/true, true/pred)`` with clamping.
+
+    The standard relative error metric of the selectivity-estimation
+    literature (Dutt et al. 2019); both arguments are selectivities (or
+    cardinalities) and are floored to avoid division blow-ups.
+    """
+    t = np.maximum(np.asarray(true_sel, dtype=np.float64), floor)
+    p = np.maximum(np.asarray(pred_sel, dtype=np.float64), floor)
+    return np.maximum(p / t, t / p)
+
+
+def q_error_percentile(
+    true_sel: np.ndarray, pred_sel: np.ndarray, percentile: float = 95.0
+) -> float:
+    """Percentile of the q-error distribution (paper reports the 95th)."""
+    return float(np.percentile(q_error(true_sel, pred_sel), percentile))

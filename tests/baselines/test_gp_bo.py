@@ -1,0 +1,75 @@
+"""Tests for the GP-EI / EIperSec baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gp_bo import GPEIBaseline, GPRegressor, expected_improvement
+from repro.data import Dataset
+from repro.metrics import get_metric
+
+
+class TestGPRegressor:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((15, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1]
+        gp = GPRegressor(noise=1e-6).fit(X, y)
+        mu, sd = gp.predict(X)
+        assert np.allclose(mu, y, atol=1e-2)
+        assert (sd < 0.2).all()
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.array([[0.5, 0.5]])
+        gp = GPRegressor().fit(X, np.array([1.0]))
+        _, sd_near = gp.predict(np.array([[0.5, 0.5]]))
+        _, sd_far = gp.predict(np.array([[0.0, 0.0]]))
+        assert sd_far[0] > sd_near[0]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GPRegressor().predict(np.zeros((1, 2)))
+
+
+class TestExpectedImprovement:
+    def test_zero_sd_point_below_best(self):
+        ei = expected_improvement(np.array([0.5]), np.array([1e-9]),
+                                  best=0.4)
+        assert ei[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_better_mean_higher_ei(self):
+        sd = np.array([0.1, 0.1])
+        ei = expected_improvement(np.array([0.2, 0.4]), sd, best=0.5)
+        assert ei[0] > ei[1]
+
+    def test_higher_uncertainty_higher_ei_at_same_mean(self):
+        mu = np.array([0.5, 0.5])
+        ei = expected_improvement(mu, np.array([0.3, 0.05]), best=0.5)
+        assert ei[0] > ei[1]
+
+
+class TestGPEIBaseline:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((700, 5))
+        y = ((X[:, 0] + X[:, 1] ** 2) > 0.5).astype(int)
+        return Dataset("gp", X, y, "binary").shuffled(0)
+
+    @pytest.mark.parametrize("acq", ["ei", "ei_per_sec"])
+    def test_search_runs(self, acq, data):
+        sys = GPEIBaseline(acquisition=acq, estimator_list=["lgbm", "rf"],
+                           cv_instance_threshold=0)
+        res = sys.search(data, get_metric("roc_auc"), time_budget=2.0, seed=0)
+        # randomly sampled boosting configs are *expensive* (that is the
+        # cost-unawareness the paper contrasts FLAML against), so only a
+        # couple of trials fit in a small budget
+        assert res.n_trials >= 2
+        assert np.isfinite(res.best_error)
+
+    def test_invalid_acquisition(self):
+        with pytest.raises(ValueError):
+            GPEIBaseline(acquisition="ucb")
+
+    def test_names(self):
+        assert GPEIBaseline("ei").name == "GP-EI"
+        assert GPEIBaseline("ei_per_sec").name == "GP-EIperSec"

@@ -1,0 +1,69 @@
+"""Direct tests for the TPE sampler and grid sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TPESampler, grid_sample
+from repro.core.space import LogUniform, SearchSpace, Uniform
+
+
+def _space():
+    return SearchSpace({"a": Uniform(0.0, 1.0), "b": LogUniform(0.01, 10.0)})
+
+
+class TestTPESampler:
+    def test_random_until_min_points(self):
+        rng = np.random.default_rng(0)
+        s = TPESampler(_space(), rng, min_points=5)
+        # fewer than min_points observations -> uniform sampling, all valid
+        for _ in range(4):
+            cfg = s.propose()
+            assert 0.0 <= cfg["a"] <= 1.0
+            s.observe(cfg, rng.random())
+
+    def test_model_based_after_enough_points(self):
+        rng = np.random.default_rng(1)
+        space = _space()
+        s = TPESampler(space, rng, min_points=8, gamma=0.3)
+        # plant a clear optimum near a=0.2
+        for _ in range(40):
+            cfg = space.sample(rng)
+            err = (cfg["a"] - 0.2) ** 2
+            s.observe(cfg, err)
+        proposals = [s.propose()["a"] for _ in range(20)]
+        # proposals concentrate near the good region
+        assert np.median(np.abs(np.array(proposals) - 0.2)) < 0.25
+
+    def test_infinite_errors_ignored(self):
+        rng = np.random.default_rng(2)
+        s = TPESampler(_space(), rng)
+        s.observe({"a": 0.5, "b": 1.0}, np.inf)
+        assert len(s._y) == 0
+
+    def test_kde_logpdf_peaks_at_centers(self):
+        rng = np.random.default_rng(3)
+        s = TPESampler(_space(), rng)
+        pts = np.array([[0.5, 0.5]])
+        near = s._kde_logpdf(np.array([[0.5, 0.5]]), pts)
+        far = s._kde_logpdf(np.array([[0.0, 0.0]]), pts)
+        assert near[0] > far[0]
+
+
+class TestGridSample:
+    def test_values_on_grid(self):
+        rng = np.random.default_rng(0)
+        space = SearchSpace({"a": Uniform(0.0, 1.0)})
+        levels = set(np.linspace(0, 1, 5).round(9))
+        for _ in range(30):
+            v = round(grid_sample(space, rng, grid_points=5)["a"], 9)
+            assert v in levels
+
+    def test_middle_returns_center(self):
+        rng = np.random.default_rng(0)
+        space = SearchSpace({"a": Uniform(0.0, 1.0)})
+        assert grid_sample(space, rng, grid_points=5, middle=True)["a"] == 0.5
+
+    def test_invalid_grid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            grid_sample(_space(), rng, grid_points=1)

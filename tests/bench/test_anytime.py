@@ -1,0 +1,92 @@
+"""Tests for the anytime-performance utilities (time_to_error,
+anytime_average_error)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import anytime_average_error, time_to_error
+from repro.core.controller import TrialRecord
+
+
+def _trial(i, t, err, cost=0.1, learner="lgbm"):
+    return TrialRecord(
+        iteration=i, automl_time=t, learner=learner, config={},
+        sample_size=100, resampling="cv", error=err, cost=cost,
+        kind="search", improved_global=False,
+    )
+
+
+LOG = [
+    _trial(1, 1.0, 0.5),
+    _trial(2, 2.0, 0.3),
+    _trial(3, 4.0, 0.4),   # no improvement
+    _trial(4, 8.0, 0.1),
+]
+
+
+class TestTimeToError:
+    def test_reaches_targets_at_right_times(self):
+        assert time_to_error(LOG, 0.5) == 1.0
+        assert time_to_error(LOG, 0.3) == 2.0
+        assert time_to_error(LOG, 0.2) == 8.0
+        assert time_to_error(LOG, 0.05) == float("inf")
+
+    def test_loose_target_hits_first_trial(self):
+        assert time_to_error(LOG, 0.9) == 1.0
+
+    def test_empty_log(self):
+        assert time_to_error([], 0.5) == float("inf")
+
+    def test_inf_errors_skipped(self):
+        log = [_trial(1, 1.0, float("inf")), _trial(2, 3.0, 0.2)]
+        assert time_to_error(log, 0.2) == 3.0
+
+
+class TestAnytimeAverageError:
+    def test_step_function_integral(self):
+        # best-so-far: 0.5 on [1,2), 0.3 on [2,8), 0.1 on [8,10];
+        # the wait [0,1) is charged at 0.5
+        avg = anytime_average_error(LOG, horizon=10.0)
+        expected = (0.5 * 1 + 0.5 * 1 + 0.3 * 6 + 0.1 * 2) / 10.0
+        assert avg == pytest.approx(expected)
+
+    def test_horizon_before_first_model(self):
+        assert anytime_average_error(LOG, horizon=0.5) == float("inf")
+
+    def test_early_improvement_beats_late(self):
+        """Same final error, but improving early wins the anytime average."""
+        fast = [_trial(1, 0.5, 0.4), _trial(2, 1.0, 0.1)]
+        slow = [_trial(1, 0.5, 0.4), _trial(2, 9.0, 0.1)]
+        assert anytime_average_error(fast, 10.0) < anytime_average_error(
+            slow, 10.0
+        )
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            anytime_average_error(LOG, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        errs=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=12),
+        horizon=st.floats(5.0, 50.0),
+    )
+    def test_property_bounded_by_error_range(self, errs, horizon):
+        log = [_trial(i + 1, i + 1.0, e) for i, e in enumerate(errs)
+               if i + 1.0 <= horizon]
+        if not log:
+            return
+        avg = anytime_average_error(log, horizon)
+        assert min(errs) - 1e-12 <= avg <= max(errs) + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(errs=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10))
+    def test_property_dominated_run_never_wins(self, errs):
+        """Uniformly lowering every error can only lower the average."""
+        base = [_trial(i + 1, i + 1.0, e) for i, e in enumerate(errs)]
+        better = [_trial(i + 1, i + 1.0, e / 2) for i, e in enumerate(errs)]
+        h = len(errs) + 2.0
+        assert anytime_average_error(better, h) <= anytime_average_error(
+            base, h
+        ) + 1e-12

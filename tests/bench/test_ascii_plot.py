@@ -1,0 +1,61 @@
+"""Tests for the ASCII plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_plot import ascii_multi_series, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_basic_render(self):
+        x = np.array([1.0, 10.0, 100.0])
+        y = np.array([0.1, 0.01, 0.001])
+        out = ascii_scatter(x, y, title="t", xlabel="cost", ylabel="regret")
+        assert "t" in out
+        plot_rows = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert sum(r.count("o") for r in plot_rows) == 3
+        assert "cost" in out and "regret" in out
+
+    def test_extreme_points_at_corners(self):
+        x = np.array([1.0, 1000.0])
+        y = np.array([1.0, 1000.0])
+        out = ascii_scatter(x, y, width=20, height=5, marker="X")
+        rows = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert rows[-1][1] == "X"  # min-x/min-y: bottom-left
+        assert rows[0][-2] == "X"  # max-x/max-y: top-right
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_scatter(np.array([]), np.array([]), title="e")
+
+    def test_constant_values_safe(self):
+        out = ascii_scatter(np.ones(5), np.ones(5))
+        assert "o" in out
+
+    def test_overlay_via_grid(self):
+        cells = [[" "] * 30 for _ in range(8)]
+        a = ascii_scatter(np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                          marker="a", width=30, height=8, grid=cells)
+        assert a.count("a") == 2
+
+
+class TestMultiSeries:
+    def test_legend_and_markers(self):
+        series = {
+            "FLAML": (np.array([1.0, 10.0]), np.array([0.1, 0.01])),
+            "BOHB": (np.array([5.0, 50.0]), np.array([0.2, 0.05])),
+        }
+        out = ascii_multi_series(series, title="fig1")
+        assert "o=FLAML" in out
+        assert "*=BOHB" in out
+        assert out.count("o") >= 2  # legend 'o' + points
+
+    def test_shared_axes(self):
+        series = {
+            "a": (np.array([1.0]), np.array([1.0])),
+            "b": (np.array([100.0]), np.array([100.0])),
+        }
+        out = ascii_multi_series(series, width=20, height=5)
+        assert "[1 .. 100]" in out
+
+    def test_empty(self):
+        assert "(no data)" in ascii_multi_series({})

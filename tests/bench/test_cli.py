@@ -1,0 +1,48 @@
+"""Tests for the repro.bench CLI."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.budgets == [1.0, 3.0]
+        assert args.folds == 1
+
+    def test_budgets_parsed_as_floats(self):
+        args = build_parser().parse_args(["--budgets", "0.5", "2"])
+        assert args.budgets == [0.5, 2.0]
+
+
+class TestMain:
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "blood-transfusion" in out
+        assert "bng_pbc" in out
+
+    def test_list_task_filter(self, capsys):
+        assert main(["--list", "--task", "regression"]) == 0
+        out = capsys.readouterr().out
+        assert "fried" in out
+        assert "adult" not in out
+
+    def test_unknown_dataset_rejected(self, capsys):
+        assert main(["--datasets", "not-a-dataset"]) == 2
+
+    def test_unknown_system_rejected(self, capsys):
+        assert main(["--systems", "NotASystem", "--datasets", "phoneme"]) == 2
+
+    @pytest.mark.slow
+    def test_tiny_run(self, capsys):
+        rc = main([
+            "--datasets", "blood-transfusion",
+            "--budgets", "0.3",
+            "--systems", "FLAML",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blood-transfusion" in out
+        assert "FLAML" in out

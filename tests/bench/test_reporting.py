@@ -1,0 +1,161 @@
+"""Tests for the text renderers of the paper's tables/figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    RunRecord,
+    format_ablation_curves,
+    format_boxplot_summary,
+    format_budget_table,
+    format_qerror_table,
+    format_radar_table,
+    format_trial_table,
+    summarize_score_differences,
+)
+from repro.core.controller import SearchResult, TrialRecord
+
+
+def _trial(i, learner="lgbm", error=0.1, cost=0.5):
+    return TrialRecord(
+        iteration=i, automl_time=i * 1.0, learner=learner,
+        config={"tree_num": 10, "learning_rate": 0.123456},
+        sample_size=100, resampling="holdout", error=error, cost=cost,
+        kind="search", improved_global=False,
+    )
+
+
+def _result(n=3):
+    trials = [_trial(i + 1) for i in range(n)]
+    return SearchResult(
+        best_learner="lgbm", best_config={"tree_num": 10}, best_sample_size=100,
+        best_error=0.1, resampling="holdout", trials=trials, wall_time=n * 1.0,
+    )
+
+
+def _record(dataset, system, budget, score, task="binary"):
+    return RunRecord(
+        dataset=dataset, task=task, system=system, budget=budget, fold=0,
+        raw_score=score, scaled_score=score, best_error=1 - score, n_trials=5,
+        wall_time=budget,
+    )
+
+
+class TestTrialTable:
+    def test_contains_rows_and_config(self):
+        text = format_trial_table(_result(3), "FLAML")
+        assert "FLAML trial log" in text
+        assert "tree_num: 10" in text
+        assert text.count("\n") >= 4
+
+    def test_truncation(self):
+        text = format_trial_table(_result(40), "X", max_rows=5)
+        assert "more trials" in text
+
+    def test_failed_trial_marked(self):
+        res = _result(1)
+        res.trials[0].error = np.inf
+        assert "fail" in format_trial_table(res, "X")
+
+
+class TestRadarTable:
+    def test_best_starred(self):
+        records = [
+            _record("d1", "FLAML", 1.0, 0.9),
+            _record("d1", "TPOT", 1.0, 0.7),
+        ]
+        text = format_radar_table(records)
+        line = [ln for ln in text.splitlines() if ln.startswith("d1")][0]
+        # FLAML's 0.900 column carries the star
+        assert "0.900*" in line.replace(" ", "")
+
+    def test_task_filter(self):
+        records = [
+            _record("bin-ds", "FLAML", 1.0, 0.9, task="binary"),
+            _record("reg-ds", "FLAML", 1.0, 0.8, task="regression"),
+        ]
+        text = format_radar_table(records, task="regression")
+        assert "reg-ds" in text and "bin-ds" not in text
+
+
+class TestScoreDifferences:
+    def test_positive_diff_means_flaml_better(self):
+        records = [
+            _record("d1", "FLAML", 1.0, 0.9),
+            _record("d1", "TPOT", 1.0, 0.7),
+            _record("d2", "FLAML", 1.0, 0.5),
+            _record("d2", "TPOT", 1.0, 0.6),
+        ]
+        stats = summarize_score_differences(records)
+        assert stats["TPOT"]["n"] == 2
+        assert stats["TPOT"]["median"] == pytest.approx(0.05)
+        assert stats["TPOT"]["frac_positive"] == 0.5
+
+    def test_smaller_budget_comparison(self):
+        records = [
+            _record("d1", "FLAML", 1.0, 0.9),
+            _record("d1", "TPOT", 1.0, 0.5),
+            _record("d1", "FLAML", 3.0, 0.95),
+            _record("d1", "TPOT", 3.0, 0.85),
+        ]
+        stats = summarize_score_differences(records, ref_budget=1.0,
+                                            other_budget=3.0)
+        # FLAML@1s (0.9) vs TPOT@3s (0.85)
+        assert stats["TPOT"]["median"] == pytest.approx(0.05)
+
+    def test_boxplot_rendering(self):
+        stats = {"TPOT": {"median": 0.1, "q1": 0.0, "q3": 0.2, "min": -0.1,
+                          "max": 0.3, "frac_positive": 0.8, "n": 10}}
+        text = format_boxplot_summary(stats, "test title")
+        assert "test title" in text
+        assert "TPOT" in text
+        assert "80%" in text
+
+
+class TestBudgetTable:
+    def test_win_percentages(self):
+        records = [
+            _record("d1", "FLAML", 1.0, 0.9),
+            _record("d1", "TPOT", 3.0, 0.7),
+            _record("d2", "FLAML", 1.0, 0.5),
+            _record("d2", "TPOT", 3.0, 0.9),
+        ]
+        text = format_budget_table(records, pairs=[(1.0, 3.0)])
+        row = [ln for ln in text.splitlines() if "TPOT" in ln][0]
+        assert "50%" in row
+
+    def test_tolerance_counts_ties(self):
+        records = [
+            _record("d1", "FLAML", 1.0, 0.9),
+            _record("d1", "TPOT", 3.0, 0.9005),  # within 0.1% tolerance
+        ]
+        text = format_budget_table(records, pairs=[(1.0, 3.0)])
+        assert "100%" in text
+
+
+class TestQErrorTable:
+    def test_column_order_flaml_first_manual_last(self):
+        results = {"2D-X": {"Manual": 2.0, "FLAML": 1.5, "TPOT": 3.0}}
+        text = format_qerror_table(results)
+        header = text.splitlines()[1]
+        assert header.index("FLAML") < header.index("TPOT") < header.index("Manual")
+
+    def test_missing_method_shows_na(self):
+        results = {"2D-X": {"FLAML": 1.5}, "2D-Y": {"FLAML": 1.2, "TPOT": 9.9}}
+        text = format_qerror_table(results)
+        assert "N/A" in text
+
+
+class TestAblationCurves:
+    def test_grid_rendering(self):
+        curves = {
+            "flaml": [(0.1, 0.5), (1.0, 0.3)],
+            "fulldata": [(0.5, 0.6), (1.0, 0.4)],
+        }
+        text = format_ablation_curves(curves, "ds", "1-auc")
+        assert "ds" in text and "flaml" in text and "fulldata" in text
+        # before fulldata's first trial the column shows a dash
+        assert "-" in text
+
+    def test_empty_curves(self):
+        assert "no trials" in format_ablation_curves({"a": []}, "ds", "m")

@@ -1,0 +1,118 @@
+"""Tests for benchmark scoring (scaled scores) and the harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ComparisonHarness,
+    constant_predictor_score,
+    default_systems,
+    fit_final_model,
+    raw_score,
+    rf_reference_score,
+    scale_score,
+    score_table,
+)
+from repro.data import Dataset, make_classification, make_regression
+from repro.learners import LGBMLikeClassifier
+
+
+@pytest.fixture(scope="module")
+def splits():
+    ds = make_classification(600, 5, structure="linear", class_sep=1.5, seed=0)
+    folds = ds.outer_folds(5)
+    return folds[0]
+
+
+class TestScaleScore:
+    def test_anchors(self):
+        assert scale_score(0.5, const_score=0.5, rf_score=0.9) == 0.0
+        assert scale_score(0.9, const_score=0.5, rf_score=0.9) == 1.0
+
+    def test_above_one_means_beat_rf(self):
+        assert scale_score(0.95, 0.5, 0.9) > 1.0
+
+    def test_degenerate_reference(self):
+        assert scale_score(0.6, 0.5, 0.5) == 1.0
+        assert scale_score(0.4, 0.5, 0.5) == 0.0
+
+
+class TestRawAndReferenceScores:
+    def test_binary_constant_is_half(self, splits):
+        train, test = splits
+        assert constant_predictor_score(train, test) == 0.5
+
+    def test_multiclass_constant_is_prior_logloss(self):
+        ds = make_classification(400, 4, n_classes=3, structure="clusters", seed=1)
+        train, test = ds.outer_folds(4)[0]
+        s = constant_predictor_score(train, test)
+        assert -np.log(3) - 0.5 < s < 0  # near -log(K) for balanced priors
+
+    def test_regression_constant_near_zero(self):
+        ds = make_regression(500, 5, seed=2)
+        train, test = ds.outer_folds(5)[0]
+        assert abs(constant_predictor_score(train, test)) < 0.1
+
+    def test_rf_reference_beats_constant(self, splits):
+        train, test = splits
+        rf = rf_reference_score(train, test, tree_num=20, train_time_limit=5.0)
+        assert rf > constant_predictor_score(train, test)
+
+    def test_raw_score_binary_auc(self, splits):
+        train, test = splits
+        m = LGBMLikeClassifier(tree_num=20, leaf_num=8).fit(train.X, train.y)
+        s = raw_score(train, test, m)
+        assert 0.5 < s <= 1.0
+
+
+class TestHarness:
+    def test_end_to_end_records(self):
+        ds = make_classification(500, 4, structure="linear", class_sep=1.5,
+                                 seed=3, name="tiny")
+        h = ComparisonHarness(
+            systems=default_systems(flaml_init_sample=100, include=("FLAML",)),
+            budgets=(0.5,),
+            n_folds=1,
+        )
+        records = h.run_dataset("tiny", dataset=ds)
+        assert len(records) == 1
+        r = records[0]
+        assert r.system == "FLAML"
+        assert r.dataset == "tiny"
+        assert np.isfinite(r.scaled_score)
+        assert r.n_trials >= 1
+
+    def test_score_table_shape(self):
+        ds = make_classification(500, 4, structure="linear", class_sep=1.5,
+                                 seed=3, name="tiny")
+        h = ComparisonHarness(
+            systems=default_systems(flaml_init_sample=100,
+                                    include=("FLAML", "H2OAutoML")),
+            budgets=(0.4, 0.8),
+            n_folds=1,
+        )
+        records = h.run_dataset("tiny", dataset=ds)
+        table = score_table(records)
+        assert set(table) == {0.4, 0.8}
+        assert set(table[0.4]["tiny"]) == {"FLAML", "H2OAutoML"}
+
+    def test_fit_final_model_roundtrip(self):
+        ds = make_classification(400, 4, seed=5, name="t").shuffled(0)
+        from repro.baselines import FLAMLSystem
+        from repro.metrics import get_metric
+
+        res = FLAMLSystem(init_sample_size=100, cv_instance_threshold=0).search(
+            ds, get_metric("roc_auc"), time_budget=0.5, seed=0
+        )
+        model = fit_final_model(ds, res)
+        assert model is not None
+        assert model.predict_proba(ds.X).shape == (ds.n, 2)
+
+    def test_default_systems_roster(self):
+        roster = default_systems()
+        assert set(roster) == {
+            "FLAML", "Auto-sklearn", "Cloud-automl", "HpBandSter",
+            "H2OAutoML", "TPOT",
+        }
+        sub = default_systems(include=("FLAML",))
+        assert set(sub) == {"FLAML"}

@@ -1,0 +1,81 @@
+"""Tests for trajectory analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import best_so_far, error_at_time, per_learner_best, regret_series
+from repro.core.controller import TrialRecord
+
+
+def _trial(i, t, learner, error, cost=0.1, s=100):
+    return TrialRecord(
+        iteration=i, automl_time=t, learner=learner, config={},
+        sample_size=s, resampling="holdout", error=error, cost=cost,
+        kind="search", improved_global=False,
+    )
+
+
+@pytest.fixture
+def trials():
+    return [
+        _trial(1, 0.1, "lgbm", 0.5),
+        _trial(2, 0.3, "rf", 0.4),
+        _trial(3, 0.6, "lgbm", 0.45),
+        _trial(4, 1.0, "lgbm", 0.2),
+        _trial(5, 1.5, "rf", np.inf),  # failed trial
+        _trial(6, 2.0, "rf", 0.3),
+    ]
+
+
+class TestBestSoFar:
+    def test_monotone_nonincreasing(self, trials):
+        curve = best_so_far(trials)
+        errs = [e for _, e in curve]
+        assert all(a >= b for a, b in zip(errs, errs[1:]))
+        assert errs[-1] == 0.2
+
+    def test_failed_trials_ignored(self, trials):
+        curve = best_so_far(trials)
+        assert curve[4][1] == 0.2  # inf trial does not regress the curve
+
+    def test_empty(self):
+        assert best_so_far([]) == []
+
+
+class TestErrorAtTime:
+    def test_before_first_trial(self, trials):
+        assert error_at_time(trials, 0.05) == np.inf
+
+    def test_midway(self, trials):
+        assert error_at_time(trials, 0.7) == 0.4
+
+    def test_after_all(self, trials):
+        assert error_at_time(trials, 10.0) == 0.2
+
+
+class TestRegretSeries:
+    def test_regret_reference_is_run_best(self, trials):
+        pts = regret_series(trials)
+        assert min(p.error for p in pts) == 0.0
+        assert len(pts) == 5  # inf trial dropped
+
+    def test_explicit_reference(self, trials):
+        pts = regret_series(trials, best_error=0.1)
+        assert min(p.error for p in pts) == pytest.approx(0.1)
+
+    def test_fields_carried(self, trials):
+        pts = regret_series(trials)
+        assert pts[0].learner == "lgbm"
+        assert pts[0].cost == 0.1
+
+    def test_empty(self):
+        assert regret_series([]) == []
+
+
+class TestPerLearnerBest:
+    def test_curves_split_by_learner(self, trials):
+        curves = per_learner_best(trials)
+        assert set(curves) == {"lgbm", "rf"}
+        # lgbm best-so-far: 0.5, 0.45, 0.2
+        assert [e for _, e in curves["lgbm"]] == [0.5, 0.45, 0.2]
+        assert [e for _, e in curves["rf"]] == [0.4, 0.3]

@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic datasets for every test module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+def _make_binary(n=400, d=6, seed=7, noise=0.2):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, d))
+    w = r.standard_normal(d)
+    logits = X @ w + noise * r.standard_normal(n)
+    y = (logits > 0).astype(np.int64)
+    return X, y
+
+
+def _make_multiclass(n=400, d=6, k=3, seed=11):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, d))
+    w = r.standard_normal(d)
+    cuts = np.quantile(X @ w, np.linspace(0, 1, k + 1)[1:-1])
+    y = np.digitize(X @ w, cuts).astype(np.int64)
+    return X, y
+
+
+def _make_regression(n=400, d=6, seed=13, noise=0.1):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, d))
+    w = r.standard_normal(d)
+    y = X @ w + np.sin(X[:, 0] * 2) + noise * r.standard_normal(n)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def binary_data():
+    return _make_binary()
+
+
+@pytest.fixture(scope="session")
+def multiclass_data():
+    return _make_multiclass()
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    return _make_regression()
+
+
+@pytest.fixture(scope="session")
+def binary_split(binary_data):
+    X, y = binary_data
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+@pytest.fixture(scope="session")
+def multiclass_split(multiclass_data):
+    X, y = multiclass_data
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+@pytest.fixture(scope="session")
+def regression_split(regression_data):
+    X, y = regression_data
+    return X[:300], y[:300], X[300:], y[300:]

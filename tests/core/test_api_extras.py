@@ -1,0 +1,89 @@
+"""Tests for the extended AutoML API: warm starts, trial-log files,
+per-estimator best configs, feature importances."""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.core.serialize import load_result
+from repro.learners import LGBMLikeClassifier, LGBMLikeRegressor
+
+FIT_KW = dict(time_budget=0.8, cv_instance_threshold=0)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(3)
+    X = rng.standard_normal((700, 6))
+    y = ((X[:, 0] + 0.5 * X[:, 1]) > 0).astype(int)
+    return X, y
+
+
+class TestWarmStart:
+    def test_starting_point_used_as_first_trial(self, problem):
+        X, y = problem
+        am = AutoML(seed=0, init_sample_size=150)
+        am.fit(X, y, task="binary", estimator_list=["lgbm"],
+               starting_points={"lgbm": {"tree_num": 64, "leaf_num": 12}},
+               **FIT_KW)
+        first = am.search_result.trials[0].config
+        assert first["tree_num"] == 64
+        assert first["leaf_num"] == 12
+        # unspecified hyperparameters keep the low-cost defaults (up to
+        # unit-cube round-trip precision)
+        assert first["min_child_weight"] == pytest.approx(20.0)
+
+    def test_partial_starting_points(self, problem):
+        X, y = problem
+        am = AutoML(seed=0, init_sample_size=150)
+        am.fit(X, y, task="binary", estimator_list=["lgbm", "rf"],
+               starting_points={"rf": {"tree_num": 32}}, **FIT_KW)
+        rf_trials = [t for t in am.search_result.trials if t.learner == "rf"]
+        if rf_trials:  # rf may not get scheduled in a tiny budget
+            assert rf_trials[0].config["tree_num"] == 32
+
+
+class TestLogFile:
+    def test_log_file_roundtrip(self, problem, tmp_path):
+        X, y = problem
+        path = str(tmp_path / "log.json")
+        am = AutoML(seed=0, init_sample_size=150)
+        am.fit(X, y, task="binary", estimator_list=["lgbm"],
+               log_file=path, **FIT_KW)
+        logged = load_result(path)
+        assert logged.n_trials == am.search_result.n_trials
+        assert logged.best_learner == am.best_estimator
+
+
+class TestBestConfigPerEstimator:
+    def test_one_entry_per_tried_learner(self, problem):
+        X, y = problem
+        am = AutoML(seed=0, init_sample_size=150)
+        am.fit(X, y, task="binary", estimator_list=["lgbm", "rf"], **FIT_KW)
+        per = am.best_config_per_estimator
+        tried = {t.learner for t in am.search_result.trials}
+        assert set(per) == tried
+        assert per[am.best_estimator] == am.best_config
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AutoML().best_config_per_estimator
+
+
+class TestFeatureImportances:
+    def test_informative_feature_ranks_first(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((500, 6))
+        y = (X[:, 3] > 0).astype(int)  # only feature 3 matters
+        m = LGBMLikeClassifier(tree_num=20, leaf_num=8).fit(X, y)
+        imp = m.feature_importances_
+        assert imp.shape == (6,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert int(np.argmax(imp)) == 3
+
+    def test_regressor_importances(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((500, 4))
+        y = 3 * X[:, 1] + 0.01 * rng.standard_normal(500)
+        m = LGBMLikeRegressor(tree_num=15, leaf_num=8).fit(X, y)
+        assert int(np.argmax(m.feature_importances_)) == 1

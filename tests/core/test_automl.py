@@ -1,0 +1,198 @@
+"""End-to-end tests of the AutoML public API (small budgets)."""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.core.automl import infer_task
+from repro.core.space import LogUniform, SearchSpace
+from repro.learners import LGBMLikeClassifier
+from repro.metrics import roc_auc_score
+
+BUDGET = 1.5  # seconds; enough for dozens of trials at this scale
+FIT_KW = dict(
+    time_budget=BUDGET,
+    cv_instance_threshold=2000,
+    cv_rate_threshold=1e12,
+)
+
+
+class TestInferTask:
+    def test_explicit_passthrough(self):
+        assert infer_task(np.array([0, 1]), "binary") == "binary"
+        assert infer_task(np.array([0.5]), "regression") == "regression"
+
+    def test_classification_resolution(self):
+        assert infer_task(np.array([0, 1, 0]), "classification") == "binary"
+        assert infer_task(np.array([0, 1, 2]), "classification") == "multiclass"
+
+    def test_auto_detects_regression(self):
+        y = np.random.default_rng(0).standard_normal(100)
+        assert infer_task(y, None) == "regression"
+
+    def test_auto_detects_strings_as_classification(self):
+        assert infer_task(np.array(["a", "b", "a"]), None) == "binary"
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            infer_task(np.array([0, 1]), "ranking")
+
+
+@pytest.fixture(scope="module")
+def clf_problem():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((1200, 8))
+    w = rng.standard_normal(8)
+    y = ((X @ w + 0.4 * rng.standard_normal(1200)) > 0).astype(int)
+    return X[:900], y[:900], X[900:], y[900:]
+
+
+@pytest.fixture(scope="module")
+def fitted(clf_problem):
+    Xtr, ytr, _, _ = clf_problem
+    am = AutoML(seed=1, init_sample_size=200)
+    am.fit(Xtr, ytr, task="classification", **FIT_KW)
+    return am
+
+
+class TestFitPredict:
+    def test_beats_chance(self, fitted, clf_problem):
+        _, _, Xte, yte = clf_problem
+        auc = roc_auc_score(yte, fitted.predict_proba(Xte)[:, 1])
+        assert auc > 0.8
+
+    def test_predict_labels(self, fitted, clf_problem):
+        _, _, Xte, _ = clf_problem
+        pred = fitted.predict(Xte)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_best_attributes(self, fitted):
+        assert fitted.best_estimator in (
+            "lgbm", "xgboost", "extra_tree", "rf", "catboost", "lrl1"
+        )
+        assert 0 <= fitted.best_loss < 0.5
+        assert isinstance(fitted.best_config, dict)
+
+    def test_trial_log_populated(self, fitted):
+        res = fitted.search_result
+        assert res.n_trials >= 5
+        # trial costs were measured
+        assert all(t.cost > 0 for t in res.trials)
+        # automl_time is monotone
+        times = [t.automl_time for t in res.trials]
+        assert times == sorted(times)
+
+    def test_budget_respected_loosely(self, fitted):
+        # search must stop near the budget (retrain excluded)
+        assert fitted.search_result.wall_time < BUDGET * 2 + 1
+
+    def test_multiple_learners_tried(self, fitted):
+        tried = {t.learner for t in fitted.search_result.trials}
+        assert "lgbm" in tried  # fastest learner seeds the search
+        assert len(tried) >= 2
+
+
+class TestRegression:
+    def test_regression_fit(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((800, 6))
+        y = 10 * np.sin(np.pi * X[:, 0] * X[:, 1]) + 5 * X[:, 2]
+        am = AutoML(seed=0, init_sample_size=200)
+        am.fit(X[:600], y[:600], task="regression", **FIT_KW)
+        pred = am.predict(X[600:])
+        mse = np.mean((pred - y[600:]) ** 2)
+        assert mse < np.var(y[600:])
+
+    def test_predict_proba_rejected(self):
+        rng = np.random.default_rng(3)
+        X, y = rng.random((300, 3)), rng.random(300)
+        am = AutoML(seed=0, init_sample_size=100)
+        am.fit(X, y, task="regression", time_budget=0.5,
+               estimator_list=["lgbm"])
+        with pytest.raises(RuntimeError):
+            am.predict_proba(X)
+
+
+class TestMulticlass:
+    def test_multiclass_fit(self):
+        rng = np.random.default_rng(4)
+        X = rng.standard_normal((900, 6))
+        w = rng.standard_normal(6)
+        cuts = np.quantile(X @ w, [1 / 3, 2 / 3])
+        y = np.digitize(X @ w, cuts)
+        am = AutoML(seed=0, init_sample_size=200)
+        am.fit(X[:700], y[:700], task="classification", **FIT_KW)
+        acc = (am.predict(X[700:]) == y[700:]).mean()
+        assert acc > 0.5
+        proba = am.predict_proba(X[700:])
+        assert proba.shape == (200, 3)
+
+
+class TestAPIErrors:
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            AutoML().predict(np.zeros((2, 2)))
+
+    def test_unknown_estimator(self, clf_problem):
+        Xtr, ytr, _, _ = clf_problem
+        with pytest.raises(ValueError, match="unknown estimator"):
+            AutoML().fit(Xtr, ytr, estimator_list=["nope"], time_budget=0.3)
+
+    def test_lrl1_unsupported_check(self):
+        # lrl1 maps to Lasso for regression, so it's supported everywhere;
+        # instead verify the estimator_list filter rejects an empty list
+        with pytest.raises(ValueError):
+            AutoML().fit(np.zeros((10, 2)), np.zeros(10), task="regression",
+                         estimator_list=[], time_budget=0.3)
+
+
+class TestCustomisation:
+    def test_estimator_list_restricts(self, clf_problem):
+        Xtr, ytr, _, _ = clf_problem
+        am = AutoML(seed=0, init_sample_size=200)
+        am.fit(Xtr, ytr, estimator_list=["lgbm", "rf"], **FIT_KW)
+        tried = {t.learner for t in am.search_result.trials}
+        assert tried <= {"lgbm", "rf"}
+
+    def test_custom_metric_callable(self, clf_problem):
+        Xtr, ytr, _, _ = clf_problem
+
+        def my_error(y_true, pred):  # label-based error
+            return float(np.mean(y_true != pred))
+
+        am = AutoML(seed=0, init_sample_size=200)
+        am.fit(Xtr, ytr, metric=my_error, estimator_list=["lgbm"],
+               time_budget=0.8)
+        assert 0 <= am.best_loss <= 1
+
+    def test_add_custom_learner(self, clf_problem):
+        Xtr, ytr, Xte, _ = clf_problem
+
+        class MyLearner(LGBMLikeClassifier):
+            cost_relative2lgbm = 1.2
+
+            @classmethod
+            def search_space(cls, data_size, task):
+                return SearchSpace({"learning_rate": LogUniform(0.01, 1.0, init=0.1)})
+
+        am = AutoML(seed=0, init_sample_size=200)
+        am.add_learner(learner_name="mylearner", learner_class=MyLearner)
+        am.fit(Xtr, ytr, estimator_list=["mylearner"], time_budget=0.8)
+        assert am.best_estimator == "mylearner"
+        assert am.predict(Xte).shape == (Xte.shape[0],)
+
+    def test_custom_learner_requires_search_space(self):
+        class Bad:
+            pass
+
+        with pytest.raises(TypeError):
+            AutoML().add_learner("bad", Bad)
+
+    def test_ablation_flags(self, clf_problem):
+        Xtr, ytr, _, _ = clf_problem
+        am = AutoML(seed=0, init_sample_size=200)
+        am.fit(Xtr, ytr, learner_selection="roundrobin", use_sampling=False,
+               resampling="holdout", time_budget=1.0)
+        kinds = {t.kind for t in am.search_result.trials}
+        assert kinds == {"search"}  # fulldata mode never samples up
+        assert am.search_result.resampling == "holdout"

@@ -1,0 +1,180 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def train_csv(tmp_path_factory):
+    r = np.random.default_rng(0)
+    X = r.standard_normal((200, 3))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    lines = ["f0,f1,f2,label"] + [
+        f"{a},{b},{c},{t}" for (a, b, c), t in zip(X, y)
+    ]
+    p = tmp_path_factory.mktemp("cli") / "train.csv"
+    p.write_text("\n".join(lines) + "\n")
+    return str(p)
+
+
+@pytest.fixture(scope="module")
+def test_csv(tmp_path_factory):
+    r = np.random.default_rng(1)
+    X = r.standard_normal((20, 3))
+    lines = ["f0,f1,f2"] + [f"{a},{b},{c}" for a, b, c in X]
+    p = tmp_path_factory.mktemp("cli") / "test.csv"
+    p.write_text("\n".join(lines) + "\n")
+    return str(p)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fit_defaults(self):
+        args = build_parser().parse_args(["fit", "x.csv"])
+        assert args.budget == 60.0
+        assert args.out == "model.json"
+
+    def test_datasets_task_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["datasets", "--task", "nope"])
+
+
+class TestDatasets:
+    def test_lists_suite(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "adult" in out and "bng_pbc" in out
+
+    def test_task_filter(self, capsys):
+        assert main(["datasets", "--task", "regression"]) == 0
+        out = capsys.readouterr().out
+        assert "houses" in out and "adult" not in out
+
+    def test_describe(self, capsys):
+        assert main(["datasets", "--describe", "phoneme"]) == 0
+        out = capsys.readouterr().out
+        assert "binary" in out and "minority_frac" in out
+
+    def test_describe_unknown(self, capsys):
+        assert main(["datasets", "--describe", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestFitPredict:
+    def test_fit_writes_model(self, train_csv, tmp_path, capsys):
+        model_path = str(tmp_path / "m.json")
+        rc = main(["fit", train_csv, "--label", "label", "--budget", "1.0",
+                   "--max-iters", "8", "--out", model_path,
+                   "--estimators", "lgbm", "--pickle"])
+        assert rc == 0
+        model = json.loads(open(model_path).read())
+        assert model["learner"] == "lgbm"
+        assert model["task"] == "binary"
+        assert 0.0 <= model["best_error"] <= 1.0
+        out = capsys.readouterr().out
+        assert "best learner : lgbm" in out
+
+    def test_predict_from_pickle(self, train_csv, test_csv, tmp_path, capsys):
+        model_path = str(tmp_path / "m.json")
+        main(["fit", train_csv, "--label", "label", "--budget", "1.0",
+              "--max-iters", "8", "--out", model_path,
+              "--estimators", "lgbm", "--pickle"])
+        pred_path = str(tmp_path / "preds.csv")
+        rc = main(["predict", model_path, test_csv, "--out", pred_path])
+        assert rc == 0
+        preds = open(pred_path).read().strip().splitlines()
+        assert len(preds) == 20
+        assert set(preds) <= {"0", "1"}
+
+    def test_predict_proba_stdout(self, train_csv, test_csv, tmp_path, capsys):
+        model_path = str(tmp_path / "m.json")
+        main(["fit", train_csv, "--label", "label", "--budget", "1.0",
+              "--max-iters", "8", "--out", model_path,
+              "--estimators", "lgbm", "--pickle"])
+        capsys.readouterr()
+        rc = main(["predict", model_path, test_csv, "--proba"])
+        assert rc == 0
+        rows = capsys.readouterr().out.strip().splitlines()
+        assert len(rows) == 20
+        p = np.array([[float(c) for c in r.split(",")] for r in rows])
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_save_model_flag_and_pickleless_predict(self, train_csv, test_csv,
+                                                    tmp_path, capsys):
+        model_path = str(tmp_path / "m.json")
+        main(["fit", train_csv, "--label", "label", "--budget", "1.0",
+              "--max-iters", "8", "--out", model_path,
+              "--estimators", "lgbm", "--save-model"])
+        import os
+
+        assert os.path.exists(model_path + ".model.json")
+        capsys.readouterr()
+        rc = main(["predict", model_path, test_csv])
+        assert rc == 0
+        preds = capsys.readouterr().out.strip().splitlines()
+        assert len(preds) == 20
+
+    def test_predict_retrains_without_pickle(self, train_csv, test_csv,
+                                             tmp_path, capsys):
+        model_path = str(tmp_path / "m.json")
+        main(["fit", train_csv, "--label", "label", "--budget", "1.0",
+              "--max-iters", "8", "--out", model_path,
+              "--estimators", "lgbm"])
+        capsys.readouterr()
+        rc = main(["predict", model_path, test_csv])
+        assert rc == 0
+        preds = capsys.readouterr().out.strip().splitlines()
+        assert len(preds) == 20
+
+    def test_fit_missing_file_is_error(self, capsys):
+        assert main(["fit", "/nonexistent.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fit_bad_label_is_error(self, train_csv, capsys):
+        assert main(["fit", train_csv, "--label", "nope"]) == 2
+        assert "not in header" in capsys.readouterr().err
+
+    def test_predict_positional_label_featureonly_csv(self, train_csv,
+                                                      test_csv, tmp_path,
+                                                      capsys):
+        """With a positional label (default -1), a feature-only test CSV is
+        recognised by its width rather than misparsed."""
+        model_path = str(tmp_path / "m.json")
+        main(["fit", train_csv, "--budget", "1.0", "--max-iters", "8",
+              "--out", model_path, "--estimators", "lgbm", "--pickle"])
+        capsys.readouterr()
+        rc = main(["predict", model_path, test_csv])
+        assert rc == 0
+        preds = capsys.readouterr().out.strip().splitlines()
+        assert len(preds) == 20  # all 3 columns used as features
+
+
+class TestPortfolioCommand:
+    def test_build_portfolio(self, train_csv, tmp_path, capsys):
+        out = str(tmp_path / "pf.json")
+        rc = main(["portfolio", "build", train_csv, "--label", "label",
+                   "--budget", "1.0", "--out", out])
+        assert rc == 0
+        pf = json.loads(open(out).read())
+        assert len(pf["entries"]) == 1
+        assert "best_configs" in pf["entries"][0]
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self, tmp_path):
+        import subprocess
+        import sys
+
+        r = subprocess.run(
+            [sys.executable, "-m", "repro", "datasets"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert r.returncode == 0
+        assert "adult" in r.stdout

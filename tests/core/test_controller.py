@@ -1,0 +1,84 @@
+"""Direct tests of the SearchController loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import SearchController
+from repro.core.registry import DEFAULT_LEARNERS
+from repro.data import make_classification
+from repro.metrics import get_metric
+
+
+def _controller(**kw):
+    data = make_classification(1200, 6, class_sep=1.2, seed=0,
+                               name="ctl").shuffled(0)
+    defaults = dict(
+        data=data,
+        learners={n: DEFAULT_LEARNERS[n] for n in ("lgbm", "rf", "lrl1")},
+        metric=get_metric("roc_auc"),
+        time_budget=1.0,
+        seed=0,
+        init_sample_size=150,
+        cv_instance_threshold=0,  # force holdout
+    )
+    defaults.update(kw)
+    return SearchController(**defaults)
+
+
+class TestControllerLoop:
+    def test_produces_trials_and_best(self):
+        res = _controller().run()
+        assert res.n_trials >= 3
+        assert res.best_learner in ("lgbm", "rf", "lrl1")
+        assert res.best_error == min(
+            t.error for t in res.trials if np.isfinite(t.error)
+        )
+
+    def test_max_iters_cap(self):
+        res = _controller(time_budget=30.0, max_iters=5).run()
+        assert res.n_trials == 5
+
+    def test_first_learner_is_cheapest(self):
+        res = _controller().run()
+        assert res.trials[0].learner == "lgbm"
+
+    def test_trials_have_eci_snapshots(self):
+        res = _controller(max_iters=4, time_budget=10.0).run()
+        for t in res.trials:
+            assert set(t.eci_snapshot) == {"lgbm", "rf", "lrl1"}
+            assert all(v > 0 for v in t.eci_snapshot.values())
+
+    def test_roundrobin_selection(self):
+        res = _controller(learner_selection="roundrobin", max_iters=6,
+                          time_budget=10.0).run()
+        assert [t.learner for t in res.trials[:3]] == ["lgbm", "rf", "lrl1"]
+
+    def test_resampling_override(self):
+        res = _controller(resampling_override="cv", max_iters=2,
+                          time_budget=10.0).run()
+        assert res.resampling == "cv"
+        assert all(t.resampling == "cv" for t in res.trials)
+
+    def test_keep_models(self):
+        res = _controller(keep_models=True, max_iters=3, time_budget=10.0).run()
+        assert res.best_model is not None
+
+    def test_budget_zero_trials_if_expired(self):
+        # tiny budget can still run zero or very few trials without crashing
+        res = _controller(time_budget=0.01).run()
+        assert res.n_trials <= 5
+        assert res.wall_time < 1.0
+
+
+class TestControllerValidation:
+    def test_bad_learner_selection(self):
+        with pytest.raises(ValueError):
+            _controller(learner_selection="greedy")
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            _controller(time_budget=0)
+
+    def test_no_learners(self):
+        with pytest.raises(ValueError):
+            _controller(learners={})

@@ -1,0 +1,107 @@
+"""Tests for the §4.2 ECI₂ refinement (fitted cost-vs-sample-size model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AutoML
+from repro.core.eci import CostModel, LearnerCostState, LearnerProposer
+
+
+class TestCostModel:
+    def test_defaults_to_linear_with_few_points(self):
+        m = CostModel()
+        m.observe(100, 0.1)
+        m.observe(200, 0.4)
+        assert m.exponent == 1.0
+        assert m.growth_factor(2.0) == 2.0
+
+    def test_recovers_linear_exponent(self):
+        m = CostModel()
+        for s in (100, 200, 400, 800, 1600):
+            m.observe(s, 1e-4 * s)
+        assert m.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_recovers_quadratic_exponent(self):
+        m = CostModel()
+        for s in (100, 200, 400, 800):
+            m.observe(s, 1e-8 * s**2)
+        assert m.exponent == pytest.approx(2.0, abs=0.01)
+        assert m.growth_factor(2.0) == pytest.approx(4.0, rel=0.05)
+
+    def test_sublinear_cost_reduces_eci2(self):
+        """A learner whose cost barely grows with s should sample-up
+        eagerly: growth_factor < c."""
+        m = CostModel()
+        for s in (100, 400, 1600, 6400):
+            m.observe(s, 0.01 * s**0.3)
+        assert m.exponent == pytest.approx(0.3, abs=0.05)
+        assert m.growth_factor(2.0) < 2.0
+
+    def test_exponent_clipped(self):
+        m = CostModel()
+        for i, s in enumerate((100, 200, 400, 800)):
+            m.observe(s, 10.0 ** (3 * i))  # absurd slope ~ 10
+        assert m.exponent == 2.0  # clipped at the upper bound
+        down = CostModel()
+        for i, s in enumerate((100, 200, 400, 800)):
+            down.observe(s, 10.0 ** (-3 * i))
+        assert down.exponent == 0.25  # clipped at the lower bound
+
+    def test_identical_sizes_fall_back_to_linear(self):
+        m = CostModel()
+        for _ in range(10):
+            m.observe(500, np.random.default_rng(0).random() + 0.1)
+        assert m.exponent == 1.0
+
+    def test_ignores_nonpositive_observations(self):
+        m = CostModel()
+        m.observe(0, 1.0)
+        m.observe(100, 0.0)
+        m.observe(100, -1.0)
+        assert m.n_observations == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(0.3, 1.9), scale=st.floats(1e-6, 1.0),
+           seed=st.integers(0, 100))
+    def test_property_recovers_true_exponent(self, alpha, scale, seed):
+        r = np.random.default_rng(seed)
+        m = CostModel()
+        for s in (128, 256, 512, 1024, 2048, 4096):
+            noise = np.exp(r.normal(0.0, 0.02))
+            m.observe(s, scale * s**alpha * noise)
+        assert m.exponent == pytest.approx(alpha, abs=0.15)
+
+
+class TestStateIntegration:
+    def test_eci2_uses_model(self):
+        st_lin = LearnerCostState("l")
+        st_fit = LearnerCostState("l", CostModel())
+        for s, cost in ((100, 0.1), (200, 0.14), (400, 0.2), (800, 0.28)):
+            st_lin.update(0.5, cost, sample_size=s)
+            st_fit.update(0.5, cost, sample_size=s)
+        # cost ~ s**0.5: the fitted ECI2 is below the linear 2x assumption
+        assert st_fit.eci2(2.0) < st_lin.eci2(2.0)
+
+    def test_proposer_flag_wires_models(self):
+        rng = np.random.default_rng(0)
+        on = LearnerProposer(["lgbm", "rf"], rng, fitted_cost_model=True)
+        off = LearnerProposer(["lgbm", "rf"], rng)
+        assert all(s.cost_model is not None for s in on.states.values())
+        assert all(s.cost_model is None for s in off.states.values())
+        on.record("lgbm", 0.5, 0.1, sample_size=100)
+        assert on.states["lgbm"].cost_model.n_observations == 1
+
+    def test_automl_accepts_flag(self):
+        r = np.random.default_rng(2)
+        X = r.standard_normal((300, 4))
+        y = (X[:, 0] > 0).astype(int)
+        automl = AutoML(init_sample_size=50)
+        automl.fit(X, y, task="classification", time_budget=1.5,
+                   max_iters=15, estimator_list=["lgbm"],
+                   fitted_cost_model=True)
+        assert automl.best_estimator == "lgbm"
+        # the sample-up schedule still executes under the fitted model
+        sizes = {t.sample_size for t in automl.search_result.trials}
+        assert min(sizes) == 50

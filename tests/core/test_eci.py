@@ -1,0 +1,127 @@
+"""Tests for ECI bookkeeping (Eq. 1) and the learner proposer."""
+
+import numpy as np
+import pytest
+
+from repro.core.eci import (
+    DEFAULT_COST_CONSTANTS,
+    LearnerCostState,
+    LearnerProposer,
+    eci,
+)
+
+
+class TestLearnerCostState:
+    def test_first_trial_sets_delta_to_error(self):
+        st = LearnerCostState("lgbm")
+        improved = st.update(error=0.3, cost=1.0)
+        assert improved
+        assert st.best_error == 0.3
+        assert st.delta == pytest.approx(0.3)  # paper's delta=eps_l rule
+        assert st.K0 == 1.0 and st.K1 == 1.0 and st.K2 == 0.0
+
+    def test_improvement_chain(self):
+        st = LearnerCostState("l")
+        st.update(0.5, 1.0)
+        st.update(0.4, 2.0)  # improves: K2=1, K1=3, delta=0.1
+        assert st.K1 == 3.0 and st.K2 == 1.0
+        assert st.delta == pytest.approx(0.1)
+        st.update(0.45, 1.0)  # no improvement
+        assert st.K0 == 4.0 and st.K1 == 3.0
+
+    def test_eci1_later_improvements_cost_more(self):
+        st = LearnerCostState("l")
+        st.update(0.5, 1.0)
+        st.update(0.4, 5.0)
+        # ECI1 = max(K0-K1, K1-K2) = max(0, 5)
+        assert st.eci1() == pytest.approx(5.0)
+        st.update(0.42, 3.0)  # failed trial adds to K0
+        assert st.eci1() == pytest.approx(5.0)  # max(K0-K1, K1-K2) = max(3, 5)
+        st.update(0.41, 3.0)  # still no improvement (0.41 > 0.40)
+        assert st.eci1() == pytest.approx(6.0)  # K0-K1 = 6 now dominates
+
+    def test_eci2_scales_kappa(self):
+        st = LearnerCostState("l")
+        st.update(0.5, 2.0)
+        assert st.eci2(c=2.0) == pytest.approx(4.0)
+
+
+class TestECIFormula:
+    def test_best_learner_uses_min(self):
+        st = LearnerCostState("l")
+        st.update(0.3, 1.0)
+        st.update(0.2, 4.0)
+        # l is the global best: ECI = min(ECI1, ECI2)
+        v = eci(st, global_best_error=0.2, c=2.0)
+        assert v == pytest.approx(min(st.eci1(), st.eci2(2.0)))
+
+    def test_lagging_learner_pays_gap(self):
+        st = LearnerCostState("l")
+        st.update(0.5, 1.0)
+        st.update(0.4, 1.0)  # delta=0.1, tau=K0-K2=1
+        lag = eci(st, global_best_error=0.1, c=2.0)
+        best = eci(st, global_best_error=0.4, c=2.0)
+        assert lag > best
+        # catch-up term: 2 * gap * tau / delta = 2*0.3*1/0.1 = 6
+        assert lag == pytest.approx(max(6.0, min(st.eci1(), st.eci2(2.0))))
+
+    def test_self_correcting_failed_trials_raise_eci(self):
+        """Figure 4's dashed-marker scenario: a failed trial must increase
+        the learner's ECI (priority drops)."""
+        st = LearnerCostState("xgb")
+        st.update(0.3, 1.0)
+        st.update(0.25, 2.0)
+        before = eci(st, 0.1, 2.0)
+        st.update(0.4, 5.0)  # expensive failed trial
+        after = eci(st, 0.1, 2.0)
+        assert after > before
+
+
+class TestLearnerProposer:
+    def test_fastest_learner_goes_first(self):
+        rng = np.random.default_rng(0)
+        p = LearnerProposer(["catboost", "lgbm", "lrl1"], rng)
+        assert p.propose() == "lgbm"  # smallest cost constant
+
+    def test_untried_seeding_from_constants(self):
+        rng = np.random.default_rng(0)
+        p = LearnerProposer(["lgbm", "catboost", "lrl1"], rng)
+        p.record("lgbm", error=0.3, cost=0.5)
+        vals = p.eci_values()
+        assert vals["catboost"] == pytest.approx(15.0 * 0.5)
+        assert vals["lrl1"] == pytest.approx(160.0 * 0.5)
+
+    def test_probability_favours_low_eci(self):
+        rng = np.random.default_rng(1)
+        p = LearnerProposer(["lgbm", "catboost"], rng)
+        p.record("lgbm", 0.3, 0.1)
+        p.record("catboost", 0.35, 5.0)
+        picks = [p.propose() for _ in range(300)]
+        assert picks.count("lgbm") > picks.count("catboost")
+
+    def test_every_learner_has_a_chance(self):
+        """Property 3 (FairChance): sampling, not argmin."""
+        rng = np.random.default_rng(2)
+        p = LearnerProposer(["lgbm", "rf"], rng)
+        p.record("lgbm", 0.2, 0.1)
+        p.record("rf", 0.5, 2.0)  # far worse ECI
+        picks = {p.propose() for _ in range(3000)}
+        assert picks == {"lgbm", "rf"}
+
+    def test_global_best_tracking(self):
+        rng = np.random.default_rng(3)
+        p = LearnerProposer(["lgbm", "rf"], rng)
+        assert not np.isfinite(p.global_best_error())
+        p.record("lgbm", 0.4, 1.0)
+        p.record("rf", 0.3, 1.0)
+        assert p.global_best_error() == 0.3
+
+    def test_empty_learner_list_rejected(self):
+        with pytest.raises(ValueError):
+            LearnerProposer([], np.random.default_rng(0))
+
+    def test_constants_match_appendix(self):
+        assert DEFAULT_COST_CONSTANTS == {
+            "lgbm": 1.0, "xgboost": 1.6, "extra_tree": 1.9,
+            "rf": 2.0, "catboost": 15.0, "lrl1": 160.0,
+        }

@@ -1,0 +1,110 @@
+"""Tests for the EXTRA_LEARNERS registry and its AutoML integration."""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.core.registry import (
+    DEFAULT_LEARNERS,
+    EXTRA_LEARNERS,
+    all_learners,
+    default_estimator_list,
+)
+from repro.core.space import gaussian_nb_space, knn_space
+
+
+@pytest.fixture(scope="module")
+def xy():
+    r = np.random.default_rng(9)
+    X = r.standard_normal((300, 5))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestRegistry:
+    def test_extras_present(self):
+        assert set(EXTRA_LEARNERS) == {
+            "lrl2", "kneighbor", "gaussian_nb", "xgb_limitdepth"
+        }
+
+    def test_extras_not_in_defaults(self):
+        """The paper's default estimator list must stay exactly Table 5."""
+        for task in ("binary", "multiclass", "regression"):
+            assert not set(default_estimator_list(task)) & set(EXTRA_LEARNERS)
+
+    def test_all_learners_merges_without_shadowing(self):
+        merged = all_learners()
+        for name in DEFAULT_LEARNERS:
+            assert merged[name] is DEFAULT_LEARNERS[name]
+        for name in EXTRA_LEARNERS:
+            assert name in merged
+
+    def test_gaussian_nb_classification_only(self):
+        spec = EXTRA_LEARNERS["gaussian_nb"]
+        assert spec.supports("binary") and spec.supports("multiclass")
+        assert not spec.supports("regression")
+        with pytest.raises(ValueError):
+            spec.estimator_cls("regression")
+
+    def test_kneighbor_supports_all_tasks(self):
+        spec = EXTRA_LEARNERS["kneighbor"]
+        for task in ("binary", "multiclass", "regression"):
+            assert spec.supports(task)
+
+
+class TestSpaces:
+    def test_knn_space_caps_neighbours_by_data_size(self):
+        space = knn_space(10, "binary")
+        dom = space.domains["n_neighbors"]
+        assert dom.hi <= 5
+        assert dom.init <= dom.hi
+
+    def test_knn_space_init_is_cheap(self):
+        space = knn_space(100_000, "binary")
+        cfg = space.init_config()
+        assert cfg["n_neighbors"] == 5
+        assert cfg["weights"] == "uniform"
+
+    def test_nb_space_roundtrip(self):
+        space = gaussian_nb_space(1000, "binary")
+        cfg = space.sample(np.random.default_rng(0))
+        u = space.to_unit(cfg)
+        back = space.from_unit(u)
+        assert back["var_smoothing"] == pytest.approx(cfg["var_smoothing"], rel=1e-9)
+
+
+class TestAutoMLIntegration:
+    def test_fit_with_extra_learners(self, xy):
+        X, y = xy
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, task="classification", time_budget=1.5,
+                   estimator_list=["kneighbor", "gaussian_nb"], max_iters=12)
+        assert automl.best_estimator in ("kneighbor", "gaussian_nb")
+        assert automl.predict(X[:10]).shape == (10,)
+        p = automl.predict_proba(X[:10])
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_default_fit_never_uses_extras(self, xy):
+        X, y = xy
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, task="classification", time_budget=0.5, max_iters=8)
+        used = {t.learner for t in automl.search_result.trials}
+        assert not used & set(EXTRA_LEARNERS)
+
+    def test_extra_learner_regression(self):
+        r = np.random.default_rng(4)
+        X = r.standard_normal((250, 4))
+        y = X[:, 0] * 2 + np.sin(X[:, 1])
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, task="regression", time_budget=1.0,
+                   estimator_list=["kneighbor", "lrl2"], max_iters=10)
+        assert automl.best_estimator in ("kneighbor", "lrl2")
+        assert np.isfinite(automl.predict(X[:5])).all()
+
+    def test_nb_rejected_for_regression(self, xy):
+        X, _ = xy
+        y = np.linspace(0.0, 1.0, X.shape[0])
+        automl = AutoML()
+        with pytest.raises(ValueError, match="does not support"):
+            automl.fit(X, y, task="regression", time_budget=0.5,
+                       estimator_list=["gaussian_nb"])

@@ -1,0 +1,104 @@
+"""Failure injection: buggy custom learners and degenerate data must not
+kill the search loop — ECI deprioritises the offender instead."""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.core.evaluate import evaluate_config
+from repro.core.registry import DEFAULT_LEARNERS, make_spec_from_class
+from repro.core.space import LogUniform, SearchSpace
+from repro.data import make_classification
+from repro.learners import LGBMLikeClassifier
+from repro.metrics import get_metric
+
+
+class AlwaysCrashes(LGBMLikeClassifier):
+    """A custom learner whose fit always raises."""
+
+    @classmethod
+    def search_space(cls, data_size, task):
+        return SearchSpace({"learning_rate": LogUniform(0.01, 1.0)})
+
+    def fit(self, X, y, X_val=None, y_val=None):
+        raise RuntimeError("injected failure")
+
+
+class CrashesSometimes(LGBMLikeClassifier):
+    """Fails for certain hyperparameter values only."""
+
+    @classmethod
+    def search_space(cls, data_size, task):
+        return SearchSpace({"learning_rate": LogUniform(0.01, 1.0, init=0.02)})
+
+    def fit(self, X, y, X_val=None, y_val=None):
+        if self.learning_rate > 0.1:
+            raise RuntimeError("injected flaky failure")
+        return super().fit(X, y, X_val, y_val)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(800, 5, class_sep=1.2, seed=0, name="fi")
+
+
+class TestEvaluateFailureHandling:
+    def test_crashing_learner_reports_inf(self, data):
+        out = evaluate_config(
+            data.shuffled(0), AlwaysCrashes, {"learning_rate": 0.1},
+            sample_size=200, resampling="holdout", metric=get_metric("roc_auc"),
+        )
+        assert out.error == np.inf
+        assert out.model is None
+        assert out.cost > 0  # the wasted time is still charged
+
+
+class TestSearchSurvivesFailures:
+    def test_automl_with_always_crashing_learner(self, data):
+        am = AutoML(seed=0, init_sample_size=200)
+        am.add_learner("crashy", AlwaysCrashes)
+        am.fit(
+            data.X, data.y, task="binary", time_budget=1.0,
+            estimator_list=["crashy", "lgbm"], cv_instance_threshold=0,
+        )
+        # lgbm must win; the final model works
+        assert am.best_estimator == "lgbm"
+        assert np.isfinite(am.best_loss)
+        assert am.predict(data.X).shape == (data.n,)
+
+    def test_flaky_learner_partially_usable(self, data):
+        am = AutoML(seed=0, init_sample_size=200)
+        am.add_learner("flaky", CrashesSometimes)
+        am.fit(
+            data.X, data.y, task="binary", time_budget=1.0,
+            estimator_list=["flaky"], cv_instance_threshold=0,
+        )
+        # the low-learning-rate region works, so a model exists
+        assert np.isfinite(am.best_loss)
+        assert am.best_config["learning_rate"] <= 0.1
+
+    def test_all_learners_crash_raises_cleanly(self, data):
+        am = AutoML(seed=0, init_sample_size=200)
+        am.add_learner("crashy", AlwaysCrashes)
+        with pytest.raises(RuntimeError, match="no successful trial"):
+            am.fit(
+                data.X, data.y, task="binary", time_budget=0.5,
+                estimator_list=["crashy"], cv_instance_threshold=0,
+            )
+
+    def test_failed_trials_raise_eci(self, data):
+        """A learner that keeps failing sees its selection share shrink."""
+        from repro.core.controller import SearchController
+
+        spec = make_spec_from_class("crashy", AlwaysCrashes)
+        learners = {"crashy": spec, "lgbm": DEFAULT_LEARNERS["lgbm"]}
+        ctl = SearchController(
+            data.shuffled(0), learners, get_metric("roc_auc"),
+            time_budget=1.0, seed=0, init_sample_size=200,
+            cv_instance_threshold=0,
+        )
+        res = ctl.run()
+        counts = {"crashy": 0, "lgbm": 0}
+        for t in res.trials:
+            counts[t.learner] += 1
+        assert counts["lgbm"] > counts["crashy"]

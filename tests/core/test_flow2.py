@@ -1,0 +1,151 @@
+"""Tests for the FLOW2 randomised direct search."""
+
+import numpy as np
+import pytest
+
+from repro.core.flow2 import FLOW2
+from repro.core.space import LogUniform, SearchSpace, Uniform
+
+
+def _space(d=3):
+    return SearchSpace({f"x{i}": Uniform(0.0, 1.0, init=0.1) for i in range(d)})
+
+
+def _sphere_error(config, target=0.7):
+    return sum((v - target) ** 2 for v in config.values())
+
+
+class TestFLOW2Mechanics:
+    def test_first_proposal_is_init(self):
+        sp = _space()
+        f = FLOW2(sp, seed=0)
+        cfg = f.propose()
+        assert all(v == pytest.approx(0.1) for v in cfg.values())
+
+    def test_improvement_moves_incumbent(self):
+        sp = _space(2)
+        f = FLOW2(sp, seed=1)
+        f.propose()
+        f.tell(1.0)
+        before = f.best_unit.copy()
+        cfg = f.propose()
+        f.tell(0.5)  # improvement
+        assert f.best_error == 0.5
+        assert not np.allclose(f.best_unit, before)
+        assert f.best_config == pytest.approx(cfg)
+
+    def test_opposite_direction_tried_on_failure(self):
+        # init at the centre so neither proposal is clipped at a boundary
+        sp = SearchSpace({f"x{i}": Uniform(0.0, 1.0, init=0.5) for i in range(2)})
+        f = FLOW2(sp, seed=2)
+        f.propose()
+        f.tell(1.0)
+        c1 = sp.to_unit(f.propose())
+        f.tell(2.0)  # fail
+        c2 = sp.to_unit(f.propose())
+        # c2 is the mirror of c1 about the incumbent
+        mid = f.best_unit
+        expected = np.clip(2 * mid - c1, 0, 1)
+        assert np.allclose(c2, expected, atol=1e-9)
+
+    def test_step_decreases_after_no_improvement(self):
+        sp = _space(1)  # threshold = 2^0 = 1 -> decays quickly
+        f = FLOW2(sp, seed=3)
+        f.propose()
+        f.tell(1.0)
+        s0 = f.step
+        for _ in range(8):
+            f.propose()
+            f.tell(2.0)  # never improve
+        assert f.step < s0
+
+    def test_no_adaptation_when_adapt_false(self):
+        sp = _space(1)
+        f = FLOW2(sp, seed=4)
+        f.propose()
+        f.tell(1.0, adapt=False)
+        s0 = f.step
+        for _ in range(20):
+            f.propose()
+            f.tell(2.0, adapt=False)
+        assert f.step == s0
+
+    def test_convergence_flag(self):
+        sp = _space(1)
+        f = FLOW2(sp, seed=5, step_lower_bound=0.5)
+        f.propose()
+        f.tell(1.0)
+        for _ in range(60):
+            if f.converged:
+                break
+            f.propose()
+            f.tell(2.0)
+        assert f.converged
+
+    def test_restart_resets_state(self):
+        sp = _space(2)
+        f = FLOW2(sp, seed=6)
+        f.propose()
+        f.tell(0.3)
+        f.restart()
+        assert f.n_restarts == 1
+        assert not np.isfinite(f.best_error)
+        assert not f.converged
+
+    def test_reset_baseline(self):
+        sp = _space(2)
+        f = FLOW2(sp, seed=7)
+        f.propose()
+        f.tell(0.4)
+        f.reset_baseline(0.9)
+        assert f.best_error == 0.9
+
+    def test_tell_before_propose_state(self):
+        sp = _space(2)
+        f = FLOW2(sp, seed=8)
+        with pytest.raises(AttributeError):
+            f.tell(1.0)
+
+
+class TestFLOW2Optimisation:
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    def test_converges_toward_optimum(self, d):
+        sp = _space(d)
+        f = FLOW2(sp, seed=42)
+        best = np.inf
+        for _ in range(300):
+            cfg = f.propose()
+            err = _sphere_error(cfg)
+            best = min(best, err)
+            f.tell(err)
+        # init error is d*(0.6^2); require a big improvement
+        assert best < 0.25 * d * 0.36
+
+    def test_log_domain_progress(self):
+        """Optimising a log-scaled hyperparameter (like learning_rate)."""
+        sp = SearchSpace({"lr": LogUniform(1e-4, 1.0, init=1e-4)})
+        f = FLOW2(sp, seed=0)
+        best = np.inf
+        for _ in range(120):
+            cfg = f.propose()
+            err = abs(np.log10(cfg["lr"]) - (-2.0))  # optimum at 0.01
+            best = min(best, err)
+            f.tell(err)
+        assert best < 0.5
+
+    def test_cost_bounded_start(self):
+        """The first proposal is the low-cost init; early proposals stay in
+        its neighbourhood (bounded trial cost, Property 4)."""
+        sp = SearchSpace(
+            {
+                "tree_num": LogUniform(4, 32768, init=4),
+                "leaf_num": LogUniform(4, 32768, init=4),
+            }
+        )
+        f = FLOW2(sp, seed=9)
+        cfg0 = f.propose()
+        assert cfg0["tree_num"] == pytest.approx(4)
+        f.tell(0.5)
+        cfg1 = f.propose()
+        # one step of size ~0.1*sqrt(2) in log space: strictly bounded blowup
+        assert cfg1["tree_num"] <= 4 * (32768 / 4) ** 0.25

@@ -1,0 +1,189 @@
+"""Tests for the meta-learning portfolio (the paper's §6 future-work item)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AutoML
+from repro.core.metalearning import (
+    META_FEATURE_NAMES,
+    MetaPortfolio,
+    PortfolioEntry,
+    build_portfolio,
+    meta_features,
+)
+from repro.data import Dataset
+
+
+def _binary(n=300, d=5, seed=0):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, d))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return Dataset(f"bin{seed}", X, y, "binary")
+
+
+def _regression(n=300, d=4, seed=0):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, d))
+    y = X[:, 0] * 2 + np.sin(X[:, 1])
+    return Dataset(f"reg{seed}", X, y, "regression")
+
+
+class TestMetaFeatures:
+    def test_vector_shape_and_names(self):
+        v = meta_features(_binary())
+        assert v.shape == (len(META_FEATURE_NAMES),)
+        assert np.isfinite(v).all()
+
+    def test_task_one_hot(self):
+        vb = meta_features(_binary())
+        vr = meta_features(_regression())
+        names = list(META_FEATURE_NAMES)
+        assert vb[names.index("is_binary")] == 1.0
+        assert vb[names.index("is_regression")] == 0.0
+        assert vr[names.index("is_regression")] == 1.0
+
+    def test_size_monotone(self):
+        small = meta_features(_binary(n=100))
+        big = meta_features(_binary(n=10_000))
+        assert big[0] > small[0]  # log_n
+
+    def test_class_balance(self):
+        r = np.random.default_rng(0)
+        X = r.standard_normal((400, 3))
+        y_bal = (np.arange(400) % 2).astype(int)
+        y_imb = (np.arange(400) < 390).astype(int)
+        i = list(META_FEATURE_NAMES).index("class_entropy_ratio")
+        e_bal = meta_features(Dataset("b", X, y_bal, "binary"))[i]
+        e_imb = meta_features(Dataset("i", X, y_imb, "binary"))[i]
+        assert e_bal == pytest.approx(1.0, abs=1e-9)
+        assert e_imb < 0.3
+
+    def test_skew_detection(self):
+        r = np.random.default_rng(1)
+        X_sym = r.standard_normal((500, 4))
+        X_skew = np.exp(r.standard_normal((500, 4)) * 2)
+        y = (np.arange(500) % 2).astype(int)
+        i = list(META_FEATURE_NAMES).index("frac_skewed_features")
+        s_sym = meta_features(Dataset("s", X_sym, y, "binary"))[i]
+        s_skew = meta_features(Dataset("k", X_skew, y, "binary"))[i]
+        assert s_skew > s_sym
+
+    def test_probe_caps_cost_on_wide_data(self):
+        r = np.random.default_rng(2)
+        X = r.standard_normal((100, 500))
+        y = (np.arange(100) % 2).astype(int)
+        v = meta_features(Dataset("w", X, y, "binary"), probe_cols=10)
+        assert np.isfinite(v).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(20, 500), d=st.integers(1, 30), seed=st.integers(0, 99))
+    def test_property_always_finite(self, n, d, seed):
+        r = np.random.default_rng(seed)
+        X = r.standard_normal((n, d))
+        y = r.integers(0, 2, n)
+        if np.unique(y).size < 2:
+            y[0] = 1 - y[0]
+        assert np.isfinite(meta_features(Dataset("p", X, y, "binary"))).all()
+
+
+def _entry(name, feats, learner="lgbm", cfg=None, err=0.1):
+    return PortfolioEntry(
+        dataset=name,
+        features=np.asarray(feats, dtype=np.float64),
+        best_configs={learner: cfg or {"tree_num": 40, "leaf_num": 12}},
+        best_learner=learner,
+        best_error=err,
+    )
+
+
+class TestMetaPortfolio:
+    def test_empty_portfolio_raises(self):
+        with pytest.raises(ValueError):
+            MetaPortfolio().nearest(_binary())
+
+    def test_nearest_prefers_same_task_type(self):
+        fb = meta_features(_binary())
+        fr = meta_features(_regression())
+        p = MetaPortfolio([_entry("bin", fb, "lgbm"), _entry("reg", fr, "rf")])
+        assert p.nearest(_binary(seed=5), k=1)[0].dataset == "bin"
+        assert p.nearest(_regression(seed=5), k=1)[0].dataset == "reg"
+
+    def test_suggest_nearest_wins_per_learner(self):
+        fb = meta_features(_binary())
+        near = _entry("near", fb, "lgbm", {"tree_num": 99})
+        far = _entry("far", fb + 10.0, "lgbm", {"tree_num": 1})
+        p = MetaPortfolio([far, near])
+        pts = p.suggest(_binary(seed=2), k=2)
+        assert pts["lgbm"]["tree_num"] == 99
+
+    def test_suggest_merges_learners_across_neighbours(self):
+        fb = meta_features(_binary())
+        p = MetaPortfolio([
+            _entry("a", fb, "lgbm", {"tree_num": 10}),
+            _entry("b", fb + 0.01, "xgboost", {"tree_num": 20}),
+        ])
+        pts = p.suggest(_binary(seed=3), k=2)
+        assert set(pts) == {"lgbm", "xgboost"}
+
+    def test_estimator_priority(self):
+        fb = meta_features(_binary())
+        p = MetaPortfolio([
+            _entry("a", fb, "lgbm"),
+            _entry("b", fb + 0.01, "lgbm"),
+            _entry("c", fb + 0.02, "rf"),
+        ])
+        prio = p.suggest_estimator_priority(_binary(seed=4), k=3)
+        assert prio[0] == "lgbm"
+
+    def test_save_load_roundtrip(self, tmp_path):
+        fb = meta_features(_binary())
+        p = MetaPortfolio([_entry("a", fb, "lgbm", {"tree_num": 7, "lr": 0.5})])
+        path = str(tmp_path / "portfolio.json")
+        p.save(path)
+        q = MetaPortfolio.load(path)
+        assert len(q) == 1
+        assert q.entries[0].best_configs["lgbm"]["tree_num"] == 7
+        assert np.allclose(q.entries[0].features, fb)
+
+    def test_add_refreshes_normalisation(self):
+        p = MetaPortfolio()
+        p.add(_entry("a", meta_features(_binary()), "lgbm"))
+        assert len(p) == 1
+        assert p.nearest(_binary(), k=1)[0].dataset == "a"
+
+
+class TestBuildAndWarmStart:
+    @pytest.fixture(scope="class")
+    def portfolio(self):
+        corpus = [("c0", _binary(seed=10)), ("c1", _binary(seed=11))]
+        return build_portfolio(
+            corpus, time_budget=1.0, init_sample_size=100, max_iters=8
+        )
+
+    def test_build_harvests_entries(self, portfolio):
+        assert len(portfolio) == 2
+        for e in portfolio.entries:
+            assert e.best_learner in e.best_configs
+            assert np.isfinite(e.best_error)
+
+    def test_suggestions_feed_fit(self, portfolio):
+        data = _binary(seed=20)
+        pts = portfolio.suggest(data, k=2)
+        automl = AutoML(init_sample_size=100)
+        automl.fit(data.X, data.y, task="binary", time_budget=1.0,
+                   max_iters=6, starting_points=pts)
+        # the warm-started learner's first trial uses the suggested config
+        first = {}
+        for t in automl.search_result.trials:
+            first.setdefault(t.learner, t.config)
+        for learner, cfg in pts.items():
+            if learner in first:
+                shared = set(cfg) & set(first[learner])
+                assert shared and all(
+                    first[learner][k] == cfg[k] for k in shared
+                )
+                break
+        else:
+            pytest.fail("no warm-started learner was tried")

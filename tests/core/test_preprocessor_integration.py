@@ -1,0 +1,73 @@
+"""Tests for AutoML.fit(preprocessor=...) — the footnote-2 integration."""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.data.preprocessing import Imputer, OneHotEncoder, StandardScaler
+
+FIT_KW = dict(task="classification", time_budget=1.0, max_iters=6,
+              estimator_list=["lrl1"])
+
+
+@pytest.fixture()
+def missing_data():
+    r = np.random.default_rng(0)
+    X = r.standard_normal((250, 4))
+    y = (X[:, 0] > 0).astype(int)
+    X[r.random(X.shape) < 0.1] = np.nan
+    return X, y
+
+
+class TestPreprocessorIntegration:
+    def test_single_preprocessor(self, missing_data):
+        X, y = missing_data
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, preprocessor=Imputer("median"), **FIT_KW)
+        # predict re-applies the imputer: NaN inputs must work even for
+        # the linear learner, which cannot consume NaN itself
+        pred = automl.predict(X[:20])
+        assert pred.shape == (20,)
+        assert np.isfinite(automl.predict_proba(X[:20])).all()
+
+    def test_preprocessor_chain(self, missing_data):
+        X, y = missing_data
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, preprocessor=[Imputer(), StandardScaler()], **FIT_KW)
+        assert automl.predict(X[:10]).shape == (10,)
+
+    def test_onehot_changes_width_transparently(self):
+        r = np.random.default_rng(1)
+        X = np.column_stack([
+            r.standard_normal(200), r.integers(0, 3, 200).astype(float)
+        ])
+        y = (X[:, 0] + (X[:, 1] == 1) > 0.5).astype(int)
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, preprocessor=OneHotEncoder(columns=(1,)), **FIT_KW)
+        # raw 2-column input keeps working at predict time
+        assert automl.predict(X[:5]).shape == (5,)
+
+    def test_score_applies_preprocessor(self, missing_data):
+        X, y = missing_data
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, preprocessor=Imputer(), **FIT_KW)
+        err = automl.score(X, y)
+        assert np.isfinite(err)
+        assert err < 0.5  # much better than chance on this easy task
+
+    def test_no_preprocessor_path_unchanged(self, missing_data):
+        X, y = missing_data
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, task="classification", time_budget=1.0, max_iters=6,
+                   estimator_list=["lgbm"])  # trees consume NaN natively
+        assert automl.predict(X[:5]).shape == (5,)
+
+    def test_refit_resets_preprocessor(self, missing_data):
+        X, y = missing_data
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, preprocessor=Imputer(), **FIT_KW)
+        # second fit without a preprocessor must not reuse the old one
+        Xc = np.nan_to_num(X)
+        automl.fit(Xc, y, **FIT_KW)
+        assert automl._preprocessor == []
+        assert automl.predict(Xc[:5]).shape == (5,)

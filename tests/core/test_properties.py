@@ -1,0 +1,125 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eci import LearnerCostState, eci
+from repro.core.flow2 import FLOW2
+from repro.core.space import (
+    LogRandInt,
+    LogUniform,
+    RandInt,
+    SearchSpace,
+    Uniform,
+    lgbm_space,
+    xgboost_space,
+)
+
+
+class TestFlow2Invariants:
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_proposals_always_within_domains(self, seed, d):
+        space = SearchSpace(
+            {f"x{i}": LogUniform(0.01, 100.0, init=0.01) for i in range(d)}
+        )
+        f = FLOW2(space, seed=seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            cfg = f.propose()
+            for v in cfg.values():
+                assert 0.01 - 1e-9 <= v <= 100.0 + 1e-9
+            f.tell(float(rng.random()))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_best_error_never_increases(self, seed):
+        space = SearchSpace({"a": Uniform(0, 1, init=0.5), "b": Uniform(0, 1)})
+        f = FLOW2(space, seed=seed)
+        rng = np.random.default_rng(seed)
+        prev = np.inf
+        for _ in range(25):
+            f.propose()
+            f.tell(float(rng.random()))
+            assert f.best_error <= prev + 1e-15
+            prev = f.best_error
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_step_never_exceeds_upper_bound(self, seed):
+        space = SearchSpace({f"x{i}": Uniform(0, 1) for i in range(4)})
+        f = FLOW2(space, seed=seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            f.propose()
+            f.tell(float(rng.random()))
+            assert f.step <= np.sqrt(4) + 1e-12
+
+
+class TestECIInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 1.0), st.floats(0.001, 10.0)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eci_always_positive(self, trials):
+        state = LearnerCostState("l")
+        for error, cost in trials:
+            state.update(error, cost)
+        v = eci(state, global_best_error=0.005, c=2.0)
+        assert v > 0
+        assert np.isfinite(v)
+
+    @given(st.floats(0.0, 0.4))
+    @settings(max_examples=30, deadline=None)
+    def test_eci_monotone_in_gap(self, gap):
+        """A learner further behind the global best has larger (or equal) ECI."""
+        state = LearnerCostState("l")
+        state.update(0.5, 1.0)
+        state.update(0.45, 2.0)
+        near = eci(state, global_best_error=0.45 - gap / 2, c=2.0)
+        far = eci(state, global_best_error=0.45 - gap, c=2.0)
+        assert far >= near - 1e-12
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_k_invariants_hold(self, n):
+        """K2 <= K1 <= K0 after any update sequence."""
+        rng = np.random.default_rng(n)
+        state = LearnerCostState("l")
+        for _ in range(n * 3):
+            state.update(float(rng.random()), float(rng.random() + 0.01))
+            assert state.K2 <= state.K1 <= state.K0 + 1e-12
+
+
+class TestSpaceInvariants:
+    @given(st.integers(5, 10**7))
+    @settings(max_examples=25, deadline=None)
+    def test_table5_caps_follow_data_size(self, n):
+        for builder in (lgbm_space, xgboost_space):
+            sp = builder(n, "binary")
+            assert sp.domains["tree_num"].hi == min(32768, n)
+            assert sp.domains["leaf_num"].hi == min(32768, n)
+
+    @given(st.integers(0, 5000), st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_unit_roundtrip_idempotent(self, seed, u1, u2):
+        """from_unit . to_unit . from_unit == from_unit (projection)."""
+        rng = np.random.default_rng(seed)
+        sp = SearchSpace(
+            {
+                "a": LogUniform(1e-3, 1e3),
+                "b": RandInt(1, 100),
+                "c": LogRandInt(4, 2048),
+            }
+        )
+        cfg = sp.from_unit(np.array([u1, u2, (u1 + u2) / 2]))
+        cfg2 = sp.from_unit(sp.to_unit(cfg))
+        assert cfg2["b"] == cfg["b"]
+        assert cfg2["c"] == cfg["c"]
+        assert cfg2["a"] == pytest.approx(cfg["a"], rel=1e-9)

@@ -1,0 +1,113 @@
+"""Tests for the resampling proposer and the per-learner search thread."""
+
+import numpy as np
+import pytest
+
+from repro.core.eci import LearnerCostState
+from repro.core.resampling import choose_resampling
+from repro.core.searchstate import SearchThread
+from repro.core.space import SearchSpace, Uniform
+
+
+class TestResamplingRule:
+    def test_small_data_long_budget_cv(self):
+        # 10K x 10 / 3600s ~ 28 per sec << 2778
+        assert choose_resampling(10_000, 10, 3600) == "cv"
+
+    def test_large_data_holdout(self):
+        assert choose_resampling(200_000, 10, 3600) == "holdout"
+
+    def test_tight_budget_holdout(self):
+        # 90K x 100 / 60s = 150K per sec >> threshold
+        assert choose_resampling(90_000, 100, 60) == "holdout"
+
+    def test_paper_thresholds_are_defaults(self):
+        # exactly at the instance threshold -> holdout
+        assert choose_resampling(100_000, 1, 1e9) == "holdout"
+        assert choose_resampling(99_999, 1, 1e9) == "cv"
+
+    def test_custom_thresholds(self):
+        assert choose_resampling(5000, 10, 1, instance_threshold=100,
+                                 rate_threshold=1e12) == "holdout"
+        assert choose_resampling(50, 10, 1, instance_threshold=100,
+                                 rate_threshold=1e12) == "cv"
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            choose_resampling(100, 10, 0)
+
+
+def _thread(full=1000, init=100, **kw):
+    sp = SearchSpace({"a": Uniform(0, 1, init=0.2), "b": Uniform(0, 1, init=0.2)})
+    return SearchThread("t", sp, full_size=full, init_sample_size=init, seed=0, **kw)
+
+
+class TestSearchThread:
+    def test_starts_at_init_sample_size(self):
+        th = _thread()
+        cfg, s, kind = th.propose(LearnerCostState("t"))
+        assert s == 100
+        assert kind == "search"
+        assert cfg == {"a": 0.2, "b": 0.2}  # low-cost init first
+
+    def test_sample_up_when_eci1_geq_eci2(self):
+        th = _thread()
+        st = LearnerCostState("t")
+        cfg, s, kind = th.propose(st)
+        th.tell(0.5)
+        st.update(0.5, cost=1.0)
+        st.update(0.4, cost=5.0)  # eci1 = 5 >= eci2 = 2*kappa = 10? no: kappa=5 -> 10
+        # force the condition: make eci2 small
+        st.kappa = 1.0  # eci2 = 2
+        cfg, s, kind = th.propose(st)
+        assert kind == "sample_up"
+        assert s == 200  # doubled
+        # incumbent config is retried
+        assert cfg == th.flow2.best_config
+
+    def test_sample_capped_at_full(self):
+        th = _thread(full=150, init=100)
+        st = LearnerCostState("t")
+        th.propose(st)
+        th.tell(0.5)
+        st.update(0.5, 1.0)
+        st.kappa = 0.01
+        cfg, s, kind = th.propose(st)
+        assert s == 150
+        th.tell(0.45)
+        assert th.at_full_size
+        # once full, no more sample_up proposals
+        cfg, s, kind = th.propose(st)
+        assert kind == "search"
+
+    def test_no_sampling_mode_starts_full(self):
+        th = _thread(use_sampling=False)
+        assert th.sample_size == 1000
+        cfg, s, kind = th.propose(LearnerCostState("t"))
+        assert s == 1000 and kind == "search"
+
+    def test_sample_up_reanchors_flow2(self):
+        th = _thread()
+        st = LearnerCostState("t")
+        th.propose(st)
+        th.tell(0.5)
+        st.update(0.5, 1.0)
+        st.kappa = 0.01
+        th.propose(st)
+        th.tell(0.8)  # worse error at bigger sample: becomes the new baseline
+        assert th.flow2.best_error == 0.8
+
+    def test_restart_resets_sample_size(self):
+        th = _thread(full=100, init=100)  # always at full size
+        st = LearnerCostState("t")
+        th.flow2.step_lower_bound = 10.0  # force instant convergence
+        th.propose(st)
+        th.tell(0.5)
+        th.propose(st)
+        th.tell(0.9)  # triggers converged -> restart
+        assert th.flow2.n_restarts >= 1
+
+    def test_tell_without_propose_raises(self):
+        th = _thread()
+        with pytest.raises(RuntimeError):
+            th.tell(0.5)

@@ -1,0 +1,103 @@
+"""Tests for fit(resume_from=...) — warm-resuming a search on refreshed
+data (the §1 database scenario: frequent re-tuning per instance)."""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.core.automl import _starting_points_from
+from repro.core.controller import SearchResult, TrialRecord
+
+
+def _data(seed, n=350, drift=0.0):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, 4))
+    y = (X[:, 0] + drift * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+FIT_KW = dict(task="classification", time_budget=1.5, max_iters=10,
+              estimator_list=["lgbm", "rf"])
+
+
+def _fitted(seed=0):
+    X, y = _data(seed)
+    a = AutoML(init_sample_size=100)
+    a.fit(X, y, **FIT_KW)
+    return a
+
+
+class TestStartingPointsFrom:
+    def test_extracts_best_per_learner(self):
+        def t(i, learner, err, cfg):
+            return TrialRecord(iteration=i, automl_time=float(i),
+                               learner=learner, config=cfg, sample_size=10,
+                               resampling="cv", error=err, cost=0.1,
+                               kind="search", improved_global=False)
+
+        res = SearchResult(
+            best_learner="lgbm", best_config={}, best_sample_size=10,
+            best_error=0.1, resampling="cv",
+            trials=[
+                t(1, "lgbm", 0.3, {"tree_num": 4}),
+                t(2, "lgbm", 0.1, {"tree_num": 40}),
+                t(3, "rf", float("inf"), {"tree_num": 99}),  # failed: skipped
+                t(4, "rf", 0.2, {"tree_num": 8}),
+            ],
+            wall_time=4.0,
+        )
+        pts = _starting_points_from(res)
+        assert pts == {"lgbm": {"tree_num": 40}, "rf": {"tree_num": 8}}
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError, match="resume_from"):
+            _starting_points_from(42)
+
+    def test_accepts_fitted_automl(self):
+        a = _fitted()
+        pts = _starting_points_from(a)
+        assert a.best_estimator in pts
+
+    def test_accepts_log_path(self, tmp_path):
+        X, y = _data(0)
+        a = AutoML(init_sample_size=100)
+        log = str(tmp_path / "run.json")
+        a.fit(X, y, log_file=log, **FIT_KW)
+        pts = _starting_points_from(log)
+        assert a.best_estimator in pts
+
+
+class TestResumeFit:
+    def test_resume_seeds_first_trials(self):
+        prev = _fitted(seed=0)
+        prev_best = prev.best_config_per_estimator
+        X, y = _data(1, drift=0.2)  # refreshed data, slightly drifted
+        again = AutoML(init_sample_size=100)
+        again.fit(X, y, resume_from=prev, **FIT_KW)
+        first = {}
+        for t in again.search_result.trials:
+            first.setdefault(t.learner, t.config)
+        seeded = 0
+        for learner, cfg in prev_best.items():
+            if learner in first:
+                shared = {k for k in cfg if k in first[learner]}
+                if shared and all(first[learner][k] == cfg[k] for k in shared):
+                    seeded += 1
+        assert seeded >= 1
+
+    def test_explicit_starting_points_win(self):
+        prev = _fitted(seed=0)
+        X, y = _data(2)
+        a = AutoML(init_sample_size=100)
+        a.fit(X, y, resume_from=prev,
+              starting_points={"lgbm": {"tree_num": 77}}, **FIT_KW)
+        first_lgbm = next(t.config for t in a.search_result.trials
+                          if t.learner == "lgbm")
+        assert first_lgbm["tree_num"] == 77
+
+    def test_resume_produces_working_model(self):
+        prev = _fitted(seed=0)
+        X, y = _data(3)
+        a = AutoML(init_sample_size=100)
+        a.fit(X, y, resume_from=prev, **FIT_KW)
+        assert a.predict(X[:5]).shape == (5,)

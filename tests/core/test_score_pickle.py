@@ -1,0 +1,73 @@
+"""Tests for AutoML.score and model picklability (deployment path)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.learners import (
+    CatBoostLikeClassifier,
+    LGBMLikeClassifier,
+    LGBMLikeRegressor,
+    LogisticRegressionL1,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((600, 5))
+    y = (X[:, 0] > 0).astype(int)
+    am = AutoML(seed=0, init_sample_size=150)
+    am.fit(X, y, task="binary", time_budget=0.8, estimator_list=["lgbm"],
+           cv_instance_threshold=0)
+    return am, X, y
+
+
+class TestScore:
+    def test_default_metric(self, fitted):
+        am, X, y = fitted
+        err = am.score(X, y)  # 1 - auc on training data
+        assert 0 <= err < 0.3
+
+    def test_explicit_metric(self, fitted):
+        am, X, y = fitted
+        acc_err = am.score(X, y, metric="accuracy")
+        assert 0 <= acc_err < 0.3
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            AutoML().score(np.zeros((2, 2)), np.zeros(2))
+
+
+class TestPicklability:
+    """Models are pure Python/NumPy, so the standard deployment path
+    (pickle the fitted model, serve elsewhere) must work."""
+
+    @pytest.mark.parametrize("cls", [
+        LGBMLikeClassifier, RandomForestClassifier, LogisticRegressionL1,
+        CatBoostLikeClassifier,
+    ])
+    def test_classifier_roundtrip(self, cls):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((200, 4))
+        y = (X[:, 0] > 0).astype(int)
+        kw = {"tree_num": 5} if "tree_num" in cls().get_params() else {}
+        m = cls(**kw).fit(X, y)
+        m2 = pickle.loads(pickle.dumps(m))
+        assert np.allclose(m.predict_proba(X), m2.predict_proba(X))
+
+    def test_regressor_roundtrip(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((200, 4))
+        y = X @ rng.standard_normal(4)
+        m = LGBMLikeRegressor(tree_num=5, leaf_num=4).fit(X, y)
+        m2 = pickle.loads(pickle.dumps(m))
+        assert np.allclose(m.predict(X), m2.predict(X))
+
+    def test_automl_model_roundtrip(self, fitted):
+        am, X, _ = fitted
+        m2 = pickle.loads(pickle.dumps(am.model))
+        assert np.allclose(am.predict_proba(X), m2.predict_proba(X))

@@ -1,0 +1,85 @@
+"""Tests for trial-log serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import SearchResult, TrialRecord
+from repro.core.serialize import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    trial_from_dict,
+    trial_to_dict,
+)
+
+
+def _trial(error=0.25):
+    return TrialRecord(
+        iteration=3, automl_time=1.5, learner="lgbm",
+        config={"tree_num": np.int64(10), "learning_rate": np.float64(0.1),
+                "criterion": "gini"},
+        sample_size=200, resampling="cv", error=error, cost=0.33,
+        kind="sample_up", improved_global=True,
+        eci_snapshot={"lgbm": 0.5, "rf": np.inf},
+    )
+
+
+def _result():
+    return SearchResult(
+        best_learner="lgbm", best_config={"tree_num": 10},
+        best_sample_size=200, best_error=0.25, resampling="cv",
+        trials=[_trial(), _trial(np.inf)], wall_time=2.0,
+    )
+
+
+class TestTrialRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        t = _trial()
+        back = trial_from_dict(trial_to_dict(t))
+        assert back.learner == t.learner
+        assert back.config["tree_num"] == 10
+        assert back.config["criterion"] == "gini"
+        assert back.error == t.error
+        assert back.kind == "sample_up"
+        assert back.improved_global
+
+    def test_numpy_scalars_become_python(self):
+        d = trial_to_dict(_trial())
+        assert type(d["config"]["tree_num"]) is int
+        assert type(d["config"]["learning_rate"]) is float
+
+    def test_infinity_survives_json(self):
+        import json
+
+        t = _trial(error=np.inf)
+        d = json.loads(json.dumps(trial_to_dict(t)))
+        back = trial_from_dict(d)
+        assert back.error == np.inf
+        assert back.eci_snapshot["rf"] == np.inf
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self):
+        r = _result()
+        back = result_from_dict(result_to_dict(r))
+        assert back.best_learner == "lgbm"
+        assert back.n_trials == 2
+        assert back.best_error == 0.25
+        assert back.trials[1].error == np.inf
+
+    def test_none_best_config(self):
+        r = SearchResult(
+            best_learner=None, best_config=None, best_sample_size=0,
+            best_error=np.inf, resampling="holdout", trials=[], wall_time=0.1,
+        )
+        back = result_from_dict(result_to_dict(r))
+        assert back.best_learner is None
+        assert back.best_config is None
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        save_result(_result(), path)
+        back = load_result(path)
+        assert back.best_error == 0.25
+        assert back.trials[0].eci_snapshot["lgbm"] == pytest.approx(0.5)

@@ -1,0 +1,159 @@
+"""Tests for search-space domains and the Table 5 default spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space import (
+    Choice,
+    LogRandInt,
+    LogUniform,
+    RandInt,
+    SearchSpace,
+    Uniform,
+    catboost_space,
+    lgbm_space,
+    lrl1_space,
+    rf_space,
+    xgboost_space,
+)
+
+
+class TestDomains:
+    def test_uniform_roundtrip(self):
+        d = Uniform(2.0, 10.0)
+        for v in (2.0, 5.5, 10.0):
+            assert d.from_unit(d.to_unit(v)) == pytest.approx(v)
+
+    def test_loguniform_roundtrip(self):
+        d = LogUniform(1e-3, 1e3)
+        for v in (1e-3, 1.0, 37.0, 1e3):
+            assert d.from_unit(d.to_unit(v)) == pytest.approx(v, rel=1e-9)
+
+    def test_randint_rounding(self):
+        d = RandInt(1, 9)
+        assert d.from_unit(0.0) == 1
+        assert d.from_unit(1.0) == 9
+        assert isinstance(d.from_unit(0.5), int)
+
+    def test_lograndint_monotone(self):
+        d = LogRandInt(4, 32768)
+        vals = [d.from_unit(u) for u in np.linspace(0, 1, 20)]
+        assert vals == sorted(vals)
+        assert vals[0] == 4 and vals[-1] == 32768
+
+    def test_choice_roundtrip(self):
+        d = Choice(("gini", "entropy"))
+        for o in d.options:
+            assert d.from_unit(d.to_unit(o)) == o
+
+    def test_choice_init_validation(self):
+        with pytest.raises(ValueError):
+            Choice(("a", "b"), init="c")
+        with pytest.raises(ValueError):
+            Choice(("only",))
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            Uniform(5, 5)
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            RandInt(3, 3)
+        with pytest.raises(ValueError):
+            LogRandInt(0, 5)
+
+    def test_clipping_out_of_range(self):
+        d = Uniform(0.0, 1.0)
+        assert d.from_unit(-0.5) == 0.0
+        assert d.from_unit(1.5) == 1.0
+
+    @given(st.floats(0, 1), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_unit_maps_into_range(self, u, seed):
+        rng = np.random.default_rng(seed)
+        lo = float(rng.uniform(0.001, 10))
+        hi = lo * float(rng.uniform(1.5, 100))
+        for d in (Uniform(lo, hi), LogUniform(lo, hi)):
+            v = d.from_unit(u)
+            assert lo - 1e-9 <= v <= hi + 1e-9
+
+
+class TestSearchSpace:
+    def test_init_config_uses_inits(self):
+        sp = SearchSpace({"a": Uniform(0, 1, init=0.25), "b": RandInt(1, 5, init=2)})
+        assert sp.init_config() == {"a": 0.25, "b": 2}
+
+    def test_vector_roundtrip(self):
+        sp = SearchSpace({"a": LogUniform(0.01, 100), "b": Uniform(-1, 1)})
+        cfg = {"a": 3.7, "b": 0.2}
+        back = sp.from_unit(sp.to_unit(cfg))
+        assert back["a"] == pytest.approx(3.7, rel=1e-9)
+        assert back["b"] == pytest.approx(0.2)
+
+    def test_sample_within_domains(self):
+        sp = SearchSpace({"x": Uniform(5, 6), "k": Choice(("u", "v"))})
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            c = sp.sample(rng)
+            assert 5 <= c["x"] <= 6
+            assert c["k"] in ("u", "v")
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})
+
+
+class TestTable5Spaces:
+    """The default spaces must match the paper's Table 5."""
+
+    def test_xgboost(self):
+        sp = xgboost_space(100_000, "binary")
+        assert set(sp.names) == {
+            "tree_num", "leaf_num", "min_child_weight", "learning_rate",
+            "subsample", "reg_alpha", "reg_lambda", "colsample_bylevel",
+            "colsample_bytree",
+        }
+        assert sp.domains["tree_num"].lo == 4
+        assert sp.domains["tree_num"].hi == 32768
+        init = sp.init_config()
+        # bold (lowest-complexity) initialisation
+        assert init["tree_num"] == 4 and init["leaf_num"] == 4
+        assert init["min_child_weight"] == 20.0
+
+    def test_lgbm_has_max_bin(self):
+        sp = lgbm_space(50_000, "binary")
+        assert "max_bin" in sp.names
+        assert "colsample_bylevel" not in sp.names
+        assert sp.domains["max_bin"].lo == 7
+        assert sp.domains["max_bin"].hi == 1023
+
+    def test_tree_num_capped_by_data_size(self):
+        sp = lgbm_space(1000, "binary")
+        assert sp.domains["tree_num"].hi == 1000
+
+    def test_catboost(self):
+        sp = catboost_space(10_000, "binary")
+        assert set(sp.names) == {"early_stop_rounds", "learning_rate"}
+        assert sp.domains["early_stop_rounds"].lo == 10
+        assert sp.domains["early_stop_rounds"].hi == 150
+        assert sp.domains["learning_rate"].lo == pytest.approx(0.005)
+        assert sp.domains["learning_rate"].hi == pytest.approx(0.2)
+
+    def test_rf_classification_has_criterion(self):
+        sp = rf_space(10_000, "binary")
+        assert set(sp.names) == {"tree_num", "max_features", "criterion"}
+        assert sp.domains["criterion"].options == ("gini", "entropy")
+        assert sp.domains["tree_num"].hi == 2048
+
+    def test_rf_regression_drops_criterion(self):
+        sp = rf_space(10_000, "regression")
+        assert "criterion" not in sp.names
+
+    def test_lrl1(self):
+        sp = lrl1_space(10_000, "binary")
+        assert sp.names == ["C"]
+        assert sp.domains["C"].lo == pytest.approx(0.03125)
+        assert sp.domains["C"].hi == pytest.approx(32768.0)
+        assert sp.init_config()["C"] == 1.0

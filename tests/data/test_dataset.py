@@ -1,0 +1,130 @@
+"""Tests for the Dataset container and resampling utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, holdout_indices, kfold_indices, stratified_shuffle
+
+
+def _toy(task="binary", n=100, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    if task == "regression":
+        y = rng.standard_normal(n)
+    else:
+        k = 2 if task == "binary" else 4
+        y = rng.integers(0, k, n)
+    return Dataset("toy", X, y, task)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = _toy()
+        assert ds.n == 100 and ds.d == 3
+        assert ds.is_classification
+        assert ds.n_classes == 2
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((3, 2)), np.zeros(3), "ranking")
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((3, 2)), np.zeros(4), "binary")
+
+    def test_head_prefix(self):
+        ds = _toy()
+        h = ds.head(10)
+        assert h.n == 10
+        assert np.allclose(h.X, ds.X[:10])
+
+    def test_head_clamps(self):
+        assert _toy(n=20).head(500).n == 20
+
+    def test_shuffled_is_permutation(self):
+        ds = _toy()
+        sh = ds.shuffled(1)
+        assert sorted(sh.y.tolist()) == sorted(ds.y.tolist())
+        assert not np.allclose(sh.X, ds.X)  # overwhelmingly likely
+
+    def test_outer_folds_partition(self):
+        ds = _toy(n=200)
+        folds = ds.outer_folds(10)
+        assert len(folds) == 10
+        total = sum(te.n for _, te in folds)
+        assert total == 200
+
+
+class TestStratifiedShuffle:
+    def test_is_permutation(self):
+        y = np.array([0] * 30 + [1] * 10)
+        idx = stratified_shuffle(y, np.random.default_rng(0))
+        assert sorted(idx.tolist()) == list(range(40))
+
+    def test_prefix_class_balance(self):
+        """Every reasonable prefix should roughly match the class prior —
+        the property FLAML's prefix-sampling relies on."""
+        rng = np.random.default_rng(1)
+        y = np.array([0] * 900 + [1] * 100)
+        idx = stratified_shuffle(y, rng)
+        for s in (50, 100, 200, 500):
+            frac = y[idx[:s]].mean()
+            assert abs(frac - 0.1) < 0.05, f"prefix {s}: {frac}"
+
+    def test_rare_class_in_small_prefix(self):
+        rng = np.random.default_rng(2)
+        y = np.array([0] * 990 + [1] * 10)
+        idx = stratified_shuffle(y, rng)
+        # the first tenth must contain at least one rare-class example
+        assert y[idx[:100]].sum() >= 1
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 3, 57)
+        idx = stratified_shuffle(y, rng)
+        assert np.array_equal(np.sort(idx), np.arange(57))
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = kfold_indices(100, 5)
+        all_val = np.concatenate([v for _, v in folds])
+        assert np.array_equal(np.sort(all_val), np.arange(100))
+
+    def test_train_val_disjoint(self):
+        for tr, va in kfold_indices(50, 5):
+            assert not set(tr) & set(va)
+            assert len(tr) + len(va) == 50
+
+    def test_stratified_folds_balanced(self):
+        y = np.array([0] * 80 + [1] * 20)
+        rng = np.random.default_rng(0)
+        for _, va in kfold_indices(100, 5, y=y, rng=rng):
+            assert 0.05 <= y[va].mean() <= 0.4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5)
+
+
+class TestHoldout:
+    def test_sizes(self):
+        tr, va = holdout_indices(100, 0.1)
+        assert len(va) == 10 and len(tr) == 90
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            holdout_indices(10, 0.0)
+        with pytest.raises(ValueError):
+            holdout_indices(10, 1.5)
+
+    def test_stratified(self):
+        y = np.array([0] * 90 + [1] * 10)
+        tr, va = holdout_indices(100, 0.2, y=y, rng=np.random.default_rng(0))
+        assert y[va].sum() >= 1  # rare class represented

@@ -1,0 +1,38 @@
+"""Tests for Dataset.describe()."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+
+
+class TestDescribe:
+    def test_classification_fields(self):
+        r = np.random.default_rng(0)
+        X = r.standard_normal((100, 3))
+        X[0, 0] = np.nan
+        y = (np.arange(100) < 80).astype(int)
+        d = Dataset("t", X, y, "binary", categorical=(2,)).describe()
+        assert d["task"] == "binary"
+        assert d["n"] == 100 and d["d"] == 3
+        assert d["n_categorical"] == 1
+        assert d["missing_frac"] == pytest.approx(1 / 300)
+        assert d["n_classes"] == 2
+        assert d["minority_frac"] == pytest.approx(0.2)
+
+    def test_regression_fields(self):
+        r = np.random.default_rng(1)
+        X = r.standard_normal((50, 2))
+        y = np.linspace(-1, 1, 50)
+        d = Dataset("r", X, y, "regression").describe()
+        assert "n_classes" not in d
+        assert d["y_mean"] == pytest.approx(0.0, abs=1e-9)
+        assert d["y_std"] > 0
+
+    def test_describe_json_safe(self):
+        import json
+
+        r = np.random.default_rng(2)
+        X = r.standard_normal((30, 2))
+        y = (X[:, 0] > 0).astype(int)
+        json.dumps(Dataset("j", X, y, "binary").describe())

@@ -1,0 +1,124 @@
+"""Tests for synthetic generators and the 53-dataset suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import SUITE, load_dataset, make_classification, make_regression, suite_names
+from repro.data.generators import CLASSIFICATION_STRUCTURES, REGRESSION_STRUCTURES
+
+
+class TestMakeClassification:
+    @pytest.mark.parametrize("structure", CLASSIFICATION_STRUCTURES)
+    def test_structures_learnable_shape(self, structure):
+        ds = make_classification(300, 6, structure=structure, seed=1)
+        assert ds.X.shape == (300, 6)
+        assert set(np.unique(ds.y)) == {0, 1}
+
+    def test_multiclass_counts(self):
+        ds = make_classification(600, 8, n_classes=5, structure="clusters", seed=2)
+        assert ds.task == "multiclass"
+        assert np.unique(ds.y).size == 5
+
+    def test_deterministic(self):
+        a = make_classification(100, 4, seed=7)
+        b = make_classification(100, 4, seed=7)
+        assert np.array_equal(
+            np.nan_to_num(a.X, nan=-1), np.nan_to_num(b.X, nan=-1)
+        )
+        assert np.array_equal(a.y, b.y)
+
+    def test_imbalance(self):
+        ds = make_classification(2000, 5, imbalance=0.8, flip_y=0.0, seed=3)
+        assert ds.y.mean() < 0.2
+
+    def test_categorical_columns_are_integers(self):
+        ds = make_classification(300, 10, cat_frac=0.5, seed=4)
+        assert len(ds.categorical) == 5
+        for j in ds.categorical:
+            col = ds.X[:, j]
+            col = col[~np.isnan(col)]
+            assert np.allclose(col, np.round(col))
+
+    def test_missing_fraction(self):
+        ds = make_classification(500, 8, missing_frac=0.1, seed=5)
+        frac = np.isnan(ds.X).mean()
+        assert 0.05 < frac < 0.15
+
+    def test_class_sep_monotone_difficulty(self):
+        """Larger separation => a linear rule achieves higher accuracy."""
+        accs = []
+        for sep in (0.2, 3.0):
+            ds = make_classification(3000, 6, structure="linear",
+                                     class_sep=sep, flip_y=0.0, seed=6)
+            # cheap proxy: best single-threshold accuracy on the best feature
+            best = 0.5
+            for j in range(ds.d):
+                thr = np.median(ds.X[:, j])
+                acc = max(
+                    ((ds.X[:, j] > thr) == ds.y).mean(),
+                    ((ds.X[:, j] <= thr) == ds.y).mean(),
+                )
+                best = max(best, acc)
+            accs.append(best)
+        assert accs[1] > accs[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_classification(10, 3, structure="weird")
+        with pytest.raises(ValueError):
+            make_classification(10, 3, n_classes=1)
+
+
+class TestMakeRegression:
+    @pytest.mark.parametrize("structure", REGRESSION_STRUCTURES)
+    def test_structures(self, structure):
+        ds = make_regression(200, 10, structure=structure, seed=1)
+        assert ds.task == "regression"
+        assert ds.X.shape[0] == 200
+        assert np.std(ds.y) > 0
+
+    def test_invalid_structure(self):
+        with pytest.raises(ValueError):
+            make_regression(10, 3, structure="weird")
+
+    def test_deterministic(self):
+        a = make_regression(100, 6, seed=9)
+        b = make_regression(100, 6, seed=9)
+        assert np.array_equal(a.y, b.y)
+
+
+class TestSuite:
+    def test_counts(self):
+        assert len(SUITE) == 53
+        assert len(suite_names("binary")) == 22
+        assert len(suite_names("multiclass")) == 17
+        assert len(suite_names("regression")) == 14
+
+    def test_size_ordering(self):
+        names = suite_names("binary")
+        sizes = [SUITE[n].size for n in names]
+        assert sizes == sorted(sizes)
+        assert names[0] == "blood-transfusion"  # paper: smallest binary
+        assert names[-1] == "riccardo"  # paper: largest binary
+
+    def test_all_load_and_are_bounded(self):
+        for name in suite_names():
+            spec = SUITE[name]
+            assert 1000 <= spec.n <= 8000, name
+            assert spec.d <= 48, name
+
+    @pytest.mark.parametrize("name", ["adult", "car", "fried", "Dionis"])
+    def test_load_dataset_shapes(self, name):
+        ds = load_dataset(name)
+        spec = SUITE[name]
+        assert ds.n == spec.n
+        assert ds.d == spec.d
+        assert ds.task == spec.task
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("not-a-dataset")
+
+    def test_class_counts_capped(self):
+        ds = load_dataset("Dionis")  # 355 classes in the paper, capped
+        assert 2 < ds.n_classes <= 12

@@ -1,0 +1,157 @@
+"""Tests for dataset persistence (NPZ and CSV round-trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, from_csv, load_npz, save_npz, to_csv
+
+
+def _mixed_dataset(seed=0, n=60):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, 4))
+    X[:, 2] = r.integers(0, 3, n)  # categorical codes
+    X[r.random((n, 4)) < 0.05] = np.nan
+    X[:, 2] = np.nan_to_num(X[:, 2])  # keep the cat column complete
+    y = (np.nan_to_num(X[:, 0]) > 0).astype(np.int64)
+    return Dataset("mixed", X, y, "binary", categorical=(2,))
+
+
+class TestNpz:
+    def test_roundtrip_binary(self, tmp_path):
+        ds = _mixed_dataset()
+        path = str(tmp_path / "ds.npz")
+        save_npz(ds, path)
+        back = load_npz(path)
+        assert back.name == "mixed"
+        assert back.task == "binary"
+        assert back.categorical == (2,)
+        assert np.array_equal(back.y, ds.y)
+        assert np.allclose(back.X, ds.X, equal_nan=True)
+
+    def test_roundtrip_regression(self, tmp_path):
+        r = np.random.default_rng(1)
+        ds = Dataset("reg", r.standard_normal((30, 2)), r.standard_normal(30),
+                      "regression")
+        path = str(tmp_path / "r.npz")
+        save_npz(ds, path)
+        back = load_npz(path)
+        assert back.task == "regression"
+        assert np.allclose(back.y, ds.y)
+
+    def test_roundtrip_string_labels(self, tmp_path):
+        X = np.arange(8.0).reshape(4, 2)
+        ds = Dataset("s", X, np.array(["a", "b", "a", "b"]), "binary")
+        path = str(tmp_path / "s.npz")
+        save_npz(ds, path)
+        assert list(load_npz(path).y) == ["a", "b", "a", "b"]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_shape_and_labels(self, tmp_path):
+        ds = _mixed_dataset()
+        path = str(tmp_path / "ds.csv")
+        to_csv(ds, path)
+        back = from_csv(path, name="mixed")
+        assert back.n == ds.n and back.d == ds.d
+        assert back.task == "binary"
+        assert np.array_equal(back.y, ds.y)
+        assert np.allclose(back.X, ds.X, equal_nan=True, atol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 200), n=st.integers(5, 80))
+    def test_property_csv_roundtrip(self, tmp_path_factory, seed, n):
+        ds = _mixed_dataset(seed=seed, n=n)
+        path = str(tmp_path_factory.mktemp("csv") / "p.csv")
+        to_csv(ds, path)
+        back = from_csv(path)
+        assert np.allclose(back.X, ds.X, equal_nan=True, atol=1e-12)
+        assert np.array_equal(back.y, ds.y)
+
+
+class TestCsvParsing:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "in.csv"
+        p.write_text(text)
+        return str(p)
+
+    def test_label_by_name_and_position(self, tmp_path):
+        path = self._write(tmp_path, "a,b,target\n1,2,0\n3,4,1\n5,6,0\n7,8,1\n")
+        by_name = from_csv(path, label="target")
+        by_pos = from_csv(path, label=2)
+        assert np.array_equal(by_name.y, by_pos.y)
+        assert by_name.d == 2
+
+    def test_label_in_middle(self, tmp_path):
+        path = self._write(tmp_path, "a,cls,b\n1,0,2\n3,1,4\n5,0,6\n7,1,8\n")
+        ds = from_csv(path, label="cls")
+        assert ds.d == 2
+        assert np.allclose(ds.X[0], [1, 2])
+
+    def test_string_features_become_categorical(self, tmp_path):
+        path = self._write(
+            tmp_path, "color,size,y\nred,1,0\nblue,2,1\nred,3,0\ngreen,4,1\n"
+        )
+        ds = from_csv(path)
+        assert ds.categorical == (0,)
+        # ordinal codes by sorted label: blue=0, green=1, red=2
+        assert list(ds.X[:, 0]) == [2.0, 0.0, 2.0, 1.0]
+
+    def test_missing_cells_are_nan(self, tmp_path):
+        path = self._write(tmp_path, "a,b,y\n1,,0\n?,4,1\nNA,6,0\n7,8,1\n")
+        ds = from_csv(path)
+        assert np.isnan(ds.X[0, 1])
+        assert np.isnan(ds.X[1, 0])
+        assert np.isnan(ds.X[2, 0])
+
+    def test_string_labels_classification(self, tmp_path):
+        path = self._write(tmp_path, "a,y\n1,cat\n2,dog\n3,cat\n4,dog\n")
+        ds = from_csv(path)
+        assert ds.task == "binary"
+        assert set(ds.y) == {"cat", "dog"}
+
+    def test_regression_inference(self, tmp_path):
+        rows = "\n".join(f"{i},{i * 0.37 + 0.001}" for i in range(30))
+        path = self._write(tmp_path, "a,y\n" + rows + "\n")
+        assert from_csv(path).task == "regression"
+
+    def test_task_override(self, tmp_path):
+        path = self._write(tmp_path, "a,y\n1,0\n2,1\n3,2\n4,0\n5,1\n6,2\n")
+        assert from_csv(path).task == "multiclass"
+        ds = from_csv(path, task="regression")
+        assert ds.task == "regression"
+        assert ds.y.dtype == np.float64
+
+    def test_errors(self, tmp_path):
+        empty = self._write(tmp_path, "a,b,y\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            from_csv(empty)
+        ragged = tmp_path / "r.csv"
+        ragged.write_text("a,b,y\n1,2,0\n1,2\n")
+        with pytest.raises(ValueError, match="differing width"):
+            from_csv(str(ragged))
+        bad_label = self._write(tmp_path, "a,b,y\n1,2,0\n3,4,1\n")
+        with pytest.raises(ValueError, match="not in header"):
+            from_csv(bad_label, label="nope")
+        missing_y = tmp_path / "m.csv"
+        missing_y.write_text("a,y\n1,0\n2,\n")
+        with pytest.raises(ValueError, match="label column contains missing"):
+            from_csv(str(missing_y))
+
+    def test_fit_from_csv_end_to_end(self, tmp_path):
+        """CSV -> Dataset -> AutoML is the downstream user's whole loop."""
+        from repro import AutoML
+
+        r = np.random.default_rng(5)
+        X = r.standard_normal((200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        lines = ["f0,f1,f2,label"] + [
+            f"{a},{b},{c},{t}" for (a, b, c), t in zip(X, y)
+        ]
+        p = tmp_path / "train.csv"
+        p.write_text("\n".join(lines) + "\n")
+        ds = from_csv(str(p), label="label")
+        automl = AutoML(init_sample_size=100)
+        automl.fit(ds.X, ds.y, task=ds.task, time_budget=1.0, max_iters=6)
+        assert automl.predict(ds.X[:5]).shape == (5,)

@@ -1,0 +1,106 @@
+"""Tests for the feature preprocessors (paper §3 footnote 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.preprocessing import Imputer, OneHotEncoder, Pipeline, StandardScaler
+from repro.learners import LogisticRegressionL1
+
+
+class TestImputer:
+    def test_mean_imputation(self):
+        X = np.array([[1.0, 10.0], [np.nan, 20.0], [3.0, np.nan]])
+        out = Imputer("mean").fit_transform(X)
+        assert out[1, 0] == pytest.approx(2.0)
+        assert out[2, 1] == pytest.approx(15.0)
+        assert not np.isnan(out).any()
+
+    def test_median_and_mode(self):
+        X = np.array([[1.0], [1.0], [5.0], [np.nan]])
+        assert Imputer("median").fit_transform(X)[3, 0] == pytest.approx(1.0)
+        assert Imputer("most_frequent").fit_transform(X)[3, 0] == pytest.approx(1.0)
+
+    def test_all_nan_column(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = Imputer("mean").fit_transform(X)
+        assert (out == 0).all()
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            Imputer("magic")
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Imputer().transform(np.zeros((2, 2)))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_no_nans_out(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((30, 4))
+        X[rng.random((30, 4)) < 0.3] = np.nan
+        assert not np.isnan(Imputer("mean").fit_transform(X)).any()
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((500, 3)) * 7 + 4
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+
+    def test_nan_aware_stats(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        sc = StandardScaler().fit(X)
+        assert sc.mu_[0] == pytest.approx(2.0)
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([[0.0, 5.0], [1.0, 6.0], [0.0, 7.0]])
+        out = OneHotEncoder(columns=(0,)).fit_transform(X)
+        # column 1 kept + 2 one-hot columns
+        assert out.shape == (3, 3)
+        assert np.array_equal(out[:, 1:], np.array([[1, 0], [0, 1], [1, 0]]))
+
+    def test_unseen_category_all_zero(self):
+        X = np.array([[0.0], [1.0]])
+        enc = OneHotEncoder(columns=(0,)).fit(X)
+        out = enc.transform(np.array([[9.0]]))
+        assert out.sum() == 0
+
+    def test_nan_is_a_category(self):
+        X = np.array([[0.0], [np.nan], [1.0]])
+        out = OneHotEncoder(columns=(0,)).fit_transform(X)
+        assert out.shape == (3, 3)
+        assert out.sum(axis=1).tolist() == [1, 1, 1]
+
+
+class TestPipeline:
+    def test_end_to_end_with_linear_learner(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((400, 4))
+        X[rng.random((400, 4)) < 0.05] = np.nan
+        cat = rng.integers(0, 3, 400).astype(float)
+        X = np.column_stack([X, cat])
+        y = ((np.nan_to_num(X[:, 0]) + (cat == 2)) > 0.5).astype(int)
+        pipe = Pipeline(
+            [OneHotEncoder(columns=(4,)), Imputer("mean"), StandardScaler()],
+            LogisticRegressionL1(C=1.0),
+        )
+        pipe.fit(X, y)
+        acc = (pipe.predict(X) == y).mean()
+        assert acc > 0.8
+        assert pipe.predict_proba(X).shape == (400, 2)
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([], LogisticRegressionL1())

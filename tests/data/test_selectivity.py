@@ -1,0 +1,77 @@
+"""Tests for the selectivity-estimation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MANUAL_CONFIG,
+    SELECTIVITY_DATASETS,
+    load_selectivity,
+    make_table,
+    make_workload,
+    selectivity_to_dataset,
+)
+
+
+class TestTables:
+    @pytest.mark.parametrize("kind", ["forest", "power", "higgs", "weather", "tpch"])
+    def test_shapes(self, kind):
+        t = make_table(kind, dim=3, n=500, seed=0)
+        assert t.shape == (500, 3)
+        assert np.all(np.isfinite(t))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_table("zipf", 2, 10)
+
+    def test_power_is_skewed(self):
+        t = make_table("power", dim=1, n=5000, seed=1)
+        col = t[:, 0]
+        assert np.mean(col) > np.median(col) * 1.3  # right skew
+
+
+class TestWorkload:
+    def test_selectivity_labels_exact(self):
+        wl = make_workload("forest", dim=2, n_rows=1000, n_queries=50, seed=0)
+        # recompute selectivity for a few queries by brute force
+        for i in (0, 10, 25):
+            lo = wl.queries[i, 0::2]
+            hi = wl.queries[i, 1::2]
+            inside = ((wl.table >= lo) & (wl.table <= hi)).all(axis=1).mean()
+            assert wl.selectivity[i] == pytest.approx(max(inside, 1e-3))
+
+    def test_selectivity_in_unit_interval(self):
+        wl = make_workload("power", dim=3, n_rows=800, n_queries=100, seed=2)
+        assert (wl.selectivity > 0).all()
+        assert (wl.selectivity <= 1).all()
+
+    def test_queries_are_valid_boxes(self):
+        wl = make_workload("tpch", dim=2, n_rows=500, n_queries=40, seed=3)
+        lo = wl.queries[:, 0::2]
+        hi = wl.queries[:, 1::2]
+        assert (hi >= lo).all()
+
+    def test_to_dataset(self):
+        wl = make_workload("higgs", dim=2, n_rows=400, n_queries=30, seed=4)
+        ds = selectivity_to_dataset(wl)
+        assert ds.task == "regression"
+        assert ds.X.shape == (30, 4)
+        assert np.allclose(ds.y, np.log(wl.selectivity))
+
+
+class TestRegistry:
+    def test_ten_table4_datasets(self):
+        assert len(SELECTIVITY_DATASETS) == 10
+        assert "10D-Forest" in SELECTIVITY_DATASETS
+
+    def test_load_by_name(self):
+        wl = load_selectivity("2D-TPCH", n_rows=500, n_queries=40)
+        assert wl.dim == 2
+        assert wl.name == "2D-TPCH"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_selectivity("3D-Mars")
+
+    def test_manual_config_matches_paper(self):
+        assert MANUAL_CONFIG == {"tree_num": 16, "leaf_num": 16}

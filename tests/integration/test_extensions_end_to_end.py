@@ -1,0 +1,109 @@
+"""End-to-end integration of the extension features working *together*:
+CSV I/O → meta-learning warm start → preprocessors → fitted cost model →
+ensemble → persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.core.metalearning import MetaPortfolio, build_portfolio
+from repro.core.serialize import load_result
+from repro.data import Dataset, from_csv, to_csv
+from repro.data.preprocessing import Imputer, StandardScaler
+
+
+def _task(seed, n=400):
+    r = np.random.default_rng(seed)
+    X = r.standard_normal((n, 5))
+    y = (X[:, 0] + 0.6 * X[:, 1] ** 2 > 0.5).astype(int)
+    X[r.random(X.shape) < 0.03] = np.nan
+    return Dataset(f"task{seed}", X, y, "binary")
+
+
+class TestFullExtensionPipeline:
+    @pytest.fixture(scope="class")
+    def portfolio(self):
+        corpus = [(f"c{i}", _task(i).shuffled(0)) for i in range(2)]
+        return build_portfolio(corpus, time_budget=1.0,
+                               init_sample_size=100, max_iters=8)
+
+    def test_csv_roundtrip_then_warm_fit_with_everything(self, portfolio,
+                                                         tmp_path):
+        # 1. the dataset arrives as a CSV file
+        data = _task(7)
+        csv_path = str(tmp_path / "train.csv")
+        to_csv(data, csv_path)
+        loaded = from_csv(csv_path, name="task7")
+        assert loaded.task == "binary"
+
+        # 2. warm-start suggestions from the portfolio
+        points = portfolio.suggest(loaded, k=2)
+        assert points  # the corpus produced at least one learner config
+
+        # 3. fit with preprocessors + warm start + fitted cost model +
+        #    trial-log persistence, all at once
+        log_path = str(tmp_path / "run.json")
+        automl = AutoML(init_sample_size=100)
+        automl.fit(
+            loaded.X, loaded.y,
+            task=loaded.task,
+            time_budget=2.0,
+            max_iters=15,
+            starting_points=points,
+            fitted_cost_model=True,
+            preprocessor=[Imputer("median"), StandardScaler()],
+            log_file=log_path,
+        )
+        assert automl.best_estimator is not None
+        pred = automl.predict(loaded.X[:25])
+        assert pred.shape == (25,)
+        assert (pred == loaded.y[:25]).mean() > 0.5
+
+        # 4. the persisted log round-trips and matches the live result
+        back = load_result(log_path)
+        assert back.n_trials == automl.search_result.n_trials
+        assert back.best_error == pytest.approx(automl.best_loss)
+
+    def test_portfolio_persistence_feeds_future_sessions(self, portfolio,
+                                                         tmp_path):
+        path = str(tmp_path / "pf.json")
+        portfolio.save(path)
+        revived = MetaPortfolio.load(path)
+        data = _task(9)
+        assert revived.suggest(data, k=2) == portfolio.suggest(data, k=2)
+
+    def test_ensemble_on_top_of_preprocessing(self):
+        data = _task(11)
+        automl = AutoML(init_sample_size=100)
+        automl.fit(
+            data.X, data.y,
+            task="binary",
+            time_budget=2.5,
+            max_iters=20,
+            estimator_list=["lgbm", "rf"],
+            ensemble=True,
+            ensemble_members=2,
+            preprocessor=Imputer("mean"),
+        )
+        p = automl.predict_proba(data.X[:10])
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_extras_in_warm_started_search(self, portfolio):
+        """EXTRA_LEARNERS + warm start + stop_at_error together."""
+        data = _task(13)
+        automl = AutoML(init_sample_size=100)
+        automl.fit(
+            data.X, data.y,
+            task="binary",
+            time_budget=2.0,
+            max_iters=25,
+            estimator_list=["lgbm", "xgb_limitdepth", "gaussian_nb"],
+            starting_points=portfolio.suggest(data, k=2),
+            stop_at_error=0.35,
+            preprocessor=Imputer(),
+        )
+        assert automl.best_loss <= 0.5
+        used = {t.learner for t in automl.search_result.trials}
+        assert used <= {"lgbm", "xgb_limitdepth", "gaussian_nb"}

@@ -1,0 +1,140 @@
+"""Tests for the GBDT learners (LightGBM-like / XGBoost-like)."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    LGBMLikeClassifier,
+    LGBMLikeRegressor,
+    XGBLikeClassifier,
+    XGBLikeRegressor,
+)
+
+CLASSIFIERS = [LGBMLikeClassifier, XGBLikeClassifier]
+REGRESSORS = [LGBMLikeRegressor, XGBLikeRegressor]
+
+
+@pytest.mark.parametrize("cls", CLASSIFIERS)
+class TestGBDTClassifier:
+    def test_beats_majority_class(self, cls, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = cls(tree_num=30, leaf_num=8, seed=0).fit(Xtr, ytr)
+        acc = (m.predict(Xte) == yte).mean()
+        base = max(np.mean(yte), 1 - np.mean(yte))
+        assert acc > base + 0.05
+
+    def test_proba_shape_and_range(self, cls, binary_split):
+        Xtr, ytr, Xte, _ = binary_split
+        m = cls(tree_num=10, leaf_num=4).fit(Xtr, ytr)
+        p = m.predict_proba(Xte)
+        assert p.shape == (len(Xte), 2)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_multiclass(self, cls, multiclass_split):
+        Xtr, ytr, Xte, yte = multiclass_split
+        m = cls(tree_num=25, leaf_num=8).fit(Xtr, ytr)
+        p = m.predict_proba(Xte)
+        assert p.shape == (len(Xte), 3)
+        assert (m.predict(Xte) == yte).mean() > 0.5
+
+    def test_arbitrary_label_values(self, cls, binary_split):
+        Xtr, ytr, Xte, _ = binary_split
+        labels = np.array(["neg", "pos"])
+        m = cls(tree_num=5, leaf_num=4).fit(Xtr, labels[ytr])
+        pred = m.predict(Xte)
+        assert set(np.unique(pred)) <= {"neg", "pos"}
+
+    def test_deterministic_given_seed(self, cls, binary_split):
+        Xtr, ytr, Xte, _ = binary_split
+        p1 = cls(tree_num=8, leaf_num=4, subsample=0.8, seed=3).fit(Xtr, ytr).predict_proba(Xte)
+        p2 = cls(tree_num=8, leaf_num=4, subsample=0.8, seed=3).fit(Xtr, ytr).predict_proba(Xte)
+        assert np.allclose(p1, p2)
+
+    def test_more_trees_fit_train_better(self, cls, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        small = cls(tree_num=2, leaf_num=4, learning_rate=0.3).fit(Xtr, ytr)
+        big = cls(tree_num=60, leaf_num=16, learning_rate=0.3).fit(Xtr, ytr)
+        acc_s = (small.predict(Xtr) == ytr).mean()
+        acc_b = (big.predict(Xtr) == ytr).mean()
+        assert acc_b >= acc_s
+
+    def test_early_stopping_truncates(self, cls, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = cls(tree_num=200, leaf_num=4, early_stopping_rounds=5, seed=0)
+        m.fit(Xtr, ytr, X_val=Xte, y_val=yte)
+        assert len(m.engine_.trees_) < 200
+
+    def test_train_time_limit(self, cls, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        m = cls(tree_num=100_000, leaf_num=4, train_time_limit=0.2).fit(Xtr, ytr)
+        assert len(m.engine_.trees_) < 100_000
+
+
+@pytest.mark.parametrize("cls", REGRESSORS)
+class TestGBDTRegressor:
+    def test_beats_mean_predictor(self, cls, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = cls(tree_num=40, leaf_num=8).fit(Xtr, ytr)
+        mse = np.mean((m.predict(Xte) - yte) ** 2)
+        assert mse < np.var(yte)
+
+    def test_subsample_and_colsample(self, cls, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = cls(
+            tree_num=30, leaf_num=8, subsample=0.7, colsample_bytree=0.8,
+            colsample_bylevel=0.8, seed=1,
+        ).fit(Xtr, ytr)
+        mse = np.mean((m.predict(Xte) - yte) ** 2)
+        assert mse < np.var(yte)
+
+    def test_missing_values_handled(self, cls, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        Xtr = Xtr.copy()
+        Xtr[::7, 0] = np.nan
+        Xte = Xte.copy()
+        Xte[::5, 0] = np.nan
+        m = cls(tree_num=20, leaf_num=8).fit(Xtr, ytr)
+        pred = m.predict(Xte)
+        assert np.all(np.isfinite(pred))
+
+    def test_get_params_roundtrip(self, cls):
+        m = cls(tree_num=7, leaf_num=9, learning_rate=0.33)
+        p = m.get_params()
+        assert p["tree_num"] == 7 and p["leaf_num"] == 9
+        m2 = cls(**p)
+        assert m2.get_params() == p
+
+
+class TestEngineEdgeCases:
+    def test_single_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((100, 1))
+        y = (X[:, 0] > 0).astype(int)
+        m = LGBMLikeClassifier(tree_num=5, leaf_num=4).fit(X, y)
+        assert (m.predict(X) == y).mean() > 0.9
+
+    def test_tiny_dataset(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        m = LGBMLikeClassifier(tree_num=3, leaf_num=2).fit(X, y)
+        assert m.predict_proba(X).shape == (4, 2)
+
+    def test_single_class_raises(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(ValueError):
+            LGBMLikeClassifier(tree_num=2).fit(X, y)
+
+    def test_constant_target_regression(self):
+        X = np.random.default_rng(0).standard_normal((50, 3))
+        y = np.full(50, 7.0)
+        m = LGBMLikeRegressor(tree_num=5, leaf_num=4).fit(X, y)
+        assert np.allclose(m.predict(X), 7.0, atol=1e-6)
+
+    def test_fractional_hyperparams_rounded(self):
+        # FLOW2 proposes continuous values for integer hyperparameters.
+        X = np.random.default_rng(1).standard_normal((60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        m = LGBMLikeClassifier(tree_num=4.7, leaf_num=5.2).fit(X, y)
+        assert len(m.engine_.trees_) == 5

@@ -1,0 +1,85 @@
+"""Tests for the CatBoost-like oblivious-tree booster."""
+
+import numpy as np
+import pytest
+
+from repro.learners import CatBoostLikeClassifier, CatBoostLikeRegressor
+from repro.learners.catboost_like import ObliviousTree, _grow_oblivious
+from repro.learners.histogram import Binner
+
+
+class TestObliviousTree:
+    def test_leaf_index_bit_layout(self):
+        # depth 2: level 0 on feature 0 (>2), level 1 on feature 1 (>5)
+        t = ObliviousTree(
+            features=[0, 1], thresholds=[2, 5],
+            leaf_values=[10.0, 11.0, 12.0, 13.0],
+        )
+        codes = np.array([[1, 1], [9, 1], [1, 9], [9, 9]], dtype=np.uint8)
+        assert np.allclose(t.predict(codes), [10, 11, 12, 13])
+
+    def test_grown_tree_is_symmetric(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((300, 4))
+        y = (X[:, 0] > 0).astype(float) + (X[:, 1] > 0)
+        b = Binner(max_bins=32)
+        codes = b.fit_transform(X)
+        tree = _grow_oblivious(
+            codes, -y, np.ones_like(y), b.n_bins_, depth=3,
+            reg_lambda=1.0, min_child_weight=1.0, rng=rng,
+        )
+        assert len(tree.features) <= 3
+        assert tree.leaf_values.size == 1 << len(tree.features)
+
+    def test_first_level_picks_dominant_feature(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((500, 5))
+        y = 100.0 * (X[:, 3] > 0)
+        b = Binner(max_bins=32)
+        codes = b.fit_transform(X)
+        tree = _grow_oblivious(
+            codes, -y, np.ones_like(y), b.n_bins_, depth=1,
+            reg_lambda=1e-9, min_child_weight=1e-3, rng=rng,
+        )
+        assert tree.features[0] == 3
+
+
+class TestCatBoostLike:
+    def test_binary(self, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = CatBoostLikeClassifier(n_estimators=40, early_stop_rounds=15, seed=0)
+        m.fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.75
+
+    def test_multiclass(self, multiclass_split):
+        Xtr, ytr, Xte, yte = multiclass_split
+        m = CatBoostLikeClassifier(n_estimators=30, seed=0).fit(Xtr, ytr)
+        p = m.predict_proba(Xte)
+        assert p.shape == (len(Xte), 3)
+        assert (m.predict(Xte) == yte).mean() > 0.5
+
+    def test_regression(self, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = CatBoostLikeRegressor(n_estimators=40, seed=0).fit(Xtr, ytr)
+        assert np.mean((m.predict(Xte) - yte) ** 2) < np.var(yte)
+
+    def test_early_stopping_effective(self, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        m = CatBoostLikeClassifier(
+            n_estimators=500, early_stop_rounds=5, learning_rate=0.5, seed=0
+        ).fit(Xtr, ytr)
+        assert len(m.engine_.trees_) < 500
+
+    def test_time_limit(self, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        m = CatBoostLikeClassifier(
+            n_estimators=100_000, early_stop_rounds=100_000, train_time_limit=0.3,
+            seed=0,
+        ).fit(Xtr, ytr)
+        assert len(m.engine_.trees_) < 100_000
+
+    def test_deterministic(self, binary_split):
+        Xtr, ytr, Xte, _ = binary_split
+        p1 = CatBoostLikeClassifier(n_estimators=10, seed=4).fit(Xtr, ytr).predict_proba(Xte)
+        p2 = CatBoostLikeClassifier(n_estimators=10, seed=4).fit(Xtr, ytr).predict_proba(Xte)
+        assert np.allclose(p1, p2)

@@ -1,0 +1,154 @@
+"""Robustness of every learner on degenerate inputs.
+
+AutoML feeds learners whatever the sampled prefix of an ad-hoc dataset
+looks like — tiny samples, constant columns, duplicated rows, huge
+magnitudes.  A learner that crashes on these turns into an inf-error
+trial (handled), but the *default* expectation is graceful handling:
+fit + predict must succeed and produce valid, finite outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    CatBoostLikeClassifier,
+    CatBoostLikeRegressor,
+    ExtraTreesClassifier,
+    ExtraTreesRegressor,
+    GaussianNB,
+    KNeighborsClassifier,
+    KNeighborsRegressor,
+    LassoRegressor,
+    LGBMLikeClassifier,
+    LGBMLikeRegressor,
+    LogisticRegressionL1,
+    LogisticRegressionL2,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    RidgeRegressor,
+    XGBLikeClassifier,
+    XGBLikeRegressor,
+    XGBLimitDepthClassifier,
+    XGBLimitDepthRegressor,
+)
+
+CLASSIFIERS = [
+    lambda: LGBMLikeClassifier(tree_num=5, leaf_num=4),
+    lambda: XGBLikeClassifier(tree_num=5, leaf_num=4),
+    lambda: XGBLimitDepthClassifier(tree_num=5, max_depth=2),
+    lambda: CatBoostLikeClassifier(early_stop_rounds=10),
+    lambda: RandomForestClassifier(tree_num=5),
+    lambda: ExtraTreesClassifier(tree_num=5),
+    lambda: LogisticRegressionL1(C=1.0),
+    lambda: LogisticRegressionL2(C=1.0),
+    lambda: KNeighborsClassifier(n_neighbors=3),
+    lambda: GaussianNB(),
+]
+
+REGRESSORS = [
+    lambda: LGBMLikeRegressor(tree_num=5, leaf_num=4),
+    lambda: XGBLikeRegressor(tree_num=5, leaf_num=4),
+    lambda: XGBLimitDepthRegressor(tree_num=5, max_depth=2),
+    lambda: CatBoostLikeRegressor(early_stop_rounds=10),
+    lambda: RandomForestRegressor(tree_num=5),
+    lambda: ExtraTreesRegressor(tree_num=5),
+    lambda: RidgeRegressor(C=1.0),
+    lambda: LassoRegressor(C=1.0),
+    lambda: KNeighborsRegressor(n_neighbors=3),
+]
+
+_ids_c = [f.__code__.co_consts and str(i) for i, f in enumerate(CLASSIFIERS)]
+
+
+def _assert_valid_classifier_output(model, X, n_classes):
+    pred = model.predict(X)
+    assert pred.shape == (X.shape[0],)
+    proba = model.predict_proba(X)
+    assert proba.shape == (X.shape[0], n_classes)
+    assert np.isfinite(proba).all()
+    assert (proba >= -1e-12).all()
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-8)
+
+
+@pytest.mark.parametrize("factory", CLASSIFIERS)
+class TestClassifierDegenerate:
+    def test_constant_features(self, factory):
+        X = np.zeros((40, 3))
+        y = (np.arange(40) % 2).astype(int)
+        m = factory().fit(X, y)
+        _assert_valid_classifier_output(m, X, 2)
+
+    def test_tiny_sample(self, factory):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        m = factory().fit(X, y)
+        _assert_valid_classifier_output(m, X, 2)
+
+    def test_single_feature(self, factory):
+        r = np.random.default_rng(0)
+        X = r.standard_normal((60, 1))
+        y = (X[:, 0] > 0).astype(int)
+        m = factory().fit(X, y)
+        _assert_valid_classifier_output(m, X, 2)
+
+    def test_duplicate_rows(self, factory):
+        X = np.tile(np.array([[1.0, 2.0], [3.0, 4.0]]), (15, 1))
+        y = np.tile(np.array([0, 1]), 15)
+        m = factory().fit(X, y)
+        _assert_valid_classifier_output(m, X, 2)
+        # duplicated separable rows should be learned (nearly) perfectly
+        assert (m.predict(X) == y).mean() > 0.9
+
+    def test_extreme_magnitudes(self, factory):
+        r = np.random.default_rng(1)
+        X = r.standard_normal((60, 2)) * np.array([1e12, 1e-12])
+        y = (X[:, 0] > 0).astype(int)
+        m = factory().fit(X, y)
+        _assert_valid_classifier_output(m, X, 2)
+
+    def test_heavily_imbalanced(self, factory):
+        r = np.random.default_rng(2)
+        X = r.standard_normal((100, 3))
+        y = np.zeros(100, dtype=int)
+        y[:3] = 1
+        m = factory().fit(X, y)
+        _assert_valid_classifier_output(m, X, 2)
+
+
+@pytest.mark.parametrize("factory", REGRESSORS)
+class TestRegressorDegenerate:
+    def test_constant_target(self, factory):
+        r = np.random.default_rng(3)
+        X = r.standard_normal((50, 3))
+        y = np.full(50, 7.5)
+        m = factory().fit(X, y)
+        pred = m.predict(X)
+        assert np.isfinite(pred).all()
+        assert np.allclose(pred, 7.5, atol=0.5)
+
+    def test_constant_features(self, factory):
+        X = np.ones((40, 2))
+        y = np.linspace(0, 1, 40)
+        m = factory().fit(X, y)
+        pred = m.predict(X)
+        assert np.isfinite(pred).all()
+        # no information: any prediction inside the target range is
+        # acceptable (kNN, for one, averages an arbitrary k-subset of the
+        # all-identical points), but leaving the range means the learner
+        # invented signal
+        assert (pred >= y.min() - 0.25).all()
+        assert (pred <= y.max() + 0.25).all()
+
+    def test_tiny_sample(self, factory):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 1.0, 2.0])
+        m = factory().fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_extreme_targets(self, factory):
+        r = np.random.default_rng(4)
+        X = r.standard_normal((60, 2))
+        y = X[:, 0] * 1e9
+        m = factory().fit(X, y)
+        pred = m.predict(X)
+        assert np.isfinite(pred).all()

@@ -1,0 +1,81 @@
+"""Tests for random forest / extra-trees learners."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    ExtraTreesClassifier,
+    ExtraTreesRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    tuned_random_forest,
+)
+
+
+@pytest.mark.parametrize("cls", [RandomForestClassifier, ExtraTreesClassifier])
+class TestForestClassifier:
+    @pytest.mark.parametrize("criterion", ["gini", "entropy"])
+    def test_learns_binary(self, cls, criterion, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = cls(tree_num=15, criterion=criterion, seed=0).fit(Xtr, ytr)
+        acc = (m.predict(Xte) == yte).mean()
+        assert acc > 0.7
+
+    def test_learns_multiclass(self, cls, multiclass_split):
+        Xtr, ytr, Xte, yte = multiclass_split
+        m = cls(tree_num=15, seed=0).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.5
+        p = m.predict_proba(Xte)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_max_features_subsampling(self, cls, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = cls(tree_num=15, max_features=0.3, seed=0).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.6
+
+    def test_deterministic(self, cls, binary_split):
+        Xtr, ytr, Xte, _ = binary_split
+        p1 = cls(tree_num=5, seed=9).fit(Xtr, ytr).predict_proba(Xte)
+        p2 = cls(tree_num=5, seed=9).fit(Xtr, ytr).predict_proba(Xte)
+        assert np.allclose(p1, p2)
+
+    def test_invalid_criterion(self, cls, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        with pytest.raises(ValueError):
+            cls(tree_num=2, criterion="bogus").fit(Xtr, ytr)
+
+
+@pytest.mark.parametrize("cls", [RandomForestRegressor, ExtraTreesRegressor])
+class TestForestRegressor:
+    def test_beats_mean(self, cls, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = cls(tree_num=15, seed=0).fit(Xtr, ytr)
+        mse = np.mean((m.predict(Xte) - yte) ** 2)
+        assert mse < np.var(yte)
+
+    def test_prediction_within_target_range(self, cls, regression_split):
+        """Forest predictions are averages of training targets."""
+        Xtr, ytr, Xte, _ = regression_split
+        m = cls(tree_num=10, seed=0).fit(Xtr, ytr)
+        pred = m.predict(Xte)
+        assert pred.min() >= ytr.min() - 1e-9
+        assert pred.max() <= ytr.max() + 1e-9
+
+    def test_time_limit(self, cls, regression_split):
+        Xtr, ytr, _, _ = regression_split
+        m = cls(tree_num=100_000, train_time_limit=0.2, seed=0).fit(Xtr, ytr)
+        assert len(m.trees_) < 100_000
+
+
+class TestTunedRF:
+    def test_classification_factory(self, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = tuned_random_forest("binary", tree_num=15)
+        m.fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.7
+
+    def test_regression_factory(self, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = tuned_random_forest("regression", tree_num=15)
+        m.fit(Xtr, ytr)
+        assert np.mean((m.predict(Xte) - yte) ** 2) < np.var(yte)

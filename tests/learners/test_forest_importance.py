@@ -1,0 +1,46 @@
+"""Tests for forest feature importances (split-count based)."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    ExtraTreesClassifier,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+
+
+class TestForestImportances:
+    def test_classifier_finds_informative_feature(self):
+        r = np.random.default_rng(0)
+        X = r.standard_normal((300, 5))
+        y = (X[:, 1] > 0).astype(int)
+        m = RandomForestClassifier(tree_num=10).fit(X, y)
+        imp = m.feature_importances_
+        assert imp.shape == (5,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert int(np.argmax(imp)) == 1
+
+    def test_regressor_finds_informative_feature(self):
+        r = np.random.default_rng(1)
+        X = r.standard_normal((300, 5))
+        y = X[:, 2] * 3.0
+        m = RandomForestRegressor(tree_num=10, max_depth=3).fit(X, y)
+        assert int(np.argmax(m.feature_importances_)) == 2
+
+    def test_extra_trees_importances_valid(self):
+        r = np.random.default_rng(2)
+        X = r.standard_normal((200, 4))
+        y = (X[:, 0] + X[:, 3] > 0).astype(int)
+        m = ExtraTreesClassifier(tree_num=8).fit(X, y)
+        imp = m.feature_importances_
+        assert (imp >= 0).all()
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_pure_noise_importances_diffuse(self):
+        """With zero signal, no single feature should dominate strongly."""
+        r = np.random.default_rng(3)
+        X = r.standard_normal((300, 6))
+        y = r.integers(0, 2, 300)
+        m = RandomForestClassifier(tree_num=20, max_depth=4).fit(X, y)
+        assert m.feature_importances_.max() < 0.6

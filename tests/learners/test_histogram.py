@@ -1,0 +1,109 @@
+"""Unit + property tests for the quantile binner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.histogram import MISSING_BIN, Binner
+
+
+class TestBinnerBasics:
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 3))
+        b = Binner(max_bins=16)
+        codes = b.fit_transform(X)
+        assert codes.min() >= 1  # no missing values -> no code 0
+        assert (codes < b.n_bins_[None, :]).all()
+
+    def test_missing_values_get_reserved_bin(self):
+        X = np.array([[1.0], [np.nan], [2.0], [np.nan]])
+        codes = Binner().fit_transform(X)
+        assert codes[1, 0] == MISSING_BIN
+        assert codes[3, 0] == MISSING_BIN
+        assert codes[0, 0] != MISSING_BIN
+
+    def test_monotone_codes(self):
+        """Binning must preserve order of values within a feature."""
+        X = np.linspace(-5, 5, 300).reshape(-1, 1)
+        codes = Binner(max_bins=32).fit_transform(X)
+        assert (np.diff(codes[:, 0].astype(int)) >= 0).all()
+
+    def test_few_unique_values_get_exact_bins(self):
+        X = np.array([[0.0], [1.0], [2.0], [0.0], [1.0], [2.0]])
+        b = Binner(max_bins=255)
+        codes = b.fit_transform(X)
+        # 3 distinct values -> 3 distinct codes
+        assert len(np.unique(codes)) == 3
+
+    def test_constant_feature(self):
+        X = np.full((50, 2), 3.0)
+        b = Binner()
+        codes = b.fit_transform(X)
+        assert len(np.unique(codes[:, 0])) == 1
+
+    def test_all_nan_feature(self):
+        X = np.column_stack([np.full(20, np.nan), np.arange(20.0)])
+        b = Binner()
+        codes = b.fit_transform(X)
+        assert (codes[:, 0] == MISSING_BIN).all()
+
+    def test_transform_unseen_values_clamped(self):
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        b = Binner(max_bins=10).fit(X)
+        lo = b.transform(np.array([[-1e9]]))
+        hi = b.transform(np.array([[1e9]]))
+        assert lo[0, 0] >= 1
+        assert hi[0, 0] < b.n_bins_[0]
+
+    def test_max_bins_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((5000, 1))
+        b = Binner(max_bins=8)
+        b.fit(X)
+        assert b.n_bins_[0] <= 8 + 1  # + missing bin
+
+    def test_uint16_when_many_bins(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((5000, 1))
+        codes = Binner(max_bins=1000).fit_transform(X)
+        assert codes.dtype == np.uint16
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+        with pytest.raises(RuntimeError):
+            Binner().transform(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            Binner().fit(np.zeros(3))
+        b = Binner().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            b.transform(np.zeros((3, 5)))
+
+
+class TestBinnerProperties:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=5, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_equality_classes(self, max_bins, n):
+        """Equal input values always map to equal codes."""
+        rng = np.random.default_rng(n)
+        base = rng.standard_normal(max(3, n // 3))
+        X = rng.choice(base, size=(n, 1))
+        codes = Binner(max_bins=max_bins).fit_transform(X)
+        for v in np.unique(X):
+            c = codes[X[:, 0] == v, 0]
+            assert len(np.unique(c)) == 1
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_train_codes_match_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((60, 2))
+        b = Binner(max_bins=16)
+        c1 = b.fit_transform(X)
+        c2 = b.transform(X)
+        assert (c1 == c2).all()

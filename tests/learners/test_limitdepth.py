@@ -1,0 +1,90 @@
+"""Tests for the depth-wise XGBoost variant (xgb_limitdepth)."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    XGBLikeClassifier,
+    XGBLimitDepthClassifier,
+    XGBLimitDepthRegressor,
+)
+
+
+def _tree_depth(tree) -> int:
+    """Max root-to-leaf depth of a grown Tree."""
+    depth = {0: 0}
+    best = 0
+    for nid in range(len(tree.feature)):
+        if nid not in depth:
+            continue
+        d = depth[nid]
+        best = max(best, d)
+        if tree.feature[nid] >= 0:  # internal node
+            depth[int(tree.left[nid])] = d + 1
+            depth[int(tree.right[nid])] = d + 1
+    return best
+
+
+class TestLimitDepth:
+    def test_learns_binary(self, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = XGBLimitDepthClassifier(tree_num=30, max_depth=3).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.8
+
+    def test_learns_regression(self, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = XGBLimitDepthRegressor(tree_num=40, max_depth=4).fit(Xtr, ytr)
+        pred = m.predict(Xte)
+        ss_res = ((pred - yte) ** 2).sum()
+        ss_tot = ((yte - yte.mean()) ** 2).sum()
+        assert 1 - ss_res / ss_tot > 0.5
+
+    def test_depth_cap_enforced(self, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        for cap in (1, 2, 4):
+            m = XGBLimitDepthClassifier(tree_num=5, max_depth=cap,
+                                        min_child_weight=1e-3).fit(Xtr, ytr)
+            for round_trees in m.engine_.trees_:
+                for tree in round_trees:
+                    assert _tree_depth(tree) <= cap
+
+    def test_depth1_stumps_underfit_vs_deeper(self, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        shallow = XGBLimitDepthClassifier(tree_num=10, max_depth=1).fit(Xtr, ytr)
+        deep = XGBLimitDepthClassifier(tree_num=10, max_depth=5).fit(Xtr, ytr)
+        acc_s = (shallow.predict(Xtr) == ytr).mean()
+        acc_d = (deep.predict(Xtr) == ytr).mean()
+        assert acc_d >= acc_s  # deeper fits training data at least as well
+
+    def test_params_roundtrip_includes_depth(self):
+        m = XGBLimitDepthClassifier(tree_num=7, max_depth=3)
+        p = m.get_params()
+        assert p["max_depth"] == 3 and p["tree_num"] == 7
+        # full get_params round-trip, leaf_num included, must reconstruct
+        m2 = XGBLimitDepthClassifier(**p)
+        assert m2.max_depth == 3 and m2.leaf_num == 8
+
+    def test_differs_from_leafwise(self, binary_split):
+        """Depth-wise and leaf-wise growth produce different models."""
+        Xtr, ytr, Xte, _ = binary_split
+        lw = XGBLikeClassifier(tree_num=10, leaf_num=16).fit(Xtr, ytr)
+        dw = XGBLimitDepthClassifier(tree_num=10, max_depth=4).fit(Xtr, ytr)
+        # same leaf budget (2^4 = 16) but different growth order: the
+        # predicted probabilities should not be identical
+        assert not np.allclose(lw.predict_proba(Xte), dw.predict_proba(Xte))
+
+
+class TestRegistryIntegration:
+    def test_fit_via_estimator_list(self):
+        from repro import AutoML
+
+        r = np.random.default_rng(6)
+        X = r.standard_normal((250, 4))
+        y = (X[:, 0] > 0).astype(int)
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, task="classification", time_budget=1.5,
+                   estimator_list=["xgb_limitdepth"], max_iters=8)
+        assert automl.best_estimator == "xgb_limitdepth"
+        assert "max_depth" in automl.best_config
+        # the low-cost init is the shallowest depth
+        assert automl.search_result.trials[0].config["max_depth"] == 1

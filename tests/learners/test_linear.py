@@ -1,0 +1,95 @@
+"""Tests for linear learners (logistic L1/L2, ridge, lasso)."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    LassoRegressor,
+    LogisticRegressionL1,
+    LogisticRegressionL2,
+    RidgeRegressor,
+)
+
+
+@pytest.mark.parametrize("cls", [LogisticRegressionL1, LogisticRegressionL2])
+class TestLogistic:
+    def test_learns_binary(self, cls, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = cls(C=1.0).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.85
+
+    def test_learns_multiclass(self, cls, multiclass_split):
+        Xtr, ytr, Xte, yte = multiclass_split
+        m = cls(C=1.0).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.6
+        p = m.predict_proba(Xte)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_invalid_C(self, cls):
+        with pytest.raises(ValueError):
+            cls(C=0.0)
+
+    def test_weak_regularisation_fits_tighter(self, cls, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        strong = cls(C=0.001).fit(Xtr, ytr)
+        weak = cls(C=100.0).fit(Xtr, ytr)
+        acc_s = (strong.predict(Xtr) == ytr).mean()
+        acc_w = (weak.predict(Xtr) == ytr).mean()
+        assert acc_w >= acc_s
+
+
+class TestL1Sparsity:
+    def test_small_C_zeroes_coefficients(self, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        m = LogisticRegressionL1(C=0.003).fit(Xtr, ytr)
+        nz_small = np.sum(np.abs(m.coef_[:-1]) > 1e-8)
+        m2 = LogisticRegressionL1(C=1000.0).fit(Xtr, ytr)
+        nz_big = np.sum(np.abs(m2.coef_[:-1]) > 1e-8)
+        assert nz_small < nz_big
+
+    def test_irrelevant_features_pruned(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((500, 10))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)  # only 2 informative features
+        m = LogisticRegressionL1(C=0.05).fit(X, y)
+        w = np.abs(m.coef_[:-1])
+        assert w[0] > 1e-6 and w[1] > 1e-6
+        assert np.median(w[2:]) < 1e-6
+
+
+class TestRidgeLasso:
+    def test_ridge_recovers_linear_signal(self, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = RidgeRegressor(C=10.0).fit(Xtr, ytr)
+        mse = np.mean((m.predict(Xte) - yte) ** 2)
+        assert mse < 0.5 * np.var(yte)
+
+    def test_lasso_sparse_recovery(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((300, 12))
+        y = 3 * X[:, 2] - 2 * X[:, 7] + 0.05 * rng.standard_normal(300)
+        m = LassoRegressor(C=0.5).fit(X, y)
+        w = m.coef_
+        assert abs(w[2]) > 1.0 and abs(w[7]) > 1.0
+        others = np.delete(np.abs(w), [2, 7])
+        assert others.max() < 0.3
+
+    def test_exact_fit_noiseless(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((200, 5))
+        w = np.array([1.0, -2.0, 0.5, 3.0, 0.0])
+        y = X @ w + 1.7
+        m = RidgeRegressor(C=1e6).fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-3)
+
+    @pytest.mark.parametrize("cls", [RidgeRegressor, LassoRegressor])
+    def test_invalid_C(self, cls):
+        with pytest.raises(ValueError):
+            cls(C=-1.0)
+
+    def test_constant_feature_no_crash(self, regression_split):
+        Xtr, ytr, Xte, _ = regression_split
+        Xtr = np.column_stack([Xtr, np.ones(len(Xtr))])
+        Xte = np.column_stack([Xte, np.ones(len(Xte))])
+        m = RidgeRegressor().fit(Xtr, ytr)
+        assert np.all(np.isfinite(m.predict(Xte)))

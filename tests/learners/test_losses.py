@@ -1,0 +1,119 @@
+"""Tests for loss gradients/hessians, including numerical-gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.losses import (
+    LogisticLoss,
+    SoftmaxLoss,
+    SquaredLoss,
+    get_loss,
+    sigmoid,
+    softmax,
+)
+
+
+def numeric_grad(loss, y, scores, eps=1e-6):
+    """Central-difference gradient of the mean loss w.r.t. scores."""
+    g = np.zeros_like(scores, dtype=np.float64)
+    it = np.nditer(scores, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        up, dn = scores.copy(), scores.copy()
+        up[i] += eps
+        dn[i] -= eps
+        g[i] = (loss.value(y, up) - loss.value(y, dn)) / (2 * eps)
+    return g * y.size  # loss.value averages; grad_hess is per-sample
+
+
+class TestSigmoidSoftmax:
+    def test_sigmoid_extremes_stable(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        p = sigmoid(x)
+        assert np.all(np.isfinite(p))
+        assert p[0] == pytest.approx(0, abs=1e-12)
+        assert p[1] == pytest.approx(0.5)
+        assert p[2] == pytest.approx(1, abs=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        s = rng.standard_normal((50, 4)) * 100
+        p = softmax(s)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    @given(st.lists(st.floats(-30, 30), min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_shift_invariant(self, row):
+        s = np.array([row])
+        assert np.allclose(softmax(s), softmax(s + 7.3), atol=1e-9)
+
+
+class TestSquaredLoss:
+    def test_grad_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        y = rng.standard_normal(10)
+        s = rng.standard_normal(10)
+        loss = SquaredLoss()
+        g, h = loss.grad_hess(y, s)
+        assert np.allclose(g, numeric_grad(loss, y, s), atol=1e-4)
+        assert np.allclose(h, 1.0)
+
+    def test_init_score_is_mean(self):
+        y = np.array([1.0, 2.0, 6.0])
+        assert SquaredLoss().init_score(y)[0] == pytest.approx(3.0)
+
+
+class TestLogisticLoss:
+    def test_grad_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        y = (rng.random(12) > 0.5).astype(np.float64)
+        s = rng.standard_normal(12)
+        loss = LogisticLoss()
+        g, _ = loss.grad_hess(y, s)
+        assert np.allclose(g, numeric_grad(loss, y, s), atol=1e-4)
+
+    def test_hessian_positive(self):
+        loss = LogisticLoss()
+        _, h = loss.grad_hess(np.array([0.0, 1.0]), np.array([-100.0, 100.0]))
+        assert (h > 0).all()
+
+    def test_init_score_logit_of_base_rate(self):
+        y = np.array([1.0, 1.0, 1.0, 0.0])
+        s = LogisticLoss().init_score(y)[0]
+        assert sigmoid(np.array([s]))[0] == pytest.approx(0.75)
+
+
+class TestSoftmaxLoss:
+    def test_grad_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        K, n = 3, 8
+        y = rng.integers(0, K, n)
+        s = rng.standard_normal((n, K))
+        loss = SoftmaxLoss(K)
+        g, _ = loss.grad_hess(y, s)
+        assert np.allclose(g, numeric_grad(loss, y, s), atol=1e-4)
+
+    def test_grad_rows_sum_to_zero(self):
+        rng = np.random.default_rng(4)
+        y = rng.integers(0, 4, 20)
+        s = rng.standard_normal((20, 4))
+        g, _ = SoftmaxLoss(4).grad_hess(y, s)
+        assert np.allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            SoftmaxLoss(1)
+
+
+class TestGetLoss:
+    def test_dispatch(self):
+        assert isinstance(get_loss("regression"), SquaredLoss)
+        assert isinstance(get_loss("binary"), LogisticLoss)
+        assert isinstance(get_loss("multiclass", 5), SoftmaxLoss)
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            get_loss("ranking")

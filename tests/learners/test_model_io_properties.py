@@ -1,0 +1,70 @@
+"""Property-based tests for model serialisation internals."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.model_io import (
+    _dump_binner,
+    _dump_tree,
+    _load_binner,
+    _load_tree,
+)
+from repro.learners import Binner
+from repro.learners.tree import Tree
+
+
+def _random_tree(rng, n_values=1, max_depth=4):
+    """Build a random but *valid* binary tree over 3 binned features."""
+    tree = Tree(n_values=n_values)
+
+    def build(depth):
+        nid = tree.add_node(rng.standard_normal(n_values))
+        if depth < max_depth and rng.random() < 0.6:
+            f = int(rng.integers(0, 3))
+            t = int(rng.integers(0, 16))
+            left = build(depth + 1)
+            right = build(depth + 1)
+            tree.set_split(nid, f, t, left, right)
+        return nid
+
+    build(0)
+    tree.freeze()
+    return tree
+
+
+class TestTreeRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_values=st.integers(1, 4))
+    def test_random_tree_predicts_identically(self, seed, n_values):
+        rng = np.random.default_rng(seed)
+        tree = _random_tree(rng, n_values=n_values)
+        codes = rng.integers(0, 16, size=(30, 3)).astype(np.int64)
+        back = _load_tree(_dump_tree(tree))
+        assert np.allclose(tree.predict(codes), back.predict(codes))
+        assert back.n_nodes == tree.n_nodes
+        assert back.n_leaves == tree.n_leaves
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_leaf_routing_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = _random_tree(rng)
+        codes = rng.integers(0, 16, size=(50, 3)).astype(np.int64)
+        back = _load_tree(_dump_tree(tree))
+        assert np.array_equal(tree.predict_leaf(codes), back.predict_leaf(codes))
+
+
+class TestBinnerRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), max_bins=st.integers(2, 64),
+           missing=st.floats(0.0, 0.3))
+    def test_codes_identical_after_roundtrip(self, seed, max_bins, missing):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((80, 4))
+        X[rng.random(X.shape) < missing] = np.nan
+        binner = Binner(max_bins=max_bins).fit(X)
+        back = _load_binner(_dump_binner(binner))
+        Xq = rng.standard_normal((40, 4))
+        assert np.array_equal(binner.transform(Xq), back.transform(Xq))
+        assert np.array_equal(binner.transform(X), back.transform(X))

@@ -1,0 +1,87 @@
+"""Tests for Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import GaussianNB
+
+
+class TestGaussianNB:
+    def test_learns_binary(self, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = GaussianNB().fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.8
+
+    def test_learns_multiclass(self, multiclass_split):
+        Xtr, ytr, Xte, yte = multiclass_split
+        m = GaussianNB().fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.55
+        p = m.predict_proba(Xte)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+
+    def test_separated_gaussians_near_perfect(self):
+        r = np.random.default_rng(0)
+        X0 = r.normal(-5, 1, size=(200, 2))
+        X1 = r.normal(+5, 1, size=(200, 2))
+        X = np.vstack([X0, X1])
+        y = np.repeat([0, 1], 200)
+        m = GaussianNB().fit(X, y)
+        assert (m.predict(X) == y).mean() > 0.99
+
+    def test_constant_feature_smoothing(self):
+        """A zero-variance feature must not produce NaN/inf probabilities."""
+        X = np.column_stack([np.arange(20.0), np.full(20, 7.0)])
+        y = (np.arange(20) >= 10).astype(int)
+        m = GaussianNB(var_smoothing=1e-9).fit(X, y)
+        p = m.predict_proba(X)
+        assert np.isfinite(p).all()
+        assert (m.predict(X) == y).mean() > 0.9
+
+    def test_prior_respected_on_uninformative_features(self):
+        """With pure-noise features the prediction collapses to the prior."""
+        r = np.random.default_rng(1)
+        X = r.standard_normal((300, 2))
+        y = (r.random(300) < 0.9).astype(int)  # 90% class 1
+        m = GaussianNB().fit(X, y)
+        assert (m.predict(X) == 1).mean() > 0.8
+
+    def test_heavy_smoothing_flattens_likelihood(self):
+        r = np.random.default_rng(2)
+        X = np.vstack([r.normal(-2, 1, (50, 1)), r.normal(2, 1, (50, 1))])
+        y = np.repeat([0, 1], 50)
+        sharp = GaussianNB(var_smoothing=1e-12).fit(X, y).predict_proba(X)
+        flat = GaussianNB(var_smoothing=1e3).fit(X, y).predict_proba(X)
+        # massive smoothing pushes probabilities toward 0.5
+        assert np.abs(flat - 0.5).mean() < np.abs(sharp - 0.5).mean()
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=-1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNB().fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_string_labels(self):
+        X = np.array([[-3.0], [-2.9], [3.0], [3.1]])
+        y = np.array(["a", "a", "b", "b"])
+        m = GaussianNB().fit(X, y)
+        assert list(m.predict(np.array([[-3.0], [3.0]]))) == ["a", "b"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), smoothing=st.floats(1e-12, 1.0))
+    def test_property_valid_probability_simplex(self, seed, smoothing):
+        r = np.random.default_rng(seed)
+        X = r.standard_normal((50, 3))
+        y = r.integers(0, 3, 50)
+        if np.unique(y).size < 2:
+            y[0] = (y[0] + 1) % 3
+        p = GaussianNB(var_smoothing=smoothing).fit(X, y).predict_proba(
+            r.standard_normal((20, 3))
+        )
+        assert np.isfinite(p).all()
+        assert (p >= 0).all()
+        assert np.allclose(p.sum(axis=1), 1.0)

@@ -1,0 +1,133 @@
+"""Tests for the k-nearest-neighbour learners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import KNeighborsClassifier, KNeighborsRegressor
+
+
+class TestKNNClassifier:
+    def test_learns_binary(self, binary_split):
+        Xtr, ytr, Xte, yte = binary_split
+        m = KNeighborsClassifier(n_neighbors=7).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.8
+
+    def test_learns_multiclass(self, multiclass_split):
+        Xtr, ytr, Xte, yte = multiclass_split
+        m = KNeighborsClassifier(n_neighbors=7).fit(Xtr, ytr)
+        assert (m.predict(Xte) == yte).mean() > 0.6
+        p = m.predict_proba(Xte)
+        assert p.shape == (len(yte), 3)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_k1_memorises_training_set(self, binary_split):
+        Xtr, ytr, _, _ = binary_split
+        m = KNeighborsClassifier(n_neighbors=1).fit(Xtr, ytr)
+        assert (m.predict(Xtr) == ytr).all()
+
+    def test_k_clipped_to_train_size(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        m = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        # falls back to all 3 neighbours: majority class everywhere
+        assert (m.predict(np.array([[10.0]])) == 1).all()
+
+    def test_distance_weights_break_ties_toward_closest(self):
+        # two 0-labelled points far away, one 1-labelled point adjacent:
+        # uniform k=3 votes 0, distance-weighted votes 1
+        X = np.array([[0.0], [10.0], [10.5]])
+        y = np.array([1, 0, 0])
+        q = np.array([[0.1]])
+        uni = KNeighborsClassifier(n_neighbors=3, weights="uniform").fit(X, y)
+        dist = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(X, y)
+        assert uni.predict(q)[0] == 0
+        assert dist.predict(q)[0] == 1
+
+    def test_arbitrary_label_values(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["cat", "cat", "dog", "dog"])
+        m = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert list(m.predict(np.array([[0.05], [5.05]]))) == ["cat", "dog"]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="nope")
+        m = KNeighborsClassifier(n_neighbors=0)
+        with pytest.raises(ValueError):
+            m.fit(np.zeros((3, 1)), np.array([0, 1, 0]))
+
+    def test_scale_invariance_via_standardisation(self, binary_split):
+        """Feature scaling must not change predictions (internal z-scoring)."""
+        Xtr, ytr, Xte, _ = binary_split
+        scale = np.array([1.0, 1000.0, 0.001, 1.0, 50.0, 1.0])
+        m1 = KNeighborsClassifier(n_neighbors=5).fit(Xtr, ytr)
+        m2 = KNeighborsClassifier(n_neighbors=5).fit(Xtr * scale, ytr)
+        assert (m1.predict(Xte) == m2.predict(Xte * scale)).mean() > 0.99
+
+    def test_constant_feature_is_harmless(self):
+        X = np.column_stack([np.arange(10.0), np.full(10, 3.0)])
+        y = (np.arange(10) >= 5).astype(int)
+        m = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (m.predict(X) == y).all()
+
+
+class TestKNNRegressor:
+    def test_learns_regression(self, regression_split):
+        Xtr, ytr, Xte, yte = regression_split
+        m = KNeighborsRegressor(n_neighbors=5).fit(Xtr, ytr)
+        pred = m.predict(Xte)
+        ss_res = ((pred - yte) ** 2).sum()
+        ss_tot = ((yte - yte.mean()) ** 2).sum()
+        assert 1 - ss_res / ss_tot > 0.5
+
+    def test_k1_interpolates(self, regression_split):
+        Xtr, ytr, _, _ = regression_split
+        m = KNeighborsRegressor(n_neighbors=1).fit(Xtr, ytr)
+        assert np.allclose(m.predict(Xtr), ytr)
+
+    def test_prediction_within_target_range(self, regression_split):
+        """A neighbour mean can never leave the convex hull of y."""
+        Xtr, ytr, Xte, _ = regression_split
+        m = KNeighborsRegressor(n_neighbors=9).fit(Xtr, ytr)
+        pred = m.predict(Xte)
+        assert pred.min() >= ytr.min() - 1e-9
+        assert pred.max() <= ytr.max() + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        k=st.integers(1, 12),
+        weights=st.sampled_from(["uniform", "distance"]),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_bounded_and_finite(self, k, weights, seed):
+        r = np.random.default_rng(seed)
+        X = r.standard_normal((40, 3))
+        y = r.standard_normal(40)
+        q = r.standard_normal((15, 3))
+        pred = KNeighborsRegressor(n_neighbors=k, weights=weights).fit(X, y).predict(q)
+        assert np.isfinite(pred).all()
+        assert pred.min() >= y.min() - 1e-9 and pred.max() <= y.max() + 1e-9
+
+    def test_get_params_roundtrip(self):
+        m = KNeighborsRegressor(n_neighbors=3, weights="distance")
+        p = m.get_params()
+        assert p["n_neighbors"] == 3 and p["weights"] == "distance"
+        m2 = KNeighborsRegressor(**p)
+        assert m2.n_neighbors == 3
+
+
+class TestBlockedDistances:
+    def test_blocking_matches_direct(self, monkeypatch):
+        """Chunked distance computation equals the un-chunked result."""
+        import repro.learners.neighbors as nb
+
+        r = np.random.default_rng(3)
+        X = r.standard_normal((60, 4))
+        y = r.integers(0, 2, 60)
+        q = r.standard_normal((25, 4))
+        big = KNeighborsClassifier(n_neighbors=5).fit(X, y).predict_proba(q)
+        monkeypatch.setattr(nb, "_BLOCK_ELEMS", 100)  # force many tiny blocks
+        small = KNeighborsClassifier(n_neighbors=5).fit(X, y).predict_proba(q)
+        assert np.allclose(big, small)

@@ -1,0 +1,107 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import accuracy_score, error_rate, log_loss, roc_auc_score
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, s) == 1.0
+
+    def test_inverted_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, s) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        s = rng.random(5000)
+        assert abs(roc_auc_score(y, s) - 0.5) < 0.03
+
+    def test_ties_handled(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(y, s) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # hand-computed: pairs (neg, pos): (0.4,0.3)->0, (0.4,0.9)->1,
+        # (0.2,0.3)->1, (0.2,0.9)->1 => 3/4
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.4, 0.3, 0.2, 0.9])
+        assert roc_auc_score(y, s) == pytest.approx(0.75)
+
+    def test_accepts_two_column_proba(self):
+        y = np.array([0, 1, 1, 0])
+        p = np.array([[0.8, 0.2], [0.3, 0.7], [0.1, 0.9], [0.6, 0.4]])
+        assert roc_auc_score(y, p) == roc_auc_score(y, p[:, 1])
+
+    def test_multiclass_ovr(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        p = np.eye(3)[y]  # perfect probabilities
+        assert roc_auc_score(y, p) == pytest.approx(1.0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.zeros(5), np.arange(5.0))
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        s = rng.standard_normal(200)
+        assert roc_auc_score(y, s) == pytest.approx(roc_auc_score(y, 100 * s + 3))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_complement(self, seed):
+        """AUC(y, s) + AUC(y, -s) == 1 (no ties)."""
+        rng = np.random.default_rng(seed)
+        y = np.concatenate([np.zeros(10), np.ones(10)]).astype(int)
+        s = rng.permutation(np.linspace(0, 1, 20))  # distinct scores
+        assert roc_auc_score(y, s) + roc_auc_score(y, -s) == pytest.approx(1.0)
+
+
+class TestLogLoss:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1])
+        p = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert log_loss(y, p) == pytest.approx(0.0, abs=1e-10)
+
+    def test_uniform_prediction(self):
+        y = np.array([0, 1, 2])
+        p = np.full((3, 3), 1 / 3)
+        assert log_loss(y, p) == pytest.approx(np.log(3))
+
+    def test_clipping_avoids_inf(self):
+        y = np.array([1])
+        p = np.array([[1.0, 0.0]])  # predicted zero probability for truth
+        assert np.isfinite(log_loss(y, p))
+
+    def test_labels_argument_for_missing_class(self):
+        y = np.array([0, 0, 2])  # class 1 absent
+        p = np.full((3, 3), 1 / 3)
+        assert log_loss(y, p, labels=[0, 1, 2]) == pytest.approx(np.log(3))
+
+    def test_one_dim_proba_binary(self):
+        y = np.array([0, 1])
+        assert log_loss(y, np.array([0.2, 0.8])) == pytest.approx(-np.log(0.8))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            log_loss(np.array([0, 1, 2]), np.full((3, 2), 0.5))
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)
+        assert error_rate(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(1 / 3)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.zeros(3), np.zeros(4))

@@ -1,0 +1,95 @@
+"""Tests for the additional classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    balanced_accuracy_score,
+    f1_score,
+    get_metric,
+    precision_score,
+    recall_score,
+)
+
+
+class TestPrecisionRecall:
+    def test_known_values(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        # TP=2 FP=1 FN=1
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        assert precision_score(np.array([1, 0]), np.array([0, 0])) == 0.0
+
+    def test_no_positives_in_truth(self):
+        assert recall_score(np.array([0, 0]), np.array([1, 0])) == 0.0
+
+
+class TestF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 1, 0])
+        assert f1_score(y, y) == 1.0
+
+    def test_binary_known(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_macro_averages_classes(self):
+        y_true = np.array([0, 0, 0, 1])
+        y_pred = np.array([0, 0, 0, 0])
+        # class 0: f1=8/7? p=3/4? -> p=0.75? no: all predicted 0 ->
+        # class0: p=3/4, r=1, f1=6/7; class1: 0
+        assert f1_score(y_true, y_pred, average="macro") == pytest.approx(
+            0.5 * (6 / 7)
+        )
+
+    def test_micro_equals_accuracy(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 60)
+        y_pred = rng.integers(0, 3, 60)
+        assert f1_score(y_true, y_pred, average="micro") == pytest.approx(
+            np.mean(y_true == y_pred)
+        )
+
+    def test_invalid_average(self):
+        with pytest.raises(ValueError):
+            f1_score(np.array([0, 1]), np.array([0, 1]), average="weighted")
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, 30)
+        y_pred = rng.integers(0, 2, 30)
+        if len(np.unique(y_true)) < 2:
+            return
+        for avg in ("binary", "macro", "micro"):
+            assert 0.0 <= f1_score(y_true, y_pred, average=avg) <= 1.0
+
+
+class TestBalancedAccuracy:
+    def test_balanced_case_equals_accuracy(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        # recall0 = 0.5, recall1 = 1.0
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_majority_guessing_is_half(self):
+        y_true = np.array([0] * 95 + [1] * 5)
+        y_pred = np.zeros(100, dtype=int)
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name", ["f1", "macro_f1", "micro_f1",
+                                      "balanced_accuracy"])
+    def test_registered_as_error(self, name):
+        m = get_metric(name)
+        y = np.array([0, 1, 1, 0])
+        assert m.error(y, y) == pytest.approx(0.0)
+        assert not m.needs_proba

@@ -1,0 +1,134 @@
+"""Tests for the brier / mape / spearman / q_error_p95 metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    brier_score,
+    get_metric,
+    mape,
+    spearman_rho,
+)
+
+
+class TestBrier:
+    def test_perfect_predictions_zero(self):
+        y = np.array([0, 1, 1, 0])
+        p = np.array([0.0, 1.0, 1.0, 0.0])
+        assert brier_score(y, p) == 0.0
+
+    def test_worst_predictions_one(self):
+        y = np.array([0, 1])
+        p = np.array([1.0, 0.0])
+        assert brier_score(y, p) == 1.0
+
+    def test_accepts_two_column_matrix(self):
+        y = np.array([0, 1, 1])
+        P = np.array([[0.8, 0.2], [0.3, 0.7], [0.1, 0.9]])
+        assert brier_score(y, P) == pytest.approx(
+            np.mean((P[:, 1] - y) ** 2)
+        )
+
+    def test_multiclass_one_hot(self):
+        y = np.array([0, 1, 2])
+        P = np.eye(3)
+        assert brier_score(y, P) == 0.0
+        uniform = np.full((3, 3), 1 / 3)
+        assert brier_score(y, uniform) == pytest.approx(2 / 3)
+
+    def test_multiclass_shape_check(self):
+        y = np.array([0, 1, 2])
+        with pytest.raises(ValueError, match="probabilities"):
+            brier_score(y, np.array([0.5, 0.5, 0.5]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_bounded(self, seed):
+        r = np.random.default_rng(seed)
+        y = r.integers(0, 2, 40)
+        if np.unique(y).size < 2:
+            y[0] = 1 - y[0]
+        p = r.random(40)
+        assert 0.0 <= brier_score(y, p) <= 1.0
+
+
+class TestMape:
+    def test_exact_zero(self):
+        y = np.array([1.0, 2.0, 4.0])
+        assert mape(y, y) == 0.0
+
+    def test_relative_error(self):
+        y = np.array([2.0, 4.0])
+        p = np.array([3.0, 6.0])  # 50% off each
+        assert mape(y, p) == pytest.approx(0.5)
+
+    def test_zero_targets_floored(self):
+        y = np.array([0.0, 1.0])
+        p = np.array([0.1, 1.0])
+        assert np.isfinite(mape(y, p))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(y, y**3) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(y, -y) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert spearman_rho(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_ties_handled(self):
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        p = np.array([1.0, 1.0, 2.0, 3.0])
+        assert spearman_rho(y, p) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_in_range_and_symmetric(self, seed):
+        r = np.random.default_rng(seed)
+        a, b = r.standard_normal(30), r.standard_normal(30)
+        rho = spearman_rho(a, b)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+        assert rho == pytest.approx(spearman_rho(b, a))
+
+
+class TestRegistryEntries:
+    def test_new_names_resolve(self):
+        for name in ("brier", "mape", "spearman", "q_error_p95"):
+            m = get_metric(name)
+            assert m.name == name
+
+    def test_brier_needs_proba(self):
+        assert get_metric("brier").needs_proba
+
+    def test_errors_are_minimisable(self):
+        """Better predictions => lower error for each registered metric."""
+        r = np.random.default_rng(0)
+        y = r.integers(0, 2, 100)
+        good = np.clip(y + r.normal(0, 0.1, 100), 0, 1)
+        bad = r.random(100)
+        m = get_metric("brier")
+        assert m.error(y, good) < m.error(y, bad)
+        yr = r.random(100) + 1.0
+        m = get_metric("mape")
+        assert m.error(yr, yr * 1.01) < m.error(yr, yr * 2.0)
+        m = get_metric("spearman")
+        assert m.error(yr, yr) < m.error(yr, r.random(100))
+        m = get_metric("q_error_p95")
+        assert m.error(yr, yr * 1.01) < m.error(yr, yr * 3.0)
+
+    def test_automl_fit_with_brier(self):
+        from repro import AutoML
+
+        r = np.random.default_rng(7)
+        X = r.standard_normal((250, 4))
+        y = (X[:, 0] > 0).astype(int)
+        automl = AutoML(init_sample_size=100)
+        automl.fit(X, y, task="binary", metric="brier", time_budget=1.0,
+                   max_iters=8, estimator_list=["lgbm"])
+        assert 0.0 <= automl.best_loss <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for the metric registry / custom metric wrapping."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Metric, default_metric_name, get_metric, make_metric
+
+
+class TestRegistry:
+    def test_default_per_task(self):
+        assert default_metric_name("binary") == "roc_auc"
+        assert default_metric_name("multiclass") == "log_loss"
+        assert default_metric_name("regression") == "r2"
+
+    def test_auto_resolution(self):
+        m = get_metric("auto", task="binary")
+        assert m.name == "roc_auc"
+        assert m.needs_proba
+
+    def test_auto_without_task_raises(self):
+        with pytest.raises(ValueError):
+            get_metric("auto")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("nope")
+
+    def test_auc_error_is_one_minus_auc(self):
+        m = get_metric("roc_auc")
+        y = np.array([0, 0, 1, 1])
+        p = np.array([[0.9, 0.1], [0.8, 0.2], [0.2, 0.8], [0.1, 0.9]])
+        assert m.error(y, p) == pytest.approx(0.0)
+
+    def test_r2_error_is_one_minus_r2(self):
+        m = get_metric("r2")
+        y = np.array([1.0, 2.0, 3.0])
+        assert m.error(y, y) == pytest.approx(0.0)
+        assert m.error(y, np.full(3, 2.0)) == pytest.approx(1.0)
+
+    def test_metric_passthrough(self):
+        m = get_metric("mse")
+        assert get_metric(m) is m
+
+
+class TestCustomMetrics:
+    def test_callable_is_wrapped(self):
+        def my_error(y_true, pred):
+            return float(np.mean(np.abs(y_true - pred)))
+
+        m = get_metric(my_error)
+        assert isinstance(m, Metric)
+        assert m.name == "my_error"
+        assert m.error(np.array([1.0]), np.array([3.0])) == pytest.approx(2.0)
+
+    def test_greater_is_better_negated(self):
+        score = lambda yt, p: float((yt == p).mean())
+        m = make_metric(score, name="acc", greater_is_better=True)
+        y = np.array([1, 1, 0])
+        assert m.error(y, y) == pytest.approx(-1.0)
+
+    def test_needs_proba_attribute_respected(self):
+        def proba_metric(y_true, proba):
+            return 0.0
+
+        proba_metric.needs_proba = True
+        m = get_metric(proba_metric)
+        assert m.needs_proba

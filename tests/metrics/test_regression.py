@@ -1,0 +1,75 @@
+"""Tests for regression metrics and q-error."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import mae, mse, q_error, q_error_percentile, r2_score, rmse
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 2.0, 1.0])) < 0
+
+    def test_constant_target(self):
+        y = np.full(5, 4.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_r2_at_most_one(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.standard_normal(30)
+        p = rng.standard_normal(30)
+        assert r2_score(y, p) <= 1.0 + 1e-12
+
+
+class TestBasicErrors:
+    def test_mse_rmse_mae(self):
+        y = np.array([0.0, 0.0])
+        p = np.array([3.0, 4.0])
+        assert mse(y, p) == pytest.approx(12.5)
+        assert rmse(y, p) == pytest.approx(np.sqrt(12.5))
+        assert mae(y, p) == pytest.approx(3.5)
+
+
+class TestQError:
+    def test_exact_prediction_is_one(self):
+        s = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(q_error(s, s), 1.0)
+
+    def test_symmetry(self):
+        t = np.array([0.1])
+        p = np.array([0.4])
+        assert q_error(t, p) == pytest.approx(q_error(p, t))
+
+    def test_known_value(self):
+        assert q_error(np.array([0.01]), np.array([0.05]))[0] == pytest.approx(5.0)
+
+    def test_floor_prevents_blowup(self):
+        e = q_error(np.array([0.0]), np.array([0.5]), floor=1e-3)
+        assert np.isfinite(e[0])
+        assert e[0] == pytest.approx(500.0)
+
+    def test_percentile(self):
+        t = np.ones(100) * 0.1
+        p = t.copy()
+        p[-1] = 0.9  # one outlier with q-error 9
+        assert q_error_percentile(t, p, 95) < 9.0
+        assert q_error_percentile(t, p, 100) == pytest.approx(9.0)
+
+    @given(st.floats(0.001, 1.0), st.floats(0.001, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_at_least_one(self, t, p):
+        assert q_error(np.array([t]), np.array([p]))[0] >= 1.0
