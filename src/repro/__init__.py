@@ -8,9 +8,11 @@ Public entry point::
     automl.fit(X_train, y_train, task="classification", time_budget=60)
     prediction = automl.predict(X_test)
 
-Subpackages: ``core`` (the AutoML layer), ``learners`` (the ML layer),
-``metrics``, ``data`` (benchmark suite + selectivity substrate),
-``baselines`` (comparator AutoML systems), ``bench`` (experiment harness).
+Subpackages: ``core`` (the AutoML layer), ``exec`` (pluggable
+trial-execution engine: serial/thread/process backends + trial cache),
+``learners`` (the ML layer), ``metrics``, ``data`` (benchmark suite +
+selectivity substrate), ``baselines`` (comparator AutoML systems),
+``bench`` (experiment harness).
 """
 
 from .core.automl import AutoML

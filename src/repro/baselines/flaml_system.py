@@ -35,6 +35,9 @@ class FLAMLSystem(AutoMLSystem):
         cv_instance_threshold: int = 100_000,
         cv_rate_threshold: float = 10e6 / 3600.0,
         fitted_cost_model: bool = False,
+        n_workers: int = 1,
+        backend: str | None = None,
+        trial_cache: bool = True,
         name: str | None = None,
     ) -> None:
         self.estimator_list = estimator_list
@@ -47,16 +50,24 @@ class FLAMLSystem(AutoMLSystem):
         self.cv_instance_threshold = cv_instance_threshold
         self.cv_rate_threshold = cv_rate_threshold
         self.fitted_cost_model = fitted_cost_model
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self.trial_cache = bool(trial_cache)
         if name:
             self.name = name
 
     def search(self, data: Dataset, metric: Metric, time_budget: float,
                seed: int = 0) -> SearchResult:
-        """Run FLAML's controller within the budget."""
-        controller = SearchController(
-            data,
-            self._learners(data.task, self.estimator_list),
-            metric,
+        """Run FLAML's controller within the budget.
+
+        ``n_workers > 1`` (or an explicit non-serial ``backend``) runs
+        the search over the parallel controller on the chosen
+        :mod:`repro.exec` substrate instead of the sequential loop.
+        """
+        backend = self.backend
+        if backend is None:
+            backend = "serial" if self.n_workers == 1 else "thread"
+        common = dict(
             time_budget=time_budget,
             seed=seed,
             init_sample_size=self.init_sample_size,
@@ -64,11 +75,28 @@ class FLAMLSystem(AutoMLSystem):
             learner_selection=self.learner_selection,
             use_sampling=self.use_sampling,
             resampling_override=self.resampling_override,
-            random_init=self.random_init,
             cv_instance_threshold=self.cv_instance_threshold,
             cv_rate_threshold=self.cv_rate_threshold,
             fitted_cost_model=self.fitted_cost_model,
+            trial_cache=self.trial_cache,
         )
+        learners = self._learners(data.task, self.estimator_list)
+        if backend == "serial" and self.n_workers == 1:
+            controller = SearchController(
+                data, learners, metric,
+                random_init=self.random_init,
+                **common,
+            )
+        else:
+            from ..core.parallel import ParallelSearchController
+
+            controller = ParallelSearchController(
+                data, learners, metric,
+                n_workers=self.n_workers,
+                backend=backend,
+                random_init=self.random_init,
+                **common,
+            )
         return controller.run()
 
 

@@ -35,6 +35,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--folds", type=int, default=1,
                    help="outer folds to average (default 1, paper uses 10)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--n-workers", type=int, default=1,
+                   help="concurrent trials for FLAML's executor (default 1)")
+    p.add_argument("--backend", default=None,
+                   choices=["serial", "thread", "process", "virtual"],
+                   help="FLAML trial-execution backend (default: serial, "
+                        "or thread when --n-workers > 1)")
     p.add_argument("--list", action="store_true",
                    help="list suite datasets and exit")
     return p
@@ -62,7 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         names = ["blood-transfusion", "phoneme", "adult",
                  "vehicle", "segment", "connect-4",
                  "houses", "fried", "bng_pbc"]
-    systems = default_systems(include=tuple(args.systems) if args.systems else None)
+    systems = default_systems(
+        include=tuple(args.systems) if args.systems else None,
+        n_workers=args.n_workers, backend=args.backend,
+    )
     if not systems:
         print("no matching systems", file=sys.stderr)
         return 2

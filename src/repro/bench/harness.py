@@ -48,11 +48,20 @@ SCALED_THRESHOLDS = dict(
 
 
 def default_systems(
-    flaml_init_sample: int = 250, include: tuple[str, ...] | None = None
+    flaml_init_sample: int = 250, include: tuple[str, ...] | None = None,
+    n_workers: int = 1, backend: str | None = None,
 ) -> dict[str, AutoMLSystem]:
-    """The paper's §5.1 roster, configured for the scaled suite."""
+    """The paper's §5.1 roster, configured for the scaled suite.
+
+    ``n_workers``/``backend`` configure FLAML's trial-execution engine
+    (the baselines stay sequential — they have no parallel story to
+    reproduce), e.g. ``n_workers=4, backend="process"`` benchmarks the
+    multi-core search.
+    """
     roster: dict[str, AutoMLSystem] = {
-        "FLAML": FLAMLSystem(init_sample_size=flaml_init_sample, **SCALED_THRESHOLDS),
+        "FLAML": FLAMLSystem(init_sample_size=flaml_init_sample,
+                             n_workers=n_workers, backend=backend,
+                             **SCALED_THRESHOLDS),
         "Auto-sklearn": AutoSklearnLike(**SCALED_THRESHOLDS),
         "Cloud-automl": CloudAutoMLLike(startup_overhead=0.5, **SCALED_THRESHOLDS),
         "HpBandSter": BOHB(min_sample=flaml_init_sample, **SCALED_THRESHOLDS),

@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="estimator subset, e.g. lgbm xgboost")
     fit.add_argument("--seed", type=int, default=0)
     fit.add_argument("--max-iters", type=int, default=None)
+    fit.add_argument("--n-workers", type=int, default=1,
+                     help="concurrent trials (default 1: sequential search)")
+    fit.add_argument("--backend", default=None,
+                     choices=["serial", "thread", "process", "virtual"],
+                     help="trial-execution backend (default: serial, or "
+                          "thread when --n-workers > 1)")
     fit.add_argument("--out", default="model.json",
                      help="model file to write (default model.json)")
     fit.add_argument("--pickle", action="store_true",
@@ -112,6 +118,8 @@ def _cmd_fit(args) -> int:
         metric=args.metric,
         estimator_list=args.estimators,
         max_iters=args.max_iters,
+        n_workers=args.n_workers,
+        backend=args.backend,
         log_file=args.log,
     )
     model = {
@@ -133,9 +141,12 @@ def _cmd_fit(args) -> int:
             pickle.dump(automl.model, f)
     if args.save_model:
         automl.save_model(args.out + ".model.json")
+    result = automl.search_result
     print(f"best learner : {automl.best_estimator}")
     print(f"best error   : {automl.best_loss:.4f}")
-    print(f"trials       : {automl.search_result.n_trials}")
+    print(f"trials       : {result.n_trials} "
+          f"({result.cache_hits} cache hits, backend={result.backend} "
+          f"x{result.n_workers})")
     print(f"model        : {args.out}")
     return 0
 

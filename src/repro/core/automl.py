@@ -165,6 +165,10 @@ class AutoML:
         fitted_cost_model: bool = False,
         preprocessor=None,
         log_file: str | None = None,
+        n_workers: int = 1,
+        backend: str | None = None,
+        trial_cache: bool = True,
+        trial_time_limit: float | None = None,
     ) -> "AutoML":
         """Search for an accurate model within ``time_budget`` seconds.
 
@@ -183,7 +187,24 @@ class AutoML:
         a previously fitted ``AutoML`` — by seeding each learner's FLOW2
         with that run's best config (the §1 scenario of re-tuning on
         refreshed data); explicit ``starting_points`` win on conflicts.
-        Returns ``self``.
+
+        ``n_workers``/``backend`` choose the trial-execution substrate
+        (:mod:`repro.exec`): the default is the sequential controller on
+        the serial backend; ``n_workers > 1`` runs up to that many trials
+        concurrently on a ``"thread"`` (default) or ``"process"`` pool —
+        ``"process"`` gives true multi-core parallelism but requires
+        picklable learners/metrics — and ``backend="virtual"`` simulates
+        ``n_workers`` workers on a virtual clock.  Parallel backends do
+        not retain evaluated models, so ``retrain_full=False`` only
+        takes effect on the default sequential path; with ``n_workers >
+        1`` the winner is always retrained on the full data.
+        ``trial_cache`` enables the LRU trial cache (repeated proposals
+        are free; see ``search_result.cache_hits``) and
+        ``trial_time_limit`` bounds any single trial in seconds — a hard
+        limit on thread/process backends (an overdue trial is abandoned
+        as inf-error), advisory on serial/virtual ones, where trials run
+        inline and stop early only if the learner honours its
+        ``train_time_limit``.  Returns ``self``.
         """
         seed = self.seed if seed is None else int(seed)
         t0 = time.perf_counter()
@@ -203,27 +224,61 @@ class AutoML:
         if resume_from is not None:
             resumed = _starting_points_from(resume_from)
             starting_points = {**resumed, **(starting_points or {})}
-        controller = SearchController(
-            data,
-            learners,
-            metric_obj,
-            time_budget=time_budget,
-            seed=seed,
-            init_sample_size=self.init_sample_size,
-            sample_growth=self.sample_growth,
-            n_splits=n_splits,
-            holdout_ratio=holdout_ratio,
-            learner_selection=learner_selection,
-            use_sampling=use_sampling,
-            resampling_override=resampling,
-            cv_instance_threshold=cv_instance_threshold,
-            cv_rate_threshold=cv_rate_threshold,
-            max_iters=max_iters,
-            keep_models=not retrain_full,
-            stop_at_error=stop_at_error,
-            starting_points=starting_points,
-            fitted_cost_model=fitted_cost_model,
-        )
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if backend is None:
+            backend = "serial" if n_workers == 1 else "thread"
+        if backend == "serial" and n_workers == 1:
+            controller = SearchController(
+                data,
+                learners,
+                metric_obj,
+                time_budget=time_budget,
+                seed=seed,
+                init_sample_size=self.init_sample_size,
+                sample_growth=self.sample_growth,
+                n_splits=n_splits,
+                holdout_ratio=holdout_ratio,
+                learner_selection=learner_selection,
+                use_sampling=use_sampling,
+                resampling_override=resampling,
+                cv_instance_threshold=cv_instance_threshold,
+                cv_rate_threshold=cv_rate_threshold,
+                max_iters=max_iters,
+                keep_models=not retrain_full,
+                stop_at_error=stop_at_error,
+                starting_points=starting_points,
+                fitted_cost_model=fitted_cost_model,
+                trial_cache=trial_cache,
+                trial_time_limit=trial_time_limit,
+            )
+        else:
+            from .parallel import ParallelSearchController
+
+            controller = ParallelSearchController(
+                data,
+                learners,
+                metric_obj,
+                time_budget=time_budget,
+                n_workers=n_workers,
+                seed=seed,
+                init_sample_size=self.init_sample_size,
+                sample_growth=self.sample_growth,
+                n_splits=n_splits,
+                holdout_ratio=holdout_ratio,
+                learner_selection=learner_selection,
+                use_sampling=use_sampling,
+                resampling_override=resampling,
+                cv_instance_threshold=cv_instance_threshold,
+                cv_rate_threshold=cv_rate_threshold,
+                max_trials=max_iters if max_iters is not None else 10_000,
+                stop_at_error=stop_at_error,
+                starting_points=starting_points,
+                fitted_cost_model=fitted_cost_model,
+                backend=backend,
+                trial_cache=trial_cache,
+                trial_time_limit=trial_time_limit,
+            )
         self._result = controller.run()
         if log_file:
             from .serialize import save_result

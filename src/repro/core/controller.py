@@ -12,6 +12,12 @@ The controller also implements the ablation variants of §5.2 as flags:
 ``learner_selection='roundrobin'``, ``use_sampling=False`` (fulldata), and
 ``resampling_override='cv'`` — used by
 ``repro.baselines.flaml_system.make_ablation``.
+
+Trials are submitted through the :mod:`repro.exec` engine rather than
+executed inline: the backend is pluggable (serial here — this loop is
+sequential by design; :class:`~repro.core.parallel.ParallelSearchController`
+drives thread/process pools) and an LRU trial cache short-circuits
+repeated proposals.
 """
 
 from __future__ import annotations
@@ -22,9 +28,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..exec import ExecutionEngine, SerialExecutor, TrialCache, TrialExecutor, TrialSpec
 from ..metrics.registry import Metric
 from .eci import LearnerProposer
-from .evaluate import evaluate_config
 from .registry import LearnerSpec
 from .resampling import choose_resampling
 from .searchstate import SearchThread
@@ -51,7 +57,12 @@ class TrialRecord:
 
 @dataclass
 class SearchResult:
-    """Outcome of a controller run."""
+    """Outcome of a controller run.
+
+    ``cache_hits`` counts trials answered by the trial cache without any
+    training; ``backend``/``n_workers`` record the execution substrate
+    the search ran on.
+    """
 
     best_learner: str | None
     best_config: dict | None
@@ -61,6 +72,9 @@ class SearchResult:
     trials: list[TrialRecord]
     wall_time: float
     best_model: object | None = None
+    cache_hits: int = 0
+    backend: str = "serial"
+    n_workers: int = 1
 
     @property
     def n_trials(self) -> int:
@@ -68,7 +82,35 @@ class SearchResult:
         return len(self.trials)
 
 
-class SearchController:
+class LearnerSelectionMixin:
+    """Step 1, shared by the sequential and parallel controllers: pick
+    the next learner under ``learner_selection`` ('eci' samples with
+    P ∝ 1/ECI; the other modes are the §5.2 ablations).
+
+    Requires ``self.learners``, ``self.proposer``, ``self.learner_selection``
+    and an ``self._rr_index`` roundrobin pointer.
+    """
+
+    SELECTION_MODES = ("eci", "roundrobin", "eci-argmin")
+
+    @classmethod
+    def check_selection(cls, learner_selection: str) -> None:
+        """Validate a ``learner_selection`` mode name."""
+        if learner_selection not in cls.SELECTION_MODES:
+            raise ValueError(f"unknown learner_selection {learner_selection!r}")
+
+    def _next_learner(self) -> str:
+        if self.learner_selection == "roundrobin":
+            names = list(self.learners)
+            name = names[self._rr_index % len(names)]
+            self._rr_index += 1
+            return name
+        if self.learner_selection == "eci-argmin":
+            return self.proposer.propose_argmin()
+        return self.proposer.propose()
+
+
+class SearchController(LearnerSelectionMixin):
     """Budget-constrained trial loop over a set of learners."""
 
     def __init__(
@@ -93,9 +135,11 @@ class SearchController:
         stop_at_error: float | None = None,
         starting_points: dict[str, dict] | None = None,
         fitted_cost_model: bool = False,
+        executor: TrialExecutor | None = None,
+        trial_cache: TrialCache | bool = True,
+        trial_time_limit: float | None = None,
     ) -> None:
-        if learner_selection not in ("eci", "roundrobin", "eci-argmin"):
-            raise ValueError(f"unknown learner_selection {learner_selection!r}")
+        self.check_selection(learner_selection)
         if time_budget <= 0:
             raise ValueError("time_budget must be positive")
         if not learners:
@@ -148,20 +192,30 @@ class SearchController:
         }
         self._labels = np.unique(data.y) if data.is_classification else None
         self._rr_index = 0  # roundrobin pointer
+        # trials go through the execution engine: a pluggable backend
+        # (serial by default — this controller's loop is sequential) plus
+        # the trial cache that makes repeated proposals free
+        own_executor = executor is None
+        if isinstance(trial_cache, TrialCache):
+            cache = trial_cache
+        else:
+            cache = TrialCache() if trial_cache else None
+        self.engine = ExecutionEngine(
+            executor if executor is not None else SerialExecutor(data),
+            cache=cache,
+            trial_time_limit=trial_time_limit,
+            own_executor=own_executor,
+        )
 
     # ------------------------------------------------------------------
-    def _next_learner(self) -> str:
-        if self.learner_selection == "roundrobin":
-            names = list(self.learners)
-            name = names[self._rr_index % len(names)]
-            self._rr_index += 1
-            return name
-        if self.learner_selection == "eci-argmin":
-            return self.proposer.propose_argmin()
-        return self.proposer.propose()
-
     def run(self) -> SearchResult:
         """Execute the budgeted trial loop and return the SearchResult."""
+        try:
+            return self._run()
+        finally:
+            self.engine.shutdown()
+
+    def _run(self) -> SearchResult:
         start = time.perf_counter()
         trials: list[TrialRecord] = []
         best_error = np.inf
@@ -179,10 +233,12 @@ class SearchController:
             thread = self.threads[learner]
             config, s, kind = thread.propose(self.proposer.states[learner])
             remaining = self.time_budget - (time.perf_counter() - start)
-            outcome = evaluate_config(
-                self.data,
-                self.learners[learner].estimator_cls(self.data.task),
-                config,
+            if self.engine.trial_time_limit is not None:
+                remaining = min(remaining, self.engine.trial_time_limit)
+            spec = TrialSpec(
+                learner=learner,
+                estimator_cls=self.learners[learner].estimator_cls(self.data.task),
+                config=config,
                 sample_size=s,
                 resampling=self.resampling,
                 metric=self.metric,
@@ -192,6 +248,7 @@ class SearchController:
                 train_time_limit=max(remaining, 0.01),
                 labels=self._labels,
             )
+            outcome = self.engine.run(spec)
             thread.tell(outcome.error)
             self.proposer.record(learner, outcome.error, outcome.cost,
                                  sample_size=s)
@@ -227,4 +284,7 @@ class SearchController:
             trials=trials,
             wall_time=time.perf_counter() - start,
             best_model=best_model,
+            cache_hits=self.engine.cache_hits,
+            backend=self.engine.backend,
+            n_workers=self.engine.n_workers,
         )

@@ -9,8 +9,10 @@ quantity FLAML's ECI reasons about.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -29,18 +31,50 @@ class TrialOutcome:
     model: object | None
 
 
+@lru_cache(maxsize=None)
+def _accepted_extras(cls: type) -> frozenset[str] | None:
+    """Which of {seed, train_time_limit} ``cls(...)`` accepts, decided by
+    signature inspection; None if the signature is unavailable."""
+    try:
+        sig = inspect.signature(cls)
+    except (TypeError, ValueError):
+        return None
+    params = sig.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return frozenset({"seed", "train_time_limit"})
+    return frozenset({"seed", "train_time_limit"} & sig.parameters.keys())
+
+
 def _make_estimator(cls: type, config: dict, seed: int,
                     train_time_limit: float | None):
-    """Instantiate, forwarding seed/time-limit only if the class accepts them."""
+    """Instantiate, forwarding seed/time-limit only if the class accepts them.
+
+    Acceptance is decided by inspecting the constructor signature, not by
+    catching TypeError on trial instantiations: a blind retry chain would
+    also swallow TypeErrors raised *inside* ``__init__`` (e.g. a genuinely
+    bad hyperparameter value) and mask the real bug by silently dropping
+    kwargs.  Such errors now propagate to the caller, where
+    ``evaluate_config`` records them as a failed (inf-error) trial.
+    """
     kwargs = dict(config)
-    try:
-        return cls(**kwargs, seed=seed, train_time_limit=train_time_limit)
-    except TypeError:
-        pass
-    try:
-        return cls(**kwargs, seed=seed)
-    except TypeError:
-        return cls(**kwargs)
+    accepted = _accepted_extras(cls)
+    if accepted is None:
+        # signature not introspectable (e.g. a C-extension class): fall
+        # back to the legacy retry chain — full kwarg set, then
+        # seed-only, then the bare config
+        try:
+            return cls(**kwargs, seed=seed, train_time_limit=train_time_limit)
+        except TypeError:
+            pass
+        try:
+            return cls(**kwargs, seed=seed)
+        except TypeError:
+            return cls(**kwargs)
+    if "seed" in accepted:
+        kwargs["seed"] = seed
+    if "train_time_limit" in accepted:
+        kwargs["train_time_limit"] = train_time_limit
+    return cls(**kwargs)
 
 
 def _predict_for_metric(model, X: np.ndarray, metric: Metric, task: str):

@@ -9,11 +9,13 @@ only the *relative order* of two trials as feedback:
   and propose ``best + step*u``; if that does not improve, propose the
   opposite point ``best - step*u``;
 * the initial step size is ``0.1 * sqrt(d)`` (upper-bounded by ``sqrt(d)``);
-  after ``2^{d-1}`` (capped) consecutive non-improving iterations the step
-  is discounted by the paper's reduction ratio — the ratio between total
+  a winning comparison (a proposal that beats a finite incumbent) doubles
+  the step (capped at the upper bound) so runs of wins accelerate; after
+  ``2^{d-1}`` (capped) consecutive non-improving iterations the step is
+  discounted by the paper's reduction ratio — the ratio between total
   iterations since the last restart and iterations needed to find the
-  current best — until it hits a lower bound, at which point the search
-  has *converged*;
+  current best — and clamped at a lower bound; once it sits at the lower
+  bound the search has *converged*;
 * on convergence the caller may ``restart()`` from a random point to
   escape local optima (FLAML does this and also resets the sample size).
 
@@ -120,6 +122,11 @@ class FLOW2:
         self._iters_since_restart += 1
         improved = error < self.best_error
         if improved:
+            # a genuine win (beating a finite incumbent, not the first
+            # evaluation of the init point) doubles the step, capped at
+            # the upper bound — the ONLY way the step ever grows
+            if adapt and np.isfinite(self.best_error):
+                self.step = min(self.step * 2.0, self._step_ub)
             self.best_error = float(error)
             self.best_unit = self._pending_unit.copy()
             self._iters_to_best = self._iters_since_restart
@@ -142,7 +149,9 @@ class FLOW2:
             # the paper's discount is "a reduction ratio > 1"; clamp so a
             # lucky first iteration cannot collapse the step instantly
             ratio = float(np.clip(ratio, 1.5, 4.0))
-            self.step = max(self.step / ratio, 0.0)
+            # clamp at the lower bound (convergence = sitting on it)
+            # rather than decaying through it
+            self.step = max(self.step / ratio, self.step_lower_bound)
 
     # ------------------------------------------------------------------
     def reset_baseline(self, error: float) -> None:

@@ -1,4 +1,4 @@
-"""Parallel search threads (paper appendix) — simulated scheduler.
+"""Parallel search threads (paper appendix) on a pluggable executor.
 
 The appendix: "After choosing one learner based on ECI to perform one
 search iteration, if there are extra available resources, we can sample
@@ -7,36 +7,61 @@ learner finishes, the resource is released and we select a learner again
 using updated ECIs. ... the multiple search threads are largely
 independent and do not interfere with each other."
 
-This environment has one core, so true parallelism is *simulated*: trials
-execute sequentially, but the scheduler maintains ``n_workers`` virtual
-workers and assigns each trial a virtual start/finish time; ECI updates
-become visible only at a trial's virtual finish, exactly as they would on
-real hardware.  The returned trial log carries virtual ``automl_time``
-values, so anytime curves reflect the parallel wall clock.  (DESIGN.md §2
-documents this substitution: multi-core hardware -> virtual-time
-scheduler exercising the same proposer logic.)
+Two scheduling policies share the same proposer logic and the same
+:mod:`repro.exec` engine:
+
+* ``backend="virtual"`` (default) — the simulated scheduler: trials
+  execute sequentially through a serial executor, but ``n_workers``
+  virtual workers carry virtual start/finish times and ECI feedback only
+  becomes visible at a trial's virtual finish, exactly as on real
+  hardware.  The trial log carries virtual ``automl_time`` values, so
+  anytime curves reflect the parallel wall clock.
+* ``backend="serial" | "thread" | "process"`` — real execution: up to
+  ``n_workers`` trials are genuinely in flight on the chosen substrate
+  ("process" delivers true multi-core parallelism with crash isolation).
+  Completions are *committed in launch order* (a deterministic pipeline):
+  execution overlaps freely, but feedback, trial numbering, and therefore
+  the proposal sequence do not depend on racy completion order — fixed
+  seeds give reproducible trial logs on any backend.
+
+Both policies inherit the engine's trial cache (repeated proposals are
+free; see ``SearchResult.cache_hits``) and per-trial time limits (an
+overdue or crashed trial records an inf-error entry instead of killing
+the search).
 """
 
 from __future__ import annotations
 
 import heapq
+import time
+from collections import deque
 
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..exec import (
+    ExecutionEngine,
+    SerialExecutor,
+    TrialCache,
+    TrialExecutor,
+    TrialSpec,
+    make_executor,
+)
 from ..metrics.registry import Metric
-from .controller import SearchResult, TrialRecord
+from .controller import LearnerSelectionMixin, SearchResult, TrialRecord
 from .eci import LearnerProposer
-from .evaluate import evaluate_config
 from .registry import LearnerSpec
 from .resampling import choose_resampling
 from .searchstate import SearchThread
 
 __all__ = ["ParallelSearchController"]
 
+#: executor-backed backends; "virtual" simulates the wall clock instead
+REAL_BACKENDS = ("serial", "thread", "process")
 
-class ParallelSearchController:
-    """ECI-scheduled search over ``n_workers`` virtual workers."""
+
+class ParallelSearchController(LearnerSelectionMixin):
+    """ECI-scheduled search over ``n_workers`` workers (virtual or real)."""
 
     def __init__(
         self,
@@ -50,13 +75,31 @@ class ParallelSearchController:
         sample_growth: float = 2.0,
         n_splits: int = 5,
         holdout_ratio: float = 0.1,
+        learner_selection: str = "eci",
+        use_sampling: bool = True,
         resampling_override: str | None = None,
+        random_init: bool = False,
         cv_instance_threshold: int = 100_000,
         cv_rate_threshold: float = 10e6 / 3600.0,
         max_trials: int = 10_000,
+        stop_at_error: float | None = None,
+        starting_points: dict[str, dict] | None = None,
+        fitted_cost_model: bool = False,
+        backend: str = "virtual",
+        executor: TrialExecutor | None = None,
+        trial_cache: TrialCache | bool = True,
+        trial_time_limit: float | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if backend not in ("virtual",) + REAL_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: virtual, "
+                + ", ".join(REAL_BACKENDS)
+            )
+        self.check_selection(learner_selection)
+        if not learners:
+            raise ValueError("need at least one learner")
         self.data = data
         self.learners = dict(learners)
         self.metric = metric
@@ -65,7 +108,10 @@ class ParallelSearchController:
         self.seed = seed
         self.n_splits = n_splits
         self.holdout_ratio = holdout_ratio
+        self.learner_selection = learner_selection
         self.max_trials = max_trials
+        self.stop_at_error = stop_at_error
+        self.backend = backend
         self.rng = np.random.default_rng(seed)
         self.resampling = resampling_override or choose_resampling(
             data.n, data.d, time_budget,
@@ -75,106 +121,246 @@ class ParallelSearchController:
         self.proposer = LearnerProposer(
             list(learners), self.rng, c=sample_growth,
             cost_constants={n: s.cost_constant for n, s in learners.items()},
+            fitted_cost_model=fitted_cost_model,
         )
         # idle-thread pool per learner; a learner with all threads busy gets
         # a NEW thread from a different random starting point (appendix:
         # "one learner can also have multiple search threads by using
-        # different starting points")
+        # different starting points").  The first thread of the i-th
+        # learner is seeded exactly like SearchController's (seed + i), so
+        # an n_workers=1 run reproduces the sequential controller's log.
         self._init_sample_size = init_sample_size
         self._sample_growth = sample_growth
+        self._use_sampling = bool(use_sampling)
+        self._random_init = bool(random_init)
         self._idle: dict[str, list[SearchThread]] = {}
-        self._thread_count = 0
-        for name, spec in learners.items():
-            self._idle[name] = [self._new_thread(name, spec)]
+        self._extra_threads = 0
+        for i, (name, spec) in enumerate(learners.items()):
+            self._idle[name] = [
+                self._make_thread(
+                    name, spec, seed=seed + i,
+                    starting_point=(starting_points or {}).get(name),
+                )
+            ]
         self._labels = np.unique(data.y) if data.is_classification else None
+        self._rr_index = 0  # roundrobin pointer
+        own_executor = executor is None
+        if executor is None:
+            real = backend if backend in REAL_BACKENDS else "serial"
+            executor = make_executor(
+                real, data, n_workers=self.n_workers if real != "serial" else 1
+            )
+        if isinstance(trial_cache, TrialCache):
+            cache = trial_cache
+        else:
+            cache = TrialCache() if trial_cache else None
+        self.engine = ExecutionEngine(
+            executor, cache=cache, trial_time_limit=trial_time_limit,
+            own_executor=own_executor,
+        )
 
-    def _new_thread(self, name: str, spec: LearnerSpec) -> SearchThread:
-        self._thread_count += 1
+    # ------------------------------------------------------------------
+    def _make_thread(self, name: str, spec: LearnerSpec, seed: int,
+                     starting_point: dict | None = None) -> SearchThread:
         return SearchThread(
             name, spec.space_fn(self.data.n, self.data.task),
             full_size=self.data.n,
             init_sample_size=self._init_sample_size,
             sample_growth=self._sample_growth,
-            seed=self.seed + 1000 * self._thread_count,
+            seed=seed,
+            use_sampling=self._use_sampling,
+            random_init=self._random_init,
+            starting_point=starting_point,
         )
 
-    # ------------------------------------------------------------------
-    def _launch(self, now: float):
-        """Pick a learner by current ECI and execute its next trial; the
-        trial's virtual finish time is now + measured cost."""
-        learner = self.proposer.propose()
+    def _extra_thread(self, name: str) -> SearchThread:
+        self._extra_threads += 1
+        return self._make_thread(
+            name, self.learners[name], seed=self.seed + 1000 * self._extra_threads
+        )
+
+    def _propose(self, train_time_limit: float):
+        """Pick (learner, thread, config, s, kind) and build the spec."""
+        learner = self._next_learner()
         pool = self._idle[learner]
-        thread = pool.pop() if pool else self._new_thread(
-            learner, self.learners[learner]
-        )
+        thread = pool.pop() if pool else self._extra_thread(learner)
         config, s, kind = thread.propose(self.proposer.states[learner])
-        outcome = evaluate_config(
-            self.data,
-            self.learners[learner].estimator_cls(self.data.task),
-            config, sample_size=s, resampling=self.resampling,
-            metric=self.metric, n_splits=self.n_splits,
-            holdout_ratio=self.holdout_ratio, seed=self.seed,
-            train_time_limit=self.time_budget, labels=self._labels,
+        limit = train_time_limit
+        if self.engine.trial_time_limit is not None:
+            limit = min(limit, self.engine.trial_time_limit)
+        spec = TrialSpec(
+            learner=learner,
+            estimator_cls=self.learners[learner].estimator_cls(self.data.task),
+            config=config,
+            sample_size=s,
+            resampling=self.resampling,
+            metric=self.metric,
+            n_splits=self.n_splits,
+            holdout_ratio=self.holdout_ratio,
+            seed=self.seed,
+            train_time_limit=max(limit, 0.01),
+            labels=self._labels,
         )
-        return learner, thread, config, s, kind, outcome, now + outcome.cost
+        return learner, thread, config, s, kind, spec
 
-    def run(self) -> SearchResult:
-        """Event-driven simulation: a heap of (finish_time, worker) events."""
-        trials: list[TrialRecord] = []
-        best_error = np.inf
-        best = (None, None, 0)
-        # (finish_time, seq, payload) events; one outstanding trial per worker
-        events: list = []
-        seq = 0
-        launched = 0
-        for _ in range(self.n_workers):
-            if launched >= self.max_trials:
-                break
-            payload = self._launch(0.0)
-            heapq.heappush(events, (payload[-1], seq, payload))
-            seq += 1
-            launched += 1
-        while events:
-            finish, _, payload = heapq.heappop(events)
-            learner, thread, config, s, kind, outcome, _ = payload
-            # feedback becomes visible at the trial's virtual finish; the
-            # thread returns to the learner's idle pool afterwards
-            thread.tell(outcome.error)
-            self._idle[learner].append(thread)
-            self.proposer.record(learner, outcome.error, outcome.cost)
-            improved = outcome.error < best_error
-            if improved:
-                best_error = outcome.error
-                best = (learner, config, s)
-            trials.append(
-                TrialRecord(
-                    iteration=len(trials) + 1,
-                    automl_time=finish,
-                    learner=learner,
-                    config=dict(config),
-                    sample_size=s,
-                    resampling=self.resampling,
-                    error=outcome.error,
-                    cost=outcome.cost,
-                    kind=kind,
-                    improved_global=improved,
-                    eci_snapshot=self.proposer.eci_values(),
-                )
+    def _commit(self, trials: list[TrialRecord], state: dict,
+                learner: str, thread: SearchThread, config: dict, s: int,
+                kind: str, outcome, automl_time: float) -> None:
+        """Feed one finished trial back and append its log record."""
+        thread.tell(outcome.error)
+        self._idle[learner].append(thread)
+        self.proposer.record(learner, outcome.error, outcome.cost,
+                             sample_size=s)
+        improved = outcome.error < state["best_error"]
+        if improved:
+            state["best_error"] = outcome.error
+            state["best"] = (learner, config, s)
+        trials.append(
+            TrialRecord(
+                iteration=len(trials) + 1,
+                automl_time=automl_time,
+                learner=learner,
+                config=dict(config),
+                sample_size=s,
+                resampling=self.resampling,
+                error=outcome.error,
+                cost=outcome.cost,
+                kind=kind,
+                improved_global=improved,
+                eci_snapshot=self.proposer.eci_values(),
             )
-            if finish < self.time_budget and launched < self.max_trials:
-                payload = self._launch(finish)
-                heapq.heappush(events, (payload[-1], seq, payload))
-                seq += 1
-                launched += 1
+        )
+
+    def _stopped(self, state: dict) -> bool:
+        return (
+            self.stop_at_error is not None
+            and state["best_error"] <= self.stop_at_error
+        )
+
+    def _result(self, trials: list[TrialRecord], state: dict,
+                wall_time: float) -> SearchResult:
         trials.sort(key=lambda t: t.automl_time)
         for i, t in enumerate(trials):
             t.iteration = i + 1
+        best = state["best"]
         return SearchResult(
             best_learner=best[0],
             best_config=best[1],
             best_sample_size=best[2],
-            best_error=float(best_error),
+            best_error=float(state["best_error"]),
             resampling=self.resampling,
             trials=trials,
-            wall_time=max((t.automl_time for t in trials), default=0.0),
+            wall_time=wall_time,
+            cache_hits=self.engine.cache_hits,
+            backend=self.backend,
+            n_workers=self.n_workers,
         )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        """Execute the search under the configured backend."""
+        try:
+            if self.backend == "virtual":
+                return self._run_virtual()
+            return self._run_real()
+        finally:
+            self.engine.shutdown()
+
+    # -- virtual-time simulation ---------------------------------------
+    def _run_virtual(self) -> SearchResult:
+        """Event-driven simulation: a heap of (finish_time, worker) events."""
+        trials: list[TrialRecord] = []
+        state = {"best_error": np.inf, "best": (None, None, 0)}
+        # (finish_time, seq, payload) events; one outstanding trial per worker
+        events: list = []
+        seq = 0
+        launched = 0
+
+        def _launch(now: float):
+            nonlocal seq, launched
+            learner, thread, config, s, kind, spec = self._propose(
+                self.time_budget
+            )
+            outcome = self.engine.run(spec)
+            payload = (learner, thread, config, s, kind, outcome)
+            heapq.heappush(events, (now + outcome.cost, seq, payload))
+            seq += 1
+            launched += 1
+
+        for _ in range(self.n_workers):
+            if launched >= self.max_trials:
+                break
+            _launch(0.0)
+        while events:
+            finish, _, payload = heapq.heappop(events)
+            learner, thread, config, s, kind, outcome = payload
+            # feedback becomes visible at the trial's virtual finish; the
+            # thread returns to the learner's idle pool afterwards
+            self._commit(trials, state, learner, thread, config, s, kind,
+                         outcome, automl_time=finish)
+            if (
+                finish < self.time_budget
+                and launched < self.max_trials
+                and not self._stopped(state)
+            ):
+                _launch(finish)
+        wall = max((t.automl_time for t in trials), default=0.0)
+        return self._result(trials, state, wall)
+
+    # -- real execution -------------------------------------------------
+    def _run_real(self) -> SearchResult:
+        """Pipelined execution: keep up to ``n_workers`` trials in flight,
+        commit completions in launch order (deterministic given a seed).
+
+        A trial that exceeds the hard time limit is abandoned (recorded
+        as inf-error) but its worker is still busy until the underlying
+        call returns; such "zombies" keep occupying a worker slot so new
+        trials are only submitted when a worker can actually start them —
+        otherwise a single hung trial would queue successors behind it
+        and time them out in cascade before they ever ran.
+        """
+        start = time.perf_counter()
+        trials: list[TrialRecord] = []
+        state = {"best_error": np.inf, "best": (None, None, 0)}
+        in_flight: deque = deque()  # (EngineHandle, learner, thread, ...)
+        zombies: list = []  # timed-out handles whose workers still run
+        launched = 0
+        limit = self.engine.trial_time_limit
+        while True:
+            zombies[:] = [z for z in zombies if not z.worker_done()]
+            elapsed = time.perf_counter() - start
+            while (
+                len(in_flight) + len(zombies) < self.n_workers
+                and elapsed < self.time_budget
+                and launched < self.max_trials
+                and not self._stopped(state)
+            ):
+                remaining = self.time_budget - elapsed
+                launch = self._propose(remaining)
+                handle = self.engine.submit(launch[-1])
+                in_flight.append((handle,) + launch[:-1])
+                launched += 1
+                elapsed = time.perf_counter() - start
+            if not in_flight:
+                if (
+                    zombies
+                    and elapsed < self.time_budget
+                    and launched < self.max_trials
+                    and not self._stopped(state)
+                ):
+                    # every worker is stuck on an abandoned trial: wait
+                    # for one to free up instead of ending the search
+                    time.sleep(min(0.02, max(self.time_budget - elapsed, 0)))
+                    continue
+                break
+            handle, learner, thread, config, s, kind = in_flight.popleft()
+            timeout = None
+            if limit is not None:
+                timeout = max(limit - (time.perf_counter() - handle.submit_time),
+                              0.0)
+            outcome = handle.outcome(timeout=timeout)
+            if handle.timed_out:
+                zombies.append(handle)
+            self._commit(trials, state, learner, thread, config, s, kind,
+                         outcome, automl_time=time.perf_counter() - start)
+        return self._result(trials, state, time.perf_counter() - start)

@@ -91,6 +91,9 @@ def result_to_dict(r: SearchResult) -> dict:
         "best_error": _jsonable(r.best_error),
         "resampling": r.resampling,
         "wall_time": r.wall_time,
+        "cache_hits": int(r.cache_hits),
+        "backend": r.backend,
+        "n_workers": int(r.n_workers),
         "trials": [trial_to_dict(t) for t in r.trials],
     }
 
@@ -105,6 +108,10 @@ def result_from_dict(d: dict) -> SearchResult:
         resampling=d["resampling"],
         trials=[trial_from_dict(t) for t in d["trials"]],
         wall_time=float(d["wall_time"]),
+        # logs written before the execution engine lack these fields
+        cache_hits=int(d.get("cache_hits", 0)),
+        backend=d.get("backend", "serial"),
+        n_workers=int(d.get("n_workers", 1)),
     )
 
 

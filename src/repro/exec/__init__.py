@@ -1,0 +1,39 @@
+"""Pluggable trial-execution engine (serial / thread / process).
+
+The search layer describes trials (:class:`TrialSpec`) and this package
+runs them: a :class:`TrialExecutor` backend picks the substrate, a
+:class:`TrialCache` makes repeated proposals free, and
+:class:`ExecutionEngine` wraps both with crash isolation and per-trial
+time limits.  See README.md §"Execution engine" for the design.
+"""
+
+from .base import (
+    FutureHandle,
+    ImmediateHandle,
+    TrialExecutor,
+    TrialHandle,
+    TrialSpec,
+    make_executor,
+    run_spec,
+)
+from .cache import TrialCache
+from .engine import EngineHandle, ExecutionEngine
+from .process import ProcessExecutor
+from .serial import SerialExecutor
+from .threaded import ThreadExecutor
+
+__all__ = [
+    "TrialSpec",
+    "TrialHandle",
+    "ImmediateHandle",
+    "FutureHandle",
+    "TrialExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TrialCache",
+    "ExecutionEngine",
+    "EngineHandle",
+    "make_executor",
+    "run_spec",
+]

@@ -1,0 +1,190 @@
+"""Trial-execution interface: what a trial *is* and how backends run one.
+
+The controllers (``repro.core.controller`` / ``repro.core.parallel``)
+describe each trial as a :class:`TrialSpec` — the χ = (learner,
+hyperparameters, sample size, resampling) of the paper plus the
+evaluation context — and submit it to a :class:`TrialExecutor`.  The
+executor decides *where* the trial runs:
+
+* :class:`~repro.exec.serial.SerialExecutor` — inline, in the caller;
+* :class:`~repro.exec.threaded.ThreadExecutor` — a thread pool;
+* :class:`~repro.exec.process.ProcessExecutor` — a process pool (true
+  multi-core parallelism with crash isolation).
+
+``submit`` returns a :class:`TrialHandle`; ``handle.result()`` blocks
+until the :class:`~repro.core.evaluate.TrialOutcome` is available.  The
+scheduler-facing conveniences (trial caching, inf-error conversion of
+crashes and timeouts) live one layer up in
+:class:`~repro.exec.engine.ExecutionEngine`.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.evaluate import TrialOutcome, evaluate_config
+from ..data.dataset import Dataset
+from ..metrics.registry import Metric
+
+__all__ = [
+    "TrialSpec",
+    "TrialHandle",
+    "ImmediateHandle",
+    "FutureHandle",
+    "TrialExecutor",
+    "run_spec",
+    "make_executor",
+]
+
+
+def _freeze(value):
+    """Make one config value hashable for cache keys."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass
+class TrialSpec:
+    """One trial χ = (learner, config, sample size, resampling) + context.
+
+    ``train_time_limit`` is advisory: learners that accept it stop
+    training when it elapses.  Hard per-trial limits are enforced by the
+    engine at ``result()`` time instead.
+    """
+
+    learner: str
+    estimator_cls: type
+    config: dict
+    sample_size: int
+    resampling: str
+    metric: Metric
+    n_splits: int = 5
+    holdout_ratio: float = 0.1
+    seed: int = 0
+    train_time_limit: float | None = None
+    labels: np.ndarray | None = field(default=None, repr=False)
+
+    def cache_key(self) -> tuple:
+        """Identity of the trial's *result* (excludes time limits, which
+        only bound how long training may take, not what it computes)."""
+        cfg = tuple(sorted((k, _freeze(v)) for k, v in self.config.items()))
+        return (
+            self.learner,
+            cfg,
+            int(self.sample_size),
+            self.resampling,
+            self.metric.name,
+            int(self.n_splits),
+            float(self.holdout_ratio),
+            int(self.seed),
+        )
+
+
+class TrialHandle(abc.ABC):
+    """A submitted trial; ``result`` blocks until the outcome is ready."""
+
+    @abc.abstractmethod
+    def result(self, timeout: float | None = None) -> TrialOutcome:
+        """Return the outcome, raising on worker crash or timeout."""
+
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """Whether the outcome is already available."""
+
+
+class ImmediateHandle(TrialHandle):
+    """Handle for a trial that already ran (serial backend, cache hits)."""
+
+    def __init__(self, outcome: TrialOutcome) -> None:
+        self._outcome = outcome
+
+    def result(self, timeout: float | None = None) -> TrialOutcome:
+        return self._outcome
+
+    def done(self) -> bool:
+        return True
+
+
+class FutureHandle(TrialHandle):
+    """Handle wrapping a ``concurrent.futures.Future`` (thread/process)."""
+
+    def __init__(self, future: concurrent.futures.Future) -> None:
+        self.future = future
+
+    def result(self, timeout: float | None = None) -> TrialOutcome:
+        return self.future.result(timeout=timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+def run_spec(data: Dataset, spec: TrialSpec) -> TrialOutcome:
+    """Execute one TrialSpec against a dataset (the backend work unit)."""
+    return evaluate_config(
+        data,
+        spec.estimator_cls,
+        spec.config,
+        sample_size=spec.sample_size,
+        resampling=spec.resampling,
+        metric=spec.metric,
+        n_splits=spec.n_splits,
+        holdout_ratio=spec.holdout_ratio,
+        seed=spec.seed,
+        train_time_limit=spec.train_time_limit,
+        labels=spec.labels,
+    )
+
+
+class TrialExecutor(abc.ABC):
+    """Pluggable backend that turns TrialSpecs into TrialOutcomes.
+
+    An executor is bound to one dataset for its lifetime so parallel
+    backends can ship the (potentially large) arrays to workers once
+    instead of once per trial.
+    """
+
+    backend: str = "abstract"
+
+    def __init__(self, data: Dataset, n_workers: int = 1) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.data = data
+        self.n_workers = int(n_workers)
+
+    @abc.abstractmethod
+    def submit(self, spec: TrialSpec) -> TrialHandle:
+        """Schedule one trial; returns a handle to its future outcome."""
+
+    def shutdown(self) -> None:
+        """Release worker resources; pending handles may be abandoned."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def make_executor(backend: str, data: Dataset, n_workers: int = 1) -> TrialExecutor:
+    """Build an executor by name: 'serial' | 'thread' | 'process'."""
+    from .process import ProcessExecutor
+    from .serial import SerialExecutor
+    from .threaded import ThreadExecutor
+
+    factory = {
+        "serial": SerialExecutor,
+        "thread": ThreadExecutor,
+        "process": ProcessExecutor,
+    }.get(backend)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: serial, thread, process"
+        )
+    return factory(data, n_workers=n_workers)

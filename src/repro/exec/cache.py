@@ -1,0 +1,64 @@
+"""LRU trial cache: repeated proposals are free.
+
+FLOW2 on integer/categorical domains frequently rounds distinct unit-cube
+points to the *same* configuration, warm restarts re-propose configs an
+earlier run already evaluated, and parallel search threads can race to
+identical proposals.  Since a trial is a pure function of
+``(learner, config, sample size, resampling, seed)`` — see
+:meth:`~repro.exec.base.TrialSpec.cache_key` — its outcome can be reused
+instead of re-trained.
+
+The cache stores model-free outcomes (models can be arbitrarily large;
+the search only needs (error, cost)) and keeps hit/miss counters that the
+controllers surface on :class:`~repro.core.controller.SearchResult`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..core.evaluate import TrialOutcome
+
+__all__ = ["TrialCache"]
+
+
+class TrialCache:
+    """Bounded LRU map from trial cache keys to TrialOutcomes."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple, TrialOutcome] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: tuple) -> TrialOutcome | None:
+        """Look up a trial outcome; counts a hit or a miss."""
+        with self._lock:
+            out = self._store.get(key)
+            if out is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return out
+
+    def put(self, key: tuple, outcome: TrialOutcome) -> None:
+        """Store a finished trial (model stripped), evicting the LRU entry."""
+        slim = TrialOutcome(error=outcome.error, cost=outcome.cost, model=None)
+        with self._lock:
+            self._store[key] = slim
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._store.clear()

@@ -1,0 +1,196 @@
+"""ExecutionEngine: the scheduler-facing facade over executor + cache.
+
+Controllers never talk to a backend directly; they submit
+:class:`~repro.exec.base.TrialSpec`s here.  The engine adds the policies
+every scheduler wants regardless of backend:
+
+* **trial caching** — a spec whose cache key was already evaluated
+  resolves instantly with the stored error (cost = the lookup time);
+* **crash isolation** — a worker that raises, dies, or cannot even be
+  submitted to yields an inf-error outcome instead of an exception
+  (matching ``evaluate_config``'s own failed-trial convention);
+* **hard per-trial time limits** — ``outcome()`` bounds how long the
+  caller waits; an overdue trial is recorded as inf-error and abandoned
+  (its worker keeps running into its advisory ``train_time_limit``).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+import numpy as np
+
+from ..core.evaluate import TrialOutcome
+from ..data.dataset import Dataset
+from .base import TrialExecutor, TrialSpec
+from .cache import TrialCache
+
+__all__ = ["ExecutionEngine", "EngineHandle"]
+
+_TIMEOUT_EXCS = (TimeoutError,)
+try:  # concurrent.futures.TimeoutError aliases TimeoutError on 3.11+
+    from concurrent.futures import TimeoutError as _CFTimeoutError
+
+    _TIMEOUT_EXCS = (TimeoutError, _CFTimeoutError)
+except ImportError:  # pragma: no cover
+    pass
+
+
+class EngineHandle:
+    """One submitted trial, resolvable exactly once via :meth:`outcome`."""
+
+    def __init__(self, engine: "ExecutionEngine", spec: TrialSpec,
+                 handle=None, outcome: TrialOutcome | None = None,
+                 cache_hit: bool = False) -> None:
+        self.spec = spec
+        self.cache_hit = cache_hit
+        self.timed_out = False
+        self.submit_time = time.perf_counter()
+        self._engine = engine
+        self._handle = handle
+        self._outcome = outcome
+
+    def done(self) -> bool:
+        """Whether :meth:`outcome` would return without blocking."""
+        return self._outcome is not None or self._handle.done()
+
+    def worker_done(self) -> bool:
+        """Whether the backend call itself has finished — distinct from
+        :meth:`done` for a handle resolved as a timeout, whose abandoned
+        worker may still be running."""
+        return self._handle is None or self._handle.done()
+
+    def outcome(self, timeout: float | None = None) -> TrialOutcome:
+        """Resolve the trial (blocking up to ``timeout`` seconds).
+
+        Never raises for trial-level failures: a crashed worker or an
+        expired timeout produces an inf-error outcome, and the search
+        moves on.  The resolved outcome is memoised, so calling again is
+        free and idempotent.
+        """
+        if self._outcome is not None:
+            return self._outcome
+        try:
+            out = self._handle.result(timeout=timeout)
+        except KeyboardInterrupt:
+            raise
+        except _TIMEOUT_EXCS:
+            self.timed_out = True
+            out = TrialOutcome(
+                error=float("inf"),
+                cost=time.perf_counter() - self.submit_time,
+                model=None,
+            )
+        except Exception:
+            # worker crash / broken pool / unpicklable payload: isolate it
+            out = TrialOutcome(
+                error=float("inf"),
+                cost=time.perf_counter() - self.submit_time,
+                model=None,
+            )
+        else:
+            self._engine._store(self.spec, out)
+        self._outcome = out
+        return out
+
+
+def dataset_token(data: Dataset) -> tuple:
+    """Cheap fingerprint identifying a dataset for cache keys.
+
+    A :class:`TrialCache` may outlive one search (warm restarts,
+    re-tuning on refreshed data), so cached outcomes must be scoped to
+    the data they were measured on — shape/task plus a CRC of a row
+    sample catches both different datasets and refreshed rows.
+    """
+    x = np.ascontiguousarray(data.X[:64])
+    y = np.ascontiguousarray(data.y[:64])
+    crc = zlib.crc32(x.tobytes())
+    crc = zlib.crc32(y.tobytes(), crc)
+    return (data.name, data.task, int(data.n), int(data.d), crc)
+
+
+class ExecutionEngine:
+    """Submit trials through a backend with caching + failure policies."""
+
+    def __init__(self, executor: TrialExecutor,
+                 cache: TrialCache | None = None,
+                 trial_time_limit: float | None = None,
+                 own_executor: bool = True) -> None:
+        self.executor = executor
+        self.cache = cache
+        self.trial_time_limit = trial_time_limit
+        self._own_executor = bool(own_executor)
+        self._data_token = (
+            dataset_token(executor.data) if cache is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the underlying executor backend."""
+        return self.executor.backend
+
+    @property
+    def n_workers(self) -> int:
+        """Worker count of the underlying executor."""
+        return self.executor.n_workers
+
+    @property
+    def cache_hits(self) -> int:
+        """Trials short-circuited by the cache so far."""
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Cache lookups that fell through to the executor."""
+        return self.cache.misses if self.cache is not None else 0
+
+    # ------------------------------------------------------------------
+    def _key(self, spec: TrialSpec) -> tuple:
+        return self._data_token + spec.cache_key()
+
+    def _store(self, spec: TrialSpec, outcome: TrialOutcome) -> None:
+        # failed trials are never cached: an inf error usually reflects
+        # circumstance (budget truncation, a dying worker), and replaying
+        # it from the cache would poison every later run that shares it
+        if self.cache is not None and np.isfinite(outcome.error):
+            self.cache.put(self._key(spec), outcome)
+
+    def submit(self, spec: TrialSpec) -> EngineHandle:
+        """Schedule one trial, consulting the cache first.
+
+        A cache hit returns an already-done handle whose outcome carries
+        the stored error at (near-)zero cost — the "repeated proposals
+        are free" contract.
+        """
+        if self.cache is not None:
+            t0 = time.perf_counter()
+            hit = self.cache.get(self._key(spec))
+            if hit is not None:
+                out = TrialOutcome(
+                    error=hit.error,
+                    cost=max(time.perf_counter() - t0, 1e-9),
+                    model=None,
+                )
+                return EngineHandle(self, spec, outcome=out, cache_hit=True)
+        try:
+            handle = self.executor.submit(spec)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # a spec the backend cannot even accept (e.g. unpicklable
+            # payload) becomes a failed trial, not a dead search
+            out = TrialOutcome(error=float("inf"), cost=0.0, model=None)
+            return EngineHandle(self, spec, outcome=out)
+        return EngineHandle(self, spec, handle=handle)
+
+    def run(self, spec: TrialSpec) -> TrialOutcome:
+        """Submit and synchronously resolve one trial (honours the
+        engine-wide ``trial_time_limit``)."""
+        return self.submit(spec).outcome(timeout=self.trial_time_limit)
+
+    def shutdown(self) -> None:
+        """Release the executor if this engine owns it."""
+        if self._own_executor:
+            self.executor.shutdown()

@@ -1,0 +1,122 @@
+"""Process-pool backend: true multi-core parallelism with crash isolation.
+
+Workers are initialised once with the dataset (pickled a single time per
+worker, or inherited for free under the default fork start method), so a
+submitted trial only ships its config and evaluation context.  Trial
+payloads must be picklable:
+
+* estimator classes must be importable module-level classes (all
+  built-in learners are; a class defined inside a function is not);
+* registry metrics are sent *by name* and re-resolved in the worker, so
+  the lambda-based built-ins work; custom :class:`Metric` objects are
+  pickled directly and must therefore avoid closures/lambdas.
+
+Fitted models stay in the worker (``TrialOutcome.model`` is ``None``):
+the search only consumes (error, cost), and the winning configuration is
+retrained by the caller anyway.
+
+If a worker dies hard (segfault, ``os._exit``), the pool is rebuilt on
+the next submit; the in-flight trials surface ``BrokenProcessPool``,
+which the engine converts into inf-error outcomes — one bad trial never
+kills the search.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..core.evaluate import TrialOutcome
+from ..data.dataset import Dataset
+from .base import FutureHandle, TrialExecutor, TrialSpec, run_spec
+
+__all__ = ["ProcessExecutor"]
+
+#: the dataset each worker process evaluates against (set by the
+#: initializer; module-global so trials don't re-ship the arrays)
+_WORKER_DATA: Dataset | None = None
+
+
+def _init_worker(data: Dataset) -> None:
+    global _WORKER_DATA
+    _WORKER_DATA = data
+
+
+def _metric_to_ref(metric):
+    """Registry metrics travel by name (their error_fns may be lambdas)."""
+    from ..metrics.registry import _REGISTRY
+
+    if _REGISTRY.get(metric.name) is metric:
+        return ("registry", metric.name)
+    return ("object", metric)
+
+
+def _metric_from_ref(ref):
+    kind, value = ref
+    if kind == "registry":
+        from ..metrics.registry import get_metric
+
+        return get_metric(value)
+    return value
+
+
+def _run_remote(payload: dict) -> TrialOutcome:
+    """Worker-side trial: rebuild the spec and evaluate against the
+    process-local dataset.  The model never crosses the pipe."""
+    payload = dict(payload)
+    payload["metric"] = _metric_from_ref(payload.pop("metric_ref"))
+    spec = TrialSpec(**payload)
+    out = run_spec(_WORKER_DATA, spec)
+    return TrialOutcome(error=out.error, cost=out.cost, model=None)
+
+
+class ProcessExecutor(TrialExecutor):
+    """Run trials on a ``ProcessPoolExecutor`` of ``n_workers`` processes."""
+
+    backend = "process"
+
+    def __init__(self, data: Dataset, n_workers: int = 2,
+                 mp_context: str | None = None) -> None:
+        super().__init__(data, n_workers=n_workers)
+        self._mp_context = mp_context
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        ctx = (
+            multiprocessing.get_context(self._mp_context)
+            if self._mp_context
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.data,),
+        )
+
+    def submit(self, spec: TrialSpec) -> FutureHandle:
+        """Queue the trial onto the process pool (rebuilding it if a
+        previous worker crash broke the pool)."""
+        payload = {
+            "learner": spec.learner,
+            "estimator_cls": spec.estimator_cls,
+            "config": spec.config,
+            "sample_size": spec.sample_size,
+            "resampling": spec.resampling,
+            "metric_ref": _metric_to_ref(spec.metric),
+            "n_splits": spec.n_splits,
+            "holdout_ratio": spec.holdout_ratio,
+            "seed": spec.seed,
+            "train_time_limit": spec.train_time_limit,
+            "labels": spec.labels,
+        }
+        try:
+            return FutureHandle(self._pool.submit(_run_remote, payload))
+        except BrokenProcessPool:
+            self._pool = self._make_pool()
+            return FutureHandle(self._pool.submit(_run_remote, payload))
+
+    def shutdown(self) -> None:
+        """Terminate the pool without waiting on abandoned trials."""
+        self._pool.shutdown(wait=False, cancel_futures=True)

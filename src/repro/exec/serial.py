@@ -1,0 +1,22 @@
+"""Serial backend: trials run inline in the submitting thread.
+
+This is the reference backend — zero concurrency, zero overhead, and the
+exact behaviour of the pre-engine controllers.  ``submit`` evaluates the
+trial before returning, so the handle is always already done.
+"""
+
+from __future__ import annotations
+
+from .base import ImmediateHandle, TrialExecutor, TrialSpec, run_spec
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(TrialExecutor):
+    """Run every trial synchronously in the caller."""
+
+    backend = "serial"
+
+    def submit(self, spec: TrialSpec) -> ImmediateHandle:
+        """Evaluate the trial now; the returned handle is already done."""
+        return ImmediateHandle(run_spec(self.data, spec))

@@ -38,6 +38,46 @@ class TestInferTask:
             infer_task(np.array([0, 1]), "ranking")
 
 
+class TestInferTaskEdgeCases:
+    def test_string_labels_two_vs_three_classes(self):
+        two = np.array(["cat", "dog"] * 10)
+        three = np.array(["cat", "dog", "bird"] * 10)
+        assert infer_task(two, None) == "binary"
+        assert infer_task(three, None) == "multiclass"
+        # explicit task="classification" resolves the same way
+        assert infer_task(two, "classification") == "binary"
+        assert infer_task(three, "classification") == "multiclass"
+
+    def test_integer_floats_at_unique_threshold(self):
+        # 20 unique integer-valued floats (n small, so the threshold is
+        # exactly 20): classification
+        y20 = np.array([float(i) for i in range(20)] * 5)
+        assert infer_task(y20, None) == "multiclass"
+        # 21 unique integer-valued floats with 0.05*n < 21: regression
+        y21 = np.array([float(i) for i in range(21)] * 5)
+        assert infer_task(y21, None) == "regression"
+        # ...but with enough rows the 5% rule raises the threshold above
+        # 21 uniques, flipping the same values back to classification
+        y21_big = np.array([float(i) for i in range(21)] * 40)
+        assert infer_task(y21_big, None) == "multiclass"
+
+    def test_non_integer_floats_are_regression_even_if_few(self):
+        y = np.array([0.5, 1.5, 2.5] * 30)
+        assert infer_task(y, None) == "regression"
+
+    def test_explicit_classification_on_multiclass_integers(self):
+        y = np.array([0, 1, 2, 3] * 25)
+        assert infer_task(y, "classification") == "multiclass"
+        # explicit classification overrides what auto would call it
+        y_many = np.arange(60).astype(np.int64)
+        assert infer_task(y_many, None) == "regression"
+        assert infer_task(y_many, "classification") == "multiclass"
+
+    def test_boolean_labels_are_binary(self):
+        y = np.array([True, False] * 15)
+        assert infer_task(y, None) == "binary"
+
+
 @pytest.fixture(scope="module")
 def clf_problem():
     rng = np.random.default_rng(0)

@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.flow2 import FLOW2
-from repro.core.space import LogUniform, SearchSpace, Uniform
+from repro.core.space import LogRandInt, LogUniform, RandInt, SearchSpace, Uniform
 
 
 def _space(d=3):
@@ -105,6 +107,80 @@ class TestFLOW2Mechanics:
         f = FLOW2(sp, seed=8)
         with pytest.raises(AttributeError):
             f.tell(1.0)
+
+
+#: randomized win/lose feedback: each element is the error fed back for
+#: one proposal — decreasing values register as wins, large ones as losses
+_feedback = st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1,
+                     max_size=60)
+
+
+class TestFLOW2StepProperties:
+    """Step-size invariants under arbitrary win/lose sequences."""
+
+    def _drive(self, f, errors):
+        """Feed a feedback sequence, recording (step_before, won, step_after)."""
+        transitions = []
+        for err in errors:
+            f.propose()
+            before = f.step
+            won = np.isfinite(f.best_error) and err < f.best_error
+            f.tell(err)
+            transitions.append((before, won, f.step))
+        return transitions
+
+    @given(st.integers(0, 10_000), _feedback)
+    @settings(max_examples=40, deadline=None)
+    def test_step_never_below_lower_bound(self, seed, errors):
+        f = FLOW2(_space(3), seed=seed)
+        floor = min(f.step, f.step_lower_bound)  # init step may start lower
+        for before, _, after in self._drive(f, errors):
+            assert after >= floor - 1e-15
+
+    @given(st.integers(0, 10_000), _feedback)
+    @settings(max_examples=40, deadline=None)
+    def test_step_doubles_only_after_a_win(self, seed, errors):
+        """The step may only ever grow on a winning comparison, by exactly
+        a (capped) doubling; losses never increase it."""
+        f = FLOW2(_space(2), seed=seed)
+        for before, won, after in self._drive(f, errors):
+            if after > before + 1e-15:
+                assert won, "step grew on a non-winning trial"
+                assert after == pytest.approx(min(2 * before, np.sqrt(f.dim)))
+            if not won:
+                assert after <= before + 1e-15
+
+    @given(st.integers(0, 10_000), _feedback)
+    @settings(max_examples=40, deadline=None)
+    def test_no_growth_when_adaptation_frozen(self, seed, errors):
+        f = FLOW2(_space(2), seed=seed)
+        s0 = f.step
+        for err in errors:
+            f.propose()
+            f.tell(err, adapt=False)
+            assert f.step == s0
+
+    @given(st.integers(0, 10_000), _feedback)
+    @settings(max_examples=40, deadline=None)
+    def test_proposals_stay_inside_the_box(self, seed, errors):
+        """Every proposed config lies inside the search-space box, for
+        continuous, log, and integer domains alike."""
+        sp = SearchSpace(
+            {
+                "u": Uniform(-2.0, 3.0, init=0.0),
+                "lg": LogUniform(1e-3, 1e2, init=1e-3),
+                "i": RandInt(1, 9, init=1),
+                "li": LogRandInt(4, 512, init=4),
+            }
+        )
+        f = FLOW2(sp, seed=seed)
+        for err in errors:
+            cfg = f.propose()
+            assert -2.0 - 1e-9 <= cfg["u"] <= 3.0 + 1e-9
+            assert 1e-3 * (1 - 1e-9) <= cfg["lg"] <= 1e2 * (1 + 1e-9)
+            assert 1 <= cfg["i"] <= 9 and isinstance(cfg["i"], int)
+            assert 4 <= cfg["li"] <= 512 and isinstance(cfg["li"], int)
+            f.tell(err)
 
 
 class TestFLOW2Optimisation:
