@@ -1,0 +1,74 @@
+"""Serving walkthrough: fit -> artifact -> registry -> HTTP predictions.
+
+The deployment loop downstream of ``AutoML.fit`` (ROADMAP: "serve heavy
+traffic"):
+
+1. export the fitted pipeline as a self-contained JSON artifact
+   (preprocessing travels with the model, so clients send *raw* rows);
+2. register it under a name in a versioned ModelRegistry and promote it
+   to the ``production`` alias;
+3. start the micro-batching HTTP server and predict over the wire,
+   checking the answers match the in-memory model exactly.
+
+Run:  python examples/serve_model.py
+
+The same flow from the shell:
+
+    python -m repro fit train.csv --register models/ --name churn
+    python -m repro registry promote models/ churn 1 production
+    python -m repro serve --registry models/ --port 8000
+"""
+
+import tempfile
+import threading
+
+import numpy as np
+
+from repro import AutoML
+from repro.data import make_classification
+from repro.data.preprocessing import Imputer, StandardScaler
+from repro.serve import ModelRegistry, ModelServer, ServeClient, build_http_server
+
+# --- 1) fit a pipeline on raw data (NaNs handled by the Imputer) ---------
+ds = make_classification(3000, 10, structure="nonlinear",
+                         missing_frac=0.05, seed=3)
+Xtr, ytr = ds.X[:2400], ds.y[:2400]
+Xte, yte = ds.X[2400:], ds.y[2400:]
+
+automl = AutoML(seed=0, init_sample_size=500)
+automl.fit(Xtr, ytr, task="classification", time_budget=8,
+           cv_instance_threshold=2500,
+           preprocessor=[Imputer(strategy="median"), StandardScaler()])
+print(f"fitted            : {automl.best_estimator} "
+      f"(val error {automl.best_loss:.4f})")
+
+# --- 2) export + register + promote --------------------------------------
+artifact = automl.export_artifact(metadata={"owner": "examples"})
+registry = ModelRegistry(tempfile.mkdtemp(prefix="repro-registry-"))
+version = registry.register("churn", artifact)
+registry.promote("churn", version, "production")
+print(f"registered        : churn v{version} -> alias 'production' "
+      f"({registry.root})")
+
+# --- 3) serve over HTTP and predict --------------------------------------
+server = ModelServer(registry=registry, max_batch=32, max_delay_ms=2.0)
+httpd = build_http_server(server, port=0)  # 0 = pick a free port
+threading.Thread(target=httpd.serve_forever, daemon=True).start()
+url = f"http://127.0.0.1:{httpd.server_address[1]}"
+client = ServeClient(url)
+print(f"serving           : {client.health()['models']} at {url}")
+
+remote = client.predict(Xte, model="churn", version="production")
+local = automl.predict(Xte)
+print(f"http == in-memory : {np.array_equal(remote, local)} "
+      f"({len(remote)} rows)")
+proba = client.predict(Xte[0], model="churn", proba=True)
+print(f"single-row proba  : {np.round(proba, 4)} (micro-batched)")
+
+stats = client.metrics()[f"churn@{version}"]
+print(f"serving metrics   : {stats['requests']} requests, "
+      f"p99 latency {stats.get('latency_ms_p99', 0):.2f} ms")
+
+httpd.shutdown()
+httpd.server_close()
+server.close()

@@ -10,9 +10,11 @@ Public entry point::
 
 Subpackages: ``core`` (the AutoML layer), ``exec`` (pluggable
 trial-execution engine: serial/thread/process backends + trial cache),
-``learners`` (the ML layer), ``metrics``, ``data`` (benchmark suite +
-selectivity substrate), ``baselines`` (comparator AutoML systems),
-``bench`` (experiment harness).
+``serve`` (deployment layer: pipeline artifacts, versioned model
+registry, micro-batching HTTP prediction server), ``learners`` (the ML
+layer), ``metrics``, ``data`` (benchmark suite + selectivity
+substrate), ``baselines`` (comparator AutoML systems), ``bench``
+(experiment harness).
 """
 
 from .core.automl import AutoML

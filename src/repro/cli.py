@@ -7,6 +7,9 @@ the no-code form of that loop::
     python -m repro predict model.json test.csv --out preds.csv
     python -m repro datasets --task binary
     python -m repro portfolio build corpus1.csv corpus2.csv --out pf.json
+    python -m repro fit train.csv --register models/ --name churn
+    python -m repro serve --registry models/ --port 8000
+    python -m repro registry list models/
 
 ``fit`` writes a self-contained JSON model file (winning learner name,
 its config, the task and the label encoding) plus the trial log, and
@@ -74,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "estimator dump, preferred over --pickle)")
     fit.add_argument("--log", default=None,
                      help="optional trial-log JSON path")
+    fit.add_argument("--artifact", default=None, metavar="PATH",
+                     help="also export a self-contained pipeline artifact "
+                          "(preprocessing + model; servable via `serve`)")
+    fit.add_argument("--register", default=None, metavar="REGISTRY_DIR",
+                     help="register the fitted pipeline into this model "
+                          "registry directory")
+    fit.add_argument("--name", default=None,
+                     help="model name used with --register "
+                          "(default: the training CSV's stem)")
 
     pred = sub.add_parser("predict", help="predict with a fitted model file")
     pred.add_argument("model", help="model.json written by `fit`")
@@ -88,6 +100,49 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["binary", "multiclass", "regression"])
     ds.add_argument("--describe", default=None, metavar="NAME",
                     help="load one suite dataset and print its statistics")
+
+    srv = sub.add_parser(
+        "serve", help="serve registered models over HTTP with micro-batching"
+    )
+    srv.add_argument("--registry", default=None, metavar="DIR",
+                     help="model registry directory to serve")
+    srv.add_argument("--artifact", default=None, metavar="PATH",
+                     help="serve a single artifact file instead of a registry")
+    srv.add_argument("--name", default="model",
+                     help="model name for --artifact mode (default: model)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8000,
+                     help="listen port; 0 picks a free one (default 8000)")
+    srv.add_argument("--max-batch", type=int, default=32,
+                     help="micro-batch size cap (default 32)")
+    srv.add_argument("--max-delay-ms", type=float, default=2.0,
+                     help="micro-batch coalescing window (default 2ms)")
+    srv.add_argument("--no-batching", action="store_true",
+                     help="predict every request directly (for comparison)")
+
+    reg = sub.add_parser("registry", help="inspect / manage a model registry")
+    reg_sub = reg.add_subparsers(dest="reg_command", required=True)
+    reg_add = reg_sub.add_parser("add", help="register an artifact file")
+    reg_add.add_argument("registry_dir")
+    reg_add.add_argument("name")
+    reg_add.add_argument("artifact", help="artifact JSON written by "
+                                          "save_model / fit --artifact")
+    reg_list = reg_sub.add_parser("list", help="list models and versions")
+    reg_list.add_argument("registry_dir")
+    reg_list.add_argument("name", nargs="?", default=None)
+    reg_promote = reg_sub.add_parser(
+        "promote", help="point a stage alias (e.g. production) at a version"
+    )
+    reg_promote.add_argument("registry_dir")
+    reg_promote.add_argument("name")
+    reg_promote.add_argument("version", type=int)
+    reg_promote.add_argument("stage")
+    reg_rollback = reg_sub.add_parser(
+        "rollback", help="undo the last promote of a stage alias"
+    )
+    reg_rollback.add_argument("registry_dir")
+    reg_rollback.add_argument("name")
+    reg_rollback.add_argument("stage")
 
     pf = sub.add_parser("portfolio", help="meta-learning portfolio tools")
     pf_sub = pf.add_subparsers(dest="pf_command", required=True)
@@ -141,6 +196,21 @@ def _cmd_fit(args) -> int:
             pickle.dump(automl.model, f)
     if args.save_model:
         automl.save_model(args.out + ".model.json")
+    if args.artifact:
+        automl.export_artifact().save(args.artifact)
+        print(f"artifact     : {args.artifact}")
+    if args.register:
+        import os as _os
+
+        from .serve import ModelRegistry
+
+        name = args.name or _os.path.splitext(
+            _os.path.basename(args.train_csv))[0]
+        version = ModelRegistry(args.register).register(
+            name, automl.export_artifact(),
+            metadata={"train_csv": args.train_csv},
+        )
+        print(f"registered   : {name} v{version} -> {args.register}")
     result = automl.search_result
     print(f"best learner : {automl.best_estimator}")
     print(f"best error   : {automl.best_loss:.4f}")
@@ -155,10 +225,9 @@ def _cmd_predict(args) -> int:
     with open(args.model) as f:
         model = json.load(f)
     try:
-        # preference order: pickle-free model dump, then pickle, then retrain
-        from .learners.model_io import load_model_file
-
-        estimator = load_model_file(args.model + ".model.json")
+        # preference order: pickle-free pipeline artifact (new format or
+        # legacy estimator dump), then pickle, then retrain
+        estimator = AutoML.load_model(args.model + ".model.json")
     except FileNotFoundError:
         estimator = None
     if estimator is None:
@@ -234,6 +303,61 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ModelRegistry, ModelServer, PipelineArtifact, serve
+
+    if (args.registry is None) == (args.artifact is None):
+        raise ValueError("serve needs exactly one of --registry / --artifact")
+    if args.registry is not None:
+        model_server = ModelServer(
+            registry=ModelRegistry(args.registry),
+            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+            batching=not args.no_batching,
+        )
+    else:
+        model_server = ModelServer(
+            artifacts={args.name: PipelineArtifact.load(args.artifact)},
+            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+            batching=not args.no_batching,
+        )
+    serve(model_server, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    from .serve import ModelRegistry, PipelineArtifact
+
+    registry = ModelRegistry(args.registry_dir)
+    if args.reg_command == "add":
+        version = registry.register(
+            args.name, PipelineArtifact.load(args.artifact)
+        )
+        print(f"registered {args.name} v{version}")
+        return 0
+    if args.reg_command == "promote":
+        registry.promote(args.name, args.version, args.stage)
+        print(f"{args.name}: {args.stage} -> v{args.version}")
+        return 0
+    if args.reg_command == "rollback":
+        version = registry.rollback(args.name, args.stage)
+        print(f"{args.name}: {args.stage} rolled back to v{version}")
+        return 0
+    # list
+    names = [args.name] if args.name else registry.models()
+    for name in names:
+        aliases = registry.aliases(name)
+        by_version = {}
+        for alias, v in aliases.items():
+            by_version.setdefault(v, []).append(alias)
+        print(name)
+        for entry in registry.versions(name):
+            marks = ",".join(sorted(by_version.get(entry["version"], [])))
+            print(f"  v{entry['version']:<3} task={entry['task']:<11} "
+                  f"sha256={entry['sha256'][:12]} "
+                  f"{('[' + marks + ']') if marks else ''}")
+    return 0
+
+
 def _cmd_portfolio(args) -> int:
     from .core.metalearning import build_portfolio
 
@@ -260,9 +384,17 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_predict(args)
         if args.command == "datasets":
             return _cmd_datasets(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "registry":
+            return _cmd_registry(args)
         if args.command == "portfolio":
             return _cmd_portfolio(args)
     except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        # registry/serving errors (RegistryError et al.) exit cleanly too
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 1  # pragma: no cover

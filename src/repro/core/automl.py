@@ -210,6 +210,7 @@ class AutoML:
         t0 = time.perf_counter()
         X_train = np.asarray(X_train, dtype=np.float64)
         y_train = np.asarray(y_train)
+        self._n_features_in = int(X_train.shape[1]) if X_train.ndim == 2 else None
         self._preprocessor = (
             list(preprocessor)
             if isinstance(preprocessor, (list, tuple))
@@ -219,6 +220,13 @@ class AutoML:
             X_train = step.fit_transform(X_train)
         self._task = infer_task(y_train, task)
         data = Dataset("train", X_train, y_train, self._task).shuffled(seed)
+        from ..exec.engine import dataset_token
+
+        fp = dataset_token(data)
+        self._data_fingerprint = {
+            "name": fp[0], "task": fp[1], "n": fp[2], "d": fp[3],
+            "crc32": fp[4],
+        }
         metric_obj = get_metric(metric, task=self._task)
         learners = self._resolve_learners(estimator_list, self._task)
         if resume_from is not None:
@@ -317,7 +325,18 @@ class AutoML:
     # ------------------------------------------------------------------
     def _require_fitted(self):
         if self._model is None:
-            raise RuntimeError("AutoML instance is not fitted; call fit() first")
+            raise RuntimeError(
+                "this AutoML instance is not fitted: no final model exists "
+                "yet. Call fit(X_train, y_train, task=..., time_budget=...) "
+                "before predict/predict_proba/score/save_model/"
+                "export_artifact"
+                + (
+                    ""
+                    if self._result is None
+                    else "; the previous fit() ended without a successful "
+                         "trial - increase time_budget or max_iters"
+                )
+            )
 
     def _apply_preprocessor(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
@@ -334,7 +353,12 @@ class AutoML:
         """Class probabilities of the best model (classification only)."""
         self._require_fitted()
         if self._task == "regression":
-            raise RuntimeError("predict_proba is not available for regression")
+            raise RuntimeError(
+                "predict_proba is only defined for classification, but this "
+                f"AutoML was fitted with task='regression' (best learner: "
+                f"{self._result.best_learner}); use predict(X) for point "
+                "estimates"
+            )
         return self._model.predict_proba(self._apply_preprocessor(X))
 
     def score(self, X: np.ndarray, y: np.ndarray,
@@ -393,23 +417,54 @@ class AutoML:
         return self._result
 
     # -- model persistence ------------------------------------------------
-    def save_model(self, path: str) -> None:
-        """Write the final model as a pickle-free JSON file.
+    def export_artifact(self, metadata: dict | None = None):
+        """Bundle the fitted pipeline into a deployable artifact.
 
-        Supported for every built-in learner family
-        (:mod:`repro.learners.model_io`); custom learners and ensembles
-        raise — pickle those, or store the config and retrain.  Note the
-        preprocessor chain is *not* embedded; persist it separately if
-        used.
+        Returns a :class:`repro.serve.PipelineArtifact` — preprocessor
+        chain + final model (single estimator or stacked ensemble) +
+        task/metric/feature metadata and the training-data fingerprint —
+        which predicts on **raw** rows, saves to JSON, and registers
+        into a :class:`repro.serve.ModelRegistry`.
         """
-        from ..learners.model_io import save_model as _save
+        from ..serve.artifact import export_artifact as _export
 
+        return _export(self, metadata=metadata)
+
+    def save_model(self, path: str) -> None:
+        """Write the fitted pipeline as a pickle-free JSON artifact.
+
+        The file embeds the preprocessor chain alongside the model
+        (:meth:`export_artifact`), so a reloaded pipeline scores raw,
+        un-preprocessed rows exactly like this instance.  Supported for
+        every built-in learner family and for stacked ensembles
+        (:mod:`repro.learners.model_io`); custom learner classes raise —
+        pickle those, or store the config and retrain.
+        """
         self._require_fitted()
-        _save(self._model, path)
+        self.export_artifact().save(path)
 
     @staticmethod
     def load_model(path: str):
-        """Load an estimator written by :meth:`save_model` (no pickle)."""
-        from ..learners.model_io import load_model_file
+        """Load a pipeline written by :meth:`save_model` (no pickle).
 
-        return load_model_file(path)
+        Returns a :class:`repro.serve.PipelineArtifact` whose
+        ``predict``/``predict_proba`` take raw rows.  Legacy files
+        written by older versions (a bare :mod:`~repro.learners.model_io`
+        estimator dump, no preprocessing) still load: they come back
+        wrapped in an artifact with an empty preprocessor chain.
+        """
+        import json as _json
+
+        from ..learners.model_io import load_model as _load_estimator
+        from ..serve.artifact import ARTIFACT_FORMAT, PipelineArtifact
+
+        with open(path) as f:
+            obj = _json.load(f)
+        if obj.get("format") == ARTIFACT_FORMAT:
+            return PipelineArtifact.from_dict(obj)
+        # legacy bare-estimator dump: infer the task from the label payload
+        model = _load_estimator(obj)
+        classes = getattr(model, "classes_", None)
+        task = ("regression" if classes is None
+                else ("binary" if len(classes) == 2 else "multiclass"))
+        return PipelineArtifact(model, [], task, {"legacy_model_file": True})

@@ -12,7 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Imputer", "StandardScaler", "OneHotEncoder", "Pipeline"]
+__all__ = [
+    "Imputer",
+    "StandardScaler",
+    "OneHotEncoder",
+    "Pipeline",
+    "dump_preprocessor",
+    "load_preprocessor",
+]
 
 
 class Imputer:
@@ -164,3 +171,60 @@ class Pipeline:
     def classes_(self):
         """Label values of the wrapped classifier."""
         return self.estimator.classes_
+
+
+# -------------------------------------------------------- persistence --
+# Fitted preprocessors serialise to JSON-safe dicts so a pipeline
+# artifact (repro.serve.artifact) can embed its featurization and score
+# raw rows after reload.  Mirrors learners.model_io's dump/load contract.
+
+def dump_preprocessor(step) -> dict:
+    """Serialise a fitted preprocessor to a JSON-safe dict."""
+    if isinstance(step, Imputer):
+        if step.fill_ is None:
+            raise RuntimeError("Imputer not fitted")
+        return {"class": "Imputer", "strategy": step.strategy,
+                "fill": step.fill_.tolist()}
+    if isinstance(step, StandardScaler):
+        if step.mu_ is None:
+            raise RuntimeError("StandardScaler not fitted")
+        return {"class": "StandardScaler", "mu": step.mu_.tolist(),
+                "sd": step.sd_.tolist()}
+    if isinstance(step, OneHotEncoder):
+        if step.categories_ is None:
+            raise RuntimeError("OneHotEncoder not fitted")
+        return {
+            "class": "OneHotEncoder",
+            "columns": list(step.columns),
+            # NaN was canonicalised to +inf at fit time; json handles inf
+            "categories": {str(j): c.tolist()
+                           for j, c in step.categories_.items()},
+        }
+    raise TypeError(
+        f"{type(step).__name__} does not support JSON serialisation; "
+        "artifact export requires the built-in preprocessors "
+        "(Imputer, StandardScaler, OneHotEncoder) or a custom class "
+        "handled outside the artifact"
+    )
+
+
+def load_preprocessor(obj: dict):
+    """Reconstruct the preprocessor serialised by :func:`dump_preprocessor`."""
+    cls = obj["class"]
+    if cls == "Imputer":
+        step = Imputer(strategy=obj["strategy"])
+        step.fill_ = np.asarray(obj["fill"], dtype=np.float64)
+        return step
+    if cls == "StandardScaler":
+        step = StandardScaler()
+        step.mu_ = np.asarray(obj["mu"], dtype=np.float64)
+        step.sd_ = np.asarray(obj["sd"], dtype=np.float64)
+        return step
+    if cls == "OneHotEncoder":
+        step = OneHotEncoder(columns=tuple(int(j) for j in obj["columns"]))
+        step.categories_ = {
+            int(j): np.asarray(c, dtype=np.float64)
+            for j, c in obj["categories"].items()
+        }
+        return step
+    raise ValueError(f"unknown preprocessor class {cls!r}")

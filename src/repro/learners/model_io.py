@@ -13,7 +13,9 @@ plain dict/JSON and reconstructs them exactly:
 * linear family (``LogisticRegressionL1/L2``, ``RidgeRegressor``,
   ``LassoRegressor``) — coefficients + standardisation statistics;
 * ``GaussianNB`` — per-class Gaussians; ``KNeighbors*`` — the
-  standardised training set itself.
+  standardised training set itself;
+* ``StackedEnsemble`` — every base model plus the linear meta-learner,
+  dumped recursively.
 
 Round-trip contract (tested): ``load_model(dump_model(m))`` predicts
 bit-identically to ``m``.
@@ -149,6 +151,19 @@ def _restore_classes(model, obj: dict) -> None:
 def dump_model(model) -> dict:
     """Serialise a fitted estimator to a JSON-safe dict."""
     name = type(model).__name__
+    if name == "StackedEnsemble":
+        # core.ensemble imports the learners layer, so match by name and
+        # dump recursively: every base model and the linear meta-learner
+        # are themselves model_io-serialisable
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "ensemble",
+            "class": name,
+            "task": model.task,
+            **_classes_payload(model),
+            "base_models": [dump_model(m) for m in model.base_models],
+            "meta_model": dump_model(model.meta_model),
+        }
     if name in _GBDT_CLASSES:
         engine: GBDTEngine = model.engine_
         return {
@@ -266,6 +281,17 @@ def load_model(obj: dict):
         raise ValueError(f"unsupported model format version {version!r}")
     name = obj["class"]
     kind = obj["kind"]
+    if kind == "ensemble":
+        from ..core.ensemble import StackedEnsemble
+
+        classes = (np.asarray(obj["classes"], dtype=obj["classes_dtype"])
+                   if "classes" in obj else None)
+        return StackedEnsemble(
+            [load_model(m) for m in obj["base_models"]],
+            load_model(obj["meta_model"]),
+            obj["task"],
+            classes,
+        )
     if kind == "gbdt":
         cls = _GBDT_CLASSES[name]
         model = cls(**obj["params"])

@@ -1,0 +1,37 @@
+"""Deployment layer: artifacts, a versioned registry, and a prediction
+server (the ROADMAP's "serve heavy traffic" direction).
+
+* :mod:`~repro.serve.artifact` — :class:`PipelineArtifact`, the
+  self-contained JSON unit of deployment (preprocessors + model +
+  metadata) that predicts on raw rows;
+* :mod:`~repro.serve.registry` — :class:`ModelRegistry`, named models
+  with monotonic versions, ``latest``/stage aliases, promote/rollback,
+  and SHA-256 integrity checks;
+* :mod:`~repro.serve.batching` — :class:`MicroBatcher`, coalescing
+  concurrent single-row predicts into batched model calls, with
+  p50/p95/p99 latency stats;
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — a stdlib
+  HTTP server (``/predict`` ``/models`` ``/health`` ``/metrics``) and
+  its client (``python -m repro serve`` starts the server).
+"""
+
+from .artifact import ARTIFACT_FORMAT, PipelineArtifact, export_artifact
+from .batching import MicroBatcher, ServingStats
+from .client import ServeClient, ServeClientError
+from .registry import ModelRegistry, RegistryError
+from .server import ModelServer, build_http_server, serve
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "PipelineArtifact",
+    "export_artifact",
+    "MicroBatcher",
+    "ServingStats",
+    "ServeClient",
+    "ServeClientError",
+    "ModelRegistry",
+    "RegistryError",
+    "ModelServer",
+    "build_http_server",
+    "serve",
+]

@@ -1,0 +1,80 @@
+"""Minimal HTTP client for the prediction server (urllib only).
+
+Mirrors the server's endpoints one method each, decoding JSON and
+raising :class:`ServeClientError` with the server's error message on
+non-2xx responses.  Used by the examples, the serving benchmark, and
+the CI smoke job; third parties can POST the same JSON with anything.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk to a ``repro serve`` server at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServeClientError(exc.code, message) from None
+
+    # -- endpoints -----------------------------------------------------
+    def predict(self, rows, model: str | None = None, proba: bool = False,
+                version: int | str = "latest") -> np.ndarray:
+        """POST rows to ``/predict``; returns predictions as an array."""
+        rows = np.asarray(rows, dtype=np.float64)
+        payload: dict = {"proba": bool(proba), "version": version}
+        if model is not None:
+            payload["model"] = model
+        if rows.ndim == 1:
+            payload["row"] = rows.tolist()
+        else:
+            payload["rows"] = rows.tolist()
+        out = np.asarray(self._request("/predict", payload)["predictions"])
+        if rows.ndim == 1:
+            return out[0]
+        return out
+
+    def models(self) -> dict:
+        """GET ``/models`` — registry index."""
+        return self._request("/models")
+
+    def health(self) -> dict:
+        """GET ``/health`` — liveness + served model names."""
+        return self._request("/health")
+
+    def metrics(self) -> dict:
+        """GET ``/metrics`` — per-model serving statistics."""
+        return self._request("/metrics")

@@ -1,0 +1,296 @@
+"""File-backed versioned model registry.
+
+Deployments need more than a model file: they need *names* ("the churn
+model"), monotonically increasing *versions* of each name, movable
+*aliases* ("latest", "production") so traffic can be repointed without
+touching clients, and an integrity check so a corrupted or hand-edited
+artifact is refused rather than silently served.
+
+Layout on disk (everything human-inspectable JSON)::
+
+    <root>/
+      <name>/
+        manifest.json          # versions, aliases, alias history, hashes
+        v1/artifact.json
+        v2/artifact.json
+
+Manifests are written atomically (tmp file + ``os.replace``) and cached
+by mtime (alias resolution sits on the serving hot path); writers —
+register/promote/rollback — serialise on a per-model ``.lock`` file so
+concurrent registrations from separate processes get distinct versions,
+and each version directory is claimed with ``exist_ok=False`` so an
+artifact file can never be overwritten.  Each artifact's SHA-256 is
+recorded and re-verified on every load.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import re
+import threading
+import time
+
+from .artifact import PipelineArtifact
+
+__all__ = ["ModelRegistry", "RegistryError"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: ``latest`` always tracks the newest version and cannot be promoted
+#: or rolled back by hand
+_RESERVED_ALIASES = ("latest",)
+
+
+class RegistryError(RuntimeError):
+    """Raised for unknown names/versions, bad aliases, or corrupt files."""
+
+
+class ModelRegistry:
+    """Named, versioned, alias-addressable store of pipeline artifacts."""
+
+    #: how long a writer waits for another process's lock before failing
+    LOCK_TIMEOUT_S = 10.0
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._cache_lock = threading.Lock()
+        # manifest cache keyed by name -> (mtime_ns, manifest); the hot
+        # serving path resolves aliases per request, which must not cost
+        # a disk read + JSON parse each time
+        self._manifest_cache: dict[str, tuple[int, dict]] = {}
+
+    # -- manifest plumbing ---------------------------------------------
+    def _dir(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _manifest_path(self, name: str) -> str:
+        return os.path.join(self._dir(name), "manifest.json")
+
+    def _load_manifest(self, name: str) -> dict:
+        path = self._manifest_path(name)
+        try:
+            mtime = os.stat(path).st_mtime_ns
+        except FileNotFoundError:
+            raise RegistryError(
+                f"unknown model {name!r}; registered models: {self.models()}"
+            ) from None
+        with self._cache_lock:
+            cached = self._manifest_cache.get(name)
+        if cached is not None and cached[0] == mtime:
+            return json.loads(json.dumps(cached[1]))  # callers may mutate
+        try:
+            with open(path) as f:
+                manifest = json.load(f)
+        except FileNotFoundError:
+            raise RegistryError(
+                f"unknown model {name!r}; registered models: {self.models()}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise RegistryError(
+                f"manifest for {name!r} is corrupt: {exc}"
+            ) from None
+        with self._cache_lock:
+            self._manifest_cache[name] = (mtime, manifest)
+        return json.loads(json.dumps(manifest))
+
+    def _save_manifest(self, name: str, manifest: dict) -> None:
+        path = self._manifest_path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(manifest, f, indent=1)
+        os.replace(tmp, path)
+        with self._cache_lock:
+            self._manifest_cache.pop(name, None)
+
+    @contextlib.contextmanager
+    def _write_lock(self, name: str):
+        """Cross-process mutex for manifest writers (register/promote/
+        rollback): an O_EXCL lock file under the model directory."""
+        os.makedirs(self._dir(name), exist_ok=True)
+        lock_path = os.path.join(self._dir(name), ".lock")
+        deadline = time.monotonic() + self.LOCK_TIMEOUT_S
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    raise RegistryError(
+                        f"timed out waiting for the write lock on {name!r} "
+                        f"({lock_path}); remove it if its owner crashed"
+                    ) from None
+                time.sleep(0.02)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            yield
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(lock_path)
+
+    # -- write side ----------------------------------------------------
+    def register(self, name: str, artifact: PipelineArtifact,
+                 metadata: dict | None = None) -> int:
+        """Store ``artifact`` as the next version of ``name``.
+
+        Returns the new version number; the ``latest`` alias always
+        moves to it.
+        """
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}; use letters, digits, "
+                "'.', '_', '-'"
+            )
+        with self._write_lock(name):
+            try:
+                manifest = self._load_manifest(name)
+            except RegistryError:
+                manifest = {"name": name, "versions": [], "aliases": {},
+                            "alias_history": {}}
+            version = 1 + max(
+                (v["version"] for v in manifest["versions"]), default=0
+            )
+            rel = os.path.join(f"v{version}", "artifact.json")
+            # exist_ok=False: a version directory is claimed exactly once,
+            # so even a racing writer that slipped past the lock could
+            # never overwrite an already-registered artifact
+            os.makedirs(os.path.join(self._dir(name), f"v{version}"),
+                        exist_ok=False)
+            payload = json.dumps(artifact.to_dict()).encode()
+            with open(os.path.join(self._dir(name), rel), "wb") as f:
+                f.write(payload)
+            manifest["versions"].append({
+                "version": version,
+                "path": rel,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "created_unix": time.time(),
+                "task": artifact.task,
+                "metadata": dict(metadata or {}),
+            })
+            manifest["aliases"]["latest"] = version
+            self._save_manifest(name, manifest)
+        return version
+
+    def promote(self, name: str, version: int, stage: str) -> None:
+        """Point the ``stage`` alias (e.g. 'production') at ``version``.
+
+        The alias's previous target is pushed onto its history so
+        :meth:`rollback` can undo the promotion.
+        """
+        if stage in _RESERVED_ALIASES:
+            raise RegistryError(f"alias {stage!r} is managed automatically")
+        if not _NAME_RE.match(stage) or str(stage).isdigit():
+            raise RegistryError(f"invalid stage alias {stage!r}")
+        with self._write_lock(name):
+            manifest = self._load_manifest(name)
+            self._entry(manifest, version)  # validates the target exists
+            prev = manifest["aliases"].get(stage)
+            if prev is not None:
+                manifest.setdefault("alias_history", {}) \
+                        .setdefault(stage, []).append(prev)
+            manifest["aliases"][stage] = int(version)
+            self._save_manifest(name, manifest)
+
+    def rollback(self, name: str, stage: str) -> int:
+        """Undo the last :meth:`promote` of ``stage``; returns the
+        version the alias now points at."""
+        with self._write_lock(name):
+            manifest = self._load_manifest(name)
+            if stage not in manifest["aliases"]:
+                raise RegistryError(
+                    f"model {name!r} has no alias {stage!r} to roll back"
+                )
+            history = manifest.get("alias_history", {}).get(stage, [])
+            if not history:
+                raise RegistryError(
+                    f"alias {stage!r} of {name!r} has no earlier version to "
+                    "roll back to"
+                )
+            version = history.pop()
+            manifest["aliases"][stage] = version
+            self._save_manifest(name, manifest)
+        return version
+
+    # -- read side -----------------------------------------------------
+    @staticmethod
+    def _entry(manifest: dict, version: int) -> dict:
+        for v in manifest["versions"]:
+            if v["version"] == int(version):
+                return v
+        known = [v["version"] for v in manifest["versions"]]
+        raise RegistryError(
+            f"model {manifest['name']!r} has no version {version}; "
+            f"known versions: {known}"
+        )
+
+    def resolve(self, name: str, version: int | str = "latest") -> int:
+        """Resolve a version number or alias to a concrete version."""
+        manifest = self._load_manifest(name)
+        if isinstance(version, str) and not version.isdigit():
+            if version not in manifest["aliases"]:
+                raise RegistryError(
+                    f"model {name!r} has no alias {version!r}; aliases: "
+                    f"{sorted(manifest['aliases'])}"
+                )
+            return int(manifest["aliases"][version])
+        return self._entry(manifest, int(version))["version"]
+
+    def get(self, name: str, version: int | str = "latest") -> PipelineArtifact:
+        """Load one artifact, verifying its recorded SHA-256 first."""
+        manifest = self._load_manifest(name)
+        entry = self._entry(manifest, self.resolve(name, version))
+        path = os.path.join(self._dir(name), entry["path"])
+        try:
+            with open(path, "rb") as f:
+                payload = f.read()
+        except FileNotFoundError:
+            raise RegistryError(
+                f"artifact file for {name!r} v{entry['version']} is missing "
+                f"({path})"
+            ) from None
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry["sha256"]:
+            raise RegistryError(
+                f"integrity check failed for {name!r} v{entry['version']}: "
+                f"manifest records sha256 {entry['sha256'][:12]}… but the "
+                f"file hashes to {digest[:12]}…"
+            )
+        return PipelineArtifact.from_dict(json.loads(payload))
+
+    def models(self) -> list[str]:
+        """Sorted names of every registered model."""
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            n for n in names
+            if os.path.isfile(self._manifest_path(n))
+        )
+
+    def versions(self, name: str) -> list[dict]:
+        """Version entries (number, hash, creation time, metadata)."""
+        return [dict(v) for v in self._load_manifest(name)["versions"]]
+
+    def aliases(self, name: str) -> dict[str, int]:
+        """Current alias -> version mapping for ``name``."""
+        return dict(self._load_manifest(name)["aliases"])
+
+    def index(self) -> dict:
+        """Registry-wide summary (what the server's ``/models`` returns)."""
+        out = {}
+        for name in self.models():
+            manifest = self._load_manifest(name)
+            out[name] = {
+                "versions": [
+                    {k: v[k] for k in
+                     ("version", "created_unix", "task", "metadata")}
+                    for v in manifest["versions"]
+                ],
+                "aliases": manifest["aliases"],
+            }
+        return out

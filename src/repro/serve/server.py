@@ -1,0 +1,290 @@
+"""Micro-batching JSON prediction server (stdlib only).
+
+A :class:`ModelServer` fronts a :class:`~repro.serve.registry.ModelRegistry`
+(or a fixed set of artifacts) and exposes it over HTTP via
+``ThreadingHTTPServer`` — one OS thread per connection, which is exactly
+the traffic shape :class:`~repro.serve.batching.MicroBatcher` coalesces:
+many threads each carrying one row.
+
+Endpoints (all JSON):
+
+``POST /predict``
+    ``{"model": name, "version": int|alias, "row": [...]}`` or
+    ``{"model": name, "rows": [[...], ...], "proba": true|false}``.
+    Single rows go through the micro-batcher; multi-row requests are
+    predicted directly (the client already batched them).
+``GET /models``
+    Registry index: every model's versions and aliases.
+``GET /health``
+    Liveness + the names currently servable.
+``GET /metrics``
+    Per-model request/batch counters and latency percentiles.
+
+Run it with ``python -m repro serve --registry DIR`` (see
+:mod:`repro.cli`) or embed it: ``build_http_server`` returns a standard
+``http.server`` object, so tests and examples drive it with
+``serve_forever`` in a thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+import numpy as np
+
+from .artifact import PipelineArtifact
+from .batching import MicroBatcher, ServingStats
+from .registry import ModelRegistry, RegistryError
+
+__all__ = ["ModelServer", "build_http_server", "serve"]
+
+
+class ModelServer:
+    """Registry-backed prediction service with per-model micro-batching."""
+
+    def __init__(self, registry: ModelRegistry | None = None,
+                 artifacts: dict[str, PipelineArtifact] | None = None,
+                 max_batch: int = 32, max_delay_ms: float = 2.0,
+                 batching: bool = True) -> None:
+        if registry is None and not artifacts:
+            raise ValueError("need a registry and/or named artifacts to serve")
+        self.registry = registry
+        self._fixed = dict(artifacts or {})
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.batching = bool(batching)
+        self._lock = threading.Lock()
+        self._loaded: dict[tuple[str, int | str], PipelineArtifact] = {}
+        self._stats: dict[str, ServingStats] = {}
+        self._batchers: dict[tuple[str, int | str, bool], MicroBatcher] = {}
+
+    # -- resolution ----------------------------------------------------
+    def _resolve(self, name: str,
+                 version: int | str) -> tuple[PipelineArtifact, int | str]:
+        """Load (and cache) the artifact serving ``name`` at ``version``."""
+        if name in self._fixed:
+            if version not in ("latest", "-"):
+                raise RegistryError(
+                    f"model {name!r} is served from a fixed artifact with "
+                    f"no version history; requested version {version!r} "
+                    "cannot be honoured (omit it or use 'latest')"
+                )
+            return self._fixed[name], "-"
+        if self.registry is None:
+            raise RegistryError(
+                f"unknown model {name!r}; serving: {sorted(self._fixed)}"
+            )
+        resolved = self.registry.resolve(name, version)
+        with self._lock:
+            art = self._loaded.get((name, resolved))
+        if art is None:
+            art = self.registry.get(name, resolved)  # integrity-checked
+            with self._lock:
+                self._loaded.setdefault((name, resolved), art)
+        return art, resolved
+
+    def _stats_for(self, name: str, version: int | str) -> ServingStats:
+        key = f"{name}@{version}" if version != "-" else name
+        with self._lock:
+            if key not in self._stats:
+                self._stats[key] = ServingStats()
+            return self._stats[key]
+
+    def _batcher_for(self, name: str, version: int | str, proba: bool,
+                     artifact: PipelineArtifact) -> MicroBatcher:
+        key = (name, version, proba)
+        with self._lock:
+            batcher = self._batchers.get(key)
+        if batcher is None:
+            fn = artifact.predict_proba if proba else artifact.predict
+            batcher = MicroBatcher(
+                fn, max_batch=self.max_batch, max_delay_ms=self.max_delay_ms,
+                stats=self._stats_for(name, version),
+            )
+            with self._lock:
+                existing = self._batchers.setdefault(key, batcher)
+            if existing is not batcher:
+                batcher.close()
+                batcher = existing
+        return batcher
+
+    # -- serving -------------------------------------------------------
+    def predict(self, name: str, rows, proba: bool = False,
+                version: int | str = "latest") -> dict:
+        """Predict ``rows`` (one row or a batch) with a served model."""
+        artifact, resolved = self._resolve(name, version)
+        X = np.asarray(rows, dtype=np.float64)
+        single = X.ndim == 1 or (X.ndim == 2 and X.shape[0] == 1)
+        if single and self.batching:
+            row = X.reshape(-1)
+            # reject malformed rows *before* they join a batch: inside
+            # the batcher one bad row would fail the shared model call
+            # and error out every coalesced request
+            artifact.check_n_features(row.shape[0])
+            out = self._batcher_for(name, resolved, proba, artifact) \
+                      .submit(row)
+            predictions = np.asarray(out).reshape(1, -1) if proba \
+                else np.asarray([out])
+            batched = True
+        else:
+            stats = self._stats_for(name, resolved)
+            t0 = time.perf_counter()
+            try:
+                predictions = (artifact.predict_proba(X) if proba
+                               else artifact.predict(X))
+            except Exception:
+                stats.record_request(time.perf_counter() - t0, error=True)
+                raise
+            stats.record_batch(int(np.atleast_2d(X).shape[0]))
+            stats.record_request(time.perf_counter() - t0)
+            batched = False
+        return {
+            "model": name,
+            "version": resolved,
+            "proba": bool(proba),
+            "batched": batched,
+            "n": int(np.asarray(predictions).shape[0]),
+            "predictions": np.asarray(predictions).tolist(),
+        }
+
+    def model_index(self) -> dict:
+        """What ``/models`` returns: registry index + fixed artifacts."""
+        out = self.registry.index() if self.registry is not None else {}
+        for name, art in self._fixed.items():
+            out[name] = {"versions": [{"version": "-", **art.describe()}],
+                         "aliases": {}}
+        return out
+
+    def served_names(self) -> list[str]:
+        """Names this server can answer ``/predict`` for."""
+        names = set(self._fixed)
+        if self.registry is not None:
+            names.update(self.registry.models())
+        return sorted(names)
+
+    def metrics(self) -> dict:
+        """Per-model counters + latency percentiles."""
+        with self._lock:
+            items = list(self._stats.items())
+        return {key: stats.snapshot() for key, stats in items}
+
+    def close(self) -> None:
+        """Shut down every micro-batcher worker."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for b in batchers:
+            b.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the owning :class:`ModelServer`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def model_server(self) -> ModelServer:
+        return self.server.model_server  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test/CLI output clean; metrics carry the signal
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, default=float).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path
+        srv = self.model_server
+        if path == "/health":
+            self._reply(200, {"status": "ok", "models": srv.served_names()})
+        elif path == "/models":
+            self._reply(200, srv.model_index())
+        elif path == "/metrics":
+            self._reply(200, srv.metrics())
+        else:
+            self._reply(404, {"error": f"unknown endpoint {path!r}; have "
+                                       "/predict /models /health /metrics"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path
+        if path != "/predict":
+            self._reply(404, {"error": f"unknown endpoint {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            req = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        srv = self.model_server
+        rows = req.get("rows", req.get("row"))
+        if rows is None:
+            self._reply(400, {"error": "body must carry 'row' (one feature "
+                                       "vector) or 'rows' (a batch)"})
+            return
+        name = req.get("model")
+        if name is None:
+            served = srv.served_names()
+            if len(served) != 1:
+                self._reply(400, {"error": "'model' is required when more "
+                                           f"than one model is served: {served}"})
+                return
+            name = served[0]
+        try:
+            result = srv.predict(
+                name, rows,
+                proba=bool(req.get("proba", False)),
+                version=req.get("version", "latest"),
+            )
+        except RegistryError as exc:
+            self._reply(404, {"error": str(exc)})
+        except (ValueError, TypeError, RuntimeError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply(200, result)
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # stdlib default backlog is 5: bursty clients that open a connection
+    # per request (urllib does) get connection-reset under load
+    request_queue_size = 128
+
+
+def build_http_server(model_server: ModelServer, host: str = "127.0.0.1",
+                      port: int = 0) -> ThreadingHTTPServer:
+    """Bind a ``ThreadingHTTPServer`` for ``model_server``.
+
+    ``port=0`` picks a free ephemeral port — read it back from
+    ``server.server_address[1]`` (what the tests and the CI smoke job do).
+    """
+    httpd = _ThreadingServer((host, port), _Handler)
+    httpd.model_server = model_server  # type: ignore[attr-defined]
+    return httpd
+
+
+def serve(model_server: ModelServer, host: str = "127.0.0.1",
+          port: int = 8000) -> None:
+    """Blocking convenience runner (the CLI's ``repro serve`` body)."""
+    httpd = build_http_server(model_server, host, port)
+    actual = httpd.server_address[1]
+    print(f"serving {model_server.served_names()} on http://{host}:{actual}")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        httpd.server_close()
+        model_server.close()

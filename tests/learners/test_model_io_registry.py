@@ -1,0 +1,63 @@
+"""Satellite coverage: dump_model/load_model round-trips for **every**
+learner in the registry (defaults + extras), per supported task,
+asserting bitwise-equal predictions after reload.
+
+The per-family tests in test_model_io.py pin the formats; this file pins
+the coverage claim itself — no registered learner may silently fall out
+of the pickle-free serialisation contract, because the registry is what
+``export_artifact`` and the serving layer draw from.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import _make_estimator
+from repro.core.registry import all_learners
+from repro.learners.model_io import dump_model, load_model
+
+ALL = all_learners()
+
+
+def _fitted(name: str, task: str, X, y):
+    """Fit the learner's low-cost init config (Table 5 bold values) —
+    cheap to train and exactly what the search evaluates first."""
+    spec = ALL[name]
+    config = spec.space_fn(len(X), task).init_config()
+    model = _make_estimator(spec.estimator_cls(task), config, seed=0,
+                            train_time_limit=None)
+    return model.fit(X, y)
+
+
+def _round_trip(model):
+    # through actual JSON text, not just the dict: the on-disk format is
+    # the contract
+    return load_model(json.loads(json.dumps(dump_model(model))))
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_classifier_round_trip_bitwise(name, binary_split, multiclass_split):
+    if not ALL[name].supports("binary"):
+        pytest.skip(f"{name} has no classifier")
+    for task, split in (("binary", binary_split),
+                        ("multiclass", multiclass_split)):
+        Xtr, ytr, Xte, _ = split
+        model = _fitted(name, task, Xtr, ytr)
+        back = _round_trip(model)
+        assert np.array_equal(model.predict(Xte), back.predict(Xte)), \
+            f"{name}/{task}: labels differ after reload"
+        assert np.array_equal(
+            model.predict_proba(Xte), back.predict_proba(Xte)
+        ), f"{name}/{task}: probabilities differ after reload"
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_regressor_round_trip_bitwise(name, regression_split):
+    if not ALL[name].supports("regression"):
+        pytest.skip(f"{name} has no regressor")
+    Xtr, ytr, Xte, _ = regression_split
+    model = _fitted(name, "regression", Xtr, ytr)
+    back = _round_trip(model)
+    assert np.array_equal(model.predict(Xte), back.predict(Xte)), \
+        f"{name}: predictions differ after reload"

@@ -1,0 +1,35 @@
+"""Shared serving fixtures: one quickly-fitted pipeline per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.data.preprocessing import Imputer, StandardScaler
+
+
+@pytest.fixture(scope="session")
+def served_data():
+    r = np.random.default_rng(42)
+    X = r.standard_normal((300, 5))
+    X[::17, 2] = np.nan  # exercise the Imputer inside the artifact
+    y = ((np.nan_to_num(X[:, 0]) + X[:, 1]) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def fitted_automl(served_data):
+    X, y = served_data
+    automl = AutoML(seed=0, init_sample_size=100)
+    automl.fit(
+        X, y, task="classification", time_budget=5, max_iters=6,
+        estimator_list=["lgbm"],
+        preprocessor=[Imputer(strategy="median"), StandardScaler()],
+    )
+    return automl
+
+
+@pytest.fixture(scope="session")
+def artifact(fitted_automl):
+    return fitted_automl.export_artifact()

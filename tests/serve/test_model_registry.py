@@ -1,0 +1,114 @@
+"""ModelRegistry: versioning, aliases, promote/rollback, integrity."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, RegistryError
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(str(tmp_path / "registry"))
+
+
+class TestVersioning:
+    def test_versions_are_monotonic_and_latest_moves(self, registry, artifact):
+        assert registry.register("churn", artifact) == 1
+        assert registry.register("churn", artifact) == 2
+        assert registry.register("churn", artifact) == 3
+        assert registry.resolve("churn", "latest") == 3
+        assert [v["version"] for v in registry.versions("churn")] == [1, 2, 3]
+
+    def test_get_by_number_alias_and_string_digit(self, registry, artifact,
+                                                  served_data):
+        X, _ = served_data
+        registry.register("m", artifact)
+        registry.register("m", artifact)
+        for version in (1, "1", "latest"):
+            got = registry.get("m", version)
+            assert np.array_equal(got.predict(X[:5]), artifact.predict(X[:5]))
+
+    def test_models_listing(self, registry, artifact):
+        assert registry.models() == []
+        registry.register("a", artifact)
+        registry.register("b", artifact)
+        assert registry.models() == ["a", "b"]
+        assert set(registry.index()) == {"a", "b"}
+
+    def test_register_metadata_is_kept(self, registry, artifact):
+        registry.register("m", artifact, metadata={"owner": "team-x"})
+        assert registry.versions("m")[0]["metadata"] == {"owner": "team-x"}
+
+    def test_invalid_name_rejected(self, registry, artifact):
+        with pytest.raises(RegistryError, match="invalid model name"):
+            registry.register("../escape", artifact)
+
+
+class TestAliases:
+    def test_promote_and_resolve(self, registry, artifact):
+        registry.register("m", artifact)
+        registry.register("m", artifact)
+        registry.promote("m", 1, "production")
+        assert registry.resolve("m", "production") == 1
+        assert registry.resolve("m", "latest") == 2
+
+    def test_rollback_restores_previous_target(self, registry, artifact):
+        for _ in range(3):
+            registry.register("m", artifact)
+        registry.promote("m", 1, "production")
+        registry.promote("m", 3, "production")
+        assert registry.rollback("m", "production") == 1
+        assert registry.resolve("m", "production") == 1
+
+    def test_rollback_without_history_raises(self, registry, artifact):
+        registry.register("m", artifact)
+        registry.promote("m", 1, "production")
+        with pytest.raises(RegistryError, match="no earlier version"):
+            registry.rollback("m", "production")
+
+    def test_latest_is_reserved(self, registry, artifact):
+        registry.register("m", artifact)
+        with pytest.raises(RegistryError, match="managed automatically"):
+            registry.promote("m", 1, "latest")
+
+    def test_unknown_alias_and_version_are_actionable(self, registry,
+                                                      artifact):
+        registry.register("m", artifact)
+        with pytest.raises(RegistryError, match="no alias 'staging'"):
+            registry.resolve("m", "staging")
+        with pytest.raises(RegistryError, match="known versions: \\[1\\]"):
+            registry.resolve("m", 7)
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.get("nope")
+
+
+class TestIntegrity:
+    def test_tampered_artifact_is_refused(self, registry, artifact):
+        registry.register("m", artifact)
+        path = os.path.join(registry.root, "m", "v1", "artifact.json")
+        with open(path) as f:
+            obj = json.load(f)
+        obj["task"] = "regression"  # hand-edit the deployed file
+        with open(path, "w") as f:
+            json.dump(obj, f)
+        with pytest.raises(RegistryError, match="integrity check failed"):
+            registry.get("m")
+
+    def test_missing_artifact_file_is_reported(self, registry, artifact):
+        registry.register("m", artifact)
+        os.remove(os.path.join(registry.root, "m", "v1", "artifact.json"))
+        with pytest.raises(RegistryError, match="missing"):
+            registry.get("m")
+
+    def test_reopened_registry_reads_same_state(self, registry, artifact,
+                                                served_data):
+        X, _ = served_data
+        registry.register("m", artifact)
+        registry.promote("m", 1, "production")
+        reopened = ModelRegistry(registry.root)
+        assert reopened.resolve("m", "production") == 1
+        got = reopened.get("m", "production")
+        assert np.array_equal(got.predict(X[:3]), artifact.predict(X[:3]))
