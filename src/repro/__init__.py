@@ -12,9 +12,15 @@ Subpackages: ``core`` (the AutoML layer), ``exec`` (pluggable
 trial-execution engine: serial/thread/process backends + trial cache),
 ``serve`` (deployment layer: pipeline artifacts, versioned model
 registry, micro-batching HTTP prediction server), ``learners`` (the ML
-layer), ``metrics``, ``data`` (benchmark suite + selectivity
-substrate), ``baselines`` (comparator AutoML systems), ``bench``
-(experiment harness).
+layer), ``metrics``, ``data`` (benchmark suite + selectivity and
+time-series substrates), ``baselines`` (comparator AutoML systems),
+``bench`` (experiment harness).
+
+Beyond tabular classification/regression, ``task="forecast"`` runs the
+same economical search on univariate time series: lag featurization is
+searched jointly with the learner, trials are scored by leakage-proof
+rolling-origin temporal CV, and ``predict(horizon=H)`` returns an
+H-step forecast.
 """
 
 from .core.automl import AutoML

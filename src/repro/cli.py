@@ -5,6 +5,8 @@ the no-code form of that loop::
 
     python -m repro fit train.csv --label y --budget 30 --out model.json
     python -m repro predict model.json test.csv --out preds.csv
+    python -m repro fit series.csv --task forecast --horizon 12 \
+        --seasonal-period 12 --artifact fc.json
     python -m repro datasets --task binary
     python -m repro portfolio build corpus1.csv corpus2.csv --out pf.json
     python -m repro fit train.csv --register models/ --name churn
@@ -52,8 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="label column name or index (default: last)")
     fit.add_argument("--task", default=None,
                      choices=["classification", "binary", "multiclass",
-                              "regression"],
+                              "regression", "forecast"],
                      help="default: inferred from the label column")
+    fit.add_argument("--horizon", type=int, default=1,
+                     help="forecast horizon H (task=forecast; default 1)")
+    fit.add_argument("--seasonal-period", type=int, default=None,
+                     help="seasonal period m of the series (task=forecast): "
+                          "adds a seasonal lag feature and sets the MASE "
+                          "scale and naive baseline")
     fit.add_argument("--budget", type=float, default=60.0,
                      help="time budget in seconds (default 60)")
     fit.add_argument("--metric", default="auto",
@@ -94,12 +102,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write predictions to this CSV (default: stdout)")
     pred.add_argument("--proba", action="store_true",
                       help="class probabilities instead of labels")
+    pred.add_argument("--horizon", type=int, default=None,
+                      help="forecast horizon (forecast models; default: the "
+                           "horizon the model was fitted with)")
 
     ds = sub.add_parser("datasets", help="list the benchmark suite")
     ds.add_argument("--task", default=None,
-                    choices=["binary", "multiclass", "regression"])
+                    choices=["binary", "multiclass", "regression",
+                             "forecast"])
     ds.add_argument("--describe", default=None, metavar="NAME",
                     help="load one suite dataset and print its statistics")
+    ds.add_argument("--export", default=None, metavar="NAME",
+                    help="generate one suite/forecast dataset and write it "
+                         "as CSV (requires --out)")
+    ds.add_argument("--out", default=None,
+                    help="CSV path for --export")
 
     srv = sub.add_parser(
         "serve", help="serve registered models over HTTP with micro-batching"
@@ -119,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="micro-batch coalescing window (default 2ms)")
     srv.add_argument("--no-batching", action="store_true",
                      help="predict every request directly (for comparison)")
+    srv.add_argument("--max-horizon", type=int, default=1000,
+                     help="cap on per-request forecast horizons "
+                          "(default 1000)")
 
     reg = sub.add_parser("registry", help="inspect / manage a model registry")
     reg_sub = reg.add_subparsers(dest="reg_command", required=True)
@@ -166,6 +186,13 @@ def _cmd_fit(args) -> int:
     data = from_csv(args.train_csv, label=_label_arg(args.label),
                     task=args.task)
     automl = AutoML(seed=args.seed)
+    forecast_kw = {}
+    if data.task == "forecast" or args.horizon != 1 or args.seasonal_period:
+        # pass through even when the task is not forecast, so AutoML.fit
+        # raises its clear error instead of a forgotten `--task forecast`
+        # silently training a shuffled regression on the series
+        forecast_kw = dict(horizon=args.horizon,
+                           seasonal_period=args.seasonal_period)
     automl.fit(
         data.X, data.y,
         task=data.task,
@@ -176,6 +203,7 @@ def _cmd_fit(args) -> int:
         n_workers=args.n_workers,
         backend=args.backend,
         log_file=args.log,
+        **forecast_kw,
     )
     model = {
         "task": data.task,
@@ -188,6 +216,7 @@ def _cmd_fit(args) -> int:
         "seed": args.seed,
         "train_csv": args.train_csv,
         "n_trials": automl.search_result.n_trials,
+        **forecast_kw,
     }
     with open(args.out, "w") as f:
         json.dump(model, f, indent=1, default=float)
@@ -214,6 +243,15 @@ def _cmd_fit(args) -> int:
     result = automl.search_result
     print(f"best learner : {automl.best_estimator}")
     print(f"best error   : {automl.best_loss:.4f}")
+    if data.task == "forecast" and args.metric in ("auto", "mase"):
+        from .data.timeseries import seasonal_naive_cv_error
+
+        baseline = seasonal_naive_cv_error(
+            data.y, horizon=args.horizon, m=args.seasonal_period or 1,
+        )
+        verdict = "beats" if automl.best_loss < baseline else "DOES NOT beat"
+        print(f"seasonal-naive MASE under the same rolling-origin CV: "
+              f"{baseline:.4f} ({verdict} the baseline)")
     print(f"trials       : {result.n_trials} "
           f"({result.cache_hits} cache hits, backend={result.backend} "
           f"x{result.n_workers})")
@@ -241,11 +279,25 @@ def _cmd_predict(args) -> int:
         train = from_csv(model["train_csv"], label=_label_arg(model["label"]),
                          task=model["task"])
         automl = AutoML(seed=model["seed"])
+        forecast_kw = {}
+        if model["task"] == "forecast":
+            forecast_kw = dict(horizon=model.get("horizon", 1),
+                               seasonal_period=model.get("seasonal_period"))
         automl.fit(train.X, train.y, task=model["task"],
                    time_budget=1e9, max_iters=1,
                    estimator_list=[model["learner"]],
-                   starting_points={model["learner"]: model["config"]})
+                   starting_points={model["learner"]: model["config"]},
+                   **forecast_kw)
         estimator = automl.model
+    if model["task"] == "forecast":
+        # the test CSV is the recent raw history of the series; answer
+        # with the next --horizon values
+        if args.proba:
+            raise ValueError("--proba is not defined for forecast models")
+        history = from_csv(args.test_csv, label=_label_arg(model["label"]),
+                           task="forecast").y
+        out = estimator.predict(history, horizon=args.horizon)
+        return _emit_predictions(out, args.out)
     if _has_label(args.test_csv, model):
         X = from_csv(args.test_csv, label=_label_arg(model["label"]),
                      task=model["task"]).X
@@ -258,12 +310,17 @@ def _cmd_predict(args) -> int:
         X = np.array([[float(c or "nan") for c in r] for r in rows[1:]])
     out = (estimator.predict_proba(X) if args.proba else
            estimator.predict(X))
+    return _emit_predictions(out, args.out)
+
+
+def _emit_predictions(out, path: str | None) -> int:
+    """Write predictions (one row per line) to ``path`` or stdout."""
     lines = [",".join(map(str, np.atleast_1d(row))) for row in out]
     text = "\n".join(lines)
-    if args.out:
-        with open(args.out, "w") as f:
+    if path:
+        with open(path, "w") as f:
             f.write(text + "\n")
-        print(f"wrote {len(lines)} predictions to {args.out}")
+        print(f"wrote {len(lines)} predictions to {path}")
     else:
         print(text)
     return 0
@@ -287,19 +344,51 @@ def _has_label(path: str, model: dict) -> bool:
     return len(header) > n_features
 
 
+def _load_any_dataset(name: str):
+    """A suite dataset or a synthetic forecasting regime, by name."""
+    from .data.timeseries import TIMESERIES_REGIMES, load_forecast_dataset
+
+    if name in TIMESERIES_REGIMES:
+        return load_forecast_dataset(name)
+    if name in SUITE:
+        return SUITE[name].load()
+    raise ValueError(
+        f"unknown dataset {name!r}; see `datasets` for names"
+    )
+
+
 def _cmd_datasets(args) -> int:
+    from .data.io import to_csv
+    from .data.timeseries import TIMESERIES_REGIMES, forecast_suite_names
+
     if args.describe is not None:
-        if args.describe not in SUITE:
-            raise ValueError(
-                f"unknown dataset {args.describe!r}; see `datasets` for names"
-            )
-        for k, v in SUITE[args.describe].load().describe().items():
+        for k, v in _load_any_dataset(args.describe).describe().items():
             print(f"{k:<15} {v}")
         return 0
-    for name in suite_names(args.task):
-        s = SUITE[name]
-        print(f"{name:<24} {s.task:<11} n={s.n:<7} d={s.d:<4} "
-              f"(paper: {s.orig_n} x {s.orig_d})")
+    if args.export is not None:
+        if not args.out:
+            raise ValueError("--export requires --out PATH")
+        data = _load_any_dataset(args.export)
+        to_csv(data, args.out)
+        print(f"wrote {data.name} ({data.n} rows, task={data.task}) "
+              f"to {args.out}")
+        return 0
+    if args.task != "forecast":
+        for name in suite_names(args.task):
+            s = SUITE[name]
+            print(f"{name:<24} {s.task:<11} n={s.n:<7} d={s.d:<4} "
+                  f"(paper: {s.orig_n} x {s.orig_d})")
+    if args.task in (None, "forecast"):
+        for name in forecast_suite_names():
+            p = TIMESERIES_REGIMES[name]
+            parts = [f"n={p['n']:<7}"]
+            if p.get("seasonal_period"):
+                parts.append(f"m={p['seasonal_period']}")
+            if p.get("trend"):
+                parts.append(f"trend={p['trend']}")
+            if p.get("ar"):
+                parts.append(f"ar={p['ar']}")
+            print(f"{name:<24} {'forecast':<11} {' '.join(parts)}")
     return 0
 
 
@@ -312,13 +401,13 @@ def _cmd_serve(args) -> int:
         model_server = ModelServer(
             registry=ModelRegistry(args.registry),
             max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
-            batching=not args.no_batching,
+            batching=not args.no_batching, max_horizon=args.max_horizon,
         )
     else:
         model_server = ModelServer(
             artifacts={args.name: PipelineArtifact.load(args.artifact)},
             max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
-            batching=not args.no_batching,
+            batching=not args.no_batching, max_horizon=args.max_horizon,
         )
     serve(model_server, host=args.host, port=args.port)
     return 0

@@ -25,8 +25,9 @@ from .registry import (
     LearnerSpec,
     all_learners,
     default_estimator_list,
+    forecast_spec,
 )
-from .resampling import choose_resampling
+from .resampling import TemporalSplitter, choose_resampling, resolve_resampling
 from .searchstate import SearchThread
 from .serialize import load_result, result_from_dict, result_to_dict, save_result
 from .space import (
@@ -62,6 +63,7 @@ __all__ = [
     "SearchSpace",
     "SearchThread",
     "StackedEnsemble",
+    "TemporalSplitter",
     "TrialOutcome",
     "TrialRecord",
     "Uniform",
@@ -72,9 +74,11 @@ __all__ = [
     "default_estimator_list",
     "eci",
     "evaluate_config",
+    "forecast_spec",
     "infer_task",
     "load_result",
     "meta_features",
+    "resolve_resampling",
     "result_from_dict",
     "result_to_dict",
     "save_result",

@@ -35,14 +35,38 @@ __all__ = ["AutoML", "infer_task"]
 
 
 def infer_task(y: np.ndarray, task: str | None) -> str:
-    """Resolve the user-facing task string to binary|multiclass|regression."""
+    """Resolve the user-facing task string to
+    binary|multiclass|regression|forecast."""
     if task in ("binary", "multiclass", "regression"):
         return task
+    y = np.asarray(y)
+    if task == "forecast":
+        if y.dtype.kind not in "fiu":
+            raise ValueError(
+                "task='forecast' requires a numeric series as y, got dtype "
+                f"{y.dtype}; pass the observed values in time order"
+            )
+        return "forecast"
     if task == "classification":
         return "binary" if np.unique(y).size == 2 else "multiclass"
     if task is None or task == "auto":
-        y = np.asarray(y)
-        if y.dtype.kind in "OUSb":
+        if y.dtype.kind in "mM":
+            raise ValueError(
+                f"cannot infer a task from datetime-like labels (dtype "
+                f"{y.dtype}): timestamps are not a prediction target. For "
+                "time-series forecasting pass the observed *values* as y "
+                "with task='forecast'; otherwise encode the timestamps "
+                "numerically and pass task='regression'"
+            )
+        if y.dtype.kind == "O":
+            raise ValueError(
+                "cannot infer a task from object-dtype labels: mixed or "
+                "arbitrary Python objects are ambiguous. Convert y to a "
+                "numeric array (regression/forecast) or to homogeneous "
+                "string/int class labels (classification), or pass task= "
+                "explicitly"
+            )
+        if y.dtype.kind in "USb":
             return "binary" if np.unique(y).size == 2 else "multiclass"
         uniq = np.unique(y)
         if uniq.size <= max(20, int(0.05 * y.size)) and np.allclose(
@@ -169,6 +193,8 @@ class AutoML:
         backend: str | None = None,
         trial_cache: bool = True,
         trial_time_limit: float | None = None,
+        horizon: int = 1,
+        seasonal_period: int | None = None,
     ) -> "AutoML":
         """Search for an accurate model within ``time_budget`` seconds.
 
@@ -204,22 +230,74 @@ class AutoML:
         limit on thread/process backends (an overdue trial is abandoned
         as inf-error), advisory on serial/virtual ones, where trials run
         inline and stop early only if the learner honours its
-        ``train_time_limit``.  Returns ``self``.
+        ``train_time_limit``.
+
+        ``task="forecast"`` treats ``y_train`` as an ordered univariate
+        series (``X_train`` may be ``None``; exogenous columns are
+        carried but the reduction is autoregressive): trials are scored
+        by rolling-origin temporal CV at the given ``horizon`` (never on
+        the future), the lag featurization is searched jointly with each
+        learner's hyperparameters, and ``seasonal_period`` adds a
+        seasonal lag feature and sets the MASE scale.  Predict with
+        ``predict(horizon=...)``.  Returns ``self``.
         """
         seed = self.seed if seed is None else int(seed)
         t0 = time.perf_counter()
-        X_train = np.asarray(X_train, dtype=np.float64)
         y_train = np.asarray(y_train)
-        self._n_features_in = int(X_train.shape[1]) if X_train.ndim == 2 else None
-        self._preprocessor = (
-            list(preprocessor)
-            if isinstance(preprocessor, (list, tuple))
-            else ([preprocessor] if preprocessor is not None else [])
-        )
-        for step in self._preprocessor:
-            X_train = step.fit_transform(X_train)
         self._task = infer_task(y_train, task)
-        data = Dataset("train", X_train, y_train, self._task).shuffled(seed)
+        if self._task != "forecast" and (horizon != 1 or seasonal_period):
+            raise ValueError(
+                "horizon/seasonal_period only apply to task='forecast', "
+                f"but the task resolved to {self._task!r}"
+            )
+        self._horizon = max(1, int(horizon))
+        self._seasonal_period = int(seasonal_period) if seasonal_period else None
+        if self._task == "forecast":
+            if preprocessor is not None:
+                raise ValueError(
+                    "preprocessor is not supported for task='forecast': "
+                    "featurization (lags/windows/differencing) is part of "
+                    "the searched trial config"
+                )
+            if resampling not in (None, "temporal"):
+                raise ValueError(
+                    f"task='forecast' requires resampling='temporal', got "
+                    f"{resampling!r} — random splits would train on the "
+                    "future"
+                )
+            if ensemble:
+                raise ValueError(
+                    "stacked ensembles are not supported for task='forecast'"
+                )
+            y_train = y_train.astype(np.float64)
+            if X_train is None:
+                X_train = np.arange(y_train.size,
+                                    dtype=np.float64).reshape(-1, 1)
+            X_train = np.asarray(X_train, dtype=np.float64)
+            self._preprocessor = []
+            self._n_features_in = (
+                int(X_train.shape[1]) if X_train.ndim == 2 else None
+            )
+            # time order is the whole point: never shuffle a series
+            data = Dataset("train", X_train, y_train, "forecast")
+        else:
+            if X_train is None:
+                raise TypeError(
+                    "X_train is required (it is optional only for "
+                    "task='forecast')"
+                )
+            X_train = np.asarray(X_train, dtype=np.float64)
+            self._n_features_in = (
+                int(X_train.shape[1]) if X_train.ndim == 2 else None
+            )
+            self._preprocessor = (
+                list(preprocessor)
+                if isinstance(preprocessor, (list, tuple))
+                else ([preprocessor] if preprocessor is not None else [])
+            )
+            for step in self._preprocessor:
+                X_train = step.fit_transform(X_train)
+            data = Dataset("train", X_train, y_train, self._task).shuffled(seed)
         from ..exec.engine import dataset_token
 
         fp = dataset_token(data)
@@ -228,7 +306,21 @@ class AutoML:
             "crc32": fp[4],
         }
         metric_obj = get_metric(metric, task=self._task)
+        if (
+            self._task == "forecast"
+            and self._seasonal_period
+            and metric in ("auto", "mase")
+        ):
+            # seasonal MASE: scale by the in-sample seasonal-naive error
+            from ..metrics.forecast import mase_metric
+
+            metric_obj = mase_metric(self._seasonal_period)
         learners = self._resolve_learners(estimator_list, self._task)
+        if self._task == "forecast":
+            from .registry import forecast_spec
+
+            # lag structure becomes part of every learner's search space
+            learners = {n: forecast_spec(s) for n, s in learners.items()}
         if resume_from is not None:
             resumed = _starting_points_from(resume_from)
             starting_points = {**resumed, **(starting_points or {})}
@@ -259,6 +351,8 @@ class AutoML:
                 fitted_cost_model=fitted_cost_model,
                 trial_cache=trial_cache,
                 trial_time_limit=trial_time_limit,
+                horizon=self._horizon,
+                seasonal_period=self._seasonal_period,
             )
         else:
             from .parallel import ParallelSearchController
@@ -286,6 +380,8 @@ class AutoML:
                 backend=backend,
                 trial_cache=trial_cache,
                 trial_time_limit=trial_time_limit,
+                horizon=self._horizon,
+                seasonal_period=self._seasonal_period,
             )
         self._result = controller.run()
         if log_file:
@@ -314,10 +410,25 @@ class AutoML:
             est_cls = spec.estimator_cls(self._task)
             # bound the retrain so fit() does not blow far past the budget
             retrain_limit = max(time_budget, 3 * (time.perf_counter() - t0) / 10)
-            self._model = _make_estimator(
-                est_cls, self._result.best_config, seed, retrain_limit
-            )
-            self._model.fit(data.X, data.y)
+            if self._task == "forecast":
+                from ..data.timeseries import ForecastModel, \
+                    featurizer_from_config, split_forecast_config
+
+                base_cfg, fc_cfg = split_forecast_config(
+                    self._result.best_config
+                )
+                featurizer = featurizer_from_config(
+                    fc_cfg, self._seasonal_period
+                )
+                base = _make_estimator(est_cls, base_cfg, seed, retrain_limit)
+                self._model = ForecastModel(
+                    base, featurizer, horizon=self._horizon
+                ).fit(data.y)
+            else:
+                self._model = _make_estimator(
+                    est_cls, self._result.best_config, seed, retrain_limit
+                )
+                self._model.fit(data.X, data.y)
         else:
             self._model = self._result.best_model
         return self
@@ -344,19 +455,45 @@ class AutoML:
             X = step.transform(X)
         return X
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predict labels/values with the best model found."""
+    def predict(self, X: np.ndarray | None = None,
+                horizon: int | None = None) -> np.ndarray:
+        """Predict labels/values with the best model found.
+
+        For ``task="forecast"``, returns the next ``horizon`` values
+        (default: the horizon given to ``fit``); ``X``, if given, is the
+        recent raw history to forecast from (default: the training
+        series' tail).
+        """
         self._require_fitted()
+        if self._task == "forecast":
+            history = (
+                None if X is None
+                else np.asarray(X, dtype=np.float64).ravel()
+            )
+            return self._model.forecast(
+                horizon if horizon is not None else self._horizon,
+                history=history,
+            )
+        if X is None:
+            raise TypeError(
+                "predict() requires X (it is optional only for "
+                "task='forecast')"
+            )
+        if horizon is not None:
+            raise ValueError(
+                "horizon only applies to task='forecast', but this AutoML "
+                f"was fitted with task={self._task!r}"
+            )
         return self._model.predict(self._apply_preprocessor(X))
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class probabilities of the best model (classification only)."""
         self._require_fitted()
-        if self._task == "regression":
+        if self._task in ("regression", "forecast"):
             raise RuntimeError(
                 "predict_proba is only defined for classification, but this "
-                f"AutoML was fitted with task='regression' (best learner: "
-                f"{self._result.best_learner}); use predict(X) for point "
+                f"AutoML was fitted with task={self._task!r} (best learner: "
+                f"{self._result.best_learner}); use predict() for point "
                 "estimates"
             )
         return self._model.predict_proba(self._apply_preprocessor(X))
@@ -364,14 +501,25 @@ class AutoML:
     def score(self, X: np.ndarray, y: np.ndarray,
               metric: str | Metric | None = None) -> float:
         """Error of the fitted model on (X, y) under ``metric`` (default:
-        the metric used during fit).  Lower is better."""
+        the metric used during fit).  Lower is better.
+
+        For ``task="forecast"``, ``X`` is the raw history preceding the
+        actuals ``y`` (pass the training series, or ``None`` for its
+        stored tail) and the error scores a ``len(y)``-step forecast.
+        """
         self._require_fitted()
         m = self._metric if metric is None else get_metric(metric, task=self._task)
+        y = np.asarray(y)
+        if self._task == "forecast":
+            pred = self.predict(X, horizon=int(y.size))
+            history = (None if X is None
+                       else np.asarray(X, dtype=np.float64).ravel())
+            return m.error(y, pred, history=history)
         if self._task != "regression" and m.needs_proba:
             pred = self.predict_proba(X)
         else:
             pred = self.predict(X)
-        return m.error(np.asarray(y), pred)
+        return m.error(y, pred)
 
     # -- introspection ---------------------------------------------------
     @property

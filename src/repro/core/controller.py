@@ -32,7 +32,7 @@ from ..exec import ExecutionEngine, SerialExecutor, TrialCache, TrialExecutor, T
 from ..metrics.registry import Metric
 from .eci import LearnerProposer
 from .registry import LearnerSpec
-from .resampling import choose_resampling
+from .resampling import resolve_resampling
 from .searchstate import SearchThread
 
 __all__ = ["TrialRecord", "SearchResult", "SearchController"]
@@ -138,6 +138,8 @@ class SearchController(LearnerSelectionMixin):
         executor: TrialExecutor | None = None,
         trial_cache: TrialCache | bool = True,
         trial_time_limit: float | None = None,
+        horizon: int = 1,
+        seasonal_period: int | None = None,
     ) -> None:
         self.check_selection(learner_selection)
         if time_budget <= 0:
@@ -154,20 +156,22 @@ class SearchController(LearnerSelectionMixin):
         self.learner_selection = learner_selection
         self.max_iters = max_iters
         self.keep_models = keep_models
+        self.horizon = max(1, int(horizon))
+        self.seasonal_period = seasonal_period
         # appendix: "one may search for the cheapest model with error below
         # a threshold" — stop as soon as the target error is reached
         self.stop_at_error = stop_at_error
 
         self.rng = np.random.default_rng(seed)
-        # step 0: resampling strategy (fixed for the run)
-        if resampling_override is not None:
-            self.resampling = resampling_override
-        else:
-            self.resampling = choose_resampling(
-                data.n, data.d, time_budget,
-                instance_threshold=cv_instance_threshold,
-                rate_threshold=cv_rate_threshold,
-            )
+        # step 0: resampling strategy (fixed for the run) plus the
+        # sample-size ceiling the search threads grow toward
+        self.resampling, self._thread_full_size = resolve_resampling(
+            data.n, data.d, data.task, time_budget,
+            override=resampling_override,
+            instance_threshold=cv_instance_threshold,
+            rate_threshold=cv_rate_threshold,
+            horizon=self.horizon,
+        )
         names = list(self.learners)
         self.proposer = LearnerProposer(
             names, self.rng, c=sample_growth,
@@ -179,8 +183,8 @@ class SearchController(LearnerSelectionMixin):
         self.threads = {
             n: SearchThread(
                 n,
-                spec.space_fn(data.n, data.task),
-                full_size=data.n,
+                spec.space_fn(self._thread_full_size, data.task),
+                full_size=self._thread_full_size,
                 init_sample_size=init_sample_size,
                 sample_growth=sample_growth,
                 seed=seed + i,
@@ -247,6 +251,8 @@ class SearchController(LearnerSelectionMixin):
                 seed=self.seed,
                 train_time_limit=max(remaining, 0.01),
                 labels=self._labels,
+                horizon=self.horizon,
+                seasonal_period=self.seasonal_period,
             )
             outcome = self.engine.run(spec)
             thread.tell(outcome.error)

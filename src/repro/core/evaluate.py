@@ -98,6 +98,55 @@ def _fold_error(model, Xv, yv, metric: Metric, task: str, labels):
     return metric.error(yv, pred, labels=labels) if metric.needs_proba else metric.error(yv, pred)
 
 
+def _temporal_error(
+    data: Dataset,
+    estimator_cls: type,
+    config: dict,
+    sample_size: int,
+    metric: Metric,
+    n_splits: int,
+    seed: int,
+    train_time_limit: float | None,
+    horizon: int,
+    seasonal_period: int | None,
+):
+    """Rolling-origin evaluation of one forecast trial.
+
+    The config is split into estimator vs featurization halves
+    (``fc_*``); every fold trains a :class:`~repro.data.timeseries.
+    ForecastModel` on rows strictly before its validation block and
+    scores a recursive ``horizon``-step forecast against the actuals —
+    the sample-size prefix takes the *most recent* ``s`` training rows,
+    the temporal counterpart of the paper's subsample-of-shuffled-data.
+    Returns (mean error, last fold's fitted model).
+    """
+    from ..data.timeseries import ForecastModel, featurizer_from_config, \
+        split_forecast_config
+    from .resampling import TemporalSplitter
+
+    base_cfg, fc_cfg = split_forecast_config(config)
+    featurizer = featurizer_from_config(fc_cfg, seasonal_period)
+    h = max(1, int(horizon))
+    y = np.asarray(data.y, dtype=np.float64)
+    # a fold must hold enough history for one feature row plus at least
+    # two supervised rows; shrink the fold count for short series rather
+    # than failing the trial outright
+    min_train = featurizer.min_history + 2
+    k = max(1, min(int(n_splits), (data.n - min_train) // h))
+    splitter = TemporalSplitter(n_splits=k, horizon=h, min_train=min_train)
+    per_fold_limit = train_time_limit / k if train_time_limit is not None else None
+    errors = []
+    model = None
+    for tr, va in splitter.split(data.n):
+        s = max(int(sample_size), min_train)
+        tr_used = tr[-min(s, tr.size):]
+        base = _make_estimator(estimator_cls, base_cfg, seed, per_fold_limit)
+        model = ForecastModel(base, featurizer, horizon=h).fit(y[tr_used])
+        pred = model.forecast(va.size)
+        errors.append(metric.error(y[va], pred, history=y[tr_used]))
+    return float(np.mean(errors)), model
+
+
 def evaluate_config(
     data: Dataset,
     estimator_cls: type,
@@ -110,6 +159,8 @@ def evaluate_config(
     seed: int = 0,
     train_time_limit: float | None = None,
     labels: np.ndarray | None = None,
+    horizon: int = 1,
+    seasonal_period: int | None = None,
 ) -> TrialOutcome:
     """Run one trial of χ = (estimator, config, s, r) and time it.
 
@@ -120,16 +171,27 @@ def evaluate_config(
     validation errors comparable across fidelities, which is what lets the
     controller track a single global best over trials of different sample
     sizes (FLAML does the same).  Under CV the folds are taken within the
-    sample.  Returns the validation error, the wall-clock cost, and a
-    fitted model (the final deployment model is retrained by the caller).
+    sample.  Under ``temporal`` (forecast tasks; data stays in time
+    order, never shuffled) the trial is scored by rolling-origin CV —
+    see :func:`_temporal_error`; ``horizon``/``seasonal_period`` only
+    apply there.  Returns the validation error, the wall-clock cost, and
+    a fitted model (the final deployment model is retrained by the
+    caller).
     """
-    if resampling not in ("cv", "holdout"):
-        raise ValueError(f"resampling must be cv|holdout, got {resampling!r}")
+    if resampling not in ("cv", "holdout", "temporal"):
+        raise ValueError(
+            f"resampling must be cv|holdout|temporal, got {resampling!r}"
+        )
     start = time.perf_counter()
     rng = np.random.default_rng(seed)
     model = None
     try:
-        if resampling == "holdout":
+        if resampling == "temporal":
+            error, model = _temporal_error(
+                data, estimator_cls, config, sample_size, metric,
+                n_splits, seed, train_time_limit, horizon, seasonal_period,
+            )
+        elif resampling == "holdout":
             y_strat = data.y if data.is_classification else None
             tr, va = holdout_indices(data.n, holdout_ratio, y=y_strat, rng=rng)
             tr_used = tr[: min(int(sample_size), tr.size)]

@@ -51,7 +51,7 @@ from ..metrics.registry import Metric
 from .controller import LearnerSelectionMixin, SearchResult, TrialRecord
 from .eci import LearnerProposer
 from .registry import LearnerSpec
-from .resampling import choose_resampling
+from .resampling import resolve_resampling
 from .searchstate import SearchThread
 
 __all__ = ["ParallelSearchController"]
@@ -89,6 +89,8 @@ class ParallelSearchController(LearnerSelectionMixin):
         executor: TrialExecutor | None = None,
         trial_cache: TrialCache | bool = True,
         trial_time_limit: float | None = None,
+        horizon: int = 1,
+        seasonal_period: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -112,11 +114,15 @@ class ParallelSearchController(LearnerSelectionMixin):
         self.max_trials = max_trials
         self.stop_at_error = stop_at_error
         self.backend = backend
+        self.horizon = max(1, int(horizon))
+        self.seasonal_period = seasonal_period
         self.rng = np.random.default_rng(seed)
-        self.resampling = resampling_override or choose_resampling(
-            data.n, data.d, time_budget,
+        self.resampling, self._thread_full_size = resolve_resampling(
+            data.n, data.d, data.task, time_budget,
+            override=resampling_override,
             instance_threshold=cv_instance_threshold,
             rate_threshold=cv_rate_threshold,
+            horizon=self.horizon,
         )
         self.proposer = LearnerProposer(
             list(learners), self.rng, c=sample_growth,
@@ -163,8 +169,8 @@ class ParallelSearchController(LearnerSelectionMixin):
     def _make_thread(self, name: str, spec: LearnerSpec, seed: int,
                      starting_point: dict | None = None) -> SearchThread:
         return SearchThread(
-            name, spec.space_fn(self.data.n, self.data.task),
-            full_size=self.data.n,
+            name, spec.space_fn(self._thread_full_size, self.data.task),
+            full_size=self._thread_full_size,
             init_sample_size=self._init_sample_size,
             sample_growth=self._sample_growth,
             seed=seed,
@@ -200,6 +206,8 @@ class ParallelSearchController(LearnerSelectionMixin):
             seed=self.seed,
             train_time_limit=max(limit, 0.01),
             labels=self._labels,
+            horizon=self.horizon,
+            seasonal_period=self.seasonal_period,
         )
         return learner, thread, config, s, kind, spec
 

@@ -54,6 +54,7 @@ __all__ = [
     "EXTRA_LEARNERS",
     "all_learners",
     "default_estimator_list",
+    "forecast_spec",
     "make_spec_from_class",
 ]
 
@@ -69,8 +70,10 @@ class LearnerSpec:
     cost_constant: float = 1.0
 
     def estimator_cls(self, task: str) -> type:
-        """The estimator class for the given task."""
-        cls = self.regressor_cls if task == "regression" else self.classifier_cls
+        """The estimator class for the given task (forecasting reduces to
+        regression, so it uses the regressor)."""
+        cls = (self.regressor_cls if task in ("regression", "forecast")
+               else self.classifier_cls)
         if cls is None:
             raise ValueError(f"learner {self.name!r} does not support task {task!r}")
         return cls
@@ -79,7 +82,7 @@ class LearnerSpec:
         """Whether this learner supports the given task."""
         return (
             self.regressor_cls is not None
-            if task == "regression"
+            if task in ("regression", "forecast")
             else self.classifier_cls is not None
         )
 
@@ -126,6 +129,32 @@ def all_learners() -> dict[str, LearnerSpec]:
 def default_estimator_list(task: str) -> list[str]:
     """All registered learners that support the task, cheapest first."""
     return [n for n, s in DEFAULT_LEARNERS.items() if s.supports(task)]
+
+
+def forecast_spec(spec: LearnerSpec) -> LearnerSpec:
+    """Wrap a learner spec for ``task="forecast"`` searches.
+
+    The wrapped ``space_fn`` builds the learner's regression space and
+    appends the featurization domains (``fc_lags``/``fc_window``/
+    ``fc_diff``), making lag structure a first-class searched
+    hyperparameter.  ``data_size`` here is the usable training length the
+    controller budgets for temporal folds, so lag caps scale with it.
+    """
+    from .space import add_forecast_domains
+
+    base_fn = spec.space_fn
+
+    def space_fn(data_size: int, task: str):
+        return add_forecast_domains(base_fn(data_size, "regression"),
+                                    data_size)
+
+    return LearnerSpec(
+        name=spec.name,
+        classifier_cls=spec.classifier_cls,
+        regressor_cls=spec.regressor_cls,
+        space_fn=space_fn,
+        cost_constant=spec.cost_constant,
+    )
 
 
 def make_spec_from_class(name: str, learner_class: type) -> LearnerSpec:

@@ -23,6 +23,7 @@ __all__ = [
     "LogRandInt",
     "Choice",
     "SearchSpace",
+    "add_forecast_domains",
 ]
 
 
@@ -341,3 +342,22 @@ def gaussian_nb_space(data_size: int, task: str) -> SearchSpace:
     return SearchSpace(
         {"var_smoothing": LogUniform(1e-12, 1e-1, init=1e-9)}
     )
+
+
+def add_forecast_domains(space: SearchSpace, data_size: int) -> SearchSpace:
+    """Extend a learner's space with the featurization hyperparameters of
+    the forecasting reduction (``repro.data.timeseries``).
+
+    ``fc_lags`` (consecutive lag count), ``fc_window`` (trailing rolling-
+    mean window; 0 disables) and ``fc_diff`` (first-difference the series
+    before modelling) ride alongside the learner's own hyperparameters,
+    so one FLOW2 thread searches featurization and model jointly.  Inits
+    are the cheapest/shortest-memory configuration, matching the Table 5
+    low-cost-first convention.
+    """
+    lag_cap = int(max(2, min(24, data_size // 8)))
+    domains = dict(space.domains)
+    domains["fc_lags"] = LogRandInt(1, lag_cap, init=min(3, lag_cap))
+    domains["fc_window"] = Choice((0, 4, 8, 16), init=0)
+    domains["fc_diff"] = Choice((0, 1), init=0)
+    return SearchSpace(domains)

@@ -15,11 +15,23 @@ from .selectivity import (
     selectivity_to_dataset,
 )
 from .suite import SUITE, DatasetSpec, iter_suite, load_dataset, suite_names
+from .timeseries import (
+    TIMESERIES_REGIMES,
+    ForecastModel,
+    LagFeaturizer,
+    forecast_suite_names,
+    load_forecast_dataset,
+    make_timeseries,
+    seasonal_naive_cv_error,
+    seasonal_naive_forecast,
+)
 
 __all__ = [
     "Dataset",
     "DatasetSpec",
+    "ForecastModel",
     "Imputer",
+    "LagFeaturizer",
     "MANUAL_CONFIG",
     "OneHotEncoder",
     "Pipeline",
@@ -27,18 +39,24 @@ __all__ = [
     "SUITE",
     "SelectivityWorkload",
     "StandardScaler",
+    "TIMESERIES_REGIMES",
+    "forecast_suite_names",
     "from_csv",
     "holdout_indices",
     "iter_suite",
     "kfold_indices",
     "load_dataset",
+    "load_forecast_dataset",
     "load_npz",
     "load_selectivity",
     "make_classification",
     "make_regression",
     "make_table",
+    "make_timeseries",
     "make_workload",
     "save_npz",
+    "seasonal_naive_cv_error",
+    "seasonal_naive_forecast",
     "selectivity_to_dataset",
     "stratified_shuffle",
     "suite_names",

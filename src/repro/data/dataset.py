@@ -16,7 +16,9 @@ import numpy as np
 
 __all__ = ["Dataset", "stratified_shuffle", "kfold_indices", "holdout_indices"]
 
-TASKS = ("binary", "multiclass", "regression")
+#: "forecast" rows are an ordered univariate series (y) plus optional
+#: exogenous columns (X); such datasets must never be shuffled
+TASKS = ("binary", "multiclass", "regression", "forecast")
 
 
 def stratified_shuffle(y: np.ndarray, rng: np.random.Generator) -> np.ndarray:

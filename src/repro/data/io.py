@@ -148,7 +148,7 @@ def from_csv(
     y: np.ndarray = np.array(y_raw) if y_is_cat else y_vals
 
     feature_idx = [j for j in range(len(header)) if j != label_idx]
-    if not feature_idx:
+    if not feature_idx and task != "forecast":
         raise ValueError("no feature columns besides the label")
     X = np.empty((len(rows), len(feature_idx)), dtype=np.float64)
     categorical = []
@@ -156,6 +156,9 @@ def from_csv(
         X[:, out_j], is_cat = _parse_column(list(cols[j]))
         if is_cat:
             categorical.append(out_j)
+    if not feature_idx:
+        # a bare series file: synthesise the time index as the feature
+        X = np.arange(len(rows), dtype=np.float64).reshape(-1, 1)
 
     # late import: core.automl depends on data.dataset, not the reverse
     from ..core.automl import infer_task
@@ -164,7 +167,7 @@ def from_csv(
     return Dataset(
         name=name or str(path),
         X=X,
-        y=y if y_is_cat else (y_vals if resolved == "regression"
+        y=y if y_is_cat else (y_vals if resolved in ("regression", "forecast")
                               else y_vals.astype(np.int64)),
         task=resolved,
         categorical=tuple(categorical),

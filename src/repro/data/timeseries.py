@@ -1,0 +1,366 @@
+"""Time-series forecasting substrate: featurization, models, generators.
+
+The AutoML layer treats forecasting as *reduction to regression*: a raw
+univariate series ``y[0..n)`` becomes a supervised matrix whose row ``t``
+holds lag values ``y[t-1..t-L]``, an optional seasonal lag ``y[t-m]``,
+and optional rolling statistics — and whose target is ``y[t]``.  A
+:class:`LagFeaturizer` owns that mapping and :class:`ForecastModel`
+wraps any regression estimator of the ML layer behind it, producing
+multi-step forecasts by recursive one-step prediction.
+
+The featurization itself is *searchable*: ``fc_lags`` / ``fc_window`` /
+``fc_diff`` ride along in each trial's config next to the learner's own
+hyperparameters (see :func:`split_forecast_config` and
+``repro.core.space.add_forecast_domains``), so the economical search
+tunes how the series is framed, not just how it is fitted.
+
+Temporal-leakage safety lives one layer up: trials with
+``resampling="temporal"`` are evaluated under
+:class:`repro.core.resampling.TemporalSplitter`'s rolling-origin folds,
+where no training index ever follows a validation index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "LagFeaturizer",
+    "ForecastModel",
+    "FORECAST_CONFIG_KEYS",
+    "split_forecast_config",
+    "featurizer_from_config",
+    "make_timeseries",
+    "TIMESERIES_REGIMES",
+    "forecast_suite_names",
+    "load_forecast_dataset",
+    "seasonal_naive_forecast",
+    "seasonal_naive_cv_error",
+]
+
+#: trial-config keys owned by the featurizer, not the base estimator
+FORECAST_CONFIG_KEYS = ("fc_lags", "fc_window", "fc_diff")
+
+
+def split_forecast_config(config: dict) -> tuple[dict, dict]:
+    """Split one trial config into (estimator config, featurizer config).
+
+    The search proposes both in a single flat dict; the ``fc_`` keys
+    parameterise the :class:`LagFeaturizer` and everything else goes to
+    the base learner's constructor.
+    """
+    base = {k: v for k, v in config.items() if k not in FORECAST_CONFIG_KEYS}
+    fc = {k: config[k] for k in FORECAST_CONFIG_KEYS if k in config}
+    return base, fc
+
+
+def featurizer_from_config(fc_config: dict,
+                           seasonal_period: int | None = None) -> "LagFeaturizer":
+    """Build a :class:`LagFeaturizer` from the ``fc_*`` part of a trial
+    config plus the fit-level seasonal period."""
+    return LagFeaturizer(
+        n_lags=int(fc_config.get("fc_lags", 3)),
+        rolling_window=int(fc_config.get("fc_window", 0)),
+        difference=bool(fc_config.get("fc_diff", 0)),
+        seasonal_period=int(seasonal_period or 0),
+    )
+
+
+@dataclass
+class LagFeaturizer:
+    """Lag / rolling-window / seasonal featurization of a univariate series.
+
+    ``n_lags`` consecutive lags, an optional seasonal lag at
+    ``seasonal_period`` (0 disables), an optional rolling mean over
+    ``rolling_window`` trailing values (0 disables), and optional
+    first-differencing (``difference``), under which the model predicts
+    increments that :class:`ForecastModel` integrates back.
+
+    The featurizer is pure configuration — no fitted state — so it
+    serialises to a plain dict (:meth:`to_dict`) and is shared freely
+    across CV folds.
+    """
+
+    n_lags: int = 3
+    rolling_window: int = 0
+    seasonal_period: int = 0
+    difference: bool = False
+
+    def __post_init__(self) -> None:
+        self.n_lags = int(self.n_lags)
+        self.rolling_window = int(self.rolling_window)
+        self.seasonal_period = int(self.seasonal_period)
+        self.difference = bool(self.difference)
+        if self.n_lags < 1:
+            raise ValueError(f"n_lags must be >= 1, got {self.n_lags}")
+        if self.rolling_window < 0 or self.seasonal_period < 0:
+            raise ValueError("rolling_window/seasonal_period must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> int:
+        """Trailing working-series values one feature row looks back at."""
+        return max(self.n_lags, self.seasonal_period, self.rolling_window)
+
+    @property
+    def min_history(self) -> int:
+        """Raw-series values required to produce one feature row."""
+        return self.context + (1 if self.difference else 0)
+
+    @property
+    def n_features(self) -> int:
+        """Width of the supervised feature matrix."""
+        return (
+            self.n_lags
+            + (1 if self.seasonal_period else 0)
+            + (1 if self.rolling_window else 0)
+        )
+
+    # ------------------------------------------------------------------
+    def _working(self, y: np.ndarray) -> np.ndarray:
+        """The series the model actually regresses on (diffed or raw)."""
+        return np.diff(y) if self.difference else y
+
+    def make_supervised(self, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Turn a raw series into (features, one-step-ahead targets).
+
+        Row ``i`` of the result describes working-series index
+        ``context + i`` using strictly earlier values only — the
+        within-row counterpart of the rolling-origin leakage invariant.
+        """
+        y = np.asarray(y, dtype=np.float64).ravel()
+        z = self._working(y)
+        p = self.context
+        if z.size - p < 1:
+            raise ValueError(
+                f"series of length {y.size} is too short for lag config "
+                f"{self.to_dict()} (needs > {self.min_history} points)"
+            )
+        idx = np.arange(p, z.size)
+        cols = [z[idx - k] for k in range(1, self.n_lags + 1)]
+        if self.seasonal_period:
+            cols.append(z[idx - self.seasonal_period])
+        if self.rolling_window:
+            w = self.rolling_window
+            csum = np.concatenate([[0.0], np.cumsum(z)])
+            cols.append((csum[idx] - csum[idx - w]) / w)
+        return np.column_stack(cols), z[idx]
+
+    def feature_row(self, z_tail: np.ndarray) -> np.ndarray:
+        """One feature vector predicting the step *after* ``z_tail``
+        (working-series values, at least ``context`` of them)."""
+        z = np.asarray(z_tail, dtype=np.float64).ravel()
+        if z.size < self.context:
+            raise ValueError(
+                f"need at least {self.context} trailing values, got {z.size}"
+            )
+        row = [z[-k] for k in range(1, self.n_lags + 1)]
+        if self.seasonal_period:
+            row.append(z[-self.seasonal_period])
+        if self.rolling_window:
+            row.append(float(z[-self.rolling_window:].mean()))
+        return np.asarray(row, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe parameter dict (artifact / model_io embedding)."""
+        return {
+            "n_lags": self.n_lags,
+            "rolling_window": self.rolling_window,
+            "seasonal_period": self.seasonal_period,
+            "difference": self.difference,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "LagFeaturizer":
+        """Rebuild a featurizer serialised by :meth:`to_dict`."""
+        return cls(
+            n_lags=int(obj["n_lags"]),
+            rolling_window=int(obj["rolling_window"]),
+            seasonal_period=int(obj["seasonal_period"]),
+            difference=bool(obj["difference"]),
+        )
+
+
+class ForecastModel:
+    """A regression estimator behind a :class:`LagFeaturizer`.
+
+    ``fit`` consumes the raw series; ``forecast(h)`` rolls the one-step
+    model forward recursively, feeding each prediction back into the lag
+    window (and integrating increments when the featurizer differences).
+    The training tail is kept so a fitted model can forecast with no
+    explicit history; serving passes the client's recent history instead.
+    """
+
+    def __init__(self, base, featurizer: LagFeaturizer,
+                 horizon: int = 1) -> None:
+        if int(horizon) < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.base = base
+        self.featurizer = featurizer
+        self.horizon = int(horizon)
+        self.tail_: np.ndarray | None = None
+
+    def fit(self, y: np.ndarray, X=None) -> "ForecastModel":
+        """Fit the base estimator on the lagged supervised matrix.
+
+        ``X`` (exogenous features) is accepted for signature parity and
+        ignored: the reduction is purely autoregressive.
+        """
+        y = np.asarray(y, dtype=np.float64).ravel()
+        F, target = self.featurizer.make_supervised(y)
+        self.base.fit(F, target)
+        self.tail_ = y[-self.featurizer.min_history:].copy()
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.tail_ is None:
+            raise RuntimeError("ForecastModel is not fitted; call fit(y) first")
+
+    def forecast(self, horizon: int | None = None,
+                 history=None) -> np.ndarray:
+        """Predict the next ``horizon`` values after ``history``.
+
+        ``history`` defaults to the training series tail; when given it
+        must carry at least ``featurizer.min_history`` raw values.
+        """
+        self._require_fitted()
+        h = self.horizon if horizon is None else int(horizon)
+        if h < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        hist = self.tail_ if history is None else np.asarray(
+            history, dtype=np.float64).ravel()
+        need = self.featurizer.min_history
+        if hist.size < need:
+            raise ValueError(
+                f"history has {hist.size} values but this model's lag "
+                f"config needs at least {need} to start forecasting"
+            )
+        # cap the working buffer: recursion only ever looks `context` back
+        y_ext = list(hist[-(need + h):])
+        preds = np.empty(h, dtype=np.float64)
+        for i in range(h):
+            z = self.featurizer._working(np.asarray(y_ext, dtype=np.float64))
+            f = self.featurizer.feature_row(z)
+            z_next = float(np.asarray(self.base.predict(f[None, :])).ravel()[0])
+            y_next = y_ext[-1] + z_next if self.featurizer.difference else z_next
+            preds[i] = y_next
+            y_ext.append(y_next)
+        return preds
+
+    def predict(self, rows, horizon: int | None = None) -> np.ndarray:
+        """Alias used by the serving layer: ``rows`` is a raw history."""
+        return self.forecast(horizon=horizon, history=np.asarray(rows).ravel())
+
+
+# ------------------------------------------------------------ baselines --
+def seasonal_naive_forecast(history, horizon: int, m: int = 1) -> np.ndarray:
+    """Repeat the last seasonal cycle (``m=1``: repeat the last value)."""
+    hist = np.asarray(history, dtype=np.float64).ravel()
+    m = max(1, int(m))
+    if hist.size < m:
+        raise ValueError(
+            f"history of length {hist.size} is shorter than the seasonal "
+            f"period {m}"
+        )
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    cycle = hist[-m:]
+    reps = int(np.ceil(horizon / m))
+    return np.tile(cycle, reps)[:horizon]
+
+
+def seasonal_naive_cv_error(y, horizon: int, n_splits: int = 5, m: int = 1,
+                            metric=None) -> float:
+    """Rolling-origin CV error of the seasonal-naive baseline.
+
+    Evaluated under the exact :class:`~repro.core.resampling.TemporalSplitter`
+    folds the AutoML search uses, so ``AutoML.best_loss`` and this number
+    are directly comparable ("does the searched model beat the naive
+    baseline?").  ``metric`` defaults to MASE at period ``m``.
+    """
+    from ..core.resampling import TemporalSplitter
+    from ..metrics.forecast import mase_metric
+
+    y = np.asarray(y, dtype=np.float64).ravel()
+    metric = mase_metric(m) if metric is None else metric
+    h = max(1, int(horizon))
+    k = min(int(n_splits), max(1, (y.size - max(1, int(m)) - 1) // h))
+    splitter = TemporalSplitter(n_splits=k, horizon=h,
+                                min_train=max(1, int(m)))
+    errors = []
+    for tr, va in splitter.split(y.size):
+        pred = seasonal_naive_forecast(y[tr], va.size, m)
+        errors.append(metric.error(y[va], pred, history=y[tr]))
+    return float(np.mean(errors))
+
+
+# ------------------------------------------------------------ generators --
+def make_timeseries(
+    n: int,
+    trend: float = 0.0,
+    seasonal_period: int = 0,
+    seasonal_amp: float = 0.0,
+    ar: float = 0.0,
+    noise: float = 0.1,
+    level: float = 10.0,
+    seed: int = 0,
+    name: str = "synthetic-ts",
+) -> Dataset:
+    """Generate a univariate series as a ``task="forecast"`` Dataset.
+
+    ``y[t] = level + trend*t + seasonal + e[t]`` where the seasonal part
+    is a two-harmonic cycle of period ``seasonal_period`` scaled by
+    ``seasonal_amp`` and ``e`` is an AR(1) process with coefficient
+    ``ar`` driven by Gaussian noise of scale ``noise``.  ``X`` is the
+    time index (kept for CSV round-trips; the reduction ignores it).
+    """
+    if n < 3:
+        raise ValueError(f"need n >= 3, got {n}")
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    y = level + trend * t
+    if seasonal_period and seasonal_amp:
+        phase = 2.0 * np.pi * t / seasonal_period
+        y = y + seasonal_amp * (np.sin(phase) + 0.3 * np.cos(2.0 * phase))
+    eps = noise * rng.standard_normal(n)
+    e = np.empty(n)
+    e[0] = eps[0]
+    for i in range(1, n):
+        e[i] = ar * e[i - 1] + eps[i]
+    return Dataset(name, t.reshape(-1, 1), y + e, "forecast")
+
+
+#: named trend/seasonality/noise regimes for the forecasting suite —
+#: the forecasting counterpart of data.suite's synthetic stand-ins
+TIMESERIES_REGIMES: dict[str, dict] = {
+    "ts-seasonal": dict(n=400, seasonal_period=12, seasonal_amp=4.0,
+                        ar=0.6, noise=0.4, seed=401),
+    "ts-trend": dict(n=400, trend=0.05, ar=0.5, noise=0.4, seed=402),
+    "ts-trend-seasonal": dict(n=480, trend=0.04, seasonal_period=24,
+                              seasonal_amp=3.0, ar=0.5, noise=0.5, seed=403),
+    "ts-noisy-ar": dict(n=400, ar=0.85, noise=1.0, seed=404),
+    "ts-weekly": dict(n=364, seasonal_period=7, seasonal_amp=5.0, ar=0.4,
+                      noise=0.6, seed=405),
+}
+
+
+def forecast_suite_names() -> list[str]:
+    """Names of the synthetic forecasting regimes."""
+    return list(TIMESERIES_REGIMES)
+
+
+def load_forecast_dataset(name: str) -> Dataset:
+    """Instantiate a forecasting regime by name."""
+    try:
+        params = TIMESERIES_REGIMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown forecast dataset {name!r}; known: "
+            f"{forecast_suite_names()}"
+        ) from None
+    return make_timeseries(name=name, **params)

@@ -70,6 +70,10 @@ class TrialSpec:
     seed: int = 0
     train_time_limit: float | None = None
     labels: np.ndarray | None = field(default=None, repr=False)
+    # forecast-trial context (resampling == "temporal" only): the
+    # rolling-origin validation width and the series' seasonal period
+    horizon: int = 1
+    seasonal_period: int | None = None
 
     def cache_key(self) -> tuple:
         """Identity of the trial's *result* (excludes time limits, which
@@ -84,6 +88,8 @@ class TrialSpec:
             int(self.n_splits),
             float(self.holdout_ratio),
             int(self.seed),
+            int(self.horizon),
+            int(self.seasonal_period or 0),
         )
 
 
@@ -139,6 +145,8 @@ def run_spec(data: Dataset, spec: TrialSpec) -> TrialOutcome:
         seed=spec.seed,
         train_time_limit=spec.train_time_limit,
         labels=spec.labels,
+        horizon=spec.horizon,
+        seasonal_period=spec.seasonal_period,
     )
 
 

@@ -23,6 +23,7 @@ kills the search.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -61,13 +62,33 @@ def _metric_from_ref(ref):
     return value
 
 
+def _spec_payload(spec: TrialSpec) -> dict:
+    """The picklable wire form of a spec: every TrialSpec field, with the
+    metric replaced by its registry reference.
+
+    Built by field introspection rather than a hand-written key list so
+    a field added to :class:`TrialSpec` (e.g. the forecast context)
+    cannot be silently dropped on its way to a worker process — the
+    pickle-regression tests assert this exhaustiveness.
+    """
+    payload = {
+        f.name: getattr(spec, f.name) for f in dataclasses.fields(TrialSpec)
+    }
+    payload["metric_ref"] = _metric_to_ref(payload.pop("metric"))
+    return payload
+
+
+def _spec_from_payload(payload: dict) -> TrialSpec:
+    """Inverse of :func:`_spec_payload` (worker side)."""
+    payload = dict(payload)
+    payload["metric"] = _metric_from_ref(payload.pop("metric_ref"))
+    return TrialSpec(**payload)
+
+
 def _run_remote(payload: dict) -> TrialOutcome:
     """Worker-side trial: rebuild the spec and evaluate against the
     process-local dataset.  The model never crosses the pipe."""
-    payload = dict(payload)
-    payload["metric"] = _metric_from_ref(payload.pop("metric_ref"))
-    spec = TrialSpec(**payload)
-    out = run_spec(_WORKER_DATA, spec)
+    out = run_spec(_WORKER_DATA, _spec_from_payload(payload))
     return TrialOutcome(error=out.error, cost=out.cost, model=None)
 
 
@@ -98,19 +119,7 @@ class ProcessExecutor(TrialExecutor):
     def submit(self, spec: TrialSpec) -> FutureHandle:
         """Queue the trial onto the process pool (rebuilding it if a
         previous worker crash broke the pool)."""
-        payload = {
-            "learner": spec.learner,
-            "estimator_cls": spec.estimator_cls,
-            "config": spec.config,
-            "sample_size": spec.sample_size,
-            "resampling": spec.resampling,
-            "metric_ref": _metric_to_ref(spec.metric),
-            "n_splits": spec.n_splits,
-            "holdout_ratio": spec.holdout_ratio,
-            "seed": spec.seed,
-            "train_time_limit": spec.train_time_limit,
-            "labels": spec.labels,
-        }
+        payload = _spec_payload(spec)
         try:
             return FutureHandle(self._pool.submit(_run_remote, payload))
         except BrokenProcessPool:

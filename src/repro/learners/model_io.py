@@ -15,7 +15,9 @@ plain dict/JSON and reconstructs them exactly:
 * ``GaussianNB`` — per-class Gaussians; ``KNeighbors*`` — the
   standardised training set itself;
 * ``StackedEnsemble`` — every base model plus the linear meta-learner,
-  dumped recursively.
+  dumped recursively;
+* ``ForecastModel`` — the wrapped regressor (recursively) plus its lag
+  featurization config and training tail.
 
 Round-trip contract (tested): ``load_model(dump_model(m))`` predicts
 bit-identically to ``m``.
@@ -164,6 +166,21 @@ def dump_model(model) -> dict:
             "base_models": [dump_model(m) for m in model.base_models],
             "meta_model": dump_model(model.meta_model),
         }
+    if name == "ForecastModel":
+        # data.timeseries imports nothing from this layer; match by name
+        # (like StackedEnsemble) and dump the wrapped regressor + the
+        # featurizer config + the training tail the recursion starts from
+        if model.tail_ is None:
+            raise TypeError("cannot serialise an unfitted ForecastModel")
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "forecast",
+            "class": name,
+            "horizon": int(model.horizon),
+            "featurizer": model.featurizer.to_dict(),
+            "tail": _arr(model.tail_),
+            "base": dump_model(model.base),
+        }
     if name in _GBDT_CLASSES:
         engine: GBDTEngine = model.engine_
         return {
@@ -292,6 +309,16 @@ def load_model(obj: dict):
             obj["task"],
             classes,
         )
+    if kind == "forecast":
+        from ..data.timeseries import ForecastModel, LagFeaturizer
+
+        model = ForecastModel(
+            load_model(obj["base"]),
+            LagFeaturizer.from_dict(obj["featurizer"]),
+            horizon=int(obj["horizon"]),
+        )
+        model.tail_ = np.asarray(obj["tail"], dtype=np.float64)
+        return model
     if kind == "gbdt":
         cls = _GBDT_CLASSES[name]
         model = cls(**obj["params"])

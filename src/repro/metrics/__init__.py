@@ -10,6 +10,7 @@ from .extra import (
     recall_score,
     spearman_rho,
 )
+from .forecast import mase, mase_metric, pinball_loss, smape
 from .registry import Metric, default_metric_name, get_metric, make_metric
 from .regression import mae, mse, q_error, q_error_percentile, r2_score, rmse
 
@@ -26,7 +27,10 @@ __all__ = [
     "mae",
     "make_metric",
     "mape",
+    "mase",
+    "mase_metric",
     "mse",
+    "pinball_loss",
     "precision_score",
     "q_error",
     "q_error_percentile",
@@ -34,5 +38,6 @@ __all__ = [
     "recall_score",
     "rmse",
     "roc_auc_score",
+    "smape",
     "spearman_rho",
 ]

@@ -1,0 +1,89 @@
+"""Forecast-accuracy metrics: sMAPE, MASE, pinball loss.
+
+All three are errors (lower is better) over aligned forecast/actual
+vectors.  MASE additionally scales by the in-sample seasonal-naive error
+of the *training* series — the trial evaluator passes that history
+through when ``Metric.needs_history`` is set, and the metric falls back
+to scaling by the actuals' own naive differences when no history is
+available (e.g. ``AutoML.score`` on a bare future window).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+__all__ = ["smape", "mase", "pinball_loss", "mase_metric"]
+
+_EPS = 1e-12
+
+
+def _aligned(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true, dtype=np.float64).ravel()
+    yp = np.asarray(y_pred, dtype=np.float64).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError(
+            f"forecast and actuals differ in length: {yt.size} vs {yp.size}"
+        )
+    if yt.size == 0:
+        raise ValueError("cannot score an empty forecast")
+    return yt, yp
+
+
+def smape(y_true, y_pred) -> float:
+    """Symmetric mean absolute percentage error, in [0, 2]."""
+    yt, yp = _aligned(y_true, y_pred)
+    return float(
+        np.mean(2.0 * np.abs(yp - yt) / (np.abs(yt) + np.abs(yp) + _EPS))
+    )
+
+
+def _naive_scale(series: np.ndarray, m: int) -> float:
+    """Mean absolute ``m``-step naive error of a series (the MASE scale)."""
+    if series.size > m:
+        return float(np.mean(np.abs(series[m:] - series[:-m])))
+    return 0.0
+
+
+def mase(y_true, y_pred, history=None, m: int = 1) -> float:
+    """Mean absolute scaled error (Hyndman & Koehler).
+
+    ``history`` is the training series whose in-sample seasonal-naive
+    (period ``m``) absolute error provides the scale; MASE < 1 means the
+    forecast beats that baseline on average.  Without a history the
+    actuals themselves provide the (weaker) scale.
+    """
+    yt, yp = _aligned(y_true, y_pred)
+    m = max(1, int(m))
+    scale = 0.0
+    if history is not None:
+        scale = _naive_scale(np.asarray(history, dtype=np.float64).ravel(), m)
+    if scale <= _EPS:
+        scale = _naive_scale(yt, min(m, max(1, yt.size - 1)))
+    if scale <= _EPS:
+        scale = float(np.mean(np.abs(yt))) or 1.0
+    return float(np.mean(np.abs(yt - yp)) / max(scale, _EPS))
+
+
+def pinball_loss(y_true, y_pred, q: float = 0.5) -> float:
+    """Quantile (pinball) loss at quantile ``q`` (0.5 = half the MAE)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {q}")
+    yt, yp = _aligned(y_true, y_pred)
+    diff = yt - yp
+    return float(np.mean(np.maximum(q * diff, (q - 1.0) * diff)))
+
+
+def _mase_error(y_true, y_pred, history=None, m: int = 1) -> float:
+    return mase(y_true, y_pred, history=history, m=m)
+
+
+def mase_metric(m: int = 1):
+    """A :class:`~repro.metrics.registry.Metric` computing MASE at period
+    ``m``.  Built on :func:`functools.partial` of a module-level function
+    so it stays picklable for the process trial backend."""
+    from .registry import Metric
+
+    name = "mase" if m <= 1 else f"mase@{int(m)}"
+    return Metric(name, partial(_mase_error, m=int(m)), needs_history=True)

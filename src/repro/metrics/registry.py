@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 
 from .classification import accuracy_score, log_loss, roc_auc_score
+from .forecast import _mase_error, pinball_loss, smape
 from .regression import mae, mse, r2_score
 
 __all__ = ["Metric", "make_metric", "get_metric", "default_metric_name"]
@@ -34,9 +35,19 @@ class Metric:
     name: str
     error_fn: Callable[[np.ndarray, np.ndarray], float]
     needs_proba: bool = False
+    #: forecast metrics that scale by the training series (MASE): the
+    #: temporal trial evaluator calls ``error_fn(y_true, pred, history)``
+    needs_history: bool = False
 
-    def error(self, y_true: np.ndarray, pred: np.ndarray, labels=None) -> float:
-        """Evaluate the error (lower is better) of pred against y_true."""
+    def error(self, y_true: np.ndarray, pred: np.ndarray, labels=None,
+              history=None) -> float:
+        """Evaluate the error (lower is better) of pred against y_true.
+
+        ``history`` (the training series) feeds ``needs_history``
+        metrics; they fall back to a weaker internal scale without it.
+        """
+        if self.needs_history:
+            return float(self.error_fn(y_true, pred, history))  # type: ignore[call-arg]
         try:
             return float(self.error_fn(y_true, pred, labels))  # type: ignore[call-arg]
         except TypeError:
@@ -71,13 +82,25 @@ _REGISTRY: dict[str, Metric] = {
     "r2": Metric("r2", lambda yt, p: 1.0 - r2_score(yt, p)),
     "mse": Metric("mse", lambda yt, p: mse(yt, p)),
     "mae": Metric("mae", lambda yt, p: mae(yt, p)),
+    # forecast metrics (module-level error_fns: picklable for the
+    # process backend); "mase" defaults to period 1 — AutoML substitutes
+    # metrics.forecast.mase_metric(m) when a seasonal period is given
+    "smape": Metric("smape", smape),
+    "mase": Metric("mase", _mase_error, needs_history=True),
+    "pinball": Metric("pinball", pinball_loss),
 }
 
 
 def default_metric_name(task: str) -> str:
     """The benchmark's metric per task type (§5): roc-auc for binary,
-    neg log-loss for multiclass, r2 for regression."""
-    return {"binary": "roc_auc", "multiclass": "log_loss", "regression": "r2"}[task]
+    neg log-loss for multiclass, r2 for regression — plus mase for the
+    forecasting extension."""
+    return {
+        "binary": "roc_auc",
+        "multiclass": "log_loss",
+        "regression": "r2",
+        "forecast": "mase",
+    }[task]
 
 
 def get_metric(metric: str | Metric | Callable, task: str | None = None) -> Metric:

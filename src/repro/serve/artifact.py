@@ -78,17 +78,32 @@ class PipelineArtifact:
             X = step.transform(X)
         return X
 
-    def predict(self, rows) -> np.ndarray:
-        """Predict labels/values for raw (un-preprocessed) rows."""
+    def predict(self, rows, horizon: int | None = None) -> np.ndarray:
+        """Predict labels/values for raw (un-preprocessed) rows.
+
+        For a ``task="forecast"`` artifact, ``rows`` is the recent raw
+        *history* of the series (any length >= the model's lag context)
+        and the result is the next ``horizon`` values (default: the
+        horizon the model was fitted for).
+        """
+        if self.task == "forecast":
+            return self.model.predict(
+                np.asarray(rows, dtype=np.float64).ravel(), horizon=horizon
+            )
+        if horizon is not None:
+            raise ValueError(
+                "horizon only applies to forecast artifacts, but this "
+                f"pipeline was trained with task={self.task!r}"
+            )
         return self.model.predict(self._prepare(rows))
 
     def predict_proba(self, rows) -> np.ndarray:
         """Class probabilities for raw rows (classification only)."""
-        if self.task == "regression":
+        if self.task in ("regression", "forecast"):
             raise RuntimeError(
                 "predict_proba is only defined for classification, but this "
-                "pipeline was trained with task='regression'; use predict() "
-                "for point estimates"
+                f"pipeline was trained with task={self.task!r}; use "
+                "predict() for point estimates"
             )
         return self.model.predict_proba(self._prepare(rows))
 
@@ -147,7 +162,8 @@ class PipelineArtifact:
             "n_preprocessors": len(self.preprocessors),
             **{k: self.metadata[k]
                for k in ("learner", "metric", "n_features_in", "best_error",
-                         "created_unix")
+                         "created_unix", "horizon", "seasonal_period",
+                         "lag_config")
                if k in self.metadata},
         }
 
@@ -173,8 +189,12 @@ def export_artifact(automl, metadata: dict | None = None) -> PipelineArtifact:
         "n_features_in": getattr(automl, "_n_features_in", None),
         "dataset_fingerprint": getattr(automl, "_data_fingerprint", None),
         "is_ensemble": type(automl._model).__name__ == "StackedEnsemble",
-        **(metadata or {}),
     }
+    if automl._task == "forecast":
+        meta["horizon"] = int(getattr(automl, "_horizon", 1))
+        meta["seasonal_period"] = getattr(automl, "_seasonal_period", None)
+        meta["lag_config"] = automl._model.featurizer.to_dict()
+    meta.update(metadata or {})
     return PipelineArtifact(
         model=automl._model,
         preprocessors=list(getattr(automl, "_preprocessor", [])),

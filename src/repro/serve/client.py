@@ -67,6 +67,21 @@ class ServeClient:
             return out[0]
         return out
 
+    def forecast(self, history, horizon: int | None = None,
+                 model: str | None = None,
+                 version: int | str = "latest") -> np.ndarray:
+        """POST a raw series history to ``/predict``; returns the next
+        ``horizon`` values (server default: the model's fitted horizon)."""
+        payload: dict = {
+            "history": np.asarray(history, dtype=np.float64).ravel().tolist(),
+            "version": version,
+        }
+        if horizon is not None:
+            payload["horizon"] = int(horizon)
+        if model is not None:
+            payload["model"] = model
+        return np.asarray(self._request("/predict", payload)["predictions"])
+
     def models(self) -> dict:
         """GET ``/models`` — registry index."""
         return self._request("/models")

@@ -12,7 +12,9 @@ Endpoints (all JSON):
     ``{"model": name, "version": int|alias, "row": [...]}`` or
     ``{"model": name, "rows": [[...], ...], "proba": true|false}``.
     Single rows go through the micro-batcher; multi-row requests are
-    predicted directly (the client already batched them).
+    predicted directly (the client already batched them).  Forecast
+    models take ``{"model": name, "history": [...], "horizon": H}`` and
+    answer with the next ``H`` values of the series.
 ``GET /models``
     Registry index: every model's versions and aliases.
 ``GET /health``
@@ -49,7 +51,7 @@ class ModelServer:
     def __init__(self, registry: ModelRegistry | None = None,
                  artifacts: dict[str, PipelineArtifact] | None = None,
                  max_batch: int = 32, max_delay_ms: float = 2.0,
-                 batching: bool = True) -> None:
+                 batching: bool = True, max_horizon: int = 1000) -> None:
         if registry is None and not artifacts:
             raise ValueError("need a registry and/or named artifacts to serve")
         self.registry = registry
@@ -57,6 +59,7 @@ class ModelServer:
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
         self.batching = bool(batching)
+        self.max_horizon = int(max_horizon)
         self._lock = threading.Lock()
         self._loaded: dict[tuple[str, int | str], PipelineArtifact] = {}
         self._stats: dict[str, ServingStats] = {}
@@ -114,10 +117,55 @@ class ModelServer:
 
     # -- serving -------------------------------------------------------
     def predict(self, name: str, rows, proba: bool = False,
-                version: int | str = "latest") -> dict:
-        """Predict ``rows`` (one row or a batch) with a served model."""
+                version: int | str = "latest",
+                horizon: int | None = None) -> dict:
+        """Predict ``rows`` (one row or a batch) with a served model.
+
+        Forecast models interpret ``rows`` as the raw recent history of
+        the series and answer with the next ``horizon`` values (default:
+        the model's fitted horizon).  Histories are variable-length and
+        one request yields a whole forecast, so they bypass the
+        micro-batcher.
+        """
         artifact, resolved = self._resolve(name, version)
         X = np.asarray(rows, dtype=np.float64)
+        if artifact.task == "forecast":
+            if proba:
+                raise ValueError(
+                    "proba is not defined for forecast models; request the "
+                    "point forecast instead"
+                )
+            # the horizon is client-controlled and drives a recursive
+            # predict loop: cap it, like max_batch caps batched rows
+            if horizon is not None and not 1 <= horizon <= self.max_horizon:
+                raise ValueError(
+                    f"horizon must be in [1, {self.max_horizon}], got "
+                    f"{horizon} (raise max_horizon at server start to "
+                    "allow longer forecasts)"
+                )
+            stats = self._stats_for(name, resolved)
+            t0 = time.perf_counter()
+            try:
+                predictions = artifact.predict(X, horizon=horizon)
+            except Exception:
+                stats.record_request(time.perf_counter() - t0, error=True)
+                raise
+            stats.record_batch(1)
+            stats.record_request(time.perf_counter() - t0)
+            return {
+                "model": name,
+                "version": resolved,
+                "proba": False,
+                "batched": False,
+                "horizon": int(predictions.shape[0]),
+                "n": int(predictions.shape[0]),
+                "predictions": predictions.tolist(),
+            }
+        if horizon is not None:
+            raise ValueError(
+                f"model {name!r} is not a forecast model; 'horizon' does "
+                "not apply"
+            )
         single = X.ndim == 1 or (X.ndim == 2 and X.shape[0] == 1)
         if single and self.batching:
             row = X.reshape(-1)
@@ -227,10 +275,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"error": f"invalid JSON body: {exc}"})
             return
         srv = self.model_server
-        rows = req.get("rows", req.get("row"))
+        rows = req.get("rows", req.get("row", req.get("history")))
         if rows is None:
             self._reply(400, {"error": "body must carry 'row' (one feature "
-                                       "vector) or 'rows' (a batch)"})
+                                       "vector), 'rows' (a batch), or "
+                                       "'history' (a series to forecast "
+                                       "from)"})
             return
         name = req.get("model")
         if name is None:
@@ -241,10 +291,12 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             name = served[0]
         try:
+            horizon = req.get("horizon")
             result = srv.predict(
                 name, rows,
                 proba=bool(req.get("proba", False)),
                 version=req.get("version", "latest"),
+                horizon=None if horizon is None else int(horizon),
             )
         except RegistryError as exc:
             self._reply(404, {"error": str(exc)})

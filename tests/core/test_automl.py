@@ -77,6 +77,31 @@ class TestInferTaskEdgeCases:
         y = np.array([True, False] * 15)
         assert infer_task(y, None) == "binary"
 
+    def test_datetime_labels_raise_clear_error(self):
+        # previously misclassified (or crashed deep inside np.round);
+        # a timestamp target must produce an actionable message instead
+        y = np.array(["2021-01-01", "2021-01-02"] * 5, dtype="datetime64[D]")
+        with pytest.raises(ValueError, match="datetime-like"):
+            infer_task(y, None)
+
+    def test_timedelta_labels_raise_clear_error(self):
+        y = np.array([1, 2, 3] * 5, dtype="timedelta64[s]")
+        with pytest.raises(ValueError, match="datetime-like"):
+            infer_task(y, None)
+
+    def test_object_dtype_labels_raise_clear_error(self):
+        # object arrays (mixed python values) used to fall through to
+        # "multiclass" via the OUSb branch — ambiguous, now an error
+        y = np.array([1, "a", 2.5, None] * 5, dtype=object)
+        with pytest.raises(ValueError, match="object-dtype"):
+            infer_task(y, None)
+
+    def test_forecast_passthrough_and_validation(self):
+        assert infer_task(np.arange(30, dtype=np.float64), "forecast") \
+            == "forecast"
+        with pytest.raises(ValueError, match="numeric series"):
+            infer_task(np.array(["a", "b"] * 5), "forecast")
+
 
 @pytest.fixture(scope="module")
 def clf_problem():

@@ -1,0 +1,134 @@
+"""task="forecast" through the public AutoML API.
+
+The acceptance bar: on a synthetic seasonal series the searched model
+must beat the seasonal-naive baseline on MASE *under the same
+rolling-origin CV folds* — i.e. the search earns its keep against the
+standard no-model forecaster, with no temporal leakage inflating either
+number.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.data.timeseries import (
+    ForecastModel,
+    make_timeseries,
+    seasonal_naive_cv_error,
+)
+
+HORIZON = 12
+PERIOD = 12
+
+
+@pytest.fixture(scope="module")
+def seasonal_series():
+    return make_timeseries(n=400, seasonal_period=PERIOD, seasonal_amp=4.0,
+                           ar=0.6, noise=0.4, seed=401)
+
+
+@pytest.fixture(scope="module")
+def fitted(seasonal_series):
+    automl = AutoML(seed=0, init_sample_size=200)
+    automl.fit(
+        None, seasonal_series.y, task="forecast", horizon=HORIZON,
+        seasonal_period=PERIOD, time_budget=20, max_iters=25,
+        estimator_list=["lgbm", "rf", "lrl1"],
+    )
+    return automl
+
+
+class TestForecastSearch:
+    def test_beats_seasonal_naive_on_mase(self, fitted, seasonal_series):
+        baseline = seasonal_naive_cv_error(
+            seasonal_series.y, horizon=HORIZON, m=PERIOD
+        )
+        assert np.isfinite(fitted.best_loss)
+        assert fitted.best_loss < baseline, (
+            f"searched MASE {fitted.best_loss:.3f} does not beat "
+            f"seasonal-naive {baseline:.3f}"
+        )
+
+    def test_search_ran_under_temporal_cv(self, fitted):
+        result = fitted.search_result
+        assert result.resampling == "temporal"
+        assert result.n_trials >= 2
+        # featurization hyperparameters were searched with the learner's
+        for trial in result.trials:
+            assert {"fc_lags", "fc_window", "fc_diff"} <= set(trial.config)
+
+    def test_final_model_and_predict(self, fitted):
+        assert isinstance(fitted.model, ForecastModel)
+        pred = fitted.predict()  # defaults to the fitted horizon
+        assert pred.shape == (HORIZON,)
+        assert np.all(np.isfinite(pred))
+        assert fitted.predict(horizon=5).shape == (5,)
+
+    def test_predict_from_explicit_history(self, fitted, seasonal_series):
+        hist = seasonal_series.y[:300]
+        pred = fitted.predict(hist, horizon=HORIZON)
+        assert pred.shape == (HORIZON,)
+        # forecasting from the training tail reproduces the default path
+        assert np.allclose(
+            fitted.predict(seasonal_series.y, horizon=HORIZON),
+            fitted.predict(horizon=HORIZON),
+        )
+
+    def test_score_against_future_window(self, fitted, seasonal_series):
+        y = seasonal_series.y
+        err = fitted.score(y[:350], y[350:362])
+        assert np.isfinite(err) and err >= 0
+
+    def test_predict_proba_refused(self, fitted):
+        with pytest.raises(RuntimeError, match="predict_proba"):
+            fitted.predict_proba(np.zeros(10))
+
+
+class TestForecastGuards:
+    def test_random_resampling_refused(self, seasonal_series):
+        with pytest.raises(ValueError, match="temporal"):
+            AutoML().fit(None, seasonal_series.y, task="forecast",
+                         resampling="cv", time_budget=1)
+
+    def test_ensemble_refused(self, seasonal_series):
+        with pytest.raises(ValueError, match="ensemble"):
+            AutoML().fit(None, seasonal_series.y, task="forecast",
+                         ensemble=True, time_budget=1)
+
+    def test_preprocessor_refused(self, seasonal_series):
+        from repro.data.preprocessing import StandardScaler
+
+        with pytest.raises(ValueError, match="preprocessor"):
+            AutoML().fit(None, seasonal_series.y, task="forecast",
+                         preprocessor=StandardScaler(), time_budget=1)
+
+    def test_horizon_on_non_forecast_task_refused(self, binary_split):
+        X, y, _, _ = binary_split
+        with pytest.raises(ValueError, match="horizon"):
+            AutoML().fit(X, y, task="classification", horizon=4,
+                         time_budget=1)
+
+    def test_x_required_for_non_forecast(self):
+        with pytest.raises(TypeError, match="X_train is required"):
+            AutoML().fit(None, np.array([0, 1] * 20), task="classification",
+                         time_budget=1)
+
+    def test_horizon_kwarg_rejected_on_tabular_predict(self, binary_split):
+        X, y, Xte, _ = binary_split
+        automl = AutoML(seed=0, init_sample_size=100)
+        automl.fit(X, y, task="classification", time_budget=3, max_iters=4,
+                   estimator_list=["lgbm"])
+        with pytest.raises(ValueError, match="horizon"):
+            automl.predict(Xte, horizon=3)
+
+
+class TestForecastParallelBackends:
+    def test_thread_backend_forecast(self, seasonal_series):
+        automl = AutoML(seed=0, init_sample_size=150)
+        automl.fit(None, seasonal_series.y[:200], task="forecast",
+                   horizon=6, seasonal_period=PERIOD, time_budget=8,
+                   max_iters=6, n_workers=2, backend="thread",
+                   estimator_list=["lgbm"])
+        assert automl.search_result.backend == "thread"
+        assert automl.search_result.resampling == "temporal"
+        assert automl.predict(horizon=6).shape == (6,)

@@ -1,0 +1,81 @@
+"""The temporal-CV leakage invariant, stated as a law.
+
+For *any* feasible (series length, horizon, fold count, min_train),
+every rolling-origin fold must train strictly on the past
+(``max(train) < min(test)``) and the fold validation blocks must tile
+the series tail exactly.  Hypothesis searches the parameter space for a
+counterexample instead of trusting a handful of examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resampling import TemporalSplitter
+
+feasible = st.tuples(
+    st.integers(min_value=1, max_value=8),    # n_splits
+    st.integers(min_value=1, max_value=20),   # horizon
+    st.integers(min_value=1, max_value=30),   # min_train
+    st.integers(min_value=0, max_value=200),  # slack rows beyond minimum
+).map(lambda t: (t[0] * t[1] + t[2] + t[3], t[0], t[1], t[2]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(params=feasible)
+def test_no_fold_ever_trains_on_the_future(params):
+    n, k, h, min_train = params
+    folds = TemporalSplitter(n_splits=k, horizon=h, min_train=min_train).split(n)
+    assert len(folds) == k
+    for train, test in folds:
+        assert train.size >= min_train
+        assert test.size == h
+        # the leakage invariant: every training index precedes every
+        # validation index
+        assert train.max() < test.min()
+        # train is the full past — expanding window, no gaps
+        assert np.array_equal(train, np.arange(test.min()))
+
+
+@settings(max_examples=200, deadline=None)
+@given(params=feasible)
+def test_folds_cover_the_tail_exactly(params):
+    n, k, h, min_train = params
+    folds = TemporalSplitter(n_splits=k, horizon=h, min_train=min_train).split(n)
+    covered = np.concatenate([test for _, test in folds])
+    # consecutive blocks tiling the last k*h indices, ending at n-1
+    assert np.array_equal(covered, np.arange(n - k * h, n))
+    assert covered[-1] == n - 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_splits=st.integers(min_value=1, max_value=8),
+    horizon=st.integers(min_value=1, max_value=20),
+    min_train=st.integers(min_value=1, max_value=30),
+    deficit=st.integers(min_value=1, max_value=50),
+)
+def test_infeasible_lengths_raise(n_splits, horizon, min_train, deficit):
+    n = n_splits * horizon + min_train - deficit
+    splitter = TemporalSplitter(n_splits=n_splits, horizon=horizon,
+                                min_train=min_train)
+    with pytest.raises(ValueError, match="rolling-origin"):
+        splitter.split(n)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TemporalSplitter(n_splits=0)
+        with pytest.raises(ValueError):
+            TemporalSplitter(horizon=0)
+        with pytest.raises(ValueError):
+            TemporalSplitter(min_train=0)
+
+    def test_known_small_example(self):
+        folds = TemporalSplitter(n_splits=2, horizon=3, min_train=2).split(10)
+        (tr0, te0), (tr1, te1) = folds
+        assert tr0.tolist() == [0, 1, 2, 3] and te0.tolist() == [4, 5, 6]
+        assert tr1.tolist() == [0, 1, 2, 3, 4, 5, 6] \
+            and te1.tolist() == [7, 8, 9]

@@ -1,0 +1,192 @@
+"""The forecasting substrate: featurizer, model wrapper, generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import (
+    FORECAST_CONFIG_KEYS,
+    TIMESERIES_REGIMES,
+    ForecastModel,
+    LagFeaturizer,
+    featurizer_from_config,
+    load_forecast_dataset,
+    make_timeseries,
+    seasonal_naive_cv_error,
+    seasonal_naive_forecast,
+    split_forecast_config,
+)
+
+
+class TestLagFeaturizer:
+    def test_supervised_matrix_values(self):
+        y = np.arange(10, dtype=np.float64)  # 0..9
+        feat = LagFeaturizer(n_lags=2)
+        F, target = feat.make_supervised(y)
+        # row i describes index 2+i: features are y[t-1], y[t-2]
+        assert F.shape == (8, 2)
+        assert np.array_equal(target, y[2:])
+        assert np.array_equal(F[:, 0], y[1:9])
+        assert np.array_equal(F[:, 1], y[0:8])
+
+    def test_seasonal_and_rolling_columns(self):
+        y = np.arange(20, dtype=np.float64)
+        feat = LagFeaturizer(n_lags=1, seasonal_period=4, rolling_window=3)
+        F, target = feat.make_supervised(y)
+        p = feat.context  # max(1, 4, 3) = 4
+        assert p == 4
+        assert F.shape == (16, 3)
+        t = np.arange(4, 20)
+        assert np.array_equal(F[:, 0], y[t - 1])
+        assert np.array_equal(F[:, 1], y[t - 4])
+        expected_roll = np.array([y[i - 3:i].mean() for i in t])
+        assert np.allclose(F[:, 2], expected_roll)
+
+    def test_difference_mode(self):
+        y = np.array([1.0, 3.0, 6.0, 10.0, 15.0])  # diffs: 2,3,4,5
+        feat = LagFeaturizer(n_lags=1, difference=True)
+        F, target = feat.make_supervised(y)
+        assert np.array_equal(target, [3.0, 4.0, 5.0])
+        assert np.array_equal(F[:, 0], [2.0, 3.0, 4.0])
+        assert feat.min_history == 2
+
+    def test_feature_row_matches_supervised(self):
+        y = np.sin(np.arange(30) / 3.0)
+        feat = LagFeaturizer(n_lags=3, seasonal_period=5, rolling_window=4)
+        F, _ = feat.make_supervised(y)
+        # the last supervised row predicts y[-1] from y[:-1]
+        assert np.allclose(feat.feature_row(y[:-1]), F[-1])
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            LagFeaturizer(n_lags=5).make_supervised(np.arange(5.0))
+        with pytest.raises(ValueError, match="trailing values"):
+            LagFeaturizer(n_lags=5).feature_row(np.arange(3.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LagFeaturizer(n_lags=0)
+        with pytest.raises(ValueError):
+            LagFeaturizer(rolling_window=-1)
+
+    def test_dict_round_trip(self):
+        feat = LagFeaturizer(n_lags=4, rolling_window=8, seasonal_period=12,
+                             difference=True)
+        again = LagFeaturizer.from_dict(feat.to_dict())
+        assert again == feat
+
+
+class TestConfigSplit:
+    def test_split_forecast_config(self):
+        cfg = {"tree_num": 8, "fc_lags": 5, "fc_window": 4, "fc_diff": 1,
+               "learning_rate": 0.1}
+        base, fc = split_forecast_config(cfg)
+        assert base == {"tree_num": 8, "learning_rate": 0.1}
+        assert fc == {"fc_lags": 5, "fc_window": 4, "fc_diff": 1}
+        assert set(fc) == set(FORECAST_CONFIG_KEYS)
+
+    def test_featurizer_from_config(self):
+        feat = featurizer_from_config(
+            {"fc_lags": 6, "fc_window": 8, "fc_diff": 1}, seasonal_period=12
+        )
+        assert feat == LagFeaturizer(n_lags=6, rolling_window=8,
+                                     seasonal_period=12, difference=True)
+        # defaults apply when the config carries no fc_* keys
+        assert featurizer_from_config({}).n_lags == 3
+
+
+class _MeanRegressor:
+    """Predicts the training-target mean — enough to test the wrapper."""
+
+    def fit(self, X, y):
+        self.mean_ = float(np.mean(y))
+        return self
+
+    def predict(self, X):
+        return np.full(np.atleast_2d(X).shape[0], self.mean_)
+
+
+class TestForecastModel:
+    def test_fit_forecast_shapes_and_tail(self):
+        y = np.arange(50, dtype=np.float64)
+        model = ForecastModel(_MeanRegressor(), LagFeaturizer(n_lags=3),
+                              horizon=4).fit(y)
+        assert model.tail_.tolist() == [47.0, 48.0, 49.0]
+        assert model.forecast().shape == (4,)
+        assert model.forecast(7).shape == (7,)
+
+    def test_difference_integrates_back(self):
+        # a perfect one-step model on a diffed linear trend extrapolates it
+        y = 2.0 * np.arange(40, dtype=np.float64)
+        feat = LagFeaturizer(n_lags=2, difference=True)
+        model = ForecastModel(_MeanRegressor(), feat, horizon=3).fit(y)
+        assert np.allclose(model.forecast(3), [80.0, 82.0, 84.0])
+
+    def test_explicit_history(self):
+        y = np.arange(40, dtype=np.float64)
+        model = ForecastModel(_MeanRegressor(), LagFeaturizer(n_lags=2),
+                              horizon=2).fit(y)
+        out = model.forecast(2, history=np.arange(100, 110, dtype=np.float64))
+        assert out.shape == (2,)
+        with pytest.raises(ValueError, match="at least"):
+            model.forecast(2, history=[1.0])
+
+    def test_unfitted_and_bad_horizon(self):
+        model = ForecastModel(_MeanRegressor(), LagFeaturizer())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.forecast(1)
+        with pytest.raises(ValueError):
+            ForecastModel(_MeanRegressor(), LagFeaturizer(), horizon=0)
+
+
+class TestBaselines:
+    def test_seasonal_naive_repeats_cycle(self):
+        hist = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        out = seasonal_naive_forecast(hist, horizon=5, m=3)
+        assert out.tolist() == [4.0, 5.0, 6.0, 4.0, 5.0]
+        # m=1: repeat the last value
+        assert seasonal_naive_forecast(hist, 3, m=1).tolist() == [6.0] * 3
+
+    def test_seasonal_naive_validation(self):
+        with pytest.raises(ValueError):
+            seasonal_naive_forecast([1.0], horizon=2, m=5)
+        with pytest.raises(ValueError):
+            seasonal_naive_forecast([1.0, 2.0], horizon=0)
+
+    def test_cv_error_is_zero_on_pure_cycle(self):
+        y = np.tile([1.0, 5.0, 3.0, 8.0], 30)  # exact period 4
+        err = seasonal_naive_cv_error(y, horizon=4, n_splits=3, m=4)
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    def test_cv_error_positive_on_noise(self):
+        rng = np.random.default_rng(3)
+        err = seasonal_naive_cv_error(rng.standard_normal(120), horizon=6,
+                                      n_splits=4, m=1)
+        assert err > 0.0
+
+
+class TestGenerators:
+    def test_deterministic_and_task_tagged(self):
+        a = make_timeseries(n=100, seasonal_period=12, seasonal_amp=2.0,
+                            seed=5)
+        b = make_timeseries(n=100, seasonal_period=12, seasonal_amp=2.0,
+                            seed=5)
+        assert a.task == "forecast"
+        assert a.n == 100 and a.d == 1
+        assert np.array_equal(a.y, b.y)
+        c = make_timeseries(n=100, seasonal_period=12, seasonal_amp=2.0,
+                            seed=6)
+        assert not np.array_equal(a.y, c.y)
+
+    def test_trend_regime_actually_trends(self):
+        ds = make_timeseries(n=300, trend=0.5, noise=0.1, seed=0)
+        assert ds.y[200:].mean() > ds.y[:100].mean() + 20
+
+    def test_every_regime_loads(self):
+        for name in TIMESERIES_REGIMES:
+            ds = load_forecast_dataset(name)
+            assert ds.task == "forecast"
+            assert ds.n == TIMESERIES_REGIMES[name]["n"]
+
+    def test_unknown_regime(self):
+        with pytest.raises(ValueError, match="unknown forecast dataset"):
+            load_forecast_dataset("nope")

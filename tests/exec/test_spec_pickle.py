@@ -1,0 +1,119 @@
+"""Every TrialSpec must survive pickling — the process backend's wire
+contract.
+
+This box's process pool has silently regressed on unpicklable specs
+before: a spec that cannot be pickled (or a payload builder that drops a
+field) turns every process-backend trial into an inf-error without any
+loud failure.  These tests pin the contract for every registered learner
+and task, including the forecast trials' new context fields.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.registry import EXTRA_LEARNERS, all_learners, forecast_spec
+from repro.exec.base import TrialSpec
+from repro.exec.process import _spec_from_payload, _spec_payload
+from repro.metrics.forecast import mase_metric
+from repro.metrics.registry import _REGISTRY, default_metric_name, get_metric
+
+TASKS = ("binary", "multiclass", "regression", "forecast")
+
+
+def _specs():
+    """One representative TrialSpec per (learner, supported task)."""
+    out = []
+    for name, spec in all_learners().items():
+        for task in TASKS:
+            if not spec.supports(task):
+                continue
+            lspec = forecast_spec(spec) if task == "forecast" else spec
+            space = lspec.space_fn(500, task)
+            config = space.init_config()
+            labels = (np.array([0, 1, 2]) if task == "multiclass"
+                      else np.array([0, 1]) if task == "binary" else None)
+            out.append(
+                TrialSpec(
+                    learner=name,
+                    estimator_cls=lspec.estimator_cls(task),
+                    config=config,
+                    sample_size=200,
+                    resampling=("temporal" if task == "forecast" else "cv"),
+                    metric=get_metric(default_metric_name(task)),
+                    n_splits=3,
+                    holdout_ratio=0.2,
+                    seed=7,
+                    train_time_limit=1.5,
+                    labels=labels,
+                    horizon=6 if task == "forecast" else 1,
+                    seasonal_period=12 if task == "forecast" else None,
+                )
+            )
+    return out
+
+
+SPECS = _specs()
+SPEC_IDS = [f"{s.learner}-{s.resampling}-{s.metric.name}" for s in SPECS]
+
+
+def _assert_specs_equal(a: TrialSpec, b: TrialSpec) -> None:
+    for f in dataclasses.fields(TrialSpec):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if f.name == "metric":
+            assert vb.name == va.name and vb.needs_proba == va.needs_proba
+        elif isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb)
+        else:
+            assert va == vb, f.name
+    assert a.cache_key() == b.cache_key()
+
+
+def test_covers_forecast_trials():
+    assert any(s.resampling == "temporal" for s in SPECS)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=SPEC_IDS)
+def test_spec_payload_round_trips_through_pickle(spec):
+    """The exact bytes the process backend ships: payload -> pickle ->
+    unpickle -> spec, losing nothing."""
+    payload = _spec_payload(spec)
+    wire = pickle.loads(pickle.dumps(payload))
+    _assert_specs_equal(spec, _spec_from_payload(wire))
+
+
+def test_payload_covers_every_trialspec_field():
+    """A field added to TrialSpec must reach the worker: the payload is
+    built by introspection, and this guard fails if that ever changes."""
+    payload = _spec_payload(SPECS[0])
+    field_names = {f.name for f in dataclasses.fields(TrialSpec)}
+    assert set(payload) == (field_names - {"metric"}) | {"metric_ref"}
+
+
+def test_registry_metrics_travel_by_name():
+    """Registry metrics (lambda error_fns — unpicklable) must be sent as
+    references, and custom metrics must be picklable objects."""
+    for spec in SPECS:
+        kind, value = _spec_payload(spec)["metric_ref"]
+        assert kind == "registry" and value in _REGISTRY
+
+
+def test_seasonal_mase_metric_is_picklable():
+    # AutoML substitutes mase_metric(m) for seasonal fits; it is not a
+    # registry object, so it must pickle directly (partial of a
+    # module-level function, never a lambda/closure)
+    m = mase_metric(12)
+    again = pickle.loads(pickle.dumps(m))
+    yt, yp = np.arange(24.0), np.arange(24.0) + 1.0
+    hist = np.arange(48.0)
+    assert again.error_fn(yt, yp, hist) == m.error_fn(yt, yp, hist)
+
+
+def test_whole_spec_pickles_directly():
+    """Belt and braces: a spec whose metric is replaced by a picklable
+    one round-trips as a single object (thread-to-process handoff)."""
+    for spec in SPECS:
+        clone = dataclasses.replace(spec, metric=mase_metric(1))
+        _assert_specs_equal(clone, pickle.loads(pickle.dumps(clone)))

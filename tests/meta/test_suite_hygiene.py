@@ -1,0 +1,53 @@
+"""Guard-rails for the test suite itself.
+
+pytest's default (rootdir-relative) import mode derives a test module's
+name from its file basename; two ``test_foo.py`` files in different
+directories then collide and one silently shadows the other unless every
+test directory is a package.  Both hazards have bitten this environment
+before, so they are pinned here as tests (and as an explicit CI step).
+"""
+
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parents[1]
+
+
+def _test_files() -> list[Path]:
+    files = sorted(TESTS_DIR.rglob("test_*.py"))
+    assert files, f"no test files found under {TESTS_DIR}"
+    return files
+
+
+def test_no_duplicate_test_basenames():
+    by_name: dict[str, list[Path]] = {}
+    for p in _test_files():
+        by_name.setdefault(p.name, []).append(p)
+    dups = {name: paths for name, paths in by_name.items() if len(paths) > 1}
+    assert not dups, (
+        "duplicate test-file basenames (pytest module-name collision "
+        "hazard) — rename one of each:\n"
+        + "\n".join(
+            f"  {name}: " + ", ".join(str(p.relative_to(TESTS_DIR))
+                                      for p in paths)
+            for name, paths in sorted(dups.items())
+        )
+    )
+
+
+def test_every_test_dir_is_a_package():
+    dirs = {TESTS_DIR} | {p.parent for p in _test_files()}
+    missing = sorted(
+        str(d.relative_to(TESTS_DIR.parent))
+        for d in dirs
+        if not (d / "__init__.py").is_file()
+    )
+    assert not missing, (
+        "test directories without __init__.py (module names degrade to "
+        f"bare basenames and can collide): {missing}"
+    )
+
+
+def test_conftest_not_duplicated_as_test_module():
+    # conftest.py files are fine (pytest special-cases them), but a
+    # test_conftest.py would be collected — keep the namespace clean
+    assert not list(TESTS_DIR.rglob("test_conftest.py"))

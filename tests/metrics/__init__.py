@@ -1,0 +1,1 @@
+"""Test package (unique module names: avoids pytest basename collisions)."""

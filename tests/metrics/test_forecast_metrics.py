@@ -1,0 +1,91 @@
+"""sMAPE / MASE / pinball loss + their registry wiring."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import get_metric, mase, mase_metric, pinball_loss, smape
+from repro.metrics.registry import default_metric_name
+
+
+class TestSmape:
+    def test_zero_on_perfect_forecast(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert smape(y, y) == pytest.approx(0.0)
+
+    def test_known_value_and_bounds(self):
+        # |4-2|*2 / (4+2) = 2/3 per point
+        assert smape([4.0, 4.0], [2.0, 2.0]) == pytest.approx(2.0 / 3.0)
+        # opposite signs saturate at the upper bound of 2
+        assert smape([1.0], [-1.0]) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            smape([1.0, 2.0], [1.0])
+
+
+class TestMase:
+    def test_scales_by_history_naive_error(self):
+        history = np.array([0.0, 2.0, 4.0, 6.0])  # naive(1) error = 2
+        y, pred = np.array([8.0, 10.0]), np.array([7.0, 9.0])  # MAE = 1
+        assert mase(y, pred, history=history, m=1) == pytest.approx(0.5)
+
+    def test_seasonal_scale(self):
+        history = np.array([0.0, 10.0, 2.0, 12.0])  # naive(2) error = 2
+        y, pred = np.array([4.0]), np.array([0.0])  # MAE = 4
+        assert mase(y, pred, history=history, m=2) == pytest.approx(2.0)
+
+    def test_seasonal_naive_itself_scores_one_ish(self):
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(300)
+        # forecasting each point by its predecessor ≈ the scale itself
+        assert mase(y[1:], y[:-1], history=y, m=1) == pytest.approx(1.0,
+                                                                    rel=0.15)
+
+    def test_fallback_without_history(self):
+        y, pred = np.array([1.0, 2.0, 4.0]), np.array([1.0, 2.0, 4.0])
+        assert mase(y, pred) == pytest.approx(0.0)
+        assert mase(y, pred + 1.0) > 0
+
+    def test_constant_history_does_not_divide_by_zero(self):
+        out = mase([5.0, 5.0], [4.0, 4.0], history=np.full(20, 5.0), m=1)
+        assert np.isfinite(out)
+
+
+class TestPinball:
+    def test_median_is_half_mae(self):
+        y, pred = np.array([3.0, 5.0]), np.array([1.0, 9.0])  # MAE = 3
+        assert pinball_loss(y, pred, q=0.5) == pytest.approx(1.5)
+
+    def test_asymmetry(self):
+        # q=0.9 punishes under-forecasts 9x more than over-forecasts
+        under = pinball_loss([10.0], [0.0], q=0.9)
+        over = pinball_loss([0.0], [10.0], q=0.9)
+        assert under == pytest.approx(9.0)
+        assert over == pytest.approx(1.0)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            pinball_loss([1.0], [1.0], q=1.5)
+
+
+class TestRegistryWiring:
+    def test_forecast_metrics_registered(self):
+        for name in ("smape", "mase", "pinball"):
+            m = get_metric(name)
+            assert m.name == name and not m.needs_proba
+        assert get_metric("mase").needs_history
+        assert not get_metric("smape").needs_history
+
+    def test_default_metric_for_forecast(self):
+        assert default_metric_name("forecast") == "mase"
+        assert get_metric("auto", task="forecast").name == "mase"
+
+    def test_mase_metric_factory(self):
+        m = mase_metric(12)
+        assert m.needs_history and m.name == "mase@12"
+        assert mase_metric(1).name == "mase"
+
+    def test_metric_error_interface_without_history(self):
+        # Metric.error(y, pred) must work even for needs_history metrics
+        m = get_metric("mase")
+        assert np.isfinite(m.error(np.arange(10.0), np.arange(10.0) + 1))

@@ -1,0 +1,174 @@
+"""Serving forecasts: artifact round-trip + live HTTP H-step /predict."""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+from repro.data.timeseries import ForecastModel, make_timeseries
+from repro.serve import (
+    ModelRegistry,
+    ModelServer,
+    PipelineArtifact,
+    ServeClient,
+    ServeClientError,
+    build_http_server,
+)
+
+HORIZON = 6
+PERIOD = 12
+
+
+@pytest.fixture(scope="module")
+def series():
+    return make_timeseries(n=220, seasonal_period=PERIOD, seasonal_amp=4.0,
+                           ar=0.5, noise=0.4, seed=17).y
+
+
+@pytest.fixture(scope="module")
+def forecast_automl(series):
+    automl = AutoML(seed=0, init_sample_size=120)
+    automl.fit(None, series, task="forecast", horizon=HORIZON,
+               seasonal_period=PERIOD, time_budget=10, max_iters=6,
+               estimator_list=["lgbm"])
+    return automl
+
+
+@pytest.fixture(scope="module")
+def forecast_artifact(forecast_automl):
+    return forecast_automl.export_artifact()
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory, forecast_artifact):
+    registry = ModelRegistry(str(tmp_path_factory.mktemp("fc-registry")))
+    registry.register("demand", forecast_artifact)
+    server = ModelServer(registry=registry)
+    httpd = build_http_server(server, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    port = httpd.server_address[1]
+    yield ServeClient(f"http://127.0.0.1:{port}"), port
+    httpd.shutdown()
+    httpd.server_close()
+    server.close()
+    thread.join(timeout=5)
+
+
+class TestArtifactRoundTrip:
+    def test_save_load_predicts_identically(self, forecast_artifact, series,
+                                            tmp_path):
+        path = str(tmp_path / "fc.json")
+        forecast_artifact.save(path)
+        again = PipelineArtifact.load(path)
+        assert again.task == "forecast"
+        assert isinstance(again.model, ForecastModel)
+        hist = series[-60:]
+        assert np.allclose(
+            again.predict(hist, horizon=HORIZON),
+            forecast_artifact.predict(hist, horizon=HORIZON),
+        )
+
+    def test_artifact_carries_lag_config(self, forecast_artifact,
+                                         forecast_automl):
+        meta = forecast_artifact.metadata
+        assert meta["horizon"] == HORIZON
+        assert meta["seasonal_period"] == PERIOD
+        assert meta["lag_config"] == \
+            forecast_automl.model.featurizer.to_dict()
+        desc = forecast_artifact.describe()
+        assert desc["task"] == "forecast" and "lag_config" in desc
+
+    def test_default_horizon_comes_from_fit(self, forecast_artifact, series):
+        assert forecast_artifact.predict(series[-60:]).shape == (HORIZON,)
+
+    def test_proba_refused(self, forecast_artifact, series):
+        with pytest.raises(RuntimeError, match="predict_proba"):
+            forecast_artifact.predict_proba(series[-60:])
+
+    def test_save_model_load_model_route(self, forecast_automl, series,
+                                         tmp_path):
+        path = str(tmp_path / "fc-model.json")
+        forecast_automl.save_model(path)
+        loaded = AutoML.load_model(path)
+        assert np.allclose(
+            loaded.predict(series[-60:], horizon=HORIZON),
+            forecast_automl.predict(series[-60:], horizon=HORIZON),
+        )
+
+
+class TestLiveHTTP:
+    def test_http_forecast_has_h_length(self, live, forecast_automl, series):
+        client, _ = live
+        hist = series[-80:]
+        out = client.forecast(hist, horizon=HORIZON, model="demand")
+        assert out.shape == (HORIZON,)
+        assert np.allclose(out,
+                           forecast_automl.predict(hist, horizon=HORIZON))
+
+    def test_history_key_and_default_horizon(self, live, series):
+        _, port = live
+        body = json.dumps({"model": "demand",
+                           "history": series[-80:].tolist()}).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/predict", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.status == 200
+            out = json.loads(resp.read())
+        assert out["horizon"] == HORIZON
+        assert len(out["predictions"]) == HORIZON
+        assert out["batched"] is False
+
+    def test_longer_horizon_honoured(self, live, series):
+        client, _ = live
+        out = client.forecast(series[-80:], horizon=2 * PERIOD,
+                              model="demand")
+        assert out.shape == (2 * PERIOD,)
+
+    def test_too_short_history_is_400(self, live):
+        client, _ = live
+        with pytest.raises(ServeClientError) as exc:
+            client.forecast([1.0], model="demand")
+        assert exc.value.status == 400
+
+    def test_horizon_beyond_server_cap_is_400(self, live, series):
+        # the horizon drives a recursive predict loop server-side; an
+        # unbounded client value must be refused, not executed
+        client, _ = live
+        with pytest.raises(ServeClientError) as exc:
+            client.forecast(series[-80:], horizon=10**9, model="demand")
+        assert exc.value.status == 400
+        assert "horizon" in str(exc.value)
+        with pytest.raises(ServeClientError):
+            client.forecast(series[-80:], horizon=0, model="demand")
+
+    def test_proba_request_is_400(self, live, series):
+        client, _ = live
+        with pytest.raises(ServeClientError) as exc:
+            client.predict(series[-80:], model="demand", proba=True)
+        assert exc.value.status == 400
+
+    def test_metrics_counted(self, live):
+        client, _ = live
+        stats = client.metrics()
+        assert any(k.startswith("demand@") for k in stats)
+
+
+class TestHorizonGuards:
+    def test_horizon_on_tabular_model_is_400(self, live_tabular=None):
+        # built inline: a non-forecast artifact must reject 'horizon'
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 4))
+        y = (X[:, 0] > 0).astype(np.int64)
+        automl = AutoML(seed=0, init_sample_size=80)
+        automl.fit(X, y, task="classification", time_budget=5, max_iters=4,
+                   estimator_list=["lgbm"])
+        art = automl.export_artifact()
+        server = ModelServer(artifacts={"clf": art})
+        with pytest.raises(ValueError, match="horizon"):
+            server.predict("clf", X[:1], horizon=3)
+        server.close()
