@@ -43,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "or thread when --n-workers > 1)")
     p.add_argument("--list", action="store_true",
                    help="list suite datasets and exit")
+    p.add_argument("--profile", action="store_true",
+                   help="run the suite under cProfile and print the "
+                        "top-15 cumulative-time hotspots (perf PRs start "
+                        "from this table)")
     return p
 
 
@@ -79,8 +83,23 @@ def main(argv: list[str] | None = None) -> int:
         systems=systems, budgets=tuple(args.budgets), n_folds=args.folds,
         seed=args.seed,
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     records = harness.run(names)
+    if profiler is not None:
+        profiler.disable()
     print(format_radar_table(records, task=args.task))
+    if profiler is not None:
+        import pstats
+
+        print("\n== top-15 hotspots (cumulative time) ==")
+        pstats.Stats(profiler).strip_dirs().sort_stats(
+            "cumulative"
+        ).print_stats(15)
     return 0
 
 

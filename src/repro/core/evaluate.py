@@ -10,12 +10,15 @@ quantity FLAML's ECI reasons about.
 from __future__ import annotations
 
 import inspect
+import threading
 import time
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
+from ..data.binned import BinnedDataset, plane_enabled, plane_for
 from ..data.dataset import Dataset, holdout_indices, kfold_indices
 from ..metrics.registry import Metric
 
@@ -31,10 +34,7 @@ class TrialOutcome:
     model: object | None
 
 
-@lru_cache(maxsize=None)
-def _accepted_extras(cls: type) -> frozenset[str] | None:
-    """Which of {seed, train_time_limit} ``cls(...)`` accepts, decided by
-    signature inspection; None if the signature is unavailable."""
+def _compute_accepted_extras(cls: type) -> frozenset[str] | None:
     try:
         sig = inspect.signature(cls)
     except (TypeError, ValueError):
@@ -43,6 +43,60 @@ def _accepted_extras(cls: type) -> frozenset[str] | None:
     if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
         return frozenset({"seed", "train_time_limit"})
     return frozenset({"seed", "train_time_limit"} & sig.parameters.keys())
+
+
+#: bound on the signature-inspection cache below.  Far above the
+#: registered-learner count; only pathological streams of dynamically
+#: defined classes ever evict.
+_ACCEPTED_EXTRAS_LIMIT = 128
+#: id(cls) -> (weakref to cls, accepted extras).  Keyed weakly so the
+#: cache never pins a class alive: an unbounded ``lru_cache`` here held
+#: strong references to every class ever evaluated, which leaked each
+#: dynamically defined custom learner (test suites generate thousands).
+_accepted_extras_cache: OrderedDict[int, tuple] = OrderedDict()
+#: guards the cache against ThreadExecutor worker threads and the
+#: weakref eviction callbacks; reentrant because a GC-triggered callback
+#: can run on the very thread that already holds the lock
+_accepted_extras_lock = threading.RLock()
+
+
+def _accepted_extras(cls: type) -> frozenset[str] | None:
+    """Which of {seed, train_time_limit} ``cls(...)`` accepts, decided by
+    signature inspection; None if the signature is unavailable.
+
+    Memoized in a small bounded mapping keyed by a weak reference — a
+    collected class evicts its own entry (and frees the id for reuse)
+    via the weakref callback.  All cache mutation happens under a lock:
+    thread-backend trials call this concurrently, and the GC callback
+    can fire between a lookup and its ``move_to_end``.
+    """
+    key = id(cls)
+    with _accepted_extras_lock:
+        entry = _accepted_extras_cache.get(key)
+        if entry is not None:
+            ref, value = entry
+            if ref() is cls:
+                _accepted_extras_cache.move_to_end(key)
+                return value
+            del _accepted_extras_cache[key]  # id recycled by a new class
+    value = _compute_accepted_extras(cls)
+    try:
+        ref = weakref.ref(cls, _evict_accepted_extras(key))
+    except TypeError:  # un-weakref-able callable: compute, don't cache
+        return value
+    with _accepted_extras_lock:
+        _accepted_extras_cache[key] = (ref, value)
+        while len(_accepted_extras_cache) > _ACCEPTED_EXTRAS_LIMIT:
+            _accepted_extras_cache.popitem(last=False)
+    return value
+
+
+def _evict_accepted_extras(key: int):
+    def _evict(_ref) -> None:
+        with _accepted_extras_lock:
+            _accepted_extras_cache.pop(key, None)
+
+    return _evict
 
 
 def _make_estimator(cls: type, config: dict, seed: int,
@@ -147,6 +201,69 @@ def _temporal_error(
     return float(np.mean(errors)), model
 
 
+def _plane_error(
+    plane: BinnedDataset,
+    estimator_cls: type,
+    config: dict,
+    sample_size: int,
+    resampling: str,
+    metric: Metric,
+    n_splits: int,
+    holdout_ratio: float,
+    seed: int,
+    train_time_limit: float | None,
+    labels,
+):
+    """Holdout/CV trial routed through the shared binned plane.
+
+    Split indices are memoized per (kind, n, k/ratio, seed); histogram
+    learners get :class:`~repro.learners.histogram.BinnedMatrix` views
+    whose codes are memoized per (row-subset, max_bins).  Both
+    memoizations are pure reuse — every array equals what the legacy
+    per-trial computation below produces, so errors are bit-for-bit
+    identical (golden-tested).
+    """
+    data = plane.data
+    binnable = (
+        bool(getattr(estimator_cls, "_uses_binned_plane", False))
+        and plane.exact
+    )
+    if resampling == "holdout":
+        tr, va = plane.holdout_split(holdout_ratio, seed)
+        s = min(int(sample_size), tr.size)
+        tr_used = tr[:s]
+        model = _make_estimator(estimator_cls, config, seed, train_time_limit)
+        if binnable:
+            Xtr = plane.view(tr_used, ("ho-tr", float(holdout_ratio),
+                                       int(seed), int(s)))
+            Xva = plane.view(va, ("ho-va", float(holdout_ratio), int(seed)))
+        else:
+            Xtr, Xva = data.X[tr_used], data.X[va]
+        model.fit(Xtr, data.y[tr_used])
+        error = _fold_error(model, Xva, data.y[va], metric, data.task, labels)
+        return float(error), model
+    n_sub = min(int(sample_size), data.n)
+    k = min(n_splits, n_sub)
+    folds = plane.kfold_split(n_sub, k, seed)
+    per_fold_limit = (
+        train_time_limit / k if train_time_limit is not None else None
+    )
+    errors = []
+    model = None
+    for i, (tr, va) in enumerate(folds):
+        model = _make_estimator(estimator_cls, config, seed, per_fold_limit)
+        if binnable:
+            Xtr = plane.view(tr, ("cv-tr", n_sub, k, int(seed), i))
+            Xva = plane.view(va, ("cv-va", n_sub, k, int(seed), i))
+        else:
+            Xtr, Xva = data.X[tr], data.X[va]
+        model.fit(Xtr, data.y[tr])
+        errors.append(
+            _fold_error(model, Xva, data.y[va], metric, data.task, labels)
+        )
+    return float(np.mean(errors)), model
+
+
 def evaluate_config(
     data: Dataset,
     estimator_cls: type,
@@ -161,6 +278,7 @@ def evaluate_config(
     labels: np.ndarray | None = None,
     horizon: int = 1,
     seasonal_period: int | None = None,
+    use_binned_plane: bool | None = None,
 ) -> TrialOutcome:
     """Run one trial of χ = (estimator, config, s, r) and time it.
 
@@ -177,12 +295,28 @@ def evaluate_config(
     apply there.  Returns the validation error, the wall-clock cost, and
     a fitted model (the final deployment model is retrained by the
     caller).
+
+    Holdout/CV trials normally route through the shared binned-data
+    plane (:mod:`repro.data.binned`): split indices and histogram bin
+    codes are memoized per dataset and reused across trials, with
+    bit-for-bit identical errors.  ``use_binned_plane`` overrides the
+    global :func:`~repro.data.binned.plane_enabled` toggle per call;
+    the legacy per-trial path below is kept verbatim both as the
+    fallback and as the equivalence baseline the golden tests compare
+    against.
     """
     if resampling not in ("cv", "holdout", "temporal"):
         raise ValueError(
             f"resampling must be cv|holdout|temporal, got {resampling!r}"
         )
     start = time.perf_counter()
+    if use_binned_plane is None:
+        use_binned_plane = plane_enabled()
+    plane = None
+    if use_binned_plane and resampling in ("cv", "holdout"):
+        plane = data if isinstance(data, BinnedDataset) else plane_for(data)
+    if isinstance(data, BinnedDataset):
+        data = data.data
     rng = np.random.default_rng(seed)
     model = None
     try:
@@ -190,6 +324,12 @@ def evaluate_config(
             error, model = _temporal_error(
                 data, estimator_cls, config, sample_size, metric,
                 n_splits, seed, train_time_limit, horizon, seasonal_period,
+            )
+        elif plane is not None:
+            error, model = _plane_error(
+                plane, estimator_cls, config, sample_size, resampling,
+                metric, n_splits, holdout_ratio, seed, train_time_limit,
+                labels,
             )
         elif resampling == "holdout":
             y_strat = data.y if data.is_classification else None

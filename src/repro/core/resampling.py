@@ -16,6 +16,7 @@ k-fold or holdout splits would leak future values into training.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -114,7 +115,12 @@ class TemporalSplitter:
             raise ValueError(f"min_train must be >= 1, got {self.min_train}")
 
     def split(self, n: int) -> list[tuple[np.ndarray, np.ndarray]]:
-        """(train, validation) index arrays for a series of length ``n``."""
+        """(train, validation) index arrays for a series of length ``n``.
+
+        Memoized per (n_splits, horizon, min_train, n): a 500-trial
+        forecast search re-splits the same series once per trial, so the
+        index arrays are computed exactly once and shared read-only.
+        """
         n = int(n)
         needed = self.n_splits * self.horizon + self.min_train
         if n < needed:
@@ -123,13 +129,18 @@ class TemporalSplitter:
                 f"rolling-origin folds of horizon {self.horizon} with at "
                 f"least {self.min_train} training rows (needs >= {needed})"
             )
-        out = []
-        for i in range(self.n_splits):
-            test_start = n - (self.n_splits - i) * self.horizon
-            out.append(
-                (
-                    np.arange(0, test_start),
-                    np.arange(test_start, test_start + self.horizon),
-                )
-            )
-        return out
+        return list(_temporal_folds(self.n_splits, self.horizon, n))
+
+
+@lru_cache(maxsize=256)
+def _temporal_folds(n_splits: int, horizon: int, n: int):
+    """Shared (train, validation) arrays behind TemporalSplitter.split."""
+    out = []
+    for i in range(n_splits):
+        test_start = n - (n_splits - i) * horizon
+        tr = np.arange(0, test_start)
+        va = np.arange(test_start, test_start + horizon)
+        tr.flags.writeable = False
+        va.flags.writeable = False
+        out.append((tr, va))
+    return tuple(out)

@@ -1,6 +1,13 @@
 """Data substrate: dataset container, generators, benchmark suite,
 selectivity-estimation workloads."""
 
+from .binned import (
+    BinnedDataset,
+    plane_enabled,
+    plane_for,
+    row_sample_crc,
+    set_plane_enabled,
+)
 from .dataset import Dataset, holdout_indices, kfold_indices, stratified_shuffle
 from .generators import make_classification, make_regression
 from .io import from_csv, load_npz, save_npz, to_csv
@@ -27,6 +34,7 @@ from .timeseries import (
 )
 
 __all__ = [
+    "BinnedDataset",
     "Dataset",
     "DatasetSpec",
     "ForecastModel",
@@ -54,7 +62,11 @@ __all__ = [
     "make_table",
     "make_timeseries",
     "make_workload",
+    "plane_enabled",
+    "plane_for",
+    "row_sample_crc",
     "save_npz",
+    "set_plane_enabled",
     "seasonal_naive_cv_error",
     "seasonal_naive_forecast",
     "selectivity_to_dataset",

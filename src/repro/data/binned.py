@@ -1,0 +1,329 @@
+"""Shared binned-data plane: bin once per dataset, reuse everywhere.
+
+The paper's premise is that AutoML cost is dominated by trial
+wall-clock, yet without this module most of a small trial is *redundant*
+work repeated hundreds of times per search:
+
+* every histogram learner re-runs quantile binning over its training
+  slice inside ``fit`` — per fold, per trial;
+* every trial re-computes the same stratified holdout/k-fold indices
+  from scratch (several ``argsort`` passes over the labels);
+* the process backend pickles the full dataset into every worker.
+
+:class:`BinnedDataset` is the fix for the first two (the third lives in
+:mod:`repro.exec.process`): one plane per dataset memoizes split
+indices per ``(kind, n, k/ratio, seed)`` and bin codes per
+``(row-subset, max_bins)``.  Learners receive
+:class:`~repro.learners.histogram.BinnedMatrix` views and skip their
+internal ``Binner.fit_transform`` entirely.  Because the memoized binner
+is fit on *exactly* the rows the learner would have used (and the
+``Binner`` draws nothing from its RNG below its subsample threshold),
+trial results are bit-for-bit identical to the unshared path — asserted
+by ``tests/core/test_binned_equivalence.py`` against pre-refactor
+goldens.
+
+The sample-size schedule composes with the cache for free: under
+holdout, a sample of size ``s`` is a *prefix* of the fixed shuffled
+training order, so its rows key is just ``("ho-tr", ratio, seed, s)``
+and the geometric schedule (s, 2s, 4s, ...) touches only ``O(log n)``
+distinct entries per ``max_bins``.
+
+``REPRO_BINNED_PLANE=0`` (or :func:`set_plane_enabled`) disables the
+plane globally — ``benchmarks/bench_hotpath.py`` uses the toggle to
+measure the before/after trials-per-second honestly in one process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..learners.histogram import Binner, BinnedMatrix
+from .dataset import Dataset, holdout_indices, kfold_indices
+
+__all__ = [
+    "BinnedDataset",
+    "plane_for",
+    "plane_enabled",
+    "row_sample_crc",
+    "set_plane_enabled",
+]
+
+_ENV_FLAG = "REPRO_BINNED_PLANE"
+_enabled = os.environ.get(_ENV_FLAG, "1").lower() not in ("0", "false", "off")
+_flag_lock = threading.Lock()
+
+
+def plane_enabled() -> bool:
+    """Whether the trial path routes through the shared binned plane."""
+    return _enabled
+
+
+def set_plane_enabled(on: bool) -> bool:
+    """Globally enable/disable the plane; returns the previous setting."""
+    global _enabled
+    with _flag_lock:
+        prev, _enabled = _enabled, bool(on)
+    return prev
+
+
+def row_sample_crc(data: Dataset) -> int:
+    """CRC32 of a first-64-row sample of ``X`` and ``y``.
+
+    The shared cheap content probe: :func:`plane_for` revalidates it per
+    lookup (in-place rescale/impute/relabel evicts the stale plane
+    instead of silently serving old codes and splits), and
+    :func:`repro.exec.engine.dataset_token` folds it into trial-cache
+    keys.  Object-dtype labels have no stable buffer and are skipped.
+    A mutation that leaves the first rows byte-identical escapes the
+    probe — datasets handed to a search are treated as immutable (the
+    plane marks everything it returns read-only for the same reason).
+    """
+    crc = zlib.crc32(np.ascontiguousarray(data.X[:64]))
+    y = np.ascontiguousarray(data.y[:64])
+    if not y.dtype.hasobject:
+        crc = zlib.crc32(y, crc)
+    return crc
+
+
+def _quick_content_token(data: Dataset) -> tuple:
+    """Shape + row-sample CRC, the plane staleness probe."""
+    return (data.n, data.d, row_sample_crc(data))
+
+
+class _LRU:
+    """Tiny bounded mapping (not thread-safe; callers hold the lock).
+
+    Bounded by entry count and, when ``max_bytes`` is given, by the
+    summed ``nbytes`` reported at ``put`` time — entry counts alone
+    would let a wide/tall dataset pin hundreds of MB of bin codes.
+    """
+
+    def __init__(self, maxsize: int, max_bytes: int | None = None) -> None:
+        self.maxsize = int(maxsize)
+        self.max_bytes = max_bytes
+        self._d: OrderedDict = OrderedDict()
+        self._sizes: dict = {}
+        self.nbytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        try:
+            value = self._d[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._d.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value, nbytes: int = 0) -> None:
+        if key in self._d:
+            self.nbytes -= self._sizes.pop(key, 0)
+        self._d[key] = value
+        self._d.move_to_end(key)
+        if self.max_bytes is not None:
+            self._sizes[key] = int(nbytes)
+            self.nbytes += int(nbytes)
+        while len(self._d) > self.maxsize or (
+            self.max_bytes is not None
+            and self.nbytes > self.max_bytes
+            and len(self._d) > 1
+        ):
+            old, _ = self._d.popitem(last=False)
+            self.nbytes -= self._sizes.pop(old, 0)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
+
+class BinnedDataset:
+    """Per-dataset cache of split indices, fitted binners, and bin codes.
+
+    One instance serves a whole search (and, on the process backend, a
+    whole worker): every executor that evaluates trials against the same
+    :class:`Dataset` object shares one plane via :func:`plane_for`.
+
+    All returned arrays are marked read-only — they are shared across
+    trials (and across threads on the thread backend), so accidental
+    in-place mutation by a learner must fail loudly rather than corrupt
+    every later trial.
+    """
+
+    #: above this row count ``Binner.fit`` subsamples via its RNG, which
+    #: the legacy in-learner path seeds from the trial — pre-binning
+    #: would then no longer be bit-for-bit equivalent, so the plane
+    #: serves raw slices instead (splits stay memoized either way)
+    EXACT_ROW_LIMIT = 200_000
+
+    #: byte budgets for the code caches (codes are uint8/uint16, so the
+    #: defaults hold hundreds of fold x max_bins combinations for suite
+    #: data while capping wide/tall datasets at a sane footprint)
+    BINNED_CACHE_BYTES = 192 << 20
+    TRANSFORM_CACHE_BYTES = 64 << 20
+
+    def __init__(self, data: Dataset, max_binned: int = 64,
+                 max_transforms: int = 192, max_splits: int = 64) -> None:
+        self.data = data
+        self._lock = threading.Lock()
+        self._splits = _LRU(max_splits)
+        # (rows_key, max_bins) -> (codes, n_bins, binner)
+        self._binned = _LRU(max_binned, max_bytes=self.BINNED_CACHE_BYTES)
+        # (binner token, rows_key) -> codes
+        self._transforms = _LRU(max_transforms,
+                                max_bytes=self.TRANSFORM_CACHE_BYTES)
+        self._content_token = _quick_content_token(data)
+
+    # ------------------------------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """Whether pre-binning here is bit-for-bit equal to in-learner
+        binning (see :attr:`EXACT_ROW_LIMIT`)."""
+        return self.data.n <= self.EXACT_ROW_LIMIT
+
+    def stats(self) -> dict:
+        """Cache occupancy/hit counters (observability + tests)."""
+        with self._lock:
+            return {
+                "splits": len(self._splits),
+                "binned": len(self._binned),
+                "transforms": len(self._transforms),
+                "split_hits": self._splits.hits,
+                "binned_hits": self._binned.hits,
+                "transform_hits": self._transforms.hits,
+            }
+
+    # -- split memoization ---------------------------------------------
+    def holdout_split(self, ratio: float, seed: int):
+        """Memoized stratified holdout indices, exactly as
+        ``evaluate_config`` computed them per-trial: a fresh
+        ``default_rng(seed)`` over the full data."""
+        key = ("holdout", float(ratio), int(seed))
+        with self._lock:
+            cached = self._splits.get(key)
+        if cached is not None:
+            return cached
+        y = self.data.y if self.data.is_classification else None
+        tr, va = holdout_indices(
+            self.data.n, ratio, y=y, rng=np.random.default_rng(seed)
+        )
+        value = (_readonly(tr), _readonly(va))
+        with self._lock:
+            self._splits.put(key, value)
+        return value
+
+    def kfold_split(self, n_sub: int, k: int, seed: int):
+        """Memoized stratified k-fold indices over the first ``n_sub``
+        rows (the paper's subsample-of-shuffled-data prefix)."""
+        key = ("cv", int(n_sub), int(k), int(seed))
+        with self._lock:
+            cached = self._splits.get(key)
+        if cached is not None:
+            return cached
+        y = self.data.y[:n_sub] if self.data.is_classification else None
+        folds = [
+            (_readonly(tr), _readonly(va))
+            for tr, va in kfold_indices(
+                n_sub, k, y=y, rng=np.random.default_rng(seed)
+            )
+        ]
+        with self._lock:
+            self._splits.put(key, folds)
+        return folds
+
+    # -- binned codes ---------------------------------------------------
+    def view(self, rows: np.ndarray, rows_key: tuple) -> BinnedMatrix:
+        """A :class:`BinnedMatrix` over ``rows``; ``rows_key`` must
+        uniquely describe the row subset (it is the memoization key)."""
+        return BinnedMatrix(self, rows, rows_key)
+
+    def binned_for(self, rows: np.ndarray, rows_key: tuple, max_bins: int):
+        """(codes, n_bins, binner) with the binner fit on ``rows``.
+
+        Mirrors the in-learner path byte for byte: ``Binner(max_bins)``
+        fit and applied to ``X[rows]``.  The fitted binner carries a
+        ``plane_token`` so validation-side transforms can memoize
+        against it.
+        """
+        key = (rows_key, int(max_bins))
+        with self._lock:
+            cached = self._binned.get(key)
+        if cached is not None:
+            return cached
+        sub = self.data.X[rows]
+        binner = Binner(max_bins=int(max_bins)).fit(sub)
+        binner.plane_token = key
+        codes = _readonly(binner.transform(sub))
+        value = (codes, binner.n_bins_, binner)
+        with self._lock:
+            self._binned.put(key, value, nbytes=codes.nbytes)
+        return value
+
+    def transform_with(self, binner: Binner, rows: np.ndarray,
+                       rows_key: tuple) -> np.ndarray:
+        """``binner.transform(X[rows])``, memoized per (binner, rows).
+
+        A binner without a ``plane_token`` (fit outside the plane) is
+        applied directly — correctness never depends on the cache.
+        """
+        token = getattr(binner, "plane_token", None)
+        if token is None:
+            return binner.transform(self.data.X[rows])
+        key = (token, rows_key)
+        with self._lock:
+            cached = self._transforms.get(key)
+        if cached is not None:
+            return cached
+        codes = _readonly(binner.transform(self.data.X[rows]))
+        with self._lock:
+            self._transforms.put(key, codes, nbytes=codes.nbytes)
+        return codes
+
+
+# ----------------------------------------------------------------------
+_plane_attach_lock = threading.Lock()
+
+
+def plane_for(data: Dataset) -> BinnedDataset:
+    """The shared plane for ``data``, cached on the dataset object.
+
+    Storing the plane as an attribute of the :class:`Dataset` ties its
+    lifetime (and the up-to-hundreds-of-MB of cached codes it may hold)
+    exactly to the data: when the caller drops the dataset, the plane
+    goes with it — no module-global registry pinning old datasets
+    alive.  A row-sample CRC is revalidated per lookup so in-place
+    mutation of the arrays rebuilds the plane rather than serving stale
+    codes and splits.
+    """
+    token = _quick_content_token(data)
+    plane = getattr(data, "_binned_plane", None)
+    if (
+        plane is not None
+        and plane.data is data
+        and plane._content_token == token
+    ):
+        return plane
+    with _plane_attach_lock:
+        plane = getattr(data, "_binned_plane", None)
+        if (
+            plane is not None
+            and plane.data is data
+            and plane._content_token == token
+        ):
+            return plane
+        plane = BinnedDataset(data)
+        try:
+            data._binned_plane = plane
+        except (AttributeError, TypeError):  # frozen/slotted container:
+            pass  # fall back to an uncached per-call plane
+    return plane

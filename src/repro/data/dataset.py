@@ -102,6 +102,14 @@ class Dataset:
         if self.y.shape[0] != self.X.shape[0]:
             raise ValueError("X and y row counts differ")
 
+    def __getstate__(self) -> dict:
+        # the per-process binned-data plane (attached by
+        # repro.data.binned.plane_for) holds locks and caches; it must
+        # never travel in a pickle — workers rebuild their own
+        state = dict(self.__dict__)
+        state.pop("_binned_plane", None)
+        return state
+
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:

@@ -17,7 +17,6 @@ every scheduler wants regardless of backend:
 from __future__ import annotations
 
 import time
-import zlib
 
 import numpy as np
 
@@ -101,13 +100,14 @@ def dataset_token(data: Dataset) -> tuple:
     A :class:`TrialCache` may outlive one search (warm restarts,
     re-tuning on refreshed data), so cached outcomes must be scoped to
     the data they were measured on — shape/task plus a CRC of a row
-    sample catches both different datasets and refreshed rows.
+    sample (the same probe the binned plane uses for staleness) catches
+    both different datasets and refreshed rows.
     """
-    x = np.ascontiguousarray(data.X[:64])
-    y = np.ascontiguousarray(data.y[:64])
-    crc = zlib.crc32(x.tobytes())
-    crc = zlib.crc32(y.tobytes(), crc)
-    return (data.name, data.task, int(data.n), int(data.d), crc)
+    from ..data.binned import row_sample_crc
+
+    return (
+        data.name, data.task, int(data.n), int(data.d), row_sample_crc(data)
+    )
 
 
 class ExecutionEngine:

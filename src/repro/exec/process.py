@@ -1,9 +1,25 @@
 """Process-pool backend: true multi-core parallelism with crash isolation.
 
-Workers are initialised once with the dataset (pickled a single time per
-worker, or inherited for free under the default fork start method), so a
-submitted trial only ships its config and evaluation context.  Trial
-payloads must be picklable:
+Worker initialisation is **zero-copy**: the dataset's arrays are
+exported once into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) and each worker attaches by
+name, so the init payload is O(1) metadata — segment names, shapes,
+dtypes — instead of a pickle of the full feature matrix.  This
+
+* removes the per-worker serialisation cost under the ``spawn`` start
+  method (under ``fork`` it also deduplicates the physical pages);
+* sidesteps pickling limits on huge arrays entirely;
+* keeps rebuilt pools cheap after a worker crash (the segments
+  outlive the pool and are reattached, not re-shipped).
+
+Each worker wraps its shared-memory-backed dataset in the process-local
+:class:`~repro.data.binned.BinnedDataset` plane, so split indices and
+histogram bin codes are computed once per worker, not once per trial.
+
+Datasets whose labels are object-dtype (no stable buffer) fall back to
+the legacy pickled-dataset init.
+
+Trial payloads must be picklable:
 
 * estimator classes must be importable module-level classes (all
   built-in learners are; a class defined inside a function is not);
@@ -19,14 +35,24 @@ If a worker dies hard (segfault, ``os._exit``), the pool is rebuilt on
 the next submit; the in-flight trials surface ``BrokenProcessPool``,
 which the engine converts into inf-error outcomes — one bad trial never
 kills the search.
+
+``shutdown()`` unlinks every segment; a ``weakref.finalize`` backstop
+unlinks them if an executor is dropped without shutdown, so repeated
+fits never accumulate ``/dev/shm`` blocks.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
+import uuid
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+
+import numpy as np
 
 from ..core.evaluate import TrialOutcome
 from ..data.dataset import Dataset
@@ -34,14 +60,61 @@ from .base import FutureHandle, TrialExecutor, TrialSpec, run_spec
 
 __all__ = ["ProcessExecutor"]
 
+#: prefix of every shared-memory segment this backend creates (leak
+#: checks grep ``/dev/shm`` for it)
+SHM_PREFIX = "repro-ds-"
+
 #: the dataset each worker process evaluates against (set by the
 #: initializer; module-global so trials don't re-ship the arrays)
 _WORKER_DATA: Dataset | None = None
+#: attached segments, kept alive for as long as the worker uses the
+#: arrays mapped onto their buffers
+_WORKER_SEGMENTS: list[shared_memory.SharedMemory] = []
 
 
-def _init_worker(data: Dataset) -> None:
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    Pre-3.13 ``SharedMemory(name=...)`` registers with the resource
+    tracker even on attach — harmless here: every multiprocessing start
+    method (fork, forkserver *and* spawn, which ships the tracker fd in
+    its preparation data) shares the parent's tracker process, where
+    registration is an idempotent set-add that the owner's ``unlink()``
+    clears exactly once.  Unregistering on the worker side would instead
+    strip the owner's entry and make the final unlink trip a KeyError in
+    the tracker.  3.13+ can skip the add entirely via ``track=False``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= is 3.13+
+        return shared_memory.SharedMemory(name=name)
+
+
+def _init_worker(payload: dict) -> None:
+    """Build the worker's dataset from O(1) shared-memory metadata.
+
+    The arrays are read-only views over the shared segments — a learner
+    mutating its input would corrupt every sibling worker, so that must
+    fail loudly.
+    """
     global _WORKER_DATA
-    _WORKER_DATA = data
+    if "dataset" in payload:  # legacy pickle path (object-dtype labels)
+        _WORKER_DATA = payload["dataset"]
+        return
+    arrays = {}
+    for field in ("X", "y"):
+        meta = payload[field]
+        shm = _attach_segment(meta["shm"])
+        _WORKER_SEGMENTS.append(shm)
+        arr = np.ndarray(
+            meta["shape"], dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+        )
+        arr.flags.writeable = False
+        arrays[field] = arr
+    _WORKER_DATA = Dataset(
+        payload["name"], arrays["X"], arrays["y"], payload["task"],
+        tuple(payload["categorical"]),
+    )
 
 
 def _metric_to_ref(metric):
@@ -92,6 +165,20 @@ def _run_remote(payload: dict) -> TrialOutcome:
     return TrialOutcome(error=out.error, cost=out.cost, model=None)
 
 
+def _unlink_segments(segments: list) -> None:
+    """Close + unlink owned segments; idempotent (shared finalizer)."""
+    while segments:
+        shm = segments.pop()
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
 class ProcessExecutor(TrialExecutor):
     """Run trials on a ``ProcessPoolExecutor`` of ``n_workers`` processes."""
 
@@ -101,7 +188,46 @@ class ProcessExecutor(TrialExecutor):
                  mp_context: str | None = None) -> None:
         super().__init__(data, n_workers=n_workers)
         self._mp_context = mp_context
-        self._pool = self._make_pool()
+        self._segments: list[shared_memory.SharedMemory] = []
+        # backstop: unlink on garbage collection / interpreter exit if the
+        # owner forgot shutdown(); shares the mutable list with shutdown,
+        # so whichever runs first empties it and the other no-ops.
+        # Registered *before* any segment exists so a half-finished export
+        # (e.g. /dev/shm ENOSPC on the second array) still gets cleaned up.
+        self._segment_finalizer = weakref.finalize(
+            self, _unlink_segments, self._segments
+        )
+        try:
+            self._init_payload = self._export_dataset(data)
+            self._pool = self._make_pool()
+        except BaseException:
+            _unlink_segments(self._segments)
+            raise
+
+    # ------------------------------------------------------------------
+    def _export_array(self, arr: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(arr)
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, arr.nbytes),
+            name=f"{SHM_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:12]}",
+        )
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        self._segments.append(shm)
+        return {"shm": shm.name, "shape": arr.shape, "dtype": arr.dtype.str}
+
+    def _export_dataset(self, data: Dataset) -> dict:
+        y = np.asarray(data.y)
+        if y.dtype.hasobject:
+            # object labels have no fixed-size buffer; ship the pickle
+            return {"dataset": data}
+        return {
+            "name": data.name,
+            "task": data.task,
+            "categorical": tuple(data.categorical),
+            "X": self._export_array(np.asarray(data.X, dtype=np.float64)),
+            "y": self._export_array(y),
+        }
 
     def _make_pool(self) -> ProcessPoolExecutor:
         ctx = (
@@ -113,12 +239,13 @@ class ProcessExecutor(TrialExecutor):
             max_workers=self.n_workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(self.data,),
+            initargs=(self._init_payload,),
         )
 
     def submit(self, spec: TrialSpec) -> FutureHandle:
         """Queue the trial onto the process pool (rebuilding it if a
-        previous worker crash broke the pool)."""
+        previous worker crash broke the pool; the shared segments outlive
+        the pool, so the rebuild re-ships only metadata)."""
         payload = _spec_payload(spec)
         try:
             return FutureHandle(self._pool.submit(_run_remote, payload))
@@ -127,5 +254,12 @@ class ProcessExecutor(TrialExecutor):
             return FutureHandle(self._pool.submit(_run_remote, payload))
 
     def shutdown(self) -> None:
-        """Terminate the pool without waiting on abandoned trials."""
+        """Terminate the pool without waiting on abandoned trials and
+        unlink every shared-memory segment this executor created.
+
+        Unlinking while a straggler worker is still attached is safe on
+        POSIX: the mapping stays valid until the worker exits; the name
+        just disappears immediately.
+        """
         self._pool.shutdown(wait=False, cancel_futures=True)
+        _unlink_segments(self._segments)

@@ -15,11 +15,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from .histogram import BinnedMatrix
+
 __all__ = ["BaseEstimator", "BaseClassifierMixin", "validate_data"]
 
 
 def validate_data(X: np.ndarray, y: np.ndarray | None = None):
-    """Coerce to float64 2-D X (and 1-D y), with basic shape checks."""
+    """Coerce to float64 2-D X (and 1-D y), with basic shape checks.
+
+    A :class:`~repro.learners.histogram.BinnedMatrix` passes through
+    unchanged (it already is a validated 2-D view of dataset rows, and
+    coercing it to a dense array would defeat the shared binned plane).
+    """
+    if isinstance(X, BinnedMatrix):
+        if y is None:
+            return X
+        y = np.asarray(y)
+        if y.ndim != 1:
+            y = y.ravel()
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        return X, y
     X = np.asarray(X, dtype=np.float64)
     if X.ndim == 1:
         X = X.reshape(-1, 1)

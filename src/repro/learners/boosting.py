@@ -20,7 +20,7 @@ import time
 import numpy as np
 
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
-from .histogram import Binner
+from .histogram import BinnedMatrix, Binner
 from .losses import Loss, get_loss, sigmoid, softmax
 from .tree import GradTreeGrower, Tree
 
@@ -98,9 +98,15 @@ class GBDTEngine:
             None if sample_weight is None
             else np.asarray(sample_weight, dtype=np.float64)
         )
-        self.binner_ = Binner(max_bins=self.max_bin, rng=rng)
-        codes = self.binner_.fit_transform(X)
-        n_bins = self.binner_.n_bins_
+        if isinstance(X, BinnedMatrix):
+            # shared binned plane: codes were computed once per
+            # (row-subset, max_bins) and are bit-identical to what the
+            # in-learner fit below would produce
+            codes, n_bins, self.binner_ = X.binned(self.max_bin)
+        else:
+            self.binner_ = Binner(max_bins=self.max_bin, rng=rng)
+            codes = self.binner_.fit_transform(X)
+            n_bins = self.binner_.n_bins_
         n = X.shape[0]
         K = self.loss.n_scores
 
@@ -109,7 +115,11 @@ class GBDTEngine:
             n, self.base_score_[0]
         )
         if X_val is not None:
-            codes_val = self.binner_.transform(X_val)
+            codes_val = (
+                X_val.codes_with(self.binner_)
+                if isinstance(X_val, BinnedMatrix)
+                else self.binner_.transform(X_val)
+            )
             val_scores = (
                 np.tile(self.base_score_, (X_val.shape[0], 1))
                 if K > 1
@@ -118,6 +128,10 @@ class GBDTEngine:
             best_val, best_iter = np.inf, 0
 
         self.trees_ = []
+        # when every row is grown (no row subsampling), each row's leaf is
+        # known at grow time — read the update off the partition instead
+        # of re-walking the finished tree (identical leaves by definition)
+        leaf_buf = np.empty(n, dtype=np.int32)
         for it in range(self.n_estimators):
             grad, hess = self.loss.grad_hess(y, scores)
             if w is not None:
@@ -143,9 +157,14 @@ class GBDTEngine:
                     colsample_bylevel=self.colsample_bylevel,
                     rng=rng,
                 )
-                tree = grower.grow(codes, g, h, n_bins, sample_idx=sample_idx)
+                if sample_idx is None:
+                    tree = grower.grow(codes, g, h, n_bins, out_leaf=leaf_buf)
+                    upd = self.learning_rate * tree.predict_at(leaf_buf)
+                else:
+                    tree = grower.grow(codes, g, h, n_bins,
+                                       sample_idx=sample_idx)
+                    upd = self.learning_rate * tree.predict(codes)
                 round_trees.append(tree)
-                upd = self.learning_rate * tree.predict(codes)
                 if K > 1:
                     scores[:, k] += upd
                 else:
@@ -180,7 +199,11 @@ class GBDTEngine:
         """Raw additive scores before the link function."""
         if self.binner_ is None:
             raise RuntimeError("engine not fitted")
-        codes = self.binner_.transform(X)
+        codes = (
+            X.codes_with(self.binner_)
+            if isinstance(X, BinnedMatrix)
+            else self.binner_.transform(X)
+        )
         K = self.loss.n_scores
         n = X.shape[0]
         scores = np.tile(self.base_score_, (n, 1)) if K > 1 else np.full(
@@ -199,6 +222,9 @@ class GBDTEngine:
 # ----------------------------------------------------------------------
 class _GBDTBase(BaseEstimator):
     """Shared fit/predict plumbing for the public GBDT learners."""
+
+    #: the trial path may pass a BinnedMatrix instead of raw floats
+    _uses_binned_plane = True
 
     #: parameters forwarded to :class:`GBDTEngine`
     _engine_keys = (

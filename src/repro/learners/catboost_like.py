@@ -17,7 +17,7 @@ import time
 import numpy as np
 
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
-from .histogram import Binner
+from .histogram import BinnedMatrix, Binner
 from .losses import Loss, get_loss, sigmoid, softmax
 
 __all__ = ["CatBoostLikeClassifier", "CatBoostLikeRegressor", "ObliviousTree"]
@@ -54,6 +54,14 @@ def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weig
     regularised gain over all current nodes is chosen; nodes where the
     split violates ``min_child_weight`` contribute zero gain and keep
     their samples together.
+
+    All candidate features of a level are scored from **one** flat
+    ``np.bincount`` over joint ``(node, feature, bin)`` keys rather than
+    a per-feature Python loop.  The layout change is bitwise-neutral:
+    every (node, feature, bin) bucket accumulates the same rows in the
+    same order either way, and the cumulative sums are per-row
+    independent — asserted against the per-feature reference in
+    ``tests/learners/test_catboost_like.py``.
     """
     n, d = codes.shape
     node = np.zeros(n, dtype=np.int64)
@@ -62,35 +70,66 @@ def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weig
     if feature_fraction < 1.0:
         k = max(1, int(round(feature_fraction * d)))
         cand_features = rng.choice(d, size=k, replace=False)
+    F = cand_features.size
+    nbmax = int(n_bins[cand_features].max()) if F else 0
+    if nbmax < 2:  # no splittable feature: the root is the only leaf
+        G = np.bincount(node, weights=grad, minlength=1)
+        H = np.bincount(node, weights=hess, minlength=1)
+        return ObliviousTree(np.empty(0, dtype=np.int32),
+                             np.empty(0, dtype=np.int64), -G / (H + reg_lambda))
+    # joint (feature, bin) codes of the candidate features, gathered once
+    fcodes = codes[:, cand_features].astype(np.int64)
+    fcodes += np.arange(F, dtype=np.int64)[None, :] * nbmax
+    # grad/hess repeated per feature (and concatenated) once, so each
+    # level's histograms come from a single flat bincount
+    gh = np.concatenate((
+        np.repeat(grad, F) if F > 1 else grad,
+        np.repeat(hess, F) if F > 1 else hess,
+    ))
+    gh_node = np.concatenate((grad, hess))
+    # thresholds past a feature's own bin count are not real splits
+    t_valid = np.arange(nbmax - 1)[None, :] < (n_bins[cand_features] - 1)[:, None]
     for lvl in range(depth):
         m = 1 << lvl
-        best = (0.0, -1, -1)
+        W = m * F * nbmax
         # Node totals (shared across features).
-        Gn = np.bincount(node, weights=grad, minlength=m)
-        Hn = np.bincount(node, weights=hess, minlength=m)
+        nodes2 = np.concatenate((node, node + m))
+        GnHn = np.bincount(nodes2, weights=gh_node, minlength=2 * m)
+        Gn, Hn = GnHn[:m], GnHn[m:]
         parent = Gn**2 / (Hn + reg_lambda)
-        for f in cand_features:
-            nb = int(n_bins[f])
-            if nb < 2:
-                continue
-            combined = node * nb + codes[:, f]
-            hg = np.bincount(combined, weights=grad, minlength=m * nb).reshape(m, nb)
-            hh = np.bincount(combined, weights=hess, minlength=m * nb).reshape(m, nb)
-            GL = np.cumsum(hg, axis=1)[:, :-1]
-            HL = np.cumsum(hh, axis=1)[:, :-1]
-            GR = Gn[:, None] - GL
-            HR = Hn[:, None] - HL
-            gains = 0.5 * (
-                GL**2 / (HL + reg_lambda)
-                + GR**2 / (HR + reg_lambda)
-                - parent[:, None]
-            )
-            valid = (HL >= min_child_weight) & (HR >= min_child_weight)
-            gains = np.where(valid, gains, 0.0)
-            total = gains.sum(axis=0)  # per-threshold gain summed over nodes
-            t = int(np.argmax(total))
-            if total[t] > best[0] + _EPS:
-                best = (float(total[t]), int(f), t)
+        flat = (node[:, None] * (F * nbmax) + fcodes).ravel()
+        keys = np.concatenate((flat, flat + W))
+        hist = np.bincount(keys, weights=gh, minlength=2 * W)
+        cs = hist.reshape(2 * m * F, nbmax).cumsum(axis=1)
+        cs = cs.reshape(2, m, F, nbmax)
+        GL = cs[0, :, :, :-1]  # (m, F, T)
+        HL = cs[1, :, :, :-1]
+        GR = Gn[:, None, None] - GL
+        HR = Hn[:, None, None] - HL
+        valid = (HL >= min_child_weight) & (HR >= min_child_weight)
+        # same association as 0.5*(GL²/(HL+λ) + GR²/(HR+λ) − parent),
+        # assembled in place to avoid temporaries the size of (m, F, T)
+        HL += reg_lambda
+        HR += reg_lambda
+        gains = GL**2
+        gains /= HL
+        tmp = GR**2
+        tmp /= HR
+        gains += tmp
+        gains -= parent[:, None, None]
+        gains *= 0.5
+        total = np.where(valid, gains, 0.0).sum(axis=0)  # (F, T)
+        total = np.where(t_valid, total, -np.inf)
+        # replicate the sequential accept rule exactly: walk features in
+        # candidate order, take this feature's best threshold iff it
+        # beats the running best by more than _EPS
+        best = (0.0, -1, -1)
+        per_f_t = np.argmax(total, axis=1)
+        per_f_gain = total[np.arange(F), per_f_t]
+        for j in range(F):
+            if per_f_gain[j] > best[0] + _EPS:
+                best = (float(per_f_gain[j]), int(cand_features[j]),
+                        int(per_f_t[j]))
         if best[1] < 0:
             break
         _, f, t = best
@@ -139,8 +178,14 @@ class _CatBoostEngine:
         val_idx, tr_idx = perm[:n_val], perm[n_val:]
         if tr_idx.size == 0:
             tr_idx = perm
-        self.binner_ = Binner(max_bins=128, rng=rng)
-        codes_all = self.binner_.fit_transform(X)
+        if isinstance(X, BinnedMatrix):
+            # CatBoost bins its full input (the internal holdout is
+            # carved out *after* binning), so the shared plane's codes
+            # for these rows are exactly what fit_transform produces
+            codes_all, _, self.binner_ = X.binned(128)
+        else:
+            self.binner_ = Binner(max_bins=128, rng=rng)
+            codes_all = self.binner_.fit_transform(X)
         codes, codes_val = codes_all[tr_idx], codes_all[val_idx]
         y_tr, y_val = y[tr_idx], y[val_idx]
         w_tr = None if sw is None else sw[tr_idx]
@@ -196,7 +241,11 @@ class _CatBoostEngine:
 
     def raw_predict(self, X):
         """Raw (margin) predictions on X."""
-        codes = self.binner_.transform(X)
+        codes = (
+            X.codes_with(self.binner_)
+            if isinstance(X, BinnedMatrix)
+            else self.binner_.transform(X)
+        )
         K = self.loss.n_scores
         scores = (
             np.tile(self.base_score_, (X.shape[0], 1))
@@ -215,6 +264,8 @@ class _CatBoostEngine:
 
 class _CatBoostBase(BaseEstimator):
     _is_classifier = False
+    #: the trial path may pass a BinnedMatrix instead of raw floats
+    _uses_binned_plane = True
 
     def __init__(
         self,

@@ -18,7 +18,7 @@ import time
 import numpy as np
 
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
-from .histogram import Binner
+from .histogram import BinnedMatrix, Binner
 from .tree import ClassTreeGrower, GradTreeGrower, Tree
 
 __all__ = [
@@ -36,6 +36,8 @@ class _ForestBase(BaseEstimator):
     _extra_random = False
     _bootstrap = True
     _is_classifier = False
+    #: the trial path may pass a BinnedMatrix instead of raw floats
+    _uses_binned_plane = True
 
     def __init__(
         self,
@@ -80,8 +82,11 @@ class _ForestBase(BaseEstimator):
             y = self._encode_labels(y)
         start = time.perf_counter()
         rng = np.random.default_rng(self.seed)
-        self.binner_ = Binner(max_bins=max(2, int(self.max_bin)), rng=rng)
-        codes = self.binner_.fit_transform(X)
+        if isinstance(X, BinnedMatrix):
+            codes, _, self.binner_ = X.binned(max(2, int(self.max_bin)))
+        else:
+            self.binner_ = Binner(max_bins=max(2, int(self.max_bin)), rng=rng)
+            codes = self.binner_.fit_transform(X)
         n = X.shape[0]
         self.trees_: list[Tree] = []
         for _ in range(max(1, int(round(self.tree_num)))):
@@ -130,7 +135,11 @@ class RandomForestClassifier(BaseClassifierMixin, _ForestImportanceMixin,
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Average of per-tree leaf class frequencies."""
         X = validate_data(X)
-        codes = self.binner_.transform(X)
+        codes = (
+            X.codes_with(self.binner_)
+            if isinstance(X, BinnedMatrix)
+            else self.binner_.transform(X)
+        )
         acc = np.zeros((X.shape[0], self.n_classes_))
         for tree in self.trees_:
             acc += tree.predict(codes)
@@ -169,7 +178,11 @@ class RandomForestRegressor(_ForestImportanceMixin, _ForestBase):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Average of per-tree leaf means."""
         X = validate_data(X)
-        codes = self.binner_.transform(X)
+        codes = (
+            X.codes_with(self.binner_)
+            if isinstance(X, BinnedMatrix)
+            else self.binner_.transform(X)
+        )
         acc = np.zeros(X.shape[0])
         for tree in self.trees_:
             acc += tree.predict(codes)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Binner", "MISSING_BIN"]
+__all__ = ["Binner", "BinnedMatrix", "MISSING_BIN"]
 
 #: Bin code reserved for missing values.
 MISSING_BIN = 0
@@ -121,3 +121,64 @@ class Binner:
         if self.n_bins_ is None:
             raise RuntimeError("Binner not fitted")
         return int(self.n_bins_.max())
+
+
+# ----------------------------------------------------------------------
+class BinnedMatrix:
+    """A row-subset of a dataset with a handle to shared pre-binned codes.
+
+    The trial path hands this to histogram learners in place of the raw
+    float matrix (they opt in via a ``_uses_binned_plane`` class marker).
+    Instead of re-running :meth:`Binner.fit_transform` inside every
+    ``fit``, the learner asks for
+
+    * :meth:`binned` — codes for *these* rows under a binner fit on
+      *these* rows, memoized in the owning
+      :class:`~repro.data.binned.BinnedDataset` so the second trial that
+      needs the same (rows, max_bins) pays a dict lookup; and
+    * :meth:`codes_with` — these rows transformed by an already-fit
+      binner (the validation side of a split), memoized likewise.
+
+    The binner is fit on exactly the rows the learner would have fit it
+    on, so trial errors are bit-for-bit identical to the unshared path.
+    Anything that is not plane-aware can call :func:`numpy.asarray` on
+    this object (or :meth:`raw`) and sees a plain float matrix copy.
+    """
+
+    ndim = 2
+
+    def __init__(self, plane, rows: np.ndarray, rows_key: tuple) -> None:
+        self._plane = plane
+        self._rows = np.asarray(rows)
+        self.rows_key = rows_key
+
+    # -- array-likeness -------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_rows, n_features) of the underlying slice."""
+        return (int(self._rows.size), int(self._plane.data.d))
+
+    def __len__(self) -> int:
+        return int(self._rows.size)
+
+    def raw(self) -> np.ndarray:
+        """The raw float rows (a fresh copy, like ``X[rows]``)."""
+        return self._plane.data.X[self._rows]
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        out = self.raw()
+        return out if dtype is None else out.astype(dtype)
+
+    # -- the binned plane -----------------------------------------------
+    @property
+    def rows(self) -> np.ndarray:
+        """Row indices into the plane's dataset."""
+        return self._rows
+
+    def binned(self, max_bins: int):
+        """(codes, n_bins, binner) with the binner fit on these rows."""
+        return self._plane.binned_for(self._rows, self.rows_key, max_bins)
+
+    def codes_with(self, binner: Binner) -> np.ndarray:
+        """These rows transformed by an already-fit ``binner``."""
+        return self._plane.transform_with(binner, self._rows, self.rows_key)

@@ -25,6 +25,10 @@ __all__ = ["Tree", "GradTreeGrower", "ClassTreeGrower"]
 
 _EPS = 1e-12
 
+#: cap on histograms parked on pending tree nodes for the
+#: sibling-subtraction trick; beyond it children rebuild from scratch
+_HIST_CACHE_BYTES = 32 << 20
+
 
 class Tree:
     """Array-backed binary tree over binned features.
@@ -96,6 +100,12 @@ class Tree:
         out = self._value[self.predict_leaf(codes)]
         return out[:, 0] if out.shape[1] == 1 else out
 
+    def predict_at(self, leaves: np.ndarray) -> np.ndarray:
+        """Leaf values for known leaf ids (``grow(out_leaf=...)``) —
+        skips the tree walk of :meth:`predict`."""
+        out = self._value[leaves]
+        return out[:, 0] if out.shape[1] == 1 else out
+
     def split_feature_counts(self, n_features: int) -> np.ndarray:
         """How many internal nodes split on each feature (importance proxy)."""
         counts = np.zeros(n_features, dtype=np.float64)
@@ -134,6 +144,12 @@ class GradTreeGrower:
         If True, score a single random threshold per feature (extra-trees).
     min_samples_leaf:
         Minimum sample count per child (forests).
+    hist_subtraction:
+        Derive the larger child's histograms as parent − sibling instead
+        of re-counting (LightGBM's trick; on by default).  Gains then
+        differ from scratch builds at float-rounding level, which can
+        flip the argmax between *exactly tied* candidate splits — set
+        False to reproduce scratch-build trees bit-for-bit.
     """
 
     def __init__(
@@ -149,6 +165,7 @@ class GradTreeGrower:
         colsample_bylevel: float = 1.0,
         extra_random: bool = False,
         min_samples_leaf: int = 1,
+        hist_subtraction: bool = True,
         rng: np.random.Generator | None = None,
     ) -> None:
         if max_leaves < 2:
@@ -164,14 +181,85 @@ class GradTreeGrower:
         self.colsample_bylevel = float(colsample_bylevel)
         self.extra_random = bool(extra_random)
         self.min_samples_leaf = int(min_samples_leaf)
+        self.hist_subtraction = bool(hist_subtraction)
         self.rng = rng or np.random.default_rng(0)
 
     # ------------------------------------------------------------------
     def _leaf_value(self, G: float, H: float) -> float:
-        return float(-_soft_threshold(G, self.reg_alpha) / (H + self.reg_lambda))
+        # scalar soft-threshold in plain python: the ufunc chain of
+        # _soft_threshold costs ~7 numpy dispatches per leaf, and leaves
+        # are created once per node; plain float ops run the identical
+        # IEEE arithmetic (sign/abs/subtract/divide), bit for bit
+        a = abs(G) - self.reg_alpha
+        if a != a:  # NaN gradients must poison the leaf, as the ufunc
+            return -a / (H + self.reg_lambda)  # chain did (trial -> inf)
+        if a < 0.0:
+            a = 0.0
+        num = a if G > 0.0 else (-a if G < 0.0 else 0.0)
+        return -num / (H + self.reg_lambda)
 
     def _score(self, G, H):
         return _soft_threshold(G, self.reg_alpha) ** 2 / (H + self.reg_lambda)
+
+    def _build_hists(
+        self,
+        codes: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        idx: np.ndarray,
+        features: np.ndarray,
+        n_bins: np.ndarray,
+        nbmax: int,
+        need_cnt: bool,
+        all_features: bool = False,
+    ):
+        """(grad, hess, count) per-(feature, bin) histograms of one node.
+
+        ``g``/``h`` are already gathered to ``idx`` order; ``all_features``
+        says ``features`` is every column in order (enables the plain-row
+        gather).  The count histogram is only materialised when
+        ``min_samples_leaf`` needs it (``need_cnt``).
+
+        The result is **one** stacked array of shape ``(P, F, nbmax)``
+        with ``P = 3 if need_cnt else 2`` (grad, hess[, count] parts),
+        built from a single flat bincount over disjoint key ranges —
+        each (part, feature, bin) bucket still accumulates the same rows
+        in the same order as separate bincounts would, so the sums are
+        bitwise identical; what drops is per-call numpy dispatch, which
+        dominates on the small nodes deep in a tree.  The stacking also
+        lets the scorer run *one* cumulative sum over every part and the
+        sibling-subtraction trick derive a whole node in one
+        subtraction.
+        """
+        F = features.size
+        W = F * nbmax
+        P = 3 if need_cnt else 2
+        if idx.size * F <= 200_000:
+            # Small node: flat bincount over all candidate features at
+            # once (block j of the histogram belongs to features[j]) —
+            # per-feature Python loops are interpreter-overhead-bound here.
+            sub = codes[idx] if all_features else codes[idx[:, None], features]
+            flat = (sub + np.arange(F, dtype=np.int64) * nbmax).ravel()
+            gw = np.repeat(g, F) if F > 1 else g
+            hw = np.repeat(h, F) if F > 1 else h
+            if need_cnt:
+                keys = np.concatenate((flat, flat + W, flat + 2 * W))
+                wts = np.concatenate((gw, hw, np.ones(flat.size)))
+            else:
+                keys = np.concatenate((flat, flat + W))
+                wts = np.concatenate((gw, hw))
+            return np.bincount(keys, weights=wts,
+                               minlength=P * W).reshape(P, F, nbmax)
+        # Large node: per-feature bincounts avoid materialising the
+        # (rows x features) weight copies.
+        hist = np.zeros((P, F, nbmax))
+        for j, f in enumerate(features):
+            c = codes[idx, f]
+            hist[0, j, : n_bins[f]] = np.bincount(c, weights=g, minlength=n_bins[f])
+            hist[1, j, : n_bins[f]] = np.bincount(c, weights=h, minlength=n_bins[f])
+            if need_cnt:
+                hist[2, j, : n_bins[f]] = np.bincount(c, minlength=n_bins[f])
+        return hist
 
     def _best_split(
         self,
@@ -181,11 +269,19 @@ class GradTreeGrower:
         idx: np.ndarray,
         features: np.ndarray,
         n_bins: np.ndarray,
+        hists=None,
+        all_features: bool = False,
+        t_valid: np.ndarray | None = None,
     ):
-        """Return (gain, feature, threshold) for the best split of ``idx``.
+        """Return (gain, feature, threshold, hists) for the best split.
 
         Scores every (feature, threshold) pair; thresholds are bin codes,
         split sends ``code <= t`` left (missing bin 0 always goes left).
+        ``hists`` lets :meth:`grow` hand in histograms it already holds
+        (the sibling-subtraction trick); the histograms actually used are
+        returned so the caller can derive the children's from them.
+        ``all_features``/``t_valid`` are per-tree constants :meth:`grow`
+        hoists out of this per-node call.
         """
         g, h = grad[idx], hess[idx]
         G, H = float(g.sum()), float(h.sum())
@@ -193,47 +289,32 @@ class GradTreeGrower:
         if self.colsample_bylevel < 1.0:
             k = max(1, int(round(self.colsample_bylevel * features.size)))
             features = self.rng.choice(features, size=k, replace=False)
+            all_features, t_valid = False, None
         F = features.size
         nbmax = int(n_bins[features].max())
         if nbmax < 2:
-            return 0.0, -1, -1
-        if idx.size * F <= 200_000:
-            # Small node: one flat bincount over all candidate features at
-            # once (block j of the histogram belongs to features[j]) —
-            # per-feature Python loops are interpreter-overhead-bound here.
-            fcodes = codes[np.ix_(idx, features)].astype(np.int64)
-            flat = (fcodes + np.arange(F, dtype=np.int64)[None, :] * nbmax).ravel()
-            gw = np.repeat(g, F) if F > 1 else g
-            hw = np.repeat(h, F) if F > 1 else h
-            hg = np.bincount(flat, weights=gw, minlength=F * nbmax).reshape(F, nbmax)
-            hh = np.bincount(flat, weights=hw, minlength=F * nbmax).reshape(F, nbmax)
-            cnt_src = flat
-        else:
-            # Large node: per-feature bincounts avoid materialising the
-            # (rows x features) weight copies.
-            hg = np.zeros((F, nbmax))
-            hh = np.zeros((F, nbmax))
-            for j, f in enumerate(features):
-                c = codes[idx, f]
-                hg[j, : n_bins[f]] = np.bincount(c, weights=g, minlength=n_bins[f])
-                hh[j, : n_bins[f]] = np.bincount(c, weights=h, minlength=n_bins[f])
-            cnt_src = None
-        GL = np.cumsum(hg, axis=1)[:, :-1]
-        HL = np.cumsum(hh, axis=1)[:, :-1]
+            return 0.0, -1, -1, None
+        need_cnt = self.min_samples_leaf > 1
+        if hists is None:
+            hists = self._build_hists(
+                codes, g, h, idx, features, n_bins, nbmax, need_cnt,
+                all_features=all_features,
+            )
+        P = hists.shape[0]
+        # one cumulative sum over every (part, feature) row at once
+        cs = hists.reshape(P * F, nbmax).cumsum(axis=1).reshape(P, F, nbmax)
+        GL = cs[0, :, :-1]
+        HL = cs[1, :, :-1]
         GR, HR = G - GL, H - HL
         valid = (HL >= self.min_child_weight) & (HR >= self.min_child_weight)
-        # thresholds past a feature's own bin count are not real splits
-        valid &= np.arange(nbmax - 1)[None, :] < (n_bins[features] - 1)[:, None]
-        if self.min_samples_leaf > 1:
-            if cnt_src is not None:
-                cnt = np.bincount(cnt_src, minlength=F * nbmax).reshape(F, nbmax)
-            else:
-                cnt = np.zeros((F, nbmax))
-                for j, f in enumerate(features):
-                    cnt[j, : n_bins[f]] = np.bincount(
-                        codes[idx, f], minlength=n_bins[f]
-                    )
-            CL = np.cumsum(cnt, axis=1)[:, :-1]
+        if t_valid is None:
+            # thresholds past a feature's own bin count are no real splits
+            t_valid = (
+                np.arange(nbmax - 1) < (n_bins[features] - 1)[:, None]
+            )
+        valid &= t_valid
+        if need_cnt:
+            CL = cs[2, :, :-1]
             valid &= (CL >= self.min_samples_leaf) & (
                 idx.size - CL >= self.min_samples_leaf
             )
@@ -246,16 +327,20 @@ class GradTreeGrower:
                     keep[j, int(self.rng.choice(cand))] = True
             valid = keep
         if not valid.any():
-            return 0.0, -1, -1
-        gains = np.where(
-            valid, 0.5 * (self._score(GL, HL) + self._score(GR, HR) - parent),
-            -np.inf,
-        )
-        j, t = np.unravel_index(int(np.argmax(gains)), gains.shape)
+            return 0.0, -1, -1, hists
+        # same association as 0.5*(score(L) + score(R) − parent), built
+        # in place to avoid (F, T)-sized temporaries on every node
+        gains = self._score(GL, HL)
+        gains += self._score(GR, HR)
+        gains -= parent
+        gains *= 0.5
+        gains = np.where(valid, gains, -np.inf)
+        k = int(gains.argmax())
+        j, t = divmod(k, gains.shape[1])
         best_gain = float(gains[j, t])
         if best_gain <= _EPS:
-            return 0.0, -1, -1
-        return best_gain, int(features[j]), int(t)
+            return 0.0, -1, -1, hists
+        return best_gain, int(features[j]), int(t), hists
 
     # ------------------------------------------------------------------
     def grow(
@@ -265,8 +350,26 @@ class GradTreeGrower:
         hess: np.ndarray,
         n_bins: np.ndarray,
         sample_idx: np.ndarray | None = None,
+        out_leaf: np.ndarray | None = None,
     ) -> Tree:
-        """Grow and return a frozen :class:`Tree`."""
+        """Grow and return a frozen :class:`Tree`.
+
+        Uses the histogram **sibling-subtraction trick** where valid:
+        after a node splits, only the smaller child's histograms are
+        rebuilt with ``np.bincount``; the larger child's are derived as
+        ``parent − sibling``, halving (or better) the bincount work per
+        depth level.  Requires every node to score the same feature set,
+        so per-level column sampling (``colsample_bylevel < 1``) and
+        extra-random threshold draws fall back to scratch builds; the
+        retained parent histograms are capped at
+        :data:`_HIST_CACHE_BYTES` and degrade to scratch builds beyond
+        it.
+
+        ``out_leaf`` (int32, one entry per ``codes`` row) is filled with
+        each grown row's leaf node id — callers that train on every row
+        (boosting without subsampling) read predictions straight off it
+        instead of re-walking the finished tree.
+        """
         n, d = codes.shape
         idx0 = np.arange(n) if sample_idx is None else np.asarray(sample_idx)
         features = np.arange(d)
@@ -274,23 +377,51 @@ class GradTreeGrower:
             k = max(1, int(round(self.colsample_bytree * d)))
             features = np.sort(self.rng.choice(d, size=k, replace=False))
 
+        subtract = (
+            self.hist_subtraction
+            and self.colsample_bylevel >= 1.0
+            and not self.extra_random
+        )
+        nbmax = int(n_bins[features].max()) if features.size else 0
+        need_cnt = self.min_samples_leaf > 1
+        hist_bytes = 0  # histograms currently parked on pending nodes
+        # per-tree constants of the per-node split scoring
+        all_features = features.size == d
+        t_valid = (
+            np.arange(max(nbmax - 1, 0)) < (n_bins[features] - 1)[:, None]
+            if self.colsample_bylevel >= 1.0 and nbmax >= 2
+            else None
+        )
+
         tree = Tree()
         root_val = self._leaf_value(float(grad[idx0].sum()), float(hess[idx0].sum()))
         root = tree.add_node(root_val)
+        if out_leaf is not None:
+            out_leaf[idx0] = root
         n_leaves = 1
         counter = 0  # heap tie-breaker
 
-        def try_split(nid: int, idx: np.ndarray, depth: int):
-            nonlocal counter
+        def splittable(idx: np.ndarray, depth: int) -> bool:
             if self.max_depth is not None and depth >= self.max_depth:
+                return False
+            return idx.size >= 2 * self.min_samples_leaf and idx.size >= 2
+
+        def try_split(nid: int, idx: np.ndarray, depth: int, hists=None):
+            nonlocal counter, hist_bytes
+            if not splittable(idx, depth):
                 return None
-            if idx.size < 2 * self.min_samples_leaf or idx.size < 2:
-                return None
-            gain, f, t = self._best_split(codes, grad, hess, idx, features, n_bins)
+            gain, f, t, hists = self._best_split(
+                codes, grad, hess, idx, features, n_bins, hists=hists,
+                all_features=all_features, t_valid=t_valid,
+            )
             if f < 0 or gain <= self.min_gain:
                 return None
+            keep = None
+            if subtract and hists is not None:
+                if hist_bytes + hists.nbytes <= _HIST_CACHE_BYTES:
+                    keep, hist_bytes = hists, hist_bytes + hists.nbytes
             counter += 1
-            return (-gain, counter, nid, idx, depth, f, t)
+            return (-gain, counter, nid, idx, depth, f, t, keep)
 
         heap: list = []
         first = try_split(root, idx0, 0)
@@ -298,20 +429,40 @@ class GradTreeGrower:
             heapq.heappush(heap, first)
         while heap and n_leaves < self.max_leaves:
             if self.leaf_wise:
-                _, _, nid, idx, depth, f, t = heapq.heappop(heap)
+                _, _, nid, idx, depth, f, t, phists = heapq.heappop(heap)
             else:
-                _, _, nid, idx, depth, f, t = heap.pop(0)  # FIFO = level order
+                _, _, nid, idx, depth, f, t, phists = heap.pop(0)  # FIFO
+            if phists is not None:
+                hist_bytes -= phists.nbytes
             goleft = codes[idx, f] <= t
             li, ri = idx[goleft], idx[~goleft]
             lval = self._leaf_value(float(grad[li].sum()), float(hess[li].sum()))
             rval = self._leaf_value(float(grad[ri].sum()), float(hess[ri].sum()))
             lid, rid = tree.add_node(lval), tree.add_node(rval)
             tree.set_split(nid, f, t, lid, rid)
+            if out_leaf is not None:
+                out_leaf[li] = lid
+                out_leaf[ri] = rid
             n_leaves += 1
-            for cid, cidx in ((lid, li), (rid, ri)):
+            lh = rh = None
+            if phists is not None:
+                # bincount the smaller child only; the larger child's
+                # histograms are parent − sibling
+                small_is_left = li.size <= ri.size
+                small = li if small_is_left else ri
+                small_ok = splittable(small, depth + 1)
+                big_ok = splittable(ri if small_is_left else li, depth + 1)
+                if small_ok or big_ok:
+                    sh = self._build_hists(
+                        codes, grad[small], hess[small], small, features,
+                        n_bins, nbmax, need_cnt, all_features=all_features,
+                    )
+                    bh = phists - sh if big_ok else None
+                    lh, rh = (sh, bh) if small_is_left else (bh, sh)
+            for cid, cidx, chists in ((lid, li, lh), (rid, ri, rh)):
                 if n_leaves >= self.max_leaves:
                     break
-                item = try_split(cid, cidx, depth + 1)
+                item = try_split(cid, cidx, depth + 1, hists=chists)
                 if item is not None:
                     if self.leaf_wise:
                         heapq.heappush(heap, item)
@@ -364,17 +515,20 @@ class ClassTreeGrower:
         safe = np.maximum(tot, _EPS)
         p = counts / safe[..., None]
         if self.criterion == "gini":
-            per = 1.0 - (p**2).sum(axis=-1)
+            np.power(p, 2, out=p)  # in place: p is ours, and p**2 == p·p
+            per = 1.0 - p.sum(axis=-1)
         else:
             with np.errstate(divide="ignore", invalid="ignore"):
                 logp = np.where(p > 0, np.log2(np.maximum(p, _EPS)), 0.0)
             per = -(p * logp).sum(axis=-1)
-        return per * tot
+        per *= tot
+        return per
 
     def _best_split(self, codes, y, idx, n_bins, w=None):
         d = codes.shape[1]
+        all_features = self.max_features >= 1.0
         features = np.arange(d)
-        if self.max_features < 1.0:
+        if not all_features:
             k = max(1, int(round(self.max_features * d)))
             features = self.rng.choice(d, size=k, replace=False)
         yk = y[idx].astype(np.int64)
@@ -388,23 +542,23 @@ class ClassTreeGrower:
         nbmax = int(n_bins[features].max())
         if nbmax < 2:
             return 0.0, -1, -1
-        fcodes = codes[np.ix_(idx, features)].astype(np.int64)
+        sub = codes[idx] if all_features else codes[idx[:, None], features]
         flat = (
             yk[:, None] * (F * nbmax)
-            + fcodes
-            + np.arange(F, dtype=np.int64)[None, :] * nbmax
+            + sub
+            + np.arange(F, dtype=np.int64) * nbmax
         ).ravel()
         flat_w = None if w_idx is None else np.repeat(w_idx, F)
         joint = np.bincount(flat, weights=flat_w,
                             minlength=K * F * nbmax).astype(np.float64)
-        joint = joint.reshape(K, F, nbmax)
-        CL = np.cumsum(joint, axis=2)[:, :, :-1]  # (K, F, T)
+        joint = joint.reshape(K * F, nbmax)
+        CL = joint.cumsum(axis=1).reshape(K, F, nbmax)[:, :, :-1]  # (K, F, T)
         CL = np.moveaxis(CL, 0, -1)  # (F, T, K)
         CR = total[None, None, :] - CL
         nl = CL.sum(axis=2)
         nr = idx.size - nl
         valid = (nl >= self.min_samples_leaf) & (nr >= self.min_samples_leaf)
-        valid &= np.arange(nbmax - 1)[None, :] < (n_bins[features] - 1)[:, None]
+        valid &= np.arange(nbmax - 1) < (n_bins[features] - 1)[:, None]
         if self.extra_random:
             keep = np.zeros_like(valid)
             for j in range(F):
@@ -414,10 +568,13 @@ class ClassTreeGrower:
             valid = keep
         if not valid.any():
             return 0.0, -1, -1
-        gains = np.where(
-            valid, parent - self._impurity(CL) - self._impurity(CR), -np.inf
-        )
-        j, t = np.unravel_index(int(np.argmax(gains)), gains.shape)
+        # same association as parent − imp(CL) − imp(CR), built in place
+        gains = self._impurity(CL)
+        np.subtract(parent, gains, out=gains)
+        gains -= self._impurity(CR)
+        gains = np.where(valid, gains, -np.inf)
+        k = int(gains.argmax())
+        j, t = divmod(k, gains.shape[1])
         best_gain = float(gains[j, t])
         if best_gain <= _EPS:
             return 0.0, -1, -1

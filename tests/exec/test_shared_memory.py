@@ -1,0 +1,176 @@
+"""Shared-memory dataset plane of the process backend.
+
+The executor must (a) ship only O(1) metadata to workers — never a
+pickle of the feature matrix, (b) actually share memory (a worker-side
+attach sees writes through the parent's segment), and (c) unlink every
+segment on shutdown, including after worker crashes and pool rebuilds —
+repeated fits must not accumulate ``/dev/shm`` blocks.
+"""
+
+import gc
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification
+from repro.data.dataset import Dataset
+from repro.exec import ProcessExecutor, TrialSpec
+from repro.exec import process as process_mod
+from repro.learners import LGBMLikeClassifier
+from repro.metrics import get_metric
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(300, 4, class_sep=1.3, seed=0,
+                               name="shm").shuffled(0)
+
+
+def make_spec(config=None, **kw):
+    base = dict(
+        learner="lgbm",
+        estimator_cls=LGBMLikeClassifier,
+        config=config or {"tree_num": 3, "leaf_num": 4},
+        sample_size=150,
+        resampling="holdout",
+        metric=get_metric("accuracy"),
+        seed=0,
+        labels=np.array([0, 1]),
+    )
+    base.update(kw)
+    return TrialSpec(**base)
+
+
+class ExitingLearner(LGBMLikeClassifier):
+    """Kills its worker process outright (picklable, module-level)."""
+
+    def fit(self, X, y):
+        os._exit(17)
+
+
+def shm_files() -> set:
+    return set(glob.glob("/dev/shm/" + process_mod.SHM_PREFIX + "*"))
+
+
+class TestZeroCopyInit:
+    def test_init_payload_is_metadata_not_arrays(self, data):
+        with ProcessExecutor(data, n_workers=1) as ex:
+            payload = ex._init_payload
+            assert "dataset" not in payload
+            for field in ("X", "y"):
+                meta = payload[field]
+                assert set(meta) == {"shm", "shape", "dtype"}
+                assert meta["shm"].startswith(process_mod.SHM_PREFIX)
+            # the wire form is tiny: names + shapes, not 300x4 floats
+            import pickle
+
+            assert len(pickle.dumps(payload)) < 2000
+
+    def test_worker_attach_shares_memory(self, data):
+        """An attach (as the worker initializer does it) must observe
+        writes made through the parent's segment — proof the matrix is
+        mapped, not copied."""
+        saved_data = process_mod._WORKER_DATA
+        saved_segs = list(process_mod._WORKER_SEGMENTS)
+        ex = ProcessExecutor(data, n_workers=1)
+        try:
+            process_mod._WORKER_SEGMENTS.clear()
+            process_mod._init_worker(ex._init_payload)
+            worker_data = process_mod._WORKER_DATA
+            assert isinstance(worker_data, Dataset)
+            np.testing.assert_array_equal(worker_data.X, data.X)
+            np.testing.assert_array_equal(worker_data.y, data.y)
+            assert not worker_data.X.flags.writeable
+            # write through the parent's own segment view
+            parent_view = np.ndarray(
+                data.X.shape, dtype=np.float64, buffer=ex._segments[0].buf
+            )
+            before = worker_data.X[0, 0]
+            parent_view[0, 0] = before + 1.0
+            assert worker_data.X[0, 0] == before + 1.0
+            parent_view[0, 0] = before
+        finally:
+            for shm in process_mod._WORKER_SEGMENTS:
+                shm.close()
+            process_mod._WORKER_SEGMENTS[:] = saved_segs
+            process_mod._WORKER_DATA = saved_data
+            ex.shutdown()
+
+    def test_process_trial_matches_serial(self, data):
+        from repro.exec import SerialExecutor
+
+        spec = make_spec()
+        serial = SerialExecutor(data).submit(spec).result()
+        with ProcessExecutor(data, n_workers=1) as ex:
+            remote = ex.submit(spec).result(timeout=120)
+        assert remote.error == serial.error
+        assert remote.model is None
+
+    def test_object_dtype_labels_fall_back_to_pickle(self):
+        X = np.random.default_rng(0).standard_normal((40, 3))
+        y = np.array(["a", "b"] * 20, dtype=object)
+        data = Dataset("obj", X, y, "binary")
+        ex = ProcessExecutor(data, n_workers=1)
+        try:
+            assert "dataset" in ex._init_payload
+            assert ex._segments == []
+        finally:
+            ex.shutdown()
+
+
+class TestTeardown:
+    def test_shutdown_unlinks_all_segments(self, data):
+        from multiprocessing import shared_memory
+
+        before = shm_files()
+        ex = ProcessExecutor(data, n_workers=1)
+        names = [s.name for s in ex._segments]
+        assert len(names) == 2  # X and y
+        ex.submit(make_spec()).result(timeout=120)
+        ex.shutdown()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert shm_files() == before
+
+    def test_repeated_fit_cycles_leak_nothing(self, data):
+        before = shm_files()
+        for _ in range(3):
+            with ProcessExecutor(data, n_workers=1) as ex:
+                ex.submit(make_spec()).result(timeout=120)
+        assert shm_files() == before
+
+    def test_shutdown_idempotent(self, data):
+        ex = ProcessExecutor(data, n_workers=1)
+        ex.shutdown()
+        ex.shutdown()  # second call must not raise
+
+    def test_finalizer_backstop_unlinks_dropped_executor(self, data):
+        before = shm_files()
+        ex = ProcessExecutor(data, n_workers=1)
+        assert shm_files() != before
+        pool = ex._pool
+        del ex
+        gc.collect()
+        pool.shutdown(wait=False, cancel_futures=True)
+        assert shm_files() == before
+
+    def test_worker_crash_pool_rebuild_then_clean_shutdown(self, data):
+        """A hard worker death must not orphan segments: the rebuilt pool
+        reattaches the same segments and shutdown still unlinks them."""
+        before = shm_files()
+        ex = ProcessExecutor(data, n_workers=1)
+        names = [s.name for s in ex._segments]
+        crash = make_spec(estimator_cls=ExitingLearner, learner="exit")
+        handle = ex.submit(crash)
+        with pytest.raises(Exception):
+            handle.result(timeout=120)
+        # pool is broken now; next submit rebuilds it against the same
+        # shared segments and the trial succeeds
+        out = ex.submit(make_spec()).result(timeout=120)
+        assert np.isfinite(out.error)
+        assert [s.name for s in ex._segments] == names
+        ex.shutdown()
+        assert shm_files() == before
