@@ -1,4 +1,4 @@
-"""Hot-path benchmark: trials/sec with the shared binned-data plane off/on.
+"""Hot-path benchmark: trials/sec across the trial-path optimisation axes.
 
 Measures the **trial-execution** hot path on a fixed, realistic trial
 workload.  Per dataset:
@@ -7,14 +7,14 @@ workload.  Per dataset:
    to *record* the TrialSpecs it proposes — the representative mix of
    learners, configs, sample sizes and resampling a real search
    executes;
-2. that exact spec list is replayed twice — once with the binned-data
-   plane disabled (the legacy path: every trial re-bins its training
-   slice and re-computes its split indices) and once enabled — and
-   trials/sec is reported for both.
+2. that exact spec list is replayed three times — ``legacy`` (binned
+   plane off, native kernels off: the pre-PR-4 trial path), ``plane``
+   (plane on, kernels off) and ``native`` (plane on, compiled kernels
+   on: the default path) — and trials/sec is reported for each.
 
 The replays must produce **identical per-trial error sequences**
-(asserted): the plane is pure reuse, so the only thing allowed to
-change is wall-clock.
+(asserted): plane and kernels are pure reuse / bitwise-equal rewrites,
+so the only thing allowed to change is wall-clock.
 
 Why replay rather than time the search loop itself?  FLAML's proposer
 is cost-aware by design (ECI steers learner choice and the sample-size
@@ -56,6 +56,7 @@ from repro.data import Dataset, load_dataset, set_plane_enabled
 from repro.exec.serial import SerialExecutor
 from repro.exec.base import run_spec
 from repro.metrics.registry import default_metric_name, get_metric
+from repro.native import native_available, native_enabled, set_native_enabled
 
 #: one small suite dataset per task type plus one large-n regression
 #: set — large enough that trials do real work, small enough for a
@@ -97,7 +98,16 @@ def collect_specs(data, max_iters: int, seed: int):
     return recorder.specs
 
 
-def replay(data, specs, plane: bool):
+#: replay modes: (binned plane, native kernels); ``native`` is the
+#: system default path, ``legacy`` the pre-PR-4 one
+MODES = {
+    "legacy": (False, False),
+    "plane": (True, False),
+    "native": (True, True),
+}
+
+
+def replay(data, specs, plane: bool, native: bool):
     """Execute ``specs`` against a fresh dataset copy; (wall, errors).
 
     The copy guarantees a cold plane (planes are keyed by dataset
@@ -105,43 +115,60 @@ def replay(data, specs, plane: bool):
     """
     clone = Dataset(data.name, data.X.copy(), data.y.copy(), data.task,
                     data.categorical)
-    prev = set_plane_enabled(plane)
+    prev_plane = set_plane_enabled(plane)
+    prev_native = set_native_enabled(native)
     try:
         start = time.perf_counter()
         errors = [run_spec(clone, spec).error for spec in specs]
         wall = time.perf_counter() - start
     finally:
-        set_plane_enabled(prev)
+        set_plane_enabled(prev_plane)
+        set_native_enabled(prev_native)
     return wall, errors
 
 
-def bench_dataset(name: str, max_iters: int, seed: int,
-                  repeats: int = 1) -> dict:
-    """Record a search's specs, then time legacy vs plane replays.
+def bench_dataset(name: str, max_iters: int, seed: int, repeats: int = 1,
+                  modes=tuple(MODES)) -> dict:
+    """Record a search's specs, then time one replay per mode.
 
     With ``repeats > 1`` each mode keeps its best (minimum) wall — the
     standard defence against scheduler noise on a shared 1-core box.
+    The least-optimised mode replays first, so OS/CPU warm-up favours
+    the *baseline*.
     """
     data = load_dataset(name).shuffled(seed)
     specs = collect_specs(data, max_iters, seed)
-    wall_legacy, errors_legacy = replay(data, specs, plane=False)
-    wall_plane, errors_plane = replay(data, specs, plane=True)
+    walls, errors = {}, {}
+    for mode in modes:
+        plane, native = MODES[mode]
+        walls[mode], errors[mode] = replay(data, specs, plane, native)
     for _ in range(repeats - 1):
-        wall_legacy = min(wall_legacy, replay(data, specs, plane=False)[0])
-        wall_plane = min(wall_plane, replay(data, specs, plane=True)[0])
-    identical = errors_legacy == errors_plane
-    return {
+        for mode in modes:
+            plane, native = MODES[mode]
+            walls[mode] = min(walls[mode],
+                              replay(data, specs, plane, native)[0])
+    base = errors[modes[0]]
+    identical = all(errors[m] == base for m in modes)
+    out = {
         "task": data.task,
         "n": data.n,
         "d": data.d,
         "trials": len(specs),
-        "wall_legacy_s": round(wall_legacy, 4),
-        "wall_plane_s": round(wall_plane, 4),
-        "trials_per_sec_legacy": round(len(specs) / wall_legacy, 3),
-        "trials_per_sec_plane": round(len(specs) / wall_plane, 3),
-        "speedup": round(wall_legacy / wall_plane, 3),
         "errors_identical": identical,
     }
+    for mode in modes:
+        out[f"wall_{mode}_s"] = round(walls[mode], 4)
+        out[f"trials_per_sec_{mode}"] = round(len(specs) / walls[mode], 3)
+    if "plane" in walls:
+        out["speedup_plane"] = round(walls["legacy"] / walls["plane"], 3)
+    if "native" in walls:
+        # full-path speedup vs the pre-PR-4 trial path, and the
+        # kernels' own contribution on top of the plane
+        out["speedup"] = round(walls["legacy"] / walls["native"], 3)
+        out["speedup_kernel"] = round(walls["plane"] / walls["native"], 3)
+    else:
+        out["speedup"] = out.get("speedup_plane")
+    return out
 
 
 def main(argv=None) -> int:
@@ -162,43 +189,62 @@ def main(argv=None) -> int:
                         "0.33: fail only on gross slowdowns)")
     args = p.parse_args(argv)
 
+    # compile the kernels before any timed window (build is cached; a
+    # box without a compiler — or REPRO_NATIVE=0 — honestly benches the
+    # numpy-only modes)
+    modes = tuple(MODES) if native_enabled() else ("legacy", "plane")
+    if "native" not in modes:
+        print("note: native kernels disabled or unavailable; "
+              "benching legacy/plane only")
+
     per_dataset = {}
     for name in args.datasets:
         per_dataset[name] = bench_dataset(
-            name, args.max_iters, args.seed, repeats=max(1, args.repeats)
+            name, args.max_iters, args.seed, repeats=max(1, args.repeats),
+            modes=modes,
         )
         r = per_dataset[name]
-        print(f"{name:<20} {r['trials']:>3} trials  "
-              f"legacy {r['trials_per_sec_legacy']:>7.2f}/s  "
-              f"plane {r['trials_per_sec_plane']:>7.2f}/s  "
+        rates = "  ".join(
+            f"{m} {r[f'trials_per_sec_{m}']:>7.2f}/s" for m in modes
+        )
+        print(f"{name:<20} {r['trials']:>3} trials  {rates}  "
               f"speedup {r['speedup']:.2f}x  "
               f"errors_identical={r['errors_identical']}")
 
     total_trials = sum(r["trials"] for r in per_dataset.values())
-    wall_legacy = sum(r["wall_legacy_s"] for r in per_dataset.values())
-    wall_plane = sum(r["wall_plane_s"] for r in per_dataset.values())
+    wall = {
+        m: sum(r[f"wall_{m}_s"] for r in per_dataset.values())
+        for m in modes
+    }
     aggregate = {
         "trials": total_trials,
-        "trials_per_sec_legacy": round(total_trials / wall_legacy, 3),
-        "trials_per_sec_plane": round(total_trials / wall_plane, 3),
-        "speedup": round(wall_legacy / wall_plane, 3),
         "errors_identical": all(
             r["errors_identical"] for r in per_dataset.values()
         ),
     }
+    for m in modes:
+        aggregate[f"trials_per_sec_{m}"] = round(total_trials / wall[m], 3)
+    aggregate["speedup_plane"] = round(wall["legacy"] / wall["plane"], 3)
+    if "native" in modes:
+        aggregate["speedup"] = round(wall["legacy"] / wall["native"], 3)
+        aggregate["speedup_kernel"] = round(
+            wall["plane"] / wall["native"], 3
+        )
+    else:
+        aggregate["speedup"] = aggregate["speedup_plane"]
     record = {
         "benchmark": "hotpath",
         "created_unix": int(time.time()),
         "methodology": (
             "fixed spec workload recorded from a real search, replayed "
-            "against a cold dataset copy per mode; legacy = shared "
-            "binned-data plane disabled (per-trial binning + split "
-            "computation, the pre-refactor trial path); plane = default "
-            "path. Both modes share this PR's grower optimisations "
-            "(vectorised oblivious trees, fused single-bincount "
-            "histograms, sibling subtraction), so the end-to-end speedup "
-            "vs the pre-PR commit is larger than the plane column alone "
-            "- see README 'Performance'."
+            "against a cold dataset copy per mode; legacy = binned-data "
+            "plane AND native kernels off (the pre-PR-4 trial path); "
+            "plane = plane on, kernels off; native = plane + compiled "
+            "kernels (the default path). 'speedup' is legacy->native "
+            "(full trial path), 'speedup_kernel' is plane->native (the "
+            "C kernels' own contribution). All modes must produce "
+            "identical per-trial error sequences - the kernels are "
+            "bitwise-equal rewrites, not approximations."
         ),
         "config": {
             "datasets": list(args.datasets),
@@ -206,6 +252,8 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "repeats": max(1, args.repeats),
             "backend": "serial",
+            "modes": list(modes),
+            "native_available": native_available(),
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
@@ -213,13 +261,17 @@ def main(argv=None) -> int:
         "aggregate": aggregate,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
+    rates = " -> ".join(
+        f"{aggregate[f'trials_per_sec_{m}']:.2f}" for m in modes
+    )
     print(f"aggregate speedup {aggregate['speedup']:.2f}x "
-          f"({aggregate['trials_per_sec_legacy']:.2f} -> "
-          f"{aggregate['trials_per_sec_plane']:.2f} trials/s), "
-          f"errors_identical={aggregate['errors_identical']}")
+          f"({rates} trials/s"
+          + (f", kernel alone {aggregate['speedup_kernel']:.2f}x"
+             if "speedup_kernel" in aggregate else "")
+          + f"), errors_identical={aggregate['errors_identical']}")
     print(f"[saved to {args.out}]")
     if not aggregate["errors_identical"]:
-        print("FAIL: plane changed trial errors")
+        print("FAIL: an optimised mode changed trial errors")
         return 1
     if args.fail_below is not None and aggregate["speedup"] < args.fail_below:
         print(f"FAIL: speedup {aggregate['speedup']} < {args.fail_below}")

@@ -1,8 +1,54 @@
 """Setup shim: the environment has no `wheel` package, so editable installs
 must go through the legacy ``setup.py develop`` path. Metadata lives here;
-tool config stays in pyproject.toml."""
+tool config stays in pyproject.toml.
+
+The native kernels (``repro/native/_kernels.c``) are *not* declared as a
+setuptools Extension on purpose: they compile on first use into a
+per-user cache (see ``repro.native._build``), so a plain ``pip install``
+— or a box with no compiler at all — always succeeds and the system
+degrades to the pure-numpy fallback.  The install commands below just
+attempt the compile eagerly so install-time is where the one-off cost
+lands; any failure is non-fatal by design.  ``_build.py`` is loaded
+standalone (stdlib-only module) rather than via ``import repro`` so the
+hook also works under PEP-517 build isolation, where numpy is absent.
+"""
+
+import importlib.util
+from pathlib import Path
 
 from setuptools import find_packages, setup
+from setuptools.command.build_py import build_py as _build_py
+from setuptools.command.develop import develop as _develop
+
+_BUILD_PY_PATH = Path(__file__).parent / "src" / "repro" / "native" / "_build.py"
+
+
+def _prebuild_native_kernels() -> None:
+    """Best-effort eager compile of the native kernels."""
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "_repro_native_build", _BUILD_PY_PATH
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        so = mod.build()
+        print(f"repro.native: kernels compiled to {so}")
+    except Exception as exc:  # no compiler/headers: fallback mode
+        print(f"repro.native: kernel prebuild skipped ({exc}); "
+              "the pure-numpy fallback will be used")
+
+
+class build_py(_build_py):
+    def run(self):
+        super().run()
+        _prebuild_native_kernels()
+
+
+class develop(_develop):
+    def run(self):
+        super().run()
+        _prebuild_native_kernels()
+
 
 setup(
     name="repro",
@@ -13,5 +59,7 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.native": ["*.c"]},
     install_requires=["numpy", "scipy"],
+    cmdclass={"build_py": build_py, "develop": develop},
 )

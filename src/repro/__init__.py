@@ -25,6 +25,14 @@ H-step forecast.
 
 from .core.automl import AutoML
 from .core.space import SearchSpace
+from .native import native_available, native_enabled, set_native_enabled
 
 __version__ = "0.1.0"
-__all__ = ["AutoML", "SearchSpace", "__version__"]
+__all__ = [
+    "AutoML",
+    "SearchSpace",
+    "__version__",
+    "native_available",
+    "native_enabled",
+    "set_native_enabled",
+]

@@ -153,8 +153,27 @@ class ParallelSearchController(LearnerSelectionMixin):
         own_executor = executor is None
         if executor is None:
             real = backend if backend in REAL_BACKENDS else "serial"
+            # process workers pre-warm their binned-data plane with the
+            # exact split/codes context the first trials will request
+            warmup = (
+                None
+                if self.resampling == "temporal"
+                else {
+                    "resampling": self.resampling,
+                    "holdout_ratio": float(self.holdout_ratio),
+                    "seed": int(self.seed),
+                    "n_splits": int(self.n_splits),
+                    "sample_size": int(
+                        min(self._init_sample_size, self._thread_full_size)
+                        if self._use_sampling
+                        else self._thread_full_size
+                    ),
+                }
+            )
             executor = make_executor(
-                real, data, n_workers=self.n_workers if real != "serial" else 1
+                real, data,
+                n_workers=self.n_workers if real != "serial" else 1,
+                warmup=warmup,
             )
         if isinstance(trial_cache, TrialCache):
             cache = trial_cache

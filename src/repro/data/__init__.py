@@ -7,6 +7,7 @@ from .binned import (
     plane_for,
     row_sample_crc,
     set_plane_enabled,
+    warm_plane,
 )
 from .dataset import Dataset, holdout_indices, kfold_indices, stratified_shuffle
 from .generators import make_classification, make_regression
@@ -73,4 +74,5 @@ __all__ = [
     "stratified_shuffle",
     "suite_names",
     "to_csv",
+    "warm_plane",
 ]

@@ -51,6 +51,7 @@ __all__ = [
     "plane_enabled",
     "row_sample_crc",
     "set_plane_enabled",
+    "warm_plane",
 ]
 
 _ENV_FLAG = "REPRO_BINNED_PLANE"
@@ -291,6 +292,102 @@ class BinnedDataset:
 
 
 # ----------------------------------------------------------------------
+#: fallback ``max_bins`` set for plane warmup when the learner registry
+#: cannot be inspected (LGBM/XGB 255, CatBoost-like 128, forests 64)
+_WARM_MAX_BINS = (255, 128, 64)
+
+_warm_bins_cache: tuple | None = None
+
+
+def _default_warm_bins() -> tuple:
+    """The ``max_bins`` values a first trial actually asks the plane for,
+    derived from the registered plane-aware learners' own defaults
+    (``max_bin`` constructor default, or the ``_plane_max_bins`` class
+    attribute for learners that bin at a fixed width) — so warmup tracks
+    the learners instead of a hardcoded copy of their defaults."""
+    global _warm_bins_cache
+    if _warm_bins_cache is not None:
+        return _warm_bins_cache
+    import inspect
+
+    from ..core.registry import all_learners  # lazy: avoids import cycle
+
+    bins = set()
+    for spec in all_learners().values():
+        for cls in (spec.classifier_cls, spec.regressor_cls):
+            if cls is None or not getattr(cls, "_uses_binned_plane", False):
+                continue
+            fixed = getattr(cls, "_plane_max_bins", None)
+            if fixed is not None:
+                bins.add(int(fixed))
+                continue
+            try:
+                default = inspect.signature(cls).parameters["max_bin"].default
+                bins.add(int(default))
+            except (KeyError, TypeError, ValueError):
+                pass
+    _warm_bins_cache = tuple(sorted(bins, reverse=True)) or _WARM_MAX_BINS
+    return _warm_bins_cache
+
+
+def warm_plane(
+    data: Dataset,
+    *,
+    resampling: str = "holdout",
+    holdout_ratio: float = 0.1,
+    seed: int = 0,
+    n_splits: int = 5,
+    sample_size: int | None = None,
+    max_bins: tuple | None = None,
+):
+    """Pre-populate the plane caches a search's first trial will hit.
+
+    Process workers call this from their initializer
+    (:func:`repro.exec.process._init_worker`) so the first trial per
+    worker pays no cold-cache cost: the split indices for the search's
+    (resampling, ratio/k, seed), the training-prefix bin codes at the
+    default ``max_bins`` of each histogram learner family, and the
+    matching validation-side transforms are computed up front.  Keys are
+    built exactly as :func:`repro.core.evaluate._plane_error` builds
+    them — a warmed entry *is* the entry a trial looks up.
+
+    ``sample_size`` mirrors the controller's initial sample size (the
+    fidelity the first trials run at); ``None`` warms the full training
+    slice.  No-op (returns None) when the plane is disabled; split
+    warming still happens for datasets too large for exact pre-binning.
+    """
+    if not plane_enabled():
+        return None
+    if max_bins is None:
+        max_bins = _default_warm_bins()
+    plane = plane_for(data)
+    if resampling == "holdout":
+        tr, va = plane.holdout_split(holdout_ratio, seed)
+        s = tr.size if sample_size is None else min(int(sample_size), tr.size)
+        if plane.exact:
+            tr_key = ("ho-tr", float(holdout_ratio), int(seed), int(s))
+            va_key = ("ho-va", float(holdout_ratio), int(seed))
+            for mb in max_bins:
+                _, _, binner = plane.binned_for(tr[:s], tr_key, mb)
+                plane.transform_with(binner, va, va_key)
+    elif resampling == "cv":
+        n_sub = (
+            data.n if sample_size is None else min(int(sample_size), data.n)
+        )
+        k = min(int(n_splits), n_sub)
+        folds = plane.kfold_split(n_sub, k, seed)
+        if plane.exact:
+            for i, (tr, va) in enumerate(folds):
+                for mb in max_bins:
+                    _, _, binner = plane.binned_for(
+                        tr, ("cv-tr", n_sub, k, int(seed), i), mb
+                    )
+                    plane.transform_with(
+                        binner, va, ("cv-va", n_sub, k, int(seed), i)
+                    )
+    return plane
+
+
 _plane_attach_lock = threading.Lock()
 
 

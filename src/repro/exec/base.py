@@ -180,8 +180,15 @@ class TrialExecutor(abc.ABC):
         self.shutdown()
 
 
-def make_executor(backend: str, data: Dataset, n_workers: int = 1) -> TrialExecutor:
-    """Build an executor by name: 'serial' | 'thread' | 'process'."""
+def make_executor(backend: str, data: Dataset, n_workers: int = 1,
+                  warmup: dict | None = None) -> TrialExecutor:
+    """Build an executor by name: 'serial' | 'thread' | 'process'.
+
+    ``warmup`` is the plane-warmup context for process workers (see
+    :class:`~repro.exec.process.ProcessExecutor`); the in-process
+    backends ignore it — they share the caller's plane, which the first
+    trial warms inline.
+    """
     from .process import ProcessExecutor
     from .serial import SerialExecutor
     from .threaded import ThreadExecutor
@@ -195,4 +202,6 @@ def make_executor(backend: str, data: Dataset, n_workers: int = 1) -> TrialExecu
         raise ValueError(
             f"unknown backend {backend!r}; known: serial, thread, process"
         )
+    if factory is ProcessExecutor:
+        return factory(data, n_workers=n_workers, warmup=warmup)
     return factory(data, n_workers=n_workers)

@@ -96,25 +96,41 @@ def _init_worker(payload: dict) -> None:
     The arrays are read-only views over the shared segments — a learner
     mutating its input would corrupt every sibling worker, so that must
     fail loudly.
+
+    When the payload carries a ``warmup`` context (the search's
+    resampling/ratio/seed/initial sample size), the worker's binned-data
+    plane is pre-populated here, so the first trial it runs pays no
+    cold-cache cost — the splits and codes are computed during pool
+    spin-up instead of inside the first trial's measured wall-clock.
+    Warmup is strictly best-effort: any failure leaves a cold (correct)
+    plane.
     """
     global _WORKER_DATA
     if "dataset" in payload:  # legacy pickle path (object-dtype labels)
         _WORKER_DATA = payload["dataset"]
-        return
-    arrays = {}
-    for field in ("X", "y"):
-        meta = payload[field]
-        shm = _attach_segment(meta["shm"])
-        _WORKER_SEGMENTS.append(shm)
-        arr = np.ndarray(
-            meta["shape"], dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+    else:
+        arrays = {}
+        for field in ("X", "y"):
+            meta = payload[field]
+            shm = _attach_segment(meta["shm"])
+            _WORKER_SEGMENTS.append(shm)
+            arr = np.ndarray(
+                meta["shape"], dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+            )
+            arr.flags.writeable = False
+            arrays[field] = arr
+        _WORKER_DATA = Dataset(
+            payload["name"], arrays["X"], arrays["y"], payload["task"],
+            tuple(payload["categorical"]),
         )
-        arr.flags.writeable = False
-        arrays[field] = arr
-    _WORKER_DATA = Dataset(
-        payload["name"], arrays["X"], arrays["y"], payload["task"],
-        tuple(payload["categorical"]),
-    )
+    warmup = payload.get("warmup")
+    if warmup:
+        from ..data.binned import warm_plane
+
+        try:
+            warm_plane(_WORKER_DATA, **warmup)
+        except Exception:  # pragma: no cover - warmup must never kill init
+            pass
 
 
 def _metric_to_ref(metric):
@@ -185,9 +201,15 @@ class ProcessExecutor(TrialExecutor):
     backend = "process"
 
     def __init__(self, data: Dataset, n_workers: int = 2,
-                 mp_context: str | None = None) -> None:
+                 mp_context: str | None = None,
+                 warmup: dict | None = None) -> None:
+        """``warmup`` is an optional plane-warmup context forwarded to
+        :func:`repro.data.binned.warm_plane` in every worker initializer
+        (keys: resampling, holdout_ratio, seed, n_splits, sample_size)
+        so first trials start against warm split/code caches."""
         super().__init__(data, n_workers=n_workers)
         self._mp_context = mp_context
+        self._warmup = dict(warmup) if warmup else None
         self._segments: list[shared_memory.SharedMemory] = []
         # backstop: unlink on garbage collection / interpreter exit if the
         # owner forgot shutdown(); shares the mutable list with shutdown,
@@ -220,14 +242,18 @@ class ProcessExecutor(TrialExecutor):
         y = np.asarray(data.y)
         if y.dtype.hasobject:
             # object labels have no fixed-size buffer; ship the pickle
-            return {"dataset": data}
-        return {
-            "name": data.name,
-            "task": data.task,
-            "categorical": tuple(data.categorical),
-            "X": self._export_array(np.asarray(data.X, dtype=np.float64)),
-            "y": self._export_array(y),
-        }
+            payload = {"dataset": data}
+        else:
+            payload = {
+                "name": data.name,
+                "task": data.task,
+                "categorical": tuple(data.categorical),
+                "X": self._export_array(np.asarray(data.X, dtype=np.float64)),
+                "y": self._export_array(y),
+            }
+        if self._warmup:
+            payload["warmup"] = self._warmup
+        return payload
 
     def _make_pool(self) -> ProcessPoolExecutor:
         ctx = (

@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from ..native import active_kernels
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
 from .histogram import BinnedMatrix, Binner
 from .losses import Loss, get_loss, sigmoid, softmax
@@ -94,6 +95,7 @@ class GBDTEngine:
         """
         start = time.perf_counter()
         rng = np.random.default_rng(self.seed)
+        kernels = active_kernels()  # one dispatch per fit, not per tree
         w = (
             None if sample_weight is None
             else np.asarray(sample_weight, dtype=np.float64)
@@ -156,6 +158,7 @@ class GBDTEngine:
                     colsample_bytree=self.colsample_bytree,
                     colsample_bylevel=self.colsample_bylevel,
                     rng=rng,
+                    kernels=kernels,
                 )
                 if sample_idx is None:
                     tree = grower.grow(codes, g, h, n_bins, out_leaf=leaf_buf)

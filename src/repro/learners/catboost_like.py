@@ -16,13 +16,17 @@ import time
 
 import numpy as np
 
+from ..native import active_kernels
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
 from .histogram import BinnedMatrix, Binner
 from .losses import Loss, get_loss, sigmoid, softmax
 
 __all__ = ["CatBoostLikeClassifier", "CatBoostLikeRegressor", "ObliviousTree"]
 
-_EPS = 1e-12
+#: CatBoost bins at a fixed width (not a searched hyperparameter);
+#: exposed on the learners as ``_plane_max_bins`` so plane warmup
+#: (repro.data.binned.warm_plane) pre-bins at the width fit() will use
+_MAX_BINS = 128
 
 
 class ObliviousTree:
@@ -47,7 +51,7 @@ class ObliviousTree:
 
 
 def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weight,
-                    rng, feature_fraction=1.0):
+                    rng, feature_fraction=1.0, kernels=None):
     """Grow one oblivious tree greedily, level by level.
 
     At each level the (feature, threshold) pair maximising the *summed*
@@ -55,13 +59,16 @@ def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weig
     split violates ``min_child_weight`` contribute zero gain and keep
     their samples together.
 
-    All candidate features of a level are scored from **one** flat
-    ``np.bincount`` over joint ``(node, feature, bin)`` keys rather than
-    a per-feature Python loop.  The layout change is bitwise-neutral:
-    every (node, feature, bin) bucket accumulates the same rows in the
-    same order either way, and the cumulative sums are per-row
-    independent — asserted against the per-feature reference in
-    ``tests/learners/test_catboost_like.py``.
+    The whole-level scoring loop lives in the kernels layer
+    (:mod:`repro.native`): the numpy reference scores every candidate
+    feature from **one** flat ``np.bincount`` over joint ``(node,
+    feature, bin)`` keys, and the compiled kernel fuses the same
+    accumulation below the interpreter.  Both are bitwise identical —
+    every bucket accumulates the same rows in the same order — asserted
+    against the per-feature reference in
+    ``tests/learners/test_catboost_like.py`` and fuzzed in
+    ``tests/native/test_kernel_parity.py``.  ``kernels`` is resolved
+    once per tree (never per level) when not handed in by the engine.
     """
     n, d = codes.shape
     node = np.zeros(n, dtype=np.int64)
@@ -77,64 +84,19 @@ def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weig
         H = np.bincount(node, weights=hess, minlength=1)
         return ObliviousTree(np.empty(0, dtype=np.int32),
                              np.empty(0, dtype=np.int64), -G / (H + reg_lambda))
-    # joint (feature, bin) codes of the candidate features, gathered once
-    fcodes = codes[:, cand_features].astype(np.int64)
-    fcodes += np.arange(F, dtype=np.int64)[None, :] * nbmax
-    # grad/hess repeated per feature (and concatenated) once, so each
-    # level's histograms come from a single flat bincount
-    gh = np.concatenate((
-        np.repeat(grad, F) if F > 1 else grad,
-        np.repeat(hess, F) if F > 1 else hess,
-    ))
-    gh_node = np.concatenate((grad, hess))
-    # thresholds past a feature's own bin count are not real splits
-    t_valid = np.arange(nbmax - 1)[None, :] < (n_bins[cand_features] - 1)[:, None]
+    if kernels is None:
+        kernels = active_kernels()
+    scorer = kernels.ObliviousLevelScorer(
+        codes, cand_features, n_bins, grad, hess, min_child_weight,
+        reg_lambda,
+    )
     for lvl in range(depth):
-        m = 1 << lvl
-        W = m * F * nbmax
-        # Node totals (shared across features).
-        nodes2 = np.concatenate((node, node + m))
-        GnHn = np.bincount(nodes2, weights=gh_node, minlength=2 * m)
-        Gn, Hn = GnHn[:m], GnHn[m:]
-        parent = Gn**2 / (Hn + reg_lambda)
-        flat = (node[:, None] * (F * nbmax) + fcodes).ravel()
-        keys = np.concatenate((flat, flat + W))
-        hist = np.bincount(keys, weights=gh, minlength=2 * W)
-        cs = hist.reshape(2 * m * F, nbmax).cumsum(axis=1)
-        cs = cs.reshape(2, m, F, nbmax)
-        GL = cs[0, :, :, :-1]  # (m, F, T)
-        HL = cs[1, :, :, :-1]
-        GR = Gn[:, None, None] - GL
-        HR = Hn[:, None, None] - HL
-        valid = (HL >= min_child_weight) & (HR >= min_child_weight)
-        # same association as 0.5*(GL²/(HL+λ) + GR²/(HR+λ) − parent),
-        # assembled in place to avoid temporaries the size of (m, F, T)
-        HL += reg_lambda
-        HR += reg_lambda
-        gains = GL**2
-        gains /= HL
-        tmp = GR**2
-        tmp /= HR
-        gains += tmp
-        gains -= parent[:, None, None]
-        gains *= 0.5
-        total = np.where(valid, gains, 0.0).sum(axis=0)  # (F, T)
-        total = np.where(t_valid, total, -np.inf)
-        # replicate the sequential accept rule exactly: walk features in
-        # candidate order, take this feature's best threshold iff it
-        # beats the running best by more than _EPS
-        best = (0.0, -1, -1)
-        per_f_t = np.argmax(total, axis=1)
-        per_f_gain = total[np.arange(F), per_f_t]
-        for j in range(F):
-            if per_f_gain[j] > best[0] + _EPS:
-                best = (float(per_f_gain[j]), int(cand_features[j]),
-                        int(per_f_t[j]))
-        if best[1] < 0:
+        gain, j, t = scorer.score_level(node, lvl)
+        if j < 0:
             break
-        _, f, t = best
+        f = int(cand_features[j])
         features.append(f)
-        thresholds.append(t)
+        thresholds.append(int(t))
         node |= (codes[:, f] > t).astype(np.int64) << lvl
     n_leaves = 1 << len(features)
     G = np.bincount(node, weights=grad, minlength=n_leaves)
@@ -166,6 +128,7 @@ class _CatBoostEngine:
         per-row weights scale the training gradients."""
         start = time.perf_counter()
         rng = np.random.default_rng(self.seed)
+        kernels = active_kernels()  # one dispatch per fit, not per tree
         n = X.shape[0]
         sw = (
             None if sample_weight is None
@@ -182,9 +145,9 @@ class _CatBoostEngine:
             # CatBoost bins its full input (the internal holdout is
             # carved out *after* binning), so the shared plane's codes
             # for these rows are exactly what fit_transform produces
-            codes_all, _, self.binner_ = X.binned(128)
+            codes_all, _, self.binner_ = X.binned(_MAX_BINS)
         else:
-            self.binner_ = Binner(max_bins=128, rng=rng)
+            self.binner_ = Binner(max_bins=_MAX_BINS, rng=rng)
             codes_all = self.binner_.fit_transform(X)
         codes, codes_val = codes_all[tr_idx], codes_all[val_idx]
         y_tr, y_val = y[tr_idx], y[val_idx]
@@ -215,6 +178,7 @@ class _CatBoostEngine:
                 tree = _grow_oblivious(
                     codes, g, h, self.binner_.n_bins_, self.depth,
                     self.reg_lambda, self.min_child_weight, rng,
+                    kernels=kernels,
                 )
                 round_trees.append(tree)
                 upd = self.learning_rate * tree.predict(codes)
@@ -266,6 +230,8 @@ class _CatBoostBase(BaseEstimator):
     _is_classifier = False
     #: the trial path may pass a BinnedMatrix instead of raw floats
     _uses_binned_plane = True
+    #: fixed binning width (no ``max_bin`` knob); read by plane warmup
+    _plane_max_bins = _MAX_BINS
 
     def __init__(
         self,

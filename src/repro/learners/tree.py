@@ -12,7 +12,10 @@ Two growers share the same array-backed :class:`Tree` structure:
   ``split criterion`` is a searched hyperparameter in Table 5).
 
 Split finding is vectorised: per (node, feature) histograms are built with
-``np.bincount`` and all candidate thresholds are scored at once.
+``np.bincount`` and all candidate thresholds are scored at once — or, when
+the native kernels are enabled (:mod:`repro.native`), by the compiled
+bitwise-identical equivalents.  A grower binds its kernels object once at
+construction; per-node code never re-dispatches.
 """
 
 from __future__ import annotations
@@ -21,9 +24,11 @@ import heapq
 
 import numpy as np
 
-__all__ = ["Tree", "GradTreeGrower", "ClassTreeGrower"]
+from ..native import active_kernels
+from ..native.fallback import _EPS  # the kernels' gain tie-break epsilon
+from ..native.fallback import soft_threshold as _soft_threshold
 
-_EPS = 1e-12
+__all__ = ["Tree", "GradTreeGrower", "ClassTreeGrower"]
 
 #: cap on histograms parked on pending tree nodes for the
 #: sibling-subtraction trick; beyond it children rebuild from scratch
@@ -116,10 +121,6 @@ class Tree:
 
 
 # ----------------------------------------------------------------------
-def _soft_threshold(g: np.ndarray | float, alpha: float):
-    return np.sign(g) * np.maximum(np.abs(g) - alpha, 0.0)
-
-
 class GradTreeGrower:
     """Grow one regression tree from per-sample gradients/hessians.
 
@@ -150,6 +151,11 @@ class GradTreeGrower:
         differ from scratch builds at float-rounding level, which can
         flip the argmax between *exactly tied* candidate splits — set
         False to reproduce scratch-build trees bit-for-bit.
+    kernels:
+        Histogram/split kernels to use (the compiled-native or numpy
+        module from :mod:`repro.native`); resolved once here via
+        :func:`~repro.native.active_kernels` when not given, so the
+        per-node hot path never re-dispatches.
     """
 
     def __init__(
@@ -167,6 +173,7 @@ class GradTreeGrower:
         min_samples_leaf: int = 1,
         hist_subtraction: bool = True,
         rng: np.random.Generator | None = None,
+        kernels=None,
     ) -> None:
         if max_leaves < 2:
             raise ValueError(f"max_leaves must be >= 2, got {max_leaves}")
@@ -183,6 +190,7 @@ class GradTreeGrower:
         self.min_samples_leaf = int(min_samples_leaf)
         self.hist_subtraction = bool(hist_subtraction)
         self.rng = rng or np.random.default_rng(0)
+        self.kernels = kernels if kernels is not None else active_kernels()
 
     # ------------------------------------------------------------------
     def _leaf_value(self, G: float, H: float) -> float:
@@ -221,45 +229,18 @@ class GradTreeGrower:
         ``min_samples_leaf`` needs it (``need_cnt``).
 
         The result is **one** stacked array of shape ``(P, F, nbmax)``
-        with ``P = 3 if need_cnt else 2`` (grad, hess[, count] parts),
-        built from a single flat bincount over disjoint key ranges —
-        each (part, feature, bin) bucket still accumulates the same rows
-        in the same order as separate bincounts would, so the sums are
-        bitwise identical; what drops is per-call numpy dispatch, which
-        dominates on the small nodes deep in a tree.  The stacking also
-        lets the scorer run *one* cumulative sum over every part and the
-        sibling-subtraction trick derive a whole node in one
-        subtraction.
+        with ``P = 3 if need_cnt else 2`` (grad, hess[, count] parts) —
+        every (part, feature, bin) bucket accumulates its rows in ``idx``
+        order, whichever kernel implementation runs (the numpy reference
+        in :mod:`repro.native.fallback` and the C extension are bitwise
+        identical).  The stacking lets the scorer run *one* cumulative
+        sum over every part and the sibling-subtraction trick derive a
+        whole node in one subtraction.
         """
-        F = features.size
-        W = F * nbmax
-        P = 3 if need_cnt else 2
-        if idx.size * F <= 200_000:
-            # Small node: flat bincount over all candidate features at
-            # once (block j of the histogram belongs to features[j]) —
-            # per-feature Python loops are interpreter-overhead-bound here.
-            sub = codes[idx] if all_features else codes[idx[:, None], features]
-            flat = (sub + np.arange(F, dtype=np.int64) * nbmax).ravel()
-            gw = np.repeat(g, F) if F > 1 else g
-            hw = np.repeat(h, F) if F > 1 else h
-            if need_cnt:
-                keys = np.concatenate((flat, flat + W, flat + 2 * W))
-                wts = np.concatenate((gw, hw, np.ones(flat.size)))
-            else:
-                keys = np.concatenate((flat, flat + W))
-                wts = np.concatenate((gw, hw))
-            return np.bincount(keys, weights=wts,
-                               minlength=P * W).reshape(P, F, nbmax)
-        # Large node: per-feature bincounts avoid materialising the
-        # (rows x features) weight copies.
-        hist = np.zeros((P, F, nbmax))
-        for j, f in enumerate(features):
-            c = codes[idx, f]
-            hist[0, j, : n_bins[f]] = np.bincount(c, weights=g, minlength=n_bins[f])
-            hist[1, j, : n_bins[f]] = np.bincount(c, weights=h, minlength=n_bins[f])
-            if need_cnt:
-                hist[2, j, : n_bins[f]] = np.bincount(c, minlength=n_bins[f])
-        return hist
+        return self.kernels.build_hists(
+            codes, g, h, idx, features, n_bins, nbmax, need_cnt,
+            all_features=all_features,
+        )
 
     def _best_split(
         self,
@@ -271,6 +252,7 @@ class GradTreeGrower:
         n_bins: np.ndarray,
         hists=None,
         all_features: bool = False,
+        nbf: np.ndarray | None = None,
         t_valid: np.ndarray | None = None,
     ):
         """Return (gain, feature, threshold, hists) for the best split.
@@ -280,8 +262,13 @@ class GradTreeGrower:
         ``hists`` lets :meth:`grow` hand in histograms it already holds
         (the sibling-subtraction trick); the histograms actually used are
         returned so the caller can derive the children's from them.
-        ``all_features``/``t_valid`` are per-tree constants :meth:`grow`
-        hoists out of this per-node call.
+        ``all_features``/``nbf`` (= ``n_bins[features]``)/``t_valid`` are
+        per-tree constants :meth:`grow` hoists out of this per-node call.
+
+        The histogram build and the scan run on the grower's bound
+        kernels (compiled or numpy — bitwise identical either way); the
+        extra-random mode hands the scan its RNG, which keeps that mode
+        on the numpy reference path.
         """
         g, h = grad[idx], hess[idx]
         G, H = float(g.sum()), float(h.sum())
@@ -289,9 +276,10 @@ class GradTreeGrower:
         if self.colsample_bylevel < 1.0:
             k = max(1, int(round(self.colsample_bylevel * features.size)))
             features = self.rng.choice(features, size=k, replace=False)
-            all_features, t_valid = False, None
-        F = features.size
-        nbmax = int(n_bins[features].max())
+            all_features, nbf, t_valid = False, None, None
+        if nbf is None:
+            nbf = n_bins[features]
+        nbmax = int(nbf.max())
         if nbmax < 2:
             return 0.0, -1, -1, None
         need_cnt = self.min_samples_leaf > 1
@@ -300,47 +288,16 @@ class GradTreeGrower:
                 codes, g, h, idx, features, n_bins, nbmax, need_cnt,
                 all_features=all_features,
             )
-        P = hists.shape[0]
-        # one cumulative sum over every (part, feature) row at once
-        cs = hists.reshape(P * F, nbmax).cumsum(axis=1).reshape(P, F, nbmax)
-        GL = cs[0, :, :-1]
-        HL = cs[1, :, :-1]
-        GR, HR = G - GL, H - HL
-        valid = (HL >= self.min_child_weight) & (HR >= self.min_child_weight)
-        if t_valid is None:
-            # thresholds past a feature's own bin count are no real splits
-            t_valid = (
-                np.arange(nbmax - 1) < (n_bins[features] - 1)[:, None]
-            )
-        valid &= t_valid
-        if need_cnt:
-            CL = cs[2, :, :-1]
-            valid &= (CL >= self.min_samples_leaf) & (
-                idx.size - CL >= self.min_samples_leaf
-            )
-        if self.extra_random:
-            # Extra-trees: keep one random valid threshold per feature.
-            keep = np.zeros_like(valid)
-            for j in range(F):
-                cand = np.nonzero(valid[j])[0]
-                if cand.size:
-                    keep[j, int(self.rng.choice(cand))] = True
-            valid = keep
-        if not valid.any():
+        gain, j, t = self.kernels.best_split_scan(
+            hists, nbf, idx.size, G, H, parent,
+            self.min_child_weight, self.reg_alpha, self.reg_lambda,
+            self.min_samples_leaf,
+            rng=self.rng if self.extra_random else None,
+            t_valid=t_valid,
+        )
+        if j < 0 or gain <= _EPS:
             return 0.0, -1, -1, hists
-        # same association as 0.5*(score(L) + score(R) − parent), built
-        # in place to avoid (F, T)-sized temporaries on every node
-        gains = self._score(GL, HL)
-        gains += self._score(GR, HR)
-        gains -= parent
-        gains *= 0.5
-        gains = np.where(valid, gains, -np.inf)
-        k = int(gains.argmax())
-        j, t = divmod(k, gains.shape[1])
-        best_gain = float(gains[j, t])
-        if best_gain <= _EPS:
-            return 0.0, -1, -1, hists
-        return best_gain, int(features[j]), int(t), hists
+        return gain, int(features[j]), int(t), hists
 
     # ------------------------------------------------------------------
     def grow(
@@ -387,9 +344,10 @@ class GradTreeGrower:
         hist_bytes = 0  # histograms currently parked on pending nodes
         # per-tree constants of the per-node split scoring
         all_features = features.size == d
+        nbf = n_bins[features] if self.colsample_bylevel >= 1.0 else None
         t_valid = (
-            np.arange(max(nbmax - 1, 0)) < (n_bins[features] - 1)[:, None]
-            if self.colsample_bylevel >= 1.0 and nbmax >= 2
+            np.arange(nbmax - 1) < (nbf - 1)[:, None]
+            if nbf is not None and nbmax >= 2
             else None
         )
 
@@ -412,7 +370,7 @@ class GradTreeGrower:
                 return None
             gain, f, t, hists = self._best_split(
                 codes, grad, hess, idx, features, n_bins, hists=hists,
-                all_features=all_features, t_valid=t_valid,
+                all_features=all_features, nbf=nbf, t_valid=t_valid,
             )
             if f < 0 or gain <= self.min_gain:
                 return None

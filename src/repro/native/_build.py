@@ -1,0 +1,143 @@
+"""Compile-on-first-use machinery for the native kernels.
+
+The extension is a single C file with no dependencies beyond the CPython
+headers (arrays cross as plain buffers, so numpy headers are not
+needed).  It is compiled with the system C compiler into a per-user
+cache directory, keyed by the source hash and interpreter tag, and
+loaded from there — a fresh checkout never needs a build step, an
+upgraded source never collides with a stale binary, and a box without a
+compiler simply gets ``NativeBuildError`` (which ``repro.native``
+converts into the silent numpy fallback).
+
+``-ffp-contract=off`` is load-bearing: FMA contraction would change
+intermediate roundings relative to numpy's scalar arithmetic and break
+the bitwise-parity contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from pathlib import Path
+
+__all__ = ["NativeBuildError", "build", "compiled_path", "load"]
+
+#: module name baked into the C source's PyInit function
+MODULE_NAME = "_repro_native"
+
+SOURCE = Path(__file__).with_name("_kernels.c")
+
+#: flags that may not be dropped: -ffp-contract=off preserves bitwise
+#: parity with numpy (no FMA contraction of a*b+c)
+CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off",
+          "-fno-strict-aliasing"]
+
+
+class NativeBuildError(RuntimeError):
+    """The kernel extension could not be compiled or loaded."""
+
+
+def cache_dir() -> Path:
+    """Where compiled kernels live (override: ``REPRO_NATIVE_CACHE``)."""
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro-native"
+
+
+def _build_tag() -> str:
+    # the compiler and flags are part of the key: a CFLAGS change (e.g.
+    # to the load-bearing -ffp-contract=off) or a CC switch must never
+    # silently reuse a binary built under the old recipe
+    recipe = SOURCE.read_bytes() + " ".join(_compiler() + CFLAGS).encode()
+    src = hashlib.sha256(recipe).hexdigest()[:12]
+    impl = sysconfig.get_config_var("SOABI") or (
+        f"py{sys.version_info[0]}{sys.version_info[1]}"
+    )
+    return f"{impl}-{src}"
+
+
+def compiled_path() -> Path:
+    """Target path of the compiled extension for this source/interpreter."""
+    return cache_dir() / f"{MODULE_NAME}-{_build_tag()}.so"
+
+
+def _compiler() -> list[str]:
+    """The compiler argv prefix — multi-word values (``CC="ccache gcc"``)
+    are kept whole, not truncated to their first token."""
+    cc = os.environ.get("CC") or sysconfig.get_config_var("CC") or "cc"
+    return cc.split()
+
+
+def build(force: bool = False) -> Path:
+    """Compile the extension (if not already cached); returns the .so path.
+
+    Raises :class:`NativeBuildError` on any failure — no compiler, no
+    CPython headers, or a compile error.  Concurrent builders (process
+    workers, parallel test runs) are safe: each compiles to a unique
+    temporary file and atomically renames it into place.
+    """
+    out = compiled_path()
+    if out.exists() and not force:
+        return out
+    include = sysconfig.get_paths()["include"]
+    if not Path(include, "Python.h").exists():
+        raise NativeBuildError(f"Python.h not found under {include}")
+    includes = {include, sysconfig.get_paths().get("platinclude") or include}
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=out.parent)
+    os.close(fd)
+    cmd = (
+        _compiler()
+        + CFLAGS
+        + [f"-I{inc}" for inc in sorted(includes)]
+        + [str(SOURCE), "-o", tmp, "-lm"]
+    )
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                f"{' '.join(cmd)} failed "
+                f"({proc.returncode}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp, out)
+    except NativeBuildError:
+        raise
+    except Exception as exc:  # missing cc, timeout, unwritable cache, ...
+        raise NativeBuildError(f"{type(exc).__name__}: {exc}") from exc
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+    return out
+
+
+def load():
+    """Build if needed and import the extension module.
+
+    Raises :class:`NativeBuildError` if the build or the import fails.
+    """
+    so = build()
+    spec = importlib.util.spec_from_file_location(MODULE_NAME, so)
+    if spec is None or spec.loader is None:
+        raise NativeBuildError(f"cannot create import spec for {so}")
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        raise NativeBuildError(
+            f"compiled kernel failed to import: {exc}"
+        ) from exc
+    return module

@@ -1,0 +1,394 @@
+/* Fused histogram / split-scan kernels for the tree growers.
+ *
+ * Bitwise contract: every function reproduces the pure-numpy reference
+ * in repro/native/fallback.py bit for bit, including IEEE corner cases.
+ * The rules that make that possible (verified empirically against
+ * numpy and asserted by tests/native/test_kernel_parity.py):
+ *
+ *  - np.bincount(weights=...) accumulates each bucket sequentially in
+ *    input order starting from +0.0 -> plain `+=` loops in row order;
+ *  - np.cumsum is a sequential left-to-right accumulation;
+ *  - np.ndarray.sum(axis=0) reduces sequentially over the axis,
+ *    starting from +0.0 (so -0.0 terms behave like numpy's);
+ *  - np.power(x, 2) takes numpy's fast path and equals x*x;
+ *  - np.argmax scans in row-major order, strictly-greater replaces,
+ *    and the FIRST NaN wins and stops the scan;
+ *  - elementwise arithmetic is replicated with the same association
+ *    as the numpy expressions (noted per loop below).
+ *
+ * Compiled with -ffp-contract=off so no FMA contraction can change
+ * intermediate roundings relative to numpy's scalar SSE2 arithmetic.
+ * No numpy headers: arrays arrive as C-contiguous buffers (PyBUF_SIMPLE
+ * fails loudly on anything non-contiguous).
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+/* ------------------------------------------------------------------ */
+/* grad/hess[/count] histograms of one tree node.
+ *
+ * args: codes (y*), itemsize (i), d (n), idx int64 (y*), g float64 (y*),
+ *       h float64 (y*), features int64 (y*), nbmax (n), need_cnt (i),
+ *       out float64[P, F, nbmax] zeroed (w*)
+ *
+ * Equivalent numpy: one flat np.bincount over disjoint
+ * (part, feature, bin) key ranges -- each bucket accumulates the same
+ * rows in the same order as this row-major loop.
+ */
+static PyObject *
+py_build_hists(PyObject *self, PyObject *args)
+{
+    Py_buffer codes, idx, g, h, feats, out;
+    int itemsize, need_cnt;
+    Py_ssize_t d, nbmax;
+
+    if (!PyArg_ParseTuple(args, "y*iny*y*y*y*niw*",
+                          &codes, &itemsize, &d, &idx, &g, &h, &feats,
+                          &nbmax, &need_cnt, &out))
+        return NULL;
+
+    {
+        const int64_t *idxp = (const int64_t *)idx.buf;
+        const double *gp = (const double *)g.buf;
+        const double *hp = (const double *)h.buf;
+        const int64_t *fp = (const int64_t *)feats.buf;
+        double *og = (double *)out.buf;
+        const Py_ssize_t ni = idx.len / (Py_ssize_t)sizeof(int64_t);
+        const Py_ssize_t F = feats.len / (Py_ssize_t)sizeof(int64_t);
+        double *oh = og + F * nbmax;
+        double *oc = need_cnt ? og + 2 * F * nbmax : NULL;
+        Py_ssize_t r, j;
+
+        if (itemsize == 1) {
+            const uint8_t *cp = (const uint8_t *)codes.buf;
+            for (r = 0; r < ni; r++) {
+                const uint8_t *row = cp + (Py_ssize_t)idxp[r] * d;
+                const double gv = gp[r], hv = hp[r];
+                for (j = 0; j < F; j++) {
+                    const Py_ssize_t o = j * nbmax + (Py_ssize_t)row[fp[j]];
+                    og[o] += gv;
+                    oh[o] += hv;
+                    if (oc)
+                        oc[o] += 1.0;
+                }
+            }
+        } else {
+            const uint16_t *cp = (const uint16_t *)codes.buf;
+            for (r = 0; r < ni; r++) {
+                const uint16_t *row = cp + (Py_ssize_t)idxp[r] * d;
+                const double gv = gp[r], hv = hp[r];
+                for (j = 0; j < F; j++) {
+                    const Py_ssize_t o = j * nbmax + (Py_ssize_t)row[fp[j]];
+                    og[o] += gv;
+                    oh[o] += hv;
+                    if (oc)
+                        oc[o] += 1.0;
+                }
+            }
+        }
+    }
+
+    PyBuffer_Release(&codes);
+    PyBuffer_Release(&idx);
+    PyBuffer_Release(&g);
+    PyBuffer_Release(&h);
+    PyBuffer_Release(&feats);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* soft_threshold(G, alpha)^2 / Hreg, replicating
+ * np.sign(G) * np.maximum(np.abs(G) - alpha, 0.0) exactly:
+ * np.maximum propagates NaN; np.sign maps +-0.0 -> 0.0 and NaN -> NaN. */
+static inline double
+score_term(double G, double Hreg, double alpha)
+{
+    double a = fabs(G) - alpha;
+    double mx = (a != a) ? a : (a > 0.0 ? a : 0.0);
+    double sgn = (G > 0.0) ? 1.0 : ((G < 0.0) ? -1.0 : ((G == G) ? 0.0 : G));
+    double st = sgn * mx;
+    return (st * st) / Hreg;
+}
+
+/* ------------------------------------------------------------------ */
+/* best (gain, feature, threshold) over the cumulative histograms of
+ * one node.
+ *
+ * args: hists float64[P, F, nbmax] (y*), P (i), F (n), nbmax (n),
+ *       n_bins_f int64[F] (y*), G (d), H (d), parent (d),
+ *       min_child_weight (d), reg_alpha (d), reg_lambda (d),
+ *       min_samples_leaf (n), n_idx (n)
+ * returns (best_gain, j, t) -- j indexes into the candidate features.
+ *
+ * Numpy reference: cumsum -> validity masks -> gains assembled as
+ * ((score(GL,HL) + score(GR,HR)) - parent) * 0.5 -> where(valid, g,
+ * -inf) -> flat argmax (first-NaN-wins).
+ */
+static PyObject *
+py_best_split_scan(PyObject *self, PyObject *args)
+{
+    Py_buffer hists, nbf;
+    int P;
+    Py_ssize_t F, nbmax, msl, n_idx;
+    double G, H, parent, mcw, alpha, lam;
+
+    if (!PyArg_ParseTuple(args, "y*inny*ddddddnn",
+                          &hists, &P, &F, &nbmax, &nbf, &G, &H, &parent,
+                          &mcw, &alpha, &lam, &msl, &n_idx))
+        return NULL;
+
+    {
+        const double *hg = (const double *)hists.buf;
+        const double *hh = hg + F * nbmax;
+        const double *hc = (P == 3) ? hg + 2 * F * nbmax : NULL;
+        const int64_t *nb = (const int64_t *)nbf.buf;
+        const Py_ssize_t T = nbmax - 1;
+        double best = 0.0;
+        Py_ssize_t bi = 0;
+        int started = 0, any_valid = 0;
+        Py_ssize_t j, t;
+
+        if (T <= 0) {
+            PyBuffer_Release(&hists);
+            PyBuffer_Release(&nbf);
+            return Py_BuildValue("dnn", 0.0, (Py_ssize_t)-1, (Py_ssize_t)-1);
+        }
+        for (j = 0; j < F; j++) {
+            const double *rg = hg + j * nbmax;
+            const double *rh = hh + j * nbmax;
+            const double *rc = hc ? hc + j * nbmax : NULL;
+            const Py_ssize_t tmax = (Py_ssize_t)nb[j] - 1;
+            double gl = 0.0, hl = 0.0, cl = 0.0;
+
+            for (t = 0; t < T; t++) {
+                double hr, v;
+                int valid;
+
+                gl += rg[t];
+                hl += rh[t];
+                if (rc)
+                    cl += rc[t];
+                hr = H - hl;
+                valid = (hl >= mcw) && (hr >= mcw) && (t < tmax);
+                if (rc)
+                    valid = valid && (cl >= (double)msl)
+                            && ((double)n_idx - cl >= (double)msl);
+                if (valid) {
+                    /* same association as gains = score(GL,HL);
+                     * gains += score(GR,HR); gains -= parent;
+                     * gains *= 0.5 */
+                    double gr = G - gl;
+                    double sl = score_term(gl, hl + lam, alpha);
+                    double sr = score_term(gr, hr + lam, alpha);
+                    v = ((sl + sr) - parent) * 0.5;
+                    any_valid = 1;
+                } else {
+                    v = -INFINITY;
+                }
+                /* np.argmax over the flat row-major (F, T) array */
+                if (!started) {
+                    best = v;
+                    bi = 0;
+                    started = 1;
+                    if (isnan(v))
+                        goto done;
+                } else if (v > best || isnan(v)) {
+                    best = v;
+                    bi = j * T + t;
+                    if (isnan(v))
+                        goto done;
+                }
+            }
+        }
+done:
+        PyBuffer_Release(&hists);
+        PyBuffer_Release(&nbf);
+        if (!any_valid) /* the reference's `not valid.any()` early exit */
+            return Py_BuildValue("dnn", 0.0, (Py_ssize_t)-1, (Py_ssize_t)-1);
+        return Py_BuildValue("dnn", best, bi / T, bi % T);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* one whole level of an oblivious tree: node totals, joint
+ * (node, feature, bin) histograms, summed per-node gains, per-feature
+ * argmax and the sequential accept walk -- all fused.
+ *
+ * args: codes_f (y*, n x F gathered candidate columns), itemsize (i),
+ *       node int64[n] (y*), grad float64[n] (y*), hess float64[n] (y*),
+ *       n_bins_f int64[F] (y*), F (n), m (n), nbmax (n),
+ *       min_child_weight (d), reg_lambda (d), eps (d)
+ * returns (gain, j, t); j = -1 when no level split is accepted.
+ */
+static PyObject *
+py_oblivious_level(PyObject *self, PyObject *args)
+{
+    Py_buffer codes, node, grad, hess, nbf;
+    int itemsize;
+    Py_ssize_t F, m, nbmax;
+    double mcw, lam, eps;
+    double *Gn = NULL, *hist = NULL, *total = NULL;
+    PyObject *result = NULL;
+
+    if (!PyArg_ParseTuple(args, "y*iy*y*y*y*nnnddd",
+                          &codes, &itemsize, &node, &grad, &hess, &nbf,
+                          &F, &m, &nbmax, &mcw, &lam, &eps))
+        return NULL;
+
+    {
+        const int64_t *nd = (const int64_t *)node.buf;
+        const double *gp = (const double *)grad.buf;
+        const double *hp = (const double *)hess.buf;
+        const int64_t *nb = (const int64_t *)nbf.buf;
+        const Py_ssize_t n = node.len / (Py_ssize_t)sizeof(int64_t);
+        const Py_ssize_t T = nbmax - 1;
+        double *Hn, *hist2;
+        double bestg = 0.0;
+        Py_ssize_t bj = -1, bt = -1;
+        Py_ssize_t r, j, t, k;
+
+        Gn = (double *)calloc((size_t)(2 * m), sizeof(double));
+        hist = (double *)calloc((size_t)(2 * m * F * nbmax), sizeof(double));
+        total = (double *)calloc((size_t)(F * T), sizeof(double));
+        if (!Gn || !hist || !total) {
+            PyErr_NoMemory();
+            goto cleanup;
+        }
+        Hn = Gn + m;
+        hist2 = hist + m * F * nbmax;
+
+        /* node totals + joint histograms, both accumulated in row
+         * order per bucket (== np.bincount over concatenated keys) */
+        if (itemsize == 1) {
+            const uint8_t *cp = (const uint8_t *)codes.buf;
+            for (r = 0; r < n; r++) {
+                const Py_ssize_t nk = (Py_ssize_t)nd[r];
+                const double gv = gp[r], hv = hp[r];
+                const uint8_t *row = cp + r * F;
+                double *bg = hist + nk * F * nbmax;
+                double *bh = hist2 + nk * F * nbmax;
+                Gn[nk] += gv;
+                Hn[nk] += hv;
+                for (j = 0; j < F; j++) {
+                    const Py_ssize_t o = j * nbmax + (Py_ssize_t)row[j];
+                    bg[o] += gv;
+                    bh[o] += hv;
+                }
+            }
+        } else {
+            const uint16_t *cp = (const uint16_t *)codes.buf;
+            for (r = 0; r < n; r++) {
+                const Py_ssize_t nk = (Py_ssize_t)nd[r];
+                const double gv = gp[r], hv = hp[r];
+                const uint16_t *row = cp + r * F;
+                double *bg = hist + nk * F * nbmax;
+                double *bh = hist2 + nk * F * nbmax;
+                Gn[nk] += gv;
+                Hn[nk] += hv;
+                for (j = 0; j < F; j++) {
+                    const Py_ssize_t o = j * nbmax + (Py_ssize_t)row[j];
+                    bg[o] += gv;
+                    bh[o] += hv;
+                }
+            }
+        }
+
+        /* total[j,t] = sum over nodes of (valid ? gain : 0.0), node
+         * order, starting from +0.0 (numpy's axis-0 reduce) */
+        for (k = 0; k < m; k++) {
+            /* parent = Gn**2 / (Hn + lam), numpy power-2 fast path */
+            const double parentk = (Gn[k] * Gn[k]) / (Hn[k] + lam);
+            const double Gk = Gn[k], Hk = Hn[k];
+            for (j = 0; j < F; j++) {
+                const double *bg = hist + (k * F + j) * nbmax;
+                const double *bh = hist2 + (k * F + j) * nbmax;
+                double *tj = total + j * T;
+                double gl = 0.0, hl = 0.0;
+                for (t = 0; t < T; t++) {
+                    double hr, v;
+                    gl += bg[t];
+                    hl += bh[t];
+                    hr = Hk - hl;
+                    if (hl >= mcw && hr >= mcw) {
+                        /* same association as gains = GL**2; /= HL+lam;
+                         * tmp = GR**2; /= HR+lam; gains += tmp;
+                         * gains -= parent; gains *= 0.5 */
+                        double gr = Gk - gl;
+                        double a = (gl * gl) / (hl + lam);
+                        double b = (gr * gr) / (hr + lam);
+                        v = ((a + b) - parentk) * 0.5;
+                    } else {
+                        v = 0.0;
+                    }
+                    tj[t] += v;
+                }
+            }
+        }
+
+        /* per-feature argmax over where(t_valid, total, -inf), then the
+         * sequential accept walk: take feature j's best iff it beats
+         * the running best by more than eps */
+        for (j = 0; j < F; j++) {
+            const double *tj = total + j * T;
+            const Py_ssize_t tmax = (Py_ssize_t)nb[j] - 1;
+            double mp = (0 < tmax) ? tj[0] : -INFINITY;
+            Py_ssize_t mi = 0;
+            if (!isnan(mp)) {
+                for (t = 1; t < T; t++) {
+                    const double v = (t < tmax) ? tj[t] : -INFINITY;
+                    if (v > mp || isnan(v)) {
+                        mp = v;
+                        mi = t;
+                        if (isnan(v))
+                            break;
+                    }
+                }
+            }
+            if (mp > bestg + eps) {
+                bestg = mp;
+                bj = j;
+                bt = mi;
+            }
+        }
+        result = Py_BuildValue("dnn", bestg, bj, bt);
+    }
+
+cleanup:
+    free(Gn);
+    free(hist);
+    free(total);
+    PyBuffer_Release(&codes);
+    PyBuffer_Release(&node);
+    PyBuffer_Release(&grad);
+    PyBuffer_Release(&hess);
+    PyBuffer_Release(&nbf);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+static PyMethodDef kernel_methods[] = {
+    {"build_hists", py_build_hists, METH_VARARGS,
+     "Accumulate (grad, hess[, count]) node histograms in row order."},
+    {"best_split_scan", py_best_split_scan, METH_VARARGS,
+     "Best (gain, feature, threshold) over cumulative histograms."},
+    {"oblivious_level", py_oblivious_level, METH_VARARGS,
+     "Score one whole oblivious-tree level."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernel_module = {
+    PyModuleDef_HEAD_INIT, "_repro_native",
+    "Compiled histogram/split kernels (bitwise-equal to repro.native."
+    "fallback).",
+    -1, kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__repro_native(void)
+{
+    return PyModule_Create(&kernel_module);
+}

@@ -1,0 +1,237 @@
+"""Pure-numpy reference kernels for the tree-grower hot loops.
+
+This module is the **semantic definition** of the native kernels: the C
+extension in ``_kernels.c`` must reproduce every function here bit for
+bit (``tests/native/test_kernel_parity.py`` fuzzes that contract), and
+any box without a working C compiler runs on this module alone.  The
+code is the grower hot-loop numpy moved verbatim out of
+``learners/tree.py`` / ``learners/catboost_like.py`` — accumulation
+orders, in-place gain assembly and argmax tie-breaking are all part of
+the contract, so edit with care and re-run the parity fuzz + golden
+suites after any change.
+
+Shared conventions (both implementations):
+
+* ``codes`` are C-contiguous uint8/uint16 bin codes, values strictly
+  below the per-feature ``n_bins`` (the :class:`~repro.learners.
+  histogram.Binner` invariant — the kernels trust it);
+* index/feature arrays are int64, grad/hess are float64;
+* histograms are float64 ``(P, F, nbmax)`` with parts (grad, hess
+  [, count]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ObliviousLevelScorer",
+    "best_split_scan",
+    "build_hists",
+    "soft_threshold",
+]
+
+_EPS = 1e-12
+
+#: kernels modules advertise which implementation they are (logs/tests)
+is_native = False
+
+
+def soft_threshold(g, alpha: float):
+    """L1 soft-thresholding, ufunc-chained exactly as the growers use it."""
+    return np.sign(g) * np.maximum(np.abs(g) - alpha, 0.0)
+
+
+def _score(G, H, alpha: float, lam: float):
+    return soft_threshold(G, alpha) ** 2 / (H + lam)
+
+
+def build_hists(codes, g, h, idx, features, n_bins, nbmax, need_cnt,
+                all_features=False):
+    """(grad, hess[, count]) per-(feature, bin) histograms of one node.
+
+    ``g``/``h`` are already gathered to ``idx`` order; ``all_features``
+    says ``features`` is every column in order (enables the plain-row
+    gather).  The count histogram is only materialised when
+    ``min_samples_leaf`` needs it (``need_cnt``).
+
+    The result is **one** stacked array of shape ``(P, F, nbmax)`` with
+    ``P = 3 if need_cnt else 2`` (grad, hess[, count] parts).  Both
+    branches below accumulate every (part, feature, bin) bucket in row
+    (``idx``) order, so they are bitwise identical to each other and to
+    the C kernel's plain row-major loop; what the flat single-bincount
+    branch drops is per-call numpy dispatch, which dominates on the
+    small nodes deep in a tree.
+    """
+    F = features.size
+    W = F * nbmax
+    P = 3 if need_cnt else 2
+    if idx.size == 0:
+        # growers never histogram empty nodes, but the kernel contract
+        # is float64 zeros (np.bincount drops the weights dtype when
+        # the input is empty and would return int64 here)
+        return np.zeros((P, F, nbmax))
+    if idx.size * F <= 200_000:
+        # Small node: flat bincount over all candidate features at
+        # once (block j of the histogram belongs to features[j]) —
+        # per-feature Python loops are interpreter-overhead-bound here.
+        sub = codes[idx] if all_features else codes[idx[:, None], features]
+        flat = (sub + np.arange(F, dtype=np.int64) * nbmax).ravel()
+        gw = np.repeat(g, F) if F > 1 else g
+        hw = np.repeat(h, F) if F > 1 else h
+        if need_cnt:
+            keys = np.concatenate((flat, flat + W, flat + 2 * W))
+            wts = np.concatenate((gw, hw, np.ones(flat.size)))
+        else:
+            keys = np.concatenate((flat, flat + W))
+            wts = np.concatenate((gw, hw))
+        return np.bincount(keys, weights=wts,
+                           minlength=P * W).reshape(P, F, nbmax)
+    # Large node: per-feature bincounts avoid materialising the
+    # (rows x features) weight copies.
+    hist = np.zeros((P, F, nbmax))
+    for j, f in enumerate(features):
+        c = codes[idx, f]
+        hist[0, j, : n_bins[f]] = np.bincount(c, weights=g, minlength=n_bins[f])
+        hist[1, j, : n_bins[f]] = np.bincount(c, weights=h, minlength=n_bins[f])
+        if need_cnt:
+            hist[2, j, : n_bins[f]] = np.bincount(c, minlength=n_bins[f])
+    return hist
+
+
+def best_split_scan(hists, nbf, n_idx, G, H, parent, min_child_weight,
+                    reg_alpha, reg_lambda, min_samples_leaf, rng=None,
+                    t_valid=None):
+    """Best ``(gain, j, t)`` over one node's stacked histograms.
+
+    ``j`` indexes into the candidate-feature list the histograms were
+    built over; ``(0.0, -1, -1)`` means no valid split.  ``rng`` is the
+    extra-trees mode: keep one random valid threshold per feature (the
+    native wrapper delegates this mode here because the draw consumes
+    the grower's generator mid-scan).  Thresholds are bin codes; split
+    sends ``code <= t`` left (missing bin 0 always goes left).
+    ``t_valid`` is the threshold-validity mask ``arange(nbmax-1) <
+    (nbf-1)[:, None]`` — growers hoist it out of this per-node call
+    (the C kernel derives it from ``nbf`` inline and ignores the arg).
+    """
+    P, F, nbmax = hists.shape
+    # one cumulative sum over every (part, feature) row at once
+    cs = hists.reshape(P * F, nbmax).cumsum(axis=1).reshape(P, F, nbmax)
+    GL = cs[0, :, :-1]
+    HL = cs[1, :, :-1]
+    GR, HR = G - GL, H - HL
+    valid = (HL >= min_child_weight) & (HR >= min_child_weight)
+    if t_valid is None:
+        # thresholds past a feature's own bin count are no real splits
+        t_valid = np.arange(nbmax - 1) < (nbf - 1)[:, None]
+    valid &= t_valid
+    if P == 3:
+        CL = cs[2, :, :-1]
+        valid &= (CL >= min_samples_leaf) & (
+            n_idx - CL >= min_samples_leaf
+        )
+    if rng is not None:
+        # Extra-trees: keep one random valid threshold per feature.
+        keep = np.zeros_like(valid)
+        for j in range(F):
+            cand = np.nonzero(valid[j])[0]
+            if cand.size:
+                keep[j, int(rng.choice(cand))] = True
+        valid = keep
+    if not valid.any():
+        return 0.0, -1, -1
+    # same association as 0.5*(score(L) + score(R) − parent), built
+    # in place to avoid (F, T)-sized temporaries on every node
+    gains = _score(GL, HL, reg_alpha, reg_lambda)
+    gains += _score(GR, HR, reg_alpha, reg_lambda)
+    gains -= parent
+    gains *= 0.5
+    gains = np.where(valid, gains, -np.inf)
+    k = int(gains.argmax())
+    j, t = divmod(k, gains.shape[1])
+    return float(gains[j, t]), j, t
+
+
+class ObliviousLevelScorer:
+    """Per-tree state for the oblivious whole-level scoring loop.
+
+    Construction hoists everything that is constant across levels (the
+    gathered candidate codes with per-feature offsets, the repeated
+    grad/hess weight vector, the threshold-validity mask);
+    :meth:`score_level` then scores one level from a single flat
+    ``np.bincount`` over joint ``(node, feature, bin)`` keys.  The
+    layout is bitwise-neutral: every bucket accumulates the same rows
+    in the same order as per-feature loops would, and the cumulative
+    sums are per-row independent.
+    """
+
+    def __init__(self, codes, cand_features, n_bins, grad, hess,
+                 min_child_weight, reg_lambda):
+        F = cand_features.size
+        nbmax = int(n_bins[cand_features].max())
+        self.F = F
+        self.nbmax = nbmax
+        self.min_child_weight = float(min_child_weight)
+        self.reg_lambda = float(reg_lambda)
+        # joint (feature, bin) codes of the candidate features,
+        # gathered once
+        fcodes = codes[:, cand_features].astype(np.int64)
+        fcodes += np.arange(F, dtype=np.int64)[None, :] * nbmax
+        self._fcodes = fcodes
+        # grad/hess repeated per feature (and concatenated) once, so
+        # each level's histograms come from a single flat bincount
+        self._gh = np.concatenate((
+            np.repeat(grad, F) if F > 1 else grad,
+            np.repeat(hess, F) if F > 1 else hess,
+        ))
+        self._gh_node = np.concatenate((grad, hess))
+        # thresholds past a feature's own bin count are not real splits
+        self._t_valid = (
+            np.arange(nbmax - 1)[None, :]
+            < (n_bins[cand_features] - 1)[:, None]
+        )
+
+    def score_level(self, node, lvl):
+        """Score level ``lvl`` (``m = 2**lvl`` current nodes); returns
+        ``(gain, j, t)`` with ``j = -1`` when no split is accepted."""
+        m = 1 << lvl
+        F, nbmax = self.F, self.nbmax
+        W = m * F * nbmax
+        # Node totals (shared across features).
+        nodes2 = np.concatenate((node, node + m))
+        GnHn = np.bincount(nodes2, weights=self._gh_node, minlength=2 * m)
+        Gn, Hn = GnHn[:m], GnHn[m:]
+        parent = Gn**2 / (Hn + self.reg_lambda)
+        flat = (node[:, None] * (F * nbmax) + self._fcodes).ravel()
+        keys = np.concatenate((flat, flat + W))
+        hist = np.bincount(keys, weights=self._gh, minlength=2 * W)
+        cs = hist.reshape(2 * m * F, nbmax).cumsum(axis=1)
+        cs = cs.reshape(2, m, F, nbmax)
+        GL = cs[0, :, :, :-1]  # (m, F, T)
+        HL = cs[1, :, :, :-1]
+        GR = Gn[:, None, None] - GL
+        HR = Hn[:, None, None] - HL
+        valid = (HL >= self.min_child_weight) & (HR >= self.min_child_weight)
+        # same association as 0.5*(GL²/(HL+λ) + GR²/(HR+λ) − parent),
+        # assembled in place to avoid temporaries the size of (m, F, T)
+        HL += self.reg_lambda
+        HR += self.reg_lambda
+        gains = GL**2
+        gains /= HL
+        tmp = GR**2
+        tmp /= HR
+        gains += tmp
+        gains -= parent[:, None, None]
+        gains *= 0.5
+        total = np.where(valid, gains, 0.0).sum(axis=0)  # (F, T)
+        total = np.where(self._t_valid, total, -np.inf)
+        # replicate the sequential accept rule exactly: walk features in
+        # candidate order, take this feature's best threshold iff it
+        # beats the running best by more than _EPS
+        best = (0.0, -1, -1)
+        per_f_t = np.argmax(total, axis=1)
+        per_f_gain = total[np.arange(F), per_f_t]
+        for j in range(F):
+            if per_f_gain[j] > best[0] + _EPS:
+                best = (float(per_f_gain[j]), j, int(per_f_t[j]))
+        return best

@@ -1,16 +1,20 @@
-"""Golden equivalence of the shared binned-data plane.
+"""Golden equivalence of the shared binned-data plane and native kernels.
 
-Three bit-for-bit guarantees, for every registered learner x task
-(incl. forecast) x resampling under fixed seeds:
+Bit-for-bit guarantees, for every registered learner x task (incl.
+forecast) x resampling under fixed seeds, each proven under **both**
+kernel implementations (``REPRO_NATIVE=1`` compiled C and ``=0`` pure
+numpy — the golden matrix):
 
 1. the default trial path reproduces ``golden_trial_errors.json`` (the
    ongoing pin, regenerated only on *intended* semantics changes);
 2. with the histogram sibling-subtraction trick held off, the plane
    path reproduces ``golden_trial_errors_prerefactor.json`` — errors
-   captured on the commit *before* this refactor landed and never
-   regenerated, proving the plane (memoized splits, pre-binned codes,
-   fused histograms, vectorised oblivious trees) is pure reuse;
+   captured on the commit *before* the plane refactor landed and never
+   regenerated, proving plane + kernels are pure reuse;
 3. plane-on and plane-off agree with each other on every case, always.
+
+No fixture was re-pinned for the native kernels: the same hex floats
+must come out with the C extension on and off.
 
 Plus unit coverage of the plane's cache behaviour and the bounded
 weakly-keyed ``_accepted_extras`` cache.
@@ -33,6 +37,7 @@ from repro.data.dataset import Dataset
 from repro.learners import Binner, LGBMLikeClassifier
 from repro.learners.histogram import BinnedMatrix
 from repro.metrics import get_metric
+from repro.native import native_available, set_native_enabled
 
 from .capture_golden_trials import golden_cases
 
@@ -47,6 +52,17 @@ PRE_REFACTOR = json.loads(
 def no_subtraction(monkeypatch):
     """Force scratch histogram builds (the pre-refactor split finder)."""
     monkeypatch.setattr(tree_mod, "_HIST_CACHE_BYTES", 0)
+
+
+@pytest.fixture(params=["native", "numpy"])
+def native_mode(request):
+    """Run the depending test once per kernel implementation."""
+    native = request.param == "native"
+    if native and not native_available():
+        pytest.skip("native kernels unavailable (no C compiler)")
+    prev = set_native_enabled(native)
+    yield request.param
+    set_native_enabled(prev)
 
 
 def run_all(plane: bool) -> dict:
@@ -71,22 +87,23 @@ class TestGoldenEquivalence:
             if spec.supports("forecast"):
                 assert f"{name}|forecast|temporal" in keys
 
-    def test_default_path_matches_pinned_goldens(self):
+    def test_default_path_matches_pinned_goldens(self, native_mode):
         assert run_all(plane=True) == GOLDEN
 
-    def test_plane_off_matches_plane_on(self):
+    def test_plane_off_matches_plane_on(self, native_mode):
         assert run_all(plane=False) == run_all(plane=True)
 
     def test_plane_reproduces_prerefactor_errors_bitwise(
-        self, no_subtraction
+        self, no_subtraction, native_mode
     ):
         """With the (separately documented) sibling-subtraction tie
         reordering held off, the plane path is bit-for-bit identical to
-        the pre-refactor code for every learner x task x resampling."""
+        the pre-refactor code for every learner x task x resampling —
+        under either kernel implementation."""
         assert run_all(plane=True) == PRE_REFACTOR
 
     def test_legacy_path_still_reproduces_prerefactor_errors(
-        self, no_subtraction
+        self, no_subtraction, native_mode
     ):
         assert run_all(plane=False) == PRE_REFACTOR
 

@@ -120,6 +120,130 @@ class TestZeroCopyInit:
             ex.shutdown()
 
 
+class TestWorkerPlaneWarmup:
+    """`_init_worker` pre-computes the default splits/codes (ROADMAP
+    open item): the first trial a worker runs must hit warm plane
+    caches, not build them inside its measured wall-clock."""
+
+    WARMUP = {"resampling": "holdout", "holdout_ratio": 0.1, "seed": 0,
+              "n_splits": 5, "sample_size": 150}
+
+    def _init_in_this_process(self, ex):
+        saved = (process_mod._WORKER_DATA,
+                 list(process_mod._WORKER_SEGMENTS))
+        process_mod._WORKER_SEGMENTS.clear()
+        process_mod._init_worker(ex._init_payload)
+        return saved
+
+    def _restore(self, saved):
+        data_saved, segs_saved = saved
+        for shm in process_mod._WORKER_SEGMENTS:
+            shm.close()
+        process_mod._WORKER_SEGMENTS[:] = segs_saved
+        process_mod._WORKER_DATA = data_saved
+
+    def test_executor_ships_warmup_context(self, data):
+        with ProcessExecutor(data, n_workers=1, warmup=self.WARMUP) as ex:
+            assert ex._init_payload["warmup"] == self.WARMUP
+
+    def test_first_trial_hits_warm_caches(self, data):
+        from repro.data import plane_for
+        from repro.exec.base import run_spec
+
+        ex = ProcessExecutor(data, n_workers=1, warmup=self.WARMUP)
+        saved = self._init_in_this_process(ex)
+        try:
+            worker_data = process_mod._WORKER_DATA
+            plane = plane_for(worker_data)
+            warmed = plane.stats()
+            assert warmed["splits"] == 1  # the holdout indices
+            assert warmed["binned"] >= 1  # default-max_bins code sets
+            # the first trial (same resampling/seed/sample_size the
+            # warmup described) computes NO new splits or codes
+            out = run_spec(worker_data, make_spec())
+            assert np.isfinite(out.error)
+            after = plane.stats()
+            assert after["splits"] == warmed["splits"]
+            assert after["binned"] == warmed["binned"]
+            assert after["split_hits"] > warmed["split_hits"]
+            assert after["binned_hits"] > warmed["binned_hits"]
+        finally:
+            self._restore(saved)
+            ex.shutdown()
+
+    def test_no_warmup_means_cold_plane(self, data):
+        from repro.data import plane_for
+
+        ex = ProcessExecutor(data, n_workers=1)
+        saved = self._init_in_this_process(ex)
+        try:
+            assert "warmup" not in ex._init_payload
+            stats = plane_for(process_mod._WORKER_DATA).stats()
+            assert stats["splits"] == 0 and stats["binned"] == 0
+        finally:
+            self._restore(saved)
+            ex.shutdown()
+
+    def test_warm_plane_cv_keys_match_trial_path(self, data):
+        """CV warmup must produce exactly the fold/code entries a CV
+        trial looks up (key-format drift would silently de-warm)."""
+        from repro.data import plane_for, warm_plane
+        from repro.exec.base import run_spec
+
+        clone = Dataset(data.name, data.X.copy(), data.y.copy(), data.task,
+                        data.categorical)
+        warm_plane(clone, resampling="cv", seed=0, n_splits=3,
+                   sample_size=120)
+        plane = plane_for(clone)
+        warmed = plane.stats()
+        # one fold-set; 3 folds x 3 default max_bins code sets
+        assert warmed["splits"] == 1 and warmed["binned"] == 9
+        out = run_spec(clone, make_spec(resampling="cv", n_splits=3,
+                                        sample_size=120))
+        assert np.isfinite(out.error)
+        after = plane.stats()
+        assert after["splits"] == warmed["splits"]
+        assert after["binned"] == warmed["binned"]
+        assert after["binned_hits"] > warmed["binned_hits"]
+
+    def test_warmup_never_breaks_init(self, data, monkeypatch):
+        """A failing warmup must leave a usable (cold) worker."""
+        import repro.data.binned as binned_mod
+
+        def boom(*a, **kw):
+            raise RuntimeError("warmup exploded")
+
+        monkeypatch.setattr(binned_mod, "warm_plane", boom)
+        ex = ProcessExecutor(data, n_workers=1, warmup=self.WARMUP)
+        saved = self._init_in_this_process(ex)
+        try:
+            assert process_mod._WORKER_DATA is not None
+        finally:
+            self._restore(saved)
+            ex.shutdown()
+
+    def test_controller_process_backend_passes_warmup(self, data):
+        """The parallel controller hands its search context to the
+        process executor as the warmup payload."""
+        from repro.core.parallel import ParallelSearchController
+        from repro.core.registry import DEFAULT_LEARNERS
+        from repro.metrics import get_metric
+
+        learners = {"lgbm": DEFAULT_LEARNERS["lgbm"]}
+        ctl = ParallelSearchController(
+            data, learners, get_metric("log_loss"), time_budget=1.0,
+            n_workers=1, backend="process", seed=3, init_sample_size=100,
+        )
+        try:
+            warmup = ctl.engine.executor._warmup
+            assert warmup is not None
+            assert warmup["resampling"] == ctl.resampling
+            assert warmup["seed"] == 3
+            assert warmup["sample_size"] <= data.n
+        finally:
+            ctl.engine.shutdown()
+
+
 class TestTeardown:
     def test_shutdown_unlinks_all_segments(self, data):
         from multiprocessing import shared_memory

@@ -1,0 +1,125 @@
+"""Build-failure behaviour: no compiler must mean a silent numpy system.
+
+A box where the C extension cannot build (no ``cc``, no CPython
+headers, broken toolchain) must import, fit every grower-backed
+learner, and pass through the numpy fallback — with exactly one logged
+warning and zero exceptions.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro.native as native_pkg
+from repro.native import _build
+from repro.native._build import NativeBuildError
+
+
+@pytest.fixture
+def broken_build(monkeypatch):
+    """Simulate a compiler-less box: reset the one-shot load state, make
+    the build raise, and restore the real state afterwards."""
+    saved = (native_pkg._kernels, native_pkg._load_attempted,
+             native_pkg._load_error)
+
+    def boom(force=False):
+        raise NativeBuildError("simulated: cc not found")
+
+    monkeypatch.setattr(_build, "build", boom)
+    native_pkg._reset_load_state_for_tests()
+    yield
+    (native_pkg._kernels, native_pkg._load_attempted,
+     native_pkg._load_error) = saved
+
+
+class TestBuildFallback:
+    def test_falls_back_to_numpy_and_logs_once(self, broken_build, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.native"):
+            assert native_pkg.native_available() is False
+            assert native_pkg.active_kernels() is native_pkg.fallback
+            # repeated queries must not re-attempt or re-log
+            assert native_pkg.native_available() is False
+            assert native_pkg.active_kernels() is native_pkg.fallback
+        records = [r for r in caplog.records if r.name == "repro.native"]
+        assert len(records) == 1
+        assert "numpy fallback" in records[0].getMessage()
+        assert "simulated: cc not found" in native_pkg.native_build_error()
+
+    def test_enabled_flag_is_moot_without_a_build(self, broken_build):
+        prev = native_pkg.set_native_enabled(True)
+        try:
+            assert native_pkg.native_enabled() is False
+            assert native_pkg.active_kernels() is native_pkg.fallback
+        finally:
+            native_pkg.set_native_enabled(prev)
+
+    def test_growers_still_work(self, broken_build, binary_split):
+        """Every kernel-backed learner family fits and predicts on the
+        fallback: GBDT (GradTreeGrower), CatBoost-like (oblivious),
+        forests (extra-random path included)."""
+        from repro.learners import (
+            CatBoostLikeClassifier,
+            ExtraTreesClassifier,
+            LGBMLikeClassifier,
+        )
+
+        Xtr, ytr, Xte, yte = binary_split
+        for cls in (LGBMLikeClassifier, CatBoostLikeClassifier,
+                    ExtraTreesClassifier):
+            kw = {"seed": 0}
+            kw["tree_num" if cls is not CatBoostLikeClassifier
+               else "n_estimators"] = 5
+            model = cls(**kw).fit(Xtr, ytr)
+            acc = (model.predict(Xte) == yte).mean()
+            assert acc > 0.6, cls.__name__
+
+    def test_import_error_also_falls_back(self, monkeypatch, caplog):
+        """A compile that 'succeeds' but produces an unloadable object
+        must degrade identically."""
+        saved = (native_pkg._kernels, native_pkg._load_attempted,
+                 native_pkg._load_error)
+
+        def bad_load():
+            raise NativeBuildError("compiled kernel failed to import: boom")
+
+        monkeypatch.setattr(_build, "load", bad_load)
+        native_pkg._reset_load_state_for_tests()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.native"):
+                assert native_pkg.native_available() is False
+            assert "boom" in native_pkg.native_build_error()
+        finally:
+            (native_pkg._kernels, native_pkg._load_attempted,
+             native_pkg._load_error) = saved
+
+    def test_toggle_round_trip(self):
+        prev = native_pkg.set_native_enabled(False)
+        try:
+            assert native_pkg.native_enabled() is False
+            assert native_pkg.set_native_enabled(True) is False
+            if native_pkg.native_available():
+                assert native_pkg.native_enabled() is True
+        finally:
+            native_pkg.set_native_enabled(prev)
+
+    def test_dispatch_is_bound_per_grower(self):
+        """A grower keeps the kernels it was constructed with even if the
+        global toggle flips mid-lifetime (dispatch once per grower)."""
+        from repro.learners.tree import GradTreeGrower
+
+        prev = native_pkg.set_native_enabled(True)
+        try:
+            grower = GradTreeGrower(max_leaves=4)
+            bound = grower.kernels
+            native_pkg.set_native_enabled(False)
+            assert grower.kernels is bound
+            rng = np.random.default_rng(0)
+            codes = rng.integers(0, 8, (50, 3)).astype(np.uint8)
+            tree = grower.grow(
+                codes, rng.standard_normal(50), np.ones(50),
+                np.full(3, 8, dtype=np.int64),
+            )
+            assert tree.n_nodes >= 1
+        finally:
+            native_pkg.set_native_enabled(prev)
