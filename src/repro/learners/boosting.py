@@ -23,7 +23,7 @@ from ..native import active_kernels
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
 from .histogram import BinnedMatrix, Binner
 from .losses import Loss, get_loss, sigmoid, softmax
-from .tree import GradTreeGrower, Tree
+from .tree import FlatEnsemble, GradTreeGrower, Tree
 
 __all__ = [
     "GBDTEngine",
@@ -116,6 +116,9 @@ class GBDTEngine:
         scores = np.tile(self.base_score_, (n, 1)) if K > 1 else np.full(
             n, self.base_score_[0]
         )
+        # 2-D views for the flat traversal kernels (same memory: in-place
+        # adds through them are the historical per-column adds)
+        scores2d = scores if K > 1 else scores.reshape(-1, 1)
         if X_val is not None:
             codes_val = (
                 X_val.codes_with(self.binner_)
@@ -127,6 +130,7 @@ class GBDTEngine:
                 if K > 1
                 else np.full(X_val.shape[0], self.base_score_[0])
             )
+            val2d = val_scores if K > 1 else val_scores.reshape(-1, 1)
             best_val, best_iter = np.inf, 0
 
         self.trees_ = []
@@ -163,24 +167,28 @@ class GBDTEngine:
                 if sample_idx is None:
                     tree = grower.grow(codes, g, h, n_bins, out_leaf=leaf_buf)
                     upd = self.learning_rate * tree.predict_at(leaf_buf)
+                    if K > 1:
+                        scores[:, k] += upd
+                    else:
+                        scores += upd
                 else:
+                    # subsampled rows: the grown partition doesn't cover
+                    # every row, so walk the tree — via the flat kernel
                     tree = grower.grow(codes, g, h, n_bins,
                                        sample_idx=sample_idx)
-                    upd = self.learning_rate * tree.predict(codes)
+                    FlatEnsemble([tree], [k]).predict_into(
+                        codes, self.learning_rate, scores2d, kernels
+                    )
                 round_trees.append(tree)
-                if K > 1:
-                    scores[:, k] += upd
-                else:
-                    scores += upd
             self.trees_.append(round_trees)
 
             if X_val is not None:
-                for k, tree in enumerate(round_trees):
-                    upd = self.learning_rate * tree.predict(codes_val)
-                    if K > 1:
-                        val_scores[:, k] += upd
-                    else:
-                        val_scores += upd
+                # score the whole round's trees on the eval set in one
+                # flat traversal (tree k only touches column k: per-cell
+                # arithmetic is the historical per-tree loop)
+                FlatEnsemble(round_trees, list(range(K))).predict_into(
+                    codes_val, self.learning_rate, val2d, kernels
+                )
                 vloss = self.loss.value(y_val, val_scores)
                 if vloss < best_val - 1e-12:
                     best_val, best_iter = vloss, it + 1
@@ -198,6 +206,22 @@ class GBDTEngine:
         return self
 
     # ------------------------------------------------------------------
+    def _flat(self) -> FlatEnsemble:
+        """Packed traversal arrays of the whole fitted ensemble.
+
+        Built lazily and cached; the cache key notices ``trees_`` being
+        rebound or resized (early-stop truncation rebinds the list, and
+        :mod:`repro.learners.model_io` assigns a fresh list on load) and
+        rebuilds the pack.
+        """
+        trees = [t for rt in self.trees_ for t in rt]
+        key = (id(self.trees_), len(trees), sum(t.n_nodes for t in trees))
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None or cached[0] != key:
+            classes = [k for rt in self.trees_ for k in range(len(rt))]
+            self._flat_cache = (key, FlatEnsemble(trees, classes))
+        return self._flat_cache[1]
+
     def raw_predict(self, X: np.ndarray) -> np.ndarray:
         """Raw additive scores before the link function."""
         if self.binner_ is None:
@@ -212,13 +236,12 @@ class GBDTEngine:
         scores = np.tile(self.base_score_, (n, 1)) if K > 1 else np.full(
             n, self.base_score_[0]
         )
-        for round_trees in self.trees_:
-            for k, tree in enumerate(round_trees):
-                upd = self.learning_rate * tree.predict(codes)
-                if K > 1:
-                    scores[:, k] += upd
-                else:
-                    scores += upd
+        if self.trees_:
+            self._flat().predict_into(
+                codes, self.learning_rate,
+                scores if K > 1 else scores.reshape(-1, 1),
+                active_kernels(),
+            )
         return scores
 
 
@@ -285,6 +308,13 @@ class _GBDTBase(BaseEstimator):
             max_bin=max(2, int(round(self.max_bin))),
             **kwargs,
         )
+
+    def warm_inference(self) -> None:
+        """Pre-build the packed traversal arrays the predict kernels use
+        (otherwise built lazily on the first predict)."""
+        engine = getattr(self, "engine_", None)
+        if engine is not None and engine.trees_:
+            engine._flat()
 
     def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
         """Run the boosting loop; optional eval set enables early stopping;

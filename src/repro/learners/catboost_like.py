@@ -21,7 +21,12 @@ from .base import BaseClassifierMixin, BaseEstimator, validate_data
 from .histogram import BinnedMatrix, Binner
 from .losses import Loss, get_loss, sigmoid, softmax
 
-__all__ = ["CatBoostLikeClassifier", "CatBoostLikeRegressor", "ObliviousTree"]
+__all__ = [
+    "CatBoostLikeClassifier",
+    "CatBoostLikeRegressor",
+    "FlatOblivious",
+    "ObliviousTree",
+]
 
 #: CatBoost bins at a fixed width (not a searched hyperparameter);
 #: exposed on the learners as ``_plane_max_bins`` so plane warmup
@@ -48,6 +53,63 @@ class ObliviousTree:
     def predict(self, codes: np.ndarray) -> np.ndarray:
         """Leaf values / predictions for each row."""
         return self.leaf_values[self.leaf_index(codes)]
+
+
+class FlatOblivious:
+    """Packed per-level split vectors + leaf tables of many oblivious
+    trees, for the batched lookup kernel.
+
+    Tree ``t``'s shared per-depth (feature, threshold) pairs occupy
+    levels ``level_offset[t]:level_offset[t+1]`` of the int64
+    ``features``/``thresholds`` vectors and its ``2**depth`` leaf table
+    starts at ``leaf_offset[t]`` in the flat float64 ``leaf_values``;
+    ``tree_class[t]`` is the output column the tree accumulates into
+    (oblivious trees always carry scalar leaves).  The traversal kernel
+    (:mod:`repro.native` ``oblivious_predict``) reproduces
+    :meth:`ObliviousTree.leaf_index` + the historical per-tree
+    ``out += lr * tree.predict(codes)`` accumulate bit for bit.
+    """
+
+    __slots__ = ("features", "thresholds", "level_offset", "leaf_values",
+                 "leaf_offset", "tree_class", "n_trees")
+
+    def __init__(self, trees: list, tree_class=None) -> None:
+        if not trees:
+            raise ValueError("FlatOblivious needs at least one tree")
+        lo = np.zeros(len(trees) + 1, dtype=np.int64)
+        fo = np.zeros(len(trees) + 1, dtype=np.int64)
+        for i, t in enumerate(trees):
+            lo[i + 1] = lo[i] + t.features.size
+            fo[i + 1] = fo[i] + t.leaf_values.size
+        self.features = np.concatenate(
+            [t.features.astype(np.int64) for t in trees]
+        )
+        self.thresholds = np.ascontiguousarray(
+            np.concatenate([t.thresholds for t in trees]), dtype=np.int64
+        )
+        self.leaf_values = np.ascontiguousarray(
+            np.concatenate([t.leaf_values for t in trees])
+        )
+        self.level_offset = lo
+        self.leaf_offset = fo
+        self.tree_class = (
+            np.zeros(len(trees), dtype=np.int64)
+            if tree_class is None
+            else np.ascontiguousarray(tree_class, dtype=np.int64)
+        )
+        self.n_trees = len(trees)
+
+    def predict_into(self, codes: np.ndarray, lr: float, out: np.ndarray,
+                     kernels=None) -> np.ndarray:
+        """Accumulate ``lr *`` (every tree's prediction) into the
+        C-contiguous float64 ``(n, K)`` matrix ``out``, in place."""
+        if kernels is None:
+            kernels = active_kernels()
+        return kernels.oblivious_predict(
+            codes, self.features, self.thresholds, self.level_offset,
+            self.leaf_values, self.leaf_offset, self.tree_class,
+            float(lr), out,
+        )
 
 
 def _grow_oblivious(codes, grad, hess, n_bins, depth, reg_lambda, min_child_weight,
@@ -164,6 +226,10 @@ class _CatBoostEngine:
             if K > 1
             else np.full(val_idx.size, self.base_score_[0])
         )
+        # 2-D views for the flat traversal kernels (same memory: in-place
+        # adds through them are the historical per-column adds)
+        scores2d = scores if K > 1 else scores.reshape(-1, 1)
+        val2d = val_scores if K > 1 else val_scores.reshape(-1, 1)
         self.trees_: list[list[ObliviousTree]] = []
         best_val, best_iter = np.inf, 0
         for it in range(self.n_estimators):
@@ -181,26 +247,31 @@ class _CatBoostEngine:
                     kernels=kernels,
                 )
                 round_trees.append(tree)
-                upd = self.learning_rate * tree.predict(codes)
-                vupd = self.learning_rate * tree.predict(codes_val)
-                if K > 1:
-                    scores[:, k] += upd
-                    val_scores[:, k] += vupd
-                else:
-                    scores += upd
-                    val_scores += vupd
+                flat = FlatOblivious([tree], [k])
+                flat.predict_into(codes, self.learning_rate, scores2d,
+                                  kernels)
+                flat.predict_into(codes_val, self.learning_rate, val2d,
+                                  kernels)
             self.trees_.append(round_trees)
             vloss = self.loss.value(y_val, val_scores)
             if vloss < best_val - 1e-12:
                 best_val, best_iter = vloss, it + 1
             elif it + 1 - best_iter >= self.early_stopping_rounds:
-                self.trees_ = self.trees_[:best_iter]
                 break
             if (
                 self.train_time_limit is not None
                 and time.perf_counter() - start > self.train_time_limit
             ):
                 break
+        # use_best_model on *every* exit (CatBoost's behaviour with an
+        # eval set): the iteration-cap and time-limit exits used to keep
+        # every round grown after the holdout optimum — only the
+        # early-stop branch truncated.  Intended semantic change (PR 6);
+        # the golden trial fixtures turned out insensitive (every pinned
+        # catboost trial early-stops well before its cap), so no re-pin
+        # was needed.
+        if len(self.trees_) > best_iter:
+            self.trees_ = self.trees_[:best_iter]
         return self
 
     def raw_predict(self, X):
@@ -216,14 +287,28 @@ class _CatBoostEngine:
             if K > 1
             else np.full(X.shape[0], self.base_score_[0])
         )
-        for round_trees in self.trees_:
-            for k, tree in enumerate(round_trees):
-                upd = self.learning_rate * tree.predict(codes)
-                if K > 1:
-                    scores[:, k] += upd
-                else:
-                    scores += upd
+        if self.trees_:
+            self._flat().predict_into(
+                codes, self.learning_rate,
+                scores if K > 1 else scores.reshape(-1, 1),
+                active_kernels(),
+            )
         return scores
+
+    def _flat(self) -> FlatOblivious:
+        """Packed lookup arrays of the whole fitted ensemble (lazily
+        built; rebuilt when ``trees_`` is rebound or resized, e.g. by
+        :mod:`repro.learners.model_io` on load)."""
+        trees = [t for rt in self.trees_ for t in rt]
+        key = (
+            id(self.trees_), len(trees),
+            sum(t.leaf_values.size for t in trees),
+        )
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None or cached[0] != key:
+            classes = [k for rt in self.trees_ for k in range(len(rt))]
+            self._flat_cache = (key, FlatOblivious(trees, classes))
+        return self._flat_cache[1]
 
 
 class _CatBoostBase(BaseEstimator):
@@ -237,7 +322,7 @@ class _CatBoostBase(BaseEstimator):
         self,
         early_stop_rounds: int = 30,
         learning_rate: float = 0.1,
-        n_estimators: int = 300,
+        n_estimators: int = 1000,
         depth: int = 6,
         reg_lambda: float = 3.0,
         min_child_weight: float = 1e-3,
@@ -284,6 +369,13 @@ class _CatBoostBase(BaseEstimator):
         self.engine_ = self._engine(loss).fit(X, y_fit,
                                               sample_weight=sample_weight)
         return self
+
+    def warm_inference(self) -> None:
+        """Pre-build the packed lookup arrays the predict kernel uses
+        (otherwise built lazily on the first predict)."""
+        engine = getattr(self, "engine_", None)
+        if engine is not None and engine.trees_:
+            engine._flat()
 
 
 class CatBoostLikeClassifier(BaseClassifierMixin, _CatBoostBase):

@@ -17,9 +17,10 @@ import time
 
 import numpy as np
 
+from ..native import active_kernels
 from .base import BaseClassifierMixin, BaseEstimator, validate_data
 from .histogram import BinnedMatrix, Binner
-from .tree import ClassTreeGrower, GradTreeGrower, Tree
+from .tree import ClassTreeGrower, FlatEnsemble, GradTreeGrower, Tree
 
 __all__ = [
     "RandomForestClassifier",
@@ -61,8 +62,31 @@ class _ForestBase(BaseEstimator):
             seed=seed,
         )
 
-    def _grow_one(self, codes, y, n_bins, rng) -> Tree:
+    def _grow_one(self, codes, y, n_bins, rng, idx, kernels) -> Tree:
         raise NotImplementedError
+
+    def _flat(self) -> FlatEnsemble:
+        """Packed traversal arrays of the whole fitted forest (lazily
+        built; rebuilt when ``trees_`` is rebound or resized, e.g. by
+        :mod:`repro.learners.model_io` on load)."""
+        trees = self.trees_
+        key = (id(trees), len(trees), sum(t.n_nodes for t in trees))
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None or cached[0] != key:
+            trees[0]._ensure_frozen()
+            # class trees carry probability-vector leaves: route the
+            # whole row (-1); regression trees add their scalar leaf
+            cls = -1 if trees[0]._value.shape[1] > 1 else 0
+            self._flat_cache = (
+                key, FlatEnsemble(trees, [cls] * len(trees))
+            )
+        return self._flat_cache[1]
+
+    def warm_inference(self) -> None:
+        """Pre-build the packed traversal arrays the predict kernels use
+        (otherwise built lazily on the first predict)."""
+        if getattr(self, "trees_", None):
+            self._flat()
 
     def fit(self, X, y, X_val=None, y_val=None, sample_weight=None):
         """Fit the bagged ensemble on (X, y); returns self.
@@ -88,10 +112,14 @@ class _ForestBase(BaseEstimator):
             self.binner_ = Binner(max_bins=max(2, int(self.max_bin)), rng=rng)
             codes = self.binner_.fit_transform(X)
         n = X.shape[0]
+        kernels = active_kernels()  # one dispatch per fit, not per tree
         self.trees_: list[Tree] = []
         for _ in range(max(1, int(round(self.tree_num)))):
             idx = rng.integers(0, n, size=n) if self._bootstrap else None
-            self.trees_.append(self._grow_one(codes, y, self.binner_.n_bins_, rng, idx))
+            self.trees_.append(
+                self._grow_one(codes, y, self.binner_.n_bins_, rng, idx,
+                               kernels)
+            )
             if (
                 self.train_time_limit is not None
                 and time.perf_counter() - start > self.train_time_limit
@@ -119,7 +147,7 @@ class RandomForestClassifier(BaseClassifierMixin, _ForestImportanceMixin,
 
     _is_classifier = True
 
-    def _grow_one(self, codes, y, n_bins, rng, idx):
+    def _grow_one(self, codes, y, n_bins, rng, idx, kernels):
         grower = ClassTreeGrower(
             n_classes=self.n_classes_,
             criterion=self.criterion,
@@ -128,6 +156,7 @@ class RandomForestClassifier(BaseClassifierMixin, _ForestImportanceMixin,
             max_features=self.max_features,
             extra_random=self._extra_random,
             rng=rng,
+            kernels=kernels,
         )
         return grower.grow(codes, y, n_bins, sample_idx=idx,
                            sample_weight=getattr(self, "_sample_weight", None))
@@ -140,9 +169,11 @@ class RandomForestClassifier(BaseClassifierMixin, _ForestImportanceMixin,
             if isinstance(X, BinnedMatrix)
             else self.binner_.transform(X)
         )
+        # one flat traversal over all trees; lr=1.0 multiplies each leaf
+        # vector by exactly 1.0, so every cell sees the same adds (in the
+        # same order) as the historical `acc += tree.predict(codes)` loop
         acc = np.zeros((X.shape[0], self.n_classes_))
-        for tree in self.trees_:
-            acc += tree.predict(codes)
+        self._flat().predict_into(codes, 1.0, acc)
         acc /= len(self.trees_)
         return acc
 
@@ -157,7 +188,7 @@ class ExtraTreesClassifier(RandomForestClassifier):
 class RandomForestRegressor(_ForestImportanceMixin, _ForestBase):
     """Bagged variance-reduction trees; ``predict`` averages leaf means."""
 
-    def _grow_one(self, codes, y, n_bins, rng, idx):
+    def _grow_one(self, codes, y, n_bins, rng, idx, kernels):
         w = getattr(self, "_sample_weight", None)
         if w is None:
             w = np.ones(len(y))
@@ -171,6 +202,7 @@ class RandomForestRegressor(_ForestImportanceMixin, _ForestBase):
             extra_random=self._extra_random,
             min_samples_leaf=max(1, self.min_samples_leaf),
             rng=rng,
+            kernels=kernels,
         )
         return grower.grow(codes, -y.astype(np.float64) * w, w, n_bins,
                            sample_idx=idx)
@@ -184,8 +216,7 @@ class RandomForestRegressor(_ForestImportanceMixin, _ForestBase):
             else self.binner_.transform(X)
         )
         acc = np.zeros(X.shape[0])
-        for tree in self.trees_:
-            acc += tree.predict(codes)
+        self._flat().predict_into(codes, 1.0, acc.reshape(-1, 1))
         return acc / len(self.trees_)
 
 

@@ -107,6 +107,11 @@ def _dump_tree(tree: Tree) -> dict:
 
 
 def _load_tree(obj: dict) -> Tree:
+    # Trees serialise from their list storage (the canonical form); the
+    # packed FlatEnsemble/FlatOblivious traversal arrays are derived
+    # caches keyed on the engine's trees_ list identity, so a loaded
+    # model rebuilds them lazily on first predict (or eagerly via
+    # warm_inference) from these exact node arrays — bitwise round-trip.
     tree = Tree(n_values=obj["n_values"])
     tree.feature = list(obj["feature"])
     tree.threshold = list(obj["threshold"])

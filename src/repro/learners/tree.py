@@ -28,7 +28,7 @@ from ..native import active_kernels
 from ..native.fallback import _EPS  # the kernels' gain tie-break epsilon
 from ..native.fallback import soft_threshold as _soft_threshold
 
-__all__ = ["Tree", "GradTreeGrower", "ClassTreeGrower"]
+__all__ = ["Tree", "FlatEnsemble", "GradTreeGrower", "ClassTreeGrower"]
 
 #: cap on histograms parked on pending tree nodes for the
 #: sibling-subtraction trick; beyond it children rebuild from scratch
@@ -78,6 +78,22 @@ class Tree:
         self._right = np.asarray(self.right, dtype=np.int32)
         self._value = np.stack(self.value).astype(np.float64)
 
+    def _ensure_frozen(self) -> None:
+        """Freeze on first prediction if the growers/loaders haven't.
+
+        Hand-built trees (``add_node``/``set_split`` without ``freeze``)
+        used to die with a bare ``AttributeError: '_feature'`` here; an
+        empty tree has nothing to predict with, so that stays an error —
+        but an actionable one.
+        """
+        if not hasattr(self, "_feature"):
+            if not self.feature:
+                raise RuntimeError(
+                    "cannot predict with an empty Tree: add at least one "
+                    "leaf (add_node) or grow the tree before predicting"
+                )
+            self.freeze()
+
     # -- inference ------------------------------------------------------
     @property
     def n_nodes(self) -> int:
@@ -91,6 +107,7 @@ class Tree:
 
     def predict_leaf(self, codes: np.ndarray) -> np.ndarray:
         """Return the leaf node id reached by each row of ``codes``."""
+        self._ensure_frozen()
         node = np.zeros(codes.shape[0], dtype=np.int32)
         while True:
             act = np.nonzero(self._feature[node] >= 0)[0]
@@ -102,12 +119,16 @@ class Tree:
 
     def predict(self, codes: np.ndarray) -> np.ndarray:
         """Return leaf values, shape (n,) if scalar payload else (n, K)."""
+        # freeze before the subscript: `self._value[...]` resolves the
+        # attribute *before* predict_leaf gets a chance to freeze
+        self._ensure_frozen()
         out = self._value[self.predict_leaf(codes)]
         return out[:, 0] if out.shape[1] == 1 else out
 
     def predict_at(self, leaves: np.ndarray) -> np.ndarray:
         """Leaf values for known leaf ids (``grow(out_leaf=...)``) —
         skips the tree walk of :meth:`predict`."""
+        self._ensure_frozen()
         out = self._value[leaves]
         return out[:, 0] if out.shape[1] == 1 else out
 
@@ -118,6 +139,77 @@ class Tree:
             if f >= 0:
                 counts[f] += 1
         return counts
+
+
+# ----------------------------------------------------------------------
+class FlatEnsemble:
+    """Packed node arrays of many frozen trees, for batched traversal.
+
+    All trees' ``feature``/``threshold``/``left``/``right``/``value``
+    buffers are concatenated into one contiguous int64/float64 array
+    each, with child ids rewritten to be **absolute** indices into the
+    pack (leaves keep ``feature < 0``), so the traversal kernels
+    (:mod:`repro.native` ``ensemble_predict``) descend every tree for
+    every row without per-tree Python dispatch or re-basing.
+
+    ``tree_class[t]`` routes tree ``t``'s leaf values: ``k >= 0`` adds
+    ``value[leaf, 0]`` into output column ``k`` (boosting trees, one per
+    loss score), ``-1`` adds the whole ``value[leaf]`` row (forest
+    class-probability trees).  The accumulate itself — one ``lr *
+    value`` product + one add per touched cell, trees in order — is
+    bitwise identical to the historical per-tree
+    ``out += lr * tree.predict(codes)`` loop.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value",
+                 "tree_offset", "tree_class", "n_trees")
+
+    def __init__(self, trees: list, tree_class=None) -> None:
+        if not trees:
+            raise ValueError("FlatEnsemble needs at least one tree")
+        offs = np.zeros(len(trees) + 1, dtype=np.int64)
+        for i, t in enumerate(trees):
+            t._ensure_frozen()
+            offs[i + 1] = offs[i] + t.n_nodes
+        feature, threshold, left, right = [], [], [], []
+        for off, t in zip(offs, trees):
+            f = t._feature.astype(np.int64)
+            lc = t._left.astype(np.int64)
+            rc = t._right.astype(np.int64)
+            internal = f >= 0
+            lc[internal] += off
+            rc[internal] += off
+            feature.append(f)
+            threshold.append(t._threshold)
+            left.append(lc)
+            right.append(rc)
+        self.feature = np.concatenate(feature)
+        self.threshold = np.ascontiguousarray(
+            np.concatenate(threshold), dtype=np.int64
+        )
+        self.left = np.concatenate(left)
+        self.right = np.concatenate(right)
+        self.value = np.ascontiguousarray(
+            np.concatenate([t._value for t in trees], axis=0)
+        )
+        self.tree_offset = offs
+        self.tree_class = (
+            np.zeros(len(trees), dtype=np.int64)
+            if tree_class is None
+            else np.ascontiguousarray(tree_class, dtype=np.int64)
+        )
+        self.n_trees = len(trees)
+
+    def predict_into(self, codes: np.ndarray, lr: float, out: np.ndarray,
+                     kernels=None) -> np.ndarray:
+        """Accumulate ``lr *`` (every tree's prediction) into the
+        C-contiguous float64 ``(n, K)`` matrix ``out``, in place."""
+        if kernels is None:
+            kernels = active_kernels()
+        return kernels.ensemble_predict(
+            codes, self.feature, self.threshold, self.left, self.right,
+            self.value, self.tree_offset, self.tree_class, float(lr), out,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -449,6 +541,7 @@ class ClassTreeGrower:
         max_features: float = 1.0,
         extra_random: bool = False,
         rng: np.random.Generator | None = None,
+        kernels=None,
     ) -> None:
         if criterion not in ("gini", "entropy"):
             raise ValueError(f"criterion must be gini|entropy, got {criterion!r}")
@@ -462,6 +555,7 @@ class ClassTreeGrower:
         self.max_features = float(max_features)
         self.extra_random = bool(extra_random)
         self.rng = rng or np.random.default_rng(0)
+        self.kernels = kernels if kernels is not None else active_kernels()
 
     def _impurity(self, counts: np.ndarray) -> np.ndarray:
         """Impurity of count vectors along the last axis, times total count.
@@ -494,21 +588,18 @@ class ClassTreeGrower:
         w_idx = None if w is None else w[idx]
         total = np.bincount(yk, weights=w_idx, minlength=K).astype(np.float64)
         parent = float(self._impurity(total))
-        # joint (class, feature, bin) histogram in ONE bincount — same
-        # interpreter-overhead argument as GradTreeGrower._best_split
+        # joint (class, feature, bin) histogram on the grower's bound
+        # kernels — the numpy reference is the old ONE-flat-bincount
+        # body moved verbatim into repro.native.fallback, and the C
+        # kernel is its bitwise-identical row-major loop
         F = features.size
         nbmax = int(n_bins[features].max())
         if nbmax < 2:
             return 0.0, -1, -1
-        sub = codes[idx] if all_features else codes[idx[:, None], features]
-        flat = (
-            yk[:, None] * (F * nbmax)
-            + sub
-            + np.arange(F, dtype=np.int64) * nbmax
-        ).ravel()
-        flat_w = None if w_idx is None else np.repeat(w_idx, F)
-        joint = np.bincount(flat, weights=flat_w,
-                            minlength=K * F * nbmax).astype(np.float64)
+        joint = self.kernels.build_class_hists(
+            codes, yk, idx, w_idx, features, K, nbmax,
+            all_features=all_features,
+        )
         joint = joint.reshape(K * F, nbmax)
         CL = joint.cumsum(axis=1).reshape(K, F, nbmax)[:, :, :-1]  # (K, F, T)
         CL = np.moveaxis(CL, 0, -1)  # (F, T, K)

@@ -370,6 +370,265 @@ cleanup:
 }
 
 /* ------------------------------------------------------------------ */
+/* joint (class, feature, bin) count histograms of one node.
+ *
+ * args: codes (y*), itemsize (i), d (n), idx int64 (y*), yk int64 (y*),
+ *       w float64 (y*, ignored when has_w == 0), has_w (i),
+ *       features int64 (y*), nbmax (n),
+ *       out float64[K, F, nbmax] zeroed (w*)
+ *
+ * Equivalent numpy: one flat np.bincount over yk*(F*nbmax) + j*nbmax +
+ * code keys -- each bucket accumulates its rows in idx order, exactly
+ * this row-major loop.  Unweighted accumulation adds 1.0 per row,
+ * matching bincount's integer counts cast to float64 (every int count
+ * below 2^53 is exact).
+ */
+static PyObject *
+py_build_class_hists(PyObject *self, PyObject *args)
+{
+    Py_buffer codes, idx, yk, w, feats, out;
+    int itemsize, has_w;
+    Py_ssize_t d, nbmax;
+
+    if (!PyArg_ParseTuple(args, "y*iny*y*y*iy*nw*",
+                          &codes, &itemsize, &d, &idx, &yk, &w, &has_w,
+                          &feats, &nbmax, &out))
+        return NULL;
+
+    {
+        const int64_t *idxp = (const int64_t *)idx.buf;
+        const int64_t *ykp = (const int64_t *)yk.buf;
+        const double *wp = (const double *)w.buf;
+        const int64_t *fp = (const int64_t *)feats.buf;
+        double *op = (double *)out.buf;
+        const Py_ssize_t ni = idx.len / (Py_ssize_t)sizeof(int64_t);
+        const Py_ssize_t F = feats.len / (Py_ssize_t)sizeof(int64_t);
+        Py_ssize_t r, j;
+
+        if (itemsize == 1) {
+            const uint8_t *cp = (const uint8_t *)codes.buf;
+            for (r = 0; r < ni; r++) {
+                const uint8_t *row = cp + (Py_ssize_t)idxp[r] * d;
+                double *base = op + (Py_ssize_t)ykp[r] * F * nbmax;
+                const double wv = has_w ? wp[r] : 1.0;
+                for (j = 0; j < F; j++)
+                    base[j * nbmax + (Py_ssize_t)row[fp[j]]] += wv;
+            }
+        } else {
+            const uint16_t *cp = (const uint16_t *)codes.buf;
+            for (r = 0; r < ni; r++) {
+                const uint16_t *row = cp + (Py_ssize_t)idxp[r] * d;
+                double *base = op + (Py_ssize_t)ykp[r] * F * nbmax;
+                const double wv = has_w ? wp[r] : 1.0;
+                for (j = 0; j < F; j++)
+                    base[j * nbmax + (Py_ssize_t)row[fp[j]]] += wv;
+            }
+        }
+    }
+
+    PyBuffer_Release(&codes);
+    PyBuffer_Release(&idx);
+    PyBuffer_Release(&yk);
+    PyBuffer_Release(&w);
+    PyBuffer_Release(&feats);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* batched binned-code descent over a packed tree ensemble, accumulated
+ * into the caller's score matrix in place.
+ *
+ * args: codes (y*), itemsize (i), d (n), feature int64 (y*),
+ *       threshold int64 (y*), left int64 (y*), right int64 (y*),
+ *       value float64[total_nodes, V] (y*), V (n),
+ *       tree_offset int64[n_trees + 1] (y*), tree_class int64 (y*),
+ *       lr (d), out float64[n, K] (w*), K (n)
+ *
+ * Node arrays are the FlatEnsemble pack: child ids absolute, leaves
+ * marked feature < 0, tree_offset[t] the root of tree t.  Per row the
+ * trees run in order and each contributes one lr*value product + one
+ * add per touched cell -- the exact per-cell operation chain of the
+ * engines' historical `scores += lr * tree.predict(codes)` loop (numpy
+ * adds tree-by-tree too, so per cell the order and the two roundings
+ * match).  tree_class k >= 0 touches column k with value[leaf, 0];
+ * -1 adds the whole V-row (forest-probability trees).  Descent is pure
+ * integer compare (code <= threshold goes left), so leaf choice is
+ * exact.
+ */
+static PyObject *
+py_ensemble_predict(PyObject *self, PyObject *args)
+{
+    Py_buffer codes, feat, thr, left, right, value, toff, tcls, out;
+    int itemsize;
+    Py_ssize_t d, V, K;
+    double lr;
+
+    if (!PyArg_ParseTuple(args, "y*iny*y*y*y*y*ny*y*dw*n",
+                          &codes, &itemsize, &d, &feat, &thr, &left, &right,
+                          &value, &V, &toff, &tcls, &lr, &out, &K))
+        return NULL;
+
+    {
+        const int64_t *fe = (const int64_t *)feat.buf;
+        const int64_t *th = (const int64_t *)thr.buf;
+        const int64_t *lf = (const int64_t *)left.buf;
+        const int64_t *rt = (const int64_t *)right.buf;
+        const double *val = (const double *)value.buf;
+        const int64_t *off = (const int64_t *)toff.buf;
+        const int64_t *cls = (const int64_t *)tcls.buf;
+        double *op = (double *)out.buf;
+        const Py_ssize_t ntrees = tcls.len / (Py_ssize_t)sizeof(int64_t);
+        const Py_ssize_t n = (K > 0)
+            ? out.len / ((Py_ssize_t)sizeof(double) * K) : 0;
+        Py_ssize_t r, t, c;
+
+        if (itemsize == 1) {
+            const uint8_t *cp = (const uint8_t *)codes.buf;
+            for (r = 0; r < n; r++) {
+                const uint8_t *row = cp + r * d;
+                double *orow = op + r * K;
+                for (t = 0; t < ntrees; t++) {
+                    int64_t node = off[t];
+                    while (fe[node] >= 0)
+                        node = ((int64_t)row[fe[node]] <= th[node])
+                            ? lf[node] : rt[node];
+                    {
+                        const double *v = val + (Py_ssize_t)node * V;
+                        const int64_t k = cls[t];
+                        if (k < 0)
+                            for (c = 0; c < V; c++)
+                                orow[c] += lr * v[c];
+                        else
+                            orow[k] += lr * v[0];
+                    }
+                }
+            }
+        } else {
+            const uint16_t *cp = (const uint16_t *)codes.buf;
+            for (r = 0; r < n; r++) {
+                const uint16_t *row = cp + r * d;
+                double *orow = op + r * K;
+                for (t = 0; t < ntrees; t++) {
+                    int64_t node = off[t];
+                    while (fe[node] >= 0)
+                        node = ((int64_t)row[fe[node]] <= th[node])
+                            ? lf[node] : rt[node];
+                    {
+                        const double *v = val + (Py_ssize_t)node * V;
+                        const int64_t k = cls[t];
+                        if (k < 0)
+                            for (c = 0; c < V; c++)
+                                orow[c] += lr * v[c];
+                        else
+                            orow[k] += lr * v[0];
+                    }
+                }
+            }
+        }
+    }
+
+    PyBuffer_Release(&codes);
+    PyBuffer_Release(&feat);
+    PyBuffer_Release(&thr);
+    PyBuffer_Release(&left);
+    PyBuffer_Release(&right);
+    PyBuffer_Release(&value);
+    PyBuffer_Release(&toff);
+    PyBuffer_Release(&tcls);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* oblivious-table lookup over a packed symmetric-tree ensemble:
+ * per-level bit pack of the leaf index + leaf-table gather, accumulated
+ * into the caller's score matrix in place.
+ *
+ * args: codes (y*), itemsize (i), d (n), features int64 (y*),
+ *       thresholds int64 (y*), level_offset int64[n_trees + 1] (y*),
+ *       leaf_values float64 flat (y*), leaf_offset int64[n_trees + 1]
+ *       (y*), tree_class int64 (y*), lr (d), out float64[n, K] (w*),
+ *       K (n)
+ *
+ * FlatOblivious pack: tree t's per-depth splits are levels
+ * level_offset[t]..level_offset[t+1] and its 2^depth leaf table starts
+ * at leaf_offset[t].  Leaf index is the exact integer bit pack of
+ * ObliviousTree.leaf_index ((code > threshold) << lvl); the accumulate
+ * is one lr*leaf product + one add per (row, tree), tree order -- the
+ * engines' historical per-cell chain.
+ */
+static PyObject *
+py_oblivious_predict(PyObject *self, PyObject *args)
+{
+    Py_buffer codes, feat, thr, loff, leaf, lfoff, tcls, out;
+    int itemsize;
+    Py_ssize_t d, K;
+    double lr;
+
+    if (!PyArg_ParseTuple(args, "y*iny*y*y*y*y*y*dw*n",
+                          &codes, &itemsize, &d, &feat, &thr, &loff, &leaf,
+                          &lfoff, &tcls, &lr, &out, &K))
+        return NULL;
+
+    {
+        const int64_t *fe = (const int64_t *)feat.buf;
+        const int64_t *th = (const int64_t *)thr.buf;
+        const int64_t *lo = (const int64_t *)loff.buf;
+        const double *lv = (const double *)leaf.buf;
+        const int64_t *fo = (const int64_t *)lfoff.buf;
+        const int64_t *cls = (const int64_t *)tcls.buf;
+        double *op = (double *)out.buf;
+        const Py_ssize_t ntrees = tcls.len / (Py_ssize_t)sizeof(int64_t);
+        const Py_ssize_t n = (K > 0)
+            ? out.len / ((Py_ssize_t)sizeof(double) * K) : 0;
+        Py_ssize_t r, t, l;
+
+        if (itemsize == 1) {
+            const uint8_t *cp = (const uint8_t *)codes.buf;
+            for (r = 0; r < n; r++) {
+                const uint8_t *row = cp + r * d;
+                double *orow = op + r * K;
+                for (t = 0; t < ntrees; t++) {
+                    int64_t idx = 0;
+                    const Py_ssize_t l0 = (Py_ssize_t)lo[t];
+                    const Py_ssize_t l1 = (Py_ssize_t)lo[t + 1];
+                    for (l = l0; l < l1; l++)
+                        idx |= (int64_t)((int64_t)row[fe[l]] > th[l])
+                            << (l - l0);
+                    orow[cls[t]] += lr * lv[(Py_ssize_t)fo[t] + idx];
+                }
+            }
+        } else {
+            const uint16_t *cp = (const uint16_t *)codes.buf;
+            for (r = 0; r < n; r++) {
+                const uint16_t *row = cp + r * d;
+                double *orow = op + r * K;
+                for (t = 0; t < ntrees; t++) {
+                    int64_t idx = 0;
+                    const Py_ssize_t l0 = (Py_ssize_t)lo[t];
+                    const Py_ssize_t l1 = (Py_ssize_t)lo[t + 1];
+                    for (l = l0; l < l1; l++)
+                        idx |= (int64_t)((int64_t)row[fe[l]] > th[l])
+                            << (l - l0);
+                    orow[cls[t]] += lr * lv[(Py_ssize_t)fo[t] + idx];
+                }
+            }
+        }
+    }
+
+    PyBuffer_Release(&codes);
+    PyBuffer_Release(&feat);
+    PyBuffer_Release(&thr);
+    PyBuffer_Release(&loff);
+    PyBuffer_Release(&leaf);
+    PyBuffer_Release(&lfoff);
+    PyBuffer_Release(&tcls);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
 static PyMethodDef kernel_methods[] = {
     {"build_hists", py_build_hists, METH_VARARGS,
      "Accumulate (grad, hess[, count]) node histograms in row order."},
@@ -377,6 +636,12 @@ static PyMethodDef kernel_methods[] = {
      "Best (gain, feature, threshold) over cumulative histograms."},
     {"oblivious_level", py_oblivious_level, METH_VARARGS,
      "Score one whole oblivious-tree level."},
+    {"build_class_hists", py_build_class_hists, METH_VARARGS,
+     "Accumulate joint (class, feature, bin) node histograms."},
+    {"ensemble_predict", py_ensemble_predict, METH_VARARGS,
+     "Batched binned-code descent over a packed tree ensemble."},
+    {"oblivious_predict", py_oblivious_predict, METH_VARARGS,
+     "Oblivious leaf-table lookup over a packed symmetric ensemble."},
     {NULL, NULL, 0, NULL},
 };
 

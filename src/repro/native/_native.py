@@ -1,9 +1,10 @@
 """Thin Python wrappers giving the C extension the fallback's API.
 
 :class:`NativeKernels` exposes exactly the surface of
-:mod:`repro.native.fallback` — ``build_hists``, ``best_split_scan``,
-``ObliviousLevelScorer`` — so growers hold one "kernels" object and
-never branch per node.  The wrappers only normalise dtypes/contiguity
+:mod:`repro.native.fallback` — ``build_hists``, ``build_class_hists``,
+``best_split_scan``, ``ObliviousLevelScorer`` and the traversal pair
+``ensemble_predict``/``oblivious_predict`` — so growers and engines
+hold one "kernels" object and never branch per node.  The wrappers only normalise dtypes/contiguity
 (no-ops on the growers' own arrays) and allocate outputs; all arithmetic
 lives in ``_kernels.c`` and is bitwise-equal to the fallback.
 """
@@ -113,6 +114,54 @@ class NativeKernels:
             min_child_weight, reg_alpha, reg_lambda,
             int(min_samples_leaf), int(n_idx),
         )
+
+    def build_class_hists(self, codes, yk, idx, w, features, n_classes,
+                          nbmax, all_features=False):
+        if not (_c_codes(codes) and codes.flags.c_contiguous):
+            return fallback.build_class_hists(
+                codes, yk, idx, w, features, n_classes, nbmax,
+                all_features=all_features,
+            )
+        features = _i64(features)
+        out = np.zeros((n_classes, features.size, nbmax))
+        self._c.build_class_hists(
+            codes, codes.dtype.itemsize, codes.shape[1], _i64(idx),
+            _i64(yk), b"" if w is None else _f64(w),
+            0 if w is None else 1, features, nbmax, out,
+        )
+        return out
+
+    def ensemble_predict(self, codes, feature, threshold, left, right,
+                         value, tree_offset, tree_class, lr, out):
+        if not (_c_codes(codes) and codes.flags.c_contiguous
+                and out.flags.c_contiguous):
+            return fallback.ensemble_predict(
+                codes, feature, threshold, left, right, value,
+                tree_offset, tree_class, lr, out,
+            )
+        self._c.ensemble_predict(
+            codes, codes.dtype.itemsize, codes.shape[1], _i64(feature),
+            _i64(threshold), _i64(left), _i64(right), _f64(value),
+            value.shape[1], _i64(tree_offset), _i64(tree_class),
+            float(lr), out, out.shape[1],
+        )
+        return out
+
+    def oblivious_predict(self, codes, features, thresholds, level_offset,
+                          leaf_values, leaf_offset, tree_class, lr, out):
+        if not (_c_codes(codes) and codes.flags.c_contiguous
+                and out.flags.c_contiguous):
+            return fallback.oblivious_predict(
+                codes, features, thresholds, level_offset, leaf_values,
+                leaf_offset, tree_class, lr, out,
+            )
+        self._c.oblivious_predict(
+            codes, codes.dtype.itemsize, codes.shape[1], _i64(features),
+            _i64(thresholds), _i64(level_offset), _f64(leaf_values),
+            _i64(leaf_offset), _i64(tree_class), float(lr), out,
+            out.shape[1],
+        )
+        return out
 
     def ObliviousLevelScorer(self, codes, cand_features, n_bins, grad,
                              hess, min_child_weight, reg_lambda):

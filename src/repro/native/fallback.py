@@ -27,7 +27,10 @@ import numpy as np
 __all__ = [
     "ObliviousLevelScorer",
     "best_split_scan",
+    "build_class_hists",
     "build_hists",
+    "ensemble_predict",
+    "oblivious_predict",
     "soft_threshold",
 ]
 
@@ -97,6 +100,103 @@ def build_hists(codes, g, h, idx, features, n_bins, nbmax, need_cnt,
         if need_cnt:
             hist[2, j, : n_bins[f]] = np.bincount(c, minlength=n_bins[f])
     return hist
+
+
+def build_class_hists(codes, yk, idx, w, features, n_classes, nbmax,
+                      all_features=False):
+    """Joint ``(class, feature, bin)`` count histograms of one node.
+
+    The classification-tree analogue of :func:`build_hists`: ``yk`` is
+    the node's class labels already gathered to ``idx`` order (int64,
+    values in ``[0, n_classes)``), ``w`` is the matching per-row weight
+    gather or ``None`` for unit weights.  Returns float64
+    ``(n_classes, F, nbmax)``.
+
+    This is the ``ClassTreeGrower._best_split`` joint-bincount moved
+    verbatim: one flat bincount over ``class*(F*nbmax) + j*nbmax +
+    code`` keys, so every bucket accumulates its rows in ``idx`` order
+    — the same order the C kernel's plain row-major loop produces.
+    """
+    F = features.size
+    if idx.size == 0:
+        # same float64-zeros contract as build_hists on empty nodes
+        return np.zeros((n_classes, F, nbmax))
+    sub = codes[idx] if all_features else codes[idx[:, None], features]
+    flat = (
+        yk[:, None] * (F * nbmax)
+        + sub
+        + np.arange(F, dtype=np.int64) * nbmax
+    ).ravel()
+    flat_w = None if w is None else (np.repeat(w, F) if F > 1 else w)
+    joint = np.bincount(
+        flat, weights=flat_w, minlength=n_classes * F * nbmax
+    ).astype(np.float64)
+    return joint.reshape(n_classes, F, nbmax)
+
+
+def ensemble_predict(codes, feature, threshold, left, right, value,
+                     tree_offset, tree_class, lr, out):
+    """Accumulate a packed ensemble's predictions into ``out`` in place.
+
+    The node arrays are the concatenated per-tree buffers built by
+    :class:`~repro.learners.tree.FlatEnsemble`: int64
+    ``feature``/``threshold``/``left``/``right`` (child ids already
+    absolute, leaves marked ``feature < 0``) and float64 ``value`` of
+    shape ``(total_nodes, V)``.  ``tree_offset[t]`` is tree ``t``'s
+    root node; ``tree_class[t] = k >= 0`` adds ``lr * value[leaf, 0]``
+    into column ``k`` of the C-contiguous float64 ``out``; ``-1`` adds
+    ``lr * value[leaf]`` across the whole row (forest-probability
+    trees).
+
+    Bitwise contract: per output cell, additions arrive in tree order
+    and each is a single ``lr * leaf_value`` product followed by one
+    add — exactly the ``scores += lr * tree.predict(codes)`` chain the
+    engines used to run tree by tree.  Navigation is pure integer
+    compare (``code <= threshold`` goes left), so leaf choice is exact.
+    """
+    n = codes.shape[0]
+    for t in range(tree_offset.size - 1):
+        node = np.full(n, tree_offset[t], dtype=np.int64)
+        while True:
+            act = np.nonzero(feature[node] >= 0)[0]
+            if act.size == 0:
+                break
+            cur = node[act]
+            goleft = codes[act, feature[cur]] <= threshold[cur]
+            node[act] = np.where(goleft, left[cur], right[cur])
+        vals = value[node]
+        k = int(tree_class[t])
+        if k < 0:
+            out += lr * vals
+        else:
+            out[:, k] += lr * vals[:, 0]
+    return out
+
+
+def oblivious_predict(codes, features, thresholds, level_offset,
+                      leaf_values, leaf_offset, tree_class, lr, out):
+    """Accumulate a packed oblivious ensemble's predictions into ``out``.
+
+    Per-tree layout (:class:`~repro.learners.catboost_like.
+    FlatOblivious`): levels ``level_offset[t]:level_offset[t+1]`` of the
+    int64 ``features``/``thresholds`` vectors are tree ``t``'s shared
+    per-depth splits, and its ``2**depth`` leaf table starts at
+    ``leaf_offset[t]`` in the flat float64 ``leaf_values``.  Leaf index
+    is the usual bit pack — level ``lvl`` contributes ``(code >
+    threshold) << lvl`` — then ``lr * leaf`` is added into column
+    ``tree_class[t]`` of ``out``, one tree at a time (the engines'
+    historical accumulation order).
+    """
+    for t in range(tree_class.size):
+        lo, hi = int(level_offset[t]), int(level_offset[t + 1])
+        idx = np.zeros(codes.shape[0], dtype=np.int64)
+        for lvl in range(hi - lo):
+            f = int(features[lo + lvl])
+            thr = thresholds[lo + lvl]
+            idx |= (codes[:, f] > thr).astype(np.int64) << lvl
+        vals = leaf_values[int(leaf_offset[t]) + idx]
+        out[:, int(tree_class[t])] += lr * vals
+    return out
 
 
 def best_split_scan(hists, nbf, n_idx, G, H, parent, min_child_weight,

@@ -32,6 +32,25 @@ ARTIFACT_FORMAT = "repro.pipeline"
 _ARTIFACT_VERSION = 1
 
 
+def _warm_model(model) -> None:
+    """Recursively pre-build packed inference arrays on a model tree.
+
+    Tree learners expose ``warm_inference()`` (build the flattened
+    ensembles their predict kernels traverse); stacked ensembles and
+    forecast wrappers are walked into so every constituent gets warmed.
+    Duck-typed: models without the hook are left alone.
+    """
+    warm = getattr(model, "warm_inference", None)
+    if callable(warm):
+        warm()
+    for sub in getattr(model, "base_models", None) or ():
+        _warm_model(sub)
+    for attr in ("meta_model", "base"):
+        sub = getattr(model, attr, None)
+        if sub is not None:
+            _warm_model(sub)
+
+
 class PipelineArtifact:
     """A deployable prediction pipeline: preprocessors + model + metadata.
 
@@ -135,7 +154,14 @@ class PipelineArtifact:
             preprocessors=[load_preprocessor(p) for p in obj["preprocessors"]],
             task=obj["task"],
             metadata=dict(obj.get("metadata", {})),
-        )
+        ).warm()
+
+    def warm(self) -> "PipelineArtifact":
+        """Pre-build the model's packed inference arrays (flattened tree
+        ensembles) so the first request doesn't pay the packing cost;
+        returns self.  Called automatically on deserialisation."""
+        _warm_model(self.model)
+        return self
 
     def save(self, path: str) -> None:
         """Write the artifact as a JSON file."""

@@ -42,7 +42,6 @@ class ServingStats:
         self.rows = 0
         self.errors = 0
         self._t_first: float | None = None
-        self._t_last: float | None = None
 
     def record_batch(self, n_rows: int) -> None:
         """Count one model invocation covering ``n_rows`` rows."""
@@ -60,16 +59,22 @@ class ServingStats:
             self._latencies.append(latency_s)
             if self._t_first is None:
                 self._t_first = now
-            self._t_last = now
 
     def snapshot(self) -> dict:
-        """Current counters + latency percentiles, JSON-safe."""
+        """Current counters + latency percentiles, JSON-safe.
+
+        Throughput is requests over the wall-clock span from the first
+        request to *now* (not to the last request: that span is zero
+        with a single request, which used to report an absurd
+        ``throughput_rps = 0.0`` until a second request arrived).
+        """
+        now = time.perf_counter()
         with self._lock:
             lat = np.asarray(self._latencies, dtype=np.float64)
             requests, batches, rows = self.requests, self.batches, self.rows
             errors = self.errors
             span = (
-                (self._t_last - self._t_first)
+                (now - self._t_first)
                 if self._t_first is not None else 0.0
             )
         out = {

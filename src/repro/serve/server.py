@@ -118,7 +118,8 @@ class ModelServer:
     # -- serving -------------------------------------------------------
     def predict(self, name: str, rows, proba: bool = False,
                 version: int | str = "latest",
-                horizon: int | None = None) -> dict:
+                horizon: int | None = None,
+                single: bool | None = None) -> dict:
         """Predict ``rows`` (one row or a batch) with a served model.
 
         Forecast models interpret ``rows`` as the raw recent history of
@@ -126,6 +127,13 @@ class ModelServer:
         the model's fitted horizon).  Histories are variable-length and
         one request yields a whole forecast, so they bypass the
         micro-batcher.
+
+        ``single`` says whether the client explicitly sent one feature
+        vector (the HTTP handler's ``'row'`` key): once coerced to an
+        array, an explicitly *empty batch* (``rows: []``) and a 1-D row
+        are otherwise indistinguishable — the empty batch answers
+        ``predictions: []`` instead of being misread as one
+        zero-feature row.
         """
         artifact, resolved = self._resolve(name, version)
         X = np.asarray(rows, dtype=np.float64)
@@ -166,8 +174,19 @@ class ModelServer:
                 f"model {name!r} is not a forecast model; 'horizon' does "
                 "not apply"
             )
-        single = X.ndim == 1 or (X.ndim == 2 and X.shape[0] == 1)
-        if single and self.batching:
+        if X.ndim >= 1 and X.shape[0] == 0 and not (single and X.ndim == 1):
+            # a well-formed empty batch: nothing to predict (an *empty
+            # single row* instead falls through to the feature check)
+            return {
+                "model": name,
+                "version": resolved,
+                "proba": bool(proba),
+                "batched": False,
+                "n": 0,
+                "predictions": [],
+            }
+        one_row = X.ndim == 1 or (X.ndim == 2 and X.shape[0] == 1)
+        if one_row and self.batching:
             row = X.reshape(-1)
             # reject malformed rows *before* they join a batch: inside
             # the batcher one bad row would fail the shared model call
@@ -297,6 +316,7 @@ class _Handler(BaseHTTPRequestHandler):
                 proba=bool(req.get("proba", False)),
                 version=req.get("version", "latest"),
                 horizon=None if horizon is None else int(horizon),
+                single="row" in req and "rows" not in req,
             )
         except RegistryError as exc:
             self._reply(404, {"error": str(exc)})

@@ -70,6 +70,38 @@ class TestCatBoostLike:
         ).fit(Xtr, ytr)
         assert len(m.engine_.trees_) < 500
 
+    def test_cap_exit_keeps_best_holdout_iteration(self, binary_split):
+        # PR 6 semantic change: hitting the iteration cap now truncates
+        # to the best holdout iteration (use_best_model), exactly like
+        # the early-stop exit always did.  With early stopping disabled
+        # (rounds >= cap) and an aggressive learning rate, the holdout
+        # optimum lands before the cap — the fitted ensemble must be the
+        # truncated prefix, not all n_estimators rounds.
+        Xtr, ytr, _, _ = binary_split
+        cap = 60
+        m = CatBoostLikeClassifier(
+            n_estimators=cap, early_stop_rounds=cap, learning_rate=0.9,
+            seed=0,
+        ).fit(Xtr, ytr)
+        n_kept = len(m.engine_.trees_)
+        assert 1 <= n_kept < cap
+
+        # and the kept prefix really is what predict uses: rebuilding
+        # the accumulation from trees_ matches raw_predict (binary
+        # logloss is single-score, so one tree per round)
+        eng = m.engine_
+        codes = eng.binner_.transform(Xtr[:16])
+        legacy = np.full(16, eng.base_score_[0])
+        for (tree,) in eng.trees_:
+            legacy += eng.learning_rate * tree.predict(codes)
+        assert np.array_equal(legacy, eng.raw_predict(Xtr[:16]))
+
+    def test_default_cap_matches_catboost(self):
+        # the paper fixes a large iteration cap and searches only
+        # early_stop_rounds / learning_rate; 300 was an artificially
+        # low stand-in
+        assert CatBoostLikeClassifier().n_estimators == 1000
+
     def test_time_limit(self, binary_split):
         Xtr, ytr, _, _ = binary_split
         m = CatBoostLikeClassifier(

@@ -1,0 +1,188 @@
+"""Flattened-ensemble predict == legacy per-tree loop, bitwise.
+
+PR 6 moved every tree learner's predict path onto packed node arrays
+(:class:`~repro.learners.tree.FlatEnsemble` /
+:class:`~repro.learners.catboost_like.FlatOblivious`) traversed by one
+kernel call.  The refactor's contract is *bitwise* equivalence with the
+historical tree-by-tree accumulation — these tests rebuild that legacy
+loop from the fitted trees and compare raw uint64 bit patterns, for
+every registered tree learner, under whichever kernel mode
+(``REPRO_NATIVE``) the suite runs in.
+
+model_io round-trips ride along: the flat pack is a derived cache keyed
+on ``trees_`` identity, so a save/load must predict bit-identically and
+a stale cache must never survive ``trees_`` rebinding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learners.boosting import (
+    LGBMLikeClassifier,
+    LGBMLikeRegressor,
+    XGBLikeClassifier,
+    XGBLikeRegressor,
+    XGBLimitDepthClassifier,
+    XGBLimitDepthRegressor,
+)
+from repro.learners.catboost_like import (
+    CatBoostLikeClassifier,
+    CatBoostLikeRegressor,
+)
+from repro.learners.forest import (
+    ExtraTreesClassifier,
+    ExtraTreesRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.learners.model_io import dump_model, load_model
+
+RNG = np.random.default_rng(23)
+N, D = 120, 5
+X = RNG.standard_normal((N, D))
+Y_BIN = (X[:, 0] - X[:, 2] + 0.4 * RNG.standard_normal(N) > 0).astype(int)
+Y_MULTI = RNG.integers(0, 3, size=N)
+Y_REG = X[:, 1] * 1.5 + np.sin(X[:, 3]) + 0.2 * RNG.standard_normal(N)
+X_TEST = RNG.standard_normal((64, D))
+
+GBDT_CLS = [LGBMLikeClassifier, XGBLikeClassifier, XGBLimitDepthClassifier]
+GBDT_REG = [LGBMLikeRegressor, XGBLikeRegressor, XGBLimitDepthRegressor]
+FOREST_CLS = [RandomForestClassifier, ExtraTreesClassifier]
+FOREST_REG = [RandomForestRegressor, ExtraTreesRegressor]
+
+
+def bits(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a, dtype=np.float64)).view(
+        np.uint64
+    )
+
+
+def assert_bitwise(a, b):
+    assert a.shape == b.shape
+    assert np.array_equal(bits(a), bits(b))
+
+
+# ----------------------------------------------------------------------
+class TestGBDTFlatVsLegacy:
+    @pytest.mark.parametrize("cls", GBDT_CLS, ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("multiclass", [False, True])
+    def test_classifier(self, cls, multiclass):
+        y = Y_MULTI if multiclass else Y_BIN
+        model = cls(tree_num=8, seed=1).fit(X, y)
+        eng = model.engine_
+        codes = eng.binner_.transform(X_TEST)
+        K = eng.loss.n_scores
+        if K > 1:
+            legacy = np.tile(eng.base_score_, (X_TEST.shape[0], 1))
+            for round_trees in eng.trees_:
+                for k, tree in enumerate(round_trees):
+                    legacy[:, k] += eng.learning_rate * tree.predict(codes)
+        else:
+            legacy = np.full(X_TEST.shape[0], eng.base_score_[0])
+            for (tree,) in eng.trees_:
+                legacy += eng.learning_rate * tree.predict(codes)
+        assert_bitwise(legacy, eng.raw_predict(X_TEST))
+
+    @pytest.mark.parametrize("cls", GBDT_REG, ids=lambda c: c.__name__)
+    def test_regressor(self, cls):
+        model = cls(tree_num=8, seed=1).fit(X, Y_REG)
+        eng = model.engine_
+        codes = eng.binner_.transform(X_TEST)
+        legacy = np.full(X_TEST.shape[0], eng.base_score_[0])
+        for (tree,) in eng.trees_:
+            legacy += eng.learning_rate * tree.predict(codes)
+        assert_bitwise(legacy, model.predict(X_TEST))
+
+
+class TestForestFlatVsLegacy:
+    @pytest.mark.parametrize("cls", FOREST_CLS, ids=lambda c: c.__name__)
+    def test_classifier_proba(self, cls):
+        model = cls(tree_num=7, seed=2).fit(X, Y_MULTI)
+        codes = model.binner_.transform(X_TEST)
+        acc = np.zeros((X_TEST.shape[0], model.n_classes_))
+        for tree in model.trees_:
+            acc += tree.predict(codes)
+        acc /= len(model.trees_)
+        assert_bitwise(acc, model.predict_proba(X_TEST))
+
+    @pytest.mark.parametrize("cls", FOREST_REG, ids=lambda c: c.__name__)
+    def test_regressor(self, cls):
+        model = cls(tree_num=7, seed=2).fit(X, Y_REG)
+        codes = model.binner_.transform(X_TEST)
+        acc = np.zeros(X_TEST.shape[0])
+        for tree in model.trees_:
+            acc += tree.predict(codes)
+        assert_bitwise(acc / len(model.trees_), model.predict(X_TEST))
+
+
+class TestCatBoostFlatVsLegacy:
+    def test_classifier(self):
+        model = CatBoostLikeClassifier(
+            n_estimators=10, early_stop_rounds=5, seed=3
+        ).fit(X, Y_MULTI)
+        eng = model.engine_
+        codes = eng.binner_.transform(X_TEST)
+        K = eng.loss.n_scores
+        legacy = np.tile(eng.base_score_, (X_TEST.shape[0], 1))
+        for round_trees in eng.trees_:
+            for k, tree in enumerate(round_trees):
+                legacy[:, k] += eng.learning_rate * tree.predict(codes)
+        assert K > 1
+        assert_bitwise(legacy, eng.raw_predict(X_TEST))
+
+    def test_regressor(self):
+        model = CatBoostLikeRegressor(
+            n_estimators=10, early_stop_rounds=5, seed=3
+        ).fit(X, Y_REG)
+        eng = model.engine_
+        codes = eng.binner_.transform(X_TEST)
+        legacy = np.full(X_TEST.shape[0], eng.base_score_[0])
+        for (tree,) in eng.trees_:
+            legacy += eng.learning_rate * tree.predict(codes)
+        assert_bitwise(legacy, model.predict(X_TEST))
+
+
+# ----------------------------------------------------------------------
+ALL_CLS = GBDT_CLS + FOREST_CLS + [CatBoostLikeClassifier]
+ALL_REG = GBDT_REG + FOREST_REG + [CatBoostLikeRegressor]
+
+
+def _small(cls, seed=5):
+    kw = {"seed": seed}
+    if cls in (CatBoostLikeClassifier, CatBoostLikeRegressor):
+        kw.update(n_estimators=6, early_stop_rounds=3)
+    else:
+        kw["tree_num"] = 5
+    return cls(**kw)
+
+
+class TestModelIORoundTrip:
+    """Save/load of the flattened form predicts bit-identically."""
+
+    @pytest.mark.parametrize("cls", ALL_CLS, ids=lambda c: c.__name__)
+    def test_classifier(self, cls):
+        model = _small(cls).fit(X, Y_BIN)
+        model.warm_inference()  # pack before dumping: must not leak state
+        loaded = load_model(dump_model(model))
+        assert_bitwise(model.predict_proba(X_TEST),
+                       loaded.predict_proba(X_TEST))
+        assert np.array_equal(model.predict(X_TEST), loaded.predict(X_TEST))
+
+    @pytest.mark.parametrize("cls", ALL_REG, ids=lambda c: c.__name__)
+    def test_regressor(self, cls):
+        model = _small(cls).fit(X, Y_REG)
+        model.warm_inference()
+        loaded = load_model(dump_model(model))
+        assert_bitwise(model.predict(X_TEST), loaded.predict(X_TEST))
+
+    def test_flat_cache_invalidated_on_trees_rebinding(self):
+        model = _small(RandomForestClassifier).fit(X, Y_BIN)
+        before = model.predict_proba(X_TEST)  # builds + caches the pack
+        model.trees_ = model.trees_[:2]  # e.g. model_io load, truncation
+        after = model.predict_proba(X_TEST)
+        acc = np.zeros_like(after)
+        codes = model.binner_.transform(X_TEST)
+        for tree in model.trees_:
+            acc += tree.predict(codes)
+        assert_bitwise(acc / 2, after)
+        assert not np.array_equal(bits(before), bits(after))

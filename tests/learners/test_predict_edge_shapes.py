@@ -1,0 +1,86 @@
+"""Predict-path audit: 0-row and 1-row inputs across every learner.
+
+A served model sees whatever batch shape the client POSTs — including a
+well-formed empty batch (``rows: []``) and the single-row case the
+micro-batcher peels off.  Every registered learner (defaults + extras)
+must return correctly *shaped* outputs for both: ``predict`` a length-n
+vector, ``predict_proba`` an ``(n, n_classes)`` matrix, with n = 0 or 1,
+and 1-row answers must agree with the same row inside a bigger batch.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.core.registry import all_learners
+
+RNG = np.random.default_rng(17)
+N, D = 48, 4
+X_CLS = RNG.standard_normal((N, D))
+Y_CLS = (X_CLS[:, 0] + 0.3 * RNG.standard_normal(N) > 0).astype(int)
+X_REG = RNG.standard_normal((N, D))
+Y_REG = X_REG[:, 1] * 2.0 + RNG.standard_normal(N)
+
+#: keep fits fast — filtered per constructor signature
+_SMALL = {
+    "n_estimators": 6,
+    "tree_num": 4,
+    "max_iter": 60,
+    "early_stop_rounds": 3,
+    "train_time_limit": 5.0,
+    "seed": 0,
+}
+
+
+def _make(cls):
+    sig = inspect.signature(cls.__init__)
+    return cls(**{k: v for k, v in _SMALL.items() if k in sig.parameters})
+
+
+def _specs(task):
+    return [
+        pytest.param(spec, id=f"{name}-{task}")
+        for name, spec in sorted(all_learners().items())
+        if spec.supports(task)
+    ]
+
+
+class TestClassifierEdgeShapes:
+    @pytest.mark.parametrize("spec", _specs("binary"))
+    def test_zero_and_one_row(self, spec):
+        model = _make(spec.classifier_cls).fit(X_CLS, Y_CLS)
+        K = len(np.unique(Y_CLS))
+
+        empty = np.empty((0, D))
+        pred0 = model.predict(empty)
+        assert pred0.shape == (0,)
+        proba0 = model.predict_proba(empty)
+        assert proba0.shape == (0, K)
+
+        one = X_CLS[:1]
+        pred1 = model.predict(one)
+        assert pred1.shape == (1,)
+        proba1 = model.predict_proba(one)
+        assert proba1.shape == (1, K)
+        assert np.isfinite(proba1).all()
+
+        # a row answered alone must match the same row inside a batch
+        # (tight tolerance, not bitwise: BLAS matmul in the linear
+        # learners may re-associate sums across batch shapes)
+        batch = model.predict(X_CLS[:8])
+        assert np.isclose(pred1[0], batch[0], rtol=1e-12, atol=0)
+
+    @pytest.mark.parametrize("spec", _specs("regression"))
+    def test_zero_and_one_row_regression(self, spec):
+        model = _make(spec.regressor_cls).fit(X_REG, Y_REG)
+
+        pred0 = model.predict(np.empty((0, D)))
+        assert pred0.shape == (0,)
+
+        pred1 = model.predict(X_REG[:1])
+        assert pred1.shape == (1,)
+        assert np.isfinite(pred1).all()
+
+        batch = model.predict(X_REG[:8])
+        assert np.isclose(pred1[0], batch[0], rtol=1e-12, atol=0)

@@ -40,6 +40,24 @@ class TestTreeStructure:
         assert t.n_leaves == 2
         assert t.n_nodes == 3
 
+    def test_unfrozen_tree_autofreezes_on_predict(self):
+        # hand-built trees used to die with a bare AttributeError when
+        # predict was called before freeze()
+        t = Tree()
+        root = t.add_node(0.0)
+        l, r = t.add_node(-1.0), t.add_node(1.0)
+        t.set_split(root, 0, 1, l, r)
+        codes = np.array([[0, 0], [3, 0]], dtype=np.uint8)
+        assert np.allclose(t.predict(codes), [-1.0, 1.0])
+        assert hasattr(t, "_feature")  # frozen as a side effect
+
+    def test_empty_tree_predict_is_actionable_error(self):
+        t = Tree()
+        with pytest.raises(RuntimeError, match="empty Tree"):
+            t.predict(np.zeros((2, 1), dtype=np.uint8))
+        with pytest.raises(RuntimeError, match="add_node"):
+            t.predict_leaf(np.zeros((2, 1), dtype=np.uint8))
+
 
 class TestGradTreeGrower:
     def test_perfect_split_on_step_function(self):

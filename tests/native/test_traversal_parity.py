@@ -1,0 +1,287 @@
+"""Differential fuzz for the compiled inference plane, bitwise.
+
+The three PR-6 kernels — ``build_class_hists`` (joint (class, feature,
+bin) histograms for the classification grower) and the two traversal
+kernels ``ensemble_predict`` / ``oblivious_predict`` — must return
+**bit-for-bit** the same float64 as :mod:`repro.native.fallback` across
+hypothesis-generated packed ensembles: random tree shapes, uint8/uint16
+codes, extreme leaf-value magnitudes (1e300 overflow regime included),
+zero-row batches, scalar-column and whole-row (``tree_class = -1``)
+accumulation, and non-zero ``out`` bases.
+
+The fallback itself is anchored separately against the *legacy*
+per-tree loops (``out += lr * tree.predict(codes)`` over
+``Tree``/``ObliviousTree``), so native == fallback == historical
+semantics forms one chain.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.native as native_pkg
+from repro.native import fallback, native_available
+from repro.learners.catboost_like import FlatOblivious, ObliviousTree
+from repro.learners.tree import FlatEnsemble, Tree
+
+pytestmark = [
+    pytest.mark.skipif(
+        not native_available(),
+        reason="native kernels unavailable (no C compiler on this box)",
+    ),
+    # 1e300-scale leaves overflow by design; the point is that the C
+    # kernel matches the numpy reference bit for bit anyway
+    pytest.mark.filterwarnings("ignore::RuntimeWarning"),
+]
+
+
+def native():
+    kernels = native_pkg._load_native()
+    assert kernels is not None and kernels.is_native
+    return kernels
+
+
+def assert_bits_equal(a: np.ndarray, b: np.ndarray) -> None:
+    """Bitwise array equality (NaN payloads included)."""
+    assert a.shape == b.shape and a.dtype == b.dtype == np.float64
+    assert np.array_equal(a.view(np.uint64), b.view(np.uint64))
+
+
+def random_tree(rng, d, n_bins, n_values, scale, max_splits=6) -> Tree:
+    """A random frozen binary tree grown by splitting random leaves."""
+    t = Tree(n_values=n_values)
+    t.add_node(rng.standard_normal(n_values) * scale)
+    for _ in range(int(rng.integers(0, max_splits + 1))):
+        leaves = [i for i, f in enumerate(t.feature) if f < 0]
+        nid = int(rng.choice(leaves))
+        lid = t.add_node(rng.standard_normal(n_values) * scale)
+        rid = t.add_node(rng.standard_normal(n_values) * scale)
+        t.set_split(nid, int(rng.integers(0, d)),
+                    int(rng.integers(0, n_bins)), lid, rid)
+    t.freeze()
+    return t
+
+
+# ----------------------------------------------------------------------
+@st.composite
+def class_hist_cases(draw):
+    """One classification node: codes, gathered labels/weights, features."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(1, 120))
+    d = draw(st.integers(1, 6))
+    dtype = draw(st.sampled_from([np.uint8, np.uint16]))
+    n_classes = draw(st.integers(2, 5))
+    scale = draw(st.sampled_from([1.0, 1e-3, 1e18, 1e300]))
+    subset = draw(st.sampled_from(["empty", "all", "some"]))
+    weighted = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    nbmax = int(rng.integers(2, 24))
+    codes = rng.integers(0, nbmax, size=(n, d)).astype(dtype)
+    if subset == "empty":
+        idx = np.empty(0, dtype=np.int64)
+    elif subset == "all":
+        idx = np.arange(n)
+    else:
+        idx = np.sort(rng.choice(n, rng.integers(1, n + 1), replace=False))
+    yk = rng.integers(0, n_classes, size=idx.size)
+    w = np.abs(rng.standard_normal(idx.size)) * scale if weighted else None
+    if draw(st.booleans()) or d == 1:
+        features = np.arange(d)
+        all_features = True
+    else:
+        # ClassTreeGrower passes its candidate features *unsorted*
+        features = rng.permutation(d)[: int(rng.integers(1, d + 1))]
+        all_features = False
+    return codes, yk, idx, w, features, n_classes, nbmax, all_features
+
+
+class TestClassHistsParity:
+    @given(case=class_hist_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_fuzz(self, case):
+        codes, yk, idx, w, features, K, nbmax, all_features = case
+        ref = fallback.build_class_hists(
+            codes, yk, idx, w, features, K, nbmax, all_features=all_features
+        )
+        got = native().build_class_hists(
+            codes, yk, idx, w, features, K, nbmax, all_features=all_features
+        )
+        assert_bits_equal(ref, got)
+
+    def test_empty_node_is_float64_zeros(self):
+        codes = np.zeros((4, 2), dtype=np.uint8)
+        idx = np.empty(0, dtype=np.int64)
+        yk = np.empty(0, dtype=np.int64)
+        for impl in (fallback, native()):
+            out = impl.build_class_hists(
+                codes, yk, idx, None, np.arange(2), 3, 8, all_features=True
+            )
+            assert out.dtype == np.float64 and out.shape == (3, 2, 8)
+            assert not out.any()
+
+
+# ----------------------------------------------------------------------
+@st.composite
+def ensemble_cases(draw):
+    """A packed random ensemble + codes + a non-trivial out base."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(0, 60))
+    d = draw(st.integers(1, 5))
+    dtype = draw(st.sampled_from([np.uint8, np.uint16]))
+    n_trees = draw(st.integers(1, 5))
+    vector = draw(st.booleans())  # forest-probability trees (tree_class -1)
+    scale = draw(st.sampled_from([1.0, 1e-3, 1e18, 1e300]))
+    lr = draw(st.sampled_from([1.0, 0.1, -0.5]))
+    rng = np.random.default_rng(seed)
+    n_bins = int(rng.integers(2, 16))
+    codes = rng.integers(0, n_bins, size=(n, d)).astype(dtype)
+    if vector:
+        K = int(rng.integers(2, 4))
+        trees = [random_tree(rng, d, n_bins, K, scale) for _ in range(n_trees)]
+        tree_class = [-1] * n_trees
+    else:
+        K = int(rng.integers(1, 4))
+        trees = [random_tree(rng, d, n_bins, 1, scale) for _ in range(n_trees)]
+        tree_class = [int(rng.integers(0, K)) for _ in range(n_trees)]
+    base = rng.standard_normal((n, K)) * scale
+    return trees, tree_class, codes, K, lr, base
+
+
+class TestEnsemblePredictParity:
+    @given(case=ensemble_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_fuzz(self, case):
+        trees, tree_class, codes, K, lr, base = case
+        flat = FlatEnsemble(trees, tree_class)
+        args = (flat.feature, flat.threshold, flat.left, flat.right,
+                flat.value, flat.tree_offset, flat.tree_class, lr)
+        ref = np.ascontiguousarray(base)
+        fallback.ensemble_predict(codes, *args, ref)
+        got = np.ascontiguousarray(base)
+        native().ensemble_predict(codes, *args, got)
+        assert_bits_equal(ref, got)
+
+    @given(case=ensemble_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_fallback_matches_legacy_per_tree_loop(self, case):
+        trees, tree_class, codes, K, lr, base = case
+        legacy = base.copy()
+        for t, k in zip(trees, tree_class):
+            pred = t.predict(codes)
+            if k < 0:
+                legacy += lr * pred
+            else:
+                legacy[:, k] += lr * pred
+        flat = FlatEnsemble(trees, tree_class)
+        got = np.ascontiguousarray(base)
+        flat.predict_into(codes, lr, got, kernels=fallback)
+        assert_bits_equal(legacy, got)
+
+    def test_empty_tree_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one tree"):
+            FlatEnsemble([])
+
+
+# ----------------------------------------------------------------------
+@st.composite
+def oblivious_cases(draw):
+    """Packed random oblivious trees (depth 0 — a single leaf — included)."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(0, 60))
+    d = draw(st.integers(1, 5))
+    dtype = draw(st.sampled_from([np.uint8, np.uint16]))
+    n_trees = draw(st.integers(1, 5))
+    K = draw(st.integers(1, 3))
+    scale = draw(st.sampled_from([1.0, 1e-3, 1e18, 1e300]))
+    lr = draw(st.sampled_from([1.0, 0.05, -0.5]))
+    rng = np.random.default_rng(seed)
+    n_bins = int(rng.integers(2, 16))
+    codes = rng.integers(0, n_bins, size=(n, d)).astype(dtype)
+    trees, tree_class = [], []
+    for _ in range(n_trees):
+        depth = int(rng.integers(0, 6))
+        trees.append(ObliviousTree(
+            features=rng.integers(0, d, size=depth),
+            thresholds=rng.integers(0, n_bins, size=depth),
+            leaf_values=rng.standard_normal(1 << depth) * scale,
+        ))
+        tree_class.append(int(rng.integers(0, K)))
+    base = rng.standard_normal((n, K)) * scale
+    return trees, tree_class, codes, K, lr, base
+
+
+class TestObliviousPredictParity:
+    @given(case=oblivious_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_fuzz(self, case):
+        trees, tree_class, codes, K, lr, base = case
+        flat = FlatOblivious(trees, tree_class)
+        args = (flat.features, flat.thresholds, flat.level_offset,
+                flat.leaf_values, flat.leaf_offset, flat.tree_class, lr)
+        ref = np.ascontiguousarray(base)
+        fallback.oblivious_predict(codes, *args, ref)
+        got = np.ascontiguousarray(base)
+        native().oblivious_predict(codes, *args, got)
+        assert_bits_equal(ref, got)
+
+    @given(case=oblivious_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_fallback_matches_legacy_per_tree_loop(self, case):
+        trees, tree_class, codes, K, lr, base = case
+        legacy = base.copy()
+        for t, k in zip(trees, tree_class):
+            legacy[:, k] += lr * t.predict(codes)
+        flat = FlatOblivious(trees, tree_class)
+        got = np.ascontiguousarray(base)
+        flat.predict_into(codes, lr, got, kernels=fallback)
+        assert_bits_equal(legacy, got)
+
+    def test_empty_tree_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one tree"):
+            FlatOblivious([])
+
+
+# ----------------------------------------------------------------------
+class TestWideDtypeRouting:
+    """uint32+ codes can't take the C path; the wrappers must fall back."""
+
+    def test_ensemble_predict_uint32(self):
+        rng = np.random.default_rng(3)
+        trees = [random_tree(rng, 3, 8, 1, 1.0) for _ in range(3)]
+        flat = FlatEnsemble(trees, [0, 1, 0])
+        codes8 = rng.integers(0, 8, size=(20, 3)).astype(np.uint8)
+        codes32 = codes8.astype(np.uint32)
+        ref = np.zeros((20, 2))
+        flat.predict_into(codes8, 0.1, ref, kernels=fallback)
+        got = np.zeros((20, 2))
+        flat.predict_into(codes32, 0.1, got, kernels=native())
+        assert_bits_equal(ref, got)
+
+    def test_oblivious_predict_uint32(self):
+        rng = np.random.default_rng(4)
+        trees = [ObliviousTree(rng.integers(0, 3, size=4),
+                               rng.integers(0, 8, size=4),
+                               rng.standard_normal(16)) for _ in range(2)]
+        flat = FlatOblivious(trees, [0, 0])
+        codes8 = rng.integers(0, 8, size=(20, 3)).astype(np.uint8)
+        ref = np.zeros((20, 1))
+        flat.predict_into(codes8, 0.5, ref, kernels=fallback)
+        got = np.zeros((20, 1))
+        flat.predict_into(codes8.astype(np.uint32), 0.5, got,
+                          kernels=native())
+        assert_bits_equal(ref, got)
+
+    def test_build_class_hists_uint32(self):
+        rng = np.random.default_rng(5)
+        codes8 = rng.integers(0, 8, size=(30, 4)).astype(np.uint8)
+        idx = np.arange(30)
+        yk = rng.integers(0, 3, size=30)
+        ref = fallback.build_class_hists(
+            codes8, yk, idx, None, np.arange(4), 3, 8, all_features=True
+        )
+        got = native().build_class_hists(
+            codes8.astype(np.uint32), yk, idx, None, np.arange(4), 3, 8,
+            all_features=True,
+        )
+        assert_bits_equal(ref, got)

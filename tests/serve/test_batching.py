@@ -128,6 +128,23 @@ class TestStats:
         assert snap["requests"] == 0
         assert "latency_ms_p50" not in snap
 
+    def test_throughput_honest_from_the_first_request(self):
+        # the span used to be first-to-last request, which is zero with
+        # one request: operators saw throughput_rps=0.0 until a second
+        # request arrived.  Span is now first-request-to-snapshot.
+        stats = ServingStats()
+        assert stats.snapshot()["throughput_rps"] == 0.0  # 0 requests
+
+        stats.record_request(0.002)
+        one = stats.snapshot()
+        assert one["requests"] == 1
+        assert one["throughput_rps"] > 0.0
+
+        stats.record_request(0.002)
+        two = stats.snapshot()
+        assert two["requests"] == 2
+        assert two["throughput_rps"] > 0.0
+
     def test_invalid_max_batch(self):
         with pytest.raises(ValueError, match="max_batch"):
             MicroBatcher(lambda X: X, max_batch=0)

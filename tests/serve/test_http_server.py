@@ -157,6 +157,24 @@ class TestErrors:
         finally:
             server.close()
 
+    def test_empty_batch_returns_empty_predictions(self, live_server):
+        # a well-formed `rows: []` is a valid (if pointless) request:
+        # answer it with an empty prediction list, not a 500
+        client, _ = live_server
+        out = client._request("/predict", {"model": "churn", "rows": []})
+        assert out["n"] == 0
+        assert out["predictions"] == []
+        assert out["batched"] is False
+
+    def test_empty_single_row_still_rejected(self, live_server):
+        # `row: []` is a malformed *row*, not an empty batch: the
+        # feature-count check must still reject it pre-batching
+        client, _ = live_server
+        with pytest.raises(ServeClientError,
+                           match="trained on 5 raw features") as exc:
+            client._request("/predict", {"model": "churn", "row": []})
+        assert exc.value.status == 400
+
     def test_missing_rows_is_400(self, live_server):
         client, _ = live_server
         with pytest.raises(ServeClientError, match="'row'") as exc:
