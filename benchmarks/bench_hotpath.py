@@ -171,6 +171,37 @@ def bench_dataset(name: str, max_iters: int, seed: int, repeats: int = 1,
     return out
 
 
+def traced_replay(name: str, max_iters: int, seed: int, repeats: int,
+                  mode: str, trace_path: str):
+    """Replay one dataset's workload untraced, then with span tracing on.
+
+    The first traced replay tees its spans to ``trace_path`` (JSONL);
+    later repeats keep tracing on but ring-only, so the min-wall
+    comparison measures the tracing overhead itself, not sink I/O.
+    Returns ``(wall_off, wall_on, errors_identical, n_trials)``.
+    """
+    from repro.obs.trace import clear_spans, set_trace_sink, set_tracing
+
+    data = load_dataset(name).shuffled(seed)
+    specs = collect_specs(data, max_iters, seed)
+    plane, native = MODES[mode]
+    wall_off, base_errors = replay(data, specs, plane, native)
+    for _ in range(repeats - 1):
+        wall_off = min(wall_off, replay(data, specs, plane, native)[0])
+    prev_on = set_tracing(True)
+    prev_sink = set_trace_sink(trace_path)
+    try:
+        wall_on, traced_errors = replay(data, specs, plane, native)
+        set_trace_sink(prev_sink)
+        for _ in range(repeats - 1):
+            wall_on = min(wall_on, replay(data, specs, plane, native)[0])
+    finally:
+        set_tracing(prev_on)
+        set_trace_sink(prev_sink)
+        clear_spans()
+    return wall_off, wall_on, traced_errors == base_errors, len(specs)
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="python benchmarks/bench_hotpath.py",
@@ -187,7 +218,17 @@ def main(argv=None) -> int:
     p.add_argument("--fail-below", type=float, default=None, metavar="X",
                    help="exit 1 if aggregate speedup < X (CI smoke uses "
                         "0.33: fail only on gross slowdowns)")
+    p.add_argument("--trace", default=None, metavar="JSONL",
+                   help="also run a traced replay of the default mode, "
+                        "writing its spans to this JSONL file and printing "
+                        "the per-phase attribution table")
+    p.add_argument("--trace-overhead", type=float, default=None, metavar="X",
+                   help="exit 1 if the traced replay is more than X "
+                        "(fraction, e.g. 0.05) slower than untraced "
+                        "(requires --trace)")
     args = p.parse_args(argv)
+    if args.trace_overhead is not None and args.trace is None:
+        p.error("--trace-overhead requires --trace")
 
     # compile the kernels before any timed window (build is cached; a
     # box without a compiler — or REPRO_NATIVE=0 — honestly benches the
@@ -232,6 +273,47 @@ def main(argv=None) -> int:
         )
     else:
         aggregate["speedup"] = aggregate["speedup_plane"]
+
+    trace_record = None
+    if args.trace:
+        from repro.obs.summarize import summarize_file
+
+        mode = "native" if "native" in modes else "plane"
+        Path(args.trace).write_text("")  # one run per trace file
+        t_off = t_on = 0.0
+        t_identical = True
+        t_trials = 0
+        for name in args.datasets:
+            off, on, same, n = traced_replay(
+                name, args.max_iters, args.seed, max(1, args.repeats),
+                mode, args.trace,
+            )
+            t_off += off
+            t_on += on
+            t_identical = t_identical and same
+            t_trials += n
+        overhead = (t_on / t_off - 1.0) if t_off else 0.0
+        att, table = summarize_file(args.trace)
+        print(f"\ntraced replay ({mode}, {t_trials} trials): tracing "
+              f"overhead {100 * overhead:+.1f}% (untraced {t_off:.3f}s -> "
+              f"traced {t_on:.3f}s), errors_identical={t_identical}, "
+              f"phase coverage {100 * att['coverage']:.1f}%")
+        print(table)
+        trace_record = {
+            "mode": mode,
+            "trace_file": str(args.trace),
+            "trials": t_trials,
+            "wall_untraced_s": round(t_off, 4),
+            "wall_traced_s": round(t_on, 4),
+            "overhead": round(overhead, 4),
+            "errors_identical": t_identical,
+            "coverage": round(att["coverage"], 4),
+            "phases": {
+                phase: round(row["seconds"], 4)
+                for phase, row in att["phases"].items()
+            },
+        }
+
     record = {
         "benchmark": "hotpath",
         "created_unix": int(time.time()),
@@ -260,6 +342,8 @@ def main(argv=None) -> int:
         "datasets": per_dataset,
         "aggregate": aggregate,
     }
+    if trace_record is not None:
+        record["trace"] = trace_record
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     rates = " -> ".join(
         f"{aggregate[f'trials_per_sec_{m}']:.2f}" for m in modes
@@ -275,6 +359,14 @@ def main(argv=None) -> int:
         return 1
     if args.fail_below is not None and aggregate["speedup"] < args.fail_below:
         print(f"FAIL: speedup {aggregate['speedup']} < {args.fail_below}")
+        return 1
+    if trace_record is not None and not trace_record["errors_identical"]:
+        print("FAIL: the traced replay changed trial errors")
+        return 1
+    if (args.trace_overhead is not None
+            and trace_record["overhead"] > args.trace_overhead):
+        print(f"FAIL: tracing overhead {trace_record['overhead']:.4f} > "
+              f"{args.trace_overhead}")
         return 1
     return 0
 

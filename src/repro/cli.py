@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--name", default=None,
                      help="model name used with --register "
                           "(default: the training CSV's stem)")
+    fit.add_argument("--trace", default=None, metavar="JSONL",
+                     help="enable span tracing for the search and write "
+                          "the spans to this JSONL file (summarize with "
+                          "`python -m repro trace summarize`)")
+    fit.add_argument("--verbose", action="store_true",
+                     help="print extra diagnostics (native-kernel status, "
+                          "failed trials)")
 
     pred = sub.add_parser("predict", help="predict with a fitted model file")
     pred.add_argument("model", help="model.json written by `fit`")
@@ -139,6 +146,23 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-horizon", type=int, default=1000,
                      help="cap on per-request forecast horizons "
                           "(default 1000)")
+    srv.add_argument("--slow-ms", type=float, default=500.0,
+                     help="log requests slower than this many milliseconds "
+                          "with their request id; 0 disables (default 500)")
+
+    tr = sub.add_parser(
+        "trace", help="work with span traces (see fit --trace)"
+    )
+    tr_sub = tr.add_subparsers(dest="trace_command", required=True)
+    tr_sum = tr_sub.add_parser(
+        "summarize",
+        help="per-phase time attribution table from a JSONL trace",
+    )
+    tr_sum.add_argument("trace_file", help="JSONL span trace (fit --trace, "
+                                           "bench_hotpath.py --trace)")
+    tr_sum.add_argument("--json", action="store_true",
+                        help="print the raw attribution dict as JSON "
+                             "instead of the table")
 
     reg = sub.add_parser("registry", help="inspect / manage a model registry")
     reg_sub = reg.add_subparsers(dest="reg_command", required=True)
@@ -193,18 +217,33 @@ def _cmd_fit(args) -> int:
         # silently training a shuffled regression on the series
         forecast_kw = dict(horizon=args.horizon,
                            seasonal_period=args.seasonal_period)
-    automl.fit(
-        data.X, data.y,
-        task=data.task,
-        time_budget=args.budget,
-        metric=args.metric,
-        estimator_list=args.estimators,
-        max_iters=args.max_iters,
-        n_workers=args.n_workers,
-        backend=args.backend,
-        log_file=args.log,
-        **forecast_kw,
-    )
+    trace_cleanup = None
+    if args.trace:
+        from .obs.trace import set_trace_sink, set_tracing
+
+        prev_sink = set_trace_sink(args.trace)
+        prev_on = set_tracing(True)
+
+        def trace_cleanup() -> None:
+            set_tracing(prev_on)
+            set_trace_sink(prev_sink)
+
+    try:
+        automl.fit(
+            data.X, data.y,
+            task=data.task,
+            time_budget=args.budget,
+            metric=args.metric,
+            estimator_list=args.estimators,
+            max_iters=args.max_iters,
+            n_workers=args.n_workers,
+            backend=args.backend,
+            log_file=args.log,
+            **forecast_kw,
+        )
+    finally:
+        if trace_cleanup is not None:
+            trace_cleanup()
     model = {
         "task": data.task,
         "label": args.label,
@@ -255,6 +294,21 @@ def _cmd_fit(args) -> int:
     print(f"trials       : {result.n_trials} "
           f"({result.cache_hits} cache hits, backend={result.backend} "
           f"x{result.n_workers})")
+    if args.verbose:
+        from .native import native_status
+
+        ns = native_status()
+        reason = f" ({ns['reason']})" if ns["reason"] else ""
+        print(f"native       : {ns['mode']}{reason}")
+        failures = result.failures
+        if failures:
+            print(f"failed trials: {len(failures)}")
+            for t in failures[:5]:
+                last_line = t.failure.strip().splitlines()[-1]
+                print(f"  iter {t.iteration} {t.learner}: {last_line}")
+    if args.trace:
+        print(f"trace        : {args.trace} "
+              "(python -m repro trace summarize)")
     print(f"model        : {args.out}")
     return 0
 
@@ -402,14 +456,27 @@ def _cmd_serve(args) -> int:
             registry=ModelRegistry(args.registry),
             max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
             batching=not args.no_batching, max_horizon=args.max_horizon,
+            slow_request_ms=args.slow_ms,
         )
     else:
         model_server = ModelServer(
             artifacts={args.name: PipelineArtifact.load(args.artifact)},
             max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
             batching=not args.no_batching, max_horizon=args.max_horizon,
+            slow_request_ms=args.slow_ms,
         )
     serve(model_server, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs.summarize import summarize_file
+
+    att, table = summarize_file(args.trace_file)
+    if args.json:
+        print(json.dumps(att, indent=1))
+    else:
+        print(table)
     return 0
 
 
@@ -475,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_datasets(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "registry":
             return _cmd_registry(args)
         if args.command == "portfolio":

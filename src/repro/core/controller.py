@@ -53,6 +53,9 @@ class TrialRecord:
     kind: str  # 'search' | 'sample_up'
     improved_global: bool
     eci_snapshot: dict[str, float] = field(default_factory=dict)
+    #: formatted traceback (or engine reason) when the trial failed;
+    #: ``None`` for successful trials
+    failure: str | None = None
 
 
 @dataclass
@@ -80,6 +83,12 @@ class SearchResult:
     def n_trials(self) -> int:
         """Number of trials recorded in the log."""
         return len(self.trials)
+
+    @property
+    def failures(self) -> list[TrialRecord]:
+        """The trials that failed (each carries its formatted traceback
+        in ``.failure``), in log order."""
+        return [t for t in self.trials if t.failure is not None]
 
 
 class LearnerSelectionMixin:
@@ -277,6 +286,7 @@ class SearchController(LearnerSelectionMixin):
                     kind=kind,
                     improved_global=improved,
                     eci_snapshot=self.proposer.eci_values(),
+                    failure=outcome.failure,
                 )
             )
             if self.stop_at_error is not None and best_error <= self.stop_at_error:

@@ -12,26 +12,39 @@ from __future__ import annotations
 import inspect
 import threading
 import time
+import traceback
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data.binned import BinnedDataset, plane_enabled, plane_for
 from ..data.dataset import Dataset, holdout_indices, kfold_indices
 from ..metrics.registry import Metric
+from ..obs.trace import trace_span
 
 __all__ = ["TrialOutcome", "evaluate_config"]
 
 
 @dataclass
 class TrialOutcome:
-    """What one trial produced."""
+    """What one trial produced.
+
+    ``failure`` carries the formatted traceback of a failed
+    (inf-error) trial so the search log can say *why*, not just that
+    it failed.  ``trace``/``metrics`` are observability buffers a
+    process worker ships back with the result (span records and a
+    metrics-registry diff); the engine merges and strips them before
+    the outcome reaches the controller or the trial cache.
+    """
 
     error: float
     cost: float
     model: object | None
+    failure: str | None = None
+    trace: list | None = field(default=None, repr=False)
+    metrics: dict | None = field(default=None, repr=False)
 
 
 def _compute_accepted_extras(cls: type) -> frozenset[str] | None:
@@ -138,18 +151,22 @@ def _predict_for_metric(model, X: np.ndarray, metric: Metric, task: str):
 
 
 def _fold_error(model, Xv, yv, metric: Metric, task: str, labels):
-    pred = _predict_for_metric(model, Xv, metric, task)
-    if task != "regression" and metric.needs_proba and labels is not None:
-        # align probability columns with the global label set: a fold's
-        # training split may be missing classes entirely
-        classes = getattr(model, "classes_", None)
-        if classes is not None and len(classes) != len(labels):
-            full = np.zeros((pred.shape[0], len(labels)))
-            lut = {c: i for i, c in enumerate(labels)}
-            for j, c in enumerate(classes):
-                full[:, lut[c]] = pred[:, j]
-            pred = full
-    return metric.error(yv, pred, labels=labels) if metric.needs_proba else metric.error(yv, pred)
+    with trace_span("trial.score"):
+        pred = _predict_for_metric(model, Xv, metric, task)
+        if task != "regression" and metric.needs_proba and labels is not None:
+            # align probability columns with the global label set: a fold's
+            # training split may be missing classes entirely
+            classes = getattr(model, "classes_", None)
+            if classes is not None and len(classes) != len(labels):
+                full = np.zeros((pred.shape[0], len(labels)))
+                lut = {c: i for i, c in enumerate(labels)}
+                for j, c in enumerate(classes):
+                    full[:, lut[c]] = pred[:, j]
+                pred = full
+    with trace_span("trial.metric"):
+        if metric.needs_proba:
+            return metric.error(yv, pred, labels=labels)
+        return metric.error(yv, pred)
 
 
 def _temporal_error(
@@ -194,10 +211,16 @@ def _temporal_error(
     for tr, va in splitter.split(data.n):
         s = max(int(sample_size), min_train)
         tr_used = tr[-min(s, tr.size):]
-        base = _make_estimator(estimator_cls, base_cfg, seed, per_fold_limit)
-        model = ForecastModel(base, featurizer, horizon=h).fit(y[tr_used])
-        pred = model.forecast(va.size)
-        errors.append(metric.error(y[va], pred, history=y[tr_used]))
+        with trace_span("trial.construct"):
+            base = _make_estimator(estimator_cls, base_cfg, seed,
+                                   per_fold_limit)
+            model = ForecastModel(base, featurizer, horizon=h)
+        with trace_span("trial.fit"):
+            model.fit(y[tr_used])
+        with trace_span("trial.score"):
+            pred = model.forecast(va.size)
+        with trace_span("trial.metric"):
+            errors.append(metric.error(y[va], pred, history=y[tr_used]))
     return float(np.mean(errors)), model
 
 
@@ -229,35 +252,46 @@ def _plane_error(
         and plane.exact
     )
     if resampling == "holdout":
-        tr, va = plane.holdout_split(holdout_ratio, seed)
+        with trace_span("trial.bin"):
+            tr, va = plane.holdout_split(holdout_ratio, seed)
         s = min(int(sample_size), tr.size)
         tr_used = tr[:s]
-        model = _make_estimator(estimator_cls, config, seed, train_time_limit)
-        if binnable:
-            Xtr = plane.view(tr_used, ("ho-tr", float(holdout_ratio),
-                                       int(seed), int(s)))
-            Xva = plane.view(va, ("ho-va", float(holdout_ratio), int(seed)))
-        else:
-            Xtr, Xva = data.X[tr_used], data.X[va]
-        model.fit(Xtr, data.y[tr_used])
+        with trace_span("trial.construct"):
+            model = _make_estimator(estimator_cls, config, seed,
+                                    train_time_limit)
+        with trace_span("trial.bin"):
+            if binnable:
+                Xtr = plane.view(tr_used, ("ho-tr", float(holdout_ratio),
+                                           int(seed), int(s)))
+                Xva = plane.view(va, ("ho-va", float(holdout_ratio),
+                                      int(seed)))
+            else:
+                Xtr, Xva = data.X[tr_used], data.X[va]
+        with trace_span("trial.fit"):
+            model.fit(Xtr, data.y[tr_used])
         error = _fold_error(model, Xva, data.y[va], metric, data.task, labels)
         return float(error), model
     n_sub = min(int(sample_size), data.n)
     k = min(n_splits, n_sub)
-    folds = plane.kfold_split(n_sub, k, seed)
+    with trace_span("trial.bin"):
+        folds = plane.kfold_split(n_sub, k, seed)
     per_fold_limit = (
         train_time_limit / k if train_time_limit is not None else None
     )
     errors = []
     model = None
     for i, (tr, va) in enumerate(folds):
-        model = _make_estimator(estimator_cls, config, seed, per_fold_limit)
-        if binnable:
-            Xtr = plane.view(tr, ("cv-tr", n_sub, k, int(seed), i))
-            Xva = plane.view(va, ("cv-va", n_sub, k, int(seed), i))
-        else:
-            Xtr, Xva = data.X[tr], data.X[va]
-        model.fit(Xtr, data.y[tr])
+        with trace_span("trial.construct"):
+            model = _make_estimator(estimator_cls, config, seed,
+                                    per_fold_limit)
+        with trace_span("trial.bin"):
+            if binnable:
+                Xtr = plane.view(tr, ("cv-tr", n_sub, k, int(seed), i))
+                Xva = plane.view(va, ("cv-va", n_sub, k, int(seed), i))
+            else:
+                Xtr, Xva = data.X[tr], data.X[va]
+        with trace_span("trial.fit"):
+            model.fit(Xtr, data.y[tr])
         errors.append(
             _fold_error(model, Xva, data.y[va], metric, data.task, labels)
         )
@@ -319,47 +353,74 @@ def evaluate_config(
         data = data.data
     rng = np.random.default_rng(seed)
     model = None
+    failure = None
+    span = trace_span(
+        "trial",
+        learner=estimator_cls.__name__,
+        resampling=resampling,
+        sample_size=int(sample_size),
+        plane=plane is not None,
+    )
     try:
-        if resampling == "temporal":
-            error, model = _temporal_error(
-                data, estimator_cls, config, sample_size, metric,
-                n_splits, seed, train_time_limit, horizon, seasonal_period,
-            )
-        elif plane is not None:
-            error, model = _plane_error(
-                plane, estimator_cls, config, sample_size, resampling,
-                metric, n_splits, holdout_ratio, seed, train_time_limit,
-                labels,
-            )
-        elif resampling == "holdout":
-            y_strat = data.y if data.is_classification else None
-            tr, va = holdout_indices(data.n, holdout_ratio, y=y_strat, rng=rng)
-            tr_used = tr[: min(int(sample_size), tr.size)]
-            model = _make_estimator(estimator_cls, config, seed, train_time_limit)
-            model.fit(data.X[tr_used], data.y[tr_used])
-            error = _fold_error(model, data.X[va], data.y[va], metric, data.task, labels)
-        else:
-            sub = data.head(sample_size)
-            y_strat = sub.y if sub.is_classification else None
-            k = min(n_splits, sub.n)
-            per_fold_limit = (
-                train_time_limit / k if train_time_limit is not None else None
-            )
-            errors = []
-            for tr, va in kfold_indices(sub.n, k, y=y_strat, rng=rng):
-                model = _make_estimator(estimator_cls, config, seed, per_fold_limit)
-                model.fit(sub.X[tr], sub.y[tr])
-                errors.append(
-                    _fold_error(model, sub.X[va], sub.y[va], metric, sub.task, labels)
+        with span:
+            if resampling == "temporal":
+                error, model = _temporal_error(
+                    data, estimator_cls, config, sample_size, metric,
+                    n_splits, seed, train_time_limit, horizon,
+                    seasonal_period,
                 )
-            error = float(np.mean(errors))
+            elif plane is not None:
+                error, model = _plane_error(
+                    plane, estimator_cls, config, sample_size, resampling,
+                    metric, n_splits, holdout_ratio, seed, train_time_limit,
+                    labels,
+                )
+            elif resampling == "holdout":
+                with trace_span("trial.bin"):
+                    y_strat = data.y if data.is_classification else None
+                    tr, va = holdout_indices(data.n, holdout_ratio,
+                                             y=y_strat, rng=rng)
+                tr_used = tr[: min(int(sample_size), tr.size)]
+                with trace_span("trial.construct"):
+                    model = _make_estimator(estimator_cls, config, seed,
+                                            train_time_limit)
+                with trace_span("trial.fit"):
+                    model.fit(data.X[tr_used], data.y[tr_used])
+                error = _fold_error(model, data.X[va], data.y[va], metric,
+                                    data.task, labels)
+            else:
+                sub = data.head(sample_size)
+                y_strat = sub.y if sub.is_classification else None
+                k = min(n_splits, sub.n)
+                per_fold_limit = (
+                    train_time_limit / k if train_time_limit is not None
+                    else None
+                )
+                errors = []
+                with trace_span("trial.bin"):
+                    folds = list(kfold_indices(sub.n, k, y=y_strat, rng=rng))
+                for tr, va in folds:
+                    with trace_span("trial.construct"):
+                        model = _make_estimator(estimator_cls, config, seed,
+                                                per_fold_limit)
+                    with trace_span("trial.fit"):
+                        model.fit(sub.X[tr], sub.y[tr])
+                    errors.append(
+                        _fold_error(model, sub.X[va], sub.y[va], metric,
+                                    sub.task, labels)
+                    )
+                error = float(np.mean(errors))
     except KeyboardInterrupt:
         raise
     except Exception:
         # a failed trial (degenerate sample, or a buggy custom learner)
         # must not kill the search: report error=inf and move on — the
-        # proposers will deprioritise the offender via ECI
+        # proposers will deprioritise the offender via ECI.  The full
+        # formatted traceback travels on the outcome so the trial log
+        # can explain the failure instead of silently recording inf.
         error = np.inf
         model = None
+        failure = traceback.format_exc()
     cost = time.perf_counter() - start
-    return TrialOutcome(error=float(error), cost=float(cost), model=model)
+    return TrialOutcome(error=float(error), cost=float(cost), model=model,
+                        failure=failure)

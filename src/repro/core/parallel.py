@@ -255,6 +255,7 @@ class ParallelSearchController(LearnerSelectionMixin):
                 kind=kind,
                 improved_global=improved,
                 eci_snapshot=self.proposer.eci_values(),
+                failure=getattr(outcome, "failure", None),
             )
         )
 

@@ -45,7 +45,7 @@ def _unjsonable(v: Any) -> Any:
 
 def trial_to_dict(t: TrialRecord) -> dict:
     """TrialRecord -> JSON-safe dict."""
-    return {
+    out = {
         "iteration": t.iteration,
         "automl_time": t.automl_time,
         "learner": t.learner,
@@ -58,6 +58,9 @@ def trial_to_dict(t: TrialRecord) -> dict:
         "improved_global": bool(t.improved_global),
         "eci_snapshot": {k: _jsonable(v) for k, v in t.eci_snapshot.items()},
     }
+    if t.failure is not None:  # keep successful rows compact
+        out["failure"] = t.failure
+    return out
 
 
 def trial_from_dict(d: dict) -> TrialRecord:
@@ -75,6 +78,7 @@ def trial_from_dict(d: dict) -> TrialRecord:
         improved_global=bool(d["improved_global"]),
         eci_snapshot={k: float(_unjsonable(v))
                       for k, v in d.get("eci_snapshot", {}).items()},
+        failure=d.get("failure"),
     )
 
 

@@ -43,6 +43,8 @@ from collections import OrderedDict
 import numpy as np
 
 from ..learners.histogram import Binner, BinnedMatrix
+from ..obs.metrics import REGISTRY
+from ..obs.trace import trace_span
 from .dataset import Dataset, holdout_indices, kfold_indices
 
 __all__ = [
@@ -57,6 +59,19 @@ __all__ = [
 _ENV_FLAG = "REPRO_BINNED_PLANE"
 _enabled = os.environ.get(_ENV_FLAG, "1").lower() not in ("0", "false", "off")
 _flag_lock = threading.Lock()
+
+# plane cache traffic, aggregated across every plane instance in the
+# process (series objects bound once at import; inc() is lock+add)
+_HELP_SPLIT = "Binned-plane split-index lookups, by cache result."
+_HELP_CODES = "Binned-plane bin-code/transform lookups, by cache result."
+_m_split_hit = REGISTRY.counter("repro_plane_split_total", _HELP_SPLIT,
+                                result="hit")
+_m_split_miss = REGISTRY.counter("repro_plane_split_total", _HELP_SPLIT,
+                                 result="miss")
+_m_codes_hit = REGISTRY.counter("repro_plane_codes_total", _HELP_CODES,
+                                result="hit")
+_m_codes_miss = REGISTRY.counter("repro_plane_codes_total", _HELP_CODES,
+                                 result="miss")
 
 
 def plane_enabled() -> bool:
@@ -213,12 +228,15 @@ class BinnedDataset:
         with self._lock:
             cached = self._splits.get(key)
         if cached is not None:
+            _m_split_hit.inc()
             return cached
-        y = self.data.y if self.data.is_classification else None
-        tr, va = holdout_indices(
-            self.data.n, ratio, y=y, rng=np.random.default_rng(seed)
-        )
-        value = (_readonly(tr), _readonly(va))
+        _m_split_miss.inc()
+        with trace_span("plane.split", kind="holdout"):
+            y = self.data.y if self.data.is_classification else None
+            tr, va = holdout_indices(
+                self.data.n, ratio, y=y, rng=np.random.default_rng(seed)
+            )
+            value = (_readonly(tr), _readonly(va))
         with self._lock:
             self._splits.put(key, value)
         return value
@@ -230,14 +248,17 @@ class BinnedDataset:
         with self._lock:
             cached = self._splits.get(key)
         if cached is not None:
+            _m_split_hit.inc()
             return cached
-        y = self.data.y[:n_sub] if self.data.is_classification else None
-        folds = [
-            (_readonly(tr), _readonly(va))
-            for tr, va in kfold_indices(
-                n_sub, k, y=y, rng=np.random.default_rng(seed)
-            )
-        ]
+        _m_split_miss.inc()
+        with trace_span("plane.split", kind="cv"):
+            y = self.data.y[:n_sub] if self.data.is_classification else None
+            folds = [
+                (_readonly(tr), _readonly(va))
+                for tr, va in kfold_indices(
+                    n_sub, k, y=y, rng=np.random.default_rng(seed)
+                )
+            ]
         with self._lock:
             self._splits.put(key, folds)
         return folds
@@ -260,12 +281,15 @@ class BinnedDataset:
         with self._lock:
             cached = self._binned.get(key)
         if cached is not None:
+            _m_codes_hit.inc()
             return cached
-        sub = self.data.X[rows]
-        binner = Binner(max_bins=int(max_bins)).fit(sub)
-        binner.plane_token = key
-        codes = _readonly(binner.transform(sub))
-        value = (codes, binner.n_bins_, binner)
+        _m_codes_miss.inc()
+        with trace_span("plane.codes", max_bins=int(max_bins)):
+            sub = self.data.X[rows]
+            binner = Binner(max_bins=int(max_bins)).fit(sub)
+            binner.plane_token = key
+            codes = _readonly(binner.transform(sub))
+            value = (codes, binner.n_bins_, binner)
         with self._lock:
             self._binned.put(key, value, nbytes=codes.nbytes)
         return value
@@ -284,8 +308,11 @@ class BinnedDataset:
         with self._lock:
             cached = self._transforms.get(key)
         if cached is not None:
+            _m_codes_hit.inc()
             return cached
-        codes = _readonly(binner.transform(self.data.X[rows]))
+        _m_codes_miss.inc()
+        with trace_span("plane.transform"):
+            codes = _readonly(binner.transform(self.data.X[rows]))
         with self._lock:
             self._transforms.put(key, codes, nbytes=codes.nbytes)
         return codes

@@ -16,12 +16,16 @@ every scheduler wants regardless of backend:
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import traceback
 
 import numpy as np
 
 from ..core.evaluate import TrialOutcome
 from ..data.dataset import Dataset
+from ..obs.metrics import REGISTRY
+from ..obs.trace import ingest_spans
 from .base import TrialExecutor, TrialSpec
 from .cache import TrialCache
 
@@ -70,26 +74,36 @@ class EngineHandle:
         """
         if self._outcome is not None:
             return self._outcome
+        status = "ok"
         try:
             out = self._handle.result(timeout=timeout)
         except KeyboardInterrupt:
             raise
         except _TIMEOUT_EXCS:
             self.timed_out = True
+            status = "timeout"
+            limit = f" ({timeout:.3g}s)" if timeout is not None else ""
             out = TrialOutcome(
                 error=float("inf"),
                 cost=time.perf_counter() - self.submit_time,
                 model=None,
+                failure="trial abandoned: exceeded the engine trial time "
+                        f"limit{limit}",
             )
         except Exception:
             # worker crash / broken pool / unpicklable payload: isolate it
+            status = "crash"
             out = TrialOutcome(
                 error=float("inf"),
                 cost=time.perf_counter() - self.submit_time,
                 model=None,
+                failure=traceback.format_exc(),
             )
         else:
-            self._engine._store(self.spec, out)
+            out = self._engine._absorb(self.spec, out)
+            if out.failure is not None:
+                status = "failed"
+        self._engine._observe(self, out, status)
         self._outcome = out
         return out
 
@@ -124,6 +138,32 @@ class ExecutionEngine:
         self._data_token = (
             dataset_token(executor.data) if cache is not None else None
         )
+        backend = executor.backend
+        self._m_cache_hit = REGISTRY.counter(
+            "repro_trial_cache_total",
+            "Trial-cache lookups by result.", result="hit",
+        )
+        self._m_cache_miss = REGISTRY.counter(
+            "repro_trial_cache_total",
+            "Trial-cache lookups by result.", result="miss",
+        )
+        self._m_queue_wait = REGISTRY.histogram(
+            "repro_exec_queue_wait_seconds",
+            "Time a trial spent queued before its worker ran it "
+            "(resolve wall minus measured trial cost).",
+            backend=backend,
+        )
+        self._m_trial_seconds = REGISTRY.histogram(
+            "repro_trial_seconds",
+            "Measured per-trial evaluation cost.", backend=backend,
+        )
+
+    def _trials_counter(self, status: str):
+        return REGISTRY.counter(
+            "repro_trials_total",
+            "Trials resolved by the engine, by terminal status.",
+            status=status, backend=self.backend,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +197,29 @@ class ExecutionEngine:
         if self.cache is not None and np.isfinite(outcome.error):
             self.cache.put(self._key(spec), outcome)
 
+    def _absorb(self, spec: TrialSpec, outcome: TrialOutcome) -> TrialOutcome:
+        """Fold a resolved trial's observability payloads into this
+        process — worker-shipped span buffers into the tracer ring,
+        metric diffs into the registry — then strip them from the
+        outcome so the memoised/cached copy is lean and a cache replay
+        can never double-merge them."""
+        if outcome.trace:
+            ingest_spans(outcome.trace)
+        if outcome.metrics:
+            REGISTRY.merge(outcome.metrics)
+        if outcome.trace is not None or outcome.metrics is not None:
+            outcome = dataclasses.replace(outcome, trace=None, metrics=None)
+        self._store(spec, outcome)
+        return outcome
+
+    def _observe(self, handle: "EngineHandle", outcome: TrialOutcome,
+                 status: str) -> None:
+        """Record per-trial engine metrics at resolve time."""
+        wait = (time.perf_counter() - handle.submit_time) - outcome.cost
+        self._m_queue_wait.observe(max(0.0, wait))
+        self._m_trial_seconds.observe(max(0.0, outcome.cost))
+        self._trials_counter(status).inc()
+
     def submit(self, spec: TrialSpec) -> EngineHandle:
         """Schedule one trial, consulting the cache first.
 
@@ -168,12 +231,15 @@ class ExecutionEngine:
             t0 = time.perf_counter()
             hit = self.cache.get(self._key(spec))
             if hit is not None:
+                self._m_cache_hit.inc()
+                self._trials_counter("cache-hit").inc()
                 out = TrialOutcome(
                     error=hit.error,
                     cost=max(time.perf_counter() - t0, 1e-9),
                     model=None,
                 )
                 return EngineHandle(self, spec, outcome=out, cache_hit=True)
+            self._m_cache_miss.inc()
         try:
             handle = self.executor.submit(spec)
         except KeyboardInterrupt:
@@ -181,7 +247,9 @@ class ExecutionEngine:
         except Exception:
             # a spec the backend cannot even accept (e.g. unpicklable
             # payload) becomes a failed trial, not a dead search
-            out = TrialOutcome(error=float("inf"), cost=0.0, model=None)
+            self._trials_counter("submit-error").inc()
+            out = TrialOutcome(error=float("inf"), cost=0.0, model=None,
+                               failure=traceback.format_exc())
             return EngineHandle(self, spec, outcome=out)
         return EngineHandle(self, spec, handle=handle)
 

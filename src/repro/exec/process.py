@@ -56,6 +56,8 @@ import numpy as np
 
 from ..core.evaluate import TrialOutcome
 from ..data.dataset import Dataset
+from ..obs.metrics import REGISTRY, snapshot_diff
+from ..obs.trace import drain_spans, set_tracing, tracing_enabled
 from .base import FutureHandle, TrialExecutor, TrialSpec, run_spec
 
 __all__ = ["ProcessExecutor"]
@@ -176,9 +178,26 @@ def _spec_from_payload(payload: dict) -> TrialSpec:
 
 def _run_remote(payload: dict) -> TrialOutcome:
     """Worker-side trial: rebuild the spec and evaluate against the
-    process-local dataset.  The model never crosses the pipe."""
-    out = run_spec(_WORKER_DATA, _spec_from_payload(payload))
-    return TrialOutcome(error=out.error, cost=out.cost, model=None)
+    process-local dataset.  The model never crosses the pipe.
+
+    Observability rides along: the parent's tracing flag travels with
+    each trial (runtime ``set_tracing`` in the parent does not reach
+    live workers), and when it is on, the worker drains its span ring
+    and ships it — plus its metrics-registry delta — on the outcome for
+    the engine to merge.  Metric deltas are diffed per trial, so a
+    worker running many trials never re-ships old counts.
+    """
+    trace_on = bool(payload.get("trace"))
+    set_tracing(trace_on)
+    before = REGISTRY.snapshot() if trace_on else None
+    out = run_spec(_WORKER_DATA, _spec_from_payload(payload["spec"]))
+    spans = None
+    metrics = None
+    if trace_on:
+        spans = drain_spans() or None
+        metrics = snapshot_diff(before, REGISTRY.snapshot()) or None
+    return TrialOutcome(error=out.error, cost=out.cost, model=None,
+                        failure=out.failure, trace=spans, metrics=metrics)
 
 
 def _unlink_segments(segments: list) -> None:
@@ -272,7 +291,7 @@ class ProcessExecutor(TrialExecutor):
         """Queue the trial onto the process pool (rebuilding it if a
         previous worker crash broke the pool; the shared segments outlive
         the pool, so the rebuild re-ships only metadata)."""
-        payload = _spec_payload(spec)
+        payload = {"spec": _spec_payload(spec), "trace": tracing_enabled()}
         try:
             return FutureHandle(self._pool.submit(_run_remote, payload))
         except BrokenProcessPool:

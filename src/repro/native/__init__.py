@@ -35,6 +35,7 @@ import logging
 import os
 import threading
 
+from ..obs.metrics import REGISTRY
 from . import fallback
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "native_available",
     "native_build_error",
     "native_enabled",
+    "native_status",
     "set_native_enabled",
 ]
 
@@ -112,14 +114,49 @@ def set_native_enabled(on: bool) -> bool:
     return prev
 
 
+def native_status() -> dict:
+    """One diagnostic dict answering "which kernels would run and why":
+
+    ``mode`` is ``"compiled"`` or ``"fallback"``; when falling back,
+    ``reason`` says whether that is policy (flag off) or circumstance
+    (build failed, with the build error).  Reported by ``/health`` and
+    ``python -m repro fit --verbose``.
+    """
+    available = native_available()
+    compiled = _enabled and available
+    if compiled:
+        reason = None
+    elif not _enabled:
+        reason = f"disabled ({_ENV_FLAG}=0 or set_native_enabled(False))"
+    else:
+        reason = f"build failed: {_load_error}"
+    return {
+        "mode": "compiled" if compiled else "fallback",
+        "enabled": _enabled,
+        "available": available,
+        "reason": reason,
+    }
+
+
 def active_kernels():
     """The kernels object growers should bind: compiled when enabled and
     available, else the numpy fallback module.  Called once per grower —
-    per-node code never re-dispatches."""
+    per-node code never re-dispatches (which also makes the dispatch
+    counter cheap: one inc per grower construction)."""
     if _enabled:
         kernels = _load_native()
         if kernels is not None:
+            REGISTRY.counter(
+                "repro_native_dispatch_total",
+                "Grower kernel bindings, by selected implementation.",
+                kernels="native",
+            ).inc()
             return kernels
+    REGISTRY.counter(
+        "repro_native_dispatch_total",
+        "Grower kernel bindings, by selected implementation.",
+        kernels="fallback",
+    ).inc()
     return fallback
 
 

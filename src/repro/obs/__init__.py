@@ -1,0 +1,73 @@
+"""Unified observability plane (stdlib-only): spans, counters, exposition.
+
+Three small modules answer the questions a production AutoML system
+gets asked about itself:
+
+* :mod:`repro.obs.trace` — a low-overhead span tracer
+  (``trace_span(name, **attrs)``), thread/process-aware, **off by
+  default** (``REPRO_TRACE=1`` / :func:`set_tracing`), ring-buffered
+  with an optional JSONL sink.  Process workers ship their span
+  buffers back with each trial result and the execution engine merges
+  them, so a multi-process search yields one coherent trace.
+* :mod:`repro.obs.metrics` — a registry of monotonic counters and
+  bucketed latency histograms, merge-able across processes, with
+  Prometheus text exposition (served by ``/metrics`` alongside the
+  JSON view).
+* :mod:`repro.obs.summarize` — per-phase time attribution
+  (bin / construct / fit / score / metric) from a JSONL trace;
+  ``python -m repro trace summarize`` is its CLI.
+
+Nothing here imports numpy or any other repro subpackage, so every
+layer (data plane, native kernels, engine, serving) can instrument
+itself without import cycles, and the disabled-mode cost is one branch
+per span site.
+"""
+
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+    render_prometheus,
+    snapshot_diff,
+)
+from .summarize import attribute, format_table, load_spans, summarize_file
+from .trace import (
+    clear_spans,
+    drain_spans,
+    ingest_spans,
+    set_trace_sink,
+    set_tracing,
+    snapshot_spans,
+    spans_started,
+    trace_context,
+    trace_span,
+    tracer_stats,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "attribute",
+    "clear_spans",
+    "drain_spans",
+    "format_table",
+    "get_registry",
+    "ingest_spans",
+    "load_spans",
+    "render_prometheus",
+    "set_trace_sink",
+    "set_tracing",
+    "snapshot_diff",
+    "snapshot_spans",
+    "spans_started",
+    "summarize_file",
+    "trace_context",
+    "trace_span",
+    "tracer_stats",
+    "tracing_enabled",
+]

@@ -1,0 +1,310 @@
+"""Metrics registry: monotonic counters + bucketed latency histograms.
+
+The numeric complement of :mod:`repro.obs.trace`: cheap, always-on
+counters that answer "how many / how long" across the whole stack —
+trial-cache hits, native-kernel dispatches, binned-plane cache traffic,
+HTTP requests — without any sampling or tracing overhead.
+
+Design constraints (all stdlib):
+
+* **labelled families** — ``REGISTRY.counter("repro_trials_total",
+  status="ok")`` get-or-creates one series per label set; callers on
+  hot paths fetch the series object once and call ``inc()``/
+  ``observe()`` directly;
+* **merge-able across processes** — :meth:`MetricsRegistry.snapshot`
+  is plain JSON-safe data; a worker ships ``snapshot_diff(before,
+  after)`` with each trial result and the engine folds it back in via
+  :meth:`MetricsRegistry.merge`, so multi-process searches aggregate
+  into one registry;
+* **Prometheus text exposition** — :func:`render_prometheus` emits the
+  ``text/plain; version=0.0.4`` format (cumulative histogram buckets,
+  escaped labels) the serving ``/metrics`` endpoint speaks alongside
+  its JSON view.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "render_prometheus",
+    "snapshot_diff",
+]
+
+#: default latency buckets (seconds): sub-millisecond serving predicts
+#: up to multi-second trials
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """A monotonic counter (one labelled series of a counter family)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0; counters only go up)."""
+        with self._lock:
+            self.value += n
+
+
+class Histogram:
+    """A bucketed histogram: per-bucket counts plus sum and count.
+
+    ``buckets`` are ascending inclusive upper bounds (Prometheus ``le``
+    semantics); one extra overflow bucket catches values above the last
+    bound.  Counts are stored per-bucket and cumulated only at export.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be distinct and ascending")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        i = bisect_left(self.buckets, v)  # first bound with v <= bound
+        with self._lock:
+            self.counts[i] += 1
+            self.sum += v
+            self.count += 1
+
+    def state(self) -> dict:
+        """JSON-safe internal state (non-cumulative counts)."""
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+            }
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Named, labelled metric families with snapshot/merge/diff."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> {"type", "help", "series": {label_key: metric}}
+        self._families: dict[str, dict] = {}
+
+    # -- creation ------------------------------------------------------
+    def _series(self, name: str, kind: str, help: str, labels: dict,
+                factory):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = {"type": kind, "help": help, "series": {}}
+                self._families[name] = family
+            if family["type"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family['type']}, not a {kind}"
+                )
+            if help and not family["help"]:
+                family["help"] = help
+            metric = family["series"].get(key)
+            if metric is None:
+                metric = family["series"][key] = factory()
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """Get-or-create the counter series for this label set."""
+        return self._series(name, "counter", help, labels, Counter)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        """Get-or-create the histogram series for this label set."""
+        return self._series(
+            name, "histogram", help, labels, lambda: Histogram(buckets)
+        )
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain JSON-safe copy of every family and series."""
+        with self._lock:
+            families = {
+                name: (fam["type"], fam["help"], list(fam["series"].items()))
+                for name, fam in self._families.items()
+            }
+        out = {}
+        for name, (kind, help, series) in families.items():
+            rows = []
+            for key, metric in series:
+                labels = dict(key)
+                if kind == "counter":
+                    rows.append({"labels": labels, "value": metric.value})
+                else:
+                    rows.append({"labels": labels, **metric.state()})
+            out[name] = {"type": kind, "help": help, "series": rows}
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (typically a worker's diff) into this
+        registry, adding counts into the live series."""
+        for name, fam in snapshot.items():
+            kind = fam.get("type")
+            help = fam.get("help", "")
+            for row in fam.get("series", ()):
+                labels = row.get("labels", {})
+                if kind == "counter":
+                    self.counter(name, help, **labels).inc(int(row["value"]))
+                elif kind == "histogram":
+                    hist = self.histogram(
+                        name, help, buckets=row["buckets"], **labels
+                    )
+                    if list(hist.buckets) != [float(b)
+                                              for b in row["buckets"]]:
+                        raise ValueError(
+                            f"histogram {name!r}{labels} bucket layouts "
+                            "differ; cannot merge"
+                        )
+                    with hist._lock:
+                        for i, c in enumerate(row["counts"]):
+                            hist.counts[i] += int(c)
+                        hist.sum += float(row["sum"])
+                        hist.count += int(row["count"])
+
+    def reset(self) -> None:
+        """Drop every family (tests only)."""
+        with self._lock:
+            self._families.clear()
+
+
+def snapshot_diff(before: dict, after: dict) -> dict:
+    """``after - before`` for two snapshots of the same registry;
+    all-zero series and empty families are omitted (the wire form a
+    process worker ships per trial)."""
+
+    def _index(snap: dict, name: str) -> dict:
+        fam = snap.get(name)
+        if fam is None:
+            return {}
+        return {_label_key(row["labels"]): row for row in fam["series"]}
+
+    out = {}
+    for name, fam in after.items():
+        base = _index(before, name)
+        rows = []
+        for row in fam["series"]:
+            prev = base.get(_label_key(row["labels"]))
+            if fam["type"] == "counter":
+                delta = row["value"] - (prev["value"] if prev else 0)
+                if delta:
+                    rows.append({"labels": row["labels"], "value": delta})
+            else:
+                pc = prev["counts"] if prev else [0] * len(row["counts"])
+                counts = [c - p for c, p in zip(row["counts"], pc)]
+                if any(counts):
+                    rows.append({
+                        "labels": row["labels"],
+                        "buckets": row["buckets"],
+                        "counts": counts,
+                        "sum": row["sum"] - (prev["sum"] if prev else 0.0),
+                        "count": row["count"] - (prev["count"] if prev else 0),
+                    })
+        if rows:
+            out[name] = {"type": fam["type"], "help": fam["help"],
+                         "series": rows}
+    return out
+
+
+# -- Prometheus text exposition ----------------------------------------
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(v: float) -> str:
+    if isinstance(v, int) or float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def render_prometheus(*snapshots: dict) -> str:
+    """Render snapshot dicts as Prometheus text exposition 0.0.4.
+
+    Histogram buckets are emitted cumulatively with the mandatory
+    ``le="+Inf"`` bucket equal to ``_count``.  Family names must be
+    unique across the given snapshots.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+    for snap in snapshots:
+        for name in sorted(snap):
+            if name in seen:
+                raise ValueError(f"duplicate metric family {name!r}")
+            seen.add(name)
+            fam = snap[name]
+            if fam.get("help"):
+                lines.append(f"# HELP {name} {fam['help']}")
+            lines.append(f"# TYPE {name} {fam['type']}")
+            for row in fam["series"]:
+                labels = row.get("labels", {})
+                if fam["type"] == "counter":
+                    lines.append(
+                        f"{name}{_labels_text(labels)} {_fmt(row['value'])}"
+                    )
+                    continue
+                cum = 0
+                for bound, count in zip(row["buckets"], row["counts"]):
+                    cum += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, {'le': _fmt(bound)})} {cum}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, {'le': '+Inf'})} "
+                    f"{_fmt(row['count'])}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_fmt(row['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {_fmt(row['count'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: the process-wide default registry every instrumented module uses
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

@@ -28,7 +28,15 @@ from collections import deque
 
 import numpy as np
 
+from ..obs.metrics import Histogram
+
 __all__ = ["MicroBatcher", "ServingStats"]
+
+#: request-latency buckets (seconds) tuned for sub-ms..seconds serving
+_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+)
 
 
 class ServingStats:
@@ -41,6 +49,9 @@ class ServingStats:
         self.batches = 0
         self.rows = 0
         self.errors = 0
+        #: bucketed request latency for Prometheus exposition (the JSON
+        #: snapshot keeps its sliding-window percentiles unchanged)
+        self.latency_hist = Histogram(_LATENCY_BUCKETS)
         self._t_first: float | None = None
 
     def record_batch(self, n_rows: int) -> None:
@@ -52,6 +63,7 @@ class ServingStats:
     def record_request(self, latency_s: float, error: bool = False) -> None:
         """Count one client request and its end-to-end latency."""
         now = time.perf_counter()
+        self.latency_hist.observe(latency_s)
         with self._lock:
             self.requests += 1
             if error:

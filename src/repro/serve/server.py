@@ -31,18 +31,32 @@ Run it with ``python -m repro serve --registry DIR`` (see
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from ..native import native_status
+from ..obs.metrics import REGISTRY, render_prometheus
+from ..obs.trace import trace_context, trace_span
 from .artifact import PipelineArtifact
 from .batching import MicroBatcher, ServingStats
 from .registry import ModelRegistry, RegistryError
 
 __all__ = ["ModelServer", "build_http_server", "serve"]
+
+_log = logging.getLogger("repro.serve")
+
+#: Prometheus text exposition content type (format 0.0.4)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: the endpoints we label metrics with; anything else becomes "other"
+#: so a port scanner cannot explode the label cardinality
+_KNOWN_ENDPOINTS = ("/predict", "/models", "/health", "/metrics")
 
 
 class ModelServer:
@@ -51,7 +65,8 @@ class ModelServer:
     def __init__(self, registry: ModelRegistry | None = None,
                  artifacts: dict[str, PipelineArtifact] | None = None,
                  max_batch: int = 32, max_delay_ms: float = 2.0,
-                 batching: bool = True, max_horizon: int = 1000) -> None:
+                 batching: bool = True, max_horizon: int = 1000,
+                 slow_request_ms: float = 500.0) -> None:
         if registry is None and not artifacts:
             raise ValueError("need a registry and/or named artifacts to serve")
         self.registry = registry
@@ -60,6 +75,8 @@ class ModelServer:
         self.max_delay_ms = float(max_delay_ms)
         self.batching = bool(batching)
         self.max_horizon = int(max_horizon)
+        #: requests slower than this are logged with their request id
+        self.slow_request_ms = float(slow_request_ms)
         self._lock = threading.Lock()
         self._loaded: dict[tuple[str, int | str], PipelineArtifact] = {}
         self._stats: dict[str, ServingStats] = {}
@@ -239,6 +256,45 @@ class ModelServer:
             items = list(self._stats.items())
         return {key: stats.snapshot() for key, stats in items}
 
+    def prometheus_metrics(self) -> str:
+        """Prometheus text exposition: per-model serving series plus the
+        process-wide :data:`~repro.obs.metrics.REGISTRY` (HTTP counters,
+        native dispatch, plane caches, ...)."""
+        with self._lock:
+            items = list(self._stats.items())
+        counters = {
+            "repro_serving_requests_total": "Client requests served, "
+                                            "per model.",
+            "repro_serving_errors_total": "Requests that raised, per model.",
+            "repro_serving_batches_total": "Model invocations (batches), "
+                                           "per model.",
+            "repro_serving_rows_total": "Rows predicted, per model.",
+        }
+        serving: dict = {
+            name: {"type": "counter", "help": help, "series": []}
+            for name, help in counters.items()
+        }
+        serving["repro_serving_request_seconds"] = {
+            "type": "histogram",
+            "help": "End-to-end request latency, per model.",
+            "series": [],
+        }
+        for key, stats in items:
+            labels = {"model": key}
+            for name, value in (
+                ("repro_serving_requests_total", stats.requests),
+                ("repro_serving_errors_total", stats.errors),
+                ("repro_serving_batches_total", stats.batches),
+                ("repro_serving_rows_total", stats.rows),
+            ):
+                serving[name]["series"].append(
+                    {"labels": labels, "value": int(value)}
+                )
+            serving["repro_serving_request_seconds"]["series"].append(
+                {"labels": labels, **stats.latency_hist.state()}
+            )
+        return render_prometheus(serving, REGISTRY.snapshot())
+
     def close(self) -> None:
         """Shut down every micro-batcher worker."""
         with self._lock:
@@ -261,28 +317,87 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep test/CLI output clean; metrics carry the signal
 
-    def _reply(self, code: int, payload: dict) -> None:
-        body = json.dumps(payload, default=float).encode()
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        req_id = getattr(self, "_request_id", None)
+        if req_id:
+            self.send_header("X-Request-Id", req_id)
         self.end_headers()
         self.wfile.write(body)
+        self._status = code
+
+    def _reply(self, code: int, payload: dict) -> None:
+        self._send(code, json.dumps(payload, default=float).encode(),
+                   "application/json")
+
+    # -- per-request observability -------------------------------------
+    def _observed(self, method: str, handler) -> None:
+        """Run one request handler with a request id, an ``http.request``
+        span, per-endpoint counters/latency, and slow-request logging."""
+        self._request_id = uuid.uuid4().hex[:16]
+        self._status = 0
+        path = urlparse(self.path).path
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        t0 = time.perf_counter()
+        try:
+            with trace_context(self._request_id):
+                with trace_span("http.request", method=method,
+                                endpoint=endpoint):
+                    handler()
+        finally:
+            dur = time.perf_counter() - t0
+            REGISTRY.counter(
+                "repro_http_requests_total",
+                "HTTP requests served, by endpoint and status code.",
+                endpoint=endpoint, code=str(self._status),
+            ).inc()
+            REGISTRY.histogram(
+                "repro_http_request_seconds",
+                "HTTP request handling latency, by endpoint.",
+                endpoint=endpoint,
+            ).observe(dur)
+            slow_ms = self.model_server.slow_request_ms
+            if slow_ms and dur * 1e3 >= slow_ms:
+                _log.warning(
+                    "slow request: %s %s -> %s in %.1f ms (request_id=%s)",
+                    method, path, self._status, dur * 1e3, self._request_id,
+                )
+
+    def _wants_prometheus(self) -> bool:
+        query = parse_qs(urlparse(self.path).query)
+        fmt = (query.get("format") or [""])[0].lower()
+        if fmt:
+            return fmt in ("prometheus", "text")
+        accept = (self.headers.get("Accept") or "").lower()
+        return "text/plain" in accept or "openmetrics" in accept
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._observed("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         path = urlparse(self.path).path
         srv = self.model_server
         if path == "/health":
-            self._reply(200, {"status": "ok", "models": srv.served_names()})
+            self._reply(200, {"status": "ok", "models": srv.served_names(),
+                              "native": native_status()})
         elif path == "/models":
             self._reply(200, srv.model_index())
         elif path == "/metrics":
-            self._reply(200, srv.metrics())
+            if self._wants_prometheus():
+                self._send(200, srv.prometheus_metrics().encode(),
+                           PROMETHEUS_CONTENT_TYPE)
+            else:  # default stays the backward-compatible JSON view
+                self._reply(200, srv.metrics())
         else:
             self._reply(404, {"error": f"unknown endpoint {path!r}; have "
                                        "/predict /models /health /metrics"})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _handle_post(self) -> None:
         path = urlparse(self.path).path
         if path != "/predict":
             self._reply(404, {"error": f"unknown endpoint {path!r}"})

@@ -93,6 +93,19 @@ class TestGoldenEquivalence:
     def test_plane_off_matches_plane_on(self, native_mode):
         assert run_all(plane=False) == run_all(plane=True)
 
+    def test_tracing_does_not_perturb_goldens(self, native_mode):
+        """Span tracing must be timing-only: the full golden matrix is
+        bit-identical with tracing enabled, plane on and off."""
+        from repro.obs.trace import clear_spans, set_tracing
+
+        prev = set_tracing(True)
+        try:
+            assert run_all(plane=True) == GOLDEN
+            assert run_all(plane=False) == GOLDEN
+        finally:
+            set_tracing(prev)
+            clear_spans()
+
     def test_plane_reproduces_prerefactor_errors_bitwise(
         self, no_subtraction, native_mode
     ):

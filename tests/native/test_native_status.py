@@ -1,0 +1,64 @@
+"""native_status(): the one-line compiled/fallback diagnostic."""
+
+from __future__ import annotations
+
+import repro.native as native
+from repro.native import active_kernels, native_status, set_native_enabled
+from repro.obs.metrics import REGISTRY, snapshot_diff
+
+
+class TestNativeStatus:
+    def test_status_shape(self):
+        status = native_status()
+        assert set(status) == {"mode", "enabled", "available", "reason"}
+        assert status["mode"] in ("compiled", "fallback")
+
+    def test_compiled_mode_has_no_reason(self):
+        if not native.native_available():  # boxes without a compiler
+            assert native_status()["mode"] == "fallback"
+            return
+        prev = set_native_enabled(True)
+        try:
+            status = native_status()
+            assert status == {"mode": "compiled", "enabled": True,
+                              "available": True, "reason": None}
+        finally:
+            set_native_enabled(prev)
+
+    def test_disabled_flag_reported_as_reason(self):
+        prev = set_native_enabled(False)
+        try:
+            status = native_status()
+            assert status["mode"] == "fallback"
+            assert "disabled" in status["reason"]
+        finally:
+            set_native_enabled(prev)
+
+    def test_build_failure_reported_as_reason(self, monkeypatch):
+        monkeypatch.setattr(native, "_load_attempted", True)
+        monkeypatch.setattr(native, "_kernels", None)
+        monkeypatch.setattr(native, "_load_error", "cc: command not found")
+        prev = set_native_enabled(True)
+        try:
+            status = native_status()
+            assert status["mode"] == "fallback"
+            assert not status["available"]
+            assert "cc: command not found" in status["reason"]
+        finally:
+            set_native_enabled(prev)
+
+    def test_dispatch_counter_tracks_bindings(self):
+        was_native = native.native_enabled()
+        before = REGISTRY.snapshot()
+        active_kernels()  # native iff enabled AND available
+        prev = set_native_enabled(False)
+        try:
+            assert active_kernels() is native.fallback
+        finally:
+            set_native_enabled(prev)
+        diff = snapshot_diff(before, REGISTRY.snapshot())
+        rows = {row["labels"]["kernels"]: row["value"]
+                for row in diff["repro_native_dispatch_total"]["series"]}
+        assert rows.get("fallback", 0) >= 1
+        if was_native:
+            assert rows.get("native", 0) >= 1

@@ -1,0 +1,184 @@
+"""Metrics registry: counters, histograms, diff/merge, Prometheus text.
+
+The merge/diff pair is the wire protocol process workers use to ship
+their per-trial metric deltas; the Prometheus renderer is what
+``/metrics?format=prometheus`` serves — both are exercised against a
+line-by-line parse here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+    snapshot_diff,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_thread_safety(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestHistogram:
+    def test_bucketing_uses_inclusive_upper_bounds(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(v)
+        # le-semantics: 1.0 lands in the first bucket, 2.0 in the second
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(104.0)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_per_label_set(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", result="hit")
+        b = reg.counter("hits", result="miss")
+        assert a is not b
+        assert reg.counter("hits", result="hit") is a
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            reg.histogram("x")
+
+    def test_snapshot_is_json_safe_and_detached(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("n", "help text", kind="a").inc(3)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        reg.counter("n", kind="a").inc()  # mutating after must not alter it
+        assert snap["n"]["series"][0]["value"] == 3
+        assert snap["lat"]["series"][0]["counts"] == [1, 0, 0]
+
+    def test_merge_adds_counts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(5)
+        b.histogram("lat", buckets=(1.0,)).observe(0.5)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["n"]["series"][0]["value"] == 7
+        assert snap["lat"]["series"][0]["counts"] == [1, 0]
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("lat", buckets=(5.0, 9.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket"):
+            a.merge(b.snapshot())
+
+
+class TestSnapshotDiff:
+    def test_diff_is_the_delta_and_omits_zero_series(self):
+        reg = MetricsRegistry()
+        reg.counter("n", task="x").inc(2)
+        reg.counter("n", task="y").inc(1)
+        before = reg.snapshot()
+        reg.counter("n", task="x").inc(3)
+        reg.histogram("lat").observe(0.01)
+        diff = snapshot_diff(before, reg.snapshot())
+        rows = diff["n"]["series"]
+        assert rows == [{"labels": {"task": "x"}, "value": 3}]
+        assert diff["lat"]["series"][0]["count"] == 1
+
+    def test_empty_diff_for_identical_snapshots(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        snap = reg.snapshot()
+        assert snapshot_diff(snap, snap) == {}
+
+    def test_roundtrip_merge_of_a_diff(self):
+        """The process-worker protocol: parent.merge(worker diff)."""
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("n").inc(10)
+        worker.counter("n").inc(100)  # worker pre-existing count
+        before = worker.snapshot()
+        worker.counter("n").inc(4)  # what the trial did
+        worker.histogram("lat", buckets=(1.0,)).observe(2.0)
+        parent.merge(snapshot_diff(before, worker.snapshot()))
+        snap = parent.snapshot()
+        assert snap["n"]["series"][0]["value"] == 14  # 10 + 4, not +104
+        assert snap["lat"]["series"][0]["counts"] == [0, 1]
+
+
+class TestPrometheusRendering:
+    def _parse(self, text):
+        """Line-by-line structural parse of exposition 0.0.4."""
+        samples = {}
+        for line in text.splitlines():
+            assert line == line.strip() and line
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert " " in line
+            name_labels, value = line.rsplit(" ", 1)
+            float(value.replace("+Inf", "inf"))  # numeric
+            samples[name_labels] = value
+        return samples
+
+    def test_counter_and_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", code="200").inc(7)
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(50.0)
+        text = render_prometheus(reg.snapshot())
+        samples = self._parse(text)
+        assert samples['req_total{code="200"}'] == "7"
+        # buckets are cumulative, +Inf equals _count
+        assert samples['lat_seconds_bucket{le="0.1"}'] == "1"
+        assert samples['lat_seconds_bucket{le="1"}'] == "2"
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == "3"
+        assert samples["lat_seconds_count"] == "3"
+        assert float(samples["lat_seconds_sum"]) == pytest.approx(50.55)
+        assert "# TYPE req_total counter" in text
+        assert "# TYPE lat_seconds histogram" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("n", label='a"b\\c\nd').inc()
+        text = render_prometheus(reg.snapshot())
+        assert r'label="a\"b\\c\nd"' in text
+
+    def test_duplicate_family_across_snapshots_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc()
+        b.counter("n").inc()
+        with pytest.raises(ValueError, match="duplicate"):
+            render_prometheus(a.snapshot(), b.snapshot())

@@ -1,0 +1,216 @@
+"""Tracer contracts: nesting, thread isolation, merging, disabled-mode.
+
+The tracer underwrites the per-trial attribution numbers in the README
+and the <5% overhead gate in CI, so its invariants get direct tests:
+spans must nest correctly per thread, worker buffers must merge without
+loss, and the disabled path must be a true no-op (asserted via the
+spans-started counter, not timing).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    _reset_for_tests,
+    clear_spans,
+    drain_spans,
+    ingest_spans,
+    set_trace_sink,
+    set_tracing,
+    snapshot_spans,
+    spans_started,
+    trace_context,
+    trace_span,
+    tracer_stats,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_tracer(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+class TestDisabledMode:
+    def test_off_by_default(self):
+        assert not tracing_enabled()
+
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        assert trace_span("anything", a=1) is NOOP_SPAN
+        assert trace_span("other") is NOOP_SPAN
+
+    def test_disabled_spans_start_nothing(self):
+        before = spans_started()
+        for _ in range(100):
+            with trace_span("hot.loop", i=1):
+                pass
+        assert spans_started() == before
+        assert snapshot_spans() == []
+
+    def test_noop_span_supports_set(self):
+        with trace_span("x") as span:
+            assert span.set(result=3) is span
+
+    def test_env_flag_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        _reset_for_tests()
+        assert tracing_enabled()
+
+    def test_set_tracing_returns_previous(self):
+        assert set_tracing(True) is False
+        assert set_tracing(False) is True
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        set_tracing(True)
+        with trace_span("outer"):
+            with trace_span("inner"):
+                pass
+        inner, outer = drain_spans()  # completion order: inner first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["span"]
+        assert inner["trace"] == outer["trace"] == outer["span"]
+        assert outer["parent"] is None
+
+    def test_siblings_share_parent_not_each_other(self):
+        set_tracing(True)
+        with trace_span("root"):
+            with trace_span("a"):
+                pass
+            with trace_span("b"):
+                pass
+        a, b, root = drain_spans()
+        assert a["parent"] == b["parent"] == root["span"]
+
+    def test_attrs_and_error_recorded(self):
+        set_tracing(True)
+        with pytest.raises(ValueError):
+            with trace_span("boom", learner="lgbm"):
+                raise ValueError("no")
+        (rec,) = drain_spans()
+        assert rec["attrs"] == {"learner": "lgbm"}
+        assert rec["error"] == "ValueError"
+
+    def test_nesting_is_per_thread(self):
+        """Concurrent threads must not see each other's span stacks."""
+        set_tracing(True)
+        ready = threading.Barrier(2)
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with trace_span(f"{name}.outer") as outer:
+                        ready.wait(timeout=5) if _ == 0 else None
+                        with trace_span(f"{name}.inner") as inner:
+                            assert inner.parent_id == outer.span_id
+                        assert outer.parent_id is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in ("t1", "t2")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        spans = drain_spans()
+        assert len(spans) == 200
+        by_id = {s["span"]: s for s in spans}
+        for s in spans:
+            if s["parent"] is not None:  # inner: parent in same thread
+                assert by_id[s["parent"]]["thread"] == s["thread"]
+
+    def test_trace_context_tags_roots(self):
+        set_tracing(True)
+        with trace_context("req-42"):
+            with trace_span("http.request"):
+                with trace_span("child"):
+                    pass
+        child, root = drain_spans()
+        assert root["trace"] == "req-42"
+        assert child["trace"] == "req-42"
+
+
+class TestBuffering:
+    def test_drain_clears_and_preserves_order(self):
+        set_tracing(True)
+        for i in range(5):
+            with trace_span(f"s{i}"):
+                pass
+        spans = drain_spans()
+        assert [s["name"] for s in spans] == [f"s{i}" for i in range(5)]
+        assert drain_spans() == []
+
+    def test_ingest_merges_without_loss(self):
+        """A worker-shipped buffer lands intact alongside local spans,
+        keeping its own pids and parent links."""
+        set_tracing(True)
+        with trace_span("local"):
+            pass
+        shipped = [
+            {"name": "trial", "t": 1.0, "dur": 0.5, "pid": 99999,
+             "thread": "MainThread", "span": "99999-1", "parent": None,
+             "trace": "99999-1"},
+            {"name": "trial.fit", "t": 1.1, "dur": 0.4, "pid": 99999,
+             "thread": "MainThread", "span": "99999-2",
+             "parent": "99999-1", "trace": "99999-1"},
+        ]
+        assert ingest_spans(shipped) == 2
+        spans = snapshot_spans()
+        assert len(spans) == 3
+        merged = {s["span"]: s for s in spans}
+        assert merged["99999-2"]["parent"] == "99999-1"
+        assert tracer_stats()["ingested"] == 2
+        # merging foreign spans never consumes local span ids
+        assert spans_started() == 1
+
+    def test_clear_spans(self):
+        set_tracing(True)
+        with trace_span("x"):
+            pass
+        clear_spans()
+        assert snapshot_spans() == []
+        assert spans_started() == 1  # the counter survives
+
+
+class TestSink:
+    def test_sink_receives_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        set_tracing(True)
+        set_trace_sink(str(path))
+        with trace_span("a", k="v"):
+            pass
+        with trace_span("b"):
+            pass
+        set_trace_sink(None)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines() if line]
+        assert [r["name"] for r in lines] == ["a", "b"]
+        assert lines[0]["attrs"] == {"k": "v"}
+
+    def test_sink_swap_returns_previous_path(self, tmp_path):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert set_trace_sink(str(p1)) is None
+        assert set_trace_sink(str(p2)) == str(p1)
+        assert set_trace_sink(None) == str(p2)
+
+    def test_ingested_spans_reach_the_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        set_tracing(True)
+        set_trace_sink(str(path))
+        ingest_spans([{"name": "trial", "t": 0.0, "dur": 1.0, "pid": 1,
+                       "thread": "x", "span": "1-1", "parent": None,
+                       "trace": "1-1"}])
+        set_trace_sink(None)
+        assert json.loads(path.read_text())["name"] == "trial"
