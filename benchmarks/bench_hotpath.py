@@ -202,6 +202,227 @@ def traced_replay(name: str, max_iters: int, seed: int, repeats: int,
     return wall_off, wall_on, traced_errors == base_errors, len(specs)
 
 
+# ------------------------------------------------------------- large-n --
+#: default row counts of the million-row tier (``--large-n``)
+LARGE_N_DEFAULT_ROWS = (100_000, 1_000_000)
+
+
+def make_large_n_dataset(n: int, seed: int = 0) -> Dataset:
+    """Synthetic regression at ``n`` rows: 8 dense Friedman features plus
+    a 10-category one-hot block, so the tier exercises both the sketch
+    grid and exclusive feature bundling.  Generated directly — the
+    curated suite caps rows at 8000 by design."""
+    from repro.data import OneHotEncoder, make_regression
+
+    base = make_regression(n, 8, seed=seed, name=f"large-{n}")
+    rng = np.random.default_rng(seed + 1)
+    cat = rng.integers(0, 10, size=n).astype(np.float64)
+    y = base.y + 0.5 * cat
+    raw = np.column_stack([base.X, cat])
+    X = OneHotEncoder(columns=(8,)).fit_transform(raw)
+    return Dataset(f"large-{n}", X, y, "regression")
+
+
+def large_n_specs(data: Dataset, seed: int = 0) -> list:
+    """A hand-built trial ladder standing in for a recorded search.
+
+    Recording a real search at 10^6 rows would take longer than the
+    bench itself, so the tier replays the shape the controller actually
+    produces: a geometric sample-size schedule (s, 4s, 16s, ..., 0.9n)
+    across two histogram-learner families at their default ``max_bin``.
+    """
+    from repro.exec.base import TrialSpec
+
+    metric = get_metric(default_metric_name(data.task))
+    cap = int(data.n * 0.9)
+    ladder, s = [], 16_384
+    while s < cap:
+        ladder.append(s)
+        s *= 4
+    ladder.append(cap)
+    families = [
+        ("lgbm", {"tree_num": 8, "leaf_num": 16, "learning_rate": 0.2}),
+        ("rf", {"tree_num": 6, "max_depth": 8, "min_samples_leaf": 16}),
+    ]
+    specs = []
+    for size in ladder:
+        for lname, config in families:
+            specs.append(TrialSpec(
+                learner=lname,
+                estimator_cls=DEFAULT_LEARNERS[lname].estimator_cls(data.task),
+                config=config,
+                sample_size=size,
+                resampling="holdout",
+                metric=metric,
+                seed=seed,
+            ))
+    return specs
+
+
+def _counter_total(snap: dict, name: str) -> float:
+    fam = snap.get(name)
+    if not fam:
+        return 0.0
+    return float(sum(row["value"] for row in fam["series"]))
+
+
+def _peak_rss_bytes() -> int:
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def bench_large_n_rows(n: int, seed: int, modes) -> dict:
+    """One row-count of the large-n tier.
+
+    Per mode (``plane``/``native`` — the legacy path is out of scope
+    here: above the exact-binning limit the sketch grid is an intended
+    semantic change, so a plane-off replay produces *different* errors
+    by design and would be timing a different computation):
+
+    * rows/s — training rows consumed per second over the replay
+      (sum of trial sample sizes / wall);
+    * plane_bytes — the shared plane's cached-code footprint after the
+      replay (codes caches + prefix buffers);
+    * base_rows_binned — the schedule-proof counter: rows actually
+      pushed through the base binner.  A geometric schedule must bin
+      O(max sample) rows per grid, not O(sum of samples).
+
+    Then the worker-shipping comparison: the same dataset exported to a
+    process worker as pre-binned codes vs float64, with one identical
+    trial run against each.  The codes plane must cut shipped bytes by
+    >= 3x and leave the trial error untouched — both asserted.
+    """
+    from repro.data import plane_for
+    from repro.exec.process import ProcessExecutor
+    from repro.obs.metrics import REGISTRY
+
+    data = make_large_n_dataset(n, seed)
+    specs = large_n_specs(data, seed)
+    rows_requested = sum(int(s.sample_size) for s in specs)
+    out = {
+        "n": data.n,
+        "d": data.d,
+        "trials": len(specs),
+        "rows_requested": rows_requested,
+        "modes": {},
+    }
+    errors = {}
+    for mode in modes:
+        plane_on, native_on = MODES[mode]
+        clone = Dataset(data.name, data.X.copy(), data.y.copy(), data.task,
+                        data.categorical)
+        prev_plane = set_plane_enabled(plane_on)
+        prev_native = set_native_enabled(native_on)
+        before = REGISTRY.snapshot()
+        try:
+            start = time.perf_counter()
+            errors[mode] = [run_spec(clone, spec).error for spec in specs]
+            wall = time.perf_counter() - start
+        finally:
+            set_plane_enabled(prev_plane)
+            set_native_enabled(prev_native)
+        after = REGISTRY.snapshot()
+        stats = plane_for(clone).stats()
+        base_rows = _counter_total(
+            after, "repro_plane_base_rows_binned_total"
+        ) - _counter_total(before, "repro_plane_base_rows_binned_total")
+        out["modes"][mode] = {
+            "wall_s": round(wall, 4),
+            "rows_per_sec": round(rows_requested / wall, 1),
+            "plane_bytes": int(stats["plane_bytes"]),
+            "plane_mb": round(stats["plane_bytes"] / 2**20, 2),
+            "base_rows_binned": int(base_rows),
+            "bundles": int(stats["bundles"]),
+            "peak_rss_mb": round(_peak_rss_bytes() / 2**20, 1),
+        }
+        assert np.isfinite(errors[mode]).all(), f"{mode}: non-finite errors"
+    base_mode = modes[0]
+    out["errors_identical"] = all(
+        errors[m] == errors[base_mode] for m in modes
+    )
+    assert out["errors_identical"], (
+        f"sketch-path modes disagree at n={n}: "
+        + ", ".join(f"{m}={errors[m]}" for m in modes)
+    )
+
+    # worker-shipping comparison: codes vs float64 over shm, same trial
+    ship_spec = specs[min(2, len(specs) - 1)]
+    ship = {}
+    for label, ship_codes in (("codes", True), ("float", False)):
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=ship_codes)
+        try:
+            trial = ex.submit(ship_spec).result(timeout=600)
+            assert trial.failure is None, f"{label} worker: {trial.failure}"
+            ship[label] = {
+                "shipped_bytes": int(ex.shipped_bytes),
+                "shipped_mb": round(ex.shipped_bytes / 2**20, 2),
+                "error": float(trial.error),
+            }
+        finally:
+            ex.shutdown()
+    cut = ship["float"]["shipped_bytes"] / ship["codes"]["shipped_bytes"]
+    out["ship"] = {
+        "codes_mb": ship["codes"]["shipped_mb"],
+        "float_mb": ship["float"]["shipped_mb"],
+        "cut": round(cut, 2),
+        "errors_equal": ship["codes"]["error"] == ship["float"]["error"],
+    }
+    assert cut >= 3.0, f"code shipping cut {cut:.2f}x < 3x at n={n}"
+    assert out["ship"]["errors_equal"], (
+        f"codes vs float worker errors differ at n={n}: "
+        f"{ship['codes']['error']} != {ship['float']['error']}"
+    )
+    return out
+
+
+def run_large_n(args, modes) -> dict:
+    """The ``--large-n`` tier: bench each row count, print the table,
+    merge the results into the existing BENCH JSON under ``large_n``."""
+    tier = {
+        "methodology": (
+            "synthetic regression (8 dense features + 10-category "
+            "one-hot block), hand-built geometric sample-size ladder "
+            "replayed serially per mode. Modes share the sketch grid "
+            "and must produce identical per-trial errors (asserted); "
+            "the legacy plane-off path is intentionally absent - above "
+            "EXACT_ROW_LIMIT the sketch grid is a semantic change. "
+            "rows/s = sum of trial sample sizes / wall. The ship "
+            "comparison exports the dataset to one process worker as "
+            "pre-binned codes vs float64 and runs the same trial "
+            "against each; 'cut' is float/codes shipped bytes "
+            "(>= 3x asserted, errors equal asserted)."
+        ),
+        "modes": list(modes),
+        "rows": {},
+    }
+    header = (f"{'n':>9}  {'trials':>6}  "
+              + "  ".join(f"{m + ' rows/s':>14}" for m in modes)
+              + f"  {'plane MB':>9}  {'ship cut':>8}  {'peak RSS MB':>11}")
+    print("\nlarge-n tier")
+    print(header)
+    for n in args.large_rows:
+        r = bench_large_n_rows(int(n), args.seed, modes)
+        tier["rows"][str(n)] = r
+        rates = "  ".join(
+            f"{r['modes'][m]['rows_per_sec']:>14,.0f}" for m in modes
+        )
+        last = r["modes"][modes[-1]]
+        print(f"{r['n']:>9}  {r['trials']:>6}  {rates}  "
+              f"{last['plane_mb']:>9.1f}  {r['ship']['cut']:>7.2f}x  "
+              f"{last['peak_rss_mb']:>11.1f}")
+    tier["peak_rss_mb"] = round(_peak_rss_bytes() / 2**20, 1)
+    if args.large_mem_limit_mb is not None:
+        if tier["peak_rss_mb"] > args.large_mem_limit_mb:
+            raise SystemExit(
+                f"FAIL: peak RSS {tier['peak_rss_mb']} MB > "
+                f"--large-mem-limit-mb {args.large_mem_limit_mb}"
+            )
+        print(f"peak RSS {tier['peak_rss_mb']} MB <= "
+              f"{args.large_mem_limit_mb} MB ceiling")
+    return tier
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="python benchmarks/bench_hotpath.py",
@@ -226,9 +447,34 @@ def main(argv=None) -> int:
                    help="exit 1 if the traced replay is more than X "
                         "(fraction, e.g. 0.05) slower than untraced "
                         "(requires --trace)")
+    p.add_argument("--large-n", action="store_true",
+                   help="run the million-row tier instead of the suite "
+                        "replay: rows/s + memory footprint at --large-rows, "
+                        "plus the codes-vs-float worker shipping "
+                        "comparison; merges into the BENCH JSON under "
+                        "'large_n'")
+    p.add_argument("--large-rows", nargs="*", type=int,
+                   default=list(LARGE_N_DEFAULT_ROWS),
+                   help="row counts for --large-n "
+                        f"(default {list(LARGE_N_DEFAULT_ROWS)})")
+    p.add_argument("--large-mem-limit-mb", type=float, default=None,
+                   metavar="MB",
+                   help="with --large-n: exit 1 if process peak RSS "
+                        "exceeds this many MB (the CI memory ceiling)")
     args = p.parse_args(argv)
     if args.trace_overhead is not None and args.trace is None:
         p.error("--trace-overhead requires --trace")
+
+    if args.large_n:
+        modes = ("plane", "native") if native_enabled() else ("plane",)
+        tier = run_large_n(args, modes)
+        record = {}
+        if args.out.exists():
+            record = json.loads(args.out.read_text())
+        record["large_n"] = tier
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"[saved to {args.out}]")
+        return 0
 
     # compile the kernels before any timed window (build is cached; a
     # box without a compiler — or REPRO_NATIVE=0 — honestly benches the

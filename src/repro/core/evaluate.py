@@ -247,10 +247,20 @@ def _plane_error(
     identical (golden-tested).
     """
     data = plane.data
-    binnable = (
-        bool(getattr(estimator_cls, "_uses_binned_plane", False))
-        and plane.exact
+    binnable = bool(getattr(estimator_cls, "_uses_binned_plane", False)) and (
+        plane.exact or plane.sketch
     )
+    if not binnable and getattr(data, "_codes_only", False):
+        # a codes-only worker holds a stub feature matrix: running a
+        # learner on it would silently fit garbage, so fail the trial
+        # loudly instead (the controller records an inf-error outcome
+        # with this message as the failure)
+        raise RuntimeError(
+            f"{estimator_cls.__name__} is not binned-plane aware but this "
+            "worker only holds shipped bin codes (no raw features); "
+            "construct the executor with ship_codes=False for mixed "
+            "learner sets"
+        )
     if resampling == "holdout":
         with trace_span("trial.bin"):
             tr, va = plane.holdout_split(holdout_ratio, seed)
@@ -363,6 +373,11 @@ def evaluate_config(
     )
     try:
         with span:
+            if plane is None and getattr(data, "_codes_only", False):
+                raise RuntimeError(
+                    "this worker only holds shipped bin codes (no raw "
+                    "features); the legacy non-plane path cannot run here"
+                )
             if resampling == "temporal":
                 error, model = _temporal_error(
                     data, estimator_cls, config, sample_size, metric,

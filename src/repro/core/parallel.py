@@ -60,6 +60,18 @@ __all__ = ["ParallelSearchController"]
 REAL_BACKENDS = ("serial", "thread", "process")
 
 
+def _all_plane_aware(learners: dict[str, LearnerSpec], task: str) -> bool:
+    """Whether every searched learner consumes binned-plane views (the
+    precondition for shipping codes instead of floats to workers)."""
+    try:
+        return bool(learners) and all(
+            getattr(spec.estimator_cls(task), "_uses_binned_plane", False)
+            for spec in learners.values()
+        )
+    except ValueError:  # a learner not supporting the task: be safe
+        return False
+
+
 class ParallelSearchController(LearnerSelectionMixin):
     """ECI-scheduled search over ``n_workers`` workers (virtual or real)."""
 
@@ -167,6 +179,12 @@ class ParallelSearchController(LearnerSelectionMixin):
                         min(self._init_sample_size, self._thread_full_size)
                         if self._use_sampling
                         else self._thread_full_size
+                    ),
+                    # when every searched learner consumes BinnedMatrix
+                    # views, process workers for large data can receive
+                    # pre-binned codes instead of the float matrix
+                    "plane_learners_only": _all_plane_aware(
+                        learners, data.task
                     ),
                 }
             )

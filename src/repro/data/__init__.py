@@ -9,6 +9,7 @@ from .binned import (
     set_plane_enabled,
     warm_plane,
 )
+from .bundling import BundledBinner, BundleLayout, find_bundles
 from .dataset import Dataset, holdout_indices, kfold_indices, stratified_shuffle
 from .generators import make_classification, make_regression
 from .io import from_csv, load_npz, save_npz, to_csv
@@ -36,9 +37,12 @@ from .timeseries import (
 
 __all__ = [
     "BinnedDataset",
+    "BundleLayout",
+    "BundledBinner",
     "Dataset",
     "DatasetSpec",
     "ForecastModel",
+    "find_bundles",
     "Imputer",
     "LagFeaturizer",
     "MANUAL_CONFIG",

@@ -135,6 +135,29 @@ class OneHotEncoder:
         """Fit on X and return the transformed X."""
         return self.fit(X).transform(X)
 
+    def output_blocks(self, d_in: int) -> list[tuple[int, int, int]]:
+        """Per encoded column: ``(source column, start, stop)`` spans in
+        the transformed matrix, for an input of ``d_in`` columns.
+
+        The transformed layout is the kept passthrough columns first,
+        then one one-hot block per encoded column in ``self.columns``
+        order.  The columns of one block are mutually exclusive by
+        construction — exactly the shape the binned plane's exclusive
+        feature bundling (:mod:`repro.data.bundling`) merges back into a
+        single coded feature at scale.  Exposed so callers (and the
+        bundling tests) can locate the blocks without re-deriving the
+        layout.
+        """
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder not fitted")
+        offset = int(d_in) - len(self.columns)  # passthrough columns
+        out = []
+        for j in self.columns:
+            width = int(self.categories_[j].size)
+            out.append((int(j), offset, offset + width))
+            offset += width
+        return out
+
 
 class Pipeline:
     """Chain preprocessors in front of an estimator.

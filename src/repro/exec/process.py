@@ -55,7 +55,9 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..core.evaluate import TrialOutcome
+from ..data.binned import BinnedDataset, plane_enabled, plane_for
 from ..data.dataset import Dataset
+from ..learners.histogram import code_dtype
 from ..obs.metrics import REGISTRY, snapshot_diff
 from ..obs.trace import drain_spans, set_tracing, tracing_enabled
 from .base import FutureHandle, TrialExecutor, TrialSpec, run_spec
@@ -65,6 +67,20 @@ __all__ = ["ProcessExecutor"]
 #: prefix of every shared-memory segment this backend creates (leak
 #: checks grep ``/dev/shm`` for it)
 SHM_PREFIX = "repro-ds-"
+
+# bytes placed in shared memory for workers, by payload kind — the
+# observable record of what the data plane actually ships ("codes"
+# instead of "X" is the large-n memory win the bench asserts)
+_HELP_SHIP = "Bytes exported into worker shared memory, by array kind."
+_m_ship = {
+    kind: REGISTRY.counter("repro_shm_shipped_bytes_total", _HELP_SHIP,
+                           kind=kind)
+    for kind in ("X", "y", "codes")
+}
+_m_segments = REGISTRY.counter(
+    "repro_shm_segments_total",
+    "Shared-memory segments created for worker datasets.",
+)
 
 #: the dataset each worker process evaluates against (set by the
 #: initializer; module-global so trials don't re-ship the arrays)
@@ -110,6 +126,37 @@ def _init_worker(payload: dict) -> None:
     global _WORKER_DATA
     if "dataset" in payload:  # legacy pickle path (object-dtype labels)
         _WORKER_DATA = payload["dataset"]
+    elif "codes" in payload:
+        # codes-only plane: attach the pre-binned uint8/uint16 base-code
+        # matrix and y; the float feature matrix never crosses.  X is a
+        # zero-byte broadcast stub (a single NaN strided to (n, d)) that
+        # only carries the shape — every trial gathers from the adopted
+        # codes, and evaluate_config fails loudly if anything tries to
+        # read raw features
+        arrays = {}
+        for field in ("codes", "y"):
+            meta = payload[field]
+            shm = _attach_segment(meta["shm"])
+            _WORKER_SEGMENTS.append(shm)
+            arr = np.ndarray(
+                meta["shape"], dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+            )
+            arr.flags.writeable = False
+            arrays[field] = arr
+        n, d = payload["x_shape"]
+        stub = np.lib.stride_tricks.as_strided(
+            np.full(1, np.nan), shape=(int(n), int(d)), strides=(0, 0)
+        )
+        stub.flags.writeable = False
+        _WORKER_DATA = Dataset(
+            payload["name"], stub, arrays["y"], payload["task"],
+            tuple(payload["categorical"]),
+        )
+        _WORKER_DATA._codes_only = True
+        plane_for(_WORKER_DATA).adopt_global_codes(
+            payload["base"], payload["counts"], payload["defaults"],
+            payload["bundles"], arrays["codes"],
+        )
     else:
         arrays = {}
         for field in ("X", "y"):
@@ -130,6 +177,8 @@ def _init_worker(payload: dict) -> None:
         from ..data.binned import warm_plane
 
         try:
+            warmup = dict(warmup)
+            warmup.pop("plane_learners_only", None)
             warm_plane(_WORKER_DATA, **warmup)
         except Exception:  # pragma: no cover - warmup must never kill init
             pass
@@ -221,14 +270,29 @@ class ProcessExecutor(TrialExecutor):
 
     def __init__(self, data: Dataset, n_workers: int = 2,
                  mp_context: str | None = None,
-                 warmup: dict | None = None) -> None:
+                 warmup: dict | None = None,
+                 ship_codes: bool | None = None) -> None:
         """``warmup`` is an optional plane-warmup context forwarded to
         :func:`repro.data.binned.warm_plane` in every worker initializer
-        (keys: resampling, holdout_ratio, seed, n_splits, sample_size)
-        so first trials start against warm split/code caches."""
+        (keys: resampling, holdout_ratio, seed, n_splits, sample_size,
+        plus the advisory ``plane_learners_only`` flag) so first trials
+        start against warm split/code caches.
+
+        ``ship_codes`` selects the worker data plane: ``True`` exports
+        the pre-binned uint8/uint16 sketch-grid code matrix instead of
+        the float64 feature matrix (~8x fewer bytes; workers then can
+        only run binned-plane-aware learners), ``False`` always ships
+        floats, and ``None`` (default) ships codes automatically when
+        the dataset is past the exact-binning limit, the plane is
+        enabled, and the warmup context says every searched learner is
+        plane-aware.  Object-dtype labels always fall back to the
+        pickled-dataset init regardless."""
         super().__init__(data, n_workers=n_workers)
         self._mp_context = mp_context
         self._warmup = dict(warmup) if warmup else None
+        self._ship_codes = ship_codes
+        #: how the dataset went out: "codes", "float" or "pickle"
+        self.ship_mode: str = "float"
         self._segments: list[shared_memory.SharedMemory] = []
         # backstop: unlink on garbage collection / interpreter exit if the
         # owner forgot shutdown(); shares the mutable list with shutdown,
@@ -246,7 +310,7 @@ class ProcessExecutor(TrialExecutor):
             raise
 
     # ------------------------------------------------------------------
-    def _export_array(self, arr: np.ndarray) -> dict:
+    def _export_array(self, arr: np.ndarray, kind: str = "X") -> dict:
         arr = np.ascontiguousarray(arr)
         shm = shared_memory.SharedMemory(
             create=True,
@@ -255,24 +319,90 @@ class ProcessExecutor(TrialExecutor):
         )
         np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
         self._segments.append(shm)
+        _m_segments.inc()
+        _m_ship.get(kind, _m_ship["X"]).inc(int(arr.nbytes))
         return {"shm": shm.name, "shape": arr.shape, "dtype": arr.dtype.str}
+
+    def _resolve_ship_codes(self, data: Dataset, y: np.ndarray) -> bool:
+        """Decide the codes-vs-floats plane (see ``__init__``)."""
+        if self._ship_codes is False or y.dtype.hasobject:
+            return False
+        if not plane_enabled():
+            return False
+        if self._ship_codes is True:
+            return True
+        warm = self._warmup or {}
+        return (
+            bool(warm.get("plane_learners_only"))
+            and warm.get("resampling") in ("holdout", "cv")
+            and data.n > BinnedDataset.EXACT_ROW_LIMIT
+        )
+
+    def _export_codes(self, data: Dataset) -> dict:
+        """Export the sketch-grid base-code matrix + grid state.
+
+        The code segment is filled chunk-wise straight from the plane,
+        so the parent never materialises a second full-size array; the
+        grid itself (base binner, counts, defaults, bundles) is tiny
+        and rides the pickled init payload.
+        """
+        plane = plane_for(data)
+        st = plane.sketch_state()
+        base = st["base"]
+        dtype = code_dtype(int(base.n_bins_.max()))
+        shape = (data.n, data.d)
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, shape[0] * shape[1] * dtype.itemsize),
+            name=f"{SHM_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:12]}",
+        )
+        self._segments.append(shm)
+        out = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        plane.fill_base_codes(out)
+        _m_segments.inc()
+        _m_ship["codes"].inc(int(out.nbytes))
+        return {
+            "codes": {"shm": shm.name, "shape": shape, "dtype": dtype.str},
+            "x_shape": shape,
+            "base": base,
+            "counts": st["counts"],
+            "defaults": st["defaults"],
+            "bundles": st["bundles"],
+        }
 
     def _export_dataset(self, data: Dataset) -> dict:
         y = np.asarray(data.y)
         if y.dtype.hasobject:
             # object labels have no fixed-size buffer; ship the pickle
             payload = {"dataset": data}
+            self.ship_mode = "pickle"
+        elif self._resolve_ship_codes(data, y):
+            payload = {
+                "name": data.name,
+                "task": data.task,
+                "categorical": tuple(data.categorical),
+                "y": self._export_array(y, kind="y"),
+            }
+            payload.update(self._export_codes(data))
+            self.ship_mode = "codes"
         else:
             payload = {
                 "name": data.name,
                 "task": data.task,
                 "categorical": tuple(data.categorical),
-                "X": self._export_array(np.asarray(data.X, dtype=np.float64)),
-                "y": self._export_array(y),
+                "X": self._export_array(np.asarray(data.X, dtype=np.float64),
+                                        kind="X"),
+                "y": self._export_array(y, kind="y"),
             }
+            self.ship_mode = "float"
         if self._warmup:
             payload["warmup"] = self._warmup
         return payload
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Total bytes currently held in this executor's shm segments."""
+        return sum(int(shm.size) for shm in self._segments)
 
     def _make_pool(self) -> ProcessPoolExecutor:
         ctx = (

@@ -1,0 +1,223 @@
+"""Property + regression tests for the large-n sketch binning grid.
+
+The sketch path (``repro.learners.histogram.SketchBinner`` +
+``DerivedBinner``) is what lets the data plane bin 10^5..10^6-row
+datasets once, dataset-level, and serve every fold and every searched
+``max_bin`` as a gather.  Its contract is stated in four properties:
+
+* fitted edges are strictly increasing per feature;
+* codes stay within per-feature bounds (``0 <= c < n_bins_[j]`` and
+  ``n_bins_[j] <= max_bins + 1``);
+* when the sketch covers the data (``sketch_size >= n``) the fit is
+  *exactly* ``Binner(max_bins).fit`` — the sketch is a strict
+  generalisation, not a different binner;
+* the sketch is a pure function of ``(n, sketch_size, seed)`` — two
+  processes fitting the same data get byte-identical grids.
+
+Plus the derived-grid theorem the shm code plane rests on: remapping
+base codes equals transforming the raw floats.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.histogram import (
+    MISSING_BIN,
+    Binner,
+    DerivedBinner,
+    SketchBinner,
+    code_dtype,
+)
+
+
+def _make_X(seed: int, n: int, d: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    # mixed regimes: a low-cardinality column and some missing values
+    X[:, -1] = rng.integers(0, 7, size=n)
+    X[rng.random((n, d)) < 0.05] = np.nan
+    return X
+
+
+def _sketch_counts(base: SketchBinner, X: np.ndarray) -> list:
+    rows = base.sketch_rows(X.shape[0])
+    sk = base.transform(X[rows])
+    return [
+        np.bincount(sk[:, j], minlength=int(base.n_bins_[j]))
+        for j in range(X.shape[1])
+    ]
+
+
+class TestSketchBinnerProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_edges_strictly_increasing(self, seed, max_bins):
+        X = _make_X(seed, 400)
+        b = SketchBinner(max_bins=max_bins, sketch_size=128, seed=0).fit(X)
+        for e in b.bin_edges_:
+            assert (np.diff(e) > 0).all()
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_codes_within_bounds(self, seed, max_bins):
+        X = _make_X(seed, 500)
+        b = SketchBinner(max_bins=max_bins, sketch_size=128, seed=0).fit(X)
+        codes = b.transform(X)
+        assert codes.min() >= 0
+        assert (codes < b.n_bins_[None, :]).all()
+        assert (b.n_bins_ <= max_bins + 1).all()
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_parity_when_sketch_covers_data(self, seed, max_bins):
+        """sketch_size >= n  =>  the fit equals a plain Binner fit."""
+        X = _make_X(seed, 300)
+        sk = SketchBinner(max_bins=max_bins, sketch_size=1000, seed=7).fit(X)
+        ex = Binner(max_bins=max_bins).fit(X)
+        assert len(sk.bin_edges_) == len(ex.bin_edges_)
+        for a, b in zip(sk.bin_edges_, ex.bin_edges_):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(sk.n_bins_, ex.n_bins_)
+        np.testing.assert_array_equal(sk.transform(X), ex.transform(X))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_seed_determinism(self, seed):
+        """Two independent fits of the same data are byte-identical —
+        the property that lets parent and worker agree on a grid."""
+        X = _make_X(seed, 700)
+        b1 = SketchBinner(max_bins=31, sketch_size=200, seed=3).fit(X)
+        b2 = SketchBinner(max_bins=31, sketch_size=200, seed=3).fit(X.copy())
+        for a, b in zip(b1.bin_edges_, b2.bin_edges_):
+            np.testing.assert_array_equal(a, b)
+        c1, c2 = b1.transform(X), b2.transform(X)
+        assert c1.tobytes() == c2.tobytes()
+        np.testing.assert_array_equal(
+            b1.sketch_rows(700), b2.sketch_rows(700)
+        )
+
+    def test_different_seed_different_sketch(self):
+        b1 = SketchBinner(max_bins=255, sketch_size=50, seed=0)
+        b2 = SketchBinner(max_bins=255, sketch_size=50, seed=1)
+        assert not np.array_equal(b1.sketch_rows(1000), b2.sketch_rows(1000))
+
+    def test_sketch_rows_are_sorted_subset(self):
+        rows = SketchBinner(sketch_size=100, seed=0).sketch_rows(5000)
+        assert rows.size == 100
+        assert (np.diff(rows) > 0).all()  # sorted, no repeats
+        assert rows.min() >= 0 and rows.max() < 5000
+
+    def test_small_n_is_identity_sketch(self):
+        rows = SketchBinner(sketch_size=131_072).sketch_rows(50)
+        np.testing.assert_array_equal(rows, np.arange(50))
+
+    def test_rejects_degenerate_sketch_size(self):
+        with pytest.raises(ValueError):
+            SketchBinner(sketch_size=1)
+
+
+class TestDerivedBinnerProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_remap_equals_float_transform(self, seed, max_bins):
+        """The load-bearing theorem: gathering base codes through the
+        remap gives exactly the codes of transforming the raw floats —
+        so a worker holding only uint8 base codes loses nothing."""
+        X = _make_X(seed, 600)
+        base = SketchBinner(max_bins=255, sketch_size=10_000, seed=0).fit(X)
+        der = DerivedBinner(base, _sketch_counts(base, X), max_bins)
+        via_remap = der.codes_from_base(base.transform(X))
+        via_float = der.transform(X)
+        assert via_remap.dtype == via_float.dtype
+        assert via_remap.tobytes() == via_float.tobytes()
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_derived_edges_subset_of_base(self, seed, max_bins):
+        X = _make_X(seed, 500)
+        base = SketchBinner(max_bins=255, sketch_size=10_000, seed=0).fit(X)
+        der = DerivedBinner(base, _sketch_counts(base, X), max_bins)
+        for e, be in zip(der.bin_edges_, base.bin_edges_):
+            assert np.isin(e, be).all()
+            assert (np.diff(e) > 0).all()
+            assert e.size + 2 <= max_bins + 2  # n_bins <= max_bins + 1
+
+    def test_coarsening_is_monotone(self):
+        """Derived codes preserve value order (they are a grouping of
+        ordered base bins, never a shuffle)."""
+        X = np.linspace(-4, 4, 1000).reshape(-1, 1)
+        base = SketchBinner(max_bins=255, sketch_size=10_000, seed=0).fit(X)
+        der = DerivedBinner(base, _sketch_counts(base, X), 8)
+        codes = der.codes_from_base(base.transform(X))
+        assert (np.diff(codes[:, 0].astype(int)) >= 0).all()
+
+    def test_missing_bin_is_preserved(self):
+        X = np.array([[np.nan], [1.0], [np.nan], [2.0], [3.0]])
+        base = SketchBinner(max_bins=255).fit(X)
+        der = DerivedBinner(base, _sketch_counts(base, X), 2)
+        codes = der.codes_from_base(base.transform(X))
+        assert codes[0, 0] == MISSING_BIN and codes[2, 0] == MISSING_BIN
+        assert (codes[[1, 3, 4], 0] != MISSING_BIN).all()
+
+    def test_requires_fitted_base(self):
+        with pytest.raises(RuntimeError):
+            DerivedBinner(Binner(), [], 8)
+
+
+class TestCodeDtype:
+    """The uint8/uint16 boundary: 256 codes (255 value bins + missing)
+    is exactly uint8's range; promoting at 256 instead of 257 used to
+    double every code matrix shipped at the default max_bins."""
+
+    def test_boundary(self):
+        assert code_dtype(256) == np.uint8
+        assert code_dtype(257) == np.uint16
+        assert code_dtype(2) == np.uint8
+        assert code_dtype(65_536) == np.uint16
+
+    def test_default_binner_stays_uint8(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((5000, 2))  # > 255 distinct values
+        b = Binner(max_bins=255)
+        codes = b.fit_transform(X)
+        assert int(b.n_bins_.max()) == 256
+        assert codes.dtype == np.uint8
+        assert codes.max() == 255  # the full range is actually used
+
+    def test_many_bins_promote_to_uint16_without_truncation(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((5000, 1))
+        b = Binner(max_bins=300)
+        codes = b.fit_transform(X)
+        assert codes.dtype == np.uint16
+        assert int(codes.max()) > 255  # codes beyond uint8 survive intact
+        assert int(codes.max()) < int(b.n_bins_[0])
+
+    def test_constant_column_at_scale(self):
+        X = np.column_stack([np.full(4000, 7.5),
+                             np.random.default_rng(2).standard_normal(4000)])
+        b = SketchBinner(max_bins=255, sketch_size=512, seed=0).fit(X)
+        codes = b.transform(X)
+        assert len(np.unique(codes[:, 0])) == 1
+        assert codes[0, 0] != MISSING_BIN
+        assert int(b.n_bins_[0]) == 2  # missing + the single value bin
+
+    def test_all_nan_column_at_scale(self):
+        X = np.column_stack([np.full(4000, np.nan),
+                             np.random.default_rng(3).standard_normal(4000)])
+        b = SketchBinner(max_bins=255, sketch_size=512, seed=0).fit(X)
+        codes = b.transform(X)
+        assert (codes[:, 0] == MISSING_BIN).all()
+        # empty edges: the missing bin plus one (never-hit) value slot
+        assert int(b.n_bins_[0]) == 2
+        # and the derived grid tolerates the degenerate feature
+        der = DerivedBinner(b, _sketch_counts(b, X), 4)
+        dc = der.codes_from_base(codes)
+        assert (dc[:, 0] == MISSING_BIN).all()

@@ -244,6 +244,233 @@ class TestWorkerPlaneWarmup:
             ctl.engine.shutdown()
 
 
+def _attach_worker(ex):
+    """Run ``_init_worker`` in this process (the established pattern for
+    inspecting worker-side state); returns the saved globals."""
+    saved = (process_mod._WORKER_DATA, list(process_mod._WORKER_SEGMENTS))
+    process_mod._WORKER_SEGMENTS.clear()
+    process_mod._init_worker(ex._init_payload)
+    return saved
+
+
+def _detach_worker(saved):
+    data_saved, segs_saved = saved
+    for shm in process_mod._WORKER_SEGMENTS:
+        shm.close()
+    process_mod._WORKER_SEGMENTS[:] = segs_saved
+    process_mod._WORKER_DATA = data_saved
+
+
+class TestCodesPlane:
+    """The large-n code-shipping plane: workers get the pre-binned
+    uint8/uint16 sketch-grid matrix over shm instead of float64 X.
+    Legal only because codes are fold-independent
+    (tests/data/test_fold_independence.py); these tests cover the
+    transport: export/attach, dtype handling, fallbacks, teardown, and
+    the loud failure when a non-plane learner lands on a codes worker.
+    """
+
+    def _big(self, seed=0, n=3000, name="shm-codes"):
+        return make_classification(n, 6, class_sep=1.2, seed=seed,
+                                   name=name).shuffled(seed)
+
+    def test_codes_payload_replaces_float_matrix(self, monkeypatch):
+        from repro.data.binned import BinnedDataset
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        data = self._big()
+        with ProcessExecutor(data, n_workers=1, ship_codes=True) as ex:
+            payload = ex._init_payload
+            assert ex.ship_mode == "codes"
+            assert "X" not in payload and "dataset" not in payload
+            assert np.dtype(payload["codes"]["dtype"]) == np.uint8
+            assert tuple(payload["x_shape"]) == (data.n, data.d)
+            float_bytes = data.n * data.d * 8
+            # uint8 codes + float64 y: ~(d + 8) / 8d of the float plane
+            assert ex.shipped_bytes <= float_bytes / 3
+
+    def test_worker_adopts_codes_and_stubs_x(self, monkeypatch):
+        from repro.data import plane_for
+        from repro.data.binned import BinnedDataset
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        data = self._big(seed=1, name="shm-codes-adopt")
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=True)
+        saved = _attach_worker(ex)
+        try:
+            wd = process_mod._WORKER_DATA
+            assert wd._codes_only
+            # the feature matrix is a zero-byte broadcast stub
+            assert wd.X.shape == (data.n, data.d)
+            assert wd.X.strides == (0, 0)
+            assert not wd.X.flags.writeable
+            stats = plane_for(wd).stats()
+            assert stats["adopted_codes"] and stats["sketch"]
+            assert stats["base_codes_bytes"] == data.n * data.d
+        finally:
+            _detach_worker(saved)
+            ex.shutdown()
+
+    def test_codes_trial_equals_float_trial_equals_serial(self, monkeypatch):
+        """The load-bearing equality: the same spec evaluated on a
+        codes-only worker, a float-shm worker, and serially in the
+        parent produces the identical error."""
+        from repro.data.binned import BinnedDataset
+        from repro.exec import SerialExecutor
+        from repro.exec.base import run_spec
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        data = self._big(seed=2, name="shm-codes-eq")
+        spec = make_spec(sample_size=2000)
+        serial = SerialExecutor(data).submit(spec).result()
+
+        errors = {}
+        for mode, ship in (("codes", True), ("float", False)):
+            ex = ProcessExecutor(data, n_workers=1, ship_codes=ship)
+            saved = _attach_worker(ex)
+            try:
+                assert ex.ship_mode == mode
+                errors[mode] = run_spec(process_mod._WORKER_DATA, spec).error
+            finally:
+                _detach_worker(saved)
+                ex.shutdown()
+        assert errors["codes"] == serial.error
+        assert errors["float"] == serial.error
+
+    def test_real_subprocess_codes_trial(self, monkeypatch):
+        """End-to-end through a real worker process: the grid state must
+        survive pickling and the trial must match the parent's sketch
+        evaluation."""
+        from repro.data.binned import BinnedDataset
+        from repro.exec import SerialExecutor
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        data = self._big(seed=3, name="shm-codes-e2e")
+        spec = make_spec(sample_size=2000)
+        serial = SerialExecutor(data).submit(spec).result()
+        with ProcessExecutor(data, n_workers=1, ship_codes=True) as ex:
+            remote = ex.submit(spec).result(timeout=120)
+        assert remote.failure is None
+        assert remote.error == serial.error
+
+    def test_uint16_grid_roundtrip(self, monkeypatch):
+        """A base grid past 256 codes ships and attaches as uint16."""
+        from repro.data import plane_for
+        from repro.data.binned import BinnedDataset
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        monkeypatch.setattr(BinnedDataset, "SKETCH_BASE_BINS", 300)
+        data = self._big(seed=4, name="shm-codes-u16")
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=True)
+        saved = _attach_worker(ex)
+        try:
+            assert np.dtype(ex._init_payload["codes"]["dtype"]) == np.uint16
+            wd = process_mod._WORKER_DATA
+            worker_plane = plane_for(wd)
+            parent_plane = plane_for(data)
+            rows = np.arange(0, data.n, 11)
+            a = worker_plane._base_codes_rows(rows)
+            b = parent_plane._base_codes_rows(rows)
+            assert a.dtype == np.uint16
+            assert a.tobytes() == b.tobytes()
+        finally:
+            _detach_worker(saved)
+            ex.shutdown()
+
+    def test_auto_resolution_needs_plane_only_learners(self, monkeypatch):
+        from repro.data.binned import BinnedDataset
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        data = self._big(seed=5, name="shm-codes-auto")
+        warm = {"resampling": "holdout", "holdout_ratio": 0.1, "seed": 0,
+                "sample_size": 500, "plane_learners_only": True}
+        with ProcessExecutor(data, n_workers=1, warmup=warm) as ex:
+            assert ex.ship_mode == "codes"
+        mixed = dict(warm, plane_learners_only=False)
+        with ProcessExecutor(data, n_workers=1, warmup=mixed) as ex:
+            assert ex.ship_mode == "float"
+        # explicit opt-out always wins
+        with ProcessExecutor(data, n_workers=1, warmup=warm,
+                             ship_codes=False) as ex:
+            assert ex.ship_mode == "float"
+
+    def test_auto_stays_float_below_exact_limit(self):
+        data = self._big(seed=6, name="shm-codes-small")
+        warm = {"resampling": "holdout", "holdout_ratio": 0.1, "seed": 0,
+                "sample_size": 500, "plane_learners_only": True}
+        with ProcessExecutor(data, n_workers=1, warmup=warm) as ex:
+            assert ex.ship_mode == "float"  # exact path stays bitwise
+
+    def test_object_labels_fall_back_to_pickle(self):
+        X = np.random.default_rng(0).standard_normal((300, 3))
+        y = np.array(["a", "b"] * 150, dtype=object)
+        data = Dataset("obj-codes", X, y, "binary")
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=True)
+        try:
+            assert ex.ship_mode == "pickle"
+            assert "dataset" in ex._init_payload
+            assert ex._segments == []
+        finally:
+            ex.shutdown()
+
+    def test_non_plane_learner_fails_loudly(self, monkeypatch):
+        """A learner that needs raw features must surface an inf-error
+        trial with an explanatory failure, never fit the NaN stub."""
+        from repro.data.binned import BinnedDataset
+        from repro.exec.base import run_spec
+        from repro.learners import LogisticRegressionL1
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        data = self._big(seed=7, name="shm-codes-guard")
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=True)
+        saved = _attach_worker(ex)
+        try:
+            spec = make_spec(estimator_cls=LogisticRegressionL1,
+                             learner="lrl1", config={"C": 1.0},
+                             sample_size=2000)
+            out = run_spec(process_mod._WORKER_DATA, spec)
+            assert out.error == np.inf
+            assert out.failure is not None
+            assert "not binned-plane aware" in out.failure
+        finally:
+            _detach_worker(saved)
+            ex.shutdown()
+
+    def test_codes_segments_unlinked_on_shutdown(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.data.binned import BinnedDataset
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        before = shm_files()
+        data = self._big(seed=8, name="shm-codes-teardown")
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=True)
+        names = [s.name for s in ex._segments]
+        assert len(names) == 2  # y and codes
+        ex.submit(make_spec(sample_size=2000)).result(timeout=120)
+        ex.shutdown()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert shm_files() == before
+
+    def test_crash_rebuild_leaks_nothing(self, monkeypatch):
+        from repro.data.binned import BinnedDataset
+
+        monkeypatch.setattr(BinnedDataset, "EXACT_ROW_LIMIT", 100)
+        before = shm_files()
+        data = self._big(seed=9, name="shm-codes-crash")
+        ex = ProcessExecutor(data, n_workers=1, ship_codes=True)
+        crash = make_spec(estimator_cls=ExitingLearner, learner="exit",
+                          sample_size=2000)
+        with pytest.raises(Exception):
+            ex.submit(crash).result(timeout=120)
+        out = ex.submit(make_spec(sample_size=2000)).result(timeout=120)
+        assert np.isfinite(out.error)
+        ex.shutdown()
+        assert shm_files() == before
+
+
 class TestTeardown:
     def test_shutdown_unlinks_all_segments(self, data):
         from multiprocessing import shared_memory
