@@ -23,6 +23,17 @@ compiled traversal plane a single-row predict is sub-0.1 ms, so the
 throughput multiplier no longer applies there (the tail win does).
 Set ``REPRO_BENCH_SERVE_HTTP=1`` to run the same comparison over the
 real HTTP server (adds socket overhead to both sides).
+
+The bench also drives an **overload leg** (always in-process, always
+gated — the injected model delay dominates, so the numbers are not
+runner-noise): a server with admission control (``max_inflight``),
+a bounded predict queue (``max_queue``) and an injected per-predict
+delay (the ``http.predict`` fault site) is hit by more concurrency than
+it admits.  It must shed the excess (the 429/503 surface:
+``AdmissionRejected`` / ``BatcherSaturated`` / ``DeadlineExceeded``),
+keep the *accepted* requests' p99 bounded (load shedding is precisely
+the trade of availability-for-everyone into latency-for-the-admitted),
+and serve normally again the moment the load stops.
 """
 
 from __future__ import annotations
@@ -45,6 +56,17 @@ REQUESTS_PER_CLIENT = 40
 MAX_BATCH = 64
 MAX_DELAY_MS = 5.0
 HTTP = os.environ.get("REPRO_BENCH_SERVE_HTTP", "0") == "1"
+
+# overload leg: 8 clients against a 2-slot admission budget, every
+# predict slowed by an injected 20 ms — deterministic pressure
+OVERLOAD_CLIENTS = 8
+OVERLOAD_REQUESTS = 6
+OVERLOAD_INFLIGHT = 2
+OVERLOAD_QUEUE = 4
+OVERLOAD_DELAY_S = 0.02
+#: accepted requests ride one injected delay + batching window + slack;
+#: an unbounded queue would instead stack (clients/inflight) delays
+OVERLOAD_P99_SLO_MS = 250.0
 
 
 def make_artifact():
@@ -109,6 +131,71 @@ def bench_mode(artifact, rows, batching: bool) -> dict:
     }
 
 
+def bench_overload(artifact, rows) -> dict:
+    """Overload the admission-controlled server; measure shed/accepted
+    split, accepted-request p99, and post-load recovery."""
+    from repro.faults import FaultPlan, install
+    from repro.serve.batching import BatcherSaturated
+    from repro.serve.server import AdmissionRejected, DeadlineExceeded
+
+    server = ModelServer(
+        artifacts={"bench": artifact}, max_batch=MAX_BATCH,
+        max_delay_ms=MAX_DELAY_MS,
+        max_inflight=OVERLOAD_INFLIGHT, max_queue=OVERLOAD_QUEUE,
+    )
+    prev = install(FaultPlan({"http.predict": {
+        "probability": 1.0, "mode": "delay", "param": OVERLOAD_DELAY_S,
+    }}))
+    counts = {"ok": 0, "shed": 0, "error": 0}
+    accepted_lat: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(OVERLOAD_CLIENTS)
+
+    def client(cid: int):
+        barrier.wait()
+        for i in range(OVERLOAD_REQUESTS):
+            t0 = time.perf_counter()
+            try:
+                server.predict("bench", rows[(cid + i) % len(rows)])
+            except (AdmissionRejected, BatcherSaturated, DeadlineExceeded):
+                with lock:
+                    counts["shed"] += 1
+                continue
+            except Exception:
+                with lock:
+                    counts["error"] += 1
+                continue
+            dt = time.perf_counter() - t0
+            with lock:
+                counts["ok"] += 1
+                accepted_lat.append(dt)
+
+    try:
+        threads = [threading.Thread(target=client, args=(c,))
+                   for c in range(OVERLOAD_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        install(prev)
+    # the load is gone: the very next request must be served normally
+    try:
+        server.predict("bench", rows[0])
+        recovered = True
+    except Exception:
+        recovered = False
+    server.close()
+    p99 = (float(np.percentile(accepted_lat, 99)) * 1e3
+           if accepted_lat else float("nan"))
+    return {
+        **counts,
+        "accepted_p99_ms": p99,
+        "recovered": recovered,
+        "shed_by_reason": dict(server.shed_counts),
+    }
+
+
 def main() -> None:
     global N_CLIENTS, REQUESTS_PER_CLIENT
     ap = argparse.ArgumentParser(
@@ -151,6 +238,17 @@ def main() -> None:
         f"micro-batching p99 improvement: {p99_ratio:.1f}x"
         + ("" if HTTP else " (target: >= 2x)"),
     ]
+    overload = bench_overload(artifact, rows)
+    lines += [
+        "",
+        f"overload ({OVERLOAD_CLIENTS} clients, max_inflight="
+        f"{OVERLOAD_INFLIGHT}, max_queue={OVERLOAD_QUEUE}, injected "
+        f"{OVERLOAD_DELAY_S * 1e3:.0f}ms/predict): "
+        f"ok={overload['ok']} shed={overload['shed']} "
+        f"accepted p99={overload['accepted_p99_ms']:.1f}ms "
+        f"(SLO {OVERLOAD_P99_SLO_MS:.0f}ms) "
+        f"recovered={overload['recovered']}",
+    ]
     save_text("serving.txt", "\n".join(lines))
     if args.out:
         record = {
@@ -166,10 +264,26 @@ def main() -> None:
             "batched": batched,
             "speedup": speedup,
             "p99_improvement": p99_ratio,
+            "overload": overload,
         }
         with open(args.out, "w") as f:
             json.dump(record, f, indent=2)
         print(f"record written to {args.out}")
+    # the overload gates hold in --quick too: the injected delay (not
+    # the runner) sets the timescale, so sheds and the accepted-p99
+    # bound are deterministic properties of the admission machinery
+    assert overload["shed"] > 0, "overload shed zero requests"
+    assert overload["ok"] > 0, "overload starved every request"
+    assert overload["error"] == 0, (
+        f"{overload['error']} overload requests failed with a non-shed "
+        "error"
+    )
+    assert overload["recovered"], "server did not recover after overload"
+    assert overload["accepted_p99_ms"] <= OVERLOAD_P99_SLO_MS, (
+        f"accepted p99 {overload['accepted_p99_ms']:.1f}ms blew the "
+        f"{OVERLOAD_P99_SLO_MS:.0f}ms SLO — admitted requests are "
+        "queueing behind shed-worthy load"
+    )
     if not HTTP and not args.quick:
         # the acceptance targets apply to the in-process path, where the
         # model call is the cost being measured; over HTTP on one core,

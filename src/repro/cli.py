@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["serial", "thread", "process", "virtual"],
                      help="trial-execution backend (default: serial, or "
                           "thread when --n-workers > 1)")
+    fit.add_argument("--retries", type=int, default=0,
+                     help="retry crashed/timed-out trials up to this many "
+                          "times each, with exponential backoff "
+                          "(default 0: no retries)")
+    fit.add_argument("--retry-budget", type=int, default=None,
+                     help="cap on total retries across the whole search "
+                          "(default: unlimited when --retries > 0)")
     fit.add_argument("--out", default="model.json",
                      help="model file to write (default model.json)")
     fit.add_argument("--pickle", action="store_true",
@@ -149,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--slow-ms", type=float, default=500.0,
                      help="log requests slower than this many milliseconds "
                           "with their request id; 0 disables (default 500)")
+    srv.add_argument("--max-inflight", type=int, default=None,
+                     help="admission control: cap on concurrently accepted "
+                          "predict requests; excess requests get 429 "
+                          "Retry-After (default: unbounded)")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="per-request deadline; requests whose prediction "
+                          "finishes after it get 503 (default: none)")
+    srv.add_argument("--max-queue", type=int, default=None,
+                     help="cap on rows queued in each model's micro-batcher; "
+                          "a full queue sheds with 503 Retry-After "
+                          "(default: unbounded)")
 
     tr = sub.add_parser(
         "trace", help="work with span traces (see fit --trace)"
@@ -187,6 +205,26 @@ def build_parser() -> argparse.ArgumentParser:
     reg_rollback.add_argument("registry_dir")
     reg_rollback.add_argument("name")
     reg_rollback.add_argument("stage")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic chaos drill: run a small search + serving "
+             "session under seeded fault injection and verify recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed; same seed => same faults, "
+                            "same retries, same best config (default 0)")
+    chaos.add_argument("--budget", default="30s",
+                       help="wall-clock budget for the drill, e.g. 30s, "
+                            "2m (default 30s)")
+    chaos.add_argument("--backend", default="process",
+                       choices=["serial", "thread", "process"],
+                       help="trial-execution backend to stress "
+                            "(default process)")
+    chaos.add_argument("--skip-serving", action="store_true",
+                       help="skip the serving overload/quarantine phase")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the drill report as JSON")
 
     pf = sub.add_parser("portfolio", help="meta-learning portfolio tools")
     pf_sub = pf.add_subparsers(dest="pf_command", required=True)
@@ -239,6 +277,8 @@ def _cmd_fit(args) -> int:
             n_workers=args.n_workers,
             backend=args.backend,
             log_file=args.log,
+            retries=args.retries,
+            retry_budget=args.retry_budget,
             **forecast_kw,
         )
     finally:
@@ -300,12 +340,20 @@ def _cmd_fit(args) -> int:
         ns = native_status()
         reason = f" ({ns['reason']})" if ns["reason"] else ""
         print(f"native       : {ns['mode']}{reason}")
+        retried = sum(
+            max(0, getattr(t, "attempts", 1) - 1) for t in result.trials
+        )
+        if retried:
+            print(f"retries      : {retried}")
         failures = result.failures
         if failures:
             print(f"failed trials: {len(failures)}")
             for t in failures[:5]:
                 last_line = t.failure.strip().splitlines()[-1]
-                print(f"  iter {t.iteration} {t.learner}: {last_line}")
+                attempts = getattr(t, "attempts", 1)
+                tries = f" ({attempts} attempts)" if attempts > 1 else ""
+                print(f"  iter {t.iteration} {t.learner}{tries}: "
+                      f"{last_line}")
     if args.trace:
         print(f"trace        : {args.trace} "
               "(python -m repro trace summarize)")
@@ -451,19 +499,20 @@ def _cmd_serve(args) -> int:
 
     if (args.registry is None) == (args.artifact is None):
         raise ValueError("serve needs exactly one of --registry / --artifact")
+    common = dict(
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        batching=not args.no_batching, max_horizon=args.max_horizon,
+        slow_request_ms=args.slow_ms, max_inflight=args.max_inflight,
+        deadline_ms=args.deadline_ms, max_queue=args.max_queue,
+    )
     if args.registry is not None:
         model_server = ModelServer(
-            registry=ModelRegistry(args.registry),
-            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
-            batching=not args.no_batching, max_horizon=args.max_horizon,
-            slow_request_ms=args.slow_ms,
+            registry=ModelRegistry(args.registry), **common
         )
     else:
         model_server = ModelServer(
             artifacts={args.name: PipelineArtifact.load(args.artifact)},
-            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
-            batching=not args.no_batching, max_horizon=args.max_horizon,
-            slow_request_ms=args.slow_ms,
+            **common,
         )
     serve(model_server, host=args.host, port=args.port)
     return 0
@@ -508,9 +557,11 @@ def _cmd_registry(args) -> int:
         print(name)
         for entry in registry.versions(name):
             marks = ",".join(sorted(by_version.get(entry["version"], [])))
+            quarantined = (" QUARANTINED"
+                           if entry.get("quarantined") else "")
             print(f"  v{entry['version']:<3} task={entry['task']:<11} "
                   f"sha256={entry['sha256'][:12]} "
-                  f"{('[' + marks + ']') if marks else ''}")
+                  f"{('[' + marks + ']') if marks else ''}{quarantined}")
     return 0
 
 
@@ -546,6 +597,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "registry":
             return _cmd_registry(args)
+        if args.command == "chaos":
+            from .faults.chaos import run_drill
+
+            return run_drill(args)
         if args.command == "portfolio":
             return _cmd_portfolio(args)
     except (ValueError, FileNotFoundError) as exc:

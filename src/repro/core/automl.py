@@ -195,6 +195,8 @@ class AutoML:
         trial_time_limit: float | None = None,
         horizon: int = 1,
         seasonal_period: int | None = None,
+        retries: int = 0,
+        retry_budget: int | None = None,
     ) -> "AutoML":
         """Search for an accurate model within ``time_budget`` seconds.
 
@@ -231,6 +233,15 @@ class AutoML:
         as inf-error), advisory on serial/virtual ones, where trials run
         inline and stop early only if the learner honours its
         ``train_time_limit``.
+
+        ``retries`` re-runs a trial that *crashed* (worker death,
+        infrastructure error) or *timed out* up to that many extra times
+        with exponential backoff before committing an inf-error — a
+        deterministic learner exception is never retried.
+        ``retry_budget`` caps the total retries spent across the whole
+        search (default: unlimited).  Retried trials record their
+        attempt count in the trial log (``SearchResult.failures`` /
+        ``fit --verbose``).
 
         ``task="forecast"`` treats ``y_train`` as an ordered univariate
         series (``X_train`` may be ``None``; exogenous columns are
@@ -328,6 +339,15 @@ class AutoML:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if backend is None:
             backend = "serial" if n_workers == 1 else "thread"
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        retry_policy = None
+        if retries > 0:
+            from ..exec import RetryPolicy
+
+            retry_policy = RetryPolicy(
+                max_attempts=int(retries) + 1, retry_budget=retry_budget
+            )
         if backend == "serial" and n_workers == 1:
             controller = SearchController(
                 data,
@@ -353,6 +373,7 @@ class AutoML:
                 trial_time_limit=trial_time_limit,
                 horizon=self._horizon,
                 seasonal_period=self._seasonal_period,
+                retry_policy=retry_policy,
             )
         else:
             from .parallel import ParallelSearchController
@@ -382,6 +403,7 @@ class AutoML:
                 trial_time_limit=trial_time_limit,
                 horizon=self._horizon,
                 seasonal_period=self._seasonal_period,
+                retry_policy=retry_policy,
             )
         self._result = controller.run()
         if log_file:

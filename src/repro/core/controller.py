@@ -28,7 +28,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.dataset import Dataset
-from ..exec import ExecutionEngine, SerialExecutor, TrialCache, TrialExecutor, TrialSpec
+from ..exec import (
+    ExecutionEngine,
+    RetryPolicy,
+    SerialExecutor,
+    TrialCache,
+    TrialExecutor,
+    TrialSpec,
+)
 from ..metrics.registry import Metric
 from .eci import LearnerProposer
 from .registry import LearnerSpec
@@ -56,6 +63,10 @@ class TrialRecord:
     #: formatted traceback (or engine reason) when the trial failed;
     #: ``None`` for successful trials
     failure: str | None = None
+    #: total executions of this trial (> 1 when the engine's RetryPolicy
+    #: re-ran it after a crash or timeout); the failure text of a trial
+    #: that exhausted its retries also carries the backoff history
+    attempts: int = 1
 
 
 @dataclass
@@ -149,6 +160,7 @@ class SearchController(LearnerSelectionMixin):
         trial_time_limit: float | None = None,
         horizon: int = 1,
         seasonal_period: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.check_selection(learner_selection)
         if time_budget <= 0:
@@ -218,6 +230,7 @@ class SearchController(LearnerSelectionMixin):
             cache=cache,
             trial_time_limit=trial_time_limit,
             own_executor=own_executor,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------
@@ -287,6 +300,7 @@ class SearchController(LearnerSelectionMixin):
                     improved_global=improved,
                     eci_snapshot=self.proposer.eci_values(),
                     failure=outcome.failure,
+                    attempts=getattr(outcome, "attempts", 1),
                 )
             )
             if self.stop_at_error is not None and best_error <= self.stop_at_error:

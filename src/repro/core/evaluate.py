@@ -45,6 +45,9 @@ class TrialOutcome:
     failure: str | None = None
     trace: list | None = field(default=None, repr=False)
     metrics: dict | None = field(default=None, repr=False)
+    #: how many executions this outcome took (1 = no retries); > 1 when
+    #: the engine's RetryPolicy re-ran a crashed or timed-out trial
+    attempts: int = 1
 
 
 def _compute_accepted_extras(cls: type) -> frozenset[str] | None:

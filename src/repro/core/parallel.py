@@ -41,6 +41,7 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..exec import (
     ExecutionEngine,
+    RetryPolicy,
     SerialExecutor,
     TrialCache,
     TrialExecutor,
@@ -103,6 +104,7 @@ class ParallelSearchController(LearnerSelectionMixin):
         trial_time_limit: float | None = None,
         horizon: int = 1,
         seasonal_period: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -199,7 +201,7 @@ class ParallelSearchController(LearnerSelectionMixin):
             cache = TrialCache() if trial_cache else None
         self.engine = ExecutionEngine(
             executor, cache=cache, trial_time_limit=trial_time_limit,
-            own_executor=own_executor,
+            own_executor=own_executor, retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------
@@ -274,6 +276,7 @@ class ParallelSearchController(LearnerSelectionMixin):
                 improved_global=improved,
                 eci_snapshot=self.proposer.eci_values(),
                 failure=getattr(outcome, "failure", None),
+                attempts=getattr(outcome, "attempts", 1),
             )
         )
 
@@ -405,7 +408,11 @@ class ParallelSearchController(LearnerSelectionMixin):
                 timeout = max(limit - (time.perf_counter() - handle.submit_time),
                               0.0)
             outcome = handle.outcome(timeout=timeout)
-            if handle.timed_out:
+            # any attempt this handle abandoned (timed out but the
+            # backend could not cancel it) still burns a worker slot —
+            # including abandoned attempts of a trial whose retry later
+            # succeeded, so track worker_done(), not just timed_out
+            if not handle.worker_done():
                 zombies.append(handle)
             self._commit(trials, state, learner, thread, config, s, kind,
                          outcome, automl_time=time.perf_counter() - start)

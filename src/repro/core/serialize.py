@@ -60,6 +60,8 @@ def trial_to_dict(t: TrialRecord) -> dict:
     }
     if t.failure is not None:  # keep successful rows compact
         out["failure"] = t.failure
+    if t.attempts != 1:  # only retried trials carry the count
+        out["attempts"] = int(t.attempts)
     return out
 
 
@@ -79,6 +81,7 @@ def trial_from_dict(d: dict) -> TrialRecord:
         eci_snapshot={k: float(_unjsonable(v))
                       for k, v in d.get("eci_snapshot", {}).items()},
         failure=d.get("failure"),
+        attempts=int(d.get("attempts", 1)),
     )
 
 

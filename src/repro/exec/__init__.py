@@ -10,6 +10,7 @@ time limits.  See README.md §"Execution engine" for the design.
 from .base import (
     FutureHandle,
     ImmediateHandle,
+    PoolBrokenError,
     TrialExecutor,
     TrialHandle,
     TrialSpec,
@@ -17,7 +18,7 @@ from .base import (
     run_spec,
 )
 from .cache import TrialCache
-from .engine import EngineHandle, ExecutionEngine
+from .engine import EngineHandle, ExecutionEngine, RetryPolicy
 from .process import ProcessExecutor
 from .serial import SerialExecutor
 from .threaded import ThreadExecutor
@@ -31,9 +32,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PoolBrokenError",
     "TrialCache",
     "ExecutionEngine",
     "EngineHandle",
+    "RetryPolicy",
     "make_executor",
     "run_spec",
 ]

@@ -22,12 +22,17 @@ from __future__ import annotations
 
 import abc
 import concurrent.futures
+import multiprocessing
+import os
+import time
+import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.evaluate import TrialOutcome, evaluate_config
 from ..data.dataset import Dataset
+from ..faults import InjectedCrash, InjectedFault, fault_hook
 from ..metrics.registry import Metric
 
 __all__ = [
@@ -36,9 +41,17 @@ __all__ = [
     "ImmediateHandle",
     "FutureHandle",
     "TrialExecutor",
+    "PoolBrokenError",
     "run_spec",
     "make_executor",
 ]
+
+
+class PoolBrokenError(RuntimeError):
+    """An executor's worker substrate is broken beyond its own repair
+    budget (e.g. a process pool that keeps dying on rebuild).  The
+    engine reacts by degrading to the next backend down the
+    process → thread → serial ladder."""
 
 
 def _freeze(value):
@@ -74,6 +87,11 @@ class TrialSpec:
     # rolling-origin validation width and the series' seasonal period
     horizon: int = 1
     seasonal_period: int | None = None
+    #: retry attempt number (0 = first attempt).  Excluded from the
+    #: cache key — a retried trial computes the same result — but part
+    #: of fault-injection keys, so a retry re-rolls its fault dice
+    #: instead of deterministically re-hitting the same injected fault
+    attempt: int = 0
 
     def cache_key(self) -> tuple:
         """Identity of the trial's *result* (excludes time limits, which
@@ -104,14 +122,40 @@ class TrialHandle(abc.ABC):
     def done(self) -> bool:
         """Whether the outcome is already available."""
 
+    def cancel(self) -> bool:
+        """Best-effort cancellation of a trial the caller has abandoned.
+
+        Returns ``True`` when the backend could actually stop the work.
+        Only a *queued, not yet started* thread/process task is truly
+        cancellable; a trial already running on a thread cannot be
+        killed (Python threads are not interruptible) and keeps burning
+        its worker slot until its advisory ``train_time_limit`` stops
+        training — callers must treat such slots as busy until the
+        underlying call returns (see ``EngineHandle.worker_done``).
+        """
+        return False
+
 
 class ImmediateHandle(TrialHandle):
-    """Handle for a trial that already ran (serial backend, cache hits)."""
+    """Handle for a trial that already ran (serial backend, cache hits).
 
-    def __init__(self, outcome: TrialOutcome) -> None:
+    ``error`` carries an exception raised while running the trial
+    inline; it is re-raised at :meth:`result` time so the serial backend
+    surfaces infrastructure failures exactly like the pooled backends do
+    (at resolve time, where the engine classifies them as crashes) —
+    not at submit time.
+    """
+
+    def __init__(self, outcome: TrialOutcome | None = None,
+                 error: BaseException | None = None) -> None:
+        if (outcome is None) == (error is None):
+            raise ValueError("exactly one of outcome/error is required")
         self._outcome = outcome
+        self._error = error
 
     def result(self, timeout: float | None = None) -> TrialOutcome:
+        if self._error is not None:
+            raise self._error
         return self._outcome
 
     def done(self) -> bool:
@@ -130,9 +174,56 @@ class FutureHandle(TrialHandle):
     def done(self) -> bool:
         return self.future.done()
 
+    def cancel(self) -> bool:
+        return self.future.cancel()
+
+
+def _check_trial_faults(spec: TrialSpec) -> None:
+    """Consult the trial-level fault sites (no-ops without a plan).
+
+    Keys include the spec's cache key *and* its attempt number: the same
+    trial re-rolls independently per retry, so a plan with p < 1 is
+    absorbed by retries rather than failing the same trial forever.
+    """
+    key = (spec.cache_key(), spec.attempt)
+    rule = fault_hook("worker.hang", key=key)
+    if rule is not None:
+        time.sleep(rule.param if rule.param is not None else 30.0)
+    rule = fault_hook("worker.crash", key=key)
+    if rule is not None:
+        if rule.hard:
+            from . import process as _process_mod
+
+            # a real worker death (skips atexit/finally, like a
+            # segfault) — but only inside an actual pool worker: on an
+            # in-process backend os._exit would take the driver down,
+            # so there the rule degrades to the soft crash below
+            if (multiprocessing.parent_process() is not None
+                    and _process_mod._WORKER_DATA is not None):
+                os._exit(13)
+        raise InjectedCrash(
+            f"injected worker.crash (trial {spec.learner!r} "
+            f"attempt {spec.attempt})"
+        )
+    rule = fault_hook("trial.exception", key=key)
+    if rule is not None:
+        raise InjectedFault(
+            f"injected trial.exception (trial {spec.learner!r} "
+            f"attempt {spec.attempt})"
+        )
+
 
 def run_spec(data: Dataset, spec: TrialSpec) -> TrialOutcome:
     """Execute one TrialSpec against a dataset (the backend work unit)."""
+    try:
+        _check_trial_faults(spec)
+    except InjectedFault:
+        # mirrors evaluate_config's failed-trial convention: an in-trial
+        # exception becomes an inf-error outcome with its traceback
+        return TrialOutcome(
+            error=float("inf"), cost=0.0, model=None,
+            failure=traceback.format_exc(),
+        )
     return evaluate_config(
         data,
         spec.estimator_cls,

@@ -44,6 +44,7 @@ fits never accumulate ``/dev/shm`` blocks.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import multiprocessing
 import os
 import uuid
@@ -57,12 +58,17 @@ import numpy as np
 from ..core.evaluate import TrialOutcome
 from ..data.binned import BinnedDataset, plane_enabled, plane_for
 from ..data.dataset import Dataset
+from ..faults import InjectedShmError, active as active_fault_plan, \
+    install as install_fault_plan
 from ..learners.histogram import code_dtype
 from ..obs.metrics import REGISTRY, snapshot_diff
 from ..obs.trace import drain_spans, set_tracing, tracing_enabled
-from .base import FutureHandle, TrialExecutor, TrialSpec, run_spec
+from .base import FutureHandle, PoolBrokenError, TrialExecutor, TrialSpec, \
+    run_spec
 
 __all__ = ["ProcessExecutor"]
+
+_log = logging.getLogger("repro.exec")
 
 #: prefix of every shared-memory segment this backend creates (leak
 #: checks grep ``/dev/shm`` for it)
@@ -81,6 +87,36 @@ _m_segments = REGISTRY.counter(
     "repro_shm_segments_total",
     "Shared-memory segments created for worker datasets.",
 )
+
+
+def _maybe_shm_fault(stage: str, key) -> None:
+    """Consult the ``shm.attach`` fault site for one export/attach.
+
+    The rule's ``mode`` scopes which stage it hits: ``"export"`` fails
+    only the parent-side segment creation (exercising the immediate
+    pickle fallback), ``"attach"`` fails only the worker-side attach
+    (exercising the rebuild circuit breaker, since workers die during
+    pool spin-up), and ``None`` hits both.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    rule = plan.rules.get("shm.attach")
+    if rule is None or (rule.mode is not None and rule.mode != stage):
+        return
+    if plan.decide("shm.attach", key=key) is not None:
+        raise InjectedShmError(f"injected fault at shm.attach ({stage})")
+
+
+def _shm_fallback_counter(stage: str):
+    """Pickle-fallback events by stage: parent-side ``export`` failures
+    vs worker-side ``attach`` failures surfaced via pool rebuilds."""
+    return REGISTRY.counter(
+        "repro_shm_fallback_total",
+        "Shared-memory dataset shipping degraded to the pickled-dataset "
+        "init, by failing stage.",
+        stage=stage,
+    )
 
 #: the dataset each worker process evaluates against (set by the
 #: initializer; module-global so trials don't re-ship the arrays)
@@ -102,6 +138,7 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     strip the owner's entry and make the final unlink trip a KeyError in
     the tracker.  3.13+ can skip the add entirely via ``track=False``.
     """
+    _maybe_shm_fault("attach", ("attach", name))
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:  # track= is 3.13+
@@ -124,6 +161,11 @@ def _init_worker(payload: dict) -> None:
     plane.
     """
     global _WORKER_DATA
+    # the parent's fault plan (if any) rides the init payload so sites
+    # consulted inside workers — shm.attach below, the trial sites in
+    # run_spec — fire with the same seeded determinism as in-process
+    if payload.get("faults") is not None:
+        install_fault_plan(payload["faults"])
     if "dataset" in payload:  # legacy pickle path (object-dtype labels)
         _WORKER_DATA = payload["dataset"]
     elif "codes" in payload:
@@ -268,6 +310,15 @@ class ProcessExecutor(TrialExecutor):
 
     backend = "process"
 
+    #: consecutive pool rebuilds before the worker init payload degrades
+    #: to the pickled-dataset form (the usual culprit for a pool that
+    #: dies during spin-up is a failing shared-memory attach)
+    REBUILDS_TO_PICKLE = 2
+    #: consecutive pool rebuilds before this executor declares its
+    #: substrate broken (:class:`PoolBrokenError`) so the engine can
+    #: degrade the backend instead of thrashing rebuilds forever
+    REBUILDS_TO_BROKEN = 4
+
     def __init__(self, data: Dataset, n_workers: int = 2,
                  mp_context: str | None = None,
                  warmup: dict | None = None,
@@ -293,6 +344,9 @@ class ProcessExecutor(TrialExecutor):
         self._ship_codes = ship_codes
         #: how the dataset went out: "codes", "float" or "pickle"
         self.ship_mode: str = "float"
+        #: pool rebuilds since the last trial that completed cleanly —
+        #: the circuit-breaker input (reset by a healthy future)
+        self.consecutive_rebuilds = 0
         self._segments: list[shared_memory.SharedMemory] = []
         # backstop: unlink on garbage collection / interpreter exit if the
         # owner forgot shutdown(); shares the mutable list with shutdown,
@@ -304,6 +358,19 @@ class ProcessExecutor(TrialExecutor):
         )
         try:
             self._init_payload = self._export_dataset(data)
+        except OSError as exc:
+            # /dev/shm exhausted (ENOSPC) or an injected shm failure:
+            # recover by shipping the pickled dataset instead of failing
+            # the search, and unlink whatever half-export exists so the
+            # fallback leaves zero segments behind
+            _log.warning(
+                "shared-memory export failed (%s: %s); falling back to "
+                "pickled-dataset worker init", type(exc).__name__, exc,
+            )
+            _shm_fallback_counter("export").inc()
+            _unlink_segments(self._segments)
+            self._init_payload = self._pickle_payload()
+        try:
             self._pool = self._make_pool()
         except BaseException:
             _unlink_segments(self._segments)
@@ -311,6 +378,7 @@ class ProcessExecutor(TrialExecutor):
 
     # ------------------------------------------------------------------
     def _export_array(self, arr: np.ndarray, kind: str = "X") -> dict:
+        _maybe_shm_fault("export", ("export", kind))
         arr = np.ascontiguousarray(arr)
         shm = shared_memory.SharedMemory(
             create=True,
@@ -346,6 +414,7 @@ class ProcessExecutor(TrialExecutor):
         grid itself (base binner, counts, defaults, bundles) is tiny
         and rides the pickled init payload.
         """
+        _maybe_shm_fault("export", ("export", "codes"))
         plane = plane_for(data)
         st = plane.sketch_state()
         base = st["base"]
@@ -399,6 +468,14 @@ class ProcessExecutor(TrialExecutor):
             payload["warmup"] = self._warmup
         return payload
 
+    def _pickle_payload(self) -> dict:
+        """The legacy pickled-dataset init payload (fallback plane)."""
+        payload: dict = {"dataset": self.data}
+        if self._warmup:
+            payload["warmup"] = self._warmup
+        self.ship_mode = "pickle"
+        return payload
+
     @property
     def shipped_bytes(self) -> int:
         """Total bytes currently held in this executor's shm segments."""
@@ -410,6 +487,10 @@ class ProcessExecutor(TrialExecutor):
             if self._mp_context
             else None
         )
+        # refresh the shipped fault plan at every (re)build so a plan
+        # installed between builds reaches the new workers
+        plan = active_fault_plan()
+        self._init_payload["faults"] = plan.spec() if plan else None
         return ProcessPoolExecutor(
             max_workers=self.n_workers,
             mp_context=ctx,
@@ -417,16 +498,70 @@ class ProcessExecutor(TrialExecutor):
             initargs=(self._init_payload,),
         )
 
+    # -- pool supervision ----------------------------------------------
+    def _on_trial_done(self, future) -> None:
+        """Done-callback closing the circuit breaker: any trial that
+        completes without an infrastructure exception proves the pool
+        healthy again."""
+        if not future.cancelled() and future.exception() is None:
+            self.consecutive_rebuilds = 0
+
+    def _note_rebuild(self, exc: BaseException) -> None:
+        """Account one pool death; escalate per the breaker thresholds.
+
+        ``REBUILDS_TO_PICKLE`` consecutive deaths degrade the worker
+        init to the pickled-dataset payload (a failing shared-memory
+        attach kills workers *during spin-up*, so the pool itself never
+        reports which stage died — swapping the init plane is the
+        recovery that covers it) and unlink the now-unused segments.
+        ``REBUILDS_TO_BROKEN`` consecutive deaths raise
+        :class:`PoolBrokenError` so the engine degrades the backend.
+        """
+        self.consecutive_rebuilds += 1
+        REGISTRY.counter(
+            "repro_pool_rebuilds_total",
+            "Process-pool rebuilds after the pool broke.",
+        ).inc()
+        if self.consecutive_rebuilds >= self.REBUILDS_TO_BROKEN:
+            raise PoolBrokenError(
+                f"process pool died {self.consecutive_rebuilds} times in a "
+                f"row (last: {type(exc).__name__}: {exc}); giving up on "
+                "this substrate"
+            ) from exc
+        if (
+            self.consecutive_rebuilds >= self.REBUILDS_TO_PICKLE
+            and self.ship_mode != "pickle"
+        ):
+            _log.warning(
+                "process pool died %d times in a row with the %r data "
+                "plane; degrading worker init to the pickled-dataset "
+                "payload and unlinking shared-memory segments",
+                self.consecutive_rebuilds, self.ship_mode,
+            )
+            _shm_fallback_counter("attach").inc()
+            self._init_payload = self._pickle_payload()
+            _unlink_segments(self._segments)
+
     def submit(self, spec: TrialSpec) -> FutureHandle:
-        """Queue the trial onto the process pool (rebuilding it if a
-        previous worker crash broke the pool; the shared segments outlive
-        the pool, so the rebuild re-ships only metadata)."""
+        """Queue the trial onto the process pool, rebuilding it if a
+        previous worker crash broke it (the shared segments outlive the
+        pool, so a rebuild re-ships only metadata).
+
+        Rebuilds are supervised: consecutive deaths first degrade the
+        worker init to the pickled-dataset plane, then raise
+        :class:`PoolBrokenError` (see :meth:`_note_rebuild`); a healthy
+        completed trial resets the breaker.
+        """
         payload = {"spec": _spec_payload(spec), "trace": tracing_enabled()}
-        try:
-            return FutureHandle(self._pool.submit(_run_remote, payload))
-        except BrokenProcessPool:
-            self._pool = self._make_pool()
-            return FutureHandle(self._pool.submit(_run_remote, payload))
+        while True:
+            try:
+                future = self._pool.submit(_run_remote, payload)
+            except BrokenProcessPool as exc:
+                self._note_rebuild(exc)  # may raise PoolBrokenError
+                self._pool = self._make_pool()
+                continue
+            future.add_done_callback(self._on_trial_done)
+            return FutureHandle(future)
 
     def shutdown(self) -> None:
         """Terminate the pool without waiting on abandoned trials and

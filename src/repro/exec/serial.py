@@ -18,5 +18,16 @@ class SerialExecutor(TrialExecutor):
     backend = "serial"
 
     def submit(self, spec: TrialSpec) -> ImmediateHandle:
-        """Evaluate the trial now; the returned handle is already done."""
-        return ImmediateHandle(run_spec(self.data, spec))
+        """Evaluate the trial now; the returned handle is already done.
+
+        An infrastructure exception escaping the trial body (e.g. an
+        injected worker crash) is captured and re-raised at
+        ``result()`` time, matching where the pooled backends surface
+        it — so the engine classifies it as a *crash* on every backend.
+        """
+        try:
+            return ImmediateHandle(run_spec(self.data, spec))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            return ImmediateHandle(error=exc)

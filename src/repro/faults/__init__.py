@@ -1,0 +1,37 @@
+"""Deterministic fault injection + the ``repro chaos`` soak harness.
+
+See :mod:`repro.faults.plan` for the injection plane itself and
+:mod:`repro.faults.chaos` for the ``python -m repro chaos`` entry point
+that replays a :class:`FaultPlan` against a small search + serving
+session as a reproducible soak test.
+"""
+
+from .plan import (
+    KNOWN_SITES,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    InjectedShmError,
+    active,
+    fault_hook,
+    install,
+    maybe_raise,
+    stable_unit,
+)
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedShmError",
+    "active",
+    "fault_hook",
+    "install",
+    "maybe_raise",
+    "stable_unit",
+]

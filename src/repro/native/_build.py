@@ -88,6 +88,11 @@ def build(force: bool = False) -> Path:
     out = compiled_path()
     if out.exists() and not force:
         return out
+    from ..faults import maybe_raise
+
+    # chaos site: a failed build must land in the native→numpy fallback,
+    # never in a crash (NativeBuildError is what repro.native catches)
+    maybe_raise("native.build", exc_type=NativeBuildError)
     include = sysconfig.get_paths()["include"]
     if not Path(include, "Python.h").exists():
         raise NativeBuildError(f"Python.h not found under {include}")

@@ -30,6 +30,7 @@ from bisect import bisect_left
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
@@ -59,6 +60,36 @@ class Counter:
         """Add ``n`` (must be >= 0; counters only go up)."""
         with self._lock:
             self.value += n
+
+
+class Gauge:
+    """A settable instantaneous value (queue depths, in-flight counts).
+
+    Unlike :class:`Counter` it may go down; snapshots carry the current
+    value and :meth:`MetricsRegistry.merge` *overwrites* rather than
+    adds (the last writer's instantaneous truth wins — summing gauges
+    across snapshots would be meaningless).
+    """
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (may be negative)."""
+        with self._lock:
+            self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        """Subtract ``n``."""
+        self.inc(-n)
 
 
 class Histogram:
@@ -137,6 +168,10 @@ class MetricsRegistry:
         """Get-or-create the counter series for this label set."""
         return self._series(name, "counter", help, labels, Counter)
 
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """Get-or-create the gauge series for this label set."""
+        return self._series(name, "gauge", help, labels, Gauge)
+
     def histogram(self, name: str, help: str = "",
                   buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
         """Get-or-create the histogram series for this label set."""
@@ -157,7 +192,7 @@ class MetricsRegistry:
             rows = []
             for key, metric in series:
                 labels = dict(key)
-                if kind == "counter":
+                if kind in ("counter", "gauge"):
                     rows.append({"labels": labels, "value": metric.value})
                 else:
                     rows.append({"labels": labels, **metric.state()})
@@ -174,6 +209,9 @@ class MetricsRegistry:
                 labels = row.get("labels", {})
                 if kind == "counter":
                     self.counter(name, help, **labels).inc(int(row["value"]))
+                elif kind == "gauge":
+                    # instantaneous truth: overwrite, never sum
+                    self.gauge(name, help, **labels).set(float(row["value"]))
                 elif kind == "histogram":
                     hist = self.histogram(
                         name, help, buckets=row["buckets"], **labels
@@ -217,6 +255,12 @@ def snapshot_diff(before: dict, after: dict) -> dict:
                 delta = row["value"] - (prev["value"] if prev else 0)
                 if delta:
                     rows.append({"labels": row["labels"], "value": delta})
+            elif fam["type"] == "gauge":
+                # gauges ship their current value when it changed; merge
+                # overwrites, so the receiver sees the newest truth
+                if prev is None or row["value"] != prev["value"]:
+                    rows.append({"labels": row["labels"],
+                                 "value": row["value"]})
             else:
                 pc = prev["counts"] if prev else [0] * len(row["counts"])
                 counts = [c - p for c, p in zip(row["counts"], pc)]
@@ -276,7 +320,7 @@ def render_prometheus(*snapshots: dict) -> str:
             lines.append(f"# TYPE {name} {fam['type']}")
             for row in fam["series"]:
                 labels = row.get("labels", {})
-                if fam["type"] == "counter":
+                if fam["type"] in ("counter", "gauge"):
                     lines.append(
                         f"{name}{_labels_text(labels)} {_fmt(row['value'])}"
                     )

@@ -30,7 +30,15 @@ import numpy as np
 
 from ..obs.metrics import Histogram
 
-__all__ = ["MicroBatcher", "ServingStats"]
+__all__ = ["BatcherSaturated", "MicroBatcher", "ServingStats"]
+
+
+class BatcherSaturated(RuntimeError):
+    """The batcher's queue is at capacity: the server is accepting rows
+    faster than the model drains them.  Raised by :meth:`
+    MicroBatcher.submit` *instead of* queueing unboundedly — the HTTP
+    layer turns it into ``503 Retry-After`` (load shedding) rather than
+    letting every client hang behind an ever-growing queue."""
 
 #: request-latency buckets (seconds) tuned for sub-ms..seconds serving
 _LATENCY_BUCKETS = (
@@ -49,6 +57,9 @@ class ServingStats:
         self.batches = 0
         self.rows = 0
         self.errors = 0
+        #: requests refused outright (saturated queue, admission-control
+        #: rejections, expired deadlines) — load shed, never predicted
+        self.sheds = 0
         #: bucketed request latency for Prometheus exposition (the JSON
         #: snapshot keeps its sliding-window percentiles unchanged)
         self.latency_hist = Histogram(_LATENCY_BUCKETS)
@@ -59,6 +70,11 @@ class ServingStats:
         with self._lock:
             self.batches += 1
             self.rows += n_rows
+
+    def record_shed(self) -> None:
+        """Count one request refused without running the model."""
+        with self._lock:
+            self.sheds += 1
 
     def record_request(self, latency_s: float, error: bool = False) -> None:
         """Count one client request and its end-to-end latency."""
@@ -84,7 +100,7 @@ class ServingStats:
         with self._lock:
             lat = np.asarray(self._latencies, dtype=np.float64)
             requests, batches, rows = self.requests, self.batches, self.rows
-            errors = self.errors
+            errors, sheds = self.errors, self.sheds
             span = (
                 (now - self._t_first)
                 if self._t_first is not None else 0.0
@@ -94,6 +110,7 @@ class ServingStats:
             "batches": batches,
             "rows": rows,
             "errors": errors,
+            "sheds": sheds,
             "mean_batch_size": (rows / batches) if batches else 0.0,
             "throughput_rps": (requests / span) if span > 0 else 0.0,
         }
@@ -133,11 +150,18 @@ class MicroBatcher:
     def __init__(self, predict_fn, max_batch: int = 32,
                  max_delay_ms: float = 2.0,
                  idle_gap_ms: float | None = None,
-                 stats: ServingStats | None = None) -> None:
+                 stats: ServingStats | None = None,
+                 max_queue: int | None = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.predict_fn = predict_fn
         self.max_batch = int(max_batch)
+        #: bound on rows queued but not yet predicted; ``None`` keeps the
+        #: historical unbounded queue (embedded/library use).  When full,
+        #: submit() sheds (:class:`BatcherSaturated`) instead of queueing
+        self.max_queue = int(max_queue) if max_queue is not None else None
         self.max_delay = float(max_delay_ms) / 1e3
         # closed-loop clients stop submitting until their batch returns,
         # so once arrivals pause there is nothing left to wait for: the
@@ -146,7 +170,7 @@ class MicroBatcher:
         self.idle_gap = (float(idle_gap_ms) / 1e3 if idle_gap_ms is not None
                          else self.max_delay / 8)
         self.stats = stats if stats is not None else ServingStats()
-        self._queue: queue.Queue = queue.Queue()
+        self._queue: queue.Queue = queue.Queue(maxsize=self.max_queue or 0)
         self._closed = False
         self._worker = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
@@ -154,13 +178,34 @@ class MicroBatcher:
         self._worker.start()
 
     # -- client side ---------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Rows currently queued and not yet handed to the model
+        (approximate, as any concurrent queue size is)."""
+        return self._queue.qsize()
+
     def submit(self, row) -> np.ndarray:
-        """Predict one raw row; blocks until the batched result arrives."""
+        """Predict one raw row; blocks until the batched result arrives.
+
+        With ``max_queue`` set, a full queue sheds the request
+        immediately (:class:`BatcherSaturated`) instead of blocking —
+        see the class docstring of :class:`BatcherSaturated`.
+        """
         if self._closed:
             raise RuntimeError("MicroBatcher is closed")
         item = _Pending(np.asarray(row, dtype=np.float64).reshape(-1))
         t0 = time.perf_counter()
-        self._queue.put(item)
+        if self.max_queue is None:
+            self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self.stats.record_shed()
+                raise BatcherSaturated(
+                    f"predict queue is full ({self.max_queue} rows "
+                    "waiting); retry later"
+                ) from None
         item.event.wait()
         self.stats.record_request(
             time.perf_counter() - t0, error=item.error is not None

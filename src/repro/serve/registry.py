@@ -21,6 +21,13 @@ concurrent registrations from separate processes get distinct versions,
 and each version directory is claimed with ``exist_ok=False`` so an
 artifact file can never be overwritten.  Each artifact's SHA-256 is
 recorded and re-verified on every load.
+
+A version whose artifact fails that integrity check (or whose file has
+vanished) is **quarantined**: the manifest marks it so it is never
+served again, and an alias that pointed at it automatically falls back
+along its promotion history to the newest non-quarantined version — a
+corrupted production artifact degrades to the previous good one with a
+loud log line instead of turning every request into a 500.
 """
 
 from __future__ import annotations
@@ -28,14 +35,19 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
 import re
 import threading
 import time
 
+from ..faults import fault_hook
+from ..obs.metrics import REGISTRY
 from .artifact import PipelineArtifact
 
 __all__ = ["ModelRegistry", "RegistryError"]
+
+_log = logging.getLogger("repro.serve")
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -171,6 +183,12 @@ class ModelRegistry:
                 "task": artifact.task,
                 "metadata": dict(metadata or {}),
             })
+            # "latest" moves automatically, but its trail is recorded
+            # like any promoted alias so integrity fallback can walk it
+            prev = manifest["aliases"].get("latest")
+            if prev is not None:
+                manifest.setdefault("alias_history", {}) \
+                        .setdefault("latest", []).append(prev)
             manifest["aliases"]["latest"] = version
             self._save_manifest(name, manifest)
         return version
@@ -239,27 +257,102 @@ class ModelRegistry:
             return int(manifest["aliases"][version])
         return self._entry(manifest, int(version))["version"]
 
-    def get(self, name: str, version: int | str = "latest") -> PipelineArtifact:
-        """Load one artifact, verifying its recorded SHA-256 first."""
-        manifest = self._load_manifest(name)
-        entry = self._entry(manifest, self.resolve(name, version))
+    def quarantine(self, name: str, version: int, reason: str) -> None:
+        """Mark ``version`` as never-serve-again in the manifest.
+
+        Idempotent; called automatically when an integrity check fails,
+        so the bad artifact is refused by *every* future reader (even
+        ones that have not re-hashed it) and alias fallback skips it.
+        """
+        with self._write_lock(name):
+            manifest = self._load_manifest(name)
+            entry = self._entry(manifest, version)
+            if entry.get("quarantined"):
+                return
+            entry["quarantined"] = str(reason)
+            self._save_manifest(name, manifest)
+        _log.error(
+            "quarantined %r v%d: %s", name, int(version), reason
+        )
+        REGISTRY.counter(
+            "repro_registry_quarantined_total",
+            "Registry versions quarantined after a failed integrity check.",
+            model=name,
+        ).inc()
+
+    def _load_verified(self, name: str, entry: dict) -> PipelineArtifact:
+        """Read + hash-verify one version's artifact; a mismatch (or a
+        vanished file, or an injected ``registry.read`` fault)
+        quarantines the version before raising."""
+        version = int(entry["version"])
         path = os.path.join(self._dir(name), entry["path"])
         try:
             with open(path, "rb") as f:
                 payload = f.read()
         except FileNotFoundError:
+            self.quarantine(name, version, f"artifact file missing ({path})")
             raise RegistryError(
-                f"artifact file for {name!r} v{entry['version']} is missing "
-                f"({path})"
+                f"artifact file for {name!r} v{version} is missing ({path})"
             ) from None
         digest = hashlib.sha256(payload).hexdigest()
+        if fault_hook("registry.read", key=(name, version)) is not None:
+            digest = "0" * 64  # injected corruption: force the mismatch
         if digest != entry["sha256"]:
-            raise RegistryError(
-                f"integrity check failed for {name!r} v{entry['version']}: "
+            reason = (
                 f"manifest records sha256 {entry['sha256'][:12]}… but the "
                 f"file hashes to {digest[:12]}…"
             )
+            self.quarantine(name, version, reason)
+            raise RegistryError(
+                f"integrity check failed for {name!r} v{version}: {reason}"
+            )
         return PipelineArtifact.from_dict(json.loads(payload))
+
+    def get(self, name: str, version: int | str = "latest") -> PipelineArtifact:
+        """Load one artifact, verifying its recorded SHA-256 first.
+
+        A version that fails verification is quarantined; when
+        ``version`` is an *alias*, the lookup then falls back along the
+        alias's promotion history (newest first, quarantined versions
+        skipped) so a corrupted artifact degrades to the previous good
+        one instead of failing the request.  A concrete version number
+        has no fallback — corruption raises.
+        """
+        manifest = self._load_manifest(name)
+        resolved = self.resolve(name, version)
+        candidates = [resolved]
+        if isinstance(version, str) and not version.isdigit():
+            history = manifest.get("alias_history", {}).get(version, [])
+            candidates += [int(v) for v in reversed(history)]
+        failures: list[str] = []
+        for v in candidates:
+            entry = self._entry(manifest, v)
+            if entry.get("quarantined"):
+                failures.append(
+                    f"v{v} quarantined: {entry['quarantined']}"
+                )
+                continue
+            try:
+                artifact = self._load_verified(name, entry)
+            except RegistryError as exc:
+                failures.append(str(exc))
+                continue
+            if v != resolved:
+                _log.error(
+                    "serving %r %s=%d from fallback v%d (%s)",
+                    name, version, resolved, v, "; ".join(failures),
+                )
+                REGISTRY.counter(
+                    "repro_registry_fallback_total",
+                    "Alias reads served by an older version after the "
+                    "resolved one was quarantined.",
+                    model=name,
+                ).inc()
+            return artifact
+        raise RegistryError(
+            f"no servable artifact for {name!r} {version!r}: "
+            + "; ".join(failures)
+        )
 
     def models(self) -> list[str]:
         """Sorted names of every registered model."""
@@ -288,7 +381,8 @@ class ModelRegistry:
             out[name] = {
                 "versions": [
                     {k: v[k] for k in
-                     ("version", "created_unix", "task", "metadata")}
+                     ("version", "created_unix", "task", "metadata",
+                      "quarantined") if k in v}
                     for v in manifest["versions"]
                 ],
                 "aliases": manifest["aliases"],

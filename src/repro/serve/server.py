@@ -40,14 +40,21 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from ..faults import FaultError, fault_hook
 from ..native import native_status
 from ..obs.metrics import REGISTRY, render_prometheus
 from ..obs.trace import trace_context, trace_span
 from .artifact import PipelineArtifact
-from .batching import MicroBatcher, ServingStats
+from .batching import BatcherSaturated, MicroBatcher, ServingStats
 from .registry import ModelRegistry, RegistryError
 
-__all__ = ["ModelServer", "build_http_server", "serve"]
+__all__ = [
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "ModelServer",
+    "build_http_server",
+    "serve",
+]
 
 _log = logging.getLogger("repro.serve")
 
@@ -58,6 +65,22 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: so a port scanner cannot explode the label cardinality
 _KNOWN_ENDPOINTS = ("/predict", "/models", "/health", "/metrics")
 
+#: what a shed client should wait before retrying (seconds; the
+#: ``Retry-After`` header rounds it up to 1)
+_RETRY_AFTER_S = 1
+
+
+class AdmissionRejected(RuntimeError):
+    """More than ``max_inflight`` predicts are already running: the
+    request is refused at the door (HTTP 429 + ``Retry-After``) so
+    accepted requests keep their latency instead of everyone queueing."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's per-request deadline (``deadline_ms``) elapsed
+    before a result was produced; the client gets 503 rather than an
+    answer it has stopped waiting for."""
+
 
 class ModelServer:
     """Registry-backed prediction service with per-model micro-batching."""
@@ -66,9 +89,28 @@ class ModelServer:
                  artifacts: dict[str, PipelineArtifact] | None = None,
                  max_batch: int = 32, max_delay_ms: float = 2.0,
                  batching: bool = True, max_horizon: int = 1000,
-                 slow_request_ms: float = 500.0) -> None:
+                 slow_request_ms: float = 500.0,
+                 max_inflight: int | None = None,
+                 deadline_ms: float | None = None,
+                 max_queue: int | None = None) -> None:
+        """``max_inflight`` bounds concurrently running predicts —
+        request number ``max_inflight + 1`` is rejected immediately
+        (:class:`AdmissionRejected` → HTTP 429) instead of queueing.
+        ``deadline_ms`` is a per-request deadline: a request that cannot
+        produce its result in time fails (:class:`DeadlineExceeded` →
+        HTTP 503) rather than answering a client that gave up.
+        ``max_queue`` bounds each micro-batcher's pending-row queue
+        (saturation → :class:`~repro.serve.batching.BatcherSaturated` →
+        HTTP 503).  All three default to off (historical unbounded
+        behaviour)."""
         if registry is None and not artifacts:
             raise ValueError("need a registry and/or named artifacts to serve")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.registry = registry
         self._fixed = dict(artifacts or {})
         self.max_batch = int(max_batch)
@@ -77,10 +119,34 @@ class ModelServer:
         self.max_horizon = int(max_horizon)
         #: requests slower than this are logged with their request id
         self.slow_request_ms = float(slow_request_ms)
+        self.max_inflight = max_inflight
+        self.deadline_ms = deadline_ms
+        self.max_queue = max_queue
+        self._inflight_sem = (
+            threading.BoundedSemaphore(int(max_inflight))
+            if max_inflight is not None else None
+        )
+        #: requests refused without prediction, by reason (also exported
+        #: as ``repro_serving_shed_total`` and shown by ``/health``)
+        self.shed_counts = {"inflight": 0, "queue": 0, "deadline": 0}
+        self._gauge_inflight = REGISTRY.gauge(
+            "repro_serving_inflight",
+            "Predict requests currently being served.",
+        )
         self._lock = threading.Lock()
         self._loaded: dict[tuple[str, int | str], PipelineArtifact] = {}
         self._stats: dict[str, ServingStats] = {}
         self._batchers: dict[tuple[str, int | str, bool], MicroBatcher] = {}
+
+    def _shed(self, reason: str) -> None:
+        with self._lock:
+            self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        REGISTRY.counter(
+            "repro_serving_shed_total",
+            "Predict requests refused without running the model, "
+            "by reason.",
+            reason=reason,
+        ).inc()
 
     # -- resolution ----------------------------------------------------
     def _resolve(self, name: str,
@@ -124,6 +190,7 @@ class ModelServer:
             batcher = MicroBatcher(
                 fn, max_batch=self.max_batch, max_delay_ms=self.max_delay_ms,
                 stats=self._stats_for(name, version),
+                max_queue=self.max_queue,
             )
             with self._lock:
                 existing = self._batchers.setdefault(key, batcher)
@@ -133,10 +200,68 @@ class ModelServer:
         return batcher
 
     # -- serving -------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Rows waiting in micro-batcher queues right now (all models)."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+        return sum(b.queue_depth for b in batchers)
+
     def predict(self, name: str, rows, proba: bool = False,
                 version: int | str = "latest",
                 horizon: int | None = None,
                 single: bool | None = None) -> dict:
+        """Predict with admission control and a per-request deadline.
+
+        The wrapper around :meth:`_predict_unguarded`: rejects when
+        ``max_inflight`` predicts are already running
+        (:class:`AdmissionRejected`), fails results that arrive after
+        ``deadline_ms`` (:class:`DeadlineExceeded`), and consults the
+        ``http.predict`` fault site (injected delay or error) so load
+        shedding is testable on demand.
+        """
+        if (
+            self._inflight_sem is not None
+            and not self._inflight_sem.acquire(blocking=False)
+        ):
+            self._shed("inflight")
+            raise AdmissionRejected(
+                f"server is at its {self.max_inflight}-request in-flight "
+                "limit; retry later"
+            )
+        deadline = (
+            time.perf_counter() + self.deadline_ms / 1e3
+            if self.deadline_ms else None
+        )
+        self._gauge_inflight.inc()
+        try:
+            rule = fault_hook("http.predict")
+            if rule is not None:
+                if rule.mode == "error":
+                    raise FaultError("injected http.predict failure")
+                time.sleep(rule.param if rule.param is not None else 0.05)
+            try:
+                result = self._predict_unguarded(
+                    name, rows, proba=proba, version=version,
+                    horizon=horizon, single=single,
+                )
+            except BatcherSaturated:
+                self._shed("queue")
+                raise
+            if deadline is not None and time.perf_counter() > deadline:
+                self._shed("deadline")
+                raise DeadlineExceeded(
+                    f"request exceeded its {self.deadline_ms:g} ms deadline"
+                )
+            return result
+        finally:
+            self._gauge_inflight.dec()
+            if self._inflight_sem is not None:
+                self._inflight_sem.release()
+
+    def _predict_unguarded(self, name: str, rows, proba: bool = False,
+                           version: int | str = "latest",
+                           horizon: int | None = None,
+                           single: bool | None = None) -> dict:
         """Predict ``rows`` (one row or a batch) with a served model.
 
         Forecast models interpret ``rows`` as the raw recent history of
@@ -266,6 +391,8 @@ class ModelServer:
             "repro_serving_requests_total": "Client requests served, "
                                             "per model.",
             "repro_serving_errors_total": "Requests that raised, per model.",
+            "repro_serving_sheds_total": "Requests shed unpredicted, "
+                                         "per model.",
             "repro_serving_batches_total": "Model invocations (batches), "
                                            "per model.",
             "repro_serving_rows_total": "Rows predicted, per model.",
@@ -284,6 +411,7 @@ class ModelServer:
             for name, value in (
                 ("repro_serving_requests_total", stats.requests),
                 ("repro_serving_errors_total", stats.errors),
+                ("repro_serving_sheds_total", stats.sheds),
                 ("repro_serving_batches_total", stats.batches),
                 ("repro_serving_rows_total", stats.rows),
             ):
@@ -317,20 +445,24 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep test/CLI output clean; metrics carry the signal
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(self, code: int, body: bytes, content_type: str,
+              headers: dict | None = None) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         req_id = getattr(self, "_request_id", None)
         if req_id:
             self.send_header("X-Request-Id", req_id)
+        for key, value in (headers or {}).items():
+            self.send_header(key, str(value))
         self.end_headers()
         self.wfile.write(body)
         self._status = code
 
-    def _reply(self, code: int, payload: dict) -> None:
+    def _reply(self, code: int, payload: dict,
+               headers: dict | None = None) -> None:
         self._send(code, json.dumps(payload, default=float).encode(),
-                   "application/json")
+                   "application/json", headers=headers)
 
     # -- per-request observability -------------------------------------
     def _observed(self, method: str, handler) -> None:
@@ -383,8 +515,16 @@ class _Handler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path
         srv = self.model_server
         if path == "/health":
-            self._reply(200, {"status": "ok", "models": srv.served_names(),
-                              "native": native_status()})
+            self._reply(200, {
+                "status": "ok",
+                "models": srv.served_names(),
+                "native": native_status(),
+                # load-shedding visibility: how deep the predict queues
+                # are and how many requests were refused, by reason
+                "queue_depth": srv.queue_depth(),
+                "inflight": srv._gauge_inflight.value,
+                "sheds": dict(srv.shed_counts),
+            })
         elif path == "/models":
             self._reply(200, srv.model_index())
         elif path == "/metrics":
@@ -433,8 +573,23 @@ class _Handler(BaseHTTPRequestHandler):
                 horizon=None if horizon is None else int(horizon),
                 single="row" in req and "rows" not in req,
             )
+        except AdmissionRejected as exc:
+            # too many concurrent predicts: shed with an explicit 429 so
+            # well-behaved clients back off (Retry-After) instead of
+            # stacking up behind a saturated server
+            self._reply(429, {"error": str(exc)},
+                        headers={"Retry-After": _RETRY_AFTER_S})
+        except (BatcherSaturated, DeadlineExceeded) as exc:
+            # the server accepted the request but cannot serve it in
+            # time (full predict queue / expired deadline): 503, not a
+            # hang and not a misleading 500
+            self._reply(503, {"error": str(exc)},
+                        headers={"Retry-After": _RETRY_AFTER_S})
         except RegistryError as exc:
             self._reply(404, {"error": str(exc)})
+        except FaultError as exc:
+            # injected server-side failure (chaos runs): a genuine 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
         except (ValueError, TypeError, RuntimeError) as exc:
             self._reply(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive

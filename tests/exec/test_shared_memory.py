@@ -525,3 +525,96 @@ class TestTeardown:
         assert [s.name for s in ex._segments] == names
         ex.shutdown()
         assert shm_files() == before
+
+
+class TestInjectedShmFaults:
+    """The ``shm.attach`` fault site drives both shared-memory recovery
+    paths: a parent-side export failure degrades to the pickled-dataset
+    init immediately, and worker-side attach failures (workers dying
+    during pool spin-up) trip the rebuild circuit breaker into the same
+    degradation — in both cases with zero leaked segments."""
+
+    @pytest.fixture(autouse=True)
+    def no_leftover_plan(self):
+        from repro.faults import install
+
+        prev = install(None)
+        yield
+        install(prev)
+
+    def test_export_fault_falls_back_to_pickle(self, data):
+        from repro.faults import FaultPlan, install
+
+        before = shm_files()
+        install(FaultPlan({"shm.attach": {"probability": 1.0,
+                                          "mode": "export"}}))
+        ex = ProcessExecutor(data, n_workers=1)
+        try:
+            assert ex.ship_mode == "pickle"
+            assert "dataset" in ex._init_payload
+            assert ex._segments == []
+            assert shm_files() == before  # half-exports unlinked too
+            out = ex.submit(make_spec()).result(timeout=120)
+            assert np.isfinite(out.error)
+        finally:
+            ex.shutdown()
+        assert shm_files() == before
+
+    def test_attach_faults_trip_breaker_into_pickle_degrade(self, data):
+        """Workers dying at attach break the pool during spin-up; after
+        ``REBUILDS_TO_PICKLE`` consecutive rebuilds the executor swaps
+        the init payload for the pickled dataset, unlinks the now-unused
+        segments mid-search, and trials start succeeding."""
+        from repro.faults import FaultPlan, install
+
+        before = shm_files()
+        install(FaultPlan({"shm.attach": {"probability": 1.0,
+                                          "mode": "attach"}}))
+        ex = ProcessExecutor(data, n_workers=1)
+        try:
+            assert ex.ship_mode == "float"  # export itself is untouched
+            assert len(ex._segments) == 2
+            rebuilds = 0
+            out = None
+            for _ in range(ex.REBUILDS_TO_PICKLE + 2):
+                try:
+                    out = ex.submit(make_spec()).result(timeout=120)
+                    break
+                except Exception:
+                    rebuilds += 1
+            assert out is not None and np.isfinite(out.error)
+            assert ex.ship_mode == "pickle"
+            assert ex._segments == []  # unlinked at degradation time
+        finally:
+            ex.shutdown()
+        assert shm_files() == before
+
+    def test_hard_midsearch_kill_retried_with_zero_leaks(self, data):
+        """A ``hard`` worker.crash is a real ``os._exit`` inside the
+        worker (skips atexit, like a segfault).  The engine retries on
+        the rebuilt pool and the search moves on; shutdown leaves no
+        segment behind."""
+        from repro.exec import ExecutionEngine, RetryPolicy
+        from repro.faults import FaultPlan, install
+
+        before = shm_files()
+        install(FaultPlan({"worker.crash": {"probability": 1.0,
+                                            "hard": True}}))
+        engine = ExecutionEngine(
+            ProcessExecutor(data, n_workers=1),
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base=0.0,
+                                     jitter=0.0),
+        )
+        try:
+            handle = engine.submit(make_spec())
+            # lift the plan before the retry: the rebuilt pool re-ships
+            # the *current* plan, so the second attempt runs clean —
+            # exactly one real SIGKILL-style death mid-search
+            install(None)
+            out = handle.outcome(timeout=120)
+            assert np.isfinite(out.error)
+            assert out.attempts == 2
+            assert engine.retries_used == 1
+        finally:
+            engine.shutdown()
+        assert shm_files() == before

@@ -1,0 +1,19 @@
+"""Chaos-suite fixtures: a quickly-fitted artifact and plan hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AutoML
+
+
+@pytest.fixture(scope="session")
+def chaos_artifact():
+    r = np.random.default_rng(7)
+    X = r.standard_normal((240, 5))
+    y = ((X[:, 0] + X[:, 1]) > 0).astype(np.int64)
+    automl = AutoML(seed=0, init_sample_size=100)
+    automl.fit(X, y, task="classification", time_budget=5, max_iters=4,
+               estimator_list=["lgbm"])
+    return automl.export_artifact()

@@ -1,0 +1,166 @@
+"""The fault plane itself: rule validation, seeded determinism, count
+caps, wire-form round-trips, and the module-level install/hook API."""
+
+import pickle
+
+import pytest
+
+from repro.faults import (FaultError, FaultPlan, FaultRule, InjectedCrash,
+                          InjectedFault, InjectedShmError, KNOWN_SITES,
+                          active, fault_hook, install, maybe_raise,
+                          stable_unit)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    """Every test starts and ends with faults off."""
+    prev = install(None)
+    yield
+    install(prev)
+
+
+class TestStableUnit:
+    def test_range_and_stability(self):
+        keys = [0, "x", (1, "a", 2.5), ("nested", (3, 4))]
+        for k in keys:
+            u = stable_unit(k)
+            assert 0.0 <= u < 1.0
+            assert u == stable_unit(k)  # pure function of the key
+
+    def test_distinct_keys_distinct_values(self):
+        us = {stable_unit(("trial", i)) for i in range(100)}
+        assert len(us) == 100
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule(site="definitely.not.a.site")
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(site="worker.crash", probability=1.5)
+
+    def test_dict_roundtrip(self):
+        rule = FaultRule(site="worker.hang", probability=0.25, count=3,
+                         after=2, param=1.5, mode="delay", hard=False)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_every_known_site_constructs(self):
+        for site in KNOWN_SITES:
+            assert FaultRule(site=site).site == site
+
+
+class TestFaultPlan:
+    def test_dict_shorthand(self):
+        plan = FaultPlan({"worker.crash": 0.5,
+                          "worker.hang": {"param": 2.0}}, seed=7)
+        assert plan.rules["worker.crash"].probability == 0.5
+        assert plan.rules["worker.hang"].param == 2.0
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([FaultRule(site="worker.crash"),
+                       FaultRule(site="worker.crash")])
+
+    def test_spec_roundtrip_and_picklable(self):
+        plan = FaultPlan({"trial.exception": {"probability": 0.3,
+                                              "count": 2}}, seed=11)
+        clone = FaultPlan.from_spec(plan.spec())
+        assert clone.seed == plan.seed
+        assert clone.rules == plan.rules
+        # the spec is what rides the worker init payload
+        assert pickle.loads(pickle.dumps(plan.spec())) == plan.spec()
+
+    def test_keyed_decisions_deterministic(self):
+        a = FaultPlan({"trial.exception": 0.5}, seed=3)
+        b = FaultPlan({"trial.exception": 0.5}, seed=3)
+        keys = [("trial", i) for i in range(50)]
+        da = [a.decide("trial.exception", key=k) is not None for k in keys]
+        db = [b.decide("trial.exception", key=k) is not None for k in keys]
+        assert da == db
+        assert any(da) and not all(da)  # p=0.5 over 50 keys
+
+    def test_seed_changes_decisions(self):
+        keys = [("trial", i) for i in range(50)]
+
+        def fires(seed):
+            plan = FaultPlan({"trial.exception": 0.5}, seed=seed)
+            return [plan.decide("trial.exception", key=k) is not None
+                    for k in keys]
+
+        assert fires(0) != fires(1)
+
+    def test_count_cap(self):
+        plan = FaultPlan({"trial.exception": {"probability": 1.0,
+                                              "count": 2}})
+        fired = [plan.decide("trial.exception", key=("t", i)) is not None
+                 for i in range(10)]
+        assert sum(fired) == 2
+        assert fired[:2] == [True, True]
+        assert plan.fired("trial.exception") == 2
+
+    def test_after_skips_first_checks(self):
+        plan = FaultPlan({"trial.exception": {"probability": 1.0,
+                                              "after": 3}})
+        fired = [plan.decide("trial.exception") is not None
+                 for _ in range(5)]
+        assert fired == [False, False, False, True, True]
+
+    def test_unknown_site_decide_is_none(self):
+        plan = FaultPlan({"trial.exception": 1.0})
+        assert plan.decide("worker.crash") is None
+
+    def test_fired_totals(self):
+        plan = FaultPlan({"trial.exception": 1.0, "worker.crash": 1.0})
+        plan.decide("trial.exception")
+        plan.decide("worker.crash")
+        plan.decide("worker.crash", key="k2")
+        assert plan.fired() == 3
+        assert plan.fired("nonexistent.site") == 0
+
+
+class TestModuleApi:
+    def test_off_by_default(self):
+        assert active() is None
+        assert fault_hook("trial.exception") is None
+        maybe_raise("trial.exception")  # no plan: must be a no-op
+
+    def test_install_and_restore(self):
+        plan = FaultPlan({"trial.exception": 1.0})
+        prev = install(plan)
+        try:
+            assert active() is plan
+            assert fault_hook("trial.exception", key="k") is not None
+        finally:
+            install(prev)
+        assert active() is prev
+
+    def test_install_accepts_spec_dict(self):
+        prev = install({"seed": 5, "rules": [
+            {"site": "worker.hang", "probability": 1.0, "param": 9.0},
+        ]})
+        try:
+            plan = active()
+            assert plan.seed == 5
+            assert plan.rules["worker.hang"].param == 9.0
+        finally:
+            install(prev)
+
+    def test_maybe_raise_types(self):
+        prev = install(FaultPlan({"shm.attach": 1.0}))
+        try:
+            with pytest.raises(InjectedShmError) as exc_info:
+                maybe_raise("shm.attach", exc_type=InjectedShmError)
+        finally:
+            install(prev)
+        # the injected error is catchable both as OSError (the real
+        # recovery paths) and as FaultError (chaos bookkeeping)
+        assert isinstance(exc_info.value, OSError)
+        assert isinstance(exc_info.value, FaultError)
+
+    def test_exception_taxonomy(self):
+        assert issubclass(InjectedFault, FaultError)
+        assert issubclass(InjectedCrash, FaultError)
+        assert not issubclass(InjectedCrash, InjectedFault)
+        assert issubclass(FaultError, RuntimeError)

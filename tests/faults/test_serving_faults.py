@@ -1,0 +1,288 @@
+"""Serving-plane robustness: admission control, queue saturation,
+deadlines, the HTTP 429/503 shed contract, and registry quarantine with
+alias-history fallback."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import FaultPlan, install
+from repro.serve import ModelServer, build_http_server
+from repro.serve.batching import BatcherSaturated, MicroBatcher
+from repro.serve.registry import ModelRegistry, RegistryError
+from repro.serve.server import AdmissionRejected, DeadlineExceeded
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    prev = install(None)
+    yield
+    install(prev)
+
+
+ROW = [0.1, -0.2, 0.3, 0.0, 1.0]
+
+
+def delay_plan(seconds=0.05):
+    return FaultPlan({"http.predict": {"probability": 1.0, "mode": "delay",
+                                       "param": seconds}})
+
+
+class TestAdmissionControl:
+    def test_inflight_cap_rejects_concurrent_excess(self, chaos_artifact):
+        server = ModelServer(artifacts={"m": chaos_artifact},
+                             max_batch=4, max_delay_ms=1.0, max_inflight=1)
+        install(delay_plan(0.05))
+        outcomes = []
+        lock = threading.Lock()
+
+        def client():
+            try:
+                server.predict("m", ROW)
+                got = "ok"
+            except AdmissionRejected:
+                got = "rejected"
+            with lock:
+                outcomes.append(got)
+
+        try:
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            install(None)
+        try:
+            assert "ok" in outcomes
+            assert "rejected" in outcomes
+            assert server.shed_counts["inflight"] >= 1
+            # pressure gone: the next request is served normally
+            assert server.predict("m", ROW)["n"] == 1
+        finally:
+            server.close()
+
+    def test_validation(self, chaos_artifact):
+        with pytest.raises(ValueError, match="max_inflight"):
+            ModelServer(artifacts={"m": chaos_artifact}, max_inflight=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            ModelServer(artifacts={"m": chaos_artifact}, deadline_ms=0)
+
+
+class TestDeadline:
+    def test_slow_predict_exceeds_deadline(self, chaos_artifact):
+        server = ModelServer(artifacts={"m": chaos_artifact},
+                             max_batch=4, max_delay_ms=1.0, deadline_ms=5.0)
+        install(delay_plan(0.05))  # 50ms injected delay vs 5ms deadline
+        try:
+            with pytest.raises(DeadlineExceeded):
+                server.predict("m", ROW)
+            assert server.shed_counts["deadline"] >= 1
+        finally:
+            install(None)
+            server.close()
+
+
+class TestQueueSaturation:
+    def test_full_queue_sheds_instead_of_blocking(self):
+        """The satellite bugfix: a saturated MicroBatcher raises
+        BatcherSaturated immediately — it never queues unboundedly."""
+        import time
+
+        busy = threading.Event()
+        release = threading.Event()
+
+        def slow_predict(batch):
+            busy.set()
+            release.wait(timeout=10)
+            return batch[:, 0]
+
+        batcher = MicroBatcher(slow_predict, max_batch=1, max_delay_ms=1.0,
+                               max_queue=1)
+        results = []
+        t = threading.Thread(
+            target=lambda: results.append(batcher.submit([1.0, 2.0]))
+        )
+        t.start()
+        assert busy.wait(timeout=10)  # the worker is stuck in the model
+        t2 = threading.Thread(
+            target=lambda: results.append(batcher.submit([3.0, 4.0]))
+        )
+        t2.start()
+        for _ in range(200):  # t2's row fills the 1-slot queue
+            if batcher.queue_depth >= 1:
+                break
+            time.sleep(0.005)
+        with pytest.raises(BatcherSaturated):
+            batcher.submit([5.0, 6.0])
+        assert batcher.stats.sheds == 1
+        release.set()
+        t.join(timeout=10)
+        t2.join(timeout=10)
+        batcher.close()
+        assert len(results) == 2  # the accepted rows were still served
+
+    def test_max_queue_validated(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            MicroBatcher(lambda b: b, max_queue=0)
+
+
+@pytest.fixture()
+def live(chaos_artifact):
+    model_server = ModelServer(artifacts={"m": chaos_artifact},
+                               max_batch=4, max_delay_ms=1.0,
+                               max_inflight=2, max_queue=8)
+    httpd = build_http_server(model_server, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield base, model_server
+    httpd.shutdown()
+    httpd.server_close()
+    model_server.close()
+    thread.join(timeout=5)
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+class TestHttpShedContract:
+    def test_429_when_admission_rejects(self, live):
+        """An occupied inflight budget surfaces as 429 + Retry-After."""
+        base, server = live
+        sem = server._inflight_sem
+        assert sem.acquire(blocking=False) and sem.acquire(blocking=False)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as e:
+                _post(f"{base}/predict", {"model": "m", "rows": [ROW]})
+        finally:
+            sem.release()
+            sem.release()
+        assert e.value.code == 429
+        assert e.value.headers["Retry-After"] is not None
+
+    def test_503_when_batcher_saturated(self, live, monkeypatch):
+        base, server = live
+
+        def saturated(*a, **kw):
+            raise BatcherSaturated("queue full")
+
+        monkeypatch.setattr(server, "_predict_unguarded", saturated)
+        with pytest.raises(urllib.error.HTTPError) as e:
+            _post(f"{base}/predict", {"model": "m", "rows": [ROW]})
+        assert e.value.code == 503
+        assert e.value.headers["Retry-After"] is not None
+
+    def test_500_on_injected_predict_fault(self, live):
+        base, _ = live
+        install(FaultPlan({"http.predict": {"probability": 1.0,
+                                            "mode": "error"}}))
+        try:
+            with pytest.raises(urllib.error.HTTPError) as e:
+                _post(f"{base}/predict", {"model": "m", "rows": [ROW]})
+        finally:
+            install(None)
+        assert e.value.code == 500
+
+    def test_health_reports_pressure(self, live):
+        base, _ = live
+        with urllib.request.urlopen(f"{base}/health") as resp:
+            health = json.loads(resp.read().decode())
+        assert health["queue_depth"] == 0
+        assert health["inflight"] == 0
+        assert set(health["sheds"]) == {"inflight", "queue", "deadline"}
+
+    def test_shed_counter_in_prometheus(self, live, monkeypatch):
+        base, server = live
+
+        def saturated(*a, **kw):
+            raise BatcherSaturated("queue full")
+
+        monkeypatch.setattr(server, "_predict_unguarded", saturated)
+        with pytest.raises(urllib.error.HTTPError):
+            _post(f"{base}/predict", {"model": "m", "rows": [ROW]})
+        monkeypatch.undo()
+        with urllib.request.urlopen(
+            f"{base}/metrics?format=prometheus"
+        ) as resp:
+            body = resp.read().decode()
+        assert "repro_serving_shed_total" in body
+
+
+class TestRegistryQuarantine:
+    def _registry_with_two_versions(self, tmp_path, artifact):
+        reg = ModelRegistry(str(tmp_path / "reg"))
+        reg.register("m", artifact)
+        v2 = reg.register("m", artifact)
+        return reg, v2
+
+    def _corrupt(self, reg, name, version):
+        import os
+
+        path = os.path.join(reg.root, name, f"v{version}", "artifact.json")
+        with open(path, "ab") as f:
+            f.write(b" tampered")
+
+    def test_concrete_version_corruption_raises_and_quarantines(
+            self, tmp_path, chaos_artifact):
+        reg, v2 = self._registry_with_two_versions(tmp_path, chaos_artifact)
+        self._corrupt(reg, "m", v2)
+        with pytest.raises(RegistryError, match="integrity"):
+            reg.get("m", v2)
+        entry = [e for e in reg.versions("m") if e["version"] == v2][0]
+        assert "sha256" in entry["quarantined"]
+        # quarantine is sticky: later reads refuse without re-hashing
+        with pytest.raises(RegistryError, match="no servable"):
+            reg.get("m", str(v2))
+
+    def test_alias_falls_back_along_history(self, tmp_path, chaos_artifact):
+        reg, v2 = self._registry_with_two_versions(tmp_path, chaos_artifact)
+        self._corrupt(reg, "m", v2)
+        art = reg.get("m", "latest")  # resolves v2, serves v1
+        assert art.task == chaos_artifact.task
+        assert reg.resolve("m", "latest") == v2  # alias target unchanged
+        entry = [e for e in reg.versions("m") if e["version"] == v2][0]
+        assert entry.get("quarantined")
+
+    def test_all_candidates_quarantined_raises(self, tmp_path,
+                                               chaos_artifact):
+        reg, v2 = self._registry_with_two_versions(tmp_path, chaos_artifact)
+        self._corrupt(reg, "m", 1)
+        self._corrupt(reg, "m", v2)
+        with pytest.raises(RegistryError, match="no servable"):
+            reg.get("m", "latest")
+
+    def test_injected_registry_read_fault(self, tmp_path, chaos_artifact):
+        """The registry.read site simulates corruption without touching
+        the file: the version is quarantined all the same."""
+        reg = ModelRegistry(str(tmp_path / "reg"))
+        reg.register("m", chaos_artifact)
+        install(FaultPlan({"registry.read": {"probability": 1.0,
+                                             "count": 1}}))
+        try:
+            with pytest.raises(RegistryError, match="integrity"):
+                reg.get("m", 1)
+        finally:
+            install(None)
+        assert reg.versions("m")[0].get("quarantined")
+
+    def test_index_surfaces_quarantine(self, tmp_path, chaos_artifact):
+        reg, v2 = self._registry_with_two_versions(tmp_path, chaos_artifact)
+        self._corrupt(reg, "m", v2)
+        with pytest.raises(RegistryError):
+            reg.get("m", v2)
+        index = reg.index()
+        flagged = [v for v in index["m"]["versions"]
+                   if v.get("quarantined")]
+        assert [v["version"] for v in flagged] == [v2]

@@ -101,7 +101,7 @@ class TestPrometheusMetrics:
                 continue
             if line.startswith("# TYPE "):
                 _, _, name, kind = line.split(" ")
-                assert kind in ("counter", "histogram")
+                assert kind in ("counter", "gauge", "histogram")
                 types[name] = kind
                 continue
             if line.startswith("# HELP "):
