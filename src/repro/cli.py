@@ -167,6 +167,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cap on rows queued in each model's micro-batcher; "
                           "a full queue sheds with 503 Retry-After "
                           "(default: unbounded)")
+    srv.add_argument("--fit", action="store_true",
+                     help="mount the multi-tenant fit service under /fit: "
+                          "tenants POST training payloads, searches "
+                          "multiplex one shared worker pool, winners "
+                          "register as <tenant>.<name> (requires "
+                          "--registry)")
+    srv.add_argument("--fit-workers", type=int, default=4,
+                     help="worker slots in the shared fit pool (default 4)")
+    srv.add_argument("--fit-max-searches", type=int, default=4,
+                     help="searches in progress at once; more queue "
+                          "(default 4)")
+    srv.add_argument("--fit-cache-size", type=int, default=16384,
+                     help="entries in the cross-search trial cache; 0 "
+                          "disables sharing (default 16384)")
+    srv.add_argument("--fit-tenant-budget", type=float, default=None,
+                     help="per-tenant cumulative trial-compute budget in "
+                          "seconds; exhausted tenants are refused "
+                          "(default: unmetered)")
+    srv.add_argument("--fit-max-concurrent", type=int, default=None,
+                     help="default cap on one search's concurrently running "
+                          "trials (default: the pool size)")
+    srv.add_argument("--fit-max-rows", type=int, default=200_000,
+                     help="largest training payload accepted per fit "
+                          "(default 200000 rows)")
+    srv.add_argument("--fit-budget-cap", type=float, default=300.0,
+                     help="hard cap on any single job's time_budget in "
+                          "seconds (default 300)")
 
     tr = sub.add_parser(
         "trace", help="work with span traces (see fit --trace)"
@@ -495,10 +522,21 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import ModelRegistry, ModelServer, PipelineArtifact, serve
+    from .serve import (
+        FitService,
+        ModelRegistry,
+        ModelServer,
+        PipelineArtifact,
+        serve,
+    )
 
     if (args.registry is None) == (args.artifact is None):
         raise ValueError("serve needs exactly one of --registry / --artifact")
+    if args.fit and args.registry is None:
+        raise ValueError(
+            "serve --fit needs --registry: fitted winners must land "
+            "somewhere durable"
+        )
     common = dict(
         max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
         batching=not args.no_batching, max_horizon=args.max_horizon,
@@ -506,8 +544,21 @@ def _cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms, max_queue=args.max_queue,
     )
     if args.registry is not None:
+        registry = ModelRegistry(args.registry)
+        fit_service = None
+        if args.fit:
+            fit_service = FitService(
+                registry=registry,
+                n_workers=args.fit_workers,
+                max_searches=args.fit_max_searches,
+                cache_size=args.fit_cache_size,
+                tenant_time_budget=args.fit_tenant_budget,
+                default_max_concurrent=args.fit_max_concurrent,
+                max_fit_rows=args.fit_max_rows,
+                time_budget_cap=args.fit_budget_cap,
+            )
         model_server = ModelServer(
-            registry=ModelRegistry(args.registry), **common
+            registry=registry, fit_service=fit_service, **common
         )
     else:
         model_server = ModelServer(

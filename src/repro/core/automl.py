@@ -191,12 +191,15 @@ class AutoML:
         log_file: str | None = None,
         n_workers: int = 1,
         backend: str | None = None,
-        trial_cache: bool = True,
+        trial_cache=True,
         trial_time_limit: float | None = None,
         horizon: int = 1,
         seasonal_period: int | None = None,
         retries: int = 0,
         retry_budget: int | None = None,
+        executor_factory=None,
+        stop_event=None,
+        tenant: str | None = None,
     ) -> "AutoML":
         """Search for an accurate model within ``time_budget`` seconds.
 
@@ -226,8 +229,21 @@ class AutoML:
         not retain evaluated models, so ``retrain_full=False`` only
         takes effect on the default sequential path; with ``n_workers >
         1`` the winner is always retrained on the full data.
+        ``executor_factory`` hands trial execution to an external
+        substrate: it is called with the prepared (shuffled,
+        preprocessed) :class:`~repro.data.dataset.Dataset` and must
+        return a :class:`~repro.exec.TrialExecutor` — e.g. a
+        ``SharedWorkerPool.lease(...)`` so many concurrent ``fit`` calls
+        multiplex one pool (the multi-tenant fit service).  The executor
+        names the backend; ``stop_event`` (a ``threading.Event``)
+        cancels the search cooperatively between trials; ``tenant``
+        labels this search's ``repro_tenant_*`` metrics.
         ``trial_cache`` enables the LRU trial cache (repeated proposals
-        are free; see ``search_result.cache_hits``) and
+        are free; see ``search_result.cache_hits``) — pass a
+        :class:`~repro.exec.TrialCache` *instance* to share one store
+        across searches (keys are dataset-fingerprint-scoped, so equal
+        datasets hit across tenants and different datasets never
+        collide) — and
         ``trial_time_limit`` bounds any single trial in seconds — a hard
         limit on thread/process backends (an overdue trial is abandoned
         as inf-error), advisory on serial/virtual ones, where trials run
@@ -337,6 +353,13 @@ class AutoML:
             starting_points = {**resumed, **(starting_points or {})}
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        executor = None
+        if executor_factory is not None:
+            # the lease must bind to the *prepared* dataset (shuffled /
+            # preprocessed above) — hence a factory, not an instance
+            executor = executor_factory(data)
+            if backend is None:
+                backend = getattr(executor, "backend", "shared")
         if backend is None:
             backend = "serial" if n_workers == 1 else "thread"
         if retries < 0:
@@ -348,7 +371,7 @@ class AutoML:
             retry_policy = RetryPolicy(
                 max_attempts=int(retries) + 1, retry_budget=retry_budget
             )
-        if backend == "serial" and n_workers == 1:
+        if backend == "serial" and n_workers == 1 and executor is None:
             controller = SearchController(
                 data,
                 learners,
@@ -374,6 +397,8 @@ class AutoML:
                 horizon=self._horizon,
                 seasonal_period=self._seasonal_period,
                 retry_policy=retry_policy,
+                stop_event=stop_event,
+                tenant=tenant,
             )
         else:
             from .parallel import ParallelSearchController
@@ -399,11 +424,14 @@ class AutoML:
                 starting_points=starting_points,
                 fitted_cost_model=fitted_cost_model,
                 backend=backend,
+                executor=executor,
                 trial_cache=trial_cache,
                 trial_time_limit=trial_time_limit,
                 horizon=self._horizon,
                 seasonal_period=self._seasonal_period,
                 retry_policy=retry_policy,
+                stop_event=stop_event,
+                tenant=tenant,
             )
         self._result = controller.run()
         if log_file:

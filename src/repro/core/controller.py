@@ -161,6 +161,8 @@ class SearchController(LearnerSelectionMixin):
         horizon: int = 1,
         seasonal_period: int | None = None,
         retry_policy: RetryPolicy | None = None,
+        stop_event=None,
+        tenant: str | None = None,
     ) -> None:
         self.check_selection(learner_selection)
         if time_budget <= 0:
@@ -182,6 +184,7 @@ class SearchController(LearnerSelectionMixin):
         # appendix: "one may search for the cheapest model with error below
         # a threshold" — stop as soon as the target error is reached
         self.stop_at_error = stop_at_error
+        self.stop_event = stop_event  # cooperative cancel (fit service)
 
         self.rng = np.random.default_rng(seed)
         # step 0: resampling strategy (fixed for the run) plus the
@@ -231,6 +234,7 @@ class SearchController(LearnerSelectionMixin):
             trial_time_limit=trial_time_limit,
             own_executor=own_executor,
             retry_policy=retry_policy,
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------------
@@ -253,6 +257,8 @@ class SearchController(LearnerSelectionMixin):
             if elapsed >= self.time_budget:
                 break
             if self.max_iters is not None and it >= self.max_iters:
+                break
+            if self.stop_event is not None and self.stop_event.is_set():
                 break
             it += 1
             learner = self._next_learner()

@@ -105,10 +105,15 @@ class ParallelSearchController(LearnerSelectionMixin):
         horizon: int = 1,
         seasonal_period: int | None = None,
         retry_policy: RetryPolicy | None = None,
+        stop_event=None,
+        tenant: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        if backend not in ("virtual",) + REAL_BACKENDS:
+        # an injected executor names its own substrate (e.g. "shared" for
+        # a multi-tenant pool lease); only factory-built backends must be
+        # one of the known names
+        if executor is None and backend not in ("virtual",) + REAL_BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; known: virtual, "
                 + ", ".join(REAL_BACKENDS)
@@ -128,6 +133,7 @@ class ParallelSearchController(LearnerSelectionMixin):
         self.max_trials = max_trials
         self.stop_at_error = stop_at_error
         self.backend = backend
+        self.stop_event = stop_event  # cooperative cancel (fit service)
         self.horizon = max(1, int(horizon))
         self.seasonal_period = seasonal_period
         self.rng = np.random.default_rng(seed)
@@ -202,7 +208,11 @@ class ParallelSearchController(LearnerSelectionMixin):
         self.engine = ExecutionEngine(
             executor, cache=cache, trial_time_limit=trial_time_limit,
             own_executor=own_executor, retry_policy=retry_policy,
+            tenant=tenant,
         )
+
+    def _cancelled(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
 
     # ------------------------------------------------------------------
     def _make_thread(self, name: str, spec: LearnerSpec, seed: int,
@@ -351,6 +361,7 @@ class ParallelSearchController(LearnerSelectionMixin):
                 finish < self.time_budget
                 and launched < self.max_trials
                 and not self._stopped(state)
+                and not self._cancelled()
             ):
                 _launch(finish)
         wall = max((t.automl_time for t in trials), default=0.0)
@@ -383,6 +394,7 @@ class ParallelSearchController(LearnerSelectionMixin):
                 and elapsed < self.time_budget
                 and launched < self.max_trials
                 and not self._stopped(state)
+                and not self._cancelled()
             ):
                 remaining = self.time_budget - elapsed
                 launch = self._propose(remaining)
@@ -396,6 +408,7 @@ class ParallelSearchController(LearnerSelectionMixin):
                     and elapsed < self.time_budget
                     and launched < self.max_trials
                     and not self._stopped(state)
+                    and not self._cancelled()
                 ):
                     # every worker is stuck on an abandoned trial: wait
                     # for one to free up instead of ending the search

@@ -19,6 +19,7 @@ from .base import (
 )
 from .cache import TrialCache
 from .engine import EngineHandle, ExecutionEngine, RetryPolicy
+from .multiplex import LeasedExecutor, SharedWorkerPool, TicketHandle
 from .process import ProcessExecutor
 from .serial import SerialExecutor
 from .threaded import ThreadExecutor
@@ -32,6 +33,9 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedWorkerPool",
+    "LeasedExecutor",
+    "TicketHandle",
     "PoolBrokenError",
     "TrialCache",
     "ExecutionEngine",

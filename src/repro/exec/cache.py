@@ -9,12 +9,24 @@ identical proposals.  Since a trial is a pure function of
 instead of re-trained.
 
 The cache stores model-free outcomes (models can be arbitrarily large;
-the search only needs (error, cost)) and keeps hit/miss counters that the
-controllers surface on :class:`~repro.core.controller.SearchResult`.
+the search only needs the measurement) but keeps every other field —
+``attempts`` and ``failure`` in particular, so a cache-hit replay reports
+the same retry history the original trial had.
+
+Since the cross-search promotion (multi-tenant fit service) one store may
+be shared by many concurrent searches: keys are dataset-scoped by the
+caller (:func:`~repro.exec.engine.dataset_token` prefixes every key) and
+the ``hits``/``misses`` counters here are **store-wide aggregates** over
+all callers.  Per-search attribution — what
+:class:`~repro.core.controller.SearchResult` surfaces as ``cache_hits`` —
+lives in each caller's own :class:`~repro.exec.engine.ExecutionEngine`
+counters, never here, so concurrent searches cannot misattribute each
+other's lookups.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import OrderedDict
 
@@ -39,7 +51,12 @@ class TrialCache:
         return len(self._store)
 
     def get(self, key: tuple) -> TrialOutcome | None:
-        """Look up a trial outcome; counts a hit or a miss."""
+        """Look up a trial outcome; counts a store-wide hit or miss.
+
+        Callers that need *per-search* attribution (``SearchResult.
+        cache_hits`` with a shared store) must count on their side —
+        these counters aggregate over every engine sharing the store.
+        """
         with self._lock:
             out = self._store.get(key)
             if out is None:
@@ -50,8 +67,16 @@ class TrialCache:
             return out
 
     def put(self, key: tuple, outcome: TrialOutcome) -> None:
-        """Store a finished trial (model stripped), evicting the LRU entry."""
-        slim = TrialOutcome(error=outcome.error, cost=outcome.cost, model=None)
+        """Store a finished trial, evicting the LRU entry when full.
+
+        Only the heavyweight payloads are stripped (the model, plus any
+        unmerged observability buffers); every measurement field —
+        ``error``, ``cost``, ``attempts``, ``failure`` — survives the
+        round trip, so a replayed hit reports the retry history of the
+        original execution instead of silently resetting it.
+        """
+        slim = dataclasses.replace(outcome, model=None, trace=None,
+                                   metrics=None)
         with self._lock:
             self._store[key] = slim
             self._store.move_to_end(key)

@@ -257,24 +257,34 @@ class ExecutionEngine:
                  cache: TrialCache | None = None,
                  trial_time_limit: float | None = None,
                  own_executor: bool = True,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 tenant: str | None = None) -> None:
         self.executor = executor
         self.cache = cache
         self.trial_time_limit = trial_time_limit
         self.retry_policy = retry_policy
         self.retries_used = 0
         self.degradations: list[tuple[str, str]] = []
+        #: tenant owning this search (multi-tenant fit service); labels
+        #: the ``repro_tenant_*`` / ``repro_trial_cache_*`` series
+        self.tenant = tenant
         self._own_executor = bool(own_executor)
         self._data_token = (
             dataset_token(executor.data) if cache is not None else None
         )
+        # per-engine (= per-search) cache attribution: the TrialCache may
+        # be shared across concurrent searches, whose store-wide counters
+        # would misattribute hits between tenants
+        self._cache_hits = 0
+        self._cache_misses = 0
+        tenant_labels = {"tenant": tenant} if tenant else {}
         self._m_cache_hit = REGISTRY.counter(
             "repro_trial_cache_total",
-            "Trial-cache lookups by result.", result="hit",
+            "Trial-cache lookups by result.", result="hit", **tenant_labels,
         )
         self._m_cache_miss = REGISTRY.counter(
             "repro_trial_cache_total",
-            "Trial-cache lookups by result.", result="miss",
+            "Trial-cache lookups by result.", result="miss", **tenant_labels,
         )
         self._bind_backend_metrics()
 
@@ -313,13 +323,14 @@ class ExecutionEngine:
 
     @property
     def cache_hits(self) -> int:
-        """Trials short-circuited by the cache so far."""
-        return self.cache.hits if self.cache is not None else 0
+        """Trials *this engine* short-circuited via the cache — not the
+        store-wide total, which aggregates every search sharing it."""
+        return self._cache_hits
 
     @property
     def cache_misses(self) -> int:
-        """Cache lookups that fell through to the executor."""
-        return self.cache.misses if self.cache is not None else 0
+        """This engine's cache lookups that fell through to the executor."""
+        return self._cache_misses
 
     # -- retry / degradation policies ----------------------------------
     def _take_retry_token(self, status: str) -> bool:
@@ -416,6 +427,23 @@ class ExecutionEngine:
         self._m_queue_wait.observe(max(0.0, wait))
         self._m_trial_seconds.observe(max(0.0, outcome.cost))
         self._trials_counter(status).inc()
+        self._tenant_observe(status, outcome.cost)
+
+    def _tenant_observe(self, status: str, cost: float) -> None:
+        """Per-tenant accounting for the multi-tenant fit service; inert
+        for engines without a tenant label."""
+        if not self.tenant:
+            return
+        REGISTRY.counter(
+            "repro_tenant_trials_total",
+            "Trials resolved per tenant, by terminal status.",
+            tenant=self.tenant, status=status,
+        ).inc()
+        REGISTRY.histogram(
+            "repro_tenant_trial_seconds",
+            "Measured per-trial evaluation cost, per tenant.",
+            tenant=self.tenant,
+        ).observe(max(0.0, cost))
 
     def submit(self, spec: TrialSpec) -> EngineHandle:
         """Schedule one trial, consulting the cache first.
@@ -428,14 +456,19 @@ class ExecutionEngine:
             t0 = time.perf_counter()
             hit = self.cache.get(self._key(spec))
             if hit is not None:
+                self._cache_hits += 1
                 self._m_cache_hit.inc()
                 self._trials_counter("cache-hit").inc()
-                out = TrialOutcome(
-                    error=hit.error,
-                    cost=max(time.perf_counter() - t0, 1e-9),
-                    model=None,
+                self._tenant_observe("cache-hit", 0.0)
+                # replay everything but the cost (this lookup was nearly
+                # free): in particular `attempts`/`failure` survive, so a
+                # replayed trial reports the retry history of the run
+                # that actually executed it
+                out = dataclasses.replace(
+                    hit, cost=max(time.perf_counter() - t0, 1e-9),
                 )
                 return EngineHandle(self, spec, outcome=out, cache_hit=True)
+            self._cache_misses += 1
             self._m_cache_miss.inc()
         try:
             handle = self._backend_submit(spec)

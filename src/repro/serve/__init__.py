@@ -11,13 +11,25 @@ server (the ROADMAP's "serve heavy traffic" direction).
   concurrent single-row predicts into batched model calls, with
   p50/p95/p99 latency stats;
 * :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — a stdlib
-  HTTP server (``/predict`` ``/models`` ``/health`` ``/metrics``) and
-  its client (``python -m repro serve`` starts the server).
+  HTTP server (``/predict`` ``/models`` ``/health`` ``/metrics``
+  ``/fit``) and its client (``python -m repro serve`` starts the
+  server);
+* :mod:`~repro.serve.fitservice` — :class:`FitService`, multi-tenant
+  fit-as-a-service: concurrent AutoML searches multiplexing one shared
+  worker pool with per-tenant fairness, budgets, and registry names
+  (``python -m repro serve --fit``).
 """
 
 from .artifact import ARTIFACT_FORMAT, PipelineArtifact, export_artifact
 from .batching import MicroBatcher, ServingStats
 from .client import ServeClient, ServeClientError
+from .fitservice import (
+    FitJob,
+    FitService,
+    FitServiceError,
+    TenantBudgetExceeded,
+    UnknownJobError,
+)
 from .registry import ModelRegistry, RegistryError
 from .server import ModelServer, build_http_server, serve
 
@@ -29,6 +41,11 @@ __all__ = [
     "ServingStats",
     "ServeClient",
     "ServeClientError",
+    "FitJob",
+    "FitService",
+    "FitServiceError",
+    "TenantBudgetExceeded",
+    "UnknownJobError",
     "ModelRegistry",
     "RegistryError",
     "ModelServer",

@@ -64,17 +64,23 @@ class ServingStats:
         #: snapshot keeps its sliding-window percentiles unchanged)
         self.latency_hist = Histogram(_LATENCY_BUCKETS)
         self._t_first: float | None = None
+        #: monotonic timestamp of the last recorded activity — the
+        #: server's recency order for bounding /metrics cardinality and
+        #: evicting idle per-model state
+        self.last_active = time.monotonic()
 
     def record_batch(self, n_rows: int) -> None:
         """Count one model invocation covering ``n_rows`` rows."""
         with self._lock:
             self.batches += 1
             self.rows += n_rows
+            self.last_active = time.monotonic()
 
     def record_shed(self) -> None:
         """Count one request refused without running the model."""
         with self._lock:
             self.sheds += 1
+            self.last_active = time.monotonic()
 
     def record_request(self, latency_s: float, error: bool = False) -> None:
         """Count one client request and its end-to-end latency."""
@@ -85,6 +91,7 @@ class ServingStats:
             if error:
                 self.errors += 1
             self._latencies.append(latency_s)
+            self.last_active = time.monotonic()
             if self._t_first is None:
                 self._t_first = now
 

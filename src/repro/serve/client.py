@@ -82,6 +82,66 @@ class ServeClient:
             payload["model"] = model
         return np.asarray(self._request("/predict", payload)["predictions"])
 
+    # -- fit-as-a-service ----------------------------------------------
+    def submit_fit(self, tenant: str, name: str, X, y,
+                   task: str | None = None, time_budget: float = 30.0,
+                   max_iters: int | None = None, seed: int = 0,
+                   estimators: list[str] | None = None,
+                   weight: int = 1,
+                   max_concurrent: int | None = None) -> dict:
+        """POST a training payload to ``/fit``; returns the queued job's
+        snapshot (poll ``fit_status(job['job_id'])``).  The winner will
+        register as ``<tenant>.<name>``."""
+        payload: dict = {
+            "tenant": tenant,
+            "name": name,
+            "X": np.asarray(X, dtype=np.float64).tolist(),
+            "y": np.asarray(y).tolist(),
+            "time_budget": float(time_budget),
+            "seed": int(seed),
+            "weight": int(weight),
+        }
+        if task is not None:
+            payload["task"] = task
+        if max_iters is not None:
+            payload["max_iters"] = int(max_iters)
+        if estimators is not None:
+            payload["estimators"] = list(estimators)
+        if max_concurrent is not None:
+            payload["max_concurrent"] = int(max_concurrent)
+        return self._request("/fit", payload)
+
+    def fit_status(self, job_id: str) -> dict:
+        """GET ``/fit/<job_id>`` — one job's snapshot."""
+        return self._request(f"/fit/{job_id}")
+
+    def fit_jobs(self, tenant: str | None = None) -> list[dict]:
+        """GET ``/fit`` — all jobs (optionally one tenant's)."""
+        path = "/fit" if tenant is None else f"/fit?tenant={tenant}"
+        return self._request(path)["jobs"]
+
+    def cancel_fit(self, job_id: str) -> dict:
+        """POST ``/fit/<job_id>/cancel`` — request cooperative stop."""
+        return self._request(f"/fit/{job_id}/cancel", {})
+
+    def wait_fit(self, job_id: str, timeout: float = 120.0,
+                 poll: float = 0.25) -> dict:
+        """Poll ``/fit/<job_id>`` until the job reaches a terminal
+        status; returns the final snapshot or raises on timeout."""
+        import time as _time
+
+        deadline = _time.monotonic() + float(timeout)
+        while True:
+            status = self.fit_status(job_id)
+            if status["status"] in ("done", "failed", "cancelled"):
+                return status
+            if _time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"fit job {job_id} still {status['status']!r} after "
+                    f"{timeout:g}s"
+                )
+            _time.sleep(poll)
+
     def models(self) -> dict:
         """GET ``/models`` — registry index."""
         return self._request("/models")

@@ -41,6 +41,11 @@ import re
 import threading
 import time
 
+try:  # advisory file locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - windows fallback
+    fcntl = None
+
 from ..faults import fault_hook
 from ..obs.metrics import REGISTRY
 from .artifact import PipelineArtifact
@@ -121,28 +126,46 @@ class ModelRegistry:
     @contextlib.contextmanager
     def _write_lock(self, name: str):
         """Cross-process mutex for manifest writers (register/promote/
-        rollback): an O_EXCL lock file under the model directory."""
+        rollback): an advisory ``flock`` on a per-model ``.lock`` file.
+
+        ``flock`` is released by the kernel when the holder's fd closes
+        — including when the holding process is SIGKILLed mid-write — so
+        a crashed writer can never wedge the registry the way the old
+        O_EXCL lockfile scheme did (its stale file blocked every writer
+        until the timeout, then demanded manual removal).  The lock file
+        itself is persistent and never deleted: unlinking a path other
+        processes may be about to ``open`` reintroduces exactly the race
+        the lock exists to prevent.  Locks are per-open-fd, so threads
+        of one process serialise through it too.
+        """
         os.makedirs(self._dir(name), exist_ok=True)
         lock_path = os.path.join(self._dir(name), ".lock")
         deadline = time.monotonic() + self.LOCK_TIMEOUT_S
-        while True:
-            try:
-                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                break
-            except FileExistsError:
-                if time.monotonic() > deadline:
-                    raise RegistryError(
-                        f"timed out waiting for the write lock on {name!r} "
-                        f"({lock_path}); remove it if its owner crashed"
-                    ) from None
-                time.sleep(0.02)
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
         try:
-            os.write(fd, str(os.getpid()).encode())
-            os.close(fd)
+            if fcntl is not None:
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() > deadline:
+                            raise RegistryError(
+                                f"timed out waiting for the write lock on "
+                                f"{name!r} ({lock_path}); another writer is "
+                                "holding it"
+                            ) from None
+                        time.sleep(0.02)
+            # the owner pid is informational (debugging), not the lock
+            with contextlib.suppress(OSError):
+                os.ftruncate(fd, 0)
+                os.write(fd, str(os.getpid()).encode())
             yield
         finally:
-            with contextlib.suppress(FileNotFoundError):
-                os.remove(lock_path)
+            if fcntl is not None:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     # -- write side ----------------------------------------------------
     def register(self, name: str, artifact: PipelineArtifact,

@@ -21,6 +21,12 @@ Endpoints (all JSON):
     Liveness + the names currently servable.
 ``GET /metrics``
     Per-model request/batch counters and latency percentiles.
+``POST /fit`` / ``GET /fit`` / ``GET /fit/<id>`` / ``POST /fit/<id>/cancel``
+    Multi-tenant fit-as-a-service (present when the server is built
+    with a :class:`~repro.serve.fitservice.FitService`, i.e. ``python
+    -m repro serve --fit``): submit a training payload, list or poll
+    jobs, cancel a running search.  Winners land in the registry as
+    ``<tenant>.<name>`` and become servable immediately.
 
 Run it with ``python -m repro serve --registry DIR`` (see
 :mod:`repro.cli`) or embed it: ``build_http_server`` returns a standard
@@ -35,6 +41,7 @@ import logging
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -63,7 +70,7 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: the endpoints we label metrics with; anything else becomes "other"
 #: so a port scanner cannot explode the label cardinality
-_KNOWN_ENDPOINTS = ("/predict", "/models", "/health", "/metrics")
+_KNOWN_ENDPOINTS = ("/predict", "/models", "/health", "/metrics", "/fit")
 
 #: what a shed client should wait before retrying (seconds; the
 #: ``Retry-After`` header rounds it up to 1)
@@ -92,7 +99,10 @@ class ModelServer:
                  slow_request_ms: float = 500.0,
                  max_inflight: int | None = None,
                  deadline_ms: float | None = None,
-                 max_queue: int | None = None) -> None:
+                 max_queue: int | None = None,
+                 fit_service=None,
+                 max_model_state: int = 256,
+                 max_metrics_models: int = 64) -> None:
         """``max_inflight`` bounds concurrently running predicts —
         request number ``max_inflight + 1`` is rejected immediately
         (:class:`AdmissionRejected` → HTTP 429) instead of queueing.
@@ -102,9 +112,32 @@ class ModelServer:
         ``max_queue`` bounds each micro-batcher's pending-row queue
         (saturation → :class:`~repro.serve.batching.BatcherSaturated` →
         HTTP 503).  All three default to off (historical unbounded
-        behaviour)."""
-        if registry is None and not artifacts:
-            raise ValueError("need a registry and/or named artifacts to serve")
+        behaviour).
+
+        ``fit_service`` mounts a
+        :class:`~repro.serve.fitservice.FitService` under ``/fit`` (and
+        the server adopts its registry when none was given, so winners
+        are servable immediately).  With tenants registering models
+        freely, per-model serving state can no longer grow unboundedly:
+        ``max_model_state`` caps cached artifacts / stats / batchers
+        (least-recently-served evicted first, rebuilt on demand) and
+        ``max_metrics_models`` caps the per-model label cardinality of
+        ``/metrics`` — everything beyond the most recently active
+        models is aggregated under ``model="_other"``."""
+        if fit_service is not None and registry is None:
+            registry = fit_service.registry
+        if registry is None and not artifacts and fit_service is None:
+            raise ValueError(
+                "need a registry, named artifacts, or a fit service"
+            )
+        if max_model_state < 1:
+            raise ValueError(
+                f"max_model_state must be >= 1, got {max_model_state}"
+            )
+        if max_metrics_models < 1:
+            raise ValueError(
+                f"max_metrics_models must be >= 1, got {max_metrics_models}"
+            )
         if max_inflight is not None and max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if deadline_ms is not None and deadline_ms <= 0:
@@ -133,10 +166,17 @@ class ModelServer:
             "repro_serving_inflight",
             "Predict requests currently being served.",
         )
+        self.fit_service = fit_service
+        self.max_model_state = int(max_model_state)
+        self.max_metrics_models = int(max_metrics_models)
         self._lock = threading.Lock()
         self._loaded: dict[tuple[str, int | str], PipelineArtifact] = {}
         self._stats: dict[str, ServingStats] = {}
         self._batchers: dict[tuple[str, int | str, bool], MicroBatcher] = {}
+        # recency order over (name, version) pairs holding any serving
+        # state; oldest evicted once max_model_state is exceeded
+        self._state_lru: OrderedDict[tuple[str, int | str], None] = \
+            OrderedDict()
 
     def _shed(self, reason: str) -> None:
         with self._lock:
@@ -171,14 +211,106 @@ class ModelServer:
             art = self.registry.get(name, resolved)  # integrity-checked
             with self._lock:
                 self._loaded.setdefault((name, resolved), art)
+        self._touch(name, resolved)
         return art, resolved
 
+    @staticmethod
+    def _stats_key(name: str, version: int | str) -> str:
+        return f"{name}@{version}" if version != "-" else name
+
     def _stats_for(self, name: str, version: int | str) -> ServingStats:
-        key = f"{name}@{version}" if version != "-" else name
+        key = self._stats_key(name, version)
         with self._lock:
             if key not in self._stats:
                 self._stats[key] = ServingStats()
-            return self._stats[key]
+            stats = self._stats[key]
+        self._touch(name, version)
+        return stats
+
+    # -- per-model state lifecycle --------------------------------------
+    def _drop_state_locked(self, name: str,
+                           version: int | str) -> list[MicroBatcher]:
+        """Forget one (model, version)'s serving state; returns the
+        displaced batchers for the caller to close outside the lock."""
+        self._loaded.pop((name, version), None)
+        self._stats.pop(self._stats_key(name, version), None)
+        self._state_lru.pop((name, version), None)
+        doomed = []
+        for key in [k for k in self._batchers
+                    if k[0] == name and k[1] == version]:
+            doomed.append(self._batchers.pop(key))
+        return doomed
+
+    def _touch(self, name: str, version: int | str) -> None:
+        """Mark a (model, version) recently served and evict the
+        least-recently-served state past ``max_model_state`` — tenants
+        register models without bound; this cache must not grow with
+        them."""
+        doomed: list[MicroBatcher] = []
+        with self._lock:
+            self._state_lru[(name, version)] = None
+            self._state_lru.move_to_end((name, version))
+            while len(self._state_lru) > self.max_model_state:
+                oldest = next(iter(self._state_lru))
+                doomed += self._drop_state_locked(*oldest)
+        for b in doomed:
+            b.close()
+
+    def evict_model_state(self, name: str,
+                          version: int | str | None = None) -> int:
+        """Drop cached artifacts / stats / batchers for ``name`` (one
+        ``version``, or every version when omitted).  Returns how many
+        (model, version) entries were evicted; state is rebuilt lazily
+        if the model is served again."""
+        doomed: list[MicroBatcher] = []
+        with self._lock:
+            targets = {
+                (n, v)
+                for source in (
+                    self._loaded, self._state_lru,
+                    [(n2, v2) for (n2, v2, _p) in self._batchers],
+                    [self._split_stats_key(k) for k in self._stats],
+                )
+                for (n, v) in source
+                if n == name and (version is None or v == version)
+            }
+            for n, v in targets:
+                doomed += self._drop_state_locked(n, v)
+        for b in doomed:
+            b.close()
+        return len(targets)
+
+    @staticmethod
+    def _split_stats_key(key: str) -> tuple[str, int | str]:
+        if "@" not in key:
+            return key, "-"
+        name, _, version = key.rpartition("@")
+        return name, (int(version) if version.isdigit() else version)
+
+    def reconcile_model_state(self) -> int:
+        """Evict serving state whose registry version is gone or
+        quarantined (deleted models, rolled-back/corrupt versions) —
+        the registry is the source of truth; this cache must follow it.
+        Returns how many (model, version) entries were dropped."""
+        if self.registry is None:
+            return 0
+        index = self.registry.index()
+        evicted = 0
+        with self._lock:
+            known = set(self._state_lru) | set(self._loaded) | {
+                (n, v) for (n, v, _p) in self._batchers
+            } | {self._split_stats_key(k) for k in self._stats}
+        for name, version in known:
+            if name in self._fixed:
+                continue
+            entries = index.get(name, {}).get("versions", [])
+            alive = any(
+                e["version"] == version and not e.get("quarantined")
+                for e in entries
+            )
+            if not alive:
+                evicted += self.evict_model_state(name, version)
+        return evicted
 
     def _batcher_for(self, name: str, version: int | str, proba: bool,
                      artifact: PipelineArtifact) -> MicroBatcher:
@@ -375,18 +507,42 @@ class ModelServer:
             names.update(self.registry.models())
         return sorted(names)
 
-    def metrics(self) -> dict:
-        """Per-model counters + latency percentiles."""
+    def _metrics_items(self) -> tuple[list, list]:
+        """Per-model stats split into (reported, aggregated): the
+        ``max_metrics_models`` most recently active models get their own
+        series; the long tail — unbounded under multi-tenant
+        registration — is aggregated so label cardinality stays fixed."""
         with self._lock:
             items = list(self._stats.items())
-        return {key: stats.snapshot() for key, stats in items}
+        items.sort(key=lambda kv: kv[1].last_active, reverse=True)
+        return items[: self.max_metrics_models], \
+            items[self.max_metrics_models:]
+
+    def metrics(self) -> dict:
+        """Per-model counters + latency percentiles (most recently
+        active ``max_metrics_models`` models; the rest roll up into
+        ``"_other"``)."""
+        reported, rest = self._metrics_items()
+        out = {key: stats.snapshot() for key, stats in reported}
+        if rest:
+            out["_other"] = {
+                "models": len(rest),
+                "requests": sum(s.requests for _, s in rest),
+                "batches": sum(s.batches for _, s in rest),
+                "rows": sum(s.rows for _, s in rest),
+                "errors": sum(s.errors for _, s in rest),
+                "sheds": sum(s.sheds for _, s in rest),
+            }
+        return out
 
     def prometheus_metrics(self) -> str:
         """Prometheus text exposition: per-model serving series plus the
         process-wide :data:`~repro.obs.metrics.REGISTRY` (HTTP counters,
-        native dispatch, plane caches, ...)."""
-        with self._lock:
-            items = list(self._stats.items())
+        native dispatch, plane caches, ...).  Per-model label
+        cardinality is bounded at ``max_metrics_models``; less recently
+        active models aggregate under ``model="_other"``."""
+        reported, rest = self._metrics_items()
+        items = list(reported)
         counters = {
             "repro_serving_requests_total": "Client requests served, "
                                             "per model.",
@@ -421,15 +577,41 @@ class ModelServer:
             serving["repro_serving_request_seconds"]["series"].append(
                 {"labels": labels, **stats.latency_hist.state()}
             )
+        if rest:
+            labels = {"model": "_other"}
+            for name, attr in (
+                ("repro_serving_requests_total", "requests"),
+                ("repro_serving_errors_total", "errors"),
+                ("repro_serving_sheds_total", "sheds"),
+                ("repro_serving_batches_total", "batches"),
+                ("repro_serving_rows_total", "rows"),
+            ):
+                serving[name]["series"].append({
+                    "labels": labels,
+                    "value": sum(int(getattr(s, attr)) for _, s in rest),
+                })
+            states = [s.latency_hist.state() for _, s in rest]
+            merged = {
+                "buckets": states[0]["buckets"],
+                "counts": [sum(c) for c in
+                           zip(*(st["counts"] for st in states))],
+                "sum": sum(st["sum"] for st in states),
+                "count": sum(st["count"] for st in states),
+            }
+            serving["repro_serving_request_seconds"]["series"].append(
+                {"labels": labels, **merged}
+            )
         return render_prometheus(serving, REGISTRY.snapshot())
 
     def close(self) -> None:
-        """Shut down every micro-batcher worker."""
+        """Shut down every micro-batcher worker (and the fit service)."""
         with self._lock:
             batchers = list(self._batchers.values())
             self._batchers.clear()
         for b in batchers:
             b.close()
+        if self.fit_service is not None:
+            self.fit_service.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -471,7 +653,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._request_id = uuid.uuid4().hex[:16]
         self._status = 0
         path = urlparse(self.path).path
-        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        if path in _KNOWN_ENDPOINTS:
+            endpoint = path
+        elif path.startswith("/fit/"):
+            endpoint = "/fit"  # job ids must not become label values
+        else:
+            endpoint = "other"
         t0 = time.perf_counter()
         try:
             with trace_context(self._request_id):
@@ -511,11 +698,19 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._observed("POST", self._handle_post)
 
+    def _fit_service(self):
+        """The mounted fit service, or None after a 404 reply."""
+        fs = self.model_server.fit_service
+        if fs is None:
+            self._reply(404, {"error": "fit service is not enabled; start "
+                                       "the server with `serve --fit`"})
+        return fs
+
     def _handle_get(self) -> None:
         path = urlparse(self.path).path
         srv = self.model_server
         if path == "/health":
-            self._reply(200, {
+            body = {
                 "status": "ok",
                 "models": srv.served_names(),
                 "native": native_status(),
@@ -524,7 +719,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "queue_depth": srv.queue_depth(),
                 "inflight": srv._gauge_inflight.value,
                 "sheds": dict(srv.shed_counts),
-            })
+            }
+            if srv.fit_service is not None:
+                body["fit"] = srv.fit_service.stats()
+            self._reply(200, body)
         elif path == "/models":
             self._reply(200, srv.model_index())
         elif path == "/metrics":
@@ -533,12 +731,81 @@ class _Handler(BaseHTTPRequestHandler):
                            PROMETHEUS_CONTENT_TYPE)
             else:  # default stays the backward-compatible JSON view
                 self._reply(200, srv.metrics())
+        elif path == "/fit":
+            fs = self._fit_service()
+            if fs is not None:
+                query = parse_qs(urlparse(self.path).query)
+                tenant = (query.get("tenant") or [None])[0]
+                self._reply(200, {"jobs": fs.jobs(tenant=tenant)})
+        elif path.startswith("/fit/"):
+            fs = self._fit_service()
+            if fs is not None:
+                from .fitservice import UnknownJobError
+
+                try:
+                    self._reply(200, fs.status(path[len("/fit/"):]))
+                except UnknownJobError as exc:
+                    self._reply(404, {"error": str(exc)})
         else:
             self._reply(404, {"error": f"unknown endpoint {path!r}; have "
-                                       "/predict /models /health /metrics"})
+                                       "/predict /models /health /metrics "
+                                       "/fit"})
+
+    def _handle_post_fit(self, path: str) -> None:
+        """POST ``/fit`` (submit) and ``/fit/<id>/cancel``."""
+        fs = self._fit_service()
+        if fs is None:
+            return
+        from .fitservice import FitServiceError, UnknownJobError
+
+        if path != "/fit":
+            job_id, _, verb = path[len("/fit/"):].rpartition("/")
+            if verb != "cancel" or not job_id:
+                self._reply(404, {"error": f"unknown endpoint {path!r}; "
+                                           "POST /fit or /fit/<id>/cancel"})
+                return
+            try:
+                self._reply(200, fs.cancel(job_id))
+            except UnknownJobError as exc:
+                self._reply(404, {"error": str(exc)})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            req = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        missing = [k for k in ("tenant", "name", "X", "y") if k not in req]
+        if missing:
+            self._reply(400, {"error": "fit submission must carry "
+                                       f"{missing} (tenant, name, X, y)"})
+            return
+        try:
+            job = fs.submit(
+                req["tenant"], req["name"], req["X"], req["y"],
+                task=req.get("task"),
+                time_budget=float(req.get("time_budget", 30.0)),
+                max_iters=(None if req.get("max_iters") is None
+                           else int(req["max_iters"])),
+                seed=int(req.get("seed", 0)),
+                estimators=req.get("estimators"),
+                weight=int(req.get("weight", 1)),
+                max_concurrent=(None if req.get("max_concurrent") is None
+                                else int(req["max_concurrent"])),
+            )
+        except FitServiceError as exc:
+            self._reply(400, {"error": str(exc)})
+        except (TypeError, ValueError) as exc:
+            self._reply(400, {"error": str(exc)})
+        else:
+            # 202: accepted and queued, poll GET /fit/<job_id>
+            self._reply(202, job.snapshot())
 
     def _handle_post(self) -> None:
         path = urlparse(self.path).path
+        if path == "/fit" or path.startswith("/fit/"):
+            self._handle_post_fit(path)
+            return
         if path != "/predict":
             self._reply(404, {"error": f"unknown endpoint {path!r}"})
             return

@@ -1,0 +1,107 @@
+"""TrialCache round-trip fidelity and per-caller hit attribution.
+
+Regression anchors for the multi-tenant promotion: `put` must strip only
+the heavyweight payloads (model / trace / metrics) while preserving every
+measurement field — `attempts` and `failure` in particular — and engines
+sharing one store must report their *own* hits, never each other's.
+"""
+
+import pytest
+
+import repro.exec.serial as serial_mod
+from repro.core.evaluate import TrialOutcome
+from repro.data import make_classification
+from repro.exec import ExecutionEngine, SerialExecutor, TrialCache, TrialSpec
+from repro.metrics import get_metric
+
+
+class TestRoundTrip:
+    def test_measurement_fields_survive_put_get(self):
+        cache = TrialCache()
+        outcome = TrialOutcome(
+            error=0.21, cost=1.7, model=object(),
+            failure="Traceback: worker died twice", trace={"t": 1},
+            metrics={"m": 2}, attempts=3,
+        )
+        cache.put(("k",), outcome)
+        got = cache.get(("k",))
+        # heavyweight payloads stripped ...
+        assert got.model is None
+        assert got.trace is None
+        assert got.metrics is None
+        # ... every measurement field intact (the satellite-1 regression:
+        # attempts/failure used to reset on the round trip)
+        assert got.error == 0.21
+        assert got.cost == 1.7
+        assert got.attempts == 3
+        assert got.failure == "Traceback: worker died twice"
+
+    def test_put_does_not_mutate_the_original(self):
+        cache = TrialCache()
+        model = object()
+        outcome = TrialOutcome(error=0.1, cost=0.5, model=model, attempts=2)
+        cache.put(("k",), outcome)
+        assert outcome.model is model
+        assert outcome.attempts == 2
+
+    def test_lru_eviction_and_counters(self):
+        cache = TrialCache(maxsize=2)
+        cache.put(("a",), TrialOutcome(error=0.1, cost=0.1, model=None))
+        cache.put(("b",), TrialOutcome(error=0.2, cost=0.1, model=None))
+        assert cache.get(("a",)) is not None  # refresh "a"
+        cache.put(("c",), TrialOutcome(error=0.3, cost=0.1, model=None))
+        assert cache.get(("b",)) is None  # LRU entry evicted
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+        assert cache.hits == 3 and cache.misses == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 3 and cache.misses == 1  # counters kept
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            TrialCache(maxsize=0)
+
+
+class TestPerCallerAttribution:
+    """Two engines over one store: `SearchResult.cache_hits` must come
+    from the engine's own counters, not the store-wide aggregate."""
+
+    @pytest.fixture()
+    def data(self):
+        return make_classification(60, 4, seed=0, name="attrib")
+
+    @pytest.fixture()
+    def spec(self):
+        class _Stub:  # never instantiated: run_spec is stubbed below
+            pass
+
+        return TrialSpec(
+            learner="stub", estimator_cls=_Stub, config={"x": 1},
+            sample_size=60, resampling="holdout",
+            metric=get_metric("roc_auc"),
+        )
+
+    def test_engines_count_their_own_lookups(self, data, spec, monkeypatch):
+        monkeypatch.setattr(
+            serial_mod, "run_spec",
+            lambda d, s: TrialOutcome(error=0.3, cost=0.1, model="M",
+                                      attempts=2),
+        )
+        store = TrialCache()
+        a = ExecutionEngine(SerialExecutor(data), cache=store)
+        b = ExecutionEngine(SerialExecutor(data), cache=store)
+        try:
+            a.run(spec)  # miss: executes, then stores
+            a.run(spec)  # hit (same engine)
+            out = b.run(spec)  # hit (cross-engine, via the shared store)
+        finally:
+            a.shutdown()
+            b.shutdown()
+        assert (a.cache_hits, a.cache_misses) == (1, 1)
+        assert (b.cache_hits, b.cache_misses) == (1, 0)
+        # the store-wide aggregate is the sum over both callers
+        assert (store.hits, store.misses) == (2, 1)
+        # replayed hit reports the original execution's retry history
+        assert out.attempts == 2
+        assert out.model is None

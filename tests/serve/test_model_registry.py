@@ -1,7 +1,12 @@
-"""ModelRegistry: versioning, aliases, promote/rollback, integrity."""
+"""ModelRegistry: versioning, aliases, promote/rollback, integrity,
+and write-lock behaviour under crashes and concurrent writers."""
 
 import json
 import os
+import subprocess
+import sys
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -83,6 +88,77 @@ class TestAliases:
             registry.resolve("m", 7)
         with pytest.raises(RegistryError, match="unknown model"):
             registry.get("nope")
+
+
+class TestWriteLock:
+    """Version allocation is advisory-locked (fcntl): a writer killed
+    mid-registration must not leave a lock that blocks everyone until
+    a timeout — the kernel releases flocks on process death."""
+
+    def test_crashed_writer_does_not_block_registration(self, registry,
+                                                        artifact):
+        pytest.importorskip("fcntl")
+        registry.register("m", artifact)
+        lock_path = os.path.join(registry.root, "m", ".lock")
+        assert os.path.exists(lock_path)  # register took the lock
+        # a writer grabs the lock and dies hard (SIGKILL: no finally,
+        # no atexit — the old stale-lockfile failure mode)
+        code = (
+            "import fcntl, os\n"
+            f"fd = os.open({lock_path!r}, os.O_CREAT | os.O_RDWR)\n"
+            "fcntl.flock(fd, fcntl.LOCK_EX)\n"
+            "print('locked', flush=True)\n"
+            "os.kill(os.getpid(), 9)\n"
+        )
+        proc = subprocess.Popen([sys.executable, "-c", code],
+                                stdout=subprocess.PIPE)
+        assert proc.stdout.readline().strip() == b"locked"
+        proc.wait(timeout=10)
+        t0 = time.monotonic()
+        assert registry.register("m", artifact) == 2
+        # promptly — not after riding out the LOCK_TIMEOUT_S deadline
+        assert time.monotonic() - t0 < registry.LOCK_TIMEOUT_S / 2
+
+    def test_stale_lock_file_contents_are_harmless(self, registry,
+                                                   artifact):
+        os.makedirs(os.path.join(registry.root, "m"), exist_ok=True)
+        with open(os.path.join(registry.root, "m", ".lock"), "w") as f:
+            f.write("999999")  # a pid that is long gone
+        assert registry.register("m", artifact) == 1
+
+    def test_live_writer_times_out_with_actionable_error(self, registry,
+                                                         artifact):
+        fcntl = pytest.importorskip("fcntl")
+        registry.register("m", artifact)
+        registry.LOCK_TIMEOUT_S = 0.3  # instance override: fast test
+        lock_path = os.path.join(registry.root, "m", ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)  # per-fd, so this thread holds
+            with pytest.raises(RegistryError, match="write lock"):
+                registry.register("m", artifact)
+        finally:
+            os.close(fd)
+        assert registry.register("m", artifact) == 2  # lock released
+
+    def test_concurrent_writers_mint_distinct_versions(self, registry,
+                                                       artifact):
+        versions, errors = [], []
+
+        def go():
+            try:
+                versions.append(registry.register("m", artifact))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=go) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert sorted(versions) == list(range(1, 9))  # no duplicates
+        assert registry.resolve("m", "latest") == 8
 
 
 class TestIntegrity:

@@ -1,0 +1,160 @@
+"""Serving-state hygiene under multi-tenant churn.
+
+Tenants register models without bound, so the server's cached
+artifacts / stats / batchers must be evictable (deleted or rolled-back
+versions), LRU-bounded, and ``/metrics`` label cardinality must stay
+fixed no matter how many models have ever served.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, ModelServer
+
+
+@pytest.fixture()
+def registry(tmp_path, artifact):
+    reg = ModelRegistry(str(tmp_path / "registry"))
+    for name in ("m0", "m1", "m2"):
+        reg.register(name, artifact)
+    return reg
+
+
+@pytest.fixture()
+def rows(served_data):
+    X, _ = served_data
+    return X[:5]
+
+
+class TestExplicitEviction:
+    def test_evict_and_lazy_rebuild(self, registry, rows):
+        server = ModelServer(registry=registry, batching=False)
+        try:
+            before = server.predict("m0", rows)["predictions"]
+            assert ("m0", 1) in server._loaded
+            assert server.evict_model_state("m0") >= 1
+            assert ("m0", 1) not in server._loaded
+            assert all(not k.startswith("m0@") for k in server._stats)
+            # eviction is invisible to clients: state rebuilds on demand
+            after = server.predict("m0", rows)["predictions"]
+            assert before == after
+            assert server.evict_model_state("nope") == 0
+        finally:
+            server.close()
+
+    def test_evict_single_version_keeps_the_rest(self, registry, artifact,
+                                                 rows):
+        registry.register("m0", artifact)  # v2
+        server = ModelServer(registry=registry, batching=False)
+        try:
+            server.predict("m0", rows, version=1)
+            server.predict("m0", rows, version=2)
+            assert server.evict_model_state("m0", version=1) == 1
+            assert ("m0", 1) not in server._loaded
+            assert ("m0", 2) in server._loaded
+        finally:
+            server.close()
+
+
+class TestReconcile:
+    def test_quarantined_and_deleted_versions_dropped(self, registry,
+                                                      rows):
+        server = ModelServer(registry=registry, batching=False)
+        try:
+            for name in ("m0", "m1", "m2"):
+                server.predict(name, rows)
+            assert server.reconcile_model_state() == 0  # all still live
+            registry.quarantine("m1", 1, "integrity scare")
+            shutil.rmtree(registry._dir("m2"))  # model deleted outright
+            assert server.reconcile_model_state() == 2
+            assert ("m0", 1) in server._loaded
+            assert ("m1", 1) not in server._loaded
+            assert ("m2", 1) not in server._loaded
+        finally:
+            server.close()
+
+    def test_fixed_artifacts_are_exempt(self, artifact, rows):
+        server = ModelServer(artifacts={"pinned": artifact}, batching=False)
+        try:
+            server.predict("pinned", rows)
+            assert server.reconcile_model_state() == 0
+        finally:
+            server.close()
+
+
+class TestLruBound:
+    def test_state_never_exceeds_max_model_state(self, registry, rows):
+        server = ModelServer(registry=registry, batching=False,
+                             max_model_state=2)
+        try:
+            for name in ("m0", "m1", "m2"):
+                server.predict(name, rows)
+            assert len(server._state_lru) == 2
+            # least recently served went first
+            assert ("m0", 1) not in server._loaded
+            assert ("m1", 1) in server._loaded and ("m2", 1) in server._loaded
+            # serving the evicted model again reloads it and bumps m1
+            server.predict("m0", rows)
+            server.predict("m2", rows)
+            server.predict("m0", rows)
+            assert ("m1", 1) not in server._loaded
+            assert len(server._state_lru) == 2
+        finally:
+            server.close()
+
+    def test_invalid_caps_rejected(self, registry):
+        with pytest.raises(ValueError, match="max_model_state"):
+            ModelServer(registry=registry, max_model_state=0)
+        with pytest.raises(ValueError, match="max_metrics_models"):
+            ModelServer(registry=registry, max_metrics_models=0)
+
+
+class TestMetricsCardinality:
+    def test_json_metrics_roll_up_the_tail(self, registry, rows):
+        server = ModelServer(registry=registry, batching=False,
+                             max_metrics_models=2)
+        try:
+            for name in ("m0", "m1", "m2"):
+                server.predict(name, rows)
+            out = server.metrics()
+            per_model = [k for k in out if k != "_other"]
+            assert len(per_model) == 2
+            assert out["_other"]["models"] == 1
+            assert out["_other"]["requests"] == 1
+            assert out["_other"]["rows"] == len(rows)
+        finally:
+            server.close()
+
+    def test_prometheus_label_cardinality_is_bounded(self, registry, rows):
+        server = ModelServer(registry=registry, batching=False,
+                             max_metrics_models=2)
+        try:
+            for name in ("m0", "m1", "m2"):
+                server.predict(name, rows)
+            text = server.prometheus_metrics()
+            request_lines = [
+                line for line in text.splitlines()
+                if line.startswith("repro_serving_requests_total{")
+            ]
+            labels = {line.split("model=")[1].split('"')[1]
+                      for line in request_lines}
+            assert len(labels) == 3  # 2 recent models + the rollup
+            assert "_other" in labels
+            # the rollup conserves totals: nothing silently dropped
+            total = sum(
+                float(line.rsplit(" ", 1)[1]) for line in request_lines
+            )
+            assert total == 3.0
+        finally:
+            server.close()
+
+    def test_under_the_cap_no_rollup(self, registry, rows):
+        server = ModelServer(registry=registry, batching=False)
+        try:
+            server.predict("m0", rows)
+            assert "_other" not in server.metrics()
+            assert 'model="_other"' not in server.prometheus_metrics()
+        finally:
+            server.close()
